@@ -1,0 +1,168 @@
+// Ablation — explicit augmented matrices vs implicit folding.
+//
+// The paper's framework materializes M−/M+ and runs plain vector-matrix
+// products (the MATLAB-friendly formulation). ustdb also implements the
+// same semantics implicitly (transition with M, fold the window mass by
+// hand). This bench quantifies the trade for all three constructions:
+//
+//   exists:  OB_implicit / OB_explicit / QB_implicit / QB_explicit
+//   k-times (--ktimes): Ct_algorithm (the memory-efficient C(t) shift) vs
+//            block_matrix (the (|T□|+1)·|S| construction), plus the block
+//            matrix's memory blow-up factor (series block_memory_ratio).
+//
+// Explicit timings include matrix construction — that is the actual cost a
+// MATLAB-style deployment pays per query.
+//
+// Usage: bench_ablation_matrices [--ktimes] [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_common.h"
+#include "core/absorbing.h"
+#include "core/k_times.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_ktimes = false;
+bool g_full = false;
+
+core::Database& GetDb() {
+  static std::optional<core::Database> db;
+  if (!db.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 50'000 : 10'000;
+    config.num_objects = g_full ? 1'000 : 200;
+    config.seed = 37;
+    db = workload::GenerateDatabase(config).ValueOrDie();
+  }
+  return *db;
+}
+
+core::QueryWindow MakeWindow(const core::Database& db, uint32_t window_len) {
+  const uint32_t n = db.chain(0).num_states();
+  return core::QueryWindow::FromRanges(n, std::min(100u, n - 21),
+                                       std::min(120u, n - 1), 10,
+                                       10 + window_len - 1)
+      .ValueOrDie();
+}
+
+template <core::MatrixMode mode>
+void BM_ObExists(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  const char* series =
+      mode == core::MatrixMode::kImplicit ? "OB_implicit" : "OB_explicit";
+  benchutil::TimedIterations(state, series, state.range(0), [&] {
+    core::ObjectBasedEngine engine(&db.chain(0), window, {.mode = mode});
+    double total = 0.0;
+    for (const auto& obj : db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+template <core::MatrixMode mode>
+void BM_QbExists(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  const char* series =
+      mode == core::MatrixMode::kImplicit ? "QB_implicit" : "QB_explicit";
+  benchutil::TimedIterations(state, series, state.range(0), [&] {
+    core::QueryBasedEngine engine(&db.chain(0), window, {.mode = mode});
+    double total = 0.0;
+    for (const auto& obj : db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+template <core::MatrixMode mode>
+void BM_KTimes(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  const char* series = mode == core::MatrixMode::kImplicit ? "Ct_algorithm"
+                                                           : "block_matrix";
+  benchutil::TimedIterations(state, series, state.range(0), [&] {
+    core::KTimesEngine engine(&db.chain(0), window, {.mode = mode});
+    double total = 0.0;
+    for (const auto& obj : db.objects()) {
+      total += engine.Distribution(obj.initial_pdf()).back();
+    }
+    benchmark::DoNotOptimize(total);
+  });
+  if (mode == core::MatrixMode::kExplicit) {
+    // Memory blow-up of the block construction relative to M itself.
+    const auto aug = core::BuildKTimesMatrices(
+        db.chain(0), window.region(), window.num_times());
+    const double ratio =
+        static_cast<double>(aug.minus.MemoryBytes() + aug.plus.MemoryBytes()) /
+        static_cast<double>(db.chain(0).matrix().MemoryBytes());
+    benchutil::Recorder::Instance().Record("block_memory_ratio",
+                                           state.range(0), ratio);
+  }
+}
+
+void Register() {
+  for (int64_t len = 1; len <= 6; ++len) {
+    if (g_ktimes) {
+      benchmark::RegisterBenchmark(
+          "ablation/ktimes_ct", BM_KTimes<core::MatrixMode::kImplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          "ablation/ktimes_block", BM_KTimes<core::MatrixMode::kExplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    } else {
+      benchmark::RegisterBenchmark(
+          "ablation/ob_implicit", BM_ObExists<core::MatrixMode::kImplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          "ablation/ob_explicit", BM_ObExists<core::MatrixMode::kExplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          "ablation/qb_implicit", BM_QbExists<core::MatrixMode::kImplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          "ablation/qb_explicit", BM_QbExists<core::MatrixMode::kExplicit>)
+          ->Arg(len)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_ktimes = ustdb::benchutil::ExtractFlag(&argc, argv, "--ktimes");
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv,
+      g_ktimes ? "ablation_ktimes_matrices" : "ablation_exists_matrices",
+      "query_window_timeslots", "whole-database runtime [s]");
+}

@@ -1,0 +1,112 @@
+// §V-C — interval-Markov-chain cluster pruning for multi-chain databases.
+//
+// When every object follows its own (similar) chain, the query-based plan
+// loses its amortization: one backward pass per distinct chain. Section
+// V-C proposes clustering similar chains, bounding each cluster with a
+// probability-interval chain, deciding whole clusters against the
+// threshold, and refining only the undecided objects. This bench sweeps
+// the number of distinct chains and reports, for a threshold query:
+//
+//   per_chain_qb  — the naive plan: one QB backward pass per chain
+//   clustered     — interval-chain pruning + refinement
+//   refined_frac  — fraction of objects that needed individual refinement
+//
+// Expected shape: clustered wins when chains are numerous and similar
+// (high jitter destroys the bounds and forces refinement).
+//
+// Usage: bench_cluster_pruning [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "core/threshold.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;
+};
+
+Fixture& GetFixture(uint32_t num_chains) {
+  static std::map<uint32_t, Fixture> cache;
+  auto it = cache.find(num_chains);
+  if (it == cache.end()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 20'000 : 5'000;
+    config.num_objects = g_full ? 2'000 : 400;
+    config.state_spread = 4;
+    config.max_step = 20;
+    config.seed = 41;
+    Fixture f{workload::GenerateMultiChainDatabase(config, num_chains,
+                                                   /*jitter=*/0.05)
+                  .ValueOrDie(),
+              core::QueryWindow::FromRanges(config.num_states, 100, 160, 8,
+                                            14)
+                  .ValueOrDie()};
+    it = cache.emplace(num_chains, std::move(f)).first;
+  }
+  return it->second;
+}
+
+constexpr double kTau = 0.30;
+
+void BM_PerChainQb(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<uint32_t>(state.range(0)));
+  benchutil::TimedIterations(state, "per_chain_qb", state.range(0), [&] {
+    auto r = core::ThresholdExistsQueryBased(f.db, f.window, kTau);
+    benchmark::DoNotOptimize(r);
+  });
+}
+
+void BM_Clustered(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<uint32_t>(state.range(0)));
+  core::PruneStats stats;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    stats = core::PruneStats{};
+    auto r = core::ThresholdExistsClustered(
+        f.db, f.window, kTau, /*num_clusters=*/4, &stats);
+    benchmark::DoNotOptimize(r);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("clustered", state.range(0),
+                                         seconds);
+  benchutil::Recorder::Instance().Record(
+      "refined_frac", state.range(0),
+      static_cast<double>(stats.objects_refined) / f.db.num_objects());
+}
+
+void Register() {
+  for (int64_t chains : {1, 2, 4, 8, 16, 32}) {
+    benchmark::RegisterBenchmark("cluster/per_chain_qb", BM_PerChainQb)
+        ->Arg(chains)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("cluster/clustered", BM_Clustered)
+        ->Arg(chains)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(argc, argv, "cluster_pruning",
+                                        "distinct_chains",
+                                        "threshold-query runtime [s]");
+}

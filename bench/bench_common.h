@@ -1,0 +1,151 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary uses google-benchmark for execution/timing and, on top
+// of that, records one (series, x, value) triple per sweep point so that
+// after the run it can print the figure's series exactly the way the paper
+// plots them (x column + one column per algorithm) and write
+// bench/out/<figure>.csv for downstream plotting.
+
+#ifndef USTDB_BENCH_BENCH_COMMON_H_
+#define USTDB_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace ustdb {
+namespace benchutil {
+
+/// Collects series points and renders the paper-style table + CSV.
+class Recorder {
+ public:
+  static Recorder& Instance() {
+    static Recorder instance;
+    return instance;
+  }
+
+  /// Records the value of `series` at sweep position `x`. Re-recording the
+  /// same point overwrites (google-benchmark may re-run an iteration).
+  void Record(const std::string& series, double x, double value) {
+    data_[series][x] = value;
+    if (std::find(series_order_.begin(), series_order_.end(), series) ==
+        series_order_.end()) {
+      series_order_.push_back(series);
+    }
+  }
+
+  /// Prints the pivot table to stdout and writes bench/out/<name>.csv.
+  /// \param x_label  column header for the sweep variable.
+  /// \param value_label unit note shown in the header (e.g. "runtime [s]").
+  void PrintAndWrite(const std::string& name, const std::string& x_label,
+                     const std::string& value_label) const {
+    // Collect the union of x positions.
+    std::vector<double> xs;
+    for (const auto& [series, points] : data_) {
+      for (const auto& [x, v] : points) {
+        if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+
+    std::printf("\n=== %s (%s) ===\n", name.c_str(), value_label.c_str());
+    std::printf("%14s", x_label.c_str());
+    for (const auto& s : series_order_) std::printf(" %14s", s.c_str());
+    std::printf("\n");
+    for (double x : xs) {
+      std::printf("%14g", x);
+      for (const auto& s : series_order_) {
+        const auto& points = data_.at(s);
+        auto it = points.find(x);
+        if (it == points.end()) {
+          std::printf(" %14s", "-");
+        } else {
+          std::printf(" %14.6g", it->second);
+        }
+      }
+      std::printf("\n");
+    }
+
+    std::filesystem::create_directories("bench/out");
+    const std::string path = "bench/out/" + name + ".csv";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "%s", x_label.c_str());
+    for (const auto& s : series_order_) std::fprintf(f, ",%s", s.c_str());
+    std::fprintf(f, "\n");
+    for (double x : xs) {
+      std::fprintf(f, "%g", x);
+      for (const auto& s : series_order_) {
+        const auto& points = data_.at(s);
+        auto it = points.find(x);
+        if (it == points.end()) {
+          std::fprintf(f, ",");
+        } else {
+          std::fprintf(f, ",%.9g", it->second);
+        }
+      }
+      std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+    std::printf("written: %s\n", path.c_str());
+  }
+
+ private:
+  Recorder() = default;
+  std::map<std::string, std::map<double, double>> data_;
+  std::vector<std::string> series_order_;
+};
+
+/// Runs `body` once per benchmark iteration under manual timing and records
+/// the last iteration's wall time for series `series` at `x`.
+template <typename Body>
+void TimedIterations(benchmark::State& state, const std::string& series,
+                     double x, Body&& body) {
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    body();
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  Recorder::Instance().Record(series, x, seconds);
+}
+
+/// Removes `flag` from argv if present; returns whether it was there.
+inline bool ExtractFlag(int* argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (argv[i] == flag) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Standard main body: initialize google-benchmark, run, print the figure.
+inline int RunBenchMain(int argc, char** argv, const std::string& fig_name,
+                        const std::string& x_label,
+                        const std::string& value_label) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Recorder::Instance().PrintAndWrite(fig_name, x_label, value_label);
+  return 0;
+}
+
+}  // namespace benchutil
+}  // namespace ustdb
+
+#endif  // USTDB_BENCH_BENCH_COMMON_H_

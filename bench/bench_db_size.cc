@@ -1,0 +1,108 @@
+// §V-C — amortization of the query-based plan over the database size.
+//
+// QB's complexity is O(|D| + |S_reach|²·δt): one backward pass independent
+// of |D|, then a dot product per object. OB is O(|D|·|S_reach|²·δt). This
+// bench sweeps |D| (Table I's range 1,000..100,000) and reports both, plus
+// the per-object cost of QB (series qb_per_object_us) which should be flat
+// and tiny — the "total CPU cost of O(1) per object" claim.
+//
+// Usage: bench_db_size [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;
+};
+
+Fixture& GetFixture(uint32_t num_objects) {
+  static std::map<uint32_t, Fixture> cache;
+  auto it = cache.find(num_objects);
+  if (it == cache.end()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 100'000 : 20'000;
+    config.num_objects = num_objects;
+    config.seed = 29;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(),
+              workload::DefaultWindow(config).ValueOrDie()};
+    it = cache.emplace(num_objects, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_QB(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<uint32_t>(state.range(0)));
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    core::QueryBasedEngine engine(&f.db.chain(0), f.window);
+    double total = 0.0;
+    for (const auto& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("QB", state.range(0), seconds);
+  benchutil::Recorder::Instance().Record(
+      "qb_per_object_us", state.range(0),
+      seconds * 1e6 / static_cast<double>(state.range(0)));
+}
+
+void BM_OB(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<uint32_t>(state.range(0)));
+  benchutil::TimedIterations(state, "OB", state.range(0), [&] {
+    core::ObjectBasedEngine engine(&f.db.chain(0), f.window);
+    double total = 0.0;
+    for (const auto& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void Register() {
+  const std::vector<int64_t> sizes =
+      g_full ? std::vector<int64_t>{1'000, 5'000, 10'000, 50'000, 100'000}
+             : std::vector<int64_t>{1'000, 5'000, 10'000, 30'000};
+  for (int64_t d : sizes) {
+    benchmark::RegisterBenchmark("db_size/QB", BM_QB)
+        ->Arg(d)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    // OB at 100k objects takes minutes; cap it below the largest setting
+    // unless --full is given.
+    if (g_full || d <= 30'000) {
+      benchmark::RegisterBenchmark("db_size/OB", BM_OB)
+          ->Arg(d)
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(argc, argv, "db_size",
+                                        "num_objects",
+                                        "whole-database runtime [s]");
+}

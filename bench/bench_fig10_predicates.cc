@@ -1,0 +1,134 @@
+// Figure 10 — runtime of the three query predicates (∃, ∀, k-times) as the
+// query window grows from 1 to 10 timeslots.
+//
+//   10(a) object-based processing: PSTkQ is clearly the most expensive
+//         (it maintains |T□|+1 vectors per object); PST∃Q and PST∀Q are
+//         nearly identical (the paper: "equal runtime in all settings").
+//   10(b) query-based processing: ∃ and ∀ run in a fraction of the OB time;
+//         PSTkQ has no backward formulation in the paper, so its curve is
+//         the memory-efficient C(t) algorithm (see EXPERIMENTS.md).
+//
+// Usage: bench_fig10_predicates [--qb] [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_common.h"
+#include "core/forall.h"
+#include "core/k_times.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+bool g_qb = false;
+
+core::Database& GetDb() {
+  static std::optional<core::Database> db;
+  if (!db.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 100'000 : 20'000;
+    config.num_objects = g_full ? 10'000 : 500;
+    config.seed = 17;
+    db = workload::GenerateDatabase(config).ValueOrDie();
+  }
+  return *db;
+}
+
+core::QueryWindow MakeWindow(const core::Database& db, uint32_t window_len) {
+  const uint32_t n = db.chain(0).num_states();
+  return core::QueryWindow::FromRanges(n, std::min(100u, n - 21),
+                                       std::min(120u, n - 1), 20,
+                                       20 + window_len - 1)
+      .ValueOrDie();
+}
+
+void BM_Exists(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  benchutil::TimedIterations(state, "exists", state.range(0), [&] {
+    double total = 0.0;
+    if (g_qb) {
+      core::QueryBasedEngine engine(&db.chain(0), window);
+      for (const auto& obj : db.objects()) {
+        total += engine.ExistsProbability(obj.initial_pdf());
+      }
+    } else {
+      core::ObjectBasedEngine engine(&db.chain(0), window);
+      for (const auto& obj : db.objects()) {
+        total += engine.ExistsProbability(obj.initial_pdf());
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void BM_ForAll(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  benchutil::TimedIterations(state, "forall", state.range(0), [&] {
+    double total = 0.0;
+    if (g_qb) {
+      core::ForAllQueryBased engine(&db.chain(0), window);
+      for (const auto& obj : db.objects()) {
+        total += engine.ForAllProbability(obj.initial_pdf());
+      }
+    } else {
+      core::ForAllObjectBased engine(&db.chain(0), window);
+      for (const auto& obj : db.objects()) {
+        total += engine.ForAllProbability(obj.initial_pdf());
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void BM_KTimes(benchmark::State& state) {
+  core::Database& db = GetDb();
+  const auto window = MakeWindow(db, static_cast<uint32_t>(state.range(0)));
+  benchutil::TimedIterations(state, "k_times", state.range(0), [&] {
+    core::KTimesEngine engine(&db.chain(0), window);
+    double total = 0.0;
+    for (const auto& obj : db.objects()) {
+      total += engine.Distribution(obj.initial_pdf()).back();
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void Register() {
+  for (int64_t len = 1; len <= 10; ++len) {
+    benchmark::RegisterBenchmark("fig10/exists", BM_Exists)
+        ->Arg(len)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig10/forall", BM_ForAll)
+        ->Arg(len)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig10/k_times", BM_KTimes)
+        ->Arg(len)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_qb = ustdb::benchutil::ExtractFlag(&argc, argv, "--qb");
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv,
+      g_qb ? "fig10b_predicates_qb" : "fig10a_predicates_ob",
+      "query_window_timeslots", "whole-database runtime [s]");
+}

@@ -1,0 +1,115 @@
+// Figure 11 — impact of the locality parameters of the synthetic model.
+//
+//   11(a) max_step ∈ {10, ..., 100}: widening the transition band thickens
+//         the reachable frontier per step.
+//   11(b) state_spread ∈ {2, ..., 20}: more non-zeros per matrix row.
+//
+// The paper: "Both algorithms scale at most linearly with those
+// parameters", with OB and QB on very different absolute scales (they are
+// plotted on different axes in the paper; the CSV keeps both series).
+//
+// Usage: bench_fig11_locality [--state-spread] [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_state_spread_mode = false;
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;
+};
+
+Fixture& GetFixture(uint32_t max_step, uint32_t state_spread) {
+  static std::map<std::pair<uint32_t, uint32_t>, Fixture> cache;
+  const auto key = std::make_pair(max_step, state_spread);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 100'000 : 20'000;
+    config.num_objects = g_full ? 10'000 : 1'000;
+    config.max_step = max_step;
+    config.state_spread = state_spread;
+    config.seed = 19;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(),
+              workload::DefaultWindow(config).ValueOrDie()};
+    it = cache.emplace(key, std::move(f)).first;
+  }
+  return it->second;
+}
+
+Fixture& FixtureForArg(int64_t x) {
+  return g_state_spread_mode
+             ? GetFixture(/*max_step=*/40, static_cast<uint32_t>(x))
+             : GetFixture(static_cast<uint32_t>(x), /*state_spread=*/5);
+}
+
+void BM_OB(benchmark::State& state) {
+  Fixture& f = FixtureForArg(state.range(0));
+  benchutil::TimedIterations(state, "OB", state.range(0), [&] {
+    core::ObjectBasedEngine engine(&f.db.chain(0), f.window);
+    double total = 0.0;
+    for (const auto& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void BM_QB(benchmark::State& state) {
+  Fixture& f = FixtureForArg(state.range(0));
+  benchutil::TimedIterations(state, "QB", state.range(0), [&] {
+    core::QueryBasedEngine engine(&f.db.chain(0), f.window);
+    double total = 0.0;
+    for (const auto& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void Register() {
+  std::vector<int64_t> xs;
+  if (g_state_spread_mode) {
+    for (int64_t s = 2; s <= 20; s += 2) xs.push_back(s);
+  } else {
+    for (int64_t s = 10; s <= 100; s += 10) xs.push_back(s);
+  }
+  for (int64_t x : xs) {
+    benchmark::RegisterBenchmark("fig11/OB", BM_OB)
+        ->Arg(x)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig11/QB", BM_QB)
+        ->Arg(x)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_state_spread_mode =
+      ustdb::benchutil::ExtractFlag(&argc, argv, "--state-spread");
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv,
+      g_state_spread_mode ? "fig11b_state_spread" : "fig11a_max_step",
+      g_state_spread_mode ? "state_spread" : "max_step",
+      "whole-database PST-Exists runtime [s]");
+}

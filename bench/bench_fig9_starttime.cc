@@ -1,0 +1,138 @@
+// Figure 9(a)-(c) — PST∃Q runtime versus the query start time.
+//
+// The query window has fixed spatial extent and a 5-timestamp duration;
+// its start slides from 5 to 50. OB degrades with the start time (vectors
+// densify along the longer propagation) while QB grows far more slowly —
+// the paper's headline scaling result, shown on synthetic data (9a), the
+// Munich road network (9b) and the North America road network (9c).
+//
+// The real road datasets are replaced by synthetic graphs with matched
+// node/edge counts (see DESIGN.md §2).
+//
+// Usage: bench_fig9_starttime [--munich | --na] [--full]
+//   --full uses the paper's |D| = 10,000 (default here: 1,000 objects).
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_common.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "network/generators.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+enum class Dataset { kSynthetic, kMunich, kNorthAmerica };
+
+struct Fixture {
+  core::Database db;
+};
+
+Dataset g_dataset = Dataset::kSynthetic;
+bool g_full = false;
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    const uint32_t num_objects = g_full ? 10'000 : 1'000;
+    core::Database db;
+    if (g_dataset == Dataset::kSynthetic) {
+      workload::SyntheticConfig config;
+      config.num_states = g_full ? 100'000 : 20'000;
+      config.num_objects = num_objects;
+      config.seed = 11;
+      db = workload::GenerateDatabase(config).ValueOrDie();
+    } else {
+      auto road = (g_dataset == Dataset::kMunich
+                       ? network::GenerateUrbanNetwork(11)
+                       : network::GenerateContinentalNetwork(11))
+                      .ValueOrDie();
+      util::Rng rng(11);
+      const ChainId c = db.AddChain(road.ToMarkovChain(&rng).ValueOrDie());
+      // Objects: GPS-like fixes spread over `object spread` nodes.
+      workload::SyntheticConfig obj_config;
+      obj_config.num_states = road.num_nodes();
+      for (uint32_t i = 0; i < num_objects; ++i) {
+        (void)db.AddObjectAt(c, workload::GenerateObjectPdf(obj_config, &rng))
+            .ValueOrDie();
+      }
+    }
+    // Pre-build the transpose so the first QB sweep point does not pay the
+    // one-time per-chain cost (it is shared across all queries).
+    (void)db.chain(0).transposed();
+    cache.emplace(Fixture{std::move(db)});
+  }
+  return *cache;
+}
+
+core::QueryWindow MakeWindow(const core::Database& db, Timestamp start) {
+  const uint32_t n = db.chain(0).num_states();
+  return core::QueryWindow::FromRanges(n, std::min(100u, n - 21),
+                                       std::min(120u, n - 1), start,
+                                       start + 5)
+      .ValueOrDie();
+}
+
+void BM_OB(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto window = MakeWindow(f.db, static_cast<Timestamp>(state.range(0)));
+  benchutil::TimedIterations(state, "OB", state.range(0), [&] {
+    core::ObjectBasedEngine engine(&f.db.chain(0), window);
+    double total = 0.0;
+    for (const core::UncertainObject& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void BM_QB(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto window = MakeWindow(f.db, static_cast<Timestamp>(state.range(0)));
+  benchutil::TimedIterations(state, "QB", state.range(0), [&] {
+    core::QueryBasedEngine engine(&f.db.chain(0), window);
+    double total = 0.0;
+    for (const core::UncertainObject& obj : f.db.objects()) {
+      total += engine.ExistsProbability(obj.initial_pdf());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void Register() {
+  for (int64_t start = 5; start <= 50; start += 5) {
+    benchmark::RegisterBenchmark("fig9/OB", BM_OB)
+        ->Arg(start)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("fig9/QB", BM_QB)
+        ->Arg(start)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "fig9a_starttime_synthetic";
+  if (ustdb::benchutil::ExtractFlag(&argc, argv, "--munich")) {
+    g_dataset = Dataset::kMunich;
+    name = "fig9b_starttime_munich";
+  } else if (ustdb::benchutil::ExtractFlag(&argc, argv, "--na")) {
+    g_dataset = Dataset::kNorthAmerica;
+    name = "fig9c_starttime_north_america";
+  }
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv, name, "query_starttime",
+      "whole-database PST-Exists runtime [s]");
+}

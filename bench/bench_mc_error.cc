@@ -1,0 +1,116 @@
+// §VIII-A — the Monte-Carlo error bound ablation.
+//
+// The paper justifies excluding MC from most plots with the Bernoulli
+// error argument: σ_p̂ = sqrt(p(1−p)/n), so 100 samples leave >= 5
+// percentage points of standard deviation near p = 0.5. This bench sweeps
+// the sample count and reports, over the objects whose exact probability
+// is interior (0.05 < p < 0.95 — elsewhere MC is trivially right and would
+// dilute the average):
+//   - the mean empirical |p̂ − p| against the exact (QB) probability,
+//   - the mean theoretical σ bound,
+//   - the MC runtime over the whole batch (series mc_runtime_s).
+// Expected shape: error falls like 1/sqrt(n) while runtime grows linearly —
+// the trade the exact matrix approach sidesteps entirely.
+//
+// Usage: bench_mc_error [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "bench_common.h"
+#include "core/query_based.h"
+#include "mc/monte_carlo.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;
+  std::vector<double> exact;  // per-object QB probabilities
+};
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 100'000 : 10'000;
+    config.num_objects = g_full ? 1'000 : 200;
+    // Wide window so many objects have interior probabilities (errors are
+    // largest near p = 0.5).
+    config.seed = 23;
+    config.max_step = 60;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(),
+              core::QueryWindow::FromRanges(config.num_states, 0,
+                                            config.num_states / 4, 10, 25)
+                  .ValueOrDie(),
+              {}};
+    core::QueryBasedEngine engine(&f.db.chain(0), f.window);
+    for (const auto& obj : f.db.objects()) {
+      f.exact.push_back(engine.ExistsProbability(obj.initial_pdf()));
+    }
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+void BM_MC(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const uint32_t samples = static_cast<uint32_t>(state.range(0));
+  double mean_abs_err = 0.0;
+  double mean_sigma = 0.0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    mc::MonteCarloEngine engine(&f.db.chain(0), f.window,
+                                {.num_samples = samples, .seed = 31});
+    double abs_err = 0.0;
+    double sigma = 0.0;
+    uint32_t interior = 0;
+    for (uint32_t i = 0; i < f.db.num_objects(); ++i) {
+      const mc::McEstimate e =
+          engine.ExistsProbability(f.db.object(i).initial_pdf());
+      const double p = std::clamp(f.exact[i], 0.0, 1.0);
+      if (p <= 0.05 || p >= 0.95) continue;
+      abs_err += std::abs(e.probability - p);
+      sigma += std::sqrt(p * (1.0 - p) / samples);
+      ++interior;
+    }
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    mean_abs_err = interior ? abs_err / interior : 0.0;
+    mean_sigma = interior ? sigma / interior : 0.0;
+  }
+  benchutil::Recorder::Instance().Record("mean_abs_error", samples,
+                                         mean_abs_err);
+  benchutil::Recorder::Instance().Record("bernoulli_sigma", samples,
+                                         mean_sigma);
+  benchutil::Recorder::Instance().Record("mc_runtime_s", samples, seconds);
+}
+
+void Register() {
+  for (int64_t n : {10, 30, 100, 300, 1'000, 3'000, 10'000}) {
+    benchmark::RegisterBenchmark("mc_error/sweep", BM_MC)
+        ->Arg(n)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(argc, argv, "mc_error",
+                                        "num_samples",
+                                        "error / sigma / runtime");
+}

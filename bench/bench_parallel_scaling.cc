@@ -1,0 +1,86 @@
+// Extension — thread scaling of the object-based plan.
+//
+// Both plans are embarrassingly parallel across objects (the paper runs
+// single-threaded MATLAB). This bench sweeps the worker count for a
+// whole-database PST∃Q under the OB plan — the plan with enough per-object
+// work to amortize threading — and reports the speedup over one thread.
+//
+// Usage: bench_parallel_scaling [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_common.h"
+#include "core/parallel_processor.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;
+  double single_thread_seconds = 0.0;
+};
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 100'000 : 20'000;
+    config.num_objects = g_full ? 5'000 : 1'000;
+    config.seed = 47;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(),
+              workload::DefaultWindow(config).ValueOrDie(), 0.0};
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+void BM_Parallel(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    auto r = core::ParallelExists(
+        f.db, f.window,
+        {.plan = core::Plan::kObjectBased, .num_threads = threads});
+    benchmark::DoNotOptimize(r);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("ob_runtime", threads, seconds);
+  if (threads == 1) {
+    GetFixture().single_thread_seconds = seconds;
+  }
+  const double base = GetFixture().single_thread_seconds;
+  if (base > 0.0) {
+    benchutil::Recorder::Instance().Record("speedup", threads,
+                                           base / seconds);
+  }
+}
+
+void Register() {
+  for (int64_t threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("parallel/ob", BM_Parallel)
+        ->Arg(threads)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(argc, argv, "parallel_scaling",
+                                        "threads",
+                                        "whole-database OB runtime [s]");
+}

@@ -1,0 +1,130 @@
+// Extension — engine caching under a repeating monitoring workload.
+//
+// The paper evaluates single queries; a monitoring deployment re-issues a
+// fixed set of watch windows continuously. This bench replays a Zipf-like
+// stream of windows (workload::RepeatingWorkload) against the whole
+// database and sweeps the engine-cache capacity:
+//
+//   no_cache       — rebuild the QB engine for every query
+//   cache_<cap>    — LRU cache of backward passes
+//   hit_rate_<cap> — the corresponding cache hit rate
+//
+// Expected shape: runtime falls sharply once the capacity covers the hot
+// windows; at capacity >= distinct windows every repeat is a pure
+// dot-product pass.
+//
+// Usage: bench_query_cache [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "bench_common.h"
+#include "core/engine_cache.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+struct Fixture {
+  core::Database db;
+  std::vector<core::QueryWindow> stream;
+};
+
+constexpr uint32_t kDistinctWindows = 12;
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 50'000 : 10'000;
+    config.num_objects = g_full ? 5'000 : 1'000;
+    config.seed = 43;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(), {}};
+    workload::QueryGenConfig qconfig;
+    qconfig.num_states = config.num_states;
+    qconfig.t_min = 10;
+    qconfig.t_max = 30;
+    qconfig.seed = 44;
+    f.stream = workload::RepeatingWorkload(qconfig, kDistinctWindows,
+                                           g_full ? 400 : 120)
+                   .ValueOrDie();
+    (void)f.db.chain(0).transposed();  // pre-warm the shared transpose
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+double RunStream(const Fixture& f, core::EngineCache* cache) {
+  double total = 0.0;
+  for (const core::QueryWindow& w : f.stream) {
+    const core::QueryBasedEngine* engine;
+    std::optional<core::QueryBasedEngine> fresh;
+    if (cache != nullptr) {
+      engine = cache->Get(&f.db.chain(0), w);
+    } else {
+      fresh.emplace(&f.db.chain(0), w);
+      engine = &*fresh;
+    }
+    for (const auto& obj : f.db.objects()) {
+      total += engine->ExistsProbability(obj.initial_pdf());
+    }
+  }
+  return total;
+}
+
+void BM_NoCache(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  benchutil::TimedIterations(state, "no_cache", state.range(0), [&] {
+    benchmark::DoNotOptimize(RunStream(f, nullptr));
+  });
+}
+
+void BM_Cached(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const uint32_t capacity = static_cast<uint32_t>(state.range(0));
+  double seconds = 0.0;
+  core::EngineCacheStats stats;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    core::EngineCache cache(capacity);
+    benchmark::DoNotOptimize(RunStream(f, &cache));
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+    stats = cache.stats();
+  }
+  benchutil::Recorder::Instance().Record("cached", capacity, seconds);
+  benchutil::Recorder::Instance().Record(
+      "hit_rate", capacity,
+      static_cast<double>(stats.hits) /
+          static_cast<double>(stats.hits + stats.misses));
+}
+
+void Register() {
+  for (int64_t cap : {1, 2, 4, 8, 12, 16}) {
+    benchmark::RegisterBenchmark("cache/no_cache", BM_NoCache)
+        ->Arg(cap)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("cache/cached", BM_Cached)
+        ->Arg(cap)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(argc, argv, "query_cache",
+                                        "cache_capacity",
+                                        "workload runtime [s] / hit rate");
+}

@@ -1,0 +1,106 @@
+// Multi-observation interpolation — a faithful walk-through of Section VI.
+//
+// Reproduces the paper's two-observation example step by step (the doubled
+// state space, the class-A/B/C world bookkeeping, Lemma 1 conditioning),
+// then demonstrates the claim that observations *after* the query window
+// still carry information, and how contradictory observations are detected.
+//
+// Run:  ./build/examples/multi_observation_interpolation
+
+#include <cstdio>
+
+#include "ustdb.h"
+
+using namespace ustdb;
+
+namespace {
+
+void PrintVector(const char* label, const sparse::ProbVector& v) {
+  std::printf("%s(", label);
+  for (uint32_t i = 0; i < v.size(); ++i) {
+    std::printf("%s%.3f", i ? ", " : "", v.Get(i));
+  }
+  std::printf(")\n");
+}
+
+}  // namespace
+
+int main() {
+  // Section VI's chain: row s2 = (0.5, 0, 0.5).
+  auto chain = markov::MarkovChain::FromDense({
+                   {0.0, 0.0, 1.0},
+                   {0.5, 0.0, 0.5},
+                   {0.0, 0.8, 0.2},
+               })
+                   .ValueOrDie();
+  // Window: S□ = {s1, s2}, T□ = {1, 2}.
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 1, 2).ValueOrDie();
+
+  std::printf("=== Section VI worked example ===\n");
+  std::printf("object observed at s1@t=0 and s2@t=3; window S=[s1,s2], "
+              "T=[1,2]\n\n");
+
+  // The doubled-state matrices (printed for comparison with the paper).
+  core::AugmentedMatrices aug =
+      core::BuildDoubledMatrices(chain, window.region());
+  std::printf("doubled state space: %u states (s1,s2,s3, s1',s2',s3' where "
+              "' = already hit)\n",
+              aug.plus.rows());
+
+  // Forward pass with intermediate vectors, exactly as in the paper.
+  sparse::VecMatWorkspace ws;
+  sparse::ProbVector v =
+      core::ExtendInitialDoubled(sparse::ProbVector::Delta(3, 0), window);
+  PrintVector("P(o,0) = ", v);
+  ws.Multiply(v, aug.plus, &v);   // t=1 in T□
+  PrintVector("P(o,1) = ", v);    // paper: (0,0,1,0,0,0)
+  ws.Multiply(v, aug.plus, &v);   // t=2 in T□
+  PrintVector("P(o,2) = ", v);    // paper: (0,0,0.2,0,0.8,0)
+  ws.Multiply(v, aug.minus, &v);  // t=3 not in T□
+  PrintVector("P(o,3) = ", v);    // paper: (0,0.16,0.04,0.4,0,0.4)
+
+  // The engine does all of the above plus Lemma-1 conditioning:
+  core::MultiObservationEngine engine(&chain, window);
+  std::vector<core::Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  const core::MultiObsResult r = engine.Evaluate(obs).ValueOrDie();
+  std::printf("\nafter conditioning on the t=3 sighting (Lemma 1):\n");
+  PrintVector("posterior at t=3 = ", r.posterior);  // paper: (0,1,0)
+  std::printf("P-exists = %.3f   (paper: 0 — the only path consistent with "
+              "both sightings is s1->s3->s3->s2, which reaches s2 only at "
+              "t=3, outside T=[1,2])\n",
+              r.exists_probability);
+
+  // --- Observations after the window still matter. ------------------------
+  std::printf("\n=== information content of a later observation ===\n");
+  core::QueryBasedEngine single(&chain, window);
+  const double p_single =
+      single.ExistsProbability(sparse::ProbVector::Delta(3, 0));
+  std::printf("P-exists with only the t=0 sighting  : %.3f\n", p_single);
+  std::printf("P-exists adding the t=3 sighting     : %.3f\n",
+              r.exists_probability);
+  std::printf("the later sighting eliminated every window-hitting world "
+              "(class A worlds of Fig. 6)\n");
+
+  // A different second sighting keeps both world classes alive:
+  std::vector<core::Observation> obs2;
+  obs2.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs2.push_back(
+      {3, sparse::ProbVector::FromPairs(3, {{1, 0.5}, {2, 0.5}})
+              .ValueOrDie()});
+  const auto r2 = engine.Evaluate(obs2).ValueOrDie();
+  std::printf("with an *uncertain* t=3 sighting (s2 or s3 equally likely): "
+              "P-exists = %.3f, surviving mass = %.3f\n",
+              r2.exists_probability, r2.surviving_mass);
+
+  // --- Contradiction detection. -------------------------------------------
+  std::printf("\n=== contradictory observations ===\n");
+  std::vector<core::Observation> bad;
+  bad.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  bad.push_back({1, sparse::ProbVector::Delta(3, 0)});  // s1 cannot stay
+  const auto status = engine.Evaluate(bad);
+  std::printf("observing s1@t=0 then s1@t=1: %s\n",
+              status.status().ToString().c_str());
+  return 0;
+}

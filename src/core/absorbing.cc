@@ -1,0 +1,172 @@
+#include "core/absorbing.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::IndexSet;
+using sparse::ProbVector;
+using sparse::Triplet;
+
+/// Appends M's triplets into `out`, offset by (row_off, col_off), keeping
+/// only columns selected by `keep` (nullptr keeps everything; negate flips).
+void AppendShifted(const CsrMatrix& m, uint32_t row_off, uint32_t col_off,
+                   const IndexSet* keep, bool negate,
+                   std::vector<Triplet>* out) {
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    auto idx = m.RowIndices(r);
+    auto val = m.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      bool in = keep == nullptr || keep->Contains(idx[k]);
+      if (negate) in = !in;
+      if (in) out->push_back({r + row_off, idx[k] + col_off, val[k]});
+    }
+  }
+}
+
+}  // namespace
+
+AugmentedMatrices BuildAbsorbingMatrices(const markov::MarkovChain& chain,
+                                         const IndexSet& region) {
+  const CsrMatrix& m = chain.matrix();
+  const uint32_t n = m.rows();
+  const uint32_t diamond = n;
+
+  // M− = [[M, 0], [0ᵀ, 1]].
+  std::vector<Triplet> minus;
+  minus.reserve(m.nnz() + 1);
+  AppendShifted(m, 0, 0, nullptr, false, &minus);
+  minus.push_back({diamond, diamond, 1.0});
+
+  // M+ = [[M', sum(S□)], [0, 1]] — window columns redirected to ◆.
+  std::vector<Triplet> plus;
+  plus.reserve(m.nnz() + n + 1);
+  AppendShifted(m, 0, 0, &region, /*negate=*/true, &plus);
+  const std::vector<double> removed = m.RowMassInColumns(region);
+  for (uint32_t r = 0; r < n; ++r) {
+    if (removed[r] != 0.0) plus.push_back({r, diamond, removed[r]});
+  }
+  plus.push_back({diamond, diamond, 1.0});
+
+  AugmentedMatrices out;
+  out.minus =
+      CsrMatrix::FromTriplets(n + 1, n + 1, std::move(minus)).ValueOrDie();
+  out.plus =
+      CsrMatrix::FromTriplets(n + 1, n + 1, std::move(plus)).ValueOrDie();
+  return out;
+}
+
+AugmentedMatrices BuildDoubledMatrices(const markov::MarkovChain& chain,
+                                       const IndexSet& region) {
+  const CsrMatrix& m = chain.matrix();
+  const uint32_t n = m.rows();
+
+  // M− = [[M, 0], [0, M]].
+  std::vector<Triplet> minus;
+  minus.reserve(2 * m.nnz());
+  AppendShifted(m, 0, 0, nullptr, false, &minus);
+  AppendShifted(m, n, n, nullptr, false, &minus);
+
+  // M+ = [[M−M'', M''], [0, M]] with M'' = columns of S□ only: a world that
+  // has not hit yet and transitions into the region moves to the ◾ copy.
+  std::vector<Triplet> plus;
+  plus.reserve(2 * m.nnz());
+  AppendShifted(m, 0, 0, &region, /*negate=*/true, &plus);  // M − M''
+  AppendShifted(m, 0, n, &region, /*negate=*/false, &plus); // M''
+  AppendShifted(m, n, n, nullptr, false, &plus);            // M
+
+  AugmentedMatrices out;
+  out.minus =
+      CsrMatrix::FromTriplets(2 * n, 2 * n, std::move(minus)).ValueOrDie();
+  out.plus =
+      CsrMatrix::FromTriplets(2 * n, 2 * n, std::move(plus)).ValueOrDie();
+  return out;
+}
+
+AugmentedMatrices BuildKTimesMatrices(const markov::MarkovChain& chain,
+                                      const IndexSet& region,
+                                      uint32_t num_window_times) {
+  const CsrMatrix& m = chain.matrix();
+  const uint32_t n = m.rows();
+  const uint32_t levels = num_window_times + 1;  // k in {0, ..., K}
+  const uint32_t dim = levels * n;
+
+  // M− = block-diag(M, ..., M).
+  std::vector<Triplet> minus;
+  minus.reserve(static_cast<size_t>(levels) * m.nnz());
+  for (uint32_t k = 0; k < levels; ++k) {
+    AppendShifted(m, k * n, k * n, nullptr, false, &minus);
+  }
+
+  // M+ : block row k gets M−M'' on the diagonal and M'' at block k+1
+  // (entering the region at a window time increments the visit counter).
+  // The top level K keeps plain M — see header note.
+  std::vector<Triplet> plus;
+  plus.reserve(static_cast<size_t>(levels) * m.nnz());
+  for (uint32_t k = 0; k + 1 < levels; ++k) {
+    AppendShifted(m, k * n, k * n, &region, /*negate=*/true, &plus);
+    AppendShifted(m, k * n, (k + 1) * n, &region, /*negate=*/false, &plus);
+  }
+  AppendShifted(m, (levels - 1) * n, (levels - 1) * n, nullptr, false, &plus);
+
+  AugmentedMatrices out;
+  out.minus = CsrMatrix::FromTriplets(dim, dim, std::move(minus)).ValueOrDie();
+  out.plus = CsrMatrix::FromTriplets(dim, dim, std::move(plus)).ValueOrDie();
+  return out;
+}
+
+ProbVector ExtendInitialAbsorbing(const ProbVector& initial,
+                                  const QueryWindow& window) {
+  const uint32_t n = initial.size();
+  std::vector<std::pair<uint32_t, double>> pairs;
+  double hit = 0.0;
+  const bool redirect = window.ContainsTime(0);
+  initial.ForEachNonZero([&](uint32_t i, double x) {
+    if (redirect && window.region().Contains(i)) {
+      hit += x;
+    } else {
+      pairs.emplace_back(i, x);
+    }
+  });
+  if (hit > 0.0) pairs.emplace_back(n, hit);
+  return ProbVector::FromPairs(n + 1, std::move(pairs)).ValueOrDie();
+}
+
+ProbVector ExtendInitialDoubled(const ProbVector& initial,
+                                const QueryWindow& window) {
+  const uint32_t n = initial.size();
+  std::vector<std::pair<uint32_t, double>> pairs;
+  const bool redirect = window.ContainsTime(0);
+  initial.ForEachNonZero([&](uint32_t i, double x) {
+    if (redirect && window.region().Contains(i)) {
+      pairs.emplace_back(n + i, x);  // already hit, still located at s_i
+    } else {
+      pairs.emplace_back(i, x);
+    }
+  });
+  return ProbVector::FromPairs(2 * n, std::move(pairs)).ValueOrDie();
+}
+
+ProbVector ExtendInitialKTimes(const ProbVector& initial,
+                               const QueryWindow& window,
+                               uint32_t num_window_times) {
+  const uint32_t n = initial.size();
+  const uint32_t dim = (num_window_times + 1) * n;
+  std::vector<std::pair<uint32_t, double>> pairs;
+  const bool redirect = window.ContainsTime(0);
+  initial.ForEachNonZero([&](uint32_t i, double x) {
+    if (redirect && window.region().Contains(i)) {
+      pairs.emplace_back(n + i, x);  // level k=1
+    } else {
+      pairs.emplace_back(i, x);      // level k=0
+    }
+  });
+  return ProbVector::FromPairs(dim, std::move(pairs)).ValueOrDie();
+}
+
+}  // namespace core
+}  // namespace ustdb

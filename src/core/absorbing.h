@@ -1,0 +1,95 @@
+// Copyright 2026 the ustdb authors.
+//
+// Explicit construction of the paper's augmented transition matrices.
+//
+// Section V-A injects the query predicate into the Markov chain itself by
+// adding an absorbing "true hit" state ◆ and deriving two matrices from M:
+//
+//   M− = | M        0 |        M+ = | M'  sum(S□) |
+//        | 0ᵀ       1 |             | 0   1       |
+//
+// where M' is M with the columns of S□ zeroed and sum(S□) holds the per-row
+// mass removed that way. M− is used for transitions into timestamps outside
+// T□, M+ for transitions into timestamps inside T□.
+//
+// Section VI doubles the state space instead (s and s◾ copies) so that
+// worlds which already hit the window retain their location — required when
+// later observations must re-weight them:
+//
+//   M− = | M  0 |          M+ = | M−M''  M'' |
+//        | 0  M |               | 0      M   |
+//
+// where M'' keeps only the columns of S□.
+//
+// Section VII (PSTkQ) generalizes to |T□|+1 copies of S counting window
+// visits.
+//
+// These builders are the "matrix library" flavour of the framework (the
+// paper runs on MATLAB); the engines also implement the same semantics
+// implicitly without materializing the augmented matrices. Both paths are
+// tested for equality and benchmarked against each other
+// (bench_ablation_matrices).
+
+#ifndef USTDB_CORE_ABSORBING_H_
+#define USTDB_CORE_ABSORBING_H_
+
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/prob_vector.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// The M−/M+ pair of one of the paper's augmented constructions.
+struct AugmentedMatrices {
+  sparse::CsrMatrix minus;  ///< used for transitions into t ∉ T□
+  sparse::CsrMatrix plus;   ///< used for transitions into t ∈ T□
+};
+
+/// \brief Section V-A matrices with a single absorbing ◆ state.
+/// Result dimension: (n+1) × (n+1); ◆ has index n.
+AugmentedMatrices BuildAbsorbingMatrices(const markov::MarkovChain& chain,
+                                         const sparse::IndexSet& region);
+
+/// \brief Section VI doubled-state matrices (s at index i, s◾ at index n+i).
+/// Result dimension: 2n × 2n.
+AugmentedMatrices BuildDoubledMatrices(const markov::MarkovChain& chain,
+                                       const sparse::IndexSet& region);
+
+/// \brief Section VII block matrices over S × {0..K} for the k-times query
+/// (state (s, k) at index k·n + s). K = num_window_times = |T□|.
+/// Result dimension: (K+1)n × (K+1)n.
+///
+/// Note: the paper prints the last block row of M+ as (…, M−M'', M''),
+/// which would leak mass out of a (K+1)-block matrix; since a trajectory can
+/// visit at most K = |T□| window timestamps, mass at level K never needs to
+/// be incremented again, so we keep the last block row as plain M (which
+/// preserves stochasticity and yields identical query answers).
+AugmentedMatrices BuildKTimesMatrices(const markov::MarkovChain& chain,
+                                      const sparse::IndexSet& region,
+                                      uint32_t num_window_times);
+
+/// \brief Extends an initial distribution over S to the (n+1)-dim absorbing
+/// space of BuildAbsorbingMatrices. If t=0 ∈ T□ the region mass is moved to
+/// ◆ ("we adjust the initial vector by moving all probabilities of states in
+/// S□ to state ◆").
+sparse::ProbVector ExtendInitialAbsorbing(const sparse::ProbVector& initial,
+                                          const QueryWindow& window);
+
+/// \brief Extends an initial distribution over S to the 2n-dim doubled space
+/// (region mass moves to the ◾ copy when t=0 ∈ T□).
+sparse::ProbVector ExtendInitialDoubled(const sparse::ProbVector& initial,
+                                        const QueryWindow& window);
+
+/// \brief Extends an initial distribution over S to the (K+1)n-dim k-times
+/// space (region mass starts at level k=1 when t=0 ∈ T□).
+sparse::ProbVector ExtendInitialKTimes(const sparse::ProbVector& initial,
+                                       const QueryWindow& window,
+                                       uint32_t num_window_times);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_ABSORBING_H_

@@ -1,0 +1,87 @@
+#include "core/congestion.h"
+
+#include <algorithm>
+
+#include "util/compensated_sum.h"
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace core {
+
+double ExpectedCountField::RegionCount(Timestamp t,
+                                       const sparse::IndexSet& region) const {
+  util::CompensatedSum acc;
+  const double* row = counts_.data() + static_cast<size_t>(t) * num_states_;
+  for (uint32_t s : region) acc.Add(row[s]);
+  return acc.Total();
+}
+
+std::vector<double> ExpectedCountField::RegionSeries(
+    const sparse::IndexSet& region) const {
+  std::vector<double> out;
+  out.reserve(t_max() + 1);
+  for (Timestamp t = 0; t <= t_max(); ++t) {
+    out.push_back(RegionCount(t, region));
+  }
+  return out;
+}
+
+util::Result<ExpectedCountField> ExpectedCounts(const Database& db,
+                                                Timestamp t_max) {
+  if (db.num_chains() == 0) {
+    return util::Status::FailedPrecondition("database has no chains");
+  }
+  const uint32_t n = db.chain(0).num_states();
+  for (ChainId c = 1; c < db.num_chains(); ++c) {
+    if (db.chain(c).num_states() != n) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "chain %u has %u states, chain 0 has %u — expected-count fields "
+          "require one shared state space",
+          c, db.chain(c).num_states(), n));
+    }
+  }
+
+  ExpectedCountField field(n, t_max);
+  sparse::VecMatWorkspace ws;
+  for (const UncertainObject& obj : db.objects()) {
+    const Timestamp t0 = obj.observations.front().time;
+    if (t0 > t_max) continue;  // object enters after the horizon
+    sparse::ProbVector dist = obj.initial_pdf();
+    // Accumulate the marginal at t0, then propagate forward.
+    dist.ForEachNonZero([&](uint32_t s, double p) {
+      field.MutableRow(t0)[s] += p;
+    });
+    for (Timestamp t = t0 + 1; t <= t_max; ++t) {
+      ws.Multiply(dist, db.chain(obj.chain).matrix(), &dist);
+      dist.ForEachNonZero([&](uint32_t s, double p) {
+        field.MutableRow(t)[s] += p;
+      });
+    }
+  }
+  return field;
+}
+
+std::vector<Hotspot> TopHotspots(const ExpectedCountField& field,
+                                 uint32_t k) {
+  std::vector<Hotspot> all;
+  for (Timestamp t = 0; t <= field.t_max(); ++t) {
+    for (StateIndex s = 0; s < field.num_states(); ++s) {
+      const double c = field.At(t, s);
+      if (c > 0.0) all.push_back({t, s, c});
+    }
+  }
+  const auto better = [](const Hotspot& a, const Hotspot& b) {
+    if (a.expected_count != b.expected_count) {
+      return a.expected_count > b.expected_count;
+    }
+    if (a.time != b.time) return a.time < b.time;
+    return a.state < b.state;
+  };
+  const uint32_t take = std::min<uint32_t>(k, static_cast<uint32_t>(all.size()));
+  std::partial_sort(all.begin(), all.begin() + take, all.end(), better);
+  all.resize(take);
+  return all;
+}
+
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,77 @@
+// Copyright 2026 the ustdb authors.
+//
+// Congestion forecasting — the data-analysis application the paper's
+// conclusion announces as future work: "find areas that are expected to
+// become congested together with the time periods of this expectation".
+// Because expectation is linear, the expected number of objects at state s
+// at time t is simply the sum of the per-object marginals — one forward
+// propagation per object, no possible-worlds blowup.
+
+#ifndef USTDB_CORE_CONGESTION_H_
+#define USTDB_CORE_CONGESTION_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "sparse/index_set.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief Expected object counts per (timestamp, state).
+class ExpectedCountField {
+ public:
+  ExpectedCountField(uint32_t num_states, Timestamp t_max)
+      : num_states_(num_states),
+        counts_(static_cast<size_t>(t_max + 1) * num_states, 0.0) {}
+
+  uint32_t num_states() const { return num_states_; }
+  Timestamp t_max() const {
+    return static_cast<Timestamp>(counts_.size() / num_states_) - 1;
+  }
+
+  /// E[# objects at state s at time t].
+  double At(Timestamp t, StateIndex s) const {
+    return counts_[static_cast<size_t>(t) * num_states_ + s];
+  }
+
+  /// Expected count inside `region` at time t.
+  double RegionCount(Timestamp t, const sparse::IndexSet& region) const;
+
+  /// Expected count inside `region` for every t (size t_max()+1) — the
+  /// paper's "cars in the congested segment after 10-15 minutes" series.
+  std::vector<double> RegionSeries(const sparse::IndexSet& region) const;
+
+  double* MutableRow(Timestamp t) {
+    return counts_.data() + static_cast<size_t>(t) * num_states_;
+  }
+
+ private:
+  uint32_t num_states_;
+  std::vector<double> counts_;  // row-major [t][s]
+};
+
+/// One congestion hotspot: a state and timestamp with high expected count.
+struct Hotspot {
+  Timestamp time = 0;
+  StateIndex state = 0;
+  double expected_count = 0.0;
+};
+
+/// \brief Propagates every object's marginals through [0, t_max] and
+/// accumulates the expected-count field. All objects must reference chains
+/// with the same state count; multi-observation objects contribute their
+/// *first* observation's forward marginals (smoothing-based counts would
+/// need per-object backward passes — see core/smoothing.h).
+util::Result<ExpectedCountField> ExpectedCounts(const Database& db,
+                                                Timestamp t_max);
+
+/// \brief The k highest-expectation (state, time) pairs, descending;
+/// ties broken toward earlier time, then smaller state.
+std::vector<Hotspot> TopHotspots(const ExpectedCountField& field, uint32_t k);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_CONGESTION_H_

@@ -1,0 +1,74 @@
+#include "core/cylinder_baseline.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+CylinderBaseline::CylinderBaseline(const markov::MarkovChain* chain,
+                                   QueryWindow window)
+    : chain_(chain), window_(std::move(window)) {
+  assert(chain_ != nullptr);
+  assert(window_.region().domain_size() == chain_->num_states());
+}
+
+std::vector<sparse::IndexSet> CylinderBaseline::ReachableSets(
+    const sparse::ProbVector& initial) const {
+  const uint32_t n = chain_->num_states();
+  std::vector<sparse::IndexSet> sets;
+  sets.reserve(window_.t_end() + 1);
+
+  std::vector<uint32_t> frontier;
+  initial.ForEachNonZero(
+      [&](uint32_t s, double) { frontier.push_back(s); });
+  sets.push_back(
+      sparse::IndexSet::FromIndices(n, frontier).ValueOrDie());
+
+  std::vector<uint8_t> seen(n, 0);
+  for (Timestamp t = 1; t <= window_.t_end(); ++t) {
+    std::fill(seen.begin(), seen.end(), 0);
+    std::vector<uint32_t> next;
+    for (uint32_t s : sets.back()) {
+      for (uint32_t c : chain_->matrix().RowIndices(s)) {
+        if (!seen[c]) {
+          seen[c] = 1;
+          next.push_back(c);
+        }
+      }
+    }
+    sets.push_back(sparse::IndexSet::FromIndices(n, std::move(next))
+                       .ValueOrDie());
+  }
+  return sets;
+}
+
+CylinderAnswer CylinderBaseline::Evaluate(
+    const sparse::ProbVector& initial) const {
+  const std::vector<sparse::IndexSet> reach = ReachableSets(initial);
+  bool any_overlap = false;
+  for (Timestamp t : window_.times()) {
+    const sparse::IndexSet& r = reach[t];
+    uint32_t inside = 0;
+    for (uint32_t s : r) {
+      if (window_.region().Contains(s)) ++inside;
+    }
+    if (inside == r.size() && !r.empty()) return CylinderAnswer::kAlways;
+    if (inside > 0) any_overlap = true;
+  }
+  return any_overlap ? CylinderAnswer::kPossibly : CylinderAnswer::kNever;
+}
+
+const char* CylinderAnswerToString(CylinderAnswer answer) {
+  switch (answer) {
+    case CylinderAnswer::kNever:
+      return "never";
+    case CylinderAnswer::kPossibly:
+      return "possibly";
+    case CylinderAnswer::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+}  // namespace core
+}  // namespace ustdb

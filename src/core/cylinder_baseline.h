@@ -1,0 +1,75 @@
+// Copyright 2026 the ustdb authors.
+//
+// CylinderBaseline — the related-work comparator of Trajcevski et al.
+// ([16], [17] in the paper): each trajectory is represented by the *region*
+// the object may occupy at each timestamp (a 3-D cylindrical body in the
+// original; here the exact reachable state set under the motion model).
+// Because no distribution is kept inside the region, "only binary answers
+// to queries are possible": an object certainly intersects the window,
+// possibly intersects it, or certainly does not. The paper's framework
+// strictly refines this with probabilities; the relationship
+//
+//   kNever    <=>  P∃ = 0
+//   kAlways    =>  P∃ = 1      (one-way: P∃ = 1 can also arise from
+//                               different worlds hitting at different times)
+//   kPossibly <=>  0 < P∃
+//
+// is verified in tests.
+
+#ifndef USTDB_CORE_CYLINDER_BASELINE_H_
+#define USTDB_CORE_CYLINDER_BASELINE_H_
+
+#include <vector>
+
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/index_set.h"
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace core {
+
+/// Three-valued answer of the region-based model.
+enum class CylinderAnswer {
+  kNever,     ///< no possible world intersects the window
+  kPossibly,  ///< some but (provably) not all worlds intersect
+  kAlways,    ///< every possible world intersects the window
+};
+
+/// \brief Region-based (Trajcevski-style) evaluation of the window query.
+///
+/// The reachable set R(t) is propagated exactly (support of the Markov
+/// chain, ignoring probabilities — the "cylinder"). The answer is:
+///  * kNever    if R(t) ∩ S□ = ∅ for every window time t;
+///  * kAlways   if R(t) ⊆ S□ at some window time t (every world is inside
+///              the region then);
+///  * kPossibly otherwise.
+class CylinderBaseline {
+ public:
+  /// \pre window.region().domain_size() == chain->num_states(); `chain`
+  /// must outlive the baseline.
+  CylinderBaseline(const markov::MarkovChain* chain, QueryWindow window);
+
+  /// Evaluates the three-valued answer for an object whose possible
+  /// locations at t = 0 are the support of `initial`.
+  CylinderAnswer Evaluate(const sparse::ProbVector& initial) const;
+
+  /// \brief The reachable state sets R(t) for t = 0..t_end for `initial`'s
+  /// support (exposed for tests and for rendering the "cylinder").
+  std::vector<sparse::IndexSet> ReachableSets(
+      const sparse::ProbVector& initial) const;
+
+  const QueryWindow& window() const { return window_; }
+
+ private:
+  const markov::MarkovChain* chain_;
+  QueryWindow window_;
+};
+
+/// Human-readable name ("never" / "possibly" / "always").
+const char* CylinderAnswerToString(CylinderAnswer answer);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_CYLINDER_BASELINE_H_

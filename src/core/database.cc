@@ -1,0 +1,52 @@
+#include "core/database.h"
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace core {
+
+ChainId Database::AddChain(markov::MarkovChain chain) {
+  chains_.push_back(std::move(chain));
+  by_chain_.emplace_back();
+  return static_cast<ChainId>(chains_.size() - 1);
+}
+
+util::Result<ObjectId> Database::AddObject(
+    ChainId chain, std::vector<Observation> observations) {
+  if (chain >= chains_.size()) {
+    return util::Status::NotFound(
+        util::StringPrintf("chain %u does not exist", chain));
+  }
+  if (observations.empty()) {
+    return util::Status::InvalidArgument(
+        "an object needs at least one observation");
+  }
+  const uint32_t n = chains_[chain].num_states();
+  for (size_t i = 0; i < observations.size(); ++i) {
+    if (observations[i].pdf.size() != n) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "observation %zu pdf has dimension %u, chain has %u states", i,
+          observations[i].pdf.size(), n));
+    }
+    USTDB_RETURN_NOT_OK(observations[i].pdf.Normalize());
+    if (i > 0 && observations[i].time <= observations[i - 1].time) {
+      return util::Status::InvalidArgument(
+          "observations must have strictly increasing times");
+    }
+  }
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back({id, chain, std::move(observations)});
+  by_chain_[chain].push_back(id);
+  return id;
+}
+
+util::Result<ObjectId> Database::AddObjectAt(ChainId chain,
+                                             sparse::ProbVector initial_pdf,
+                                             Timestamp t) {
+  std::vector<Observation> obs;
+  obs.push_back({t, std::move(initial_pdf)});
+  return AddObject(chain, std::move(obs));
+}
+
+}  // namespace core
+}  // namespace ustdb

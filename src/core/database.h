@@ -1,0 +1,84 @@
+// Copyright 2026 the ustdb authors.
+//
+// Database — the set D of uncertain spatio-temporal objects. Each object
+// references a Markov chain (its motion model; Section V-C allows different
+// chains per object class) and carries one or more observations.
+
+#ifndef USTDB_CORE_DATABASE_H_
+#define USTDB_CORE_DATABASE_H_
+
+#include <vector>
+
+#include "core/multi_observation.h"
+#include "markov/markov_chain.h"
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief One uncertain moving object: a motion model reference plus its
+/// observation history (sorted by time; the first observation initializes
+/// query processing).
+struct UncertainObject {
+  ObjectId id = 0;
+  ChainId chain = 0;
+  std::vector<Observation> observations;
+
+  /// Convenience: the earliest observation's pdf (the P(o, 0) of Section V
+  /// when there is a single observation at t=0).
+  const sparse::ProbVector& initial_pdf() const {
+    return observations.front().pdf;
+  }
+
+  /// True when the object has exactly one observation (Section V setting).
+  bool single_observation() const { return observations.size() == 1; }
+};
+
+/// \brief In-memory database of uncertain objects and their motion models.
+///
+/// Objects referencing the same ChainId form a class (buses / trucks / cars
+/// in the paper's discussion); the query-based engine amortizes its backward
+/// pass across each class.
+class Database {
+ public:
+  Database() = default;
+
+  /// Registers a motion model; returns its ChainId.
+  ChainId AddChain(markov::MarkovChain chain);
+
+  /// \brief Adds an object. Observations must be sorted by strictly
+  /// increasing time, non-empty, with pdfs matching the chain's state count;
+  /// pdfs are normalized on insertion. Returns the new ObjectId.
+  util::Result<ObjectId> AddObject(ChainId chain,
+                                   std::vector<Observation> observations);
+
+  /// Shorthand for the common single-observation-at-t0 case.
+  util::Result<ObjectId> AddObjectAt(ChainId chain,
+                                     sparse::ProbVector initial_pdf,
+                                     Timestamp t = 0);
+
+  uint32_t num_objects() const {
+    return static_cast<uint32_t>(objects_.size());
+  }
+  uint32_t num_chains() const { return static_cast<uint32_t>(chains_.size()); }
+
+  const UncertainObject& object(ObjectId id) const { return objects_[id]; }
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+  const markov::MarkovChain& chain(ChainId id) const { return chains_[id]; }
+
+  /// Object ids grouped by chain, in insertion order.
+  const std::vector<std::vector<ObjectId>>& objects_by_chain() const {
+    return by_chain_;
+  }
+
+ private:
+  std::vector<markov::MarkovChain> chains_;
+  std::vector<UncertainObject> objects_;
+  std::vector<std::vector<ObjectId>> by_chain_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_DATABASE_H_

@@ -1,0 +1,35 @@
+#include "core/engine_cache.h"
+
+namespace ustdb {
+namespace core {
+
+const QueryBasedEngine* EngineCache::Get(const markov::MarkovChain* chain,
+                                         const QueryWindow& window) {
+  Key key{chain, window.region().elements(), window.times()};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    // Move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->engine.get();
+  }
+
+  ++stats_.misses;
+  if (lru_.size() >= capacity_) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(
+      Entry{key, std::make_unique<QueryBasedEngine>(chain, window)});
+  index_[std::move(key)] = lru_.begin();
+  return lru_.front().engine.get();
+}
+
+void EngineCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace core
+}  // namespace ustdb

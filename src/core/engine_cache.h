@@ -1,0 +1,83 @@
+// Copyright 2026 the ustdb authors.
+//
+// EngineCache — LRU cache of query-based engines keyed by (chain, window).
+// The QB plan front-loads its cost into one backward pass whose result is
+// reusable across every object *and every later identical query*; a
+// monitoring deployment (the paper's iceberg/traffic scenarios) re-issues
+// the same windows continuously, so caching the start vectors turns repeat
+// queries into pure dot products.
+
+#ifndef USTDB_CORE_ENGINE_CACHE_H_
+#define USTDB_CORE_ENGINE_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/query_based.h"
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+
+namespace ustdb {
+namespace core {
+
+/// Cache statistics.
+struct EngineCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// \brief LRU cache of QueryBasedEngine instances.
+///
+/// Keys are (chain pointer, region elements, time set); two windows with
+/// equal content share an entry regardless of how they were built.
+/// Not thread-safe; wrap externally or use one per thread.
+class EngineCache {
+ public:
+  /// \param capacity maximum number of cached engines (>= 1).
+  explicit EngineCache(size_t capacity = 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// \brief Returns the engine for (chain, window), building and caching
+  /// it on a miss. The pointer stays valid until the entry is evicted —
+  /// do not hold it across further Get() calls.
+  const QueryBasedEngine* Get(const markov::MarkovChain* chain,
+                              const QueryWindow& window);
+
+  size_t size() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  const EngineCacheStats& stats() const { return stats_; }
+
+  /// Drops every entry (e.g. after a chain is mutated/replaced).
+  void Clear();
+
+ private:
+  struct Key {
+    const markov::MarkovChain* chain;
+    std::vector<uint32_t> region;
+    std::vector<Timestamp> times;
+
+    bool operator<(const Key& other) const {
+      if (chain != other.chain) return chain < other.chain;
+      if (region != other.region) return region < other.region;
+      return times < other.times;
+    }
+  };
+
+  struct Entry {
+    Key key;
+    std::unique_ptr<QueryBasedEngine> engine;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  EngineCacheStats stats_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_ENGINE_CACHE_H_

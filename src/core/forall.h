@@ -1,0 +1,59 @@
+// Copyright 2026 the ustdb authors.
+//
+// PST∀Q — Section VII's for-all query, reduced to an exists query on the
+// complemented region:  P∀(o, S□, T□) = 1 − P∃(o, S \ S□, T□).
+// The paper notes the complement computation is usually *faster* because
+// more columns of M+ are zeroed; both engines inherit that for free.
+
+#ifndef USTDB_CORE_FORALL_H_
+#define USTDB_CORE_FORALL_H_
+
+#include "core/object_based.h"
+#include "core/query_based.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief Evaluates PST∀Q via the object-based engine.
+class ForAllObjectBased {
+ public:
+  /// \pre same contract as ObjectBasedEngine.
+  ForAllObjectBased(const markov::MarkovChain* chain, QueryWindow window,
+                    ObjectBasedOptions options = {})
+      : inner_(chain, window.WithComplementRegion(), options) {}
+
+  /// P∀(o, S□, T□) for an object observed (only) at t=0 with `initial`.
+  double ForAllProbability(const sparse::ProbVector& initial,
+                           ObRunStats* stats = nullptr) const {
+    return 1.0 - inner_.ExistsProbability(initial, stats);
+  }
+
+  /// The complemented-region exists engine doing the actual work.
+  const ObjectBasedEngine& inner() const { return inner_; }
+
+ private:
+  ObjectBasedEngine inner_;
+};
+
+/// \brief Evaluates PST∀Q via the query-based engine (one backward pass,
+/// then one dot product per object).
+class ForAllQueryBased {
+ public:
+  ForAllQueryBased(const markov::MarkovChain* chain, QueryWindow window,
+                   QueryBasedOptions options = {})
+      : inner_(chain, window.WithComplementRegion(), options) {}
+
+  double ForAllProbability(const sparse::ProbVector& initial) const {
+    return 1.0 - inner_.ExistsProbability(initial);
+  }
+
+  const QueryBasedEngine& inner() const { return inner_; }
+
+ private:
+  QueryBasedEngine inner_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_FORALL_H_

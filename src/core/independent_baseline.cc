@@ -1,0 +1,33 @@
+#include "core/independent_baseline.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+std::vector<double> IndependentBaseline::WindowMarginals(
+    const sparse::ProbVector& initial) const {
+  assert(initial.size() == chain_->num_states());
+  std::vector<double> out;
+  out.reserve(window_.num_times());
+
+  sparse::ProbVector v = initial;
+  sparse::VecMatWorkspace ws;
+  if (window_.ContainsTime(0)) out.push_back(v.MassIn(window_.region()));
+  const Timestamp t_end = window_.t_end();
+  for (Timestamp t = 1; t <= t_end; ++t) {
+    ws.Multiply(v, chain_->matrix(), &v);
+    if (window_.ContainsTime(t)) out.push_back(v.MassIn(window_.region()));
+  }
+  return out;
+}
+
+double IndependentBaseline::ExistsProbability(
+    const sparse::ProbVector& initial) const {
+  double miss = 1.0;
+  for (double m : WindowMarginals(initial)) miss *= (1.0 - m);
+  return 1.0 - miss;
+}
+
+}  // namespace core
+}  // namespace ustdb

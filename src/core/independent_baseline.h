@@ -1,0 +1,47 @@
+// Copyright 2026 the ustdb authors.
+//
+// IndependentBaseline — the model the paper argues *against*: treat the
+// object's location at each timestamp as an independent random variable
+// (the snapshot models of [8], [9], [16], [17], [19], [20]). Under that
+// assumption, P∃ = 1 − Π_{t∈T□} (1 − P(o(t) ∈ S□)), which over-counts
+// worlds that stay in the window for several timestamps and converges to 1
+// for long windows (Figure 1's discussion; quantified by Figure 9(d)).
+//
+// This engine exists to regenerate Figure 9(d): it is intentionally the
+// *wrong* semantics, implemented on the same substrate.
+
+#ifndef USTDB_CORE_INDEPENDENT_BASELINE_H_
+#define USTDB_CORE_INDEPENDENT_BASELINE_H_
+
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief PST∃Q under the (incorrect) temporal-independence assumption.
+class IndependentBaseline {
+ public:
+  /// \pre window.region().domain_size() == chain->num_states().
+  IndependentBaseline(const markov::MarkovChain* chain, QueryWindow window)
+      : chain_(chain), window_(std::move(window)) {}
+
+  /// \brief 1 − Π_{t∈T□} (1 − m_t), where m_t is the marginal window mass
+  /// of the object's distribution at time t (marginals still propagate
+  /// through the chain; only the *combination* ignores dependence).
+  double ExistsProbability(const sparse::ProbVector& initial) const;
+
+  /// \brief The per-timestamp marginals m_t themselves (Figure 1(b)'s
+  /// ingredients; exposed for the accuracy experiment).
+  std::vector<double> WindowMarginals(const sparse::ProbVector& initial) const;
+
+ private:
+  const markov::MarkovChain* chain_;
+  QueryWindow window_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_INDEPENDENT_BASELINE_H_

@@ -1,0 +1,97 @@
+#include "core/k_times.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+KTimesEngine::KTimesEngine(const markov::MarkovChain* chain,
+                           QueryWindow window, KTimesOptions options)
+    : chain_(chain), window_(std::move(window)), options_(options) {
+  assert(chain_ != nullptr);
+  assert(window_.region().domain_size() == chain_->num_states());
+}
+
+std::vector<double> KTimesEngine::Distribution(
+    const sparse::ProbVector& initial) const {
+  assert(initial.size() == chain_->num_states());
+  return options_.mode == MatrixMode::kExplicit ? RunExplicit(initial)
+                                                : RunImplicit(initial);
+}
+
+double KTimesEngine::Probability(const sparse::ProbVector& initial,
+                                 uint32_t k) const {
+  assert(k <= window_.num_times());
+  return Distribution(initial)[k];
+}
+
+std::vector<double> KTimesEngine::RunImplicit(
+    const sparse::ProbVector& initial) const {
+  const uint32_t levels = window_.num_times() + 1;  // k in {0..K}
+
+  // Row k of C holds the sub-distribution of worlds with exactly k window
+  // visits so far. Rows are adaptive sparse/dense vectors — early rows
+  // densify, high-k rows often stay nearly empty.
+  std::vector<sparse::ProbVector> rows(
+      levels, sparse::ProbVector::Zero(chain_->num_states()));
+  rows[0] = initial;
+
+  // Shift at t=0 if the window starts immediately.
+  auto shift = [&]() {
+    // new c_{k+1, s} += old c_{k, s} for s in region, top row cleared;
+    // extract all levels first so the update is order-independent.
+    std::vector<std::vector<std::pair<uint32_t, double>>> extracted(levels);
+    for (uint32_t k = 0; k < levels; ++k) {
+      extracted[k] = rows[k].ExtractEntriesIn(window_.region());
+    }
+    // Mass at level K stays at level K: a world can visit at most K = |T□|
+    // window timestamps, and level K only receives mass at the last one, so
+    // this branch only triggers for the final shift where it is a no-op for
+    // correctness (keeps the distribution summing to one).
+    for (uint32_t k = 0; k + 1 < levels; ++k) {
+      rows[k + 1].AddEntries(extracted[k]);
+    }
+    rows[levels - 1].AddEntries(extracted[levels - 1]);
+  };
+
+  if (window_.ContainsTime(0)) shift();
+
+  sparse::VecMatWorkspace ws;
+  const Timestamp t_end = window_.t_end();
+  for (Timestamp t = 1; t <= t_end; ++t) {
+    for (uint32_t k = 0; k < levels; ++k) {
+      if (rows[k].Support() == 0) continue;
+      ws.Multiply(rows[k], chain_->matrix(), &rows[k]);
+    }
+    if (window_.ContainsTime(t)) shift();
+  }
+
+  std::vector<double> out(levels, 0.0);
+  for (uint32_t k = 0; k < levels; ++k) out[k] = rows[k].Sum();
+  return out;
+}
+
+std::vector<double> KTimesEngine::RunExplicit(
+    const sparse::ProbVector& initial) const {
+  const uint32_t n = chain_->num_states();
+  const uint32_t K = window_.num_times();
+  const uint32_t levels = K + 1;
+
+  AugmentedMatrices aug =
+      BuildKTimesMatrices(*chain_, window_.region(), K);
+  sparse::ProbVector v = ExtendInitialKTimes(initial, window_, K);
+  sparse::VecMatWorkspace ws;
+  const Timestamp t_end = window_.t_end();
+  for (Timestamp t = 1; t <= t_end; ++t) {
+    const sparse::CsrMatrix& m =
+        window_.ContainsTime(t) ? aug.plus : aug.minus;
+    ws.Multiply(v, m, &v);
+  }
+
+  std::vector<double> out(levels, 0.0);
+  v.ForEachNonZero([&](uint32_t i, double x) { out[i / n] += x; });
+  return out;
+}
+
+}  // namespace core
+}  // namespace ustdb

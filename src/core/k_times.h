@@ -1,0 +1,64 @@
+// Copyright 2026 the ustdb authors.
+//
+// PSTkQ — Section VII's k-times query: the distribution over the number of
+// window timestamps at which the object is inside the query region.
+//
+// Two implementations:
+//  * kImplicit — the paper's memory-efficient algorithm: a (|T□|+1) × |S|
+//    matrix C(t) where c_{k,s} = P(currently at s, visited the window at
+//    exactly k times so far); each transition multiplies every row by M,
+//    and at window timestamps the region columns shift down one row.
+//  * kExplicit — the block-matrix construction over S × {0..|T□|}
+//    (BuildKTimesMatrices), memory cost |T□|+1 times M.
+// Both are tested for equality; bench_ablation_matrices compares them.
+
+#ifndef USTDB_CORE_K_TIMES_H_
+#define USTDB_CORE_K_TIMES_H_
+
+#include <vector>
+
+#include "core/absorbing.h"
+#include "core/object_based.h"
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace core {
+
+/// Tuning knobs for the k-times engine.
+struct KTimesOptions {
+  MatrixMode mode = MatrixMode::kImplicit;
+};
+
+/// \brief Evaluates PSTkQ for one chain and one window.
+class KTimesEngine {
+ public:
+  /// \pre window.region().domain_size() == chain->num_states(); `chain`
+  /// must outlive the engine.
+  KTimesEngine(const markov::MarkovChain* chain, QueryWindow window,
+               KTimesOptions options = {});
+
+  /// \brief Full distribution: element k (0 <= k <= |T□|) is the
+  /// probability that the object is inside S□ at exactly k timestamps of
+  /// T□. Sums to one.
+  std::vector<double> Distribution(const sparse::ProbVector& initial) const;
+
+  /// P(exactly k visits); k must be <= |T□|.
+  double Probability(const sparse::ProbVector& initial, uint32_t k) const;
+
+  const QueryWindow& window() const { return window_; }
+
+ private:
+  std::vector<double> RunImplicit(const sparse::ProbVector& initial) const;
+  std::vector<double> RunExplicit(const sparse::ProbVector& initial) const;
+
+  const markov::MarkovChain* chain_;
+  QueryWindow window_;
+  KTimesOptions options_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_K_TIMES_H_

@@ -1,0 +1,40 @@
+// Copyright 2026 the ustdb authors.
+//
+// Multi-threaded whole-database PST∃Q. The paper runs single-threaded
+// MATLAB; object-level parallelism is the obvious systems extension because
+// both plans are embarrassingly parallel across objects: OB runs each
+// object independently, and QB's shared backward vector is read-only after
+// construction. Results are bit-identical to the sequential engines
+// (tested) because the per-object computations do not interact.
+
+#ifndef USTDB_CORE_PARALLEL_PROCESSOR_H_
+#define USTDB_CORE_PARALLEL_PROCESSOR_H_
+
+#include <vector>
+
+#include "core/processor.h"
+#include "core/threshold.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// Options for the parallel evaluation.
+struct ParallelOptions {
+  Plan plan = Plan::kQueryBased;
+  /// 0 = one thread per hardware context.
+  unsigned num_threads = 0;
+};
+
+/// \brief PST∃Q over every object of `db`, parallelized across objects.
+/// Restrictions: all objects must be single-observation at t = 0 (the
+/// Section V setting the paper parallelizes trivially); multi-observation
+/// objects cause kUnimplemented — run them through QueryProcessor instead.
+util::Result<std::vector<ObjectProbability>> ParallelExists(
+    const Database& db, const QueryWindow& window,
+    const ParallelOptions& options = {});
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_PARALLEL_PROCESSOR_H_

@@ -1,0 +1,84 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryProcessor — the front door of the framework: evaluates the three
+// probabilistic spatio-temporal query types of Section III over a whole
+// Database, dispatching to the object-based or query-based plan and to the
+// multi-observation engine where an object's history requires it.
+
+#ifndef USTDB_CORE_PROCESSOR_H_
+#define USTDB_CORE_PROCESSOR_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/forall.h"
+#include "core/k_times.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "core/threshold.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// Which query evaluation plan to run.
+enum class Plan {
+  /// Forward per-object evaluation (Section V-A).
+  kObjectBased,
+  /// Backward per-chain evaluation, amortized over objects (Section V-B).
+  kQueryBased,
+};
+
+/// Options shared by all QueryProcessor entry points.
+struct ProcessorOptions {
+  Plan plan = Plan::kQueryBased;
+  MatrixMode matrix_mode = MatrixMode::kImplicit;
+};
+
+/// Distribution over visit counts for one object (PSTkQ answer).
+struct ObjectKTimes {
+  ObjectId id = 0;
+  /// Element k = P(object inside S□ at exactly k timestamps of T□).
+  std::vector<double> distribution;
+};
+
+/// \brief Stateless facade evaluating queries over a Database.
+///
+/// Thread-compatible: distinct QueryProcessor instances may run on distinct
+/// threads; a single instance must not be shared without synchronization.
+class QueryProcessor {
+ public:
+  /// \param db must outlive the processor.
+  explicit QueryProcessor(const Database* db) : db_(db) {}
+
+  /// \brief PST∃Q (Definition 2): for every object, the probability that it
+  /// intersects the window. Objects with multiple observations are routed
+  /// through the Section VI engine regardless of the chosen plan.
+  util::Result<std::vector<ObjectProbability>> Exists(
+      const QueryWindow& window, const ProcessorOptions& options = {}) const;
+
+  /// \brief PST∀Q (Definition 3): probability of remaining inside S□ at all
+  /// t ∈ T□, via the complement reduction of Section VII.
+  util::Result<std::vector<ObjectProbability>> ForAll(
+      const QueryWindow& window, const ProcessorOptions& options = {}) const;
+
+  /// \brief PSTkQ (Definition 4): full visit-count distribution per object.
+  /// Only defined for single-observation objects (the paper's setting);
+  /// fails with kUnimplemented if the database contains multi-observation
+  /// objects.
+  util::Result<std::vector<ObjectKTimes>> KTimes(
+      const QueryWindow& window, const ProcessorOptions& options = {}) const;
+
+  const Database& db() const { return *db_; }
+
+ private:
+  util::Result<std::vector<ObjectProbability>> ExistsImpl(
+      const QueryWindow& window, const ProcessorOptions& options) const;
+
+  const Database* db_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_PROCESSOR_H_

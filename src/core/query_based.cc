@@ -1,0 +1,87 @@
+#include "core/query_based.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+QueryBasedEngine::QueryBasedEngine(const markov::MarkovChain* chain,
+                                   QueryWindow window,
+                                   QueryBasedOptions options)
+    : chain_(chain), window_(std::move(window)), options_(options) {
+  assert(chain_ != nullptr);
+  assert(window_.region().domain_size() == chain_->num_states());
+  if (options_.mode == MatrixMode::kExplicit) {
+    RunBackwardExplicit();
+  } else {
+    RunBackwardImplicit();
+  }
+}
+
+void QueryBasedEngine::RunBackwardImplicit() {
+  const uint32_t n = chain_->num_states();
+  const sparse::CsrMatrix& mt = chain_->transposed();
+
+  // g(t)[s] = P(object at s at time t, not yet redirected, satisfies the
+  // query at some time >= t). Backward from t_end: g(t_end) = 0 everywhere
+  // — a world that has not been absorbed by the last window time never will
+  // be. Before each backward step from t to t-1, states in the region are
+  // clamped to 1 when t ∈ T□ (forward M+ would have redirected them).
+  sparse::ProbVector g = sparse::ProbVector::Zero(n);
+  sparse::VecMatWorkspace ws;
+
+  std::vector<std::pair<uint32_t, double>> region_ones;
+  region_ones.reserve(window_.region().size());
+
+  const Timestamp t_end = window_.t_end();
+  for (Timestamp t = t_end; t > 0; --t) {
+    if (window_.ContainsTime(t)) {
+      // Clamp region entries to exactly 1 (replace, not add).
+      g.ExtractMassIn(window_.region());
+      region_ones.clear();
+      for (uint32_t s : window_.region()) region_ones.emplace_back(s, 1.0);
+      g.AddEntries(region_ones);
+    }
+    ws.Multiply(g, mt, &g);
+    ++transitions_;
+  }
+  if (window_.ContainsTime(0)) {
+    g.ExtractMassIn(window_.region());
+    region_ones.clear();
+    for (uint32_t s : window_.region()) region_ones.emplace_back(s, 1.0);
+    g.AddEntries(region_ones);
+  }
+  start_vector_ = std::move(g);
+}
+
+void QueryBasedEngine::RunBackwardExplicit() {
+  const uint32_t n = chain_->num_states();
+  // Build M± and transpose them; the backward pass is then plain vec×mat.
+  AugmentedMatrices aug = BuildAbsorbingMatrices(*chain_, window_.region());
+  const sparse::CsrMatrix minus_t = aug.minus.Transposed();
+  const sparse::CsrMatrix plus_t = aug.plus.Transposed();
+
+  sparse::ProbVector p = sparse::ProbVector::Delta(n + 1, n);  // (0,...,0,1)
+  sparse::VecMatWorkspace ws;
+  const Timestamp t_end = window_.t_end();
+  for (Timestamp t = t_end; t > 0; --t) {
+    const sparse::CsrMatrix& m = window_.ContainsTime(t) ? plus_t : minus_t;
+    ws.Multiply(p, m, &p);
+    ++transitions_;
+  }
+  // p now holds, per augmented start state, the satisfaction probability.
+  // Project to the n real states, folding the 0 ∈ T□ case: starting inside
+  // the region at time 0 satisfies the query with probability 1.
+  std::vector<std::pair<uint32_t, double>> pairs;
+  for (uint32_t s = 0; s < n; ++s) {
+    double val = (window_.ContainsTime(0) && window_.region().Contains(s))
+                     ? 1.0
+                     : p.Get(s);
+    if (val != 0.0) pairs.emplace_back(s, val);
+  }
+  start_vector_ =
+      sparse::ProbVector::FromPairs(n, std::move(pairs)).ValueOrDie();
+}
+
+}  // namespace core
+}  // namespace ustdb

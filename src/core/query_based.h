@@ -1,0 +1,67 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryBasedEngine — Section V-B's reverse query processing: starting from
+// the query window, walk backward in time with the transposed matrices
+// (M±)ᵀ to obtain one vector v where v[s] is the probability that an object
+// *starting at state s* satisfies the query. Every object is then answered
+// with a single sparse dot product P∃(o) = P(o,0) · v, which amortizes the
+// backward pass over the whole database: O(|D| + |S_reach|²·δt).
+
+#ifndef USTDB_CORE_QUERY_BASED_H_
+#define USTDB_CORE_QUERY_BASED_H_
+
+#include "core/absorbing.h"
+#include "core/object_based.h"
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace core {
+
+/// Tuning knobs for the query-based engine.
+struct QueryBasedOptions {
+  MatrixMode mode = MatrixMode::kImplicit;
+};
+
+/// \brief Evaluates PST∃Q for one chain and one window with a single
+/// backward pass shared by all objects that follow this chain.
+class QueryBasedEngine {
+ public:
+  /// Performs the backward pass immediately.
+  /// \pre window.region().domain_size() == chain->num_states(); `chain`
+  /// must outlive the engine.
+  QueryBasedEngine(const markov::MarkovChain* chain, QueryWindow window,
+                   QueryBasedOptions options = {});
+
+  /// \brief The per-start-state satisfaction vector v at t=0: v[s] =
+  /// probability that an object located at s at time 0 (with certainty)
+  /// intersects the window. Already accounts for 0 ∈ T□.
+  const sparse::ProbVector& start_vector() const { return start_vector_; }
+
+  /// \brief P∃(o, S□, T□) = P(o,0) · v — O(support of P(o,0)).
+  double ExistsProbability(const sparse::ProbVector& initial) const {
+    return initial.Dot(start_vector_);
+  }
+
+  /// Number of backward transitions executed (== t_end).
+  uint32_t transitions() const { return transitions_; }
+
+  const QueryWindow& window() const { return window_; }
+  const markov::MarkovChain& chain() const { return *chain_; }
+
+ private:
+  void RunBackwardImplicit();
+  void RunBackwardExplicit();
+
+  const markov::MarkovChain* chain_;
+  QueryWindow window_;
+  QueryBasedOptions options_;
+  sparse::ProbVector start_vector_;
+  uint32_t transitions_ = 0;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_QUERY_BASED_H_

@@ -1,0 +1,48 @@
+#include "core/query_window.h"
+
+#include <algorithm>
+
+namespace ustdb {
+namespace core {
+
+QueryWindow::QueryWindow(sparse::IndexSet region, std::vector<Timestamp> times)
+    : region_(std::move(region)), times_(std::move(times)) {
+  time_bitmap_.assign(times_.back() + 1, 0);
+  for (Timestamp t : times_) time_bitmap_[t] = 1;
+}
+
+util::Result<QueryWindow> QueryWindow::Create(sparse::IndexSet region,
+                                              std::vector<Timestamp> times) {
+  if (times.empty()) {
+    return util::Status::InvalidArgument("query window has no timestamps");
+  }
+  if (region.empty()) {
+    return util::Status::InvalidArgument("query window has an empty region");
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return QueryWindow(std::move(region), std::move(times));
+}
+
+util::Result<QueryWindow> QueryWindow::FromRanges(uint32_t num_states,
+                                                  StateIndex s_lo,
+                                                  StateIndex s_hi,
+                                                  Timestamp t_lo,
+                                                  Timestamp t_hi) {
+  USTDB_ASSIGN_OR_RETURN(sparse::IndexSet region,
+                         sparse::IndexSet::FromRange(num_states, s_lo, s_hi));
+  if (t_lo > t_hi) {
+    return util::Status::InvalidArgument("query time range is inverted");
+  }
+  std::vector<Timestamp> times(t_hi - t_lo + 1);
+  for (Timestamp t = t_lo; t <= t_hi; ++t) times[t - t_lo] = t;
+  return Create(std::move(region), std::move(times));
+}
+
+QueryWindow QueryWindow::WithComplementRegion() const {
+  QueryWindow w(region_.Complement(), times_);
+  return w;
+}
+
+}  // namespace core
+}  // namespace ustdb

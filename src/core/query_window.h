@@ -1,0 +1,74 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryWindow — the spatio-temporal query range Q□ = S□ × T□ of Section III:
+// a set of states (not necessarily connected) and a set of timestamps (not
+// necessarily consecutive).
+
+#ifndef USTDB_CORE_QUERY_WINDOW_H_
+#define USTDB_CORE_QUERY_WINDOW_H_
+
+#include <vector>
+
+#include "sparse/index_set.h"
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief Immutable query range Q□ = S□ × T□.
+///
+/// The paper's experiments use contiguous ranges (states [100,120], times
+/// [20,25]) but every engine in ustdb accepts arbitrary subsets of both
+/// domains, as Section III promises.
+class QueryWindow {
+ public:
+  QueryWindow() = default;
+
+  /// \brief Builds from an explicit region and time set.
+  /// Fails if `times` is empty or `region` is empty.
+  static util::Result<QueryWindow> Create(sparse::IndexSet region,
+                                          std::vector<Timestamp> times);
+
+  /// \brief Contiguous window: states [s_lo, s_hi] × times [t_lo, t_hi]
+  /// (both inclusive), over a state domain of size `num_states`.
+  static util::Result<QueryWindow> FromRanges(uint32_t num_states,
+                                              StateIndex s_lo, StateIndex s_hi,
+                                              Timestamp t_lo, Timestamp t_hi);
+
+  /// The query region S□.
+  const sparse::IndexSet& region() const { return region_; }
+
+  /// The query times T□, ascending and unique.
+  const std::vector<Timestamp>& times() const { return times_; }
+
+  /// O(1) membership test for t ∈ T□.
+  bool ContainsTime(Timestamp t) const {
+    return t < time_bitmap_.size() && time_bitmap_[t] != 0;
+  }
+
+  /// max(T□) — the last timestamp any engine must reach.
+  Timestamp t_end() const { return times_.back(); }
+
+  /// min(T□).
+  Timestamp t_begin() const { return times_.front(); }
+
+  /// |T□| — number of query timestamps (the K of PSTkQ).
+  uint32_t num_times() const { return static_cast<uint32_t>(times_.size()); }
+
+  /// \brief Same times, complemented region (S \ S□) — the reduction PST∀Q
+  /// uses: P∀(S□, T□) = 1 − P∃(S\S□, T□).
+  QueryWindow WithComplementRegion() const;
+
+ private:
+  QueryWindow(sparse::IndexSet region, std::vector<Timestamp> times);
+
+  sparse::IndexSet region_;
+  std::vector<Timestamp> times_;
+  std::vector<uint8_t> time_bitmap_;  // size t_end()+1
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_QUERY_WINDOW_H_

@@ -1,0 +1,76 @@
+// Copyright 2026 the ustdb authors.
+//
+// Trajectory inference between observations. The paper's introduction
+// motivates the model with exactly this task: "for timestamps where
+// locations are not sampled, we have to infer the whereabouts of the
+// object" — interpolation when observations bracket the timestamp,
+// extrapolation beyond the last one. This module provides the two classic
+// inference primitives on the paper's Markov model:
+//
+//  * SmoothedMarginals — forward–backward: the posterior location
+//    distribution P(o(t) = s | all observations) for every t in the
+//    requested horizon (Lemma 1 is the special case of conditioning at a
+//    single timestamp).
+//  * MostLikelyTrajectory — Viterbi: the single most probable possible
+//    world consistent with all observations, with its probability.
+//
+// Both are validated against exhaustive possible-worlds enumeration.
+
+#ifndef USTDB_CORE_SMOOTHING_H_
+#define USTDB_CORE_SMOOTHING_H_
+
+#include <vector>
+
+#include "core/multi_observation.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// Posterior marginals of one object over a time horizon.
+struct SmoothingResult {
+  /// First timestamp of the horizon (== time of the first observation).
+  Timestamp t_start = 0;
+  /// marginals[i] = P(o(t_start + i) = · | observations), normalized.
+  std::vector<sparse::ProbVector> marginals;
+};
+
+/// \brief Forward–backward smoothing.
+///
+/// \param observations sorted by strictly increasing time; the first
+///        observation anchors the horizon start. Same validation rules as
+///        MultiObservationEngine.
+/// \param t_horizon last timestamp of interest; must be >= the first
+///        observation time. Observations beyond t_horizon still condition
+///        the result (their information flows backward).
+/// Fails with kInconsistent when the observations admit no possible world.
+util::Result<SmoothingResult> SmoothedMarginals(
+    const markov::MarkovChain& chain,
+    const std::vector<Observation>& observations, Timestamp t_horizon);
+
+/// One most-probable possible world.
+struct ViterbiResult {
+  Timestamp t_start = 0;
+  /// States at t_start, t_start+1, ..., max(t_horizon, last observation
+  /// time) — the decode always extends through the final observation since
+  /// later evidence changes the maximizing prefix.
+  std::vector<StateIndex> path;
+  /// Posterior probability of this world given the observations
+  /// (prior path probability times observation likelihoods, normalized by
+  /// the total surviving mass).
+  double posterior_probability = 0.0;
+};
+
+/// \brief Viterbi decoding: the most probable trajectory from the first
+/// observation time through t_horizon, conditioned on all observations
+/// (max-product in log space; ties resolved toward the smaller state id).
+util::Result<ViterbiResult> MostLikelyTrajectory(
+    const markov::MarkovChain& chain,
+    const std::vector<Observation>& observations, Timestamp t_horizon);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_SMOOTHING_H_

@@ -1,0 +1,181 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/multi_observation.h"
+
+namespace ustdb {
+namespace core {
+
+namespace {
+
+/// Exact P∃ for one object, choosing the right engine for its observation
+/// count / first-observation time.
+util::Result<double> ExactExists(const Database& db,
+                                 const UncertainObject& obj,
+                                 const QueryWindow& window,
+                                 std::map<ChainId, QueryBasedEngine>* qb_cache) {
+  if (obj.single_observation() && obj.observations.front().time == 0) {
+    auto it = qb_cache->find(obj.chain);
+    if (it == qb_cache->end()) {
+      it = qb_cache
+               ->emplace(std::piecewise_construct,
+                         std::forward_as_tuple(obj.chain),
+                         std::forward_as_tuple(&db.chain(obj.chain), window))
+               .first;
+    }
+    return it->second.ExistsProbability(obj.initial_pdf());
+  }
+  MultiObservationEngine engine(&db.chain(obj.chain), window);
+  USTDB_ASSIGN_OR_RETURN(MultiObsResult r, engine.Evaluate(obj.observations));
+  return r.exists_probability;
+}
+
+}  // namespace
+
+util::Result<std::vector<ObjectProbability>> ThresholdExistsQueryBased(
+    const Database& db, const QueryWindow& window, double tau) {
+  std::vector<ObjectProbability> out;
+  std::map<ChainId, QueryBasedEngine> qb_cache;
+  for (const UncertainObject& obj : db.objects()) {
+    USTDB_ASSIGN_OR_RETURN(double p,
+                           ExactExists(db, obj, window, &qb_cache));
+    if (p >= tau) out.push_back({obj.id, p});
+  }
+  return out;
+}
+
+util::Result<std::vector<ObjectProbability>> ThresholdExistsObjectBased(
+    const Database& db, const QueryWindow& window, double tau,
+    PruneStats* stats) {
+  std::vector<ObjectProbability> out;
+  std::map<ChainId, ObjectBasedEngine> ob_cache;
+  std::map<ChainId, QueryBasedEngine> qb_cache;
+  for (const UncertainObject& obj : db.objects()) {
+    if (!obj.single_observation() || obj.observations.front().time != 0) {
+      USTDB_ASSIGN_OR_RETURN(double p,
+                             ExactExists(db, obj, window, &qb_cache));
+      if (p >= tau) out.push_back({obj.id, p});
+      continue;
+    }
+    auto it = ob_cache.find(obj.chain);
+    if (it == ob_cache.end()) {
+      it = ob_cache
+               .emplace(std::piecewise_construct,
+                        std::forward_as_tuple(obj.chain),
+                        std::forward_as_tuple(&db.chain(obj.chain), window,
+                                              ObjectBasedOptions{}))
+               .first;
+    }
+    ObRunStats run;
+    const ThresholdDecision d =
+        it->second.ExistsDecision(obj.initial_pdf(), tau, &run);
+    if (stats != nullptr && run.early_terminated) {
+      ++stats->objects_decided_early;
+    }
+    if (d == ThresholdDecision::kYes) {
+      // The decision run stops at τ; re-run for the exact probability.
+      out.push_back({obj.id, it->second.ExistsProbability(obj.initial_pdf())});
+    }
+  }
+  return out;
+}
+
+util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
+    const Database& db, const QueryWindow& window, double tau,
+    uint32_t num_clusters, PruneStats* stats) {
+  if (num_clusters == 0) {
+    return util::Status::InvalidArgument("need at least one cluster");
+  }
+  // Interval bounds assume a contiguous time range; fall back otherwise.
+  const bool contiguous =
+      window.t_end() - window.t_begin() + 1 == window.num_times();
+  if (!contiguous) {
+    return ThresholdExistsQueryBased(db, window, tau);
+  }
+
+  // Chunk chains contiguously into clusters (chains created together tend
+  // to be variations of the same model in our workloads).
+  const uint32_t num_chains = db.num_chains();
+  num_clusters = std::min(num_clusters, num_chains);
+  std::vector<std::vector<ChainId>> clusters(num_clusters);
+  for (ChainId c = 0; c < num_chains; ++c) {
+    clusters[c % num_clusters].push_back(c);
+  }
+  if (stats != nullptr) stats->clusters_total = num_clusters;
+
+  std::vector<ObjectProbability> out;
+  std::map<ChainId, QueryBasedEngine> qb_cache;
+  for (const std::vector<ChainId>& cluster : clusters) {
+    std::vector<const markov::MarkovChain*> members;
+    for (ChainId c : cluster) members.push_back(&db.chain(c));
+    if (members.empty()) continue;
+    USTDB_ASSIGN_OR_RETURN(markov::IntervalMarkovChain env,
+                           markov::IntervalMarkovChain::FromChains(members));
+    const std::vector<markov::ProbBound> bounds =
+        env.BoundExists(window.region(), window.t_begin(), window.t_end());
+
+    bool all_decided = true;
+    for (ChainId c : cluster) {
+      for (ObjectId id : db.objects_by_chain()[c]) {
+        const UncertainObject& obj = db.object(id);
+        bool needs_refine = true;
+        if (obj.single_observation() && obj.observations.front().time == 0) {
+          double lo = 0.0;
+          double hi = 0.0;
+          obj.initial_pdf().ForEachNonZero([&](uint32_t s, double p) {
+            lo += p * bounds[s].lo;
+            hi += p * bounds[s].hi;
+          });
+          if (hi < tau) {
+            needs_refine = false;  // true drop, no output
+          } else if (lo >= tau) {
+            // Qualifies for sure; still needs its exact probability.
+            USTDB_ASSIGN_OR_RETURN(double p,
+                                   ExactExists(db, obj, window, &qb_cache));
+            out.push_back({obj.id, p});
+            needs_refine = false;
+          }
+        }
+        if (needs_refine) {
+          all_decided = false;
+          if (stats != nullptr) ++stats->objects_refined;
+          USTDB_ASSIGN_OR_RETURN(double p,
+                                 ExactExists(db, obj, window, &qb_cache));
+          if (p >= tau) out.push_back({obj.id, p});
+        }
+      }
+    }
+    if (stats != nullptr && all_decided) ++stats->clusters_pruned;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectProbability& a, const ObjectProbability& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+util::Result<std::vector<ObjectProbability>> TopKExists(
+    const Database& db, const QueryWindow& window, uint32_t k) {
+  std::vector<ObjectProbability> all;
+  all.reserve(db.num_objects());
+  std::map<ChainId, QueryBasedEngine> qb_cache;
+  for (const UncertainObject& obj : db.objects()) {
+    USTDB_ASSIGN_OR_RETURN(double p, ExactExists(db, obj, window, &qb_cache));
+    all.push_back({obj.id, p});
+  }
+  const uint32_t take = std::min<uint32_t>(k, db.num_objects());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const ObjectProbability& a, const ObjectProbability& b) {
+                      if (a.probability != b.probability) {
+                        return a.probability > b.probability;
+                      }
+                      return a.id < b.id;
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,71 @@
+// Copyright 2026 the ustdb authors.
+//
+// Threshold and top-k PST∃Q over a whole database, with the pruning layers
+// the paper describes: query-based amortization per chain class, early
+// terminated object-based refinement, and interval-Markov-chain cluster
+// pruning for databases with many distinct chains (Section V-C).
+
+#ifndef USTDB_CORE_THRESHOLD_H_
+#define USTDB_CORE_THRESHOLD_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "core/query_window.h"
+#include "markov/interval_chain.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// Per-object query answer.
+struct ObjectProbability {
+  ObjectId id = 0;
+  double probability = 0.0;
+
+  bool operator==(const ObjectProbability&) const = default;
+};
+
+/// Statistics describing how much work pruning avoided.
+struct PruneStats {
+  uint32_t clusters_total = 0;
+  uint32_t clusters_pruned = 0;   ///< decided wholesale by interval bounds
+  uint32_t objects_refined = 0;   ///< needed an individual evaluation
+  uint32_t objects_decided_early = 0;  ///< OB runs cut short by τ-decision
+};
+
+/// \brief Returns the ids of all single-observation objects with
+/// P∃(o, S□, T□) >= tau, ascending by id.
+///
+/// Strategy: one query-based backward pass per chain class, then one dot
+/// product per object — the paper's preferred plan when classes are few.
+util::Result<std::vector<ObjectProbability>> ThresholdExistsQueryBased(
+    const Database& db, const QueryWindow& window, double tau);
+
+/// \brief Same result via per-object object-based evaluation with early
+/// τ-termination (true hit / true drop cuts), the plan of choice when every
+/// object follows its own chain. `stats` (optional) reports early stops.
+util::Result<std::vector<ObjectProbability>> ThresholdExistsObjectBased(
+    const Database& db, const QueryWindow& window, double tau,
+    PruneStats* stats = nullptr);
+
+/// \brief Section V-C cluster pruning: groups chains into `num_clusters`
+/// clusters (round-robin over similarity order), bounds every cluster with
+/// an IntervalMarkovChain, decides whole clusters whose [lo, hi] bound does
+/// not straddle tau, and refines the rest object-by-object.
+/// Requires a contiguous window time range (uses [t_begin, t_end]).
+util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
+    const Database& db, const QueryWindow& window, double tau,
+    uint32_t num_clusters, PruneStats* stats = nullptr);
+
+/// \brief The k objects with the highest P∃ (ties broken by id), descending
+/// probability. Uses the query-based plan.
+util::Result<std::vector<ObjectProbability>> TopKExists(
+    const Database& db, const QueryWindow& window, uint32_t k);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_THRESHOLD_H_

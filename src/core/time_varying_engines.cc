@@ -1,0 +1,97 @@
+#include "core/time_varying_engines.h"
+
+#include <cassert>
+
+namespace ustdb {
+namespace core {
+
+double TimeVaryingExistsForward(const markov::TimeVaryingChain& chain,
+                                const QueryWindow& window,
+                                const sparse::ProbVector& initial) {
+  assert(initial.size() == chain.num_states());
+  assert(window.region().domain_size() == chain.num_states());
+
+  sparse::ProbVector v = initial;
+  sparse::VecMatWorkspace ws;
+  double hit = 0.0;
+  if (window.ContainsTime(0)) hit += v.ExtractMassIn(window.region());
+  const Timestamp t_end = window.t_end();
+  for (Timestamp t = 1; t <= t_end; ++t) {
+    // The transition from t-1 to t is governed by phase (t-1).
+    ws.Multiply(v, chain.PhaseAt(t - 1).matrix(), &v);
+    if (window.ContainsTime(t)) hit += v.ExtractMassIn(window.region());
+  }
+  return hit;
+}
+
+sparse::ProbVector TimeVaryingExistsStartVector(
+    const markov::TimeVaryingChain& chain, const QueryWindow& window) {
+  assert(window.region().domain_size() == chain.num_states());
+  const uint32_t n = chain.num_states();
+
+  sparse::ProbVector g = sparse::ProbVector::Zero(n);
+  sparse::VecMatWorkspace ws;
+  std::vector<std::pair<uint32_t, double>> region_ones;
+  region_ones.reserve(window.region().size());
+  auto clamp_region = [&]() {
+    g.ExtractMassIn(window.region());
+    region_ones.clear();
+    for (uint32_t s : window.region()) region_ones.emplace_back(s, 1.0);
+    g.AddEntries(region_ones);
+  };
+
+  const Timestamp t_end = window.t_end();
+  for (Timestamp t = t_end; t > 0; --t) {
+    if (window.ContainsTime(t)) clamp_region();
+    // Stepping back from t to t-1 inverts phase (t-1).
+    ws.Multiply(g, chain.PhaseAt(t - 1).transposed(), &g);
+  }
+  if (window.ContainsTime(0)) clamp_region();
+  return g;
+}
+
+double TimeVaryingForAll(const markov::TimeVaryingChain& chain,
+                         const QueryWindow& window,
+                         const sparse::ProbVector& initial) {
+  return 1.0 - TimeVaryingExistsForward(chain, window.WithComplementRegion(),
+                                        initial);
+}
+
+std::vector<double> TimeVaryingKTimes(const markov::TimeVaryingChain& chain,
+                                      const QueryWindow& window,
+                                      const sparse::ProbVector& initial) {
+  assert(initial.size() == chain.num_states());
+  const uint32_t levels = window.num_times() + 1;
+  std::vector<sparse::ProbVector> rows(
+      levels, sparse::ProbVector::Zero(chain.num_states()));
+  rows[0] = initial;
+
+  auto shift = [&]() {
+    std::vector<std::vector<std::pair<uint32_t, double>>> extracted(levels);
+    for (uint32_t k = 0; k < levels; ++k) {
+      extracted[k] = rows[k].ExtractEntriesIn(window.region());
+    }
+    for (uint32_t k = 0; k + 1 < levels; ++k) {
+      rows[k + 1].AddEntries(extracted[k]);
+    }
+    rows[levels - 1].AddEntries(extracted[levels - 1]);
+  };
+
+  if (window.ContainsTime(0)) shift();
+  sparse::VecMatWorkspace ws;
+  const Timestamp t_end = window.t_end();
+  for (Timestamp t = 1; t <= t_end; ++t) {
+    for (uint32_t k = 0; k < levels; ++k) {
+      if (rows[k].Support() == 0) continue;
+      ws.Multiply(rows[k], chain.PhaseAt(t - 1).matrix(), &rows[k]);
+    }
+    if (window.ContainsTime(t)) shift();
+  }
+
+  std::vector<double> out(levels, 0.0);
+  for (uint32_t k = 0; k < levels; ++k) out[k] = rows[k].Sum();
+  return out;
+}
+
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,50 @@
+// Copyright 2026 the ustdb authors.
+//
+// PST∃Q / PST∀Q / PSTkQ over inhomogeneous (time-varying) Markov chains —
+// the generalization the paper's Definition 5 permits but its engines do
+// not exercise. Forward (object-based) processing folds window mass after
+// each phase-specific transition; backward (query-based) processing walks
+// the transposed phase matrices in reverse schedule order. With a period-1
+// chain every function reduces exactly to the homogeneous engines (tested).
+
+#ifndef USTDB_CORE_TIME_VARYING_ENGINES_H_
+#define USTDB_CORE_TIME_VARYING_ENGINES_H_
+
+#include <vector>
+
+#include "core/query_window.h"
+#include "markov/time_varying_chain.h"
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace core {
+
+/// \brief Forward (object-based) PST∃Q on a time-varying chain.
+/// \pre initial.size() == chain.num_states() == window region domain.
+double TimeVaryingExistsForward(const markov::TimeVaryingChain& chain,
+                                const QueryWindow& window,
+                                const sparse::ProbVector& initial);
+
+/// \brief Backward (query-based) PST∃Q start vector at t = 0: entry s is
+/// the probability that an object starting at s satisfies the query. The
+/// vector serves every object of the chain, as in Section V-B; note that
+/// unlike the homogeneous case it is specific to the window's *absolute*
+/// times (the schedule phase matters).
+sparse::ProbVector TimeVaryingExistsStartVector(
+    const markov::TimeVaryingChain& chain, const QueryWindow& window);
+
+/// \brief PST∀Q on a time-varying chain (complement reduction).
+double TimeVaryingForAll(const markov::TimeVaryingChain& chain,
+                         const QueryWindow& window,
+                         const sparse::ProbVector& initial);
+
+/// \brief PSTkQ distribution (size |T□|+1) on a time-varying chain, via
+/// the C(t) shift algorithm of Section VII.
+std::vector<double> TimeVaryingKTimes(const markov::TimeVaryingChain& chain,
+                                      const QueryWindow& window,
+                                      const sparse::ProbVector& initial);
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_TIME_VARYING_ENGINES_H_

@@ -1,0 +1,214 @@
+#include "exact/possible_worlds.h"
+
+#include "util/compensated_sum.h"
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace exact {
+
+namespace {
+
+/// Depth-first expansion of the trajectory tree.
+util::Status Expand(const markov::MarkovChain& chain, Timestamp horizon,
+                    uint64_t max_worlds, std::vector<StateIndex>* path,
+                    double prob, std::vector<World>* out) {
+  if (path->size() == static_cast<size_t>(horizon) + 1) {
+    if (out->size() >= max_worlds) {
+      return util::Status::OutOfRange(util::StringPrintf(
+          "more than %llu possible worlds",
+          static_cast<unsigned long long>(max_worlds)));
+    }
+    out->push_back({*path, prob});
+    return util::Status::OK();
+  }
+  const StateIndex s = path->back();
+  auto idx = chain.matrix().RowIndices(s);
+  auto val = chain.matrix().RowValues(s);
+  for (size_t k = 0; k < idx.size(); ++k) {
+    path->push_back(idx[k]);
+    USTDB_RETURN_NOT_OK(
+        Expand(chain, horizon, max_worlds, path, prob * val[k], out));
+    path->pop_back();
+  }
+  return util::Status::OK();
+}
+
+/// Number of window timestamps at which `path` is inside the region.
+uint32_t Visits(const World& w, const core::QueryWindow& window) {
+  uint32_t visits = 0;
+  for (Timestamp t : window.times()) {
+    if (window.region().Contains(w.path[t])) ++visits;
+  }
+  return visits;
+}
+
+}  // namespace
+
+util::Result<std::vector<World>> EnumerateWorlds(
+    const markov::MarkovChain& chain, const sparse::ProbVector& initial,
+    Timestamp horizon, uint64_t max_worlds) {
+  std::vector<World> out;
+  util::Status status = util::Status::OK();
+  initial.ForEachNonZero([&](uint32_t s, double p) {
+    if (!status.ok()) return;
+    std::vector<StateIndex> path = {s};
+    status = Expand(chain, horizon, max_worlds, &path, p, &out);
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+util::Result<double> ExistsByEnumeration(const markov::MarkovChain& chain,
+                                         const sparse::ProbVector& initial,
+                                         const core::QueryWindow& window,
+                                         uint64_t max_worlds) {
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<World> worlds,
+      EnumerateWorlds(chain, initial, window.t_end(), max_worlds));
+  util::CompensatedSum acc;
+  for (const World& w : worlds) {
+    if (Visits(w, window) > 0) acc.Add(w.probability);
+  }
+  return acc.Total();
+}
+
+util::Result<double> ForAllByEnumeration(const markov::MarkovChain& chain,
+                                         const sparse::ProbVector& initial,
+                                         const core::QueryWindow& window,
+                                         uint64_t max_worlds) {
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<World> worlds,
+      EnumerateWorlds(chain, initial, window.t_end(), max_worlds));
+  util::CompensatedSum acc;
+  for (const World& w : worlds) {
+    if (Visits(w, window) == window.num_times()) acc.Add(w.probability);
+  }
+  return acc.Total();
+}
+
+util::Result<std::vector<double>> KTimesByEnumeration(
+    const markov::MarkovChain& chain, const sparse::ProbVector& initial,
+    const core::QueryWindow& window, uint64_t max_worlds) {
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<World> worlds,
+      EnumerateWorlds(chain, initial, window.t_end(), max_worlds));
+  std::vector<util::CompensatedSum> acc(window.num_times() + 1);
+  for (const World& w : worlds) {
+    acc[Visits(w, window)].Add(w.probability);
+  }
+  std::vector<double> out(acc.size());
+  for (size_t k = 0; k < acc.size(); ++k) out[k] = acc[k].Total();
+  return out;
+}
+
+util::Result<double> MultiObsExistsByEnumeration(
+    const markov::MarkovChain& chain,
+    const std::vector<core::Observation>& observations,
+    const core::QueryWindow& window, uint64_t max_worlds) {
+  if (observations.empty()) {
+    return util::Status::InvalidArgument("at least one observation required");
+  }
+  // Worlds start at the first observation time; enumerate up to the later
+  // of the window end and the last observation.
+  const Timestamp t_start = observations.front().time;
+  const Timestamp t_stop =
+      std::max(window.t_end(), observations.back().time);
+  if (t_start > window.t_begin()) {
+    return util::Status::Unimplemented(
+        "query timestamps before the first observation are not supported");
+  }
+  sparse::ProbVector first = observations.front().pdf;
+  USTDB_RETURN_NOT_OK(first.Normalize());
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<World> worlds,
+      EnumerateWorlds(chain, first, t_stop - t_start, max_worlds));
+
+  util::CompensatedSum hit;    // P(B)
+  util::CompensatedSum total;  // P(B) + P(C)
+  for (const World& w : worlds) {
+    // Weight the world by the likelihood of the remaining observations
+    // (path index is time - t_start).
+    double weight = w.probability;
+    for (size_t i = 1; i < observations.size(); ++i) {
+      weight *=
+          observations[i].pdf.Get(w.path[observations[i].time - t_start]);
+    }
+    if (weight == 0.0) continue;  // class A: impossible world
+    bool intersects = false;
+    for (Timestamp t : window.times()) {
+      if (window.region().Contains(w.path[t - t_start])) {
+        intersects = true;
+        break;
+      }
+    }
+    total.Add(weight);
+    if (intersects) hit.Add(weight);
+  }
+  if (total.Total() <= 0.0) {
+    return util::Status::Inconsistent(
+        "no possible world survives the observations");
+  }
+  return hit.Total() / total.Total();
+}
+
+namespace {
+
+util::Status ExpandTimeVarying(const markov::TimeVaryingChain& chain,
+                               Timestamp horizon, uint64_t max_worlds,
+                               std::vector<StateIndex>* path, double prob,
+                               std::vector<World>* out) {
+  if (path->size() == static_cast<size_t>(horizon) + 1) {
+    if (out->size() >= max_worlds) {
+      return util::Status::OutOfRange(util::StringPrintf(
+          "more than %llu possible worlds",
+          static_cast<unsigned long long>(max_worlds)));
+    }
+    out->push_back({*path, prob});
+    return util::Status::OK();
+  }
+  const Timestamp t = static_cast<Timestamp>(path->size() - 1);
+  const sparse::CsrMatrix& m = chain.PhaseAt(t).matrix();
+  const StateIndex s = path->back();
+  auto idx = m.RowIndices(s);
+  auto val = m.RowValues(s);
+  for (size_t k = 0; k < idx.size(); ++k) {
+    path->push_back(idx[k]);
+    USTDB_RETURN_NOT_OK(ExpandTimeVarying(chain, horizon, max_worlds, path,
+                                          prob * val[k], out));
+    path->pop_back();
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<std::vector<World>> EnumerateWorldsTimeVarying(
+    const markov::TimeVaryingChain& chain, const sparse::ProbVector& initial,
+    Timestamp horizon, uint64_t max_worlds) {
+  std::vector<World> out;
+  util::Status status = util::Status::OK();
+  initial.ForEachNonZero([&](uint32_t s, double p) {
+    if (!status.ok()) return;
+    std::vector<StateIndex> path = {s};
+    status =
+        ExpandTimeVarying(chain, horizon, max_worlds, &path, p, &out);
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+util::Result<double> TimeVaryingExistsByEnumeration(
+    const markov::TimeVaryingChain& chain, const sparse::ProbVector& initial,
+    const core::QueryWindow& window, uint64_t max_worlds) {
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<World> worlds,
+      EnumerateWorldsTimeVarying(chain, initial, window.t_end(), max_worlds));
+  util::CompensatedSum acc;
+  for (const World& w : worlds) {
+    if (Visits(w, window) > 0) acc.Add(w.probability);
+  }
+  return acc.Total();
+}
+
+}  // namespace exact
+}  // namespace ustdb

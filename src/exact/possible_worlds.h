@@ -1,0 +1,78 @@
+// Copyright 2026 the ustdb authors.
+//
+// Exhaustive possible-worlds evaluation — the test oracle. The paper notes
+// the number of possible worlds is O(|S|^T), so this is only feasible for
+// tiny models; every query engine in ustdb is validated against it on such
+// models (the matrix framework must return exactly the fraction of possible
+// worlds satisfying the predicate).
+
+#ifndef USTDB_EXACT_POSSIBLE_WORLDS_H_
+#define USTDB_EXACT_POSSIBLE_WORLDS_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/multi_observation.h"
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "markov/time_varying_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace exact {
+
+/// One possible world: a concrete trajectory and its probability.
+struct World {
+  std::vector<StateIndex> path;  ///< states at t = 0, 1, ..., horizon
+  double probability = 0.0;
+};
+
+/// \brief Enumerates every world with positive probability up to `horizon`
+/// transitions. Fails with kOutOfRange once more than `max_worlds` worlds
+/// have been produced (guards against accidental exponential blowups in
+/// tests).
+util::Result<std::vector<World>> EnumerateWorlds(
+    const markov::MarkovChain& chain, const sparse::ProbVector& initial,
+    Timestamp horizon, uint64_t max_worlds = 5'000'000);
+
+/// Exact PST∃Q by enumeration.
+util::Result<double> ExistsByEnumeration(const markov::MarkovChain& chain,
+                                         const sparse::ProbVector& initial,
+                                         const core::QueryWindow& window,
+                                         uint64_t max_worlds = 5'000'000);
+
+/// Exact PST∀Q by enumeration.
+util::Result<double> ForAllByEnumeration(const markov::MarkovChain& chain,
+                                         const sparse::ProbVector& initial,
+                                         const core::QueryWindow& window,
+                                         uint64_t max_worlds = 5'000'000);
+
+/// Exact PSTkQ distribution by enumeration (size |T□| + 1).
+util::Result<std::vector<double>> KTimesByEnumeration(
+    const markov::MarkovChain& chain, const sparse::ProbVector& initial,
+    const core::QueryWindow& window, uint64_t max_worlds = 5'000'000);
+
+/// \brief Exact multi-observation PST∃Q by enumeration: every world is
+/// weighted by the likelihood of all observations (Section VI's class-A
+/// worlds get weight zero); the result is P(B) / (P(B) + P(C)).
+util::Result<double> MultiObsExistsByEnumeration(
+    const markov::MarkovChain& chain,
+    const std::vector<core::Observation>& observations,
+    const core::QueryWindow& window, uint64_t max_worlds = 5'000'000);
+
+/// \brief Enumeration over an inhomogeneous chain: the transition from
+/// path position i uses chain.PhaseAt(i). Worlds start at time 0.
+util::Result<std::vector<World>> EnumerateWorldsTimeVarying(
+    const markov::TimeVaryingChain& chain, const sparse::ProbVector& initial,
+    Timestamp horizon, uint64_t max_worlds = 5'000'000);
+
+/// Exact PST∃Q on an inhomogeneous chain by enumeration.
+util::Result<double> TimeVaryingExistsByEnumeration(
+    const markov::TimeVaryingChain& chain, const sparse::ProbVector& initial,
+    const core::QueryWindow& window, uint64_t max_worlds = 5'000'000);
+
+}  // namespace exact
+}  // namespace ustdb
+
+#endif  // USTDB_EXACT_POSSIBLE_WORLDS_H_

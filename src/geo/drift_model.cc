@@ -1,0 +1,55 @@
+#include "geo/drift_model.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ustdb {
+namespace geo {
+
+util::Result<markov::MarkovChain> BuildDriftChain(
+    const Grid2D& grid, const std::function<Drift(Cell)>& field,
+    uint32_t radius) {
+  if (radius == 0) {
+    return util::Status::InvalidArgument("drift kernel radius must be >= 1");
+  }
+  const int64_t r = static_cast<int64_t>(radius);
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(grid.num_states()) * (2 * radius + 1) *
+                   (2 * radius + 1) / 2);
+
+  for (StateIndex s = 0; s < grid.num_states(); ++s) {
+    const Cell c = grid.ToCell(s);
+    const Drift d = field(c);
+    if (d.dispersion <= 0.0) {
+      return util::Status::InvalidArgument("drift dispersion must be > 0");
+    }
+    const double inv_two_sigma2 = 1.0 / (2.0 * d.dispersion * d.dispersion);
+
+    double total = 0.0;
+    std::vector<std::pair<StateIndex, double>> row;
+    for (int64_t dy = -r; dy <= r; ++dy) {
+      for (int64_t dx = -r; dx <= r; ++dx) {
+        // Target cell, clamped to the raster border.
+        int64_t x = static_cast<int64_t>(c.x) + dx;
+        int64_t y = static_cast<int64_t>(c.y) + dy;
+        x = std::min<int64_t>(std::max<int64_t>(x, 0), grid.width() - 1);
+        y = std::min<int64_t>(std::max<int64_t>(y, 0), grid.height() - 1);
+        const double ex = static_cast<double>(dx) - d.dx;
+        const double ey = static_cast<double>(dy) - d.dy;
+        const double wgt = std::exp(-(ex * ex + ey * ey) * inv_two_sigma2);
+        row.emplace_back(grid.ToState({static_cast<uint32_t>(x),
+                                       static_cast<uint32_t>(y)}),
+                         wgt);
+        total += wgt;
+      }
+    }
+    for (const auto& [target, wgt] : row) {
+      triplets.push_back({s, target, wgt / total});
+    }
+  }
+  return markov::MarkovChain::FromTriplets(grid.num_states(),
+                                           std::move(triplets));
+}
+
+}  // namespace geo
+}  // namespace ustdb

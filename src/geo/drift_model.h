@@ -1,0 +1,42 @@
+// Copyright 2026 the ustdb authors.
+//
+// DriftModel — builds grid-based Markov chains whose transitions follow a
+// direction field, the motion model of the paper's iceberg application
+// ("the current of the water in the Atlantic ocean can be used to infer the
+// transitions of icebergs").
+
+#ifndef USTDB_GEO_DRIFT_MODEL_H_
+#define USTDB_GEO_DRIFT_MODEL_H_
+
+#include <functional>
+
+#include "geo/grid.h"
+#include "markov/markov_chain.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace geo {
+
+/// Per-cell drift: preferred displacement (dx, dy) and dispersion.
+struct Drift {
+  double dx = 0.0;        ///< mean eastward displacement, cells/step
+  double dy = 0.0;        ///< mean southward displacement, cells/step
+  double dispersion = 1.0; ///< spread of the kernel (> 0)
+};
+
+/// \brief Builds a stochastic transition matrix on `grid` where each cell
+/// transitions into its (2r+1)² neighbourhood with probabilities given by a
+/// discretized Gaussian centred at the cell displaced by the local drift.
+/// Mass that would leave the raster is clamped to the border (icebergs do
+/// not vanish at the map edge).
+///
+/// \param field   callback returning the drift at a cell.
+/// \param radius  neighbourhood radius r in cells (>= 1).
+util::Result<markov::MarkovChain> BuildDriftChain(
+    const Grid2D& grid, const std::function<Drift(Cell)>& field,
+    uint32_t radius);
+
+}  // namespace geo
+}  // namespace ustdb
+
+#endif  // USTDB_GEO_DRIFT_MODEL_H_

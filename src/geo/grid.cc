@@ -1,0 +1,64 @@
+#include "geo/grid.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace geo {
+
+util::Result<Grid2D> Grid2D::Create(uint32_t width, uint32_t height) {
+  if (width == 0 || height == 0) {
+    return util::Status::InvalidArgument("grid extents must be positive");
+  }
+  const uint64_t cells = static_cast<uint64_t>(width) * height;
+  if (cells > UINT32_MAX) {
+    return util::Status::OutOfRange(util::StringPrintf(
+        "grid of %ux%u cells overflows the state index space", width,
+        height));
+  }
+  return Grid2D(width, height);
+}
+
+util::Result<sparse::IndexSet> Grid2D::Rectangle(uint32_t x_lo, uint32_t y_lo,
+                                                 uint32_t x_hi,
+                                                 uint32_t y_hi) const {
+  if (x_lo > x_hi || y_lo > y_hi) {
+    return util::Status::InvalidArgument("rectangle bounds are inverted");
+  }
+  if (x_hi >= width_ || y_hi >= height_) {
+    return util::Status::OutOfRange("rectangle leaves the raster");
+  }
+  std::vector<uint32_t> states;
+  states.reserve(static_cast<size_t>(x_hi - x_lo + 1) * (y_hi - y_lo + 1));
+  for (uint32_t y = y_lo; y <= y_hi; ++y) {
+    for (uint32_t x = x_lo; x <= x_hi; ++x) {
+      states.push_back(ToState({x, y}));
+    }
+  }
+  return sparse::IndexSet::FromIndices(num_states(), std::move(states));
+}
+
+util::Result<sparse::IndexSet> Grid2D::Disk(Cell center, double radius) const {
+  if (!InBounds(center)) {
+    return util::Status::OutOfRange("disk center outside the raster");
+  }
+  const double r2 = radius * radius;
+  std::vector<uint32_t> states;
+  const int64_t r_ceil = static_cast<int64_t>(std::ceil(radius));
+  for (int64_t dy = -r_ceil; dy <= r_ceil; ++dy) {
+    for (int64_t dx = -r_ceil; dx <= r_ceil; ++dx) {
+      const int64_t x = static_cast<int64_t>(center.x) + dx;
+      const int64_t y = static_cast<int64_t>(center.y) + dy;
+      if (x < 0 || y < 0 || x >= width_ || y >= height_) continue;
+      if (static_cast<double>(dx * dx + dy * dy) <= r2) {
+        states.push_back(ToState({static_cast<uint32_t>(x),
+                                  static_cast<uint32_t>(y)}));
+      }
+    }
+  }
+  return sparse::IndexSet::FromIndices(num_states(), std::move(states));
+}
+
+}  // namespace geo
+}  // namespace ustdb

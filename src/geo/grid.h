@@ -1,0 +1,68 @@
+// Copyright 2026 the ustdb authors.
+//
+// Discrete spatial domains. The paper's state space S ⊆ R^d is an arbitrary
+// finite set of locations; the two concrete domains used by the experiments
+// and examples are a 1-D line of states (synthetic datasets, where windows
+// are state ranges like [100, 120]) and a 2-D raster (Figure 2's grid, the
+// iceberg example). Grid2D maps between (x, y) cells and state indices and
+// converts geometric regions to state sets.
+
+#ifndef USTDB_GEO_GRID_H_
+#define USTDB_GEO_GRID_H_
+
+#include <cstdint>
+
+#include "sparse/index_set.h"
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace geo {
+
+/// Cell coordinate in a 2-D raster.
+struct Cell {
+  uint32_t x = 0;
+  uint32_t y = 0;
+
+  bool operator==(const Cell&) const = default;
+};
+
+/// \brief Row-major 2-D raster of width × height cells, each one state.
+class Grid2D {
+ public:
+  /// Fails when either extent is zero or the cell count overflows uint32.
+  static util::Result<Grid2D> Create(uint32_t width, uint32_t height);
+
+  uint32_t width() const { return width_; }
+  uint32_t height() const { return height_; }
+  uint32_t num_states() const { return width_ * height_; }
+
+  /// State index of a cell; \pre in bounds.
+  StateIndex ToState(Cell c) const { return c.y * width_ + c.x; }
+
+  /// Cell of a state index; \pre s < num_states().
+  Cell ToCell(StateIndex s) const { return {s % width_, s / width_}; }
+
+  bool InBounds(Cell c) const { return c.x < width_ && c.y < height_; }
+
+  /// \brief States of the axis-aligned rectangle [x_lo, x_hi] × [y_lo, y_hi]
+  /// (inclusive). Fails when the rectangle leaves the raster.
+  util::Result<sparse::IndexSet> Rectangle(uint32_t x_lo, uint32_t y_lo,
+                                           uint32_t x_hi,
+                                           uint32_t y_hi) const;
+
+  /// \brief States within Euclidean distance `radius` of cell `center`
+  /// (cell-center metric). Fails when the center is out of bounds.
+  util::Result<sparse::IndexSet> Disk(Cell center, double radius) const;
+
+ private:
+  Grid2D(uint32_t w, uint32_t h) : width_(w), height_(h) {}
+
+  uint32_t width_;
+  uint32_t height_;
+};
+
+}  // namespace geo
+}  // namespace ustdb
+
+#endif  // USTDB_GEO_GRID_H_

@@ -1,0 +1,227 @@
+#include "io/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace io {
+
+namespace {
+
+util::Status OpenFailed(const std::string& path) {
+  return util::Status::IOError("cannot open '" + path + "'");
+}
+
+util::Result<std::string> ReadLine(std::istream& in, const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::IOError("unexpected end of file in '" + path + "'");
+  }
+  return line;
+}
+
+}  // namespace
+
+util::Status SaveMatrix(const sparse::CsrMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  out << "ustdb-matrix 1\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  char buf[64];
+  for (const sparse::Triplet& t : m.ToTriplets()) {
+    std::snprintf(buf, sizeof(buf), "%u %u %.17g\n", t.row, t.col, t.value);
+    out << buf;
+  }
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<sparse::CsrMatrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  USTDB_ASSIGN_OR_RETURN(std::string header, ReadLine(in, path));
+  if (util::Trim(header) != "ustdb-matrix 1") {
+    return util::Status::IOError("bad matrix header in '" + path + "'");
+  }
+  USTDB_ASSIGN_OR_RETURN(std::string dims, ReadLine(in, path));
+  const auto fields = util::Split(util::Trim(dims), ' ');
+  if (fields.size() != 3) {
+    return util::Status::IOError("bad matrix dimension line in '" + path +
+                                 "'");
+  }
+  USTDB_ASSIGN_OR_RETURN(uint64_t rows, util::ParseU64(fields[0]));
+  USTDB_ASSIGN_OR_RETURN(uint64_t cols, util::ParseU64(fields[1]));
+  USTDB_ASSIGN_OR_RETURN(uint64_t nnz, util::ParseU64(fields[2]));
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(nnz);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    USTDB_ASSIGN_OR_RETURN(std::string line, ReadLine(in, path));
+    const auto f = util::Split(util::Trim(line), ' ');
+    if (f.size() != 3) {
+      return util::Status::IOError("bad triplet line in '" + path + "'");
+    }
+    USTDB_ASSIGN_OR_RETURN(uint64_t r, util::ParseU64(f[0]));
+    USTDB_ASSIGN_OR_RETURN(uint64_t c, util::ParseU64(f[1]));
+    USTDB_ASSIGN_OR_RETURN(double v, util::ParseDouble(f[2]));
+    triplets.push_back(
+        {static_cast<uint32_t>(r), static_cast<uint32_t>(c), v});
+  }
+  return sparse::CsrMatrix::FromTriplets(static_cast<uint32_t>(rows),
+                                         static_cast<uint32_t>(cols),
+                                         std::move(triplets));
+}
+
+util::Status SaveChain(const markov::MarkovChain& chain,
+                       const std::string& path) {
+  return SaveMatrix(chain.matrix(), path);
+}
+
+util::Result<markov::MarkovChain> LoadChain(const std::string& path) {
+  USTDB_ASSIGN_OR_RETURN(sparse::CsrMatrix m, LoadMatrix(path));
+  return markov::MarkovChain::FromMatrix(std::move(m));
+}
+
+util::Status SaveRoadNetwork(const network::RoadNetwork& g,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  out << "ustdb-roadnet 1\n";
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const network::RoadEdge& e : g.Edges()) {
+    out << e.a << ' ' << e.b << '\n';
+  }
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<network::RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  USTDB_ASSIGN_OR_RETURN(std::string header, ReadLine(in, path));
+  if (util::Trim(header) != "ustdb-roadnet 1") {
+    return util::Status::IOError("bad road network header in '" + path + "'");
+  }
+  USTDB_ASSIGN_OR_RETURN(std::string dims, ReadLine(in, path));
+  const auto fields = util::Split(util::Trim(dims), ' ');
+  if (fields.size() != 2) {
+    return util::Status::IOError("bad dimension line in '" + path + "'");
+  }
+  USTDB_ASSIGN_OR_RETURN(uint64_t nodes, util::ParseU64(fields[0]));
+  USTDB_ASSIGN_OR_RETURN(uint64_t edges, util::ParseU64(fields[1]));
+  std::vector<network::RoadEdge> edge_list;
+  edge_list.reserve(edges);
+  for (uint64_t i = 0; i < edges; ++i) {
+    USTDB_ASSIGN_OR_RETURN(std::string line, ReadLine(in, path));
+    const auto f = util::Split(util::Trim(line), ' ');
+    if (f.size() != 2) {
+      return util::Status::IOError("bad edge line in '" + path + "'");
+    }
+    USTDB_ASSIGN_OR_RETURN(uint64_t a, util::ParseU64(f[0]));
+    USTDB_ASSIGN_OR_RETURN(uint64_t b, util::ParseU64(f[1]));
+    edge_list.push_back(
+        {static_cast<uint32_t>(a), static_cast<uint32_t>(b)});
+  }
+  return network::RoadNetwork::FromEdges(static_cast<uint32_t>(nodes),
+                                         std::move(edge_list));
+}
+
+util::Status SaveObjects(const core::Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return OpenFailed(path);
+  out << "ustdb-objects 1\n";
+  out << db.num_objects() << '\n';
+  char buf[64];
+  for (const core::UncertainObject& obj : db.objects()) {
+    out << "object " << obj.chain << ' ' << obj.observations.size() << '\n';
+    for (const core::Observation& obs : obj.observations) {
+      out << "obs " << obs.time << ' ' << obs.pdf.Support();
+      obs.pdf.ForEachNonZero([&](uint32_t i, double x) {
+        std::snprintf(buf, sizeof(buf), " %u:%.17g", i, x);
+        out << buf;
+      });
+      out << '\n';
+    }
+  }
+  if (!out.good()) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Status LoadObjectsInto(const std::string& path, core::Database* db) {
+  std::ifstream in(path);
+  if (!in) return OpenFailed(path);
+  auto header = ReadLine(in, path);
+  if (!header.ok()) return header.status();
+  if (util::Trim(header.value()) != "ustdb-objects 1") {
+    return util::Status::IOError("bad objects header in '" + path + "'");
+  }
+  auto count_line = ReadLine(in, path);
+  if (!count_line.ok()) return count_line.status();
+  auto count = util::ParseU64(util::Trim(count_line.value()));
+  if (!count.ok()) return count.status();
+
+  for (uint64_t i = 0; i < count.value(); ++i) {
+    auto obj_line = ReadLine(in, path);
+    if (!obj_line.ok()) return obj_line.status();
+    const auto f = util::Split(util::Trim(obj_line.value()), ' ');
+    if (f.size() != 3 || f[0] != "object") {
+      return util::Status::IOError("bad object line in '" + path + "'");
+    }
+    auto chain = util::ParseU64(f[1]);
+    if (!chain.ok()) return chain.status();
+    auto num_obs = util::ParseU64(f[2]);
+    if (!num_obs.ok()) return num_obs.status();
+    if (chain.value() >= db->num_chains()) {
+      return util::Status::NotFound(util::StringPrintf(
+          "object references chain %" PRIu64 " but only %u chains are loaded",
+          chain.value(), db->num_chains()));
+    }
+    const uint32_t n =
+        db->chain(static_cast<ChainId>(chain.value())).num_states();
+
+    std::vector<core::Observation> observations;
+    for (uint64_t k = 0; k < num_obs.value(); ++k) {
+      auto obs_line = ReadLine(in, path);
+      if (!obs_line.ok()) return obs_line.status();
+      const auto g = util::Split(util::Trim(obs_line.value()), ' ');
+      if (g.size() < 3 || g[0] != "obs") {
+        return util::Status::IOError("bad observation line in '" + path +
+                                     "'");
+      }
+      auto time = util::ParseU64(g[1]);
+      if (!time.ok()) return time.status();
+      auto support = util::ParseU64(g[2]);
+      if (!support.ok()) return support.status();
+      if (g.size() != 3 + support.value()) {
+        return util::Status::IOError("observation support count mismatch in '"
+                                     + path + "'");
+      }
+      std::vector<std::pair<uint32_t, double>> pairs;
+      for (uint64_t e = 0; e < support.value(); ++e) {
+        const auto kv = util::Split(g[3 + e], ':');
+        if (kv.size() != 2) {
+          return util::Status::IOError("bad idx:val pair in '" + path + "'");
+        }
+        auto idx = util::ParseU64(kv[0]);
+        if (!idx.ok()) return idx.status();
+        auto val = util::ParseDouble(kv[1]);
+        if (!val.ok()) return val.status();
+        pairs.emplace_back(static_cast<uint32_t>(idx.value()), val.value());
+      }
+      auto pdf = sparse::ProbVector::FromPairs(n, std::move(pairs));
+      if (!pdf.ok()) return pdf.status();
+      observations.push_back({static_cast<Timestamp>(time.value()),
+                              std::move(pdf).ValueOrDie()});
+    }
+    auto id = db->AddObject(static_cast<ChainId>(chain.value()),
+                            std::move(observations));
+    if (!id.ok()) return id.status();
+  }
+  return util::Status::OK();
+}
+
+}  // namespace io
+}  // namespace ustdb

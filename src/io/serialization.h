@@ -1,0 +1,62 @@
+// Copyright 2026 the ustdb authors.
+//
+// Plain-text persistence for chains, road networks and databases. Formats
+// are line-oriented and versioned by a header tag so files are greppable
+// and diff-able; binary compactness is not a goal for this library.
+
+#ifndef USTDB_IO_SERIALIZATION_H_
+#define USTDB_IO_SERIALIZATION_H_
+
+#include <string>
+
+#include "core/database.h"
+#include "markov/markov_chain.h"
+#include "network/road_network.h"
+#include "sparse/csr_matrix.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace io {
+
+/// \name Sparse matrices
+/// Format: "ustdb-matrix 1" header, then "rows cols nnz", then one
+/// "row col value" triplet per line.
+/// \{
+util::Status SaveMatrix(const sparse::CsrMatrix& m, const std::string& path);
+util::Result<sparse::CsrMatrix> LoadMatrix(const std::string& path);
+/// \}
+
+/// \name Markov chains
+/// A chain file is a matrix file that additionally validates stochasticity
+/// on load.
+/// \{
+util::Status SaveChain(const markov::MarkovChain& chain,
+                       const std::string& path);
+util::Result<markov::MarkovChain> LoadChain(const std::string& path);
+/// \}
+
+/// \name Road networks
+/// Format: "ustdb-roadnet 1" header, then "num_nodes num_edges", then one
+/// "a b" undirected edge per line.
+/// \{
+util::Status SaveRoadNetwork(const network::RoadNetwork& g,
+                             const std::string& path);
+util::Result<network::RoadNetwork> LoadRoadNetwork(const std::string& path);
+/// \}
+
+/// \name Databases
+/// Format: "ustdb-objects 1" header, then "num_objects"; per object a line
+/// "object <chain> <num_observations>" followed by one observation per
+/// line: "obs <time> <support> idx:val idx:val ...". Chains are stored
+/// separately (SaveChain) and re-attached on load.
+/// \{
+util::Status SaveObjects(const core::Database& db, const std::string& path);
+/// Loads objects into `db`, which must already contain the referenced
+/// chains (in the same order as when saved).
+util::Status LoadObjectsInto(const std::string& path, core::Database* db);
+/// \}
+
+}  // namespace io
+}  // namespace ustdb
+
+#endif  // USTDB_IO_SERIALIZATION_H_

@@ -1,0 +1,152 @@
+#include "markov/interval_chain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace markov {
+
+util::Result<IntervalMarkovChain> IntervalMarkovChain::FromChains(
+    const std::vector<const MarkovChain*>& members) {
+  if (members.empty()) {
+    return util::Status::InvalidArgument(
+        "interval chain needs at least one member chain");
+  }
+  const uint32_t n = members[0]->num_states();
+  for (const MarkovChain* c : members) {
+    if (c->num_states() != n) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "member chain has %u states, expected %u", c->num_states(), n));
+    }
+  }
+
+  IntervalMarkovChain out;
+  out.num_states_ = n;
+  out.row_ptr_.assign(n + 1, 0);
+
+  // Per-row envelope: union support; lo = min over members (0 if absent
+  // from any member), hi = max over members.
+  std::map<uint32_t, ProbBound> row_env;
+  for (uint32_t r = 0; r < n; ++r) {
+    row_env.clear();
+    for (const MarkovChain* c : members) {
+      auto idx = c->matrix().RowIndices(r);
+      auto val = c->matrix().RowValues(r);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        auto [it, inserted] = row_env.try_emplace(
+            idx[k], ProbBound{val[k], val[k]});
+        if (!inserted) {
+          it->second.lo = std::min(it->second.lo, val[k]);
+          it->second.hi = std::max(it->second.hi, val[k]);
+        }
+      }
+    }
+    // Any entry not present in *all* members has lo = 0.
+    for (auto& [col, bound] : row_env) {
+      size_t present = 0;
+      for (const MarkovChain* c : members) {
+        if (c->matrix().Get(r, col) > 0.0) ++present;
+      }
+      if (present < members.size()) bound.lo = 0.0;
+      out.col_idx_.push_back(col);
+      out.lo_.push_back(bound.lo);
+      out.hi_.push_back(bound.hi);
+    }
+    out.row_ptr_[r + 1] = static_cast<sparse::NnzIndex>(out.col_idx_.size());
+  }
+  return out;
+}
+
+ProbBound IntervalMarkovChain::Bound(uint32_t i, uint32_t j) const {
+  assert(i < num_states_ && j < num_states_);
+  const auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[i + 1]);
+  auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return {0.0, 0.0};
+  const size_t k = static_cast<size_t>(it - col_idx_.begin());
+  return {lo_[k], hi_[k]};
+}
+
+double IntervalMarkovChain::ExtremalRowValue(uint32_t row,
+                                             const std::vector<double>& v,
+                                             bool want_max) const {
+  const sparse::NnzIndex begin = row_ptr_[row];
+  const sparse::NnzIndex end = row_ptr_[row + 1];
+  const size_t m = static_cast<size_t>(end - begin);
+  if (m == 0) return 0.0;
+
+  // Greedy: start every entry at lo, then spend the residual budget
+  // (1 - Σ lo) on the most favourable v-values first, capped at hi - lo.
+  double base = 0.0;
+  double budget = 1.0;
+  // (value, slack) pairs sorted by v; ascending for min, descending for max.
+  std::vector<std::pair<double, double>> order;
+  order.reserve(m);
+  for (sparse::NnzIndex k = begin; k < end; ++k) {
+    const uint32_t c = col_idx_[k];
+    base += lo_[k] * v[c];
+    budget -= lo_[k];
+    order.emplace_back(v[c], hi_[k] - lo_[k]);
+  }
+  std::sort(order.begin(), order.end(),
+            [want_max](const auto& a, const auto& b) {
+              return want_max ? a.first > b.first : a.first < b.first;
+            });
+  double extra = 0.0;
+  for (const auto& [value, slack] : order) {
+    if (budget <= 0.0) break;
+    const double take = std::min(slack, budget);
+    extra += take * value;
+    budget -= take;
+  }
+  return base + extra;
+}
+
+std::vector<ProbBound> IntervalMarkovChain::BoundExists(
+    const sparse::IndexSet& region, Timestamp t_lo, Timestamp t_hi) const {
+  assert(region.domain_size() == num_states_);
+  assert(t_lo <= t_hi);
+
+  // f(t)[s] = P(trajectory from s at time t hits region during
+  // [max(t, t_lo), t_hi]); propagated backward from t_hi to 0.
+  std::vector<double> flo(num_states_, 0.0);
+  std::vector<double> fhi(num_states_, 0.0);
+  for (uint32_t s : region) {
+    flo[s] = 1.0;
+    fhi[s] = 1.0;
+  }
+
+  std::vector<double> next_lo(num_states_);
+  std::vector<double> next_hi(num_states_);
+  for (Timestamp t = t_hi; t > 0; --t) {
+    // Step backward from t to t-1.
+    for (uint32_t s = 0; s < num_states_; ++s) {
+      next_lo[s] = ExtremalRowValue(s, flo, /*want_max=*/false);
+      next_hi[s] = ExtremalRowValue(s, fhi, /*want_max=*/true);
+    }
+    const Timestamp t_prev = t - 1;
+    if (t_prev >= t_lo) {
+      // Being inside the region at t_prev is itself a hit.
+      for (uint32_t s : region) {
+        next_lo[s] = 1.0;
+        next_hi[s] = 1.0;
+      }
+    }
+    flo.swap(next_lo);
+    fhi.swap(next_hi);
+  }
+  if (t_lo > 0) {
+    // Start time 0 is outside the window; nothing more to fold in.
+  }
+  std::vector<ProbBound> out(num_states_);
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    out[s] = {std::clamp(flo[s], 0.0, 1.0), std::clamp(fhi[s], 0.0, 1.0)};
+  }
+  return out;
+}
+
+}  // namespace markov
+}  // namespace ustdb

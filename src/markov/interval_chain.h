@@ -1,0 +1,80 @@
+// Copyright 2026 the ustdb authors.
+//
+// IntervalMarkovChain — Section V-C's cluster representative: a chain whose
+// entries are probability intervals [lo, hi] covering every member chain of
+// a cluster. Used to bound the exists-probability of all objects in a
+// cluster at once; only clusters whose bound straddles the decision
+// threshold are refined object-by-object.
+
+#ifndef USTDB_MARKOV_INTERVAL_CHAIN_H_
+#define USTDB_MARKOV_INTERVAL_CHAIN_H_
+
+#include <vector>
+
+#include "markov/markov_chain.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/index_set.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace markov {
+
+/// Per-state or per-entry probability bound [lo, hi].
+struct ProbBound {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// \brief Markov chain with interval-valued transition probabilities.
+///
+/// The backward bound propagation solves, per state and step, the pair of
+/// linear programs  min/max Σ_j m_j·v_j  s.t.  lo_j ≤ m_j ≤ hi_j, Σ_j m_j = 1
+/// by the classic fractional-greedy argument. Bounds are sound (they contain
+/// the value of every member chain) but compose conservatively across steps.
+class IntervalMarkovChain {
+ public:
+  /// \brief Builds the entrywise envelope of `members`. All members must
+  /// share the same number of states; the list must be non-empty. An entry
+  /// absent from a member chain counts as zero, so lo is 0 wherever member
+  /// supports differ.
+  static util::Result<IntervalMarkovChain> FromChains(
+      const std::vector<const MarkovChain*>& members);
+
+  uint32_t num_states() const { return num_states_; }
+
+  /// Bound of entry (i, j); {0, 0} for entries outside the union support.
+  ProbBound Bound(uint32_t i, uint32_t j) const;
+
+  /// Structural non-zeros of the envelope (union of member supports).
+  sparse::NnzIndex nnz() const {
+    return static_cast<sparse::NnzIndex>(col_idx_.size());
+  }
+
+  /// \brief Bounds, for every start state s, the probability that an object
+  /// starting at s at time 0 intersects the window (region at some time in
+  /// [t_lo, t_hi]) under *any* member chain. Backward recursion in the style
+  /// of the query-based engine with interval arithmetic at each step.
+  /// \pre region.domain_size() == num_states() and t_lo <= t_hi.
+  std::vector<ProbBound> BoundExists(const sparse::IndexSet& region,
+                                     Timestamp t_lo, Timestamp t_hi) const;
+
+ private:
+  IntervalMarkovChain() : num_states_(0) {}
+
+  /// min (want_max=false) or max (want_max=true) of Σ_j m_j·v[col_j] over
+  /// the interval-stochastic row `row`.
+  double ExtremalRowValue(uint32_t row, const std::vector<double>& v,
+                          bool want_max) const;
+
+  uint32_t num_states_;
+  // CSR-like envelope storage; lo_ and hi_ are parallel to col_idx_.
+  std::vector<sparse::NnzIndex> row_ptr_;
+  std::vector<uint32_t> col_idx_;
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace markov
+}  // namespace ustdb
+
+#endif  // USTDB_MARKOV_INTERVAL_CHAIN_H_

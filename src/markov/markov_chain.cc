@@ -1,0 +1,111 @@
+#include "markov/markov_chain.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace markov {
+
+util::Result<MarkovChain> MarkovChain::FromMatrix(sparse::CsrMatrix m) {
+  if (m.rows() != m.cols()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "transition matrix must be square, got %ux%u", m.rows(), m.cols()));
+  }
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    for (double v : m.RowValues(r)) {
+      if (v < 0.0) {
+        return util::Status::Inconsistent(util::StringPrintf(
+            "negative transition probability in row %u", r));
+      }
+    }
+    const double sum = m.RowSum(r);
+    if (std::abs(sum - 1.0) > sparse::kStochasticTolerance) {
+      return util::Status::Inconsistent(util::StringPrintf(
+          "row %u sums to %.12f, expected 1 (not a stochastic matrix)", r,
+          sum));
+    }
+  }
+  return MarkovChain(std::move(m));
+}
+
+util::Result<MarkovChain> MarkovChain::FromTriplets(
+    uint32_t num_states, std::vector<sparse::Triplet> triplets) {
+  USTDB_ASSIGN_OR_RETURN(sparse::CsrMatrix m,
+                         sparse::CsrMatrix::FromTriplets(
+                             num_states, num_states, std::move(triplets)));
+  return FromMatrix(std::move(m));
+}
+
+util::Result<MarkovChain> MarkovChain::FromDense(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<sparse::Triplet> t;
+  const uint32_t n = static_cast<uint32_t>(rows.size());
+  for (uint32_t r = 0; r < n; ++r) {
+    if (rows[r].size() != n) {
+      return util::Status::InvalidArgument("dense matrix is not square");
+    }
+    for (uint32_t c = 0; c < n; ++c) {
+      if (rows[r][c] != 0.0) t.push_back({r, c, rows[r][c]});
+    }
+  }
+  return FromTriplets(n, std::move(t));
+}
+
+const sparse::CsrMatrix& MarkovChain::transposed() const {
+  if (!transposed_) {
+    transposed_ = std::make_unique<sparse::CsrMatrix>(matrix_.Transposed());
+  }
+  return *transposed_;
+}
+
+void MarkovChain::Propagate(sparse::ProbVector* dist,
+                            sparse::VecMatWorkspace* ws) const {
+  ws->Multiply(*dist, matrix_, dist);
+}
+
+sparse::ProbVector MarkovChain::Distribution(
+    const sparse::ProbVector& initial, uint32_t steps) const {
+  sparse::ProbVector dist = initial;
+  sparse::VecMatWorkspace ws;
+  for (uint32_t i = 0; i < steps; ++i) Propagate(&dist, &ws);
+  return dist;
+}
+
+util::Result<sparse::CsrMatrix> MarkovChain::MStepMatrix(uint32_t m) const {
+  return matrix_.Power(m);
+}
+
+sparse::IndexSet MarkovChain::ReachableWithin(const sparse::IndexSet& from,
+                                              uint32_t steps) const {
+  std::vector<uint8_t> seen(num_states(), 0);
+  std::vector<uint32_t> frontier(from.begin(), from.end());
+  std::vector<uint32_t> all(frontier);
+  for (uint32_t s : frontier) seen[s] = 1;
+
+  std::vector<uint32_t> next;
+  for (uint32_t step = 0; step < steps && !frontier.empty(); ++step) {
+    next.clear();
+    for (uint32_t s : frontier) {
+      for (uint32_t c : matrix_.RowIndices(s)) {
+        if (!seen[c]) {
+          seen[c] = 1;
+          next.push_back(c);
+          all.push_back(c);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  // Indices validated by construction; FromIndices cannot fail here.
+  return sparse::IndexSet::FromIndices(num_states(), std::move(all))
+      .ValueOrDie();
+}
+
+size_t MarkovChain::MemoryBytes() const {
+  return matrix_.MemoryBytes() +
+         (transposed_ ? transposed_->MemoryBytes() : 0);
+}
+
+}  // namespace markov
+}  // namespace ustdb

@@ -1,0 +1,99 @@
+// Copyright 2026 the ustdb authors.
+//
+// MarkovChain — a validated homogeneous first-order Markov chain over the
+// discrete state space S (Definitions 5-6 of the paper), plus distribution
+// propagation (Corollaries 1-2) and reachability analysis used for pruning.
+
+#ifndef USTDB_MARKOV_MARKOV_CHAIN_H_
+#define USTDB_MARKOV_MARKOV_CHAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+#include "sparse/index_set.h"
+#include "sparse/prob_vector.h"
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace markov {
+
+/// \brief Homogeneous first-order Markov chain: P(o(t+1)=s_j | o(t)=s_i) =
+/// M[i][j] for all t (Definition 6).
+///
+/// Construction validates stochasticity (every row sums to one, entries
+/// non-negative); downstream query engines may therefore assume a valid
+/// chain and run Status-free.
+class MarkovChain {
+ public:
+  /// \brief Wraps a square stochastic matrix. Fails if `m` is not
+  /// row-stochastic within sparse::kStochasticTolerance.
+  static util::Result<MarkovChain> FromMatrix(sparse::CsrMatrix m);
+
+  /// Convenience: build and validate from triplets.
+  static util::Result<MarkovChain> FromTriplets(
+      uint32_t num_states, std::vector<sparse::Triplet> triplets);
+
+  /// Convenience: build from a dense row-major matrix (tests, examples).
+  static util::Result<MarkovChain> FromDense(
+      const std::vector<std::vector<double>>& rows);
+
+  MarkovChain() = default;
+
+  /// Copyable (the lazily built transpose cache is dropped, not copied)
+  /// and movable.
+  MarkovChain(const MarkovChain& other) : matrix_(other.matrix_) {}
+  MarkovChain& operator=(const MarkovChain& other) {
+    matrix_ = other.matrix_;
+    transposed_.reset();
+    return *this;
+  }
+  MarkovChain(MarkovChain&&) = default;
+  MarkovChain& operator=(MarkovChain&&) = default;
+
+  /// |S| — the number of states.
+  uint32_t num_states() const { return matrix_.rows(); }
+
+  /// The single-step transition matrix M.
+  const sparse::CsrMatrix& matrix() const { return matrix_; }
+
+  /// \brief M transposed, built lazily and cached. The query-based engine
+  /// (Section V-B) walks backward in time with (M±)ᵀ; sharing one transpose
+  /// per chain is what makes QB cheap across queries.
+  /// Not thread-safe on first call.
+  const sparse::CsrMatrix& transposed() const;
+
+  /// \brief One state transition: dist ← dist · M (Corollary 1).
+  /// \param ws reusable multiply workspace (one per thread).
+  void Propagate(sparse::ProbVector* dist, sparse::VecMatWorkspace* ws) const;
+
+  /// \brief Distribution after `steps` transitions from `initial`
+  /// (Corollary 2: P(o, t+m) = P(o, t) · M^m, evaluated iteratively).
+  sparse::ProbVector Distribution(const sparse::ProbVector& initial,
+                                  uint32_t steps) const;
+
+  /// \brief The m-step transition matrix M^m (Chapman–Kolmogorov). Intended
+  /// for tests and small models; cost grows with fill-in.
+  util::Result<sparse::CsrMatrix> MStepMatrix(uint32_t m) const;
+
+  /// \brief States reachable from `from` within at most `steps` transitions
+  /// (including the start states). Drives the |S_reach| pruning discussed in
+  /// Section V-C's complexity analysis.
+  sparse::IndexSet ReachableWithin(const sparse::IndexSet& from,
+                                   uint32_t steps) const;
+
+  /// Approximate heap footprint in bytes (transpose counted if built).
+  size_t MemoryBytes() const;
+
+ private:
+  explicit MarkovChain(sparse::CsrMatrix m) : matrix_(std::move(m)) {}
+
+  sparse::CsrMatrix matrix_;
+  mutable std::unique_ptr<sparse::CsrMatrix> transposed_;  // lazy cache
+};
+
+}  // namespace markov
+}  // namespace ustdb
+
+#endif  // USTDB_MARKOV_MARKOV_CHAIN_H_

@@ -1,0 +1,72 @@
+#include "markov/stationary.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace markov {
+
+namespace {
+
+double L1Distance(const sparse::ProbVector& a, const sparse::ProbVector& b) {
+  // Both vectors share a dimension; iterate the union of supports via the
+  // dense getter on the sparser side.
+  double total = 0.0;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    total += std::abs(a.Get(i) - b.Get(i));
+  }
+  return total;
+}
+
+}  // namespace
+
+util::Result<sparse::ProbVector> StationaryDistribution(
+    const MarkovChain& chain, const StationaryOptions& options) {
+  if (options.damping <= 0.0 || options.damping > 1.0) {
+    return util::Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  if (options.tolerance <= 0.0) {
+    return util::Status::InvalidArgument("tolerance must be positive");
+  }
+  const uint32_t n = chain.num_states();
+  sparse::ProbVector pi =
+      sparse::ProbVector::UniformOver(sparse::IndexSet::All(n)).ValueOrDie();
+  sparse::ProbVector next;
+  sparse::VecMatWorkspace ws;
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    ws.Multiply(pi, chain.matrix(), &next);
+    if (options.damping < 1.0) {
+      // next <- (1-d)*pi + d*next.
+      next.Scale(options.damping);
+      std::vector<std::pair<uint32_t, double>> lazy;
+      pi.ForEachNonZero([&](uint32_t i, double x) {
+        lazy.emplace_back(i, (1.0 - options.damping) * x);
+      });
+      next.AddEntries(lazy);
+    }
+    const double dist = L1Distance(pi, next);
+    pi = std::move(next);
+    if (dist < options.tolerance) {
+      // Renormalize residual drift before returning.
+      USTDB_RETURN_NOT_OK(pi.Normalize());
+      return pi;
+    }
+  }
+  return util::Status::FailedPrecondition(util::StringPrintf(
+      "power iteration did not converge within %u iterations (periodic or "
+      "slowly mixing chain; try damping < 1)",
+      options.max_iterations));
+}
+
+double StationarityResidual(const MarkovChain& chain,
+                            const sparse::ProbVector& pi) {
+  sparse::ProbVector stepped;
+  sparse::VecMatWorkspace ws;
+  ws.Multiply(pi, chain.matrix(), &stepped);
+  return L1Distance(pi, stepped);
+}
+
+}  // namespace markov
+}  // namespace ustdb

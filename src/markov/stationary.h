@@ -1,0 +1,46 @@
+// Copyright 2026 the ustdb authors.
+//
+// Stationary-distribution analysis. Useful both as a modeling diagnostic
+// (where does the drift model concentrate icebergs in the long run?) and
+// for workload generation (sampling initial positions from the chain's
+// long-run behaviour instead of uniformly).
+
+#ifndef USTDB_MARKOV_STATIONARY_H_
+#define USTDB_MARKOV_STATIONARY_H_
+
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace markov {
+
+/// Options for the power iteration.
+struct StationaryOptions {
+  /// Convergence threshold on the L1 distance between iterates.
+  double tolerance = 1e-12;
+  /// Hard iteration cap; exceeded => kFailedPrecondition (the chain is
+  /// periodic or mixes too slowly for the budget).
+  uint32_t max_iterations = 100'000;
+  /// Damping in (0, 1]: iterate pi <- (1-d)*pi + d*(pi*M). Values < 1 make
+  /// the iteration converge on periodic chains (same trick as PageRank's
+  /// lazy walk) without changing the fixed point.
+  double damping = 1.0;
+};
+
+/// \brief Computes a stationary distribution pi with pi = pi·M by damped
+/// power iteration from the uniform vector. For irreducible chains this is
+/// *the* stationary distribution; for reducible chains it is one of them
+/// (determined by the uniform start).
+util::Result<sparse::ProbVector> StationaryDistribution(
+    const MarkovChain& chain, const StationaryOptions& options = {});
+
+/// \brief L1 distance ||pi - pi·M||_1 — a residual diagnostic for how close
+/// `pi` is to stationarity under `chain`.
+double StationarityResidual(const MarkovChain& chain,
+                            const sparse::ProbVector& pi);
+
+}  // namespace markov
+}  // namespace ustdb
+
+#endif  // USTDB_MARKOV_STATIONARY_H_

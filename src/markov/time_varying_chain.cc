@@ -1,0 +1,43 @@
+#include "markov/time_varying_chain.h"
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace markov {
+
+util::Result<TimeVaryingChain> TimeVaryingChain::FromPhases(
+    std::vector<MarkovChain> phases) {
+  if (phases.empty()) {
+    return util::Status::InvalidArgument(
+        "a time-varying chain needs at least one phase");
+  }
+  const uint32_t n = phases.front().num_states();
+  for (size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].num_states() != n) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "phase %zu has %u states, expected %u", i,
+          phases[i].num_states(), n));
+    }
+  }
+  return TimeVaryingChain(std::move(phases));
+}
+
+TimeVaryingChain TimeVaryingChain::FromHomogeneous(MarkovChain chain) {
+  std::vector<MarkovChain> phases;
+  phases.push_back(std::move(chain));
+  return TimeVaryingChain(std::move(phases));
+}
+
+sparse::ProbVector TimeVaryingChain::Distribution(
+    const sparse::ProbVector& initial, Timestamp t_start,
+    uint32_t steps) const {
+  sparse::ProbVector dist = initial;
+  sparse::VecMatWorkspace ws;
+  for (uint32_t i = 0; i < steps; ++i) {
+    Propagate(t_start + i, &dist, &ws);
+  }
+  return dist;
+}
+
+}  // namespace markov
+}  // namespace ustdb

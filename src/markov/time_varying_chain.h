@@ -1,0 +1,71 @@
+// Copyright 2026 the ustdb authors.
+//
+// TimeVaryingChain — an inhomogeneous Markov chain (Definition 5 with
+// time-dependent transition probabilities P_ij(t)). The paper restricts its
+// engines to the homogeneous case (Definition 6) but explicitly defines the
+// general model, and its traffic scenario begs for it: turning behaviour at
+// rush hour differs from 3am. A TimeVaryingChain is a periodic schedule of
+// validated homogeneous chains; period 1 degenerates to the paper's model
+// (tested), so all time-varying engines strictly generalize the standard
+// ones.
+
+#ifndef USTDB_MARKOV_TIME_VARYING_CHAIN_H_
+#define USTDB_MARKOV_TIME_VARYING_CHAIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "markov/markov_chain.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace markov {
+
+/// \brief Periodic inhomogeneous Markov chain: the transition matrix used
+/// for the step t -> t+1 is phases[t mod period].
+///
+/// Owns its phase chains. All phases must share one state count.
+class TimeVaryingChain {
+ public:
+  /// \brief Builds from a non-empty list of phase chains (ownership taken).
+  /// Fails if phases disagree on the number of states.
+  static util::Result<TimeVaryingChain> FromPhases(
+      std::vector<MarkovChain> phases);
+
+  /// Wraps a single homogeneous chain (period 1).
+  static TimeVaryingChain FromHomogeneous(MarkovChain chain);
+
+  uint32_t num_states() const { return phases_.front().num_states(); }
+  uint32_t period() const { return static_cast<uint32_t>(phases_.size()); }
+
+  /// The chain governing the transition from time t to t+1.
+  const MarkovChain& PhaseAt(Timestamp t) const {
+    return phases_[t % phases_.size()];
+  }
+
+  /// All phases, in schedule order.
+  const std::vector<MarkovChain>& phases() const { return phases_; }
+
+  /// \brief One transition from time t: dist ← dist · M(t) (the
+  /// inhomogeneous Corollary 1).
+  void Propagate(Timestamp t, sparse::ProbVector* dist,
+                 sparse::VecMatWorkspace* ws) const {
+    ws->Multiply(*dist, PhaseAt(t).matrix(), dist);
+  }
+
+  /// \brief Distribution at time t_start + steps from `initial` at t_start
+  /// (the inhomogeneous Chapman–Kolmogorov product, evaluated iteratively).
+  sparse::ProbVector Distribution(const sparse::ProbVector& initial,
+                                  Timestamp t_start, uint32_t steps) const;
+
+ private:
+  explicit TimeVaryingChain(std::vector<MarkovChain> phases)
+      : phases_(std::move(phases)) {}
+
+  std::vector<MarkovChain> phases_;
+};
+
+}  // namespace markov
+}  // namespace ustdb
+
+#endif  // USTDB_MARKOV_TIME_VARYING_CHAIN_H_

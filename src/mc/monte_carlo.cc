@@ -1,0 +1,131 @@
+#include "mc/monte_carlo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ustdb {
+namespace mc {
+
+TrajectorySampler::TrajectorySampler(const markov::MarkovChain* chain)
+    : chain_(chain) {
+  assert(chain_ != nullptr);
+  const sparse::CsrMatrix& m = chain_->matrix();
+  cumulative_.reserve(m.nnz());
+  row_offset_.assign(m.rows() + 1, 0);
+  for (uint32_t r = 0; r < m.rows(); ++r) {
+    double acc = 0.0;
+    for (double v : m.RowValues(r)) {
+      acc += v;
+      cumulative_.push_back(acc);
+    }
+    row_offset_[r + 1] = cumulative_.size();
+  }
+}
+
+StateIndex TrajectorySampler::SampleInitial(const sparse::ProbVector& initial,
+                                            util::Rng* rng) const {
+  const double target = rng->NextDouble() * initial.Sum();
+  double acc = 0.0;
+  StateIndex chosen = 0;
+  bool found = false;
+  initial.ForEachNonZero([&](uint32_t i, double x) {
+    if (found) return;
+    acc += x;
+    chosen = i;
+    if (acc >= target) found = true;
+  });
+  return chosen;  // residual mass falls to the last support entry
+}
+
+StateIndex TrajectorySampler::SampleNext(StateIndex s, util::Rng* rng) const {
+  const sparse::CsrMatrix& m = chain_->matrix();
+  auto idx = m.RowIndices(s);
+  assert(!idx.empty() && "stochastic rows cannot be empty");
+  // Row slice of the cumulative array: binary search for the target mass.
+  const double* lo = cumulative_.data() + row_offset_[s];
+  const double* hi = cumulative_.data() + row_offset_[s + 1];
+  const double target = rng->NextDouble() * *(hi - 1);
+  const double* it = std::lower_bound(lo, hi, target);
+  if (it == hi) it = hi - 1;
+  return idx[static_cast<size_t>(it - lo)];
+}
+
+std::vector<StateIndex> TrajectorySampler::SamplePath(
+    const sparse::ProbVector& initial, uint32_t length,
+    util::Rng* rng) const {
+  std::vector<StateIndex> path;
+  path.reserve(length + 1);
+  path.push_back(SampleInitial(initial, rng));
+  for (uint32_t t = 0; t < length; ++t) {
+    path.push_back(SampleNext(path.back(), rng));
+  }
+  return path;
+}
+
+MonteCarloEngine::MonteCarloEngine(const markov::MarkovChain* chain,
+                                   core::QueryWindow window,
+                                   MonteCarloOptions options)
+    : sampler_(chain), window_(std::move(window)), options_(options) {}
+
+uint32_t MonteCarloEngine::CountVisits(
+    const std::vector<StateIndex>& path) const {
+  uint32_t visits = 0;
+  for (Timestamp t : window_.times()) {
+    if (window_.region().Contains(path[t])) ++visits;
+  }
+  return visits;
+}
+
+McEstimate MonteCarloEngine::ExistsProbability(
+    const sparse::ProbVector& initial) const {
+  util::Rng rng(options_.seed);
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < options_.num_samples; ++i) {
+    const std::vector<StateIndex> path =
+        sampler_.SamplePath(initial, window_.t_end(), &rng);
+    if (CountVisits(path) > 0) ++hits;
+  }
+  McEstimate e;
+  e.num_samples = options_.num_samples;
+  e.probability = static_cast<double>(hits) / options_.num_samples;
+  e.std_error =
+      std::sqrt(e.probability * (1.0 - e.probability) / options_.num_samples);
+  return e;
+}
+
+McEstimate MonteCarloEngine::ForAllProbability(
+    const sparse::ProbVector& initial) const {
+  util::Rng rng(options_.seed);
+  uint32_t hits = 0;
+  for (uint32_t i = 0; i < options_.num_samples; ++i) {
+    const std::vector<StateIndex> path =
+        sampler_.SamplePath(initial, window_.t_end(), &rng);
+    if (CountVisits(path) == window_.num_times()) ++hits;
+  }
+  McEstimate e;
+  e.num_samples = options_.num_samples;
+  e.probability = static_cast<double>(hits) / options_.num_samples;
+  e.std_error =
+      std::sqrt(e.probability * (1.0 - e.probability) / options_.num_samples);
+  return e;
+}
+
+std::vector<double> MonteCarloEngine::KTimesDistribution(
+    const sparse::ProbVector& initial) const {
+  util::Rng rng(options_.seed);
+  std::vector<uint32_t> counts(window_.num_times() + 1, 0);
+  for (uint32_t i = 0; i < options_.num_samples; ++i) {
+    const std::vector<StateIndex> path =
+        sampler_.SamplePath(initial, window_.t_end(), &rng);
+    ++counts[CountVisits(path)];
+  }
+  std::vector<double> out(counts.size());
+  for (size_t k = 0; k < counts.size(); ++k) {
+    out[k] = static_cast<double>(counts[k]) / options_.num_samples;
+  }
+  return out;
+}
+
+}  // namespace mc
+}  // namespace ustdb

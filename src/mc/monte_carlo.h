@@ -1,0 +1,96 @@
+// Copyright 2026 the ustdb authors.
+//
+// Monte-Carlo baseline — the paper's competitor (Section VIII-A): "The MC
+// approach samples paths of each object and outputs the fraction of the
+// sampled paths which fulfill the query predicate." Sampling error follows
+// the Bernoulli bound σ = sqrt(p(1−p)/n); with the paper's 100 samples the
+// standard deviation is at least 5 percentage points near p = 0.5.
+
+#ifndef USTDB_MC_MONTE_CARLO_H_
+#define USTDB_MC_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace mc {
+
+/// \brief Draws trajectories from a chain. Per-row cumulative distributions
+/// are precomputed once so each step is a binary search.
+class TrajectorySampler {
+ public:
+  /// \param chain must outlive the sampler.
+  explicit TrajectorySampler(const markov::MarkovChain* chain);
+
+  /// Draws a start state from an initial pdf (mass may be < 1 after
+  /// normalization drift; the residual is assigned to the last support
+  /// entry).
+  StateIndex SampleInitial(const sparse::ProbVector& initial,
+                           util::Rng* rng) const;
+
+  /// Draws o(t+1) given o(t) = s.
+  StateIndex SampleNext(StateIndex s, util::Rng* rng) const;
+
+  /// Samples a full trajectory of `length`+1 states starting from
+  /// `initial`.
+  std::vector<StateIndex> SamplePath(const sparse::ProbVector& initial,
+                                     uint32_t length, util::Rng* rng) const;
+
+  const markov::MarkovChain& chain() const { return *chain_; }
+
+ private:
+  const markov::MarkovChain* chain_;
+  // Per-row cumulative sums over the CSR values, aligned with the chain's
+  // column-index array; row r occupies [row_offset_[r], row_offset_[r+1]).
+  std::vector<double> cumulative_;
+  std::vector<size_t> row_offset_;
+};
+
+/// Tuning knobs for the Monte-Carlo engine.
+struct MonteCarloOptions {
+  uint32_t num_samples = 100;  ///< the paper's default
+  uint64_t seed = 1234;
+};
+
+/// Point estimate plus its Bernoulli standard error.
+struct McEstimate {
+  double probability = 0.0;
+  double std_error = 0.0;  ///< sqrt(p̂(1−p̂)/n)
+  uint32_t num_samples = 0;
+};
+
+/// \brief Approximate PST∃Q / PST∀Q / PSTkQ by path sampling.
+class MonteCarloEngine {
+ public:
+  /// \pre window.region().domain_size() == chain->num_states(); `chain`
+  /// must outlive the engine.
+  MonteCarloEngine(const markov::MarkovChain* chain, core::QueryWindow window,
+                   MonteCarloOptions options = {});
+
+  /// Estimate of P∃(o, S□, T□).
+  McEstimate ExistsProbability(const sparse::ProbVector& initial) const;
+
+  /// Estimate of P∀(o, S□, T□).
+  McEstimate ForAllProbability(const sparse::ProbVector& initial) const;
+
+  /// Estimated distribution of the window-visit count (sums to one).
+  std::vector<double> KTimesDistribution(
+      const sparse::ProbVector& initial) const;
+
+ private:
+  /// Number of window timestamps at which one sampled path is inside S□.
+  uint32_t CountVisits(const std::vector<StateIndex>& path) const;
+
+  TrajectorySampler sampler_;
+  core::QueryWindow window_;
+  MonteCarloOptions options_;
+};
+
+}  // namespace mc
+}  // namespace ustdb
+
+#endif  // USTDB_MC_MONTE_CARLO_H_

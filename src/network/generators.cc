@@ -1,0 +1,81 @@
+#include "network/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace network {
+
+util::Result<RoadNetwork> GenerateRoadNetwork(const RoadGenConfig& config) {
+  const uint32_t n = config.num_nodes;
+  if (n < 2) {
+    return util::Status::InvalidArgument("need at least two nodes");
+  }
+  if (config.num_edges < n - 1) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "%u edges cannot connect %u nodes", config.num_edges, n));
+  }
+  if (config.locality_window == 0) {
+    return util::Status::InvalidArgument("locality window must be >= 1");
+  }
+
+  util::Rng rng(config.seed);
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  std::vector<RoadEdge> edges;
+  edges.reserve(config.num_edges);
+
+  // Spanning tree: node i attaches to a parent within the locality window.
+  for (uint32_t i = 1; i < n; ++i) {
+    const uint32_t lo = i > config.locality_window ? i - config.locality_window
+                                                   : 0;
+    const uint32_t parent =
+        static_cast<uint32_t>(rng.NextInRange(lo, i - 1));
+    edges.push_back({parent, i});
+    used.insert({parent, i});
+  }
+
+  // Chords: extra local edges until the target count is reached. Guard
+  // against saturated neighbourhoods with a bounded retry budget.
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 64ULL * config.num_edges + 1024;
+  while (edges.size() < config.num_edges) {
+    if (++attempts > max_attempts) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "cannot place %u edges with locality window %u (graph saturated "
+          "after %zu edges)",
+          config.num_edges, config.locality_window, edges.size()));
+    }
+    const uint32_t a = static_cast<uint32_t>(rng.NextBounded(n - 1));
+    const uint32_t span = static_cast<uint32_t>(
+        rng.NextInRange(1, config.locality_window));
+    const uint32_t b = std::min(a + span, n - 1);
+    if (a == b) continue;
+    if (!used.insert({a, b}).second) continue;
+    edges.push_back({a, b});
+  }
+  return RoadNetwork::FromEdges(n, std::move(edges));
+}
+
+util::Result<RoadNetwork> GenerateContinentalNetwork(uint64_t seed) {
+  RoadGenConfig config;
+  config.num_nodes = 175'813;
+  config.num_edges = 179'102;
+  config.locality_window = 12;  // long corridors, few chords
+  config.seed = seed;
+  return GenerateRoadNetwork(config);
+}
+
+util::Result<RoadNetwork> GenerateUrbanNetwork(uint64_t seed) {
+  RoadGenConfig config;
+  config.num_nodes = 73'120;
+  config.num_edges = 93'925;
+  config.locality_window = 24;  // denser blocks, many cycles
+  config.seed = seed;
+  return GenerateRoadNetwork(config);
+}
+
+}  // namespace network
+}  // namespace ustdb

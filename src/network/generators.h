@@ -1,0 +1,46 @@
+// Copyright 2026 the ustdb authors.
+//
+// Synthetic road-network generators standing in for the paper's two real
+// datasets (see DESIGN.md §2). Both produce connected graphs whose nodes
+// carry an implicit 1-D "corridor" embedding: a random spanning tree with
+// bounded-window attachment plus extra local chords. The locality window
+// controls how quickly the reachable frontier grows per transition — the
+// property that differentiates the paper's Figure 9(b) (Munich, denser)
+// from 9(c) (North America, sparser).
+
+#ifndef USTDB_NETWORK_GENERATORS_H_
+#define USTDB_NETWORK_GENERATORS_H_
+
+#include "network/road_network.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace network {
+
+/// Parameters of the corridor generator.
+struct RoadGenConfig {
+  uint32_t num_nodes = 10'000;
+  /// Total undirected edges; must be >= num_nodes - 1 (spanning tree) and
+  /// small enough to fit the locality window.
+  uint32_t num_edges = 11'000;
+  /// Node i attaches to a parent in [i - locality_window, i - 1]; chords
+  /// also span at most this window. Smaller window = longer corridors.
+  uint32_t locality_window = 16;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates a connected corridor graph per `config`.
+util::Result<RoadNetwork> GenerateRoadNetwork(const RoadGenConfig& config);
+
+/// \brief North-America-like preset: 175,813 nodes, 179,102 edges
+/// (average degree ≈ 2.04, tree-like with sparse chords).
+util::Result<RoadNetwork> GenerateContinentalNetwork(uint64_t seed);
+
+/// \brief Munich-like preset: 73,120 nodes, 93,925 edges (average degree
+/// ≈ 2.57, markedly more cycles — urban blocks).
+util::Result<RoadNetwork> GenerateUrbanNetwork(uint64_t seed);
+
+}  // namespace network
+}  // namespace ustdb
+
+#endif  // USTDB_NETWORK_GENERATORS_H_

@@ -1,0 +1,110 @@
+#include "network/road_network.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace network {
+
+util::Result<RoadNetwork> RoadNetwork::FromEdges(uint32_t num_nodes,
+                                                 std::vector<RoadEdge> edges) {
+  for (RoadEdge& e : edges) {
+    if (e.a >= num_nodes || e.b >= num_nodes) {
+      return util::Status::OutOfRange(util::StringPrintf(
+          "edge (%u,%u) references a node >= %u", e.a, e.b, num_nodes));
+    }
+    if (e.a == e.b) {
+      return util::Status::InvalidArgument(
+          util::StringPrintf("self-loop at node %u", e.a));
+    }
+    if (e.a > e.b) std::swap(e.a, e.b);
+  }
+  std::sort(edges.begin(), edges.end(), [](const RoadEdge& x, const RoadEdge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  auto dup = std::adjacent_find(edges.begin(), edges.end());
+  if (dup != edges.end()) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("duplicate edge (%u,%u)", dup->a, dup->b));
+  }
+
+  RoadNetwork g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = static_cast<uint32_t>(edges.size());
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const RoadEdge& e : edges) {
+    ++g.offsets_[e.a + 1];
+    ++g.offsets_[e.b + 1];
+  }
+  for (uint32_t n = 0; n < num_nodes; ++n) g.offsets_[n + 1] += g.offsets_[n];
+  g.adj_.resize(2 * edges.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const RoadEdge& e : edges) {
+    g.adj_[cursor[e.a]++] = e.b;
+    g.adj_[cursor[e.b]++] = e.a;
+  }
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    std::sort(g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[n]),
+              g.adj_.begin() + static_cast<ptrdiff_t>(g.offsets_[n + 1]));
+  }
+  return g;
+}
+
+bool RoadNetwork::IsConnected() const {
+  if (num_nodes_ == 0) return true;
+  std::vector<uint8_t> seen(num_nodes_, 0);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = 1;
+  uint32_t visited = 1;
+  while (!stack.empty()) {
+    const uint32_t n = stack.back();
+    stack.pop_back();
+    for (uint32_t m : Neighbors(n)) {
+      if (!seen[m]) {
+        seen[m] = 1;
+        ++visited;
+        stack.push_back(m);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+std::vector<RoadEdge> RoadNetwork::Edges() const {
+  std::vector<RoadEdge> out;
+  out.reserve(num_edges_);
+  for (uint32_t n = 0; n < num_nodes_; ++n) {
+    for (uint32_t m : Neighbors(n)) {
+      if (n < m) out.push_back({n, m});
+    }
+  }
+  return out;
+}
+
+util::Result<markov::MarkovChain> RoadNetwork::ToMarkovChain(
+    util::Rng* rng) const {
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(adj_.size() + num_nodes_);
+  for (uint32_t n = 0; n < num_nodes_; ++n) {
+    auto nbrs = Neighbors(n);
+    if (nbrs.empty()) {
+      triplets.push_back({n, n, 1.0});
+      continue;
+    }
+    double total = 0.0;
+    std::vector<double> w(nbrs.size());
+    for (double& x : w) {
+      // Strictly positive weight so the support equals the adjacency.
+      x = rng->NextDouble() + 1e-3;
+      total += x;
+    }
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      triplets.push_back({n, nbrs[k], w[k] / total});
+    }
+  }
+  return markov::MarkovChain::FromTriplets(num_nodes_, std::move(triplets));
+}
+
+}  // namespace network
+}  // namespace ustdb

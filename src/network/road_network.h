@@ -1,0 +1,88 @@
+// Copyright 2026 the ustdb authors.
+//
+// RoadNetwork — the graph substrate behind the paper's real-data
+// experiments. The paper uses the North America road network (175,813
+// nodes / 179,102 edges) and the Munich road network (73,120 nodes /
+// 93,925 edges) and derives the Markov chain from the adjacency matrix:
+// "each node is treated as a state and each edge corresponds to two
+// non-zero entries in the transition matrix. The values of the non-zero
+// entries of one line ... are set randomly and sum up to one."
+//
+// We do not have those datasets; generators.h builds synthetic graphs with
+// matched node/edge counts and degree profile (see DESIGN.md substitutions).
+
+#ifndef USTDB_NETWORK_ROAD_NETWORK_H_
+#define USTDB_NETWORK_ROAD_NETWORK_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "markov/markov_chain.h"
+#include "sparse/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace network {
+
+/// Undirected edge between two nodes.
+struct RoadEdge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+
+  bool operator==(const RoadEdge&) const = default;
+};
+
+/// \brief Immutable undirected road graph in adjacency (CSR-like) form.
+class RoadNetwork {
+ public:
+  /// \brief Builds from an undirected edge list. Self-loops and duplicate
+  /// edges are rejected; node ids must be < num_nodes.
+  static util::Result<RoadNetwork> FromEdges(uint32_t num_nodes,
+                                             std::vector<RoadEdge> edges);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+
+  /// Number of *undirected* edges.
+  uint32_t num_edges() const { return num_edges_; }
+
+  /// Neighbours of node `n` (ascending).
+  std::span<const uint32_t> Neighbors(uint32_t n) const {
+    return {adj_.data() + offsets_[n], adj_.data() + offsets_[n + 1]};
+  }
+
+  uint32_t Degree(uint32_t n) const {
+    return static_cast<uint32_t>(offsets_[n + 1] - offsets_[n]);
+  }
+
+  /// Mean degree 2|E| / |V|.
+  double AverageDegree() const {
+    return num_nodes_ == 0 ? 0.0
+                           : 2.0 * num_edges_ / static_cast<double>(num_nodes_);
+  }
+
+  /// True iff the graph is connected (BFS from node 0).
+  bool IsConnected() const;
+
+  /// The undirected edge list (a < b, sorted).
+  std::vector<RoadEdge> Edges() const;
+
+  /// \brief Derives the motion model exactly as the paper does: for every
+  /// node, assign each incident edge a random weight and normalize the row
+  /// to one. Isolated nodes receive a self-loop.
+  util::Result<markov::MarkovChain> ToMarkovChain(util::Rng* rng) const;
+
+ private:
+  RoadNetwork() = default;
+
+  uint32_t num_nodes_ = 0;
+  uint32_t num_edges_ = 0;
+  std::vector<uint64_t> offsets_;  // size num_nodes_ + 1
+  std::vector<uint32_t> adj_;      // concatenated neighbour lists
+};
+
+}  // namespace network
+}  // namespace ustdb
+
+#endif  // USTDB_NETWORK_ROAD_NETWORK_H_

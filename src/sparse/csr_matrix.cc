@@ -1,0 +1,301 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/compensated_sum.h"
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace sparse {
+
+util::Result<CsrMatrix> CsrMatrix::FromTriplets(uint32_t rows, uint32_t cols,
+                                                std::vector<Triplet> t) {
+  for (const Triplet& e : t) {
+    if (e.row >= rows || e.col >= cols) {
+      return util::Status::OutOfRange(util::StringPrintf(
+          "triplet (%u,%u) outside %ux%u matrix", e.row, e.col, rows, cols));
+    }
+    if (!std::isfinite(e.value)) {
+      return util::Status::InvalidArgument(util::StringPrintf(
+          "non-finite value at (%u,%u)", e.row, e.col));
+    }
+  }
+  std::sort(t.begin(), t.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(t.size());
+  m.values_.reserve(t.size());
+
+  size_t k = 0;
+  for (uint32_t r = 0; r < rows; ++r) {
+    while (k < t.size() && t[k].row == r) {
+      // Merge duplicates at (r, c).
+      uint32_t c = t[k].col;
+      double v = 0.0;
+      while (k < t.size() && t[k].row == r && t[k].col == c) {
+        v += t[k].value;
+        ++k;
+      }
+      if (v != 0.0) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[r + 1] = static_cast<NnzIndex>(m.col_idx_.size());
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(uint32_t n) {
+  CsrMatrix m;
+  m.rows_ = n;
+  m.cols_ = n;
+  m.row_ptr_.resize(n + 1);
+  m.col_idx_.resize(n);
+  m.values_.assign(n, 1.0);
+  for (uint32_t i = 0; i < n; ++i) {
+    m.row_ptr_[i] = i;
+    m.col_idx_[i] = i;
+  }
+  m.row_ptr_[n] = n;
+  return m;
+}
+
+double CsrMatrix::Get(uint32_t i, uint32_t j) const {
+  assert(i < rows_ && j < cols_);
+  auto idx = RowIndices(i);
+  auto it = std::lower_bound(idx.begin(), idx.end(), j);
+  if (it == idx.end() || *it != j) return 0.0;
+  return values_[row_ptr_[i] + static_cast<NnzIndex>(it - idx.begin())];
+}
+
+double CsrMatrix::RowSum(uint32_t i) const {
+  util::CompensatedSum acc;
+  for (double v : RowValues(i)) acc.Add(v);
+  return acc.Total();
+}
+
+bool CsrMatrix::IsStochastic() const {
+  if (rows_ != cols_) return false;
+  for (double v : values_) {
+    if (v < 0.0) return false;
+  }
+  for (uint32_t i = 0; i < rows_; ++i) {
+    if (std::abs(RowSum(i) - 1.0) > kStochasticTolerance) return false;
+  }
+  return true;
+}
+
+bool CsrMatrix::IsSubStochastic() const {
+  for (double v : values_) {
+    if (v < 0.0) return false;
+  }
+  for (uint32_t i = 0; i < rows_; ++i) {
+    if (RowSum(i) > 1.0 + kStochasticTolerance) return false;
+  }
+  return true;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(col_idx_.size());
+  t.values_.resize(values_.size());
+
+  // Counting sort by column.
+  for (uint32_t c : col_idx_) ++t.row_ptr_[c + 1];
+  for (uint32_t c = 0; c < cols_; ++c) t.row_ptr_[c + 1] += t.row_ptr_[c];
+
+  std::vector<NnzIndex> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (NnzIndex k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const uint32_t c = col_idx_[k];
+      const NnzIndex pos = cursor[c]++;
+      t.col_idx_[pos] = r;
+      t.values_[pos] = values_[k];
+    }
+  }
+  return t;
+}
+
+std::vector<std::vector<double>> CsrMatrix::ToDense() const {
+  std::vector<std::vector<double>> d(rows_, std::vector<double>(cols_, 0.0));
+  for (uint32_t r = 0; r < rows_; ++r) {
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) d[r][idx[k]] = val[k];
+  }
+  return d;
+}
+
+std::vector<Triplet> CsrMatrix::ToTriplets() const {
+  std::vector<Triplet> out;
+  out.reserve(col_idx_.size());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      out.push_back({r, idx[k], val[k]});
+    }
+  }
+  return out;
+}
+
+util::Result<CsrMatrix> CsrMatrix::Multiply(const CsrMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "matrix product dimension mismatch: %ux%u times %ux%u", rows_, cols_,
+        other.rows_, other.cols_));
+  }
+  std::vector<Triplet> out;
+  std::vector<double> scratch(other.cols_, 0.0);
+  std::vector<uint32_t> touched;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const uint32_t mid = idx[k];
+      const double x = val[k];
+      auto oidx = other.RowIndices(mid);
+      auto oval = other.RowValues(mid);
+      for (size_t j = 0; j < oidx.size(); ++j) {
+        if (scratch[oidx[j]] == 0.0) touched.push_back(oidx[j]);
+        scratch[oidx[j]] += x * oval[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (uint32_t c : touched) {
+      if (scratch[c] != 0.0) out.push_back({r, c, scratch[c]});
+      scratch[c] = 0.0;
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(out));
+}
+
+util::Result<CsrMatrix> CsrMatrix::Power(uint32_t m) const {
+  if (rows_ != cols_) {
+    return util::Status::InvalidArgument("matrix power requires square matrix");
+  }
+  CsrMatrix result = Identity(rows_);
+  CsrMatrix base = *this;
+  // Exponentiation by squaring.
+  while (m > 0) {
+    if (m & 1u) {
+      USTDB_ASSIGN_OR_RETURN(result, result.Multiply(base));
+    }
+    m >>= 1u;
+    if (m > 0) {
+      USTDB_ASSIGN_OR_RETURN(base, base.Multiply(base));
+    }
+  }
+  return result;
+}
+
+CsrMatrix CsrMatrix::WithColumnsZeroed(const IndexSet& cols) const {
+  CsrMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+  m.row_ptr_.assign(rows_ + 1, 0);
+  m.col_idx_.reserve(col_idx_.size());
+  m.values_.reserve(values_.size());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      if (!cols.Contains(idx[k])) {
+        m.col_idx_.push_back(idx[k]);
+        m.values_.push_back(val[k]);
+      }
+    }
+    m.row_ptr_[r + 1] = static_cast<NnzIndex>(m.col_idx_.size());
+  }
+  return m;
+}
+
+std::vector<double> CsrMatrix::RowMassInColumns(const IndexSet& cols) const {
+  std::vector<double> out(rows_, 0.0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    util::CompensatedSum acc;
+    auto idx = RowIndices(r);
+    auto val = RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      if (cols.Contains(idx[k])) acc.Add(val[k]);
+    }
+    out[r] = acc.Total();
+  }
+  return out;
+}
+
+size_t CsrMatrix::MemoryBytes() const {
+  return row_ptr_.capacity() * sizeof(NnzIndex) +
+         col_idx_.capacity() * sizeof(uint32_t) +
+         values_.capacity() * sizeof(double);
+}
+
+void VecMatWorkspace::EnsureWidth(uint32_t cols) {
+  if (scratch_.size() < cols) {
+    scratch_.resize(cols, 0.0);
+    stamp_.resize(cols, 0);
+  }
+}
+
+void VecMatWorkspace::Multiply(const ProbVector& x, const CsrMatrix& m,
+                               ProbVector* out) {
+  assert(x.size() == m.rows());
+  EnsureWidth(m.cols());
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Stamp wrap-around: invalidate everything once per 2^32 products.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  touched_.clear();
+
+  x.ForEachNonZero([&](uint32_t i, double xi) {
+    auto idx = m.RowIndices(i);
+    auto val = m.RowValues(i);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const uint32_t c = idx[k];
+      if (stamp_[c] != epoch_) {
+        stamp_[c] = epoch_;
+        scratch_[c] = 0.0;
+        touched_.push_back(c);
+      }
+      scratch_[c] += xi * val[k];
+    }
+  });
+
+  // Materialize with representation chosen by support density.
+  ProbVector result(m.cols());
+  if (touched_.size() > ProbVector::kDenseThreshold * m.cols()) {
+    result.dense_ = true;
+    result.dense_values_.assign(m.cols(), 0.0);
+    for (uint32_t c : touched_) {
+      if (scratch_[c] > kProbEpsilon) result.dense_values_[c] = scratch_[c];
+    }
+  } else {
+    std::sort(touched_.begin(), touched_.end());
+    result.idx_.reserve(touched_.size());
+    result.val_.reserve(touched_.size());
+    for (uint32_t c : touched_) {
+      if (scratch_[c] > kProbEpsilon) {
+        result.idx_.push_back(c);
+        result.val_.push_back(scratch_[c]);
+      }
+    }
+  }
+  *out = std::move(result);
+}
+
+}  // namespace sparse
+}  // namespace ustdb

@@ -1,0 +1,147 @@
+// Copyright 2026 the ustdb authors.
+//
+// CsrMatrix — compressed-sparse-row matrix of doubles, the representation of
+// every (possibly augmented) Markov-chain transition matrix in ustdb. The
+// paper reduces all query processing to row-vector × matrix products; the
+// kernels here (VecMatWorkspace) are those products.
+
+#ifndef USTDB_SPARSE_CSR_MATRIX_H_
+#define USTDB_SPARSE_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/index_set.h"
+#include "sparse/prob_vector.h"
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace sparse {
+
+/// One structural non-zero: value at (row, col).
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+
+  bool operator==(const Triplet&) const = default;
+};
+
+/// \brief Immutable CSR matrix.
+///
+/// Rows may be sub-stochastic (the augmented matrices M' of Section V-A drop
+/// columns); use IsStochastic()/IsSubStochastic() to validate the variant a
+/// caller requires.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+
+  /// \brief Builds from triplets (any order; duplicates are summed).
+  /// Fails on out-of-range coordinates or non-finite values. Zero-valued
+  /// entries (including duplicate groups summing to zero) are dropped.
+  static util::Result<CsrMatrix> FromTriplets(uint32_t rows, uint32_t cols,
+                                              std::vector<Triplet> triplets);
+
+  /// Identity matrix of dimension n.
+  static CsrMatrix Identity(uint32_t n);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  NnzIndex nnz() const { return static_cast<NnzIndex>(col_idx_.size()); }
+
+  /// Column indices of row i (ascending).
+  std::span<const uint32_t> RowIndices(uint32_t i) const {
+    return {col_idx_.data() + row_ptr_[i],
+            col_idx_.data() + row_ptr_[i + 1]};
+  }
+
+  /// Values of row i, parallel to RowIndices(i).
+  std::span<const double> RowValues(uint32_t i) const {
+    return {values_.data() + row_ptr_[i], values_.data() + row_ptr_[i + 1]};
+  }
+
+  /// Number of structural non-zeros in row i.
+  uint32_t RowNnz(uint32_t i) const {
+    return static_cast<uint32_t>(row_ptr_[i + 1] - row_ptr_[i]);
+  }
+
+  /// Entry (i, j); O(log nnz(row i)).
+  double Get(uint32_t i, uint32_t j) const;
+
+  /// Sum of row i's values (compensated).
+  double RowSum(uint32_t i) const;
+
+  /// True iff every row sums to 1 within kStochasticTolerance and all
+  /// values are non-negative.
+  bool IsStochastic() const;
+
+  /// True iff all values are >= 0 and every row sums to <= 1 + tolerance.
+  bool IsSubStochastic() const;
+
+  /// Transposed copy (used once per chain to enable backward/QB passes).
+  CsrMatrix Transposed() const;
+
+  /// Dense snapshot (tests only; O(rows*cols) memory).
+  std::vector<std::vector<double>> ToDense() const;
+
+  /// All structural non-zeros as triplets (row-major order).
+  std::vector<Triplet> ToTriplets() const;
+
+  /// \brief Matrix–matrix product this × other (small models / tests;
+  /// Chapman–Kolmogorov M^m). Fails on dimension mismatch.
+  util::Result<CsrMatrix> Multiply(const CsrMatrix& other) const;
+
+  /// m-th power; m == 0 yields the identity.
+  util::Result<CsrMatrix> Power(uint32_t m) const;
+
+  /// \brief Copy with the columns in `cols` zeroed out — the paper's M'
+  /// construction ("replacing all columns that correspond to states in S□
+  /// by zero vectors").
+  CsrMatrix WithColumnsZeroed(const IndexSet& cols) const;
+
+  /// \brief Per-row sum of the entries living in columns `cols` — the
+  /// paper's sum(S□) column vector accompanying M'.
+  std::vector<double> RowMassInColumns(const IndexSet& cols) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+  bool operator==(const CsrMatrix& other) const = default;
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<NnzIndex> row_ptr_;   // size rows_ + 1
+  std::vector<uint32_t> col_idx_;   // ascending within each row
+  std::vector<double> values_;
+};
+
+/// \brief Reusable workspace for row-vector × CsrMatrix products.
+///
+/// Holds a dense scratch accumulator plus a stamp array so repeated products
+/// against the same-width matrices cost O(work) rather than O(cols) to reset.
+/// Not thread-safe; create one per thread.
+class VecMatWorkspace {
+ public:
+  VecMatWorkspace() = default;
+
+  /// \brief out = x · m. `out` may alias x. Dimension of x must equal
+  /// m.rows(); the result has dimension m.cols(). The representation of
+  /// `out` (sparse vs dense) is chosen from the result's support.
+  void Multiply(const ProbVector& x, const CsrMatrix& m, ProbVector* out);
+
+ private:
+  void EnsureWidth(uint32_t cols);
+
+  std::vector<double> scratch_;
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace sparse
+}  // namespace ustdb
+
+#endif  // USTDB_SPARSE_CSR_MATRIX_H_

@@ -1,0 +1,65 @@
+#include "sparse/index_set.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace sparse {
+
+IndexSet::IndexSet(uint32_t domain_size, std::vector<uint32_t> sorted)
+    : domain_size_(domain_size),
+      sorted_(std::move(sorted)),
+      bitmap_(domain_size, 0) {
+  for (uint32_t i : sorted_) bitmap_[i] = 1;
+}
+
+util::Result<IndexSet> IndexSet::FromIndices(uint32_t domain_size,
+                                             std::vector<uint32_t> indices) {
+  for (uint32_t i : indices) {
+    if (i >= domain_size) {
+      return util::Status::OutOfRange(util::StringPrintf(
+          "index %u outside domain of size %u", i, domain_size));
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return IndexSet(domain_size, std::move(indices));
+}
+
+util::Result<IndexSet> IndexSet::FromRange(uint32_t domain_size, uint32_t lo,
+                                           uint32_t hi) {
+  if (lo > hi) {
+    return util::Status::InvalidArgument(
+        util::StringPrintf("range lower bound %u > upper bound %u", lo, hi));
+  }
+  if (hi >= domain_size) {
+    return util::Status::OutOfRange(util::StringPrintf(
+        "range upper bound %u outside domain of size %u", hi, domain_size));
+  }
+  std::vector<uint32_t> v(hi - lo + 1);
+  for (uint32_t i = lo; i <= hi; ++i) v[i - lo] = i;
+  return IndexSet(domain_size, std::move(v));
+}
+
+IndexSet IndexSet::Empty(uint32_t domain_size) {
+  return IndexSet(domain_size, {});
+}
+
+IndexSet IndexSet::All(uint32_t domain_size) {
+  std::vector<uint32_t> v(domain_size);
+  for (uint32_t i = 0; i < domain_size; ++i) v[i] = i;
+  return IndexSet(domain_size, std::move(v));
+}
+
+IndexSet IndexSet::Complement() const {
+  std::vector<uint32_t> v;
+  v.reserve(domain_size_ - sorted_.size());
+  for (uint32_t i = 0; i < domain_size_; ++i) {
+    if (!bitmap_[i]) v.push_back(i);
+  }
+  return IndexSet(domain_size_, std::move(v));
+}
+
+}  // namespace sparse
+}  // namespace ustdb

@@ -1,0 +1,86 @@
+// Copyright 2026 the ustdb authors.
+//
+// IndexSet — an immutable set of indices over a fixed domain [0, n), with a
+// sorted-vector representation for iteration plus a bitmap for O(1)
+// membership tests. Query regions S□ (sets of states) and time sets T□ are
+// both represented with IndexSet.
+
+#ifndef USTDB_SPARSE_INDEX_SET_H_
+#define USTDB_SPARSE_INDEX_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace sparse {
+
+/// \brief Immutable subset of [0, domain_size).
+///
+/// The paper's query regions are "a set of (not necessarily connected)
+/// locations in space" and "a set of (not necessarily subsequent) points in
+/// time"; IndexSet supports both without assuming contiguity.
+class IndexSet {
+ public:
+  /// Empty set over an empty domain.
+  IndexSet() : domain_size_(0) {}
+
+  /// \brief Builds a set from arbitrary (possibly unsorted, possibly
+  /// duplicated) indices. Fails if any index is >= domain_size.
+  static util::Result<IndexSet> FromIndices(uint32_t domain_size,
+                                            std::vector<uint32_t> indices);
+
+  /// \brief Contiguous inclusive range [lo, hi] (the paper's query windows,
+  /// e.g. states [100,120], times [20,25]). Fails if hi >= domain_size or
+  /// lo > hi.
+  static util::Result<IndexSet> FromRange(uint32_t domain_size, uint32_t lo,
+                                          uint32_t hi);
+
+  /// The empty set over [0, domain_size).
+  static IndexSet Empty(uint32_t domain_size);
+
+  /// The full set [0, domain_size).
+  static IndexSet All(uint32_t domain_size);
+
+  /// O(1) membership test.
+  bool Contains(uint32_t i) const {
+    return i < domain_size_ && bitmap_[i] != 0;
+  }
+
+  /// Set complement within the domain (used by PST∀Q: S \ S□).
+  IndexSet Complement() const;
+
+  /// Number of elements.
+  uint32_t size() const { return static_cast<uint32_t>(sorted_.size()); }
+  bool empty() const { return sorted_.empty(); }
+  uint32_t domain_size() const { return domain_size_; }
+
+  /// Sorted ascending elements.
+  const std::vector<uint32_t>& elements() const { return sorted_; }
+  std::vector<uint32_t>::const_iterator begin() const {
+    return sorted_.begin();
+  }
+  std::vector<uint32_t>::const_iterator end() const { return sorted_.end(); }
+
+  /// Smallest / largest element; set must be non-empty.
+  uint32_t min() const { return sorted_.front(); }
+  uint32_t max() const { return sorted_.back(); }
+
+  bool operator==(const IndexSet& other) const {
+    return domain_size_ == other.domain_size_ && sorted_ == other.sorted_;
+  }
+
+ private:
+  IndexSet(uint32_t domain_size, std::vector<uint32_t> sorted);
+
+  uint32_t domain_size_;
+  std::vector<uint32_t> sorted_;
+  std::vector<uint8_t> bitmap_;  // size domain_size_
+};
+
+}  // namespace sparse
+}  // namespace ustdb
+
+#endif  // USTDB_SPARSE_INDEX_SET_H_

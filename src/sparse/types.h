@@ -1,0 +1,42 @@
+// Copyright 2026 the ustdb authors.
+//
+// Fundamental scalar types shared across ustdb.
+
+#ifndef USTDB_SPARSE_TYPES_H_
+#define USTDB_SPARSE_TYPES_H_
+
+#include <cstdint>
+
+namespace ustdb {
+
+/// Index of a state in the discrete spatial domain S = {s_0, ..., s_{|S|-1}}.
+/// The paper indexes states from 1; we use 0-based indices throughout.
+using StateIndex = uint32_t;
+
+/// Discrete timestamp t in T = {0, 1, 2, ...}.
+using Timestamp = uint32_t;
+
+/// Identifier of an uncertain object in the database D.
+using ObjectId = uint32_t;
+
+/// Identifier of a Markov-chain "class" (Section V-C: buses/trucks/cars may
+/// follow different chains; objects referencing the same chain share
+/// query-based computations).
+using ChainId = uint32_t;
+
+namespace sparse {
+
+/// Offset into the non-zero arrays of a CSR matrix.
+using NnzIndex = uint64_t;
+
+/// Tolerance used when validating that transition-matrix rows sum to one.
+inline constexpr double kStochasticTolerance = 1e-9;
+
+/// Entries with |value| below this threshold are dropped when compacting
+/// probability vectors; keeps support sizes honest after long propagations.
+inline constexpr double kProbEpsilon = 1e-15;
+
+}  // namespace sparse
+}  // namespace ustdb
+
+#endif  // USTDB_SPARSE_TYPES_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 the ustdb authors.
+//
+// Kahan–Babuška compensated summation. Query windows can span hundreds of
+// transitions; plain accumulation of probability mass loses enough precision
+// to break the mass-conservation invariants we assert, so every reduction of
+// probability values routes through this accumulator.
+
+#ifndef USTDB_UTIL_COMPENSATED_SUM_H_
+#define USTDB_UTIL_COMPENSATED_SUM_H_
+
+#include <cmath>
+
+namespace ustdb {
+namespace util {
+
+/// \brief Neumaier's improved Kahan summation.
+class CompensatedSum {
+ public:
+  CompensatedSum() = default;
+
+  /// Adds one term.
+  void Add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// Current compensated total.
+  double Total() const { return sum_ + comp_; }
+
+  /// Resets to zero.
+  void Reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Compensated sum over a contiguous range.
+inline double SumCompensated(const double* data, size_t n) {
+  CompensatedSum acc;
+  for (size_t i = 0; i < n; ++i) acc.Add(data[i]);
+  return acc.Total();
+}
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_COMPENSATED_SUM_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 the ustdb authors.
+//
+// Minimal data-parallel loop used by the parallel query processor. We use
+// plain std::thread with static chunking: query workloads are uniform
+// (every object costs roughly the same), so work stealing would buy
+// nothing and the static scheme keeps results bit-reproducible.
+
+#ifndef USTDB_UTIL_PARALLEL_FOR_H_
+#define USTDB_UTIL_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ustdb {
+namespace util {
+
+/// Number of worker threads to use for `requested` (0 = hardware default).
+inline unsigned ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// \brief Runs f(begin, end) over disjoint contiguous chunks of [0, n) on
+/// `num_threads` threads (0 = hardware default). f must be thread-safe
+/// across disjoint ranges. Blocks until every chunk is done.
+template <typename F>
+void ParallelChunks(size_t n, unsigned num_threads, F&& f) {
+  const unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(ResolveThreadCount(num_threads),
+                                             n == 0 ? 1 : n));
+  if (workers <= 1 || n == 0) {
+    f(static_cast<size_t>(0), n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const size_t begin = static_cast<size_t>(w) * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&f, begin, end] { f(begin, end); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_PARALLEL_FOR_H_

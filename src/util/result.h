@@ -1,0 +1,86 @@
+// Copyright 2026 the ustdb authors.
+//
+// Result<T> — a value-or-Status container (Arrow's Result / absl::StatusOr
+// idiom) used by every fallible factory in ustdb.
+
+#ifndef USTDB_UTIL_RESULT_H_
+#define USTDB_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ustdb {
+namespace util {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Usage:
+/// \code
+///   Result<CsrMatrix> r = CsrMatrix::FromTriplets(...);
+///   if (!r.ok()) return r.status();
+///   CsrMatrix m = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Const access to the value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out; requires ok(). Mirrors Arrow's ValueOrDie.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when not ok.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace ustdb
+
+/// Assigns the value of a Result expression to `lhs` or propagates its error.
+#define USTDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define USTDB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define USTDB_ASSIGN_OR_RETURN_NAME(a, b) USTDB_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define USTDB_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  USTDB_ASSIGN_OR_RETURN_IMPL(                                               \
+      USTDB_ASSIGN_OR_RETURN_NAME(_ustdb_result_, __LINE__), lhs, rexpr)
+
+#endif  // USTDB_UTIL_RESULT_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 the ustdb authors.
+//
+// Deterministic pseudo-random number generation. We intentionally avoid
+// std::mt19937 + std::uniform_*_distribution on experiment paths because
+// their outputs are not guaranteed to be identical across standard library
+// implementations; every number an experiment consumes comes from the
+// generators below so that datasets and Monte-Carlo runs are reproducible
+// bit-for-bit from a 64-bit seed.
+
+#ifndef USTDB_UTIL_RNG_H_
+#define USTDB_UTIL_RNG_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ustdb {
+namespace util {
+
+/// \brief SplitMix64 — used to seed Xoshiro and for cheap hashing.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97f4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoshiro256** — the main generator for dataset synthesis and
+/// Monte-Carlo sampling. Fast, high quality, tiny state.
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", ACM TOMS 2021.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0xDB5EEDULL);
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// \param bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. \param hi must be >= lo.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double NextGaussian();
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Draws `k` distinct values from [0, n) (k <= n), ascending order.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Splits off an independent generator (for per-object streams).
+  Rng Split();
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_RNG_H_

@@ -1,0 +1,113 @@
+// Copyright 2026 the ustdb authors.
+//
+// RocksDB-style status object used for all fallible operations in ustdb.
+// Query hot paths operate on pre-validated inputs and are Status-free; every
+// construction / parsing / IO entry point returns a Status (or a
+// util::Result<T>, see result.h) instead of throwing.
+
+#ifndef USTDB_UTIL_STATUS_H_
+#define USTDB_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ustdb {
+namespace util {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed a malformed value
+  kOutOfRange = 2,        ///< an index or time is outside the domain
+  kNotFound = 3,          ///< a referenced entity does not exist
+  kAlreadyExists = 4,     ///< unique key violated
+  kFailedPrecondition = 5,///< object not in the required state
+  kInconsistent = 6,      ///< data violates a model invariant (e.g. row sums)
+  kIOError = 7,           ///< filesystem / parse failure
+  kUnimplemented = 8,     ///< feature intentionally not available
+  kInternal = 9,          ///< invariant broken inside ustdb itself
+};
+
+/// \brief Human-readable name of a StatusCode ("InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus an optional message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation). Use the
+/// factory functions (Status::OK(), Status::InvalidArgument(...)) rather
+/// than the constructor.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factory functions
+  /// \{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// \}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// Message attached at construction; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace util
+}  // namespace ustdb
+
+/// Propagates a non-OK Status to the caller (RocksDB idiom).
+#define USTDB_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::ustdb::util::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // USTDB_UTIL_STATUS_H_

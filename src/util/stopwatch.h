@@ -1,0 +1,41 @@
+// Copyright 2026 the ustdb authors.
+//
+// Wall-clock stopwatch used by the benchmark harness and the examples.
+
+#ifndef USTDB_UTIL_STOPWATCH_H_
+#define USTDB_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ustdb {
+namespace util {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction / Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_STOPWATCH_H_

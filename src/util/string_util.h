@@ -1,0 +1,39 @@
+// Copyright 2026 the ustdb authors.
+//
+// Small string helpers shared by the IO module and the bench harness.
+
+#ifndef USTDB_UTIL_STRING_UTIL_H_
+#define USTDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ustdb {
+namespace util {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a non-negative integer; fails on trailing garbage.
+Result<uint64_t> ParseU64(std::string_view s);
+
+/// Parses a double; fails on trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,63 @@
+#include "workload/query_gen.h"
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace workload {
+
+util::Result<core::QueryWindow> RandomWindow(const QueryGenConfig& config,
+                                             util::Rng* rng) {
+  if (config.region_extent == 0 || config.region_extent > config.num_states) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "region extent %u invalid for %u states", config.region_extent,
+        config.num_states));
+  }
+  if (config.window_length == 0) {
+    return util::Status::InvalidArgument("window length must be >= 1");
+  }
+  if (config.t_min > config.t_max) {
+    return util::Status::InvalidArgument("t_min > t_max");
+  }
+  const uint32_t anchor = static_cast<uint32_t>(
+      rng->NextBounded(config.num_states - config.region_extent + 1));
+  const Timestamp start = static_cast<Timestamp>(
+      rng->NextInRange(config.t_min, config.t_max));
+  return core::QueryWindow::FromRanges(
+      config.num_states, anchor, anchor + config.region_extent - 1, start,
+      start + config.window_length - 1);
+}
+
+util::Result<std::vector<core::QueryWindow>> RepeatingWorkload(
+    const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count) {
+  if (distinct_windows == 0) {
+    return util::Status::InvalidArgument("need at least one distinct window");
+  }
+  util::Rng rng(config.seed);
+  std::vector<core::QueryWindow> pool;
+  pool.reserve(distinct_windows);
+  for (uint32_t i = 0; i < distinct_windows; ++i) {
+    USTDB_ASSIGN_OR_RETURN(core::QueryWindow w, RandomWindow(config, &rng));
+    pool.push_back(std::move(w));
+  }
+
+  // Harmonic weights: rank r drawn with probability ∝ 1/(r+1).
+  std::vector<double> cumulative(distinct_windows);
+  double total = 0.0;
+  for (uint32_t r = 0; r < distinct_windows; ++r) {
+    total += 1.0 / (r + 1);
+    cumulative[r] = total;
+  }
+
+  std::vector<core::QueryWindow> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const double x = rng.NextDouble() * total;
+    uint32_t rank = 0;
+    while (rank + 1 < distinct_windows && cumulative[rank] < x) ++rank;
+    out.push_back(pool[rank]);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace ustdb

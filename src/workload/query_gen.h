@@ -1,0 +1,46 @@
+// Copyright 2026 the ustdb authors.
+//
+// Query-workload generator: random spatio-temporal windows with controlled
+// selectivity, used by the cache/pruning benchmarks and the stress tests.
+// The paper evaluates a single fixed window ([100,120] × [20,25]); real
+// monitoring workloads issue many windows with repetition, which is what
+// this generator models (a Zipf-ish repeat pattern over a pool of windows).
+
+#ifndef USTDB_WORKLOAD_QUERY_GEN_H_
+#define USTDB_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query_window.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace workload {
+
+/// Parameters of the window generator.
+struct QueryGenConfig {
+  uint32_t num_states = 100'000;  ///< spatial domain size
+  uint32_t region_extent = 21;    ///< states per window (contiguous)
+  uint32_t window_length = 6;     ///< timestamps per window (contiguous)
+  Timestamp t_min = 5;            ///< earliest window start
+  Timestamp t_max = 50;           ///< latest window start
+  uint64_t seed = 77;
+};
+
+/// \brief One random contiguous window: region anchor and start time drawn
+/// uniformly from the configured ranges.
+util::Result<core::QueryWindow> RandomWindow(const QueryGenConfig& config,
+                                             util::Rng* rng);
+
+/// \brief A stream of `count` queries drawn from a pool of
+/// `distinct_windows` windows, with earlier pool entries repeated more
+/// often (rank r is drawn with weight 1/(r+1) — a Zipf-like skew). Models
+/// monitoring dashboards that refresh a fixed set of watches.
+util::Result<std::vector<core::QueryWindow>> RepeatingWorkload(
+    const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count);
+
+}  // namespace workload
+}  // namespace ustdb
+
+#endif  // USTDB_WORKLOAD_QUERY_GEN_H_

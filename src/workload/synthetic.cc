@@ -1,0 +1,141 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace workload {
+
+util::Result<markov::MarkovChain> GenerateChain(const SyntheticConfig& config,
+                                                util::Rng* rng) {
+  const uint32_t n = config.num_states;
+  if (n < 2) {
+    return util::Status::InvalidArgument("need at least two states");
+  }
+  if (config.state_spread == 0) {
+    return util::Status::InvalidArgument("state spread must be >= 1");
+  }
+  if (config.max_step == 0) {
+    return util::Status::InvalidArgument("max step must be >= 1");
+  }
+
+  const uint32_t half = config.max_step / 2;
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n) * config.state_spread);
+  std::vector<uint32_t> band;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t lo = i > half ? i - half : 0;
+    const uint32_t hi = std::min(i + half, n - 1);
+    const uint32_t band_size = hi - lo + 1;
+    const uint32_t spread = std::min(config.state_spread, band_size);
+
+    // Distinct targets inside the band.
+    const std::vector<uint32_t> offsets =
+        rng->SampleWithoutReplacement(band_size, spread);
+    band.clear();
+    for (uint32_t off : offsets) band.push_back(lo + off);
+
+    double total = 0.0;
+    std::vector<double> w(band.size());
+    for (double& x : w) {
+      x = rng->NextDouble() + 1e-3;  // strictly positive
+      total += x;
+    }
+    for (size_t k = 0; k < band.size(); ++k) {
+      triplets.push_back({i, band[k], w[k] / total});
+    }
+  }
+  return markov::MarkovChain::FromTriplets(n, std::move(triplets));
+}
+
+util::Result<markov::MarkovChain> PerturbChain(const markov::MarkovChain& base,
+                                               double jitter,
+                                               util::Rng* rng) {
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return util::Status::InvalidArgument("jitter must be in [0, 1)");
+  }
+  std::vector<sparse::Triplet> triplets;
+  triplets.reserve(base.matrix().nnz());
+  const uint32_t n = base.num_states();
+  for (uint32_t r = 0; r < n; ++r) {
+    auto idx = base.matrix().RowIndices(r);
+    auto val = base.matrix().RowValues(r);
+    double total = 0.0;
+    std::vector<double> w(idx.size());
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const double factor = 1.0 + jitter * (2.0 * rng->NextDouble() - 1.0);
+      w[k] = val[k] * factor;
+      total += w[k];
+    }
+    for (size_t k = 0; k < idx.size(); ++k) {
+      triplets.push_back({r, idx[k], w[k] / total});
+    }
+  }
+  return markov::MarkovChain::FromTriplets(n, std::move(triplets));
+}
+
+sparse::ProbVector GenerateObjectPdf(const SyntheticConfig& config,
+                                     util::Rng* rng) {
+  const uint32_t n = config.num_states;
+  const uint32_t spread = std::min(config.object_spread, n);
+  const uint32_t anchor =
+      static_cast<uint32_t>(rng->NextBounded(n - spread + 1));
+  std::vector<std::pair<uint32_t, double>> pairs;
+  pairs.reserve(spread);
+  for (uint32_t k = 0; k < spread; ++k) {
+    pairs.emplace_back(anchor + k, rng->NextDouble() + 1e-3);
+  }
+  return sparse::ProbVector::FromPairs(n, std::move(pairs),
+                                       /*normalize=*/true)
+      .ValueOrDie();
+}
+
+util::Result<core::Database> GenerateDatabase(const SyntheticConfig& config) {
+  util::Rng rng(config.seed);
+  USTDB_ASSIGN_OR_RETURN(markov::MarkovChain chain,
+                         GenerateChain(config, &rng));
+  core::Database db;
+  const ChainId cid = db.AddChain(std::move(chain));
+  for (uint32_t i = 0; i < config.num_objects; ++i) {
+    USTDB_ASSIGN_OR_RETURN(
+        ObjectId id, db.AddObjectAt(cid, GenerateObjectPdf(config, &rng)));
+    (void)id;
+  }
+  return db;
+}
+
+util::Result<core::Database> GenerateMultiChainDatabase(
+    const SyntheticConfig& config, uint32_t num_chains, double jitter) {
+  if (num_chains == 0) {
+    return util::Status::InvalidArgument("need at least one chain");
+  }
+  util::Rng rng(config.seed);
+  USTDB_ASSIGN_OR_RETURN(markov::MarkovChain base,
+                         GenerateChain(config, &rng));
+  core::Database db;
+  std::vector<ChainId> chain_ids;
+  chain_ids.push_back(db.AddChain(std::move(base)));
+  for (uint32_t c = 1; c < num_chains; ++c) {
+    USTDB_ASSIGN_OR_RETURN(
+        markov::MarkovChain perturbed,
+        PerturbChain(db.chain(chain_ids[0]), jitter, &rng));
+    chain_ids.push_back(db.AddChain(std::move(perturbed)));
+  }
+  for (uint32_t i = 0; i < config.num_objects; ++i) {
+    USTDB_ASSIGN_OR_RETURN(
+        ObjectId id, db.AddObjectAt(chain_ids[i % num_chains],
+                                    GenerateObjectPdf(config, &rng)));
+    (void)id;
+  }
+  return db;
+}
+
+util::Result<core::QueryWindow> DefaultWindow(const SyntheticConfig& config) {
+  const uint32_t s_lo = std::min(100u, config.num_states - 1);
+  const uint32_t s_hi = std::min(120u, config.num_states - 1);
+  return core::QueryWindow::FromRanges(config.num_states, s_lo, s_hi, 20, 25);
+}
+
+}  // namespace workload
+}  // namespace ustdb

@@ -1,0 +1,75 @@
+// Copyright 2026 the ustdb authors.
+//
+// Synthetic workload generator — Section VIII-A / Table I:
+//
+//   parameter       value range        default
+//   |D|             1,000 - 100,000    10,000
+//   |S|             2,000 - 100,000    100,000
+//   object spread   5                  5
+//   state spread    1 - 20             5
+//   max step        10 - 100           40
+//
+// "From each state it is possible to transition into state_spread states.
+//  ... An object in state s_i can only transition into states
+//  s_j ∈ [s_i − max_step/2, s_i + max_step/2]."
+
+#ifndef USTDB_WORKLOAD_SYNTHETIC_H_
+#define USTDB_WORKLOAD_SYNTHETIC_H_
+
+#include "core/database.h"
+#include "core/query_window.h"
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace workload {
+
+/// Table I parameters (defaults are the paper's defaults).
+struct SyntheticConfig {
+  uint32_t num_objects = 10'000;   ///< |D|
+  uint32_t num_states = 100'000;   ///< |S|
+  uint32_t object_spread = 5;      ///< support of each initial pdf
+  uint32_t state_spread = 5;       ///< non-zeros per transition row
+  uint32_t max_step = 40;          ///< transition band width
+  uint64_t seed = 7;
+};
+
+/// \brief Generates one Table-I transition matrix: each row has
+/// `state_spread` strictly positive entries confined to the band
+/// [i − max_step/2, i + max_step/2] (clamped at the domain borders) and
+/// sums to one.
+util::Result<markov::MarkovChain> GenerateChain(const SyntheticConfig& config,
+                                                util::Rng* rng);
+
+/// \brief A perturbed copy of `base`: same support, weights jittered by a
+/// relative factor up to `jitter`, rows renormalized. Used to build the
+/// per-class chain populations of Section V-C (buses/trucks/cars).
+util::Result<markov::MarkovChain> PerturbChain(const markov::MarkovChain& base,
+                                               double jitter, util::Rng* rng);
+
+/// \brief One object's initial pdf: `object_spread` consecutive states
+/// anchored uniformly at random, with random normalized weights ("objects
+/// randomly distributed across the state space").
+sparse::ProbVector GenerateObjectPdf(const SyntheticConfig& config,
+                                     util::Rng* rng);
+
+/// \brief Full database: one shared chain (the paper's default — "all
+/// objects follow the same model") plus |D| objects observed at t = 0.
+util::Result<core::Database> GenerateDatabase(const SyntheticConfig& config);
+
+/// \brief Multi-class database: `num_chains` perturbations of one base
+/// chain, objects assigned round-robin. Exercises the per-class QB plan and
+/// the interval-chain cluster pruning.
+util::Result<core::Database> GenerateMultiChainDatabase(
+    const SyntheticConfig& config, uint32_t num_chains, double jitter);
+
+/// \brief The paper's default query window — states [100, 120], times
+/// [20, 25] — clamped to the configured state count.
+util::Result<core::QueryWindow> DefaultWindow(const SyntheticConfig& config);
+
+}  // namespace workload
+}  // namespace ustdb
+
+#endif  // USTDB_WORKLOAD_SYNTHETIC_H_

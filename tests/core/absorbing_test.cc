@@ -1,0 +1,153 @@
+#include "core/absorbing.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::PaperChainVI;
+
+// Window of the Section V running example: S□ = {s1, s2}, T□ = {2, 3}
+// (0-based states {0, 1}).
+QueryWindow WindowV() {
+  return QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+}
+
+TEST(AbsorbingTest, Example1MatricesMatchPaper) {
+  // Paper Example 1:
+  //   M− = [[0,0,1,0],[0.6,0,0.4,0],[0,0.8,0.2,0],[0,0,0,1]]
+  //   M+ = [[0,0,1,0],[0,0,0.4,0.6],[0,0,0.2,0.8],[0,0,0,1]]
+  markov::MarkovChain chain = PaperChainV();
+  AugmentedMatrices aug =
+      BuildAbsorbingMatrices(chain, WindowV().region());
+
+  const std::vector<std::vector<double>> want_minus = {
+      {0, 0, 1, 0}, {0.6, 0, 0.4, 0}, {0, 0.8, 0.2, 0}, {0, 0, 0, 1}};
+  const std::vector<std::vector<double>> want_plus = {
+      {0, 0, 1, 0}, {0, 0, 0.4, 0.6}, {0, 0, 0.2, 0.8}, {0, 0, 0, 1}};
+  const auto got_minus = aug.minus.ToDense();
+  const auto got_plus = aug.plus.ToDense();
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(got_minus[i][j], want_minus[i][j], 1e-12)
+          << "M-(" << i << "," << j << ")";
+      EXPECT_NEAR(got_plus[i][j], want_plus[i][j], 1e-12)
+          << "M+(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(AbsorbingTest, AbsorbingMatricesAreStochastic) {
+  markov::MarkovChain chain = PaperChainV();
+  AugmentedMatrices aug =
+      BuildAbsorbingMatrices(chain, WindowV().region());
+  EXPECT_TRUE(aug.minus.IsStochastic());
+  EXPECT_TRUE(aug.plus.IsStochastic());
+}
+
+TEST(AbsorbingTest, DiamondIsAbsorbingInBothMatrices) {
+  markov::MarkovChain chain = PaperChainV();
+  AugmentedMatrices aug =
+      BuildAbsorbingMatrices(chain, WindowV().region());
+  EXPECT_DOUBLE_EQ(aug.minus.Get(3, 3), 1.0);
+  EXPECT_EQ(aug.minus.RowNnz(3), 1u);
+  EXPECT_DOUBLE_EQ(aug.plus.Get(3, 3), 1.0);
+  EXPECT_EQ(aug.plus.RowNnz(3), 1u);
+}
+
+TEST(AbsorbingTest, DoubledMatricesMatchSectionVI) {
+  // Section VI example (chain with row 2 = (0.5, 0, 0.5)):
+  //   M+ = [[0,0,1,0,0,0],[0,0,0.5,0.5,0,0],[0,0,0.2,0,0.8,0],
+  //         [0,0,0,0,0,1],[0,0,0,0.5,0,0.5],[0,0,0,0,0.8,0.2]]
+  markov::MarkovChain chain = PaperChainVI();
+  AugmentedMatrices aug = BuildDoubledMatrices(chain, WindowV().region());
+
+  const std::vector<std::vector<double>> want_plus = {
+      {0, 0, 1, 0, 0, 0},   {0, 0, 0.5, 0.5, 0, 0}, {0, 0, 0.2, 0, 0.8, 0},
+      {0, 0, 0, 0, 0, 1},   {0, 0, 0, 0.5, 0, 0.5}, {0, 0, 0, 0, 0.8, 0.2}};
+  const std::vector<std::vector<double>> want_minus = {
+      {0, 0, 1, 0, 0, 0},   {0.5, 0, 0.5, 0, 0, 0}, {0, 0.8, 0.2, 0, 0, 0},
+      {0, 0, 0, 0, 0, 1},   {0, 0, 0, 0.5, 0, 0.5}, {0, 0, 0, 0, 0.8, 0.2}};
+  const auto got_plus = aug.plus.ToDense();
+  const auto got_minus = aug.minus.ToDense();
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(got_plus[i][j], want_plus[i][j], 1e-12)
+          << "M+(" << i << "," << j << ")";
+      EXPECT_NEAR(got_minus[i][j], want_minus[i][j], 1e-12)
+          << "M-(" << i << "," << j << ")";
+    }
+  }
+  EXPECT_TRUE(aug.plus.IsStochastic());
+  EXPECT_TRUE(aug.minus.IsStochastic());
+}
+
+TEST(AbsorbingTest, KTimesMatricesAreStochasticAndBlockStructured) {
+  markov::MarkovChain chain = PaperChainV();
+  const uint32_t K = 2;  // |T□| of the running example
+  AugmentedMatrices aug =
+      BuildKTimesMatrices(chain, WindowV().region(), K);
+  EXPECT_EQ(aug.minus.rows(), 9u);
+  EXPECT_EQ(aug.plus.rows(), 9u);
+  EXPECT_TRUE(aug.minus.IsStochastic());
+  EXPECT_TRUE(aug.plus.IsStochastic());
+  // M− is block diagonal: no entry may cross levels.
+  for (const auto& t : aug.minus.ToTriplets()) {
+    EXPECT_EQ(t.row / 3, t.col / 3);
+  }
+  // M+ entries either stay on a level or go exactly one level up.
+  for (const auto& t : aug.plus.ToTriplets()) {
+    const uint32_t lr = t.row / 3;
+    const uint32_t lc = t.col / 3;
+    EXPECT_TRUE(lc == lr || lc == lr + 1);
+    if (lc == lr + 1) {
+      // Level-up columns must be window states.
+      EXPECT_LT(t.col % 3, 2u);
+    }
+  }
+}
+
+TEST(AbsorbingTest, ExtendInitialAbsorbingNoRedirect) {
+  // t=0 not in T□: plain embedding with ◆ = 0.
+  auto initial = sparse::ProbVector::Delta(3, 1);
+  const sparse::ProbVector ext = ExtendInitialAbsorbing(initial, WindowV());
+  EXPECT_EQ(ext.size(), 4u);
+  EXPECT_DOUBLE_EQ(ext.Get(1), 1.0);
+  EXPECT_DOUBLE_EQ(ext.Get(3), 0.0);
+}
+
+TEST(AbsorbingTest, ExtendInitialAbsorbingRedirectsAtTimeZero) {
+  // Window containing t=0: initial mass inside S□ is already a true hit.
+  auto window = QueryWindow::FromRanges(3, 0, 1, 0, 1).ValueOrDie();
+  auto initial =
+      sparse::ProbVector::FromPairs(3, {{0, 0.3}, {2, 0.7}}).ValueOrDie();
+  const sparse::ProbVector ext = ExtendInitialAbsorbing(initial, window);
+  EXPECT_DOUBLE_EQ(ext.Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(ext.Get(2), 0.7);
+  EXPECT_DOUBLE_EQ(ext.Get(3), 0.3);  // ◆
+}
+
+TEST(AbsorbingTest, ExtendInitialDoubledAndKTimesRedirects) {
+  auto window = QueryWindow::FromRanges(3, 1, 1, 0, 1).ValueOrDie();
+  auto initial =
+      sparse::ProbVector::FromPairs(3, {{1, 0.4}, {2, 0.6}}).ValueOrDie();
+
+  const sparse::ProbVector doubled = ExtendInitialDoubled(initial, window);
+  EXPECT_EQ(doubled.size(), 6u);
+  EXPECT_DOUBLE_EQ(doubled.Get(1), 0.0);
+  EXPECT_DOUBLE_EQ(doubled.Get(3 + 1), 0.4);  // hit copy of s1
+  EXPECT_DOUBLE_EQ(doubled.Get(2), 0.6);
+
+  const sparse::ProbVector ktimes = ExtendInitialKTimes(initial, window, 2);
+  EXPECT_EQ(ktimes.size(), 9u);
+  EXPECT_DOUBLE_EQ(ktimes.Get(3 + 1), 0.4);  // level k=1, state s1
+  EXPECT_DOUBLE_EQ(ktimes.Get(2), 0.6);      // level k=0
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,153 @@
+#include "core/congestion.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(CongestionTest, DeterministicCycleCountsExactly) {
+  // Cycle 0->1->2->0; two objects starting at 0 and 1.
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  Database db;
+  const ChainId c = db.AddChain(std::move(cycle));
+  (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 0)).ValueOrDie();
+  (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+
+  const auto field = ExpectedCounts(db, 3).ValueOrDie();
+  // t=0: one object each at 0 and 1.
+  EXPECT_DOUBLE_EQ(field.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(0, 2), 0.0);
+  // t=1: objects at 1 and 2.
+  EXPECT_DOUBLE_EQ(field.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(1, 2), 1.0);
+  // t=3: back to the start configuration.
+  EXPECT_DOUBLE_EQ(field.At(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(3, 1), 1.0);
+}
+
+TEST(CongestionTest, TotalMassEqualsObjectCountAtEveryTime) {
+  util::Rng rng(301);
+  Database db;
+  const ChainId c = db.AddChain(RandomChain(15, 3, &rng));
+  for (int i = 0; i < 12; ++i) {
+    (void)db.AddObjectAt(c, RandomDistribution(15, 3, &rng)).ValueOrDie();
+  }
+  const auto field = ExpectedCounts(db, 8).ValueOrDie();
+  for (Timestamp t = 0; t <= 8; ++t) {
+    EXPECT_NEAR(field.RegionCount(t, sparse::IndexSet::All(15)), 12.0, 1e-9)
+        << "t " << t;
+  }
+}
+
+TEST(CongestionTest, RegionSeriesMatchesPerObjectMarginals) {
+  util::Rng rng(307);
+  Database db;
+  const ChainId c = db.AddChain(RandomChain(10, 3, &rng));
+  std::vector<sparse::ProbVector> pdfs;
+  for (int i = 0; i < 5; ++i) {
+    pdfs.push_back(RandomDistribution(10, 2, &rng));
+    (void)db.AddObjectAt(c, pdfs.back()).ValueOrDie();
+  }
+  auto region = sparse::IndexSet::FromRange(10, 3, 6).ValueOrDie();
+  const auto field = ExpectedCounts(db, 6).ValueOrDie();
+  const auto series = field.RegionSeries(region);
+  ASSERT_EQ(series.size(), 7u);
+  for (Timestamp t = 0; t <= 6; ++t) {
+    // Reference: sum of each object's forward marginal mass in the region
+    // (use the db copies — pdfs were normalized on insertion).
+    double expected = 0.0;
+    for (uint32_t i = 0; i < db.num_objects(); ++i) {
+      expected += db.chain(c)
+                      .Distribution(db.object(i).initial_pdf(), t)
+                      .MassIn(region);
+    }
+    EXPECT_NEAR(series[t], expected, 1e-9) << "t " << t;
+  }
+}
+
+TEST(CongestionTest, MixedChainsAccumulate) {
+  util::Rng rng(311);
+  Database db;
+  const ChainId a = db.AddChain(RandomChain(8, 3, &rng));
+  const ChainId b = db.AddChain(RandomChain(8, 2, &rng));
+  (void)db.AddObjectAt(a, RandomDistribution(8, 2, &rng)).ValueOrDie();
+  (void)db.AddObjectAt(b, RandomDistribution(8, 2, &rng)).ValueOrDie();
+  const auto field = ExpectedCounts(db, 5).ValueOrDie();
+  EXPECT_NEAR(field.RegionCount(5, sparse::IndexSet::All(8)), 2.0, 1e-9);
+}
+
+TEST(CongestionTest, LateEntrantsJoinAtTheirFirstObservation) {
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  Database db;
+  const ChainId c = db.AddChain(std::move(cycle));
+  std::vector<Observation> late;
+  late.push_back({2, sparse::ProbVector::Delta(3, 0)});
+  (void)db.AddObject(c, late).ValueOrDie();
+  const auto field = ExpectedCounts(db, 4).ValueOrDie();
+  // Before its observation the object contributes nothing.
+  EXPECT_DOUBLE_EQ(field.RegionCount(0, sparse::IndexSet::All(3)), 0.0);
+  EXPECT_DOUBLE_EQ(field.RegionCount(1, sparse::IndexSet::All(3)), 0.0);
+  EXPECT_DOUBLE_EQ(field.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(field.At(4, 2), 1.0);
+}
+
+TEST(CongestionTest, RejectsMismatchedStateSpaces) {
+  util::Rng rng(313);
+  Database db;
+  (void)db.AddChain(RandomChain(5, 2, &rng));
+  (void)db.AddChain(RandomChain(6, 2, &rng));
+  EXPECT_FALSE(ExpectedCounts(db, 3).ok());
+
+  Database empty;
+  EXPECT_FALSE(ExpectedCounts(empty, 3).ok());
+}
+
+TEST(CongestionTest, TopHotspotsOrderedAndCorrect) {
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  Database db;
+  const ChainId c = db.AddChain(std::move(cycle));
+  // Three objects all at state 0: expected count 3 at (t=0, s=0),
+  // (t=1, s=1), (t=2, s=2), ...
+  for (int i = 0; i < 3; ++i) {
+    (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 0)).ValueOrDie();
+  }
+  const auto field = ExpectedCounts(db, 2).ValueOrDie();
+  const auto hotspots = TopHotspots(field, 2);
+  ASSERT_EQ(hotspots.size(), 2u);
+  EXPECT_DOUBLE_EQ(hotspots[0].expected_count, 3.0);
+  // Tie broken toward earlier time.
+  EXPECT_EQ(hotspots[0].time, 0u);
+  EXPECT_EQ(hotspots[0].state, 0u);
+  EXPECT_EQ(hotspots[1].time, 1u);
+  EXPECT_EQ(hotspots[1].state, 1u);
+}
+
+TEST(CongestionTest, TopHotspotsClampsK) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+  const auto field = ExpectedCounts(db, 1).ValueOrDie();
+  const auto hotspots = TopHotspots(field, 100);
+  EXPECT_LE(hotspots.size(), 6u);  // at most (t_max+1) * |S| non-zero cells
+  EXPECT_FALSE(hotspots.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

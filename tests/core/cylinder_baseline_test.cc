@@ -1,0 +1,117 @@
+#include "core/cylinder_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/object_based.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(CylinderBaselineTest, PaperExampleIsPossibly) {
+  // The running example has P∃ = 0.864 — strictly between 0 and 1, so the
+  // region model can only say "possibly" (the paper's criticism: no
+  // probabilities, only binary answers).
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  CylinderBaseline baseline(&chain, window);
+  EXPECT_EQ(baseline.Evaluate(sparse::ProbVector::Delta(3, 1)),
+            CylinderAnswer::kPossibly);
+}
+
+TEST(CylinderBaselineTest, DeterministicCycleGivesCertainAnswers) {
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto region = sparse::IndexSet::FromIndices(3, {2}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {2}).ValueOrDie();
+  CylinderBaseline baseline(&cycle, window);
+  // From state 0 the path is 0,1,2: at t=2 it IS at state 2.
+  EXPECT_EQ(baseline.Evaluate(sparse::ProbVector::Delta(3, 0)),
+            CylinderAnswer::kAlways);
+  // From state 1 the path is 1,2,0: never at 2 when t=2.
+  EXPECT_EQ(baseline.Evaluate(sparse::ProbVector::Delta(3, 1)),
+            CylinderAnswer::kNever);
+}
+
+TEST(CylinderBaselineTest, ReachableSetsGrowAlongTheChain) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  CylinderBaseline baseline(&chain, window);
+  const auto sets = baseline.ReachableSets(sparse::ProbVector::Delta(3, 1));
+  ASSERT_EQ(sets.size(), 4u);
+  EXPECT_EQ(sets[0].elements(), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(sets[1].elements(), (std::vector<uint32_t>{0, 2}));   // s1, s3
+  EXPECT_EQ(sets[2].elements(), (std::vector<uint32_t>{1, 2}));   // s2, s3
+  EXPECT_EQ(sets[3].elements(), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(CylinderBaselineTest, ConsistentWithExactProbabilities) {
+  // kNever <=> P∃ = 0; kAlways => P∃ = 1; kPossibly <=> P∃ > 0.
+  util::Rng rng(501);
+  for (int round = 0; round < 25; ++round) {
+    markov::MarkovChain chain = RandomChain(12, 3, &rng);
+    auto window = QueryWindow::FromRanges(12, 3, 6, 2, 5).ValueOrDie();
+    CylinderBaseline baseline(&chain, window);
+    ObjectBasedEngine exact(&chain, window);
+    for (int obj = 0; obj < 4; ++obj) {
+      const sparse::ProbVector initial = RandomDistribution(12, 2, &rng);
+      const double p = exact.ExistsProbability(initial);
+      switch (baseline.Evaluate(initial)) {
+        case CylinderAnswer::kNever:
+          EXPECT_NEAR(p, 0.0, 1e-12) << "round " << round;
+          break;
+        case CylinderAnswer::kAlways:
+          EXPECT_NEAR(p, 1.0, 1e-9) << "round " << round;
+          break;
+        case CylinderAnswer::kPossibly:
+          EXPECT_GT(p, 0.0) << "round " << round;
+          break;
+      }
+    }
+  }
+}
+
+TEST(CylinderBaselineTest, BinaryModelLosesInformation) {
+  // Construct two objects with very different probabilities (~0.056 vs
+  // ~0.86) that the region model cannot distinguish — both "possibly".
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  CylinderBaseline baseline(&chain, window);
+  ObjectBasedEngine exact(&chain, window);
+
+  const auto a = sparse::ProbVector::FromPairs(3, {{1, 0.95}, {2, 0.05}})
+                     .ValueOrDie();
+  const auto b = sparse::ProbVector::FromPairs(3, {{1, 0.05}, {2, 0.95}})
+                     .ValueOrDie();
+  EXPECT_EQ(baseline.Evaluate(a), baseline.Evaluate(b));
+  EXPECT_GT(std::abs(exact.ExistsProbability(a) - exact.ExistsProbability(b)),
+            0.01);
+}
+
+TEST(CylinderBaselineTest, WindowAtTimeZero) {
+  markov::MarkovChain chain = PaperChainV();
+  auto region = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {0}).ValueOrDie();
+  CylinderBaseline baseline(&chain, window);
+  EXPECT_EQ(baseline.Evaluate(sparse::ProbVector::Delta(3, 1)),
+            CylinderAnswer::kAlways);
+  EXPECT_EQ(baseline.Evaluate(sparse::ProbVector::Delta(3, 0)),
+            CylinderAnswer::kNever);
+}
+
+TEST(CylinderBaselineTest, AnswerNames) {
+  EXPECT_STREQ(CylinderAnswerToString(CylinderAnswer::kNever), "never");
+  EXPECT_STREQ(CylinderAnswerToString(CylinderAnswer::kPossibly), "possibly");
+  EXPECT_STREQ(CylinderAnswerToString(CylinderAnswer::kAlways), "always");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

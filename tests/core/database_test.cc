@@ -1,0 +1,100 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::PaperChainVI;
+
+TEST(DatabaseTest, AddChainAssignsSequentialIds) {
+  Database db;
+  EXPECT_EQ(db.AddChain(PaperChainV()), 0u);
+  EXPECT_EQ(db.AddChain(PaperChainVI()), 1u);
+  EXPECT_EQ(db.num_chains(), 2u);
+  EXPECT_EQ(db.chain(0).num_states(), 3u);
+}
+
+TEST(DatabaseTest, AddObjectValidatesChainAndPdf) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+
+  // Unknown chain.
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  EXPECT_FALSE(db.AddObject(c + 1, obs).ok());
+
+  // Dimension mismatch.
+  std::vector<Observation> wrong;
+  wrong.push_back({0, sparse::ProbVector::Delta(4, 0)});
+  EXPECT_FALSE(db.AddObject(c, wrong).ok());
+
+  // Empty observations.
+  EXPECT_FALSE(db.AddObject(c, {}).ok());
+
+  // Valid.
+  auto id = db.AddObject(c, obs);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0u);
+  EXPECT_EQ(db.num_objects(), 1u);
+}
+
+TEST(DatabaseTest, ObservationsMustBeStrictlyOrdered) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  std::vector<Observation> obs;
+  obs.push_back({3, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  EXPECT_FALSE(db.AddObject(c, obs).ok());
+}
+
+TEST(DatabaseTest, PdfNormalizedOnInsert) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  auto pdf =
+      sparse::ProbVector::FromPairs(3, {{0, 2.0}, {1, 2.0}}).ValueOrDie();
+  const ObjectId id = db.AddObjectAt(c, pdf).ValueOrDie();
+  EXPECT_NEAR(db.object(id).initial_pdf().Sum(), 1.0, 1e-12);
+  EXPECT_NEAR(db.object(id).initial_pdf().Get(0), 0.5, 1e-12);
+}
+
+TEST(DatabaseTest, ZeroMassPdfRejected) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  EXPECT_FALSE(db.AddObjectAt(c, sparse::ProbVector::Zero(3)).ok());
+}
+
+TEST(DatabaseTest, ObjectsGroupedByChain) {
+  Database db;
+  const ChainId a = db.AddChain(PaperChainV());
+  const ChainId b = db.AddChain(PaperChainVI());
+  (void)db.AddObjectAt(a, sparse::ProbVector::Delta(3, 0)).ValueOrDie();
+  (void)db.AddObjectAt(b, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+  (void)db.AddObjectAt(a, sparse::ProbVector::Delta(3, 2)).ValueOrDie();
+  ASSERT_EQ(db.objects_by_chain().size(), 2u);
+  EXPECT_EQ(db.objects_by_chain()[a], (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(db.objects_by_chain()[b], (std::vector<ObjectId>{1}));
+}
+
+TEST(DatabaseTest, SingleObservationHelper) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  const ObjectId id =
+      db.AddObjectAt(c, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+  EXPECT_TRUE(db.object(id).single_observation());
+  EXPECT_EQ(db.object(id).observations.front().time, 0u);
+
+  std::vector<Observation> multi;
+  multi.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  multi.push_back({4, sparse::ProbVector::Delta(3, 2)});
+  const ObjectId id2 = db.AddObject(c, multi).ValueOrDie();
+  EXPECT_FALSE(db.object(id2).single_observation());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

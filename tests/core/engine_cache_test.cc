@@ -1,0 +1,129 @@
+#include "core/engine_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::PaperChainVI;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+QueryWindow WindowV() {
+  return QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+}
+
+TEST(EngineCacheTest, HitOnRepeatedWindow) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(4);
+  const QueryBasedEngine* a = cache.Get(&chain, WindowV());
+  const QueryBasedEngine* b = cache.Get(&chain, WindowV());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NEAR(a->ExistsProbability(sparse::ProbVector::Delta(3, 1)), 0.864,
+              1e-12);
+}
+
+TEST(EngineCacheTest, EquivalentWindowsShareEntries) {
+  // Same content, built differently.
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(4);
+  auto region = sparse::IndexSet::FromIndices(3, {1, 0}).ValueOrDie();
+  auto via_create = QueryWindow::Create(region, {3, 2}).ValueOrDie();
+  const QueryBasedEngine* a = cache.Get(&chain, WindowV());
+  const QueryBasedEngine* b = cache.Get(&chain, via_create);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineCacheTest, DistinguishesChainsAndWindows) {
+  markov::MarkovChain chain_a = PaperChainV();
+  markov::MarkovChain chain_b = PaperChainVI();
+  EngineCache cache(8);
+  const QueryBasedEngine* a = cache.Get(&chain_a, WindowV());
+  const QueryBasedEngine* b = cache.Get(&chain_b, WindowV());
+  EXPECT_NE(a, b);
+  auto other_window = QueryWindow::FromRanges(3, 0, 1, 1, 2).ValueOrDie();
+  const QueryBasedEngine* c = cache.Get(&chain_a, other_window);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(EngineCacheTest, LruEviction) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(2);
+  auto w1 = QueryWindow::FromRanges(3, 0, 0, 1, 2).ValueOrDie();
+  auto w2 = QueryWindow::FromRanges(3, 1, 1, 1, 2).ValueOrDie();
+  auto w3 = QueryWindow::FromRanges(3, 2, 2, 1, 2).ValueOrDie();
+
+  (void)cache.Get(&chain, w1);
+  (void)cache.Get(&chain, w2);
+  (void)cache.Get(&chain, w1);  // w1 now most recent
+  (void)cache.Get(&chain, w3);  // evicts w2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // w1 still cached (hit), w2 rebuilt (miss).
+  const uint64_t hits_before = cache.stats().hits;
+  (void)cache.Get(&chain, w1);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  const uint64_t misses_before = cache.stats().misses;
+  (void)cache.Get(&chain, w2);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST(EngineCacheTest, CapacityZeroClampsToOne) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  (void)cache.Get(&chain, WindowV());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EngineCacheTest, ClearDropsEverything) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(4);
+  (void)cache.Get(&chain, WindowV());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  (void)cache.Get(&chain, WindowV());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(EngineCacheTest, CachedResultsMatchFreshEngines) {
+  util::Rng rng(601);
+  markov::MarkovChain chain = RandomChain(30, 3, &rng);
+  workload::QueryGenConfig config;
+  config.num_states = 30;
+  config.region_extent = 5;
+  config.window_length = 4;
+  config.t_min = 1;
+  config.t_max = 8;
+  const auto workload =
+      workload::RepeatingWorkload(config, 6, 40).ValueOrDie();
+
+  EngineCache cache(3);
+  for (const QueryWindow& w : workload) {
+    const QueryBasedEngine* cached = cache.Get(&chain, w);
+    QueryBasedEngine fresh(&chain, w);
+    const sparse::ProbVector initial = RandomDistribution(30, 3, &rng);
+    EXPECT_NEAR(cached->ExistsProbability(initial),
+                fresh.ExistsProbability(initial), 1e-12);
+  }
+  // The skewed workload over 6 windows with capacity 3 must produce both
+  // hits and evictions.
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,106 @@
+#include "core/forall.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/possible_worlds.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(ForAllTest, CertainStayGivesOne) {
+  // Two absorbing states; an object at state 0 stays there forever.
+  auto chain =
+      markov::MarkovChain::FromDense({{1.0, 0.0}, {0.0, 1.0}}).ValueOrDie();
+  auto window = QueryWindow::FromRanges(2, 0, 0, 1, 5).ValueOrDie();
+  ForAllObjectBased ob(&chain, window);
+  ForAllQueryBased qb(&chain, window);
+  EXPECT_NEAR(ob.ForAllProbability(sparse::ProbVector::Delta(2, 0)), 1.0,
+              1e-12);
+  EXPECT_NEAR(qb.ForAllProbability(sparse::ProbVector::Delta(2, 0)), 1.0,
+              1e-12);
+  EXPECT_NEAR(ob.ForAllProbability(sparse::ProbVector::Delta(2, 1)), 0.0,
+              1e-12);
+}
+
+TEST(ForAllTest, MatchesEnumerationOnPaperChain) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 1, 2, 1, 3).ValueOrDie();
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  const double expected =
+      exact::ForAllByEnumeration(chain, initial, window).ValueOrDie();
+  ForAllObjectBased ob(&chain, window);
+  ForAllQueryBased qb(&chain, window);
+  EXPECT_NEAR(ob.ForAllProbability(initial), expected, 1e-12);
+  EXPECT_NEAR(qb.ForAllProbability(initial), expected, 1e-12);
+}
+
+TEST(ForAllTest, ComplementIdentityOnRandomModels) {
+  // P∀(S□) + P∃(S\S□) = 1 — Section VII's reduction, cross-checked via
+  // enumeration on small random models.
+  util::Rng rng(17);
+  for (int round = 0; round < 15; ++round) {
+    markov::MarkovChain chain = RandomChain(6, 3, &rng);
+    auto window = QueryWindow::FromRanges(6, 1, 3, 1, 4).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(6, 2, &rng);
+
+    ForAllObjectBased ob(&chain, window);
+    const double forall = ob.ForAllProbability(initial);
+    const double enumerated =
+        exact::ForAllByEnumeration(chain, initial, window).ValueOrDie();
+    EXPECT_NEAR(forall, enumerated, 1e-10) << "round " << round;
+  }
+}
+
+TEST(ForAllTest, ForAllNeverExceedsExists) {
+  // Staying in S□ at all window times implies intersecting it at least
+  // once, so P∀ <= P∃ pointwise.
+  util::Rng rng(23);
+  for (int round = 0; round < 10; ++round) {
+    markov::MarkovChain chain = RandomChain(15, 4, &rng);
+    auto window = QueryWindow::FromRanges(15, 3, 8, 2, 6).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(15, 3, &rng);
+    ForAllQueryBased forall(&chain, window);
+    QueryBasedEngine exists(&chain, window);
+    EXPECT_LE(forall.ForAllProbability(initial),
+              exists.ExistsProbability(initial) + 1e-10);
+  }
+}
+
+TEST(ForAllTest, FullRegionForAllIsOne) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 2, 1, 4).ValueOrDie();
+  ForAllObjectBased ob(&chain, window);
+  EXPECT_NEAR(ob.ForAllProbability(sparse::ProbVector::Delta(3, 0)), 1.0,
+              1e-12);
+}
+
+TEST(ForAllTest, SingleTimeForAllEqualsExists) {
+  // With |T□| = 1 the two predicates coincide.
+  markov::MarkovChain chain = PaperChainV();
+  auto region = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {2}).ValueOrDie();
+  ForAllObjectBased forall(&chain, window);
+  ObjectBasedEngine exists(&chain, window);
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  EXPECT_NEAR(forall.ForAllProbability(initial),
+              exists.ExistsProbability(initial), 1e-12);
+}
+
+TEST(ForAllTest, InnerEngineUsesComplementedRegion) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  ForAllObjectBased ob(&chain, window);
+  EXPECT_EQ(ob.inner().window().region().elements(),
+            (std::vector<uint32_t>{2}));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

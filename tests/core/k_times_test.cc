@@ -1,0 +1,147 @@
+#include "core/k_times.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/object_based.h"
+#include "exact/possible_worlds.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+QueryWindow WindowV() {
+  return QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+}
+
+TEST(KTimesTest, PaperWorkedExample) {
+  // Section VII: the C(t) algorithm on the running example yields
+  // P(0 visits) = 0.136, P(1) = 0.672, P(2) = 0.192.
+  markov::MarkovChain chain = PaperChainV();
+  KTimesEngine engine(&chain, WindowV());
+  const std::vector<double> dist =
+      engine.Distribution(sparse::ProbVector::Delta(3, 1));
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist[0], 0.136, 1e-12);
+  EXPECT_NEAR(dist[1], 0.672, 1e-12);
+  EXPECT_NEAR(dist[2], 0.192, 1e-12);
+}
+
+TEST(KTimesTest, ExplicitBlockMatrixModeAgrees) {
+  markov::MarkovChain chain = PaperChainV();
+  KTimesEngine implicit(&chain, WindowV());
+  KTimesEngine explicit_engine(&chain, WindowV(),
+                               {.mode = MatrixMode::kExplicit});
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  const auto a = implicit.Distribution(initial);
+  const auto b = explicit_engine.Distribution(initial);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k], b[k], 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KTimesTest, DistributionSumsToOne) {
+  util::Rng rng(31);
+  for (int round = 0; round < 10; ++round) {
+    markov::MarkovChain chain = RandomChain(12, 3, &rng);
+    auto window = QueryWindow::FromRanges(12, 2, 5, 1, 5).ValueOrDie();
+    KTimesEngine engine(&chain, window);
+    const auto dist = engine.Distribution(RandomDistribution(12, 3, &rng));
+    const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "round " << round;
+    for (double p : dist) EXPECT_GE(p, -1e-12);
+  }
+}
+
+TEST(KTimesTest, ZeroVisitsComplementsExists) {
+  // P∃ = 1 − P(k = 0): the two engines must agree exactly.
+  util::Rng rng(37);
+  for (int round = 0; round < 10; ++round) {
+    markov::MarkovChain chain = RandomChain(10, 3, &rng);
+    auto window = QueryWindow::FromRanges(10, 2, 4, 2, 5).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(10, 2, &rng);
+    KTimesEngine ktimes(&chain, window);
+    ObjectBasedEngine exists(&chain, window);
+    EXPECT_NEAR(1.0 - ktimes.Distribution(initial)[0],
+                exists.ExistsProbability(initial), 1e-10)
+        << "round " << round;
+  }
+}
+
+TEST(KTimesTest, MatchesEnumeration) {
+  util::Rng rng(41);
+  for (int round = 0; round < 8; ++round) {
+    markov::MarkovChain chain = RandomChain(5, 3, &rng);
+    auto window = QueryWindow::FromRanges(5, 1, 2, 1, 4).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(5, 2, &rng);
+    KTimesEngine engine(&chain, window);
+    const auto got = engine.Distribution(initial);
+    const auto want =
+        exact::KTimesByEnumeration(chain, initial, window).ValueOrDie();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t k = 0; k < got.size(); ++k) {
+      EXPECT_NEAR(got[k], want[k], 1e-10) << "round " << round << " k " << k;
+    }
+  }
+}
+
+TEST(KTimesTest, FullVisitsMatchesForAll) {
+  // P(k = |T□|) is exactly the for-all probability.
+  util::Rng rng(43);
+  markov::MarkovChain chain = RandomChain(8, 3, &rng);
+  auto window = QueryWindow::FromRanges(8, 1, 4, 1, 3).ValueOrDie();
+  const sparse::ProbVector initial = RandomDistribution(8, 2, &rng);
+  KTimesEngine engine(&chain, window);
+  const double forall =
+      exact::ForAllByEnumeration(chain, initial, window).ValueOrDie();
+  EXPECT_NEAR(engine.Distribution(initial)[window.num_times()], forall,
+              1e-10);
+}
+
+TEST(KTimesTest, DeterministicCycleCountsExactly) {
+  // Cycle 0->1->2->0; window = {0} at times {3, 6}: the walker is at state
+  // 0 at both, so k = 2 with certainty.
+  auto chain = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto region = sparse::IndexSet::FromIndices(3, {0}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {3, 6}).ValueOrDie();
+  KTimesEngine engine(&chain, window);
+  const auto dist = engine.Distribution(sparse::ProbVector::Delta(3, 0));
+  EXPECT_NEAR(dist[0], 0.0, 1e-12);
+  EXPECT_NEAR(dist[1], 0.0, 1e-12);
+  EXPECT_NEAR(dist[2], 1.0, 1e-12);
+}
+
+TEST(KTimesTest, WindowAtTimeZeroShiftsInitialMass) {
+  markov::MarkovChain chain = PaperChainV();
+  auto region = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {0}).ValueOrDie();
+  KTimesEngine engine(&chain, window);
+  const auto dist = engine.Distribution(sparse::ProbVector::Delta(3, 1));
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist[0], 0.0, 1e-12);
+  EXPECT_NEAR(dist[1], 1.0, 1e-12);
+}
+
+TEST(KTimesTest, ProbabilityAccessorMatchesDistribution) {
+  markov::MarkovChain chain = PaperChainV();
+  KTimesEngine engine(&chain, WindowV());
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  const auto dist = engine.Distribution(initial);
+  for (uint32_t k = 0; k < dist.size(); ++k) {
+    EXPECT_DOUBLE_EQ(engine.Probability(initial, k), dist[k]);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,188 @@
+// Property suite around Lemma 1 (conditioning on independent observations)
+// and its interaction with the engines: scaling invariance, grouping
+// invariance, and cross-engine consistency between the Section VI
+// multi-observation engine and forward–backward smoothing.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/multi_observation.h"
+#include "core/smoothing.h"
+#include "sparse/prob_vector.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+// (num_states, seed)
+using Param = std::tuple<uint32_t, uint64_t>;
+
+class Lemma1PropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Lemma1PropertyTest, PointwiseProductCommutesAndAssociates) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed);
+  const sparse::ProbVector a = RandomDistribution(n, n / 2 + 1, &rng);
+  const sparse::ProbVector b = RandomDistribution(n, n / 2 + 1, &rng);
+  const sparse::ProbVector c = RandomDistribution(n, n, &rng);
+
+  // (a ⊙ b) ⊙ c == a ⊙ (b ⊙ c), then normalized.
+  sparse::ProbVector left = a;
+  ASSERT_TRUE(left.PointwiseMultiply(b).ok());
+  ASSERT_TRUE(left.PointwiseMultiply(c).ok());
+
+  sparse::ProbVector bc = b;
+  ASSERT_TRUE(bc.PointwiseMultiply(c).ok());
+  sparse::ProbVector right = a;
+  ASSERT_TRUE(right.PointwiseMultiply(bc).ok());
+
+  if (left.Sum() > 0.0) {
+    ASSERT_TRUE(left.Normalize().ok());
+    ASSERT_TRUE(right.Normalize().ok());
+    EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-12);
+
+    // Commutativity: b ⊙ a == a ⊙ b.
+    sparse::ProbVector ab = a;
+    ASSERT_TRUE(ab.PointwiseMultiply(b).ok());
+    sparse::ProbVector ba = b;
+    ASSERT_TRUE(ba.PointwiseMultiply(a).ok());
+    ASSERT_TRUE(ab.Normalize().ok());
+    ASSERT_TRUE(ba.Normalize().ok());
+    EXPECT_NEAR(ab.MaxAbsDiff(ba), 0.0, 1e-12);
+  }
+}
+
+TEST_P(Lemma1PropertyTest, ObservationScaleInvariance) {
+  // Lemma 1 normalizes, so scaling an observation pdf must not change the
+  // engine's answer (only relative likelihoods matter).
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0x11);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  auto window =
+      QueryWindow::FromRanges(n, 1, n / 2, 1, 4).ValueOrDie();
+
+  std::vector<Observation> obs;
+  obs.push_back({0, RandomDistribution(n, 2, &rng)});
+  obs.push_back({5, RandomDistribution(n, n, &rng)});
+
+  MultiObservationEngine engine(&chain, window);
+  const auto base = engine.Evaluate(obs);
+  ASSERT_TRUE(base.ok());
+
+  std::vector<Observation> scaled = obs;
+  scaled[1].pdf.Scale(7.5);
+  const auto after = engine.Evaluate(scaled);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NEAR(base.value().exists_probability,
+              after.value().exists_probability, 1e-12);
+  EXPECT_NEAR(base.value().posterior.MaxAbsDiff(after.value().posterior),
+              0.0, 1e-12);
+}
+
+TEST_P(Lemma1PropertyTest, SmoothingPosteriorMatchesMultiObsEngine) {
+  // The multi-observation engine's merged posterior at its final processed
+  // timestamp must equal the smoothed marginal at that timestamp.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0x22);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  auto window = QueryWindow::FromRanges(n, 1, n / 2, 1, 3).ValueOrDie();
+
+  std::vector<Observation> obs;
+  obs.push_back({0, RandomDistribution(n, 2, &rng)});
+  obs.push_back({5, RandomDistribution(n, n, &rng)});
+
+  MultiObservationEngine engine(&chain, window);
+  const auto multi = engine.Evaluate(obs);
+  ASSERT_TRUE(multi.ok());
+
+  const auto smoothing = SmoothedMarginals(chain, obs, 5);
+  ASSERT_TRUE(smoothing.ok());
+  const sparse::ProbVector& at_end = smoothing->marginals.back();
+  EXPECT_NEAR(multi.value().posterior.MaxAbsDiff(at_end), 0.0, 1e-9);
+}
+
+TEST_P(Lemma1PropertyTest, ExtraUninformativeObservationIsNeutral) {
+  // Conditioning on the uniform distribution adds no information: the
+  // exists probability and posterior must not change.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0x33);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  auto window = QueryWindow::FromRanges(n, 1, n / 2, 1, 4).ValueOrDie();
+
+  std::vector<Observation> obs;
+  obs.push_back({0, RandomDistribution(n, 2, &rng)});
+  obs.push_back({6, RandomDistribution(n, n, &rng)});
+
+  std::vector<Observation> with_noise = obs;
+  with_noise.insert(
+      with_noise.begin() + 1,
+      {3, sparse::ProbVector::UniformOver(sparse::IndexSet::All(n))
+              .ValueOrDie()});
+
+  MultiObservationEngine engine(&chain, window);
+  const auto base = engine.Evaluate(obs);
+  const auto noisy = engine.Evaluate(with_noise);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_NEAR(base.value().exists_probability,
+              noisy.value().exists_probability, 1e-10);
+  EXPECT_NEAR(base.value().posterior.MaxAbsDiff(noisy.value().posterior),
+              0.0, 1e-10);
+}
+
+TEST_P(Lemma1PropertyTest, SharperObservationNeverIncreasesSurvivingMass) {
+  // Restricting an observation's support can only remove worlds.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0x44);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  auto window = QueryWindow::FromRanges(n, 1, n / 2, 1, 3).ValueOrDie();
+
+  std::vector<Observation> broad;
+  broad.push_back({0, RandomDistribution(n, 2, &rng)});
+  broad.push_back(
+      {5, sparse::ProbVector::UniformOver(sparse::IndexSet::All(n))
+              .ValueOrDie()});
+
+  std::vector<Observation> sharp = broad;
+  // Keep only the lower half of the support, same relative weights.
+  auto lower_half =
+      sparse::IndexSet::FromRange(n, 0, n / 2).ValueOrDie();
+  std::vector<std::pair<uint32_t, double>> kept;
+  sharp[1].pdf.ForEachNonZero([&](uint32_t s, double p) {
+    if (lower_half.Contains(s)) kept.emplace_back(s, p);
+  });
+  sharp[1].pdf =
+      sparse::ProbVector::FromPairs(n, std::move(kept)).ValueOrDie();
+
+  MultiObservationEngine engine(&chain, window);
+  const auto a = engine.Evaluate(broad);
+  ASSERT_TRUE(a.ok());
+  const auto b = engine.Evaluate(sharp);
+  if (b.ok()) {
+    EXPECT_LE(b.value().surviving_mass,
+              a.value().surviving_mass * (1.0 + 1e-9));
+  }
+  // (b may legitimately fail with kInconsistent if no world survives.)
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Lemma1PropertyTest,
+                         ::testing::Values(Param{4, 1}, Param{4, 2},
+                                           Param{6, 3}, Param{6, 4},
+                                           Param{8, 5}, Param{8, 6},
+                                           Param{10, 7}, Param{12, 8}),
+                         [](const ::testing::TestParamInfo<Param>& info) {
+                           return "n" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_seed" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,185 @@
+#include "core/object_based.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+QueryWindow WindowV() {
+  return QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+}
+
+TEST(ObjectBasedTest, PaperRunningExampleIs0864) {
+  // Section V-A: object observed at s2 at t=0, S□={s1,s2}, T□={2,3};
+  // P∃ = 0.32 + 0.544 = 0.864.
+  markov::MarkovChain chain = PaperChainV();
+  ObjectBasedEngine engine(&chain, WindowV());
+  const double p = engine.ExistsProbability(sparse::ProbVector::Delta(3, 1));
+  EXPECT_NEAR(p, 0.864, 1e-12);
+}
+
+TEST(ObjectBasedTest, ExplicitMatrixModeAgrees) {
+  markov::MarkovChain chain = PaperChainV();
+  ObjectBasedEngine engine(&chain, WindowV(),
+                           {.mode = MatrixMode::kExplicit});
+  const double p = engine.ExistsProbability(sparse::ProbVector::Delta(3, 1));
+  EXPECT_NEAR(p, 0.864, 1e-12);
+}
+
+TEST(ObjectBasedTest, PaperErratumIntermediateVector) {
+  // The paper prints P(o,2) = (0,0,0.64,0.36) in Example 1, but the given
+  // M± yield (0,0,0.68,0.32) — consistent with the paper's own t=2 lower
+  // bound of 32% and the final 0.864. Pin the corrected value.
+  markov::MarkovChain chain = PaperChainV();
+  AugmentedMatrices aug =
+      BuildAbsorbingMatrices(chain, WindowV().region());
+  sparse::VecMatWorkspace ws;
+  sparse::ProbVector v =
+      ExtendInitialAbsorbing(sparse::ProbVector::Delta(3, 1), WindowV());
+  ws.Multiply(v, aug.minus, &v);  // into t=1 (not in T□)
+  EXPECT_NEAR(v.Get(0), 0.6, 1e-12);
+  EXPECT_NEAR(v.Get(2), 0.4, 1e-12);
+  ws.Multiply(v, aug.plus, &v);   // into t=2 (in T□)
+  EXPECT_NEAR(v.Get(2), 0.68, 1e-12);
+  EXPECT_NEAR(v.Get(3), 0.32, 1e-12);
+  ws.Multiply(v, aug.plus, &v);   // into t=3 (in T□)
+  EXPECT_NEAR(v.Get(2), 0.136, 1e-12);
+  EXPECT_NEAR(v.Get(3), 0.864, 1e-12);
+}
+
+TEST(ObjectBasedTest, AggregatingMarginalsWouldDoubleCount) {
+  // The paper's motivating flaw: summing per-time window masses counts
+  // worlds twice. Verify our engine's answer differs from the naive sum.
+  markov::MarkovChain chain = PaperChainV();
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  const auto region = WindowV().region();
+  const double m2 = chain.Distribution(initial, 2).MassIn(region);
+  const double m3 = chain.Distribution(initial, 3).MassIn(region);
+  const double naive = m2 + m3;
+  ObjectBasedEngine engine(&chain, WindowV());
+  const double correct = engine.ExistsProbability(initial);
+  EXPECT_GT(naive, correct);  // 0.32 + 0.736 = 1.056 > 0.864
+  EXPECT_NEAR(naive, 1.056, 1e-12);
+}
+
+TEST(ObjectBasedTest, WindowAtTimeZeroCountsInitialMass) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 1, 1, 0, 0).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window);
+  EXPECT_DOUBLE_EQ(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 0)), 0.0);
+}
+
+TEST(ObjectBasedTest, FullRegionGivesCertainty) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 2, 1, 2).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window);
+  EXPECT_NEAR(engine.ExistsProbability(sparse::ProbVector::Delta(3, 0)), 1.0,
+              1e-12);
+}
+
+TEST(ObjectBasedTest, UnreachableRegionGivesZero) {
+  // Directed cycle 0->1->2->0: state 2 unreachable from 0 in 1 step.
+  auto chain = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto window = QueryWindow::FromRanges(3, 2, 2, 1, 1).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window);
+  EXPECT_DOUBLE_EQ(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 0)), 0.0);
+}
+
+TEST(ObjectBasedTest, NonContiguousTimesSkipRedirects) {
+  // T□ = {1, 3}: the window is "off" at t=2, so worlds passing through the
+  // region exactly at t=2 do not count.
+  auto chain = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto region = sparse::IndexSet::FromIndices(3, {2}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {1, 3}).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window);
+  // From state 0 the deterministic path is 0,1,2,0,1: at t=1 state 1, at
+  // t=3 state 0 — never in region {2} at window times (it is there at t=2).
+  EXPECT_DOUBLE_EQ(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 0)), 0.0);
+  // From state 1: path 1,2,0,1 -> at t=1 it IS at state 2.
+  EXPECT_DOUBLE_EQ(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1)), 1.0);
+}
+
+TEST(ObjectBasedTest, RunStatsTrackTransitions) {
+  markov::MarkovChain chain = PaperChainV();
+  ObjectBasedEngine engine(&chain, WindowV());
+  ObRunStats stats;
+  engine.ExistsProbability(sparse::ProbVector::Delta(3, 1), &stats);
+  EXPECT_EQ(stats.transitions, 3u);  // t_end = 3
+  EXPECT_GE(stats.max_support, 1u);
+  EXPECT_FALSE(stats.early_terminated);
+}
+
+TEST(ObjectBasedTest, EpsilonTerminationStopsEarly) {
+  // With S□ covering everything reachable, residual mass collapses after
+  // the first window time; epsilon pruning should stop the loop.
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 2, 1, 40).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window, {.epsilon = 1e-9});
+  ObRunStats stats;
+  const double p =
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1), &stats);
+  EXPECT_NEAR(p, 1.0, 1e-9);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_LT(stats.transitions, 40u);
+}
+
+TEST(ObjectBasedTest, ThresholdDecisionMatchesExactProbability) {
+  util::Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    markov::MarkovChain chain = RandomChain(20, 4, &rng);
+    auto window = QueryWindow::FromRanges(20, 5, 8, 3, 6).ValueOrDie();
+    ObjectBasedEngine engine(&chain, window);
+    const sparse::ProbVector initial = RandomDistribution(20, 3, &rng);
+    const double p = engine.ExistsProbability(initial);
+    for (double tau : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      const ThresholdDecision d = engine.ExistsDecision(initial, tau);
+      EXPECT_EQ(d == ThresholdDecision::kYes, p >= tau)
+          << "round " << round << " tau " << tau << " p " << p;
+    }
+  }
+}
+
+TEST(ObjectBasedTest, ThresholdDecisionTrueHitStopsEarly) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 1, 50).ValueOrDie();
+  ObjectBasedEngine engine(&chain, window);
+  ObRunStats stats;
+  const ThresholdDecision d = engine.ExistsDecision(
+      sparse::ProbVector::Delta(3, 1), /*tau=*/0.5, &stats);
+  EXPECT_EQ(d, ThresholdDecision::kYes);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_LT(stats.transitions, 50u);
+}
+
+TEST(ObjectBasedTest, UncertainInitialObservationMixesLinearly) {
+  // P∃ is linear in the initial distribution.
+  markov::MarkovChain chain = PaperChainV();
+  ObjectBasedEngine engine(&chain, WindowV());
+  const double p0 = engine.ExistsProbability(sparse::ProbVector::Delta(3, 0));
+  const double p1 = engine.ExistsProbability(sparse::ProbVector::Delta(3, 1));
+  auto mixed =
+      sparse::ProbVector::FromPairs(3, {{0, 0.3}, {1, 0.7}}).ValueOrDie();
+  EXPECT_NEAR(engine.ExistsProbability(mixed), 0.3 * p0 + 0.7 * p1, 1e-12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,135 @@
+#include "core/query_based.h"
+
+#include <gtest/gtest.h>
+
+#include "core/object_based.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+QueryWindow WindowV() {
+  return QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+}
+
+TEST(QueryBasedTest, PaperExample2StartVector) {
+  // Section V-B Example 2: P(t=0) = (0.96, 0.864, 0.928, 1); the real-state
+  // part is the start vector.
+  markov::MarkovChain chain = PaperChainV();
+  QueryBasedEngine engine(&chain, WindowV());
+  const sparse::ProbVector& v = engine.start_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v.Get(0), 0.96, 1e-12);
+  EXPECT_NEAR(v.Get(1), 0.864, 1e-12);
+  EXPECT_NEAR(v.Get(2), 0.928, 1e-12);
+}
+
+TEST(QueryBasedTest, PaperExample2FinalAnswer) {
+  markov::MarkovChain chain = PaperChainV();
+  QueryBasedEngine engine(&chain, WindowV());
+  EXPECT_NEAR(
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1)), 0.864,
+      1e-12);
+}
+
+TEST(QueryBasedTest, ExplicitTransposedMatricesAgree) {
+  markov::MarkovChain chain = PaperChainV();
+  QueryBasedEngine implicit(&chain, WindowV());
+  QueryBasedEngine explicit_engine(&chain, WindowV(),
+                                   {.mode = MatrixMode::kExplicit});
+  EXPECT_NEAR(
+      implicit.start_vector().MaxAbsDiff(explicit_engine.start_vector()),
+      0.0, 1e-12);
+}
+
+TEST(QueryBasedTest, TransitionsEqualTEnd) {
+  markov::MarkovChain chain = PaperChainV();
+  QueryBasedEngine engine(&chain, WindowV());
+  EXPECT_EQ(engine.transitions(), 3u);
+}
+
+TEST(QueryBasedTest, WindowAtTimeZeroClampsRegionToOne) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 1, 1, 0, 0).ValueOrDie();
+  QueryBasedEngine engine(&chain, window);
+  EXPECT_DOUBLE_EQ(engine.start_vector().Get(1), 1.0);
+  EXPECT_DOUBLE_EQ(engine.start_vector().Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(engine.start_vector().Get(2), 0.0);
+}
+
+TEST(QueryBasedTest, StartVectorEntriesAreProbabilities) {
+  util::Rng rng(5);
+  markov::MarkovChain chain = RandomChain(40, 5, &rng);
+  auto window = QueryWindow::FromRanges(40, 10, 15, 4, 9).ValueOrDie();
+  QueryBasedEngine engine(&chain, window);
+  engine.start_vector().ForEachNonZero([](uint32_t, double x) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0 + 1e-12);
+  });
+}
+
+TEST(QueryBasedTest, AgreesWithObjectBasedOnRandomModels) {
+  // The central equivalence of Section V: OB and QB compute the same
+  // fraction of possible worlds.
+  util::Rng rng(99);
+  for (int round = 0; round < 25; ++round) {
+    const uint32_t n = 5 + static_cast<uint32_t>(rng.NextBounded(40));
+    markov::MarkovChain chain =
+        RandomChain(n, 2 + static_cast<uint32_t>(rng.NextBounded(4)), &rng);
+    const uint32_t s_lo = static_cast<uint32_t>(rng.NextBounded(n));
+    const uint32_t s_hi = std::min<uint32_t>(
+        n - 1, s_lo + static_cast<uint32_t>(rng.NextBounded(4)));
+    const Timestamp t_lo = static_cast<Timestamp>(rng.NextBounded(6));
+    const Timestamp t_hi = t_lo + static_cast<Timestamp>(rng.NextBounded(5));
+    auto window =
+        QueryWindow::FromRanges(n, s_lo, s_hi, t_lo, t_hi).ValueOrDie();
+
+    ObjectBasedEngine ob(&chain, window);
+    QueryBasedEngine qb(&chain, window);
+    for (int obj = 0; obj < 4; ++obj) {
+      const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+      EXPECT_NEAR(ob.ExistsProbability(initial),
+                  qb.ExistsProbability(initial), 1e-10)
+          << "round " << round << " obj " << obj;
+    }
+  }
+}
+
+TEST(QueryBasedTest, OneBackwardPassServesManyObjects) {
+  // The amortization property: one engine, many dot products, all matching
+  // individual OB runs.
+  util::Rng rng(123);
+  markov::MarkovChain chain = RandomChain(60, 4, &rng);
+  auto window = QueryWindow::FromRanges(60, 20, 24, 5, 10).ValueOrDie();
+  ObjectBasedEngine ob(&chain, window);
+  QueryBasedEngine qb(&chain, window);
+  for (int obj = 0; obj < 50; ++obj) {
+    const sparse::ProbVector initial = RandomDistribution(60, 5, &rng);
+    EXPECT_NEAR(ob.ExistsProbability(initial), qb.ExistsProbability(initial),
+                1e-10);
+  }
+}
+
+TEST(QueryBasedTest, NonContiguousTimesAgreeWithObjectBased) {
+  util::Rng rng(321);
+  markov::MarkovChain chain = RandomChain(20, 3, &rng);
+  auto region = sparse::IndexSet::FromIndices(20, {3, 7, 11}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {2, 5, 6, 9}).ValueOrDie();
+  ObjectBasedEngine ob(&chain, window);
+  QueryBasedEngine qb(&chain, window);
+  for (int obj = 0; obj < 10; ++obj) {
+    const sparse::ProbVector initial = RandomDistribution(20, 4, &rng);
+    EXPECT_NEAR(ob.ExistsProbability(initial), qb.ExistsProbability(initial),
+                1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,70 @@
+#include "core/query_window.h"
+
+#include <gtest/gtest.h>
+
+namespace ustdb {
+namespace core {
+namespace {
+
+TEST(QueryWindowTest, FromRangesBuildsContiguousWindow) {
+  auto w = QueryWindow::FromRanges(1000, 100, 120, 20, 25);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->region().size(), 21u);
+  EXPECT_TRUE(w->region().Contains(100));
+  EXPECT_TRUE(w->region().Contains(120));
+  EXPECT_FALSE(w->region().Contains(121));
+  EXPECT_EQ(w->num_times(), 6u);
+  EXPECT_EQ(w->t_begin(), 20u);
+  EXPECT_EQ(w->t_end(), 25u);
+  EXPECT_TRUE(w->ContainsTime(22));
+  EXPECT_FALSE(w->ContainsTime(19));
+  EXPECT_FALSE(w->ContainsTime(26));
+  EXPECT_FALSE(w->ContainsTime(100000));
+}
+
+TEST(QueryWindowTest, CreateSortsAndDeduplicatesTimes) {
+  auto region = sparse::IndexSet::FromIndices(10, {1}).ValueOrDie();
+  auto w = QueryWindow::Create(region, {5, 3, 5, 9, 3});
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->times(), (std::vector<Timestamp>{3, 5, 9}));
+  EXPECT_EQ(w->t_end(), 9u);
+}
+
+TEST(QueryWindowTest, SupportsNonContiguousSpaceAndTime) {
+  // Section III: "not necessarily connected" / "not necessarily subsequent".
+  auto region = sparse::IndexSet::FromIndices(10, {0, 4, 9}).ValueOrDie();
+  auto w = QueryWindow::Create(region, {1, 4, 8});
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->ContainsTime(4));
+  EXPECT_FALSE(w->ContainsTime(5));
+  EXPECT_TRUE(w->region().Contains(4));
+  EXPECT_FALSE(w->region().Contains(5));
+}
+
+TEST(QueryWindowTest, RejectsEmptyInputs) {
+  auto region = sparse::IndexSet::FromIndices(10, {1}).ValueOrDie();
+  EXPECT_FALSE(QueryWindow::Create(region, {}).ok());
+  EXPECT_FALSE(QueryWindow::Create(sparse::IndexSet::Empty(10), {1}).ok());
+  EXPECT_FALSE(QueryWindow::FromRanges(10, 3, 2, 0, 1).ok());
+  EXPECT_FALSE(QueryWindow::FromRanges(10, 0, 10, 0, 1).ok());
+  EXPECT_FALSE(QueryWindow::FromRanges(10, 0, 1, 5, 4).ok());
+}
+
+TEST(QueryWindowTest, ComplementRegionKeepsTimes) {
+  auto w = QueryWindow::FromRanges(6, 1, 2, 3, 4).ValueOrDie();
+  QueryWindow c = w.WithComplementRegion();
+  EXPECT_EQ(c.times(), w.times());
+  EXPECT_EQ(c.region().elements(), (std::vector<uint32_t>{0, 3, 4, 5}));
+  // Complementing twice restores the region.
+  EXPECT_EQ(c.WithComplementRegion().region(), w.region());
+}
+
+TEST(QueryWindowTest, TimeZeroWindow) {
+  auto w = QueryWindow::FromRanges(4, 0, 1, 0, 2).ValueOrDie();
+  EXPECT_TRUE(w.ContainsTime(0));
+  EXPECT_EQ(w.t_begin(), 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,227 @@
+#include "core/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include "exact/possible_worlds.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainVI;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+/// Reference smoothing by enumeration: the posterior marginal at time t is
+/// the observation-weighted mass of worlds passing through each state.
+std::vector<std::vector<double>> SmoothingByEnumeration(
+    const markov::MarkovChain& chain, const std::vector<Observation>& obs,
+    Timestamp t_horizon) {
+  const Timestamp t_start = obs.front().time;
+  const Timestamp t_last = std::max(t_horizon, obs.back().time);
+  sparse::ProbVector first = obs.front().pdf;
+  EXPECT_TRUE(first.Normalize().ok());
+  const auto worlds =
+      exact::EnumerateWorlds(chain, first, t_last - t_start).ValueOrDie();
+
+  std::vector<std::vector<double>> marginals(
+      t_horizon - t_start + 1, std::vector<double>(chain.num_states(), 0.0));
+  double total = 0.0;
+  for (const auto& w : worlds) {
+    double weight = w.probability;
+    for (size_t i = 1; i < obs.size(); ++i) {
+      weight *= obs[i].pdf.Get(w.path[obs[i].time - t_start]);
+    }
+    if (weight == 0.0) continue;
+    total += weight;
+    for (size_t i = 0; i < marginals.size(); ++i) {
+      marginals[i][w.path[i]] += weight;
+    }
+  }
+  for (auto& m : marginals) {
+    for (double& x : m) x /= total;
+  }
+  return marginals;
+}
+
+TEST(SmoothingTest, PaperSectionVIExamplePosteriorChain) {
+  // Observations s1@t0 and s2@t3 on the Section VI chain: the only
+  // consistent world is s1,s3,s3,s2, so every smoothed marginal is a point
+  // mass along that path.
+  markov::MarkovChain chain = PaperChainVI();
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  const auto r = SmoothedMarginals(chain, obs, 3).ValueOrDie();
+  ASSERT_EQ(r.marginals.size(), 4u);
+  EXPECT_NEAR(r.marginals[0].Get(0), 1.0, 1e-12);
+  EXPECT_NEAR(r.marginals[1].Get(2), 1.0, 1e-12);
+  EXPECT_NEAR(r.marginals[2].Get(2), 1.0, 1e-12);
+  EXPECT_NEAR(r.marginals[3].Get(1), 1.0, 1e-12);
+}
+
+TEST(SmoothingTest, MatchesEnumerationOnRandomModels) {
+  util::Rng rng(211);
+  for (int round = 0; round < 10; ++round) {
+    markov::MarkovChain chain = RandomChain(5, 3, &rng);
+    std::vector<Observation> obs;
+    obs.push_back({0, RandomDistribution(5, 2, &rng)});
+    obs.push_back({3, RandomDistribution(5, 4, &rng)});
+    obs.push_back({6, RandomDistribution(5, 3, &rng)});
+
+    const auto got = SmoothedMarginals(chain, obs, 6);
+    ASSERT_TRUE(got.ok()) << "round " << round;
+    const auto want = SmoothingByEnumeration(chain, obs, 6);
+    ASSERT_EQ(got->marginals.size(), want.size());
+    for (size_t t = 0; t < want.size(); ++t) {
+      for (uint32_t s = 0; s < 5; ++s) {
+        EXPECT_NEAR(got->marginals[t].Get(s), want[t][s], 1e-9)
+            << "round " << round << " t " << t << " s " << s;
+      }
+    }
+  }
+}
+
+TEST(SmoothingTest, SingleObservationReducesToForwardPropagation) {
+  util::Rng rng(223);
+  markov::MarkovChain chain = RandomChain(8, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(8, 3, &rng);
+  std::vector<Observation> obs;
+  obs.push_back({0, initial});
+  const auto r = SmoothedMarginals(chain, obs, 5).ValueOrDie();
+  ASSERT_EQ(r.marginals.size(), 6u);
+  for (uint32_t t = 0; t <= 5; ++t) {
+    const sparse::ProbVector forward = chain.Distribution(initial, t);
+    EXPECT_NEAR(r.marginals[t].MaxAbsDiff(forward), 0.0, 1e-10) << "t " << t;
+  }
+}
+
+TEST(SmoothingTest, MarginalsAtObservationTimesRespectSupport) {
+  util::Rng rng(227);
+  markov::MarkovChain chain = RandomChain(6, 3, &rng);
+  std::vector<Observation> obs;
+  obs.push_back({0, RandomDistribution(6, 2, &rng)});
+  auto narrow = sparse::ProbVector::FromPairs(6, {{2, 0.5}, {4, 0.5}})
+                    .ValueOrDie();
+  obs.push_back({4, narrow});
+  const auto r = SmoothedMarginals(chain, obs, 4).ValueOrDie();
+  for (uint32_t s = 0; s < 6; ++s) {
+    if (s != 2 && s != 4) {
+      EXPECT_NEAR(r.marginals[4].Get(s), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(SmoothingTest, HorizonBeyondLastObservationExtrapolates) {
+  markov::MarkovChain chain = PaperChainVI();
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  const auto r = SmoothedMarginals(chain, obs, 2).ValueOrDie();
+  ASSERT_EQ(r.marginals.size(), 3u);
+  // Pure extrapolation: equals forward marginals.
+  EXPECT_NEAR(r.marginals[2].MaxAbsDiff(
+                  chain.Distribution(sparse::ProbVector::Delta(3, 0), 2)),
+              0.0, 1e-12);
+}
+
+TEST(SmoothingTest, ValidationAndContradictions) {
+  markov::MarkovChain chain = PaperChainVI();
+  EXPECT_FALSE(SmoothedMarginals(chain, {}, 3).ok());
+
+  std::vector<Observation> late;
+  late.push_back({5, sparse::ProbVector::Delta(3, 0)});
+  EXPECT_FALSE(SmoothedMarginals(chain, late, 3).ok());  // horizon < t0
+
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  std::vector<Observation> impossible;
+  impossible.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  impossible.push_back({1, sparse::ProbVector::Delta(3, 0)});
+  const auto r = SmoothedMarginals(cycle, impossible, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInconsistent);
+}
+
+TEST(ViterbiTest, PaperSectionVIExampleDecodesTheOnlyWorld) {
+  markov::MarkovChain chain = PaperChainVI();
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  const auto r = MostLikelyTrajectory(chain, obs, 3).ValueOrDie();
+  EXPECT_EQ(r.path, (std::vector<StateIndex>{0, 2, 2, 1}));
+  // It is the only consistent world, so its posterior is 1.
+  EXPECT_NEAR(r.posterior_probability, 1.0, 1e-9);
+}
+
+TEST(ViterbiTest, MatchesEnumerationArgmax) {
+  util::Rng rng(229);
+  for (int round = 0; round < 10; ++round) {
+    markov::MarkovChain chain = RandomChain(5, 3, &rng);
+    std::vector<Observation> obs;
+    obs.push_back({0, RandomDistribution(5, 2, &rng)});
+    obs.push_back({4, RandomDistribution(5, 4, &rng)});
+
+    const auto got = MostLikelyTrajectory(chain, obs, 4);
+    ASSERT_TRUE(got.ok()) << "round " << round;
+
+    // Enumerate and find the highest-weight world.
+    sparse::ProbVector first = obs.front().pdf;
+    ASSERT_TRUE(first.Normalize().ok());
+    const auto worlds = exact::EnumerateWorlds(chain, first, 4).ValueOrDie();
+    double best = -1.0;
+    double total = 0.0;
+    std::vector<StateIndex> best_path;
+    for (const auto& w : worlds) {
+      const double weight = w.probability * obs[1].pdf.Get(w.path[4]);
+      total += weight;
+      if (weight > best) {
+        best = weight;
+        best_path = w.path;
+      }
+    }
+    EXPECT_NEAR(got->posterior_probability, best / total, 1e-9)
+        << "round " << round;
+    // The decoded path must achieve the maximal weight (there may be ties).
+    double got_weight = 1.0;
+    {
+      sparse::ProbVector f = obs.front().pdf;
+      ASSERT_TRUE(f.Normalize().ok());
+      got_weight = f.Get(got->path[0]);
+      for (size_t i = 0; i + 1 < got->path.size(); ++i) {
+        got_weight *= chain.matrix().Get(got->path[i], got->path[i + 1]);
+      }
+      got_weight *= obs[1].pdf.Get(got->path[4]);
+    }
+    EXPECT_NEAR(got_weight, best, 1e-12) << "round " << round;
+  }
+}
+
+TEST(ViterbiTest, DeterministicChainFollowsTheCycle) {
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 1)});
+  const auto r = MostLikelyTrajectory(cycle, obs, 4).ValueOrDie();
+  EXPECT_EQ(r.path, (std::vector<StateIndex>{1, 2, 0, 1, 2}));
+  EXPECT_NEAR(r.posterior_probability, 1.0, 1e-12);
+}
+
+TEST(ViterbiTest, ContradictionDetected) {
+  auto cycle = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({1, sparse::ProbVector::Delta(3, 0)});
+  const auto r = MostLikelyTrajectory(cycle, obs, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInconsistent);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

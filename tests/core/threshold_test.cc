@@ -1,0 +1,176 @@
+#include "core/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+/// Small shared-chain database plus a window for threshold experiments.
+struct Fixture {
+  Database db;
+  QueryWindow window;
+};
+
+Fixture MakeSharedChainFixture(uint32_t n, uint32_t num_objects,
+                               uint64_t seed) {
+  util::Rng rng(seed);
+  Fixture f{Database{},
+            QueryWindow::FromRanges(n, n / 4, n / 2, 2, 6).ValueOrDie()};
+  const ChainId c = f.db.AddChain(RandomChain(n, 3, &rng));
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    (void)f.db.AddObjectAt(c, RandomDistribution(n, 3, &rng)).ValueOrDie();
+  }
+  return f;
+}
+
+/// Ground truth by per-object QB evaluation.
+std::map<ObjectId, double> AllProbabilities(const Database& db,
+                                            const QueryWindow& window) {
+  std::map<ObjectId, double> out;
+  std::map<ChainId, std::unique_ptr<QueryBasedEngine>> engines;
+  for (const UncertainObject& obj : db.objects()) {
+    auto& e = engines[obj.chain];
+    if (!e) {
+      e = std::make_unique<QueryBasedEngine>(&db.chain(obj.chain), window);
+    }
+    out[obj.id] = e->ExistsProbability(obj.initial_pdf());
+  }
+  return out;
+}
+
+TEST(ThresholdTest, QueryBasedMatchesBruteForce) {
+  Fixture f = MakeSharedChainFixture(30, 50, 101);
+  const auto truth = AllProbabilities(f.db, f.window);
+  for (double tau : {0.05, 0.3, 0.7}) {
+    const auto got =
+        ThresholdExistsQueryBased(f.db, f.window, tau).ValueOrDie();
+    std::vector<ObjectId> want_ids;
+    for (const auto& [id, p] : truth) {
+      if (p >= tau) want_ids.push_back(id);
+    }
+    ASSERT_EQ(got.size(), want_ids.size()) << "tau " << tau;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want_ids[i]);
+      EXPECT_NEAR(got[i].probability, truth.at(got[i].id), 1e-10);
+    }
+  }
+}
+
+TEST(ThresholdTest, ObjectBasedAgreesWithQueryBased) {
+  Fixture f = MakeSharedChainFixture(25, 40, 202);
+  for (double tau : {0.1, 0.5, 0.9}) {
+    const auto qb = ThresholdExistsQueryBased(f.db, f.window, tau).ValueOrDie();
+    PruneStats stats;
+    const auto ob =
+        ThresholdExistsObjectBased(f.db, f.window, tau, &stats).ValueOrDie();
+    ASSERT_EQ(qb.size(), ob.size()) << "tau " << tau;
+    for (size_t i = 0; i < qb.size(); ++i) {
+      EXPECT_EQ(qb[i].id, ob[i].id);
+      EXPECT_NEAR(qb[i].probability, ob[i].probability, 1e-10);
+    }
+  }
+}
+
+TEST(ThresholdTest, ObjectBasedEarlyTerminationTriggers) {
+  // With a generous window many objects decide early (true hit before
+  // t_end or residual collapse).
+  Fixture f = MakeSharedChainFixture(20, 60, 303);
+  PruneStats stats;
+  (void)ThresholdExistsObjectBased(f.db, f.window, 0.5, &stats).ValueOrDie();
+  EXPECT_GT(stats.objects_decided_early, 0u);
+}
+
+TEST(ThresholdTest, ClusteredMatchesBruteForceOnMultiChainDb) {
+  workload::SyntheticConfig config;
+  config.num_states = 30;
+  config.num_objects = 60;
+  config.state_spread = 3;
+  config.max_step = 10;
+  config.seed = 404;
+  Database db =
+      workload::GenerateMultiChainDatabase(config, /*num_chains=*/6,
+                                           /*jitter=*/0.2)
+          .ValueOrDie();
+  auto window = QueryWindow::FromRanges(30, 8, 14, 2, 6).ValueOrDie();
+  const auto truth = AllProbabilities(db, window);
+
+  for (double tau : {0.2, 0.6}) {
+    PruneStats stats;
+    const auto got =
+        ThresholdExistsClustered(db, window, tau, /*num_clusters=*/3, &stats)
+            .ValueOrDie();
+    std::vector<ObjectId> want_ids;
+    for (const auto& [id, p] : truth) {
+      if (p >= tau) want_ids.push_back(id);
+    }
+    ASSERT_EQ(got.size(), want_ids.size()) << "tau " << tau;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want_ids[i]) << "tau " << tau;
+      EXPECT_NEAR(got[i].probability, truth.at(got[i].id), 1e-10);
+    }
+    EXPECT_EQ(stats.clusters_total, 3u);
+  }
+}
+
+TEST(ThresholdTest, ClusteredPrunesAtExtremeTaus) {
+  // τ > 1 means nothing qualifies: every cluster's upper bound is <= 1 so
+  // all objects are dropped wholesale.
+  workload::SyntheticConfig config;
+  config.num_states = 25;
+  config.num_objects = 30;
+  config.state_spread = 3;
+  config.max_step = 8;
+  config.seed = 505;
+  Database db =
+      workload::GenerateMultiChainDatabase(config, 4, 0.1).ValueOrDie();
+  auto window = QueryWindow::FromRanges(25, 5, 9, 2, 5).ValueOrDie();
+  PruneStats stats;
+  const auto got =
+      ThresholdExistsClustered(db, window, 1.1, 2, &stats).ValueOrDie();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.clusters_pruned, stats.clusters_total);
+  EXPECT_EQ(stats.objects_refined, 0u);
+}
+
+TEST(ThresholdTest, ClusteredRejectsZeroClusters) {
+  Fixture f = MakeSharedChainFixture(10, 5, 1);
+  EXPECT_FALSE(ThresholdExistsClustered(f.db, f.window, 0.5, 0).ok());
+}
+
+TEST(TopKTest, ReturnsHighestProbabilityObjects) {
+  Fixture f = MakeSharedChainFixture(30, 40, 606);
+  const auto truth = AllProbabilities(f.db, f.window);
+  const auto top5 = TopKExists(f.db, f.window, 5).ValueOrDie();
+  ASSERT_EQ(top5.size(), 5u);
+  // Descending order.
+  for (size_t i = 1; i < top5.size(); ++i) {
+    EXPECT_GE(top5[i - 1].probability, top5[i].probability);
+  }
+  // No excluded object beats the k-th.
+  const double kth = top5.back().probability;
+  std::set<ObjectId> returned;
+  for (const auto& r : top5) returned.insert(r.id);
+  for (const auto& [id, p] : truth) {
+    if (!returned.count(id)) EXPECT_LE(p, kth + 1e-10);
+  }
+}
+
+TEST(TopKTest, KLargerThanDatabaseReturnsEverything) {
+  Fixture f = MakeSharedChainFixture(10, 7, 707);
+  const auto all = TopKExists(f.db, f.window, 100).ValueOrDie();
+  EXPECT_EQ(all.size(), 7u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

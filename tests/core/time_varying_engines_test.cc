@@ -1,0 +1,156 @@
+#include "core/time_varying_engines.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/forall.h"
+#include "core/k_times.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "exact/possible_worlds.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+markov::TimeVaryingChain RandomSchedule(uint32_t n, uint32_t period,
+                                        util::Rng* rng) {
+  std::vector<markov::MarkovChain> phases;
+  for (uint32_t i = 0; i < period; ++i) {
+    phases.push_back(RandomChain(n, 2 + i % 2, rng));
+  }
+  return markov::TimeVaryingChain::FromPhases(std::move(phases)).ValueOrDie();
+}
+
+TEST(TimeVaryingEnginesTest, PeriodOneReducesToHomogeneousEngines) {
+  markov::TimeVaryingChain tv =
+      markov::TimeVaryingChain::FromHomogeneous(PaperChainV());
+  markov::MarkovChain homogeneous = PaperChainV();
+  auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+
+  ObjectBasedEngine ob(&homogeneous, window);
+  EXPECT_NEAR(TimeVaryingExistsForward(tv, window, initial),
+              ob.ExistsProbability(initial), 1e-12);
+  EXPECT_NEAR(TimeVaryingExistsForward(tv, window, initial), 0.864, 1e-12);
+
+  QueryBasedEngine qb(&homogeneous, window);
+  const sparse::ProbVector tv_start =
+      TimeVaryingExistsStartVector(tv, window);
+  EXPECT_NEAR(tv_start.MaxAbsDiff(qb.start_vector()), 0.0, 1e-12);
+
+  ForAllObjectBased forall(&homogeneous, window);
+  EXPECT_NEAR(TimeVaryingForAll(tv, window, initial),
+              forall.ForAllProbability(initial), 1e-12);
+
+  KTimesEngine ktimes(&homogeneous, window);
+  const auto a = TimeVaryingKTimes(tv, window, initial);
+  const auto b = ktimes.Distribution(initial);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t k = 0; k < a.size(); ++k) EXPECT_NEAR(a[k], b[k], 1e-12);
+}
+
+TEST(TimeVaryingEnginesTest, ForwardMatchesEnumeration) {
+  util::Rng rng(101);
+  for (int round = 0; round < 10; ++round) {
+    markov::TimeVaryingChain tv = RandomSchedule(6, 3, &rng);
+    auto window = QueryWindow::FromRanges(6, 1, 3, 2, 5).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(6, 2, &rng);
+    const double truth =
+        exact::TimeVaryingExistsByEnumeration(tv, initial, window)
+            .ValueOrDie();
+    EXPECT_NEAR(TimeVaryingExistsForward(tv, window, initial), truth, 1e-10)
+        << "round " << round;
+  }
+}
+
+TEST(TimeVaryingEnginesTest, BackwardAgreesWithForward) {
+  util::Rng rng(103);
+  for (int round = 0; round < 10; ++round) {
+    markov::TimeVaryingChain tv = RandomSchedule(10, 4, &rng);
+    auto window = QueryWindow::FromRanges(10, 2, 5, 3, 7).ValueOrDie();
+    const sparse::ProbVector start = TimeVaryingExistsStartVector(tv, window);
+    for (int obj = 0; obj < 5; ++obj) {
+      const sparse::ProbVector initial = RandomDistribution(10, 3, &rng);
+      EXPECT_NEAR(initial.Dot(start),
+                  TimeVaryingExistsForward(tv, window, initial), 1e-10)
+          << "round " << round << " obj " << obj;
+    }
+  }
+}
+
+TEST(TimeVaryingEnginesTest, KTimesSumsToOneAndMatchesExists) {
+  util::Rng rng(107);
+  markov::TimeVaryingChain tv = RandomSchedule(8, 2, &rng);
+  auto window = QueryWindow::FromRanges(8, 1, 4, 1, 5).ValueOrDie();
+  const sparse::ProbVector initial = RandomDistribution(8, 2, &rng);
+  const auto dist = TimeVaryingKTimes(tv, window, initial);
+  EXPECT_NEAR(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0, 1e-9);
+  EXPECT_NEAR(1.0 - dist[0], TimeVaryingExistsForward(tv, window, initial),
+              1e-10);
+}
+
+TEST(TimeVaryingEnginesTest, ForAllComplement) {
+  util::Rng rng(109);
+  markov::TimeVaryingChain tv = RandomSchedule(8, 3, &rng);
+  auto window = QueryWindow::FromRanges(8, 2, 5, 2, 4).ValueOrDie();
+  const sparse::ProbVector initial = RandomDistribution(8, 3, &rng);
+  const double forall = TimeVaryingForAll(tv, window, initial);
+  const double exists_c = TimeVaryingExistsForward(
+      tv, window.WithComplementRegion(), initial);
+  EXPECT_NEAR(forall, 1.0 - exists_c, 1e-12);
+  // And the k-times top bucket equals for-all.
+  const auto dist = TimeVaryingKTimes(tv, window, initial);
+  EXPECT_NEAR(dist.back(), forall, 1e-10);
+}
+
+TEST(TimeVaryingEnginesTest, PhaseOrderMatters) {
+  // Deterministic right/left shifts: swapping the schedule changes the
+  // query answer — the property a homogeneous model cannot express.
+  auto right = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto left = markov::MarkovChain::FromDense(
+                  {{0, 0, 1}, {1, 0, 0}, {0, 1, 0}})
+                  .ValueOrDie();
+  std::vector<markov::MarkovChain> rl;
+  rl.push_back(right);
+  rl.push_back(left);
+  std::vector<markov::MarkovChain> lr;
+  lr.push_back(std::move(left));
+  lr.push_back(std::move(right));
+  auto chain_rl =
+      markov::TimeVaryingChain::FromPhases(std::move(rl)).ValueOrDie();
+  auto chain_lr =
+      markov::TimeVaryingChain::FromPhases(std::move(lr)).ValueOrDie();
+
+  auto region = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {1}).ValueOrDie();
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 0);
+  // right first: 0 -> 1 at t=1 (hit). left first: 0 -> 2 at t=1 (miss).
+  EXPECT_DOUBLE_EQ(TimeVaryingExistsForward(chain_rl, window, initial), 1.0);
+  EXPECT_DOUBLE_EQ(TimeVaryingExistsForward(chain_lr, window, initial), 0.0);
+}
+
+TEST(TimeVaryingEnginesTest, WindowAtTimeZero) {
+  util::Rng rng(113);
+  markov::TimeVaryingChain tv = RandomSchedule(6, 2, &rng);
+  auto region = sparse::IndexSet::FromIndices(6, {2}).ValueOrDie();
+  auto window = QueryWindow::Create(region, {0, 2}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(TimeVaryingExistsForward(
+                       tv, window, sparse::ProbVector::Delta(6, 2)),
+                   1.0);
+  const sparse::ProbVector start = TimeVaryingExistsStartVector(tv, window);
+  EXPECT_DOUBLE_EQ(start.Get(2), 1.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

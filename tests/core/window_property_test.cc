@@ -1,0 +1,179 @@
+// Monotonicity and consistency laws of the query predicates with respect
+// to the window, verified on random models across all engines:
+//   * P∃ is monotone under region and time-set inclusion;
+//   * P∀ is monotone under region inclusion and *antitone* under time-set
+//     inclusion;
+//   * cylinder answers refine consistently when the window grows.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cylinder_baseline.h"
+#include "core/forall.h"
+#include "core/object_based.h"
+#include "core/query_based.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+using Param = std::tuple<uint32_t, uint64_t>;  // (num_states, seed)
+
+class WindowPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WindowPropertyTest, ExistsMonotoneInRegion) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+
+  // Nested regions [lo, hi] ⊂ [lo, hi+2] ⊂ [lo-1, hi+4] (clamped).
+  const uint32_t lo = n / 4;
+  const uint32_t hi = n / 3 + 1;
+  double prev = -1.0;
+  for (uint32_t grow = 0; grow <= 2; ++grow) {
+    const uint32_t g_lo = lo > grow ? lo - grow : 0;
+    const uint32_t g_hi = std::min(n - 1, hi + 2 * grow);
+    auto window = QueryWindow::FromRanges(n, g_lo, g_hi, 2, 6).ValueOrDie();
+    QueryBasedEngine qb(&chain, window);
+    const double p = qb.ExistsProbability(initial);
+    EXPECT_GE(p, prev - 1e-10) << "grow " << grow;
+    prev = p;
+  }
+}
+
+TEST_P(WindowPropertyTest, ExistsMonotoneInTimes) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0xA);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+  auto region = sparse::IndexSet::FromRange(n, n / 4, n / 2).ValueOrDie();
+
+  // Growing time sets {3} ⊂ {3,4} ⊂ {2,3,4} ⊂ {2,3,4,6}.
+  const std::vector<std::vector<Timestamp>> time_sets = {
+      {3}, {3, 4}, {2, 3, 4}, {2, 3, 4, 6}};
+  double prev = -1.0;
+  for (const auto& times : time_sets) {
+    auto window = QueryWindow::Create(region, times).ValueOrDie();
+    ObjectBasedEngine ob(&chain, window);
+    const double p = ob.ExistsProbability(initial);
+    EXPECT_GE(p, prev - 1e-10);
+    prev = p;
+  }
+}
+
+TEST_P(WindowPropertyTest, ForAllAntitoneInTimes) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0xB);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+  auto region = sparse::IndexSet::FromRange(n, 0, 2 * n / 3).ValueOrDie();
+
+  // Staying in S□ at MORE times is harder: P∀ must not increase.
+  const std::vector<std::vector<Timestamp>> time_sets = {
+      {2}, {2, 3}, {2, 3, 5}, {1, 2, 3, 5}};
+  double prev = 2.0;
+  for (const auto& times : time_sets) {
+    auto window = QueryWindow::Create(region, times).ValueOrDie();
+    ForAllQueryBased forall(&chain, window);
+    const double p = forall.ForAllProbability(initial);
+    EXPECT_LE(p, prev + 1e-10);
+    prev = p;
+  }
+}
+
+TEST_P(WindowPropertyTest, ForAllMonotoneInRegion) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0xC);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+
+  double prev = -1.0;
+  for (uint32_t grow = 0; grow <= 2; ++grow) {
+    const uint32_t g_hi = std::min(n - 1, n / 2 + grow * (n / 6 + 1));
+    auto window = QueryWindow::FromRanges(n, 0, g_hi, 1, 4).ValueOrDie();
+    ForAllObjectBased forall(&chain, window);
+    const double p = forall.ForAllProbability(initial);
+    EXPECT_GE(p, prev - 1e-10) << "grow " << grow;
+    prev = p;
+  }
+}
+
+TEST_P(WindowPropertyTest, CylinderRefinesWithGrowingWindow) {
+  // Growing the window (region superset AND time superset) can only move
+  // the three-valued answer upward in the order never < possibly < always:
+  // intersections persist under supersets, and kAlways requires reachable-
+  // set containment at just one window time, which supersets preserve.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0xD);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);
+
+  auto small_window =
+      QueryWindow::FromRanges(n, n / 4, n / 2, 2, 4).ValueOrDie();
+  auto big_window =
+      QueryWindow::FromRanges(n, n / 4, std::min(n - 1, n / 2 + n / 4), 2, 6)
+          .ValueOrDie();
+  CylinderBaseline small_engine(&chain, small_window);
+  CylinderBaseline big_engine(&chain, big_window);
+  const auto rank = [](CylinderAnswer a) {
+    return a == CylinderAnswer::kNever ? 0
+           : a == CylinderAnswer::kPossibly ? 1
+                                            : 2;
+  };
+  EXPECT_GE(rank(big_engine.Evaluate(initial)),
+            rank(small_engine.Evaluate(initial)));
+}
+
+TEST_P(WindowPropertyTest, EnginesAgreeOnEveryWindowShape) {
+  // OB and QB agreement across assorted degenerate windows.
+  const auto [n, seed] = GetParam();
+  util::Rng rng(seed ^ 0xE);
+  const markov::MarkovChain chain = RandomChain(n, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(n, 3, &rng);
+
+  std::vector<QueryWindow> windows;
+  // Single state, single time.
+  windows.push_back(
+      QueryWindow::Create(sparse::IndexSet::FromIndices(n, {n / 2})
+                              .ValueOrDie(),
+                          {4})
+          .ValueOrDie());
+  // Full region.
+  windows.push_back(QueryWindow::FromRanges(n, 0, n - 1, 3, 5).ValueOrDie());
+  // Sparse scattered region, scattered times including 0.
+  windows.push_back(
+      QueryWindow::Create(sparse::IndexSet::FromIndices(
+                              n, {0, n / 3, 2 * n / 3, n - 1})
+                              .ValueOrDie(),
+                          {0, 3, 7})
+          .ValueOrDie());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    ObjectBasedEngine ob(&chain, windows[i]);
+    QueryBasedEngine qb(&chain, windows[i]);
+    EXPECT_NEAR(ob.ExistsProbability(initial),
+                qb.ExistsProbability(initial), 1e-10)
+        << "window " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowPropertyTest,
+                         ::testing::Values(Param{8, 1}, Param{10, 2},
+                                           Param{12, 3}, Param{16, 4},
+                                           Param{20, 5}, Param{24, 6}),
+                         [](const ::testing::TestParamInfo<Param>& info) {
+                           return "n" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_seed" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

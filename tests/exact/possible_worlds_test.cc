@@ -1,0 +1,136 @@
+#include "exact/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/compensated_sum.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace exact {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(EnumerateWorldsTest, CountsAndMassForPaperChain) {
+  // From s2 with horizon 1 there are exactly 2 worlds (s2->s1, s2->s3).
+  markov::MarkovChain chain = PaperChainV();
+  const auto worlds =
+      EnumerateWorlds(chain, sparse::ProbVector::Delta(3, 1), 1)
+          .ValueOrDie();
+  ASSERT_EQ(worlds.size(), 2u);
+  util::CompensatedSum total;
+  for (const World& w : worlds) {
+    EXPECT_EQ(w.path.size(), 2u);
+    EXPECT_EQ(w.path[0], 1u);
+    total.Add(w.probability);
+  }
+  EXPECT_NEAR(total.Total(), 1.0, 1e-12);
+}
+
+TEST(EnumerateWorldsTest, TotalMassAlwaysOne) {
+  util::Rng rng(7);
+  markov::MarkovChain chain = RandomChain(6, 3, &rng);
+  const sparse::ProbVector initial = RandomDistribution(6, 2, &rng);
+  for (Timestamp horizon : {0u, 1u, 3u, 5u}) {
+    const auto worlds =
+        EnumerateWorlds(chain, initial, horizon).ValueOrDie();
+    util::CompensatedSum total;
+    for (const World& w : worlds) total.Add(w.probability);
+    EXPECT_NEAR(total.Total(), 1.0, 1e-10) << "horizon " << horizon;
+  }
+}
+
+TEST(EnumerateWorldsTest, HorizonZeroEnumeratesSupport) {
+  markov::MarkovChain chain = PaperChainV();
+  auto initial =
+      sparse::ProbVector::FromPairs(3, {{0, 0.5}, {2, 0.5}}).ValueOrDie();
+  const auto worlds = EnumerateWorlds(chain, initial, 0).ValueOrDie();
+  EXPECT_EQ(worlds.size(), 2u);
+}
+
+TEST(EnumerateWorldsTest, GuardTripsOnBlowup) {
+  util::Rng rng(8);
+  markov::MarkovChain chain = RandomChain(10, 10, &rng);
+  const auto r = EnumerateWorlds(chain, sparse::ProbVector::Delta(10, 0), 8,
+                                 /*max_worlds=*/1'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(EnumerateWorldsTest, PathProbabilitiesAreChainProducts) {
+  markov::MarkovChain chain = PaperChainV();
+  const auto worlds =
+      EnumerateWorlds(chain, sparse::ProbVector::Delta(3, 1), 2)
+          .ValueOrDie();
+  for (const World& w : worlds) {
+    double expected = 1.0;
+    for (size_t t = 0; t + 1 < w.path.size(); ++t) {
+      expected *= chain.matrix().Get(w.path[t], w.path[t + 1]);
+    }
+    EXPECT_NEAR(w.probability, expected, 1e-12);
+  }
+}
+
+TEST(ExistsByEnumerationTest, PaperRunningExample) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  EXPECT_NEAR(
+      ExistsByEnumeration(chain, sparse::ProbVector::Delta(3, 1), window)
+          .ValueOrDie(),
+      0.864, 1e-12);
+}
+
+TEST(KTimesByEnumerationTest, PaperRunningExample) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  const auto dist =
+      KTimesByEnumeration(chain, sparse::ProbVector::Delta(3, 1), window)
+          .ValueOrDie();
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist[0], 0.136, 1e-12);
+  EXPECT_NEAR(dist[1], 0.672, 1e-12);
+  EXPECT_NEAR(dist[2], 0.192, 1e-12);
+}
+
+TEST(ForAllByEnumerationTest, ComplementOfExistsOnComplementRegion) {
+  util::Rng rng(9);
+  markov::MarkovChain chain = RandomChain(5, 3, &rng);
+  auto window = core::QueryWindow::FromRanges(5, 1, 2, 1, 4).ValueOrDie();
+  const sparse::ProbVector initial = RandomDistribution(5, 2, &rng);
+  const double forall =
+      ForAllByEnumeration(chain, initial, window).ValueOrDie();
+  core::QueryWindow complement = window.WithComplementRegion();
+  const double exists_c =
+      ExistsByEnumeration(chain, initial, complement).ValueOrDie();
+  EXPECT_NEAR(forall, 1.0 - exists_c, 1e-10);
+}
+
+TEST(MultiObsByEnumerationTest, SectionVIExample) {
+  markov::MarkovChain chain = ::ustdb::testing::PaperChainVI();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 1, 2).ValueOrDie();
+  std::vector<core::Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  EXPECT_NEAR(MultiObsExistsByEnumeration(chain, obs, window).ValueOrDie(),
+              0.0, 1e-12);
+}
+
+TEST(MultiObsByEnumerationTest, RejectsContradictions) {
+  auto chain = markov::MarkovChain::FromDense(
+                   {{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto window = core::QueryWindow::FromRanges(3, 2, 2, 1, 2).ValueOrDie();
+  std::vector<core::Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({1, sparse::ProbVector::Delta(3, 0)});
+  const auto r = MultiObsExistsByEnumeration(chain, obs, window);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInconsistent);
+}
+
+}  // namespace
+}  // namespace exact
+}  // namespace ustdb

@@ -1,0 +1,86 @@
+#include "geo/drift_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/prob_vector.h"
+
+namespace ustdb {
+namespace geo {
+namespace {
+
+Drift Still(Cell) { return {0.0, 0.0, 1.0}; }
+
+TEST(DriftModelTest, BuildsStochasticChain) {
+  Grid2D g = Grid2D::Create(8, 8).ValueOrDie();
+  auto chain = BuildDriftChain(g, Still, 1);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->num_states(), 64u);
+  EXPECT_TRUE(chain->matrix().IsStochastic());
+}
+
+TEST(DriftModelTest, RejectsBadParameters) {
+  Grid2D g = Grid2D::Create(4, 4).ValueOrDie();
+  EXPECT_FALSE(BuildDriftChain(g, Still, 0).ok());
+  EXPECT_FALSE(
+      BuildDriftChain(g, [](Cell) { return Drift{0, 0, 0.0}; }, 1).ok());
+}
+
+TEST(DriftModelTest, SymmetricKernelWithoutDrift) {
+  Grid2D g = Grid2D::Create(9, 9).ValueOrDie();
+  auto chain = BuildDriftChain(g, Still, 1).ValueOrDie();
+  // Centre cell: staying is most likely, the four orthogonal neighbours are
+  // equally likely, diagonals equally likely but less than orthogonal.
+  const StateIndex c = g.ToState({4, 4});
+  const double stay = chain.matrix().Get(c, c);
+  const double right = chain.matrix().Get(c, g.ToState({5, 4}));
+  const double up = chain.matrix().Get(c, g.ToState({4, 3}));
+  const double diag = chain.matrix().Get(c, g.ToState({5, 5}));
+  EXPECT_GT(stay, right);
+  EXPECT_NEAR(right, up, 1e-12);
+  EXPECT_GT(right, diag);
+  EXPECT_GT(diag, 0.0);
+}
+
+TEST(DriftModelTest, DriftBiasesDirection) {
+  Grid2D g = Grid2D::Create(9, 9).ValueOrDie();
+  auto chain =
+      BuildDriftChain(g, [](Cell) { return Drift{1.0, 0.0, 0.8}; }, 1)
+          .ValueOrDie();
+  const StateIndex c = g.ToState({4, 4});
+  const double east = chain.matrix().Get(c, g.ToState({5, 4}));
+  const double west = chain.matrix().Get(c, g.ToState({3, 4}));
+  EXPECT_GT(east, west * 5.0);  // strong eastward preference
+}
+
+TEST(DriftModelTest, BorderClampKeepsMassInside) {
+  Grid2D g = Grid2D::Create(5, 5).ValueOrDie();
+  auto chain =
+      BuildDriftChain(g, [](Cell) { return Drift{2.0, 2.0, 1.0}; }, 2)
+          .ValueOrDie();
+  // Bottom-right corner: drift pushes outside, clamping keeps row sum 1.
+  const StateIndex corner = g.ToState({4, 4});
+  EXPECT_NEAR(chain.matrix().RowSum(corner), 1.0, 1e-12);
+  // Mass concentrates at the corner itself.
+  EXPECT_GT(chain.matrix().Get(corner, corner), 0.5);
+}
+
+TEST(DriftModelTest, DriftingMassMovesDownstream) {
+  Grid2D g = Grid2D::Create(20, 5).ValueOrDie();
+  auto chain =
+      BuildDriftChain(g, [](Cell) { return Drift{1.0, 0.0, 0.5}; }, 2)
+          .ValueOrDie();
+  sparse::ProbVector dist = sparse::ProbVector::Delta(
+      g.num_states(), g.ToState({2, 2}));
+  dist = chain.Distribution(dist, 10);
+  // Expected x position after 10 steps of unit eastward drift ≈ 12.
+  double mean_x = 0.0;
+  dist.ForEachNonZero([&](uint32_t s, double p) {
+    mean_x += p * g.ToCell(s).x;
+  });
+  EXPECT_GT(mean_x, 9.0);
+  EXPECT_LE(mean_x, 13.5);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace ustdb

@@ -1,0 +1,96 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace ustdb {
+namespace geo {
+namespace {
+
+TEST(Grid2DTest, CreateValidates) {
+  EXPECT_TRUE(Grid2D::Create(10, 5).ok());
+  EXPECT_FALSE(Grid2D::Create(0, 5).ok());
+  EXPECT_FALSE(Grid2D::Create(5, 0).ok());
+  EXPECT_FALSE(Grid2D::Create(1u << 17, 1u << 17).ok());  // overflow
+}
+
+TEST(Grid2DTest, StateCellRoundTrip) {
+  Grid2D g = Grid2D::Create(7, 4).ValueOrDie();
+  EXPECT_EQ(g.num_states(), 28u);
+  for (StateIndex s = 0; s < g.num_states(); ++s) {
+    const Cell c = g.ToCell(s);
+    EXPECT_TRUE(g.InBounds(c));
+    EXPECT_EQ(g.ToState(c), s);
+  }
+}
+
+TEST(Grid2DTest, RowMajorLayout) {
+  Grid2D g = Grid2D::Create(5, 3).ValueOrDie();
+  EXPECT_EQ(g.ToState({0, 0}), 0u);
+  EXPECT_EQ(g.ToState({4, 0}), 4u);
+  EXPECT_EQ(g.ToState({0, 1}), 5u);
+  EXPECT_EQ(g.ToState({4, 2}), 14u);
+}
+
+TEST(Grid2DTest, InBounds) {
+  Grid2D g = Grid2D::Create(3, 3).ValueOrDie();
+  EXPECT_TRUE(g.InBounds({2, 2}));
+  EXPECT_FALSE(g.InBounds({3, 0}));
+  EXPECT_FALSE(g.InBounds({0, 3}));
+}
+
+TEST(Grid2DTest, RectangleRegion) {
+  Grid2D g = Grid2D::Create(6, 6).ValueOrDie();
+  auto r = g.Rectangle(1, 2, 3, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 9u);  // 3 x 3 cells
+  EXPECT_TRUE(r->Contains(g.ToState({1, 2})));
+  EXPECT_TRUE(r->Contains(g.ToState({3, 4})));
+  EXPECT_FALSE(r->Contains(g.ToState({0, 2})));
+  EXPECT_FALSE(r->Contains(g.ToState({4, 4})));
+}
+
+TEST(Grid2DTest, RectangleValidates) {
+  Grid2D g = Grid2D::Create(6, 6).ValueOrDie();
+  EXPECT_FALSE(g.Rectangle(3, 0, 2, 0).ok());  // inverted x
+  EXPECT_FALSE(g.Rectangle(0, 0, 6, 0).ok());  // x_hi out of range
+  EXPECT_FALSE(g.Rectangle(0, 0, 0, 6).ok());  // y_hi out of range
+}
+
+TEST(Grid2DTest, SingleCellRectangle) {
+  Grid2D g = Grid2D::Create(4, 4).ValueOrDie();
+  auto r = g.Rectangle(2, 2, 2, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(r->Contains(g.ToState({2, 2})));
+}
+
+TEST(Grid2DTest, DiskRegion) {
+  Grid2D g = Grid2D::Create(11, 11).ValueOrDie();
+  auto d = g.Disk({5, 5}, 1.0);
+  ASSERT_TRUE(d.ok());
+  // Radius 1: centre + 4 orthogonal neighbours.
+  EXPECT_EQ(d->size(), 5u);
+  EXPECT_TRUE(d->Contains(g.ToState({5, 5})));
+  EXPECT_TRUE(d->Contains(g.ToState({4, 5})));
+  EXPECT_FALSE(d->Contains(g.ToState({4, 4})));  // sqrt(2) > 1
+}
+
+TEST(Grid2DTest, DiskClipsAtBorder) {
+  Grid2D g = Grid2D::Create(10, 10).ValueOrDie();
+  auto d = g.Disk({0, 0}, 1.5);
+  ASSERT_TRUE(d.ok());
+  // Quarter disk: (0,0), (1,0), (0,1), (1,1).
+  EXPECT_EQ(d->size(), 4u);
+  EXPECT_FALSE(g.Disk({10, 0}, 1.0).ok());  // center out of bounds
+}
+
+TEST(Grid2DTest, DiskZeroRadiusIsCenterOnly) {
+  Grid2D g = Grid2D::Create(5, 5).ValueOrDie();
+  auto d = g.Disk({2, 2}, 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace ustdb

@@ -1,0 +1,139 @@
+#include "io/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace io {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ustdb_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializationTest, MatrixRoundTrip) {
+  util::Rng rng(1);
+  const markov::MarkovChain chain = RandomChain(20, 4, &rng);
+  const std::string path = Path("m.txt");
+  ASSERT_TRUE(SaveMatrix(chain.matrix(), path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, chain.matrix());
+}
+
+TEST_F(SerializationTest, MatrixValuesSurviveExactly) {
+  // %.17g round-trips doubles bit-exactly.
+  auto m = sparse::CsrMatrix::FromTriplets(
+               2, 2, {{0, 0, 1.0 / 3.0}, {0, 1, 2.0 / 3.0}, {1, 1, 1.0}})
+               .ValueOrDie();
+  const std::string path = Path("exact.txt");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path).ValueOrDie();
+  EXPECT_EQ(loaded.Get(0, 0), 1.0 / 3.0);
+  EXPECT_EQ(loaded.Get(0, 1), 2.0 / 3.0);
+}
+
+TEST_F(SerializationTest, ChainRoundTripValidatesStochasticity) {
+  const std::string path = Path("chain.txt");
+  ASSERT_TRUE(SaveChain(PaperChainV(), path).ok());
+  auto loaded = LoadChain(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->matrix(), PaperChainV().matrix());
+
+  // A sub-stochastic matrix loads as a matrix but not as a chain.
+  auto sub = sparse::CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.5}, {1, 1, 1.0}})
+                 .ValueOrDie();
+  const std::string bad = Path("bad_chain.txt");
+  ASSERT_TRUE(SaveMatrix(sub, bad).ok());
+  EXPECT_TRUE(LoadMatrix(bad).ok());
+  EXPECT_FALSE(LoadChain(bad).ok());
+}
+
+TEST_F(SerializationTest, LoadMatrixRejectsCorruptFiles) {
+  const std::string path = Path("corrupt.txt");
+  std::ofstream(path) << "not-a-header\n1 1 0\n";
+  EXPECT_FALSE(LoadMatrix(path).ok());
+
+  std::ofstream(Path("truncated.txt")) << "ustdb-matrix 1\n3 3 5\n0 0 1.0\n";
+  EXPECT_FALSE(LoadMatrix(Path("truncated.txt")).ok());
+
+  EXPECT_FALSE(LoadMatrix(Path("missing.txt")).ok());
+}
+
+TEST_F(SerializationTest, RoadNetworkRoundTrip) {
+  auto g = network::RoadNetwork::FromEdges(
+               5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+               .ValueOrDie();
+  const std::string path = Path("road.txt");
+  ASSERT_TRUE(SaveRoadNetwork(g, path).ok());
+  auto loaded = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 5u);
+  EXPECT_EQ(loaded->Edges(), g.Edges());
+}
+
+TEST_F(SerializationTest, ObjectsRoundTrip) {
+  util::Rng rng(3);
+  core::Database db;
+  const ChainId c0 = db.AddChain(RandomChain(10, 3, &rng));
+  const ChainId c1 = db.AddChain(RandomChain(10, 3, &rng));
+  (void)db.AddObjectAt(c0, RandomDistribution(10, 3, &rng)).ValueOrDie();
+  std::vector<core::Observation> multi;
+  multi.push_back({0, RandomDistribution(10, 2, &rng)});
+  multi.push_back({5, RandomDistribution(10, 4, &rng)});
+  (void)db.AddObject(c1, multi).ValueOrDie();
+
+  const std::string path = Path("objects.txt");
+  ASSERT_TRUE(SaveObjects(db, path).ok());
+
+  core::Database restored;
+  (void)restored.AddChain(RandomChain(10, 3, &rng));
+  (void)restored.AddChain(RandomChain(10, 3, &rng));
+  ASSERT_TRUE(LoadObjectsInto(path, &restored).ok());
+  ASSERT_EQ(restored.num_objects(), 2u);
+  EXPECT_EQ(restored.object(0).chain, c0);
+  EXPECT_EQ(restored.object(1).chain, c1);
+  ASSERT_EQ(restored.object(1).observations.size(), 2u);
+  EXPECT_EQ(restored.object(1).observations[1].time, 5u);
+  EXPECT_NEAR(restored.object(0).initial_pdf().MaxAbsDiff(
+                  db.object(0).initial_pdf()),
+              0.0, 1e-15);
+}
+
+TEST_F(SerializationTest, LoadObjectsRequiresChains) {
+  util::Rng rng(4);
+  core::Database db;
+  const ChainId c = db.AddChain(RandomChain(5, 2, &rng));
+  (void)db.AddObjectAt(c, RandomDistribution(5, 2, &rng)).ValueOrDie();
+  const std::string path = Path("objects2.txt");
+  ASSERT_TRUE(SaveObjects(db, path).ok());
+
+  core::Database empty;  // no chains registered
+  const auto status = LoadObjectsInto(path, &empty);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace ustdb

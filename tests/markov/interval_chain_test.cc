@@ -1,0 +1,139 @@
+#include "markov/interval_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/object_based.h"
+#include "core/query_window.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace ustdb {
+namespace markov {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+
+TEST(IntervalChainTest, RejectsEmptyOrMismatched) {
+  EXPECT_FALSE(IntervalMarkovChain::FromChains({}).ok());
+  MarkovChain a = PaperChainV();
+  util::Rng rng(1);
+  MarkovChain b = RandomChain(5, 2, &rng);
+  EXPECT_FALSE(IntervalMarkovChain::FromChains({&a, &b}).ok());
+}
+
+TEST(IntervalChainTest, SingleMemberHasTightBounds) {
+  MarkovChain a = PaperChainV();
+  auto env = IntervalMarkovChain::FromChains({&a}).ValueOrDie();
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      const ProbBound b = env.Bound(i, j);
+      EXPECT_DOUBLE_EQ(b.lo, a.matrix().Get(i, j));
+      EXPECT_DOUBLE_EQ(b.hi, a.matrix().Get(i, j));
+    }
+  }
+}
+
+TEST(IntervalChainTest, EnvelopeCoversAllMembers) {
+  util::Rng rng(42);
+  workload::SyntheticConfig config;
+  config.num_states = 20;
+  config.state_spread = 3;
+  config.max_step = 8;
+  MarkovChain base = workload::GenerateChain(config, &rng).ValueOrDie();
+  MarkovChain p1 = workload::PerturbChain(base, 0.3, &rng).ValueOrDie();
+  MarkovChain p2 = workload::PerturbChain(base, 0.3, &rng).ValueOrDie();
+  auto env = IntervalMarkovChain::FromChains({&base, &p1, &p2}).ValueOrDie();
+
+  for (const MarkovChain* m : {&base, &p1, &p2}) {
+    for (uint32_t i = 0; i < 20; ++i) {
+      for (uint32_t j = 0; j < 20; ++j) {
+        const double v = m->matrix().Get(i, j);
+        const ProbBound b = env.Bound(i, j);
+        EXPECT_LE(b.lo, v + 1e-12);
+        EXPECT_GE(b.hi, v - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(IntervalChainTest, SupportMismatchForcesZeroLowerBound) {
+  auto a = MarkovChain::FromDense({{1.0, 0.0}, {0.0, 1.0}}).ValueOrDie();
+  auto b = MarkovChain::FromDense({{0.5, 0.5}, {0.5, 0.5}}).ValueOrDie();
+  auto env = IntervalMarkovChain::FromChains({&a, &b}).ValueOrDie();
+  // Entry (0,1) is absent from `a`, so its lower bound is 0.
+  EXPECT_DOUBLE_EQ(env.Bound(0, 1).lo, 0.0);
+  EXPECT_DOUBLE_EQ(env.Bound(0, 1).hi, 0.5);
+  // Entry (0,0) exists in both: lo = 0.5, hi = 1.
+  EXPECT_DOUBLE_EQ(env.Bound(0, 0).lo, 0.5);
+  EXPECT_DOUBLE_EQ(env.Bound(0, 0).hi, 1.0);
+}
+
+TEST(IntervalChainTest, BoundExistsContainsEveryMemberTruth) {
+  // The fundamental soundness property of Section V-C cluster pruning:
+  // for every member chain and start state, the true exists-probability
+  // lies inside the interval bound.
+  util::Rng rng(7);
+  workload::SyntheticConfig config;
+  config.num_states = 16;
+  config.state_spread = 3;
+  config.max_step = 6;
+  MarkovChain base = workload::GenerateChain(config, &rng).ValueOrDie();
+  MarkovChain p1 = workload::PerturbChain(base, 0.25, &rng).ValueOrDie();
+  MarkovChain p2 = workload::PerturbChain(base, 0.25, &rng).ValueOrDie();
+  std::vector<const MarkovChain*> members = {&base, &p1, &p2};
+  auto env = IntervalMarkovChain::FromChains(members).ValueOrDie();
+
+  const auto region = sparse::IndexSet::FromRange(16, 4, 7).ValueOrDie();
+  const Timestamp t_lo = 2;
+  const Timestamp t_hi = 5;
+  const std::vector<ProbBound> bounds = env.BoundExists(region, t_lo, t_hi);
+
+  const core::QueryWindow window =
+      core::QueryWindow::FromRanges(16, 4, 7, t_lo, t_hi).ValueOrDie();
+  for (const MarkovChain* m : members) {
+    core::ObjectBasedEngine engine(m, window);
+    for (uint32_t s = 0; s < 16; ++s) {
+      const double truth =
+          engine.ExistsProbability(sparse::ProbVector::Delta(16, s));
+      EXPECT_LE(bounds[s].lo, truth + 1e-9) << "state " << s;
+      EXPECT_GE(bounds[s].hi, truth - 1e-9) << "state " << s;
+    }
+  }
+}
+
+TEST(IntervalChainTest, BoundExistsExactForSingleMember) {
+  // With one member the greedy min/max both collapse to the member's row,
+  // so bounds must be tight.
+  MarkovChain a = PaperChainV();
+  auto env = IntervalMarkovChain::FromChains({&a}).ValueOrDie();
+  const auto region = sparse::IndexSet::FromIndices(3, {0, 1}).ValueOrDie();
+  const std::vector<ProbBound> bounds = env.BoundExists(region, 2, 3);
+
+  const core::QueryWindow window =
+      core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  core::ObjectBasedEngine engine(&a, window);
+  for (uint32_t s = 0; s < 3; ++s) {
+    const double truth =
+        engine.ExistsProbability(sparse::ProbVector::Delta(3, s));
+    EXPECT_NEAR(bounds[s].lo, truth, 1e-12);
+    EXPECT_NEAR(bounds[s].hi, truth, 1e-12);
+  }
+  // The paper's example: starting at s2 the answer is 0.864.
+  EXPECT_NEAR(bounds[1].lo, 0.864, 1e-12);
+}
+
+TEST(IntervalChainTest, RegionStatesBoundedByOneAtWindowStart) {
+  MarkovChain a = PaperChainV();
+  auto env = IntervalMarkovChain::FromChains({&a}).ValueOrDie();
+  const auto region = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  // Window covering t=0: starting inside the region is a certain hit.
+  const std::vector<ProbBound> bounds = env.BoundExists(region, 0, 2);
+  EXPECT_DOUBLE_EQ(bounds[1].lo, 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1].hi, 1.0);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace ustdb

@@ -1,0 +1,122 @@
+#include "markov/markov_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace markov {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(MarkovChainTest, FromMatrixValidatesStochasticity) {
+  // Row sums != 1 must be rejected (Definition 6's stochastic matrix).
+  auto bad = sparse::CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.5}, {1, 1, 1.0}})
+                 .ValueOrDie();
+  EXPECT_EQ(MarkovChain::FromMatrix(bad).status().code(),
+            util::StatusCode::kInconsistent);
+
+  auto rect =
+      sparse::CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0}, {1, 1, 1.0}})
+          .ValueOrDie();
+  EXPECT_EQ(MarkovChain::FromMatrix(rect).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(MarkovChainTest, FromDenseRejectsRagged) {
+  EXPECT_FALSE(MarkovChain::FromDense({{1.0}, {0.5, 0.5}}).ok());
+}
+
+TEST(MarkovChainTest, Corollary1OneStepPropagation) {
+  // P(o, t+1) = P(o, t) · M; paper: from (0,1,0), one step gives
+  // (0.6, 0, 0.4).
+  MarkovChain chain = PaperChainV();
+  sparse::ProbVector dist = sparse::ProbVector::Delta(3, 1);
+  sparse::VecMatWorkspace ws;
+  chain.Propagate(&dist, &ws);
+  EXPECT_NEAR(dist.Get(0), 0.6, 1e-15);
+  EXPECT_NEAR(dist.Get(1), 0.0, 1e-15);
+  EXPECT_NEAR(dist.Get(2), 0.4, 1e-15);
+}
+
+TEST(MarkovChainTest, Corollary2MStepPropagation) {
+  // P(o, 2) from (0,1,0) = (0, 0.32, 0.68) — the paper's worked example.
+  MarkovChain chain = PaperChainV();
+  const sparse::ProbVector d2 =
+      chain.Distribution(sparse::ProbVector::Delta(3, 1), 2);
+  EXPECT_NEAR(d2.Get(0), 0.0, 1e-12);
+  EXPECT_NEAR(d2.Get(1), 0.32, 1e-12);
+  EXPECT_NEAR(d2.Get(2), 0.68, 1e-12);
+}
+
+TEST(MarkovChainTest, ChapmanKolmogorovMatrixPowerAgreesWithPropagation) {
+  // P(o,0)·M^m must equal iterated propagation (Corollary 2 both ways).
+  util::Rng rng(77);
+  MarkovChain chain = RandomChain(12, 4, &rng);
+  const sparse::ProbVector initial = RandomDistribution(12, 3, &rng);
+  for (uint32_t m : {0u, 1u, 3u, 7u}) {
+    const sparse::CsrMatrix pm = chain.MStepMatrix(m).ValueOrDie();
+    sparse::VecMatWorkspace ws;
+    sparse::ProbVector via_matrix;
+    ws.Multiply(initial, pm, &via_matrix);
+    const sparse::ProbVector via_steps = chain.Distribution(initial, m);
+    EXPECT_NEAR(via_matrix.MaxAbsDiff(via_steps), 0.0, 1e-12) << "m=" << m;
+  }
+}
+
+TEST(MarkovChainTest, DistributionStaysNormalized) {
+  util::Rng rng(3);
+  MarkovChain chain = RandomChain(30, 5, &rng);
+  const sparse::ProbVector d =
+      chain.Distribution(RandomDistribution(30, 4, &rng), 50);
+  EXPECT_NEAR(d.Sum(), 1.0, 1e-9);
+}
+
+TEST(MarkovChainTest, TransposedIsCachedAndCorrect) {
+  MarkovChain chain = PaperChainV();
+  const sparse::CsrMatrix& t1 = chain.transposed();
+  const sparse::CsrMatrix& t2 = chain.transposed();
+  EXPECT_EQ(&t1, &t2);  // cached, not rebuilt
+  EXPECT_DOUBLE_EQ(t1.Get(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t1.Get(0, 1), 0.6);
+}
+
+TEST(MarkovChainTest, ReachableWithinGrowsMonotonically) {
+  MarkovChain chain = PaperChainV();
+  auto from = sparse::IndexSet::FromIndices(3, {1}).ValueOrDie();
+  // s2 -> {s1, s3} -> all three states.
+  const auto r0 = chain.ReachableWithin(from, 0);
+  EXPECT_EQ(r0.elements(), (std::vector<uint32_t>{1}));
+  const auto r1 = chain.ReachableWithin(from, 1);
+  EXPECT_EQ(r1.elements(), (std::vector<uint32_t>{0, 1, 2}));
+  const auto r9 = chain.ReachableWithin(from, 9);
+  EXPECT_EQ(r9.size(), 3u);
+}
+
+TEST(MarkovChainTest, ReachableWithinRespectsStructure) {
+  // A directed cycle 0 -> 1 -> 2 -> 3 -> 0: k steps reach exactly k+1 nodes.
+  auto chain = MarkovChain::FromDense({{0, 1, 0, 0},
+                                       {0, 0, 1, 0},
+                                       {0, 0, 0, 1},
+                                       {1, 0, 0, 0}})
+                   .ValueOrDie();
+  auto from = sparse::IndexSet::FromIndices(4, {0}).ValueOrDie();
+  for (uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(chain.ReachableWithin(from, k).size(), k + 1);
+  }
+}
+
+TEST(MarkovChainTest, MemoryBytesGrowsWithTranspose) {
+  MarkovChain chain = PaperChainV();
+  const size_t before = chain.MemoryBytes();
+  (void)chain.transposed();
+  EXPECT_GT(chain.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace ustdb

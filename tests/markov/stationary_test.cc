@@ -1,0 +1,94 @@
+#include "markov/stationary.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace markov {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+
+TEST(StationaryTest, TwoStateChainKnownClosedForm) {
+  // P(0->1) = a, P(1->0) = b: stationary = (b, a) / (a + b).
+  const double a = 0.3;
+  const double b = 0.1;
+  auto chain =
+      MarkovChain::FromDense({{1 - a, a}, {b, 1 - b}}).ValueOrDie();
+  const auto pi = StationaryDistribution(chain).ValueOrDie();
+  EXPECT_NEAR(pi.Get(0), b / (a + b), 1e-9);
+  EXPECT_NEAR(pi.Get(1), a / (a + b), 1e-9);
+  EXPECT_LT(StationarityResidual(chain, pi), 1e-9);
+}
+
+TEST(StationaryTest, DoublyStochasticChainIsUniform) {
+  auto chain = MarkovChain::FromDense({{0.0, 0.5, 0.5},
+                                       {0.5, 0.0, 0.5},
+                                       {0.5, 0.5, 0.0}})
+                   .ValueOrDie();
+  const auto pi = StationaryDistribution(chain).ValueOrDie();
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(pi.Get(s), 1.0 / 3, 1e-9);
+  }
+}
+
+TEST(StationaryTest, PeriodicChainNeedsDamping) {
+  // A two-cycle never converges under plain power iteration from any
+  // non-stationary start... but our start IS uniform, which is stationary
+  // for the cycle. Use a 3-cycle with a biased start? The uniform start is
+  // stationary for any doubly-stochastic chain, so instead test that
+  // damping still yields the right answer.
+  auto cycle = MarkovChain::FromDense({{0, 1}, {1, 0}}).ValueOrDie();
+  StationaryOptions damped;
+  damped.damping = 0.85;
+  const auto pi = StationaryDistribution(cycle, damped).ValueOrDie();
+  EXPECT_NEAR(pi.Get(0), 0.5, 1e-6);
+  EXPECT_NEAR(pi.Get(1), 0.5, 1e-6);
+}
+
+TEST(StationaryTest, RandomChainsConvergeAndAreFixedPoints) {
+  util::Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    MarkovChain chain = RandomChain(20, 4, &rng);
+    StationaryOptions options;
+    options.damping = 0.9;  // guard against accidental periodicity
+    const auto pi = StationaryDistribution(chain, options);
+    ASSERT_TRUE(pi.ok()) << "round " << round;
+    EXPECT_NEAR(pi->Sum(), 1.0, 1e-9);
+    EXPECT_LT(StationarityResidual(chain, *pi), 1e-8) << "round " << round;
+  }
+}
+
+TEST(StationaryTest, AbsorbingStateCollectsAllMass) {
+  // 0 -> 1 -> 2(absorbing): stationary from uniform puts everything at 2.
+  auto chain = MarkovChain::FromDense(
+                   {{0.5, 0.5, 0.0}, {0.0, 0.5, 0.5}, {0.0, 0.0, 1.0}})
+                   .ValueOrDie();
+  const auto pi = StationaryDistribution(chain).ValueOrDie();
+  EXPECT_NEAR(pi.Get(2), 1.0, 1e-9);
+}
+
+TEST(StationaryTest, OptionValidation) {
+  auto chain = MarkovChain::FromDense({{1.0}}).ValueOrDie();
+  StationaryOptions bad;
+  bad.damping = 0.0;
+  EXPECT_FALSE(StationaryDistribution(chain, bad).ok());
+  bad = StationaryOptions{};
+  bad.tolerance = 0.0;
+  EXPECT_FALSE(StationaryDistribution(chain, bad).ok());
+}
+
+TEST(StationaryTest, IterationCapReported) {
+  auto chain = MarkovChain::FromDense({{0.5, 0.5}, {0.5, 0.5}}).ValueOrDie();
+  StationaryOptions tight;
+  tight.max_iterations = 0;
+  const auto r = StationaryDistribution(chain, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace ustdb

@@ -1,0 +1,98 @@
+#include "markov/time_varying_chain.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace markov {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(TimeVaryingChainTest, FromPhasesValidates) {
+  EXPECT_FALSE(TimeVaryingChain::FromPhases({}).ok());
+
+  util::Rng rng(1);
+  std::vector<MarkovChain> mismatched;
+  mismatched.push_back(RandomChain(4, 2, &rng));
+  mismatched.push_back(RandomChain(5, 2, &rng));
+  EXPECT_FALSE(TimeVaryingChain::FromPhases(std::move(mismatched)).ok());
+}
+
+TEST(TimeVaryingChainTest, PeriodOneEqualsHomogeneous) {
+  TimeVaryingChain tv = TimeVaryingChain::FromHomogeneous(PaperChainV());
+  EXPECT_EQ(tv.period(), 1u);
+  EXPECT_EQ(tv.num_states(), 3u);
+  for (Timestamp t : {0u, 1u, 7u, 100u}) {
+    EXPECT_EQ(&tv.PhaseAt(t), &tv.phases()[0]);
+  }
+  // Distributions agree with the homogeneous chain at every step count.
+  MarkovChain homogeneous = PaperChainV();
+  const sparse::ProbVector initial = sparse::ProbVector::Delta(3, 1);
+  for (uint32_t steps : {0u, 1u, 2u, 5u}) {
+    const auto a = tv.Distribution(initial, 0, steps);
+    const auto b = homogeneous.Distribution(initial, steps);
+    EXPECT_NEAR(a.MaxAbsDiff(b), 0.0, 1e-15) << "steps " << steps;
+  }
+}
+
+TEST(TimeVaryingChainTest, ScheduleCyclesThroughPhases) {
+  util::Rng rng(2);
+  std::vector<MarkovChain> phases;
+  phases.push_back(RandomChain(6, 2, &rng));
+  phases.push_back(RandomChain(6, 3, &rng));
+  phases.push_back(RandomChain(6, 2, &rng));
+  TimeVaryingChain tv =
+      TimeVaryingChain::FromPhases(std::move(phases)).ValueOrDie();
+  EXPECT_EQ(tv.period(), 3u);
+  EXPECT_EQ(&tv.PhaseAt(0), &tv.phases()[0]);
+  EXPECT_EQ(&tv.PhaseAt(1), &tv.phases()[1]);
+  EXPECT_EQ(&tv.PhaseAt(2), &tv.phases()[2]);
+  EXPECT_EQ(&tv.PhaseAt(3), &tv.phases()[0]);
+  EXPECT_EQ(&tv.PhaseAt(7), &tv.phases()[1]);
+}
+
+TEST(TimeVaryingChainTest, DistributionUsesCorrectPhases) {
+  // Two deterministic phases: phase 0 shifts right, phase 1 shifts left.
+  auto right = MarkovChain::FromDense({{0, 1, 0}, {0, 0, 1}, {1, 0, 0}})
+                   .ValueOrDie();
+  auto left = MarkovChain::FromDense({{0, 0, 1}, {1, 0, 0}, {0, 1, 0}})
+                  .ValueOrDie();
+  std::vector<MarkovChain> phases;
+  phases.push_back(std::move(right));
+  phases.push_back(std::move(left));
+  TimeVaryingChain tv =
+      TimeVaryingChain::FromPhases(std::move(phases)).ValueOrDie();
+
+  // From state 0: t0->t1 via right (-> 1), t1->t2 via left (-> 0), etc.
+  const sparse::ProbVector d1 =
+      tv.Distribution(sparse::ProbVector::Delta(3, 0), 0, 1);
+  EXPECT_DOUBLE_EQ(d1.Get(1), 1.0);
+  const sparse::ProbVector d2 =
+      tv.Distribution(sparse::ProbVector::Delta(3, 0), 0, 2);
+  EXPECT_DOUBLE_EQ(d2.Get(0), 1.0);
+
+  // Starting mid-schedule (t_start = 1) the first transition uses phase 1.
+  const sparse::ProbVector d1_offset =
+      tv.Distribution(sparse::ProbVector::Delta(3, 0), 1, 1);
+  EXPECT_DOUBLE_EQ(d1_offset.Get(2), 1.0);
+}
+
+TEST(TimeVaryingChainTest, DistributionPreservesMass) {
+  util::Rng rng(3);
+  std::vector<MarkovChain> phases;
+  for (int i = 0; i < 4; ++i) phases.push_back(RandomChain(12, 3, &rng));
+  TimeVaryingChain tv =
+      TimeVaryingChain::FromPhases(std::move(phases)).ValueOrDie();
+  const sparse::ProbVector d =
+      tv.Distribution(RandomDistribution(12, 3, &rng), 2, 37);
+  EXPECT_NEAR(d.Sum(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace markov
+}  // namespace ustdb

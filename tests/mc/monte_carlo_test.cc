@@ -1,0 +1,144 @@
+#include "mc/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/object_based.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace mc {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+TEST(TrajectorySamplerTest, SamplesFollowRowDistribution) {
+  markov::MarkovChain chain = PaperChainV();
+  TrajectorySampler sampler(&chain);
+  util::Rng rng(77);
+  // Row s2 = (0.6, 0, 0.4): frequencies must approach the probabilities.
+  int to0 = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const StateIndex next = sampler.SampleNext(1, &rng);
+    ASSERT_TRUE(next == 0 || next == 2);
+    to0 += (next == 0);
+  }
+  EXPECT_NEAR(static_cast<double>(to0) / n, 0.6, 0.01);
+}
+
+TEST(TrajectorySamplerTest, DeterministicRowAlwaysSameTarget) {
+  markov::MarkovChain chain = PaperChainV();
+  TrajectorySampler sampler(&chain);
+  util::Rng rng(78);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.SampleNext(0, &rng), 2u);  // row s1 = (0,0,1)
+  }
+}
+
+TEST(TrajectorySamplerTest, InitialSamplingHonorsPdf) {
+  markov::MarkovChain chain = PaperChainV();
+  TrajectorySampler sampler(&chain);
+  util::Rng rng(79);
+  auto pdf =
+      sparse::ProbVector::FromPairs(3, {{0, 0.25}, {2, 0.75}}).ValueOrDie();
+  int at2 = 0;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    const StateIndex s = sampler.SampleInitial(pdf, &rng);
+    ASSERT_TRUE(s == 0 || s == 2);
+    at2 += (s == 2);
+  }
+  EXPECT_NEAR(static_cast<double>(at2) / n, 0.75, 0.01);
+}
+
+TEST(TrajectorySamplerTest, PathHasRequestedLength) {
+  markov::MarkovChain chain = PaperChainV();
+  TrajectorySampler sampler(&chain);
+  util::Rng rng(80);
+  const auto path =
+      sampler.SamplePath(sparse::ProbVector::Delta(3, 1), 7, &rng);
+  EXPECT_EQ(path.size(), 8u);
+  for (StateIndex s : path) EXPECT_LT(s, 3u);
+}
+
+TEST(MonteCarloTest, ConvergesToPaperAnswer) {
+  // P∃ = 0.864 on the running example; 100k samples pin it to ~0.3%.
+  markov::MarkovChain chain = PaperChainV();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  MonteCarloEngine engine(&chain, window,
+                          {.num_samples = 100'000, .seed = 5});
+  const McEstimate e =
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1));
+  EXPECT_NEAR(e.probability, 0.864, 0.005);
+  EXPECT_EQ(e.num_samples, 100'000u);
+}
+
+TEST(MonteCarloTest, PaperHundredSamplesHasLargeError) {
+  // Section VIII-A: with 100 samples σ >= 5% near p = 0.5; the estimate is
+  // coarse but the std_error field must report that honestly.
+  markov::MarkovChain chain = PaperChainV();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  MonteCarloEngine engine(&chain, window, {.num_samples = 100, .seed = 6});
+  const McEstimate e =
+      engine.ExistsProbability(sparse::ProbVector::Delta(3, 1));
+  EXPECT_GT(e.std_error, 0.0);
+  EXPECT_LT(e.std_error, 0.06);
+  EXPECT_NEAR(e.probability, 0.864, 0.15);
+}
+
+TEST(MonteCarloTest, DeterministicForSeed) {
+  markov::MarkovChain chain = PaperChainV();
+  auto window = core::QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  MonteCarloEngine a(&chain, window, {.num_samples = 500, .seed = 9});
+  MonteCarloEngine b(&chain, window, {.num_samples = 500, .seed = 9});
+  EXPECT_DOUBLE_EQ(
+      a.ExistsProbability(sparse::ProbVector::Delta(3, 1)).probability,
+      b.ExistsProbability(sparse::ProbVector::Delta(3, 1)).probability);
+}
+
+TEST(MonteCarloTest, ForAllAndKTimesConsistency) {
+  util::Rng rng(91);
+  markov::MarkovChain chain = RandomChain(10, 3, &rng);
+  auto window = core::QueryWindow::FromRanges(10, 2, 6, 1, 4).ValueOrDie();
+  const sparse::ProbVector initial = RandomDistribution(10, 3, &rng);
+  MonteCarloEngine engine(&chain, window,
+                          {.num_samples = 20'000, .seed = 13});
+
+  const auto dist = engine.KTimesDistribution(initial);
+  ASSERT_EQ(dist.size(), window.num_times() + 1);
+  EXPECT_NEAR(std::accumulate(dist.begin(), dist.end(), 0.0), 1.0, 1e-12);
+
+  // Within the same engine, the estimators must be mutually consistent:
+  // P∃ ≈ 1 − P(k=0) and P∀ ≈ P(k=|T□|) (same seed, same paths).
+  const double exists = engine.ExistsProbability(initial).probability;
+  const double forall = engine.ForAllProbability(initial).probability;
+  EXPECT_NEAR(exists, 1.0 - dist[0], 1e-12);
+  EXPECT_NEAR(forall, dist[window.num_times()], 1e-12);
+}
+
+TEST(MonteCarloTest, AgreesWithExactEngineWithinError) {
+  util::Rng rng(92);
+  for (int round = 0; round < 5; ++round) {
+    markov::MarkovChain chain = RandomChain(15, 3, &rng);
+    auto window = core::QueryWindow::FromRanges(15, 4, 8, 2, 6).ValueOrDie();
+    const sparse::ProbVector initial = RandomDistribution(15, 3, &rng);
+    core::ObjectBasedEngine exact_engine(&chain, window);
+    const double truth = exact_engine.ExistsProbability(initial);
+    MonteCarloEngine engine(
+        &chain, window,
+        {.num_samples = 30'000, .seed = 100 + static_cast<uint64_t>(round)});
+    const McEstimate e = engine.ExistsProbability(initial);
+    const double sigma = std::sqrt(truth * (1 - truth) / e.num_samples);
+    EXPECT_NEAR(e.probability, truth, 5 * sigma + 5e-3) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mc
+}  // namespace ustdb

@@ -1,0 +1,117 @@
+#include "network/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ustdb {
+namespace network {
+namespace {
+
+TEST(GeneratorsTest, ProducesRequestedCounts) {
+  RoadGenConfig config;
+  config.num_nodes = 2'000;
+  config.num_edges = 2'500;
+  config.locality_window = 16;
+  config.seed = 1;
+  auto g = GenerateRoadNetwork(config);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 2'000u);
+  EXPECT_EQ(g->num_edges(), 2'500u);
+}
+
+TEST(GeneratorsTest, AlwaysConnected) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    RoadGenConfig config;
+    config.num_nodes = 500;
+    config.num_edges = 620;
+    config.locality_window = 8;
+    config.seed = seed;
+    auto g = GenerateRoadNetwork(config);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g->IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorsTest, LocalityWindowBoundsEdgeSpan) {
+  RoadGenConfig config;
+  config.num_nodes = 300;
+  config.num_edges = 360;
+  config.locality_window = 10;
+  config.seed = 4;
+  auto g = GenerateRoadNetwork(config).ValueOrDie();
+  for (const RoadEdge& e : g.Edges()) {
+    EXPECT_LE(e.b - e.a, config.locality_window);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  RoadGenConfig config;
+  config.num_nodes = 200;
+  config.num_edges = 240;
+  config.seed = 9;
+  auto a = GenerateRoadNetwork(config).ValueOrDie();
+  auto b = GenerateRoadNetwork(config).ValueOrDie();
+  EXPECT_EQ(a.Edges(), b.Edges());
+  config.seed = 10;
+  auto c = GenerateRoadNetwork(config).ValueOrDie();
+  EXPECT_NE(a.Edges(), c.Edges());
+}
+
+TEST(GeneratorsTest, RejectsImpossibleConfigs) {
+  RoadGenConfig too_few;
+  too_few.num_nodes = 10;
+  too_few.num_edges = 5;  // < n - 1
+  EXPECT_FALSE(GenerateRoadNetwork(too_few).ok());
+
+  RoadGenConfig saturated;
+  saturated.num_nodes = 10;
+  saturated.num_edges = 45;  // complete graph needs window >= 9
+  saturated.locality_window = 2;
+  EXPECT_FALSE(GenerateRoadNetwork(saturated).ok());
+
+  RoadGenConfig zero_window;
+  zero_window.num_nodes = 10;
+  zero_window.num_edges = 10;
+  zero_window.locality_window = 0;
+  EXPECT_FALSE(GenerateRoadNetwork(zero_window).ok());
+}
+
+// The two dataset presets are big (73k / 176k nodes); build them once and
+// verify the paper-matched shape numbers.
+TEST(GeneratorsTest, UrbanPresetMatchesMunichCounts) {
+  auto g = GenerateUrbanNetwork(7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 73'120u);
+  EXPECT_EQ(g->num_edges(), 93'925u);
+  EXPECT_NEAR(g->AverageDegree(), 2.569, 0.01);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(GeneratorsTest, ContinentalPresetMatchesNorthAmericaCounts) {
+  auto g = GenerateContinentalNetwork(7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 175'813u);
+  EXPECT_EQ(g->num_edges(), 179'102u);
+  EXPECT_NEAR(g->AverageDegree(), 2.037, 0.01);
+  EXPECT_TRUE(g->IsConnected());
+}
+
+TEST(GeneratorsTest, UrbanDenserThanContinental) {
+  // The property Figures 9(b) vs 9(c) rely on.
+  auto urban = GenerateUrbanNetwork(3).ValueOrDie();
+  auto continental = GenerateContinentalNetwork(3).ValueOrDie();
+  EXPECT_GT(urban.AverageDegree(), continental.AverageDegree());
+}
+
+TEST(GeneratorsTest, PresetChainsAreValid) {
+  auto g = GenerateUrbanNetwork(5).ValueOrDie();
+  util::Rng rng(5);
+  auto chain = g.ToMarkovChain(&rng).ValueOrDie();
+  EXPECT_EQ(chain.num_states(), g.num_nodes());
+  EXPECT_TRUE(chain.matrix().IsStochastic());
+}
+
+}  // namespace
+}  // namespace network
+}  // namespace ustdb

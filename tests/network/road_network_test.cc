@@ -1,0 +1,97 @@
+#include "network/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ustdb {
+namespace network {
+namespace {
+
+RoadNetwork Triangle() {
+  return RoadNetwork::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}).ValueOrDie();
+}
+
+TEST(RoadNetworkTest, FromEdgesBuildsSymmetricAdjacency) {
+  RoadNetwork g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (uint32_t n = 0; n < 3; ++n) {
+    EXPECT_EQ(g.Degree(n), 2u);
+  }
+  auto nbrs = g.Neighbors(1);
+  EXPECT_EQ(std::vector<uint32_t>(nbrs.begin(), nbrs.end()),
+            (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(RoadNetworkTest, FromEdgesNormalizesOrientation) {
+  // (2,0) and (0,2) are the same undirected edge.
+  auto dup = RoadNetwork::FromEdges(3, {{2, 0}, {0, 2}});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(RoadNetworkTest, FromEdgesValidates) {
+  EXPECT_FALSE(RoadNetwork::FromEdges(3, {{0, 3}}).ok());   // out of range
+  EXPECT_FALSE(RoadNetwork::FromEdges(3, {{1, 1}}).ok());   // self-loop
+  EXPECT_FALSE(
+      RoadNetwork::FromEdges(3, {{0, 1}, {0, 1}}).ok());    // duplicate
+}
+
+TEST(RoadNetworkTest, AverageDegree) {
+  RoadNetwork g = Triangle();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+  RoadNetwork path = RoadNetwork::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}})
+                         .ValueOrDie();
+  EXPECT_DOUBLE_EQ(path.AverageDegree(), 1.5);
+}
+
+TEST(RoadNetworkTest, Connectivity) {
+  EXPECT_TRUE(Triangle().IsConnected());
+  RoadNetwork split =
+      RoadNetwork::FromEdges(4, {{0, 1}, {2, 3}}).ValueOrDie();
+  EXPECT_FALSE(split.IsConnected());
+}
+
+TEST(RoadNetworkTest, EdgesRoundTrip) {
+  RoadNetwork g = Triangle();
+  const auto edges = g.Edges();
+  RoadNetwork g2 = RoadNetwork::FromEdges(3, edges).ValueOrDie();
+  EXPECT_EQ(g2.Edges(), edges);
+}
+
+TEST(RoadNetworkTest, ToMarkovChainIsPaperConstruction) {
+  // "each edge corresponds to two non-zero entries in the transition
+  // matrix ... values of one line are set randomly and sum up to one."
+  RoadNetwork g = Triangle();
+  util::Rng rng(10);
+  auto chain = g.ToMarkovChain(&rng).ValueOrDie();
+  EXPECT_TRUE(chain.matrix().IsStochastic());
+  EXPECT_EQ(chain.matrix().nnz(), 6u);  // 2 per undirected edge
+  // Support equals adjacency: no transition to non-neighbours or self.
+  for (uint32_t n = 0; n < 3; ++n) {
+    EXPECT_DOUBLE_EQ(chain.matrix().Get(n, n), 0.0);
+  }
+  EXPECT_GT(chain.matrix().Get(0, 1), 0.0);
+  EXPECT_GT(chain.matrix().Get(1, 0), 0.0);
+}
+
+TEST(RoadNetworkTest, IsolatedNodeGetsSelfLoop) {
+  RoadNetwork g = RoadNetwork::FromEdges(3, {{0, 1}}).ValueOrDie();
+  util::Rng rng(1);
+  auto chain = g.ToMarkovChain(&rng).ValueOrDie();
+  EXPECT_TRUE(chain.matrix().IsStochastic());
+  EXPECT_DOUBLE_EQ(chain.matrix().Get(2, 2), 1.0);
+}
+
+TEST(RoadNetworkTest, ChainRandomnessIsSeeded) {
+  RoadNetwork g = Triangle();
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  auto a = g.ToMarkovChain(&rng_a).ValueOrDie();
+  auto b = g.ToMarkovChain(&rng_b).ValueOrDie();
+  EXPECT_EQ(a.matrix(), b.matrix());
+}
+
+}  // namespace
+}  // namespace network
+}  // namespace ustdb

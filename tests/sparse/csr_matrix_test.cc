@@ -1,0 +1,250 @@
+#include "sparse/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ustdb {
+namespace sparse {
+namespace {
+
+CsrMatrix PaperMatrix() {
+  // The running example of Section V:
+  //   ( 0    0   1  )
+  //   ( 0.6  0   0.4)
+  //   ( 0    0.8 0.2)
+  return CsrMatrix::FromTriplets(3, 3,
+                                 {{0, 2, 1.0},
+                                  {1, 0, 0.6},
+                                  {1, 2, 0.4},
+                                  {2, 1, 0.8},
+                                  {2, 2, 0.2}})
+      .ValueOrDie();
+}
+
+TEST(CsrMatrixTest, FromTripletsBasic) {
+  CsrMatrix m = PaperMatrix();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(m.Get(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 0), 0.6);
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 0.0);
+}
+
+TEST(CsrMatrixTest, FromTripletsMergesDuplicates) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.25}, {0, 0, 0.75}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m->Get(0, 0), 1.0);
+}
+
+TEST(CsrMatrixTest, FromTripletsDropsZeroGroups) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.5}, {0, 0, -0.5}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0u);
+}
+
+TEST(CsrMatrixTest, FromTripletsValidates) {
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0}}).ok());
+  EXPECT_FALSE(CsrMatrix::FromTriplets(2, 2, {{0, 2, 1.0}}).ok());
+  EXPECT_FALSE(
+      CsrMatrix::FromTriplets(2, 2, {{0, 0, std::nan("")}}).ok());
+}
+
+TEST(CsrMatrixTest, RowAccess) {
+  CsrMatrix m = PaperMatrix();
+  auto idx = m.RowIndices(1);
+  auto val = m.RowValues(1);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+  EXPECT_DOUBLE_EQ(val[0], 0.6);
+  EXPECT_DOUBLE_EQ(val[1], 0.4);
+  EXPECT_EQ(m.RowNnz(0), 1u);
+}
+
+TEST(CsrMatrixTest, RowSumAndStochasticity) {
+  CsrMatrix m = PaperMatrix();
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(m.RowSum(r), 1.0, 1e-12);
+  }
+  EXPECT_TRUE(m.IsStochastic());
+  EXPECT_TRUE(m.IsSubStochastic());
+}
+
+TEST(CsrMatrixTest, NonStochasticDetected) {
+  auto m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 0.5}, {1, 1, 1.0}})
+               .ValueOrDie();
+  EXPECT_FALSE(m.IsStochastic());   // row 0 sums to 0.5
+  EXPECT_TRUE(m.IsSubStochastic());
+  auto over = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.5}}).ValueOrDie();
+  EXPECT_FALSE(over.IsSubStochastic());
+}
+
+TEST(CsrMatrixTest, Identity) {
+  CsrMatrix id = CsrMatrix::Identity(4);
+  EXPECT_TRUE(id.IsStochastic());
+  EXPECT_EQ(id.nnz(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(id.Get(i, i), 1.0);
+}
+
+TEST(CsrMatrixTest, TransposedMatchesDense) {
+  CsrMatrix m = PaperMatrix();
+  CsrMatrix t = m.Transposed();
+  const auto dm = m.ToDense();
+  const auto dt = t.ToDense();
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(dm[i][j], dt[j][i]);
+    }
+  }
+  // Double transpose is the identity transform.
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesHandComputation) {
+  CsrMatrix m = PaperMatrix();
+  auto m2 = m.Multiply(m);
+  ASSERT_TRUE(m2.ok());
+  // Row 1 of M² (object at s2): P(o,2) from the paper = (0, 0.32, 0.68).
+  EXPECT_NEAR(m2->Get(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(m2->Get(1, 1), 0.32, 1e-12);
+  EXPECT_NEAR(m2->Get(1, 2), 0.68, 1e-12);
+}
+
+TEST(CsrMatrixTest, MultiplyDimensionMismatch) {
+  CsrMatrix a = CsrMatrix::Identity(2);
+  CsrMatrix b = CsrMatrix::Identity(3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(CsrMatrixTest, PowerZeroIsIdentity) {
+  CsrMatrix m = PaperMatrix();
+  auto p0 = m.Power(0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, CsrMatrix::Identity(3));
+}
+
+TEST(CsrMatrixTest, PowerMatchesRepeatedMultiply) {
+  CsrMatrix m = PaperMatrix();
+  auto p3 = m.Power(3);
+  ASSERT_TRUE(p3.ok());
+  auto m3 = m.Multiply(m).ValueOrDie().Multiply(m);
+  ASSERT_TRUE(m3.ok());
+  const auto a = p3->ToDense();
+  const auto b = m3->ToDense();
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(a[i][j], b[i][j], 1e-12);
+    }
+  }
+}
+
+TEST(CsrMatrixTest, PowerPreservesStochasticity) {
+  CsrMatrix m = PaperMatrix();
+  auto p5 = m.Power(5);
+  ASSERT_TRUE(p5.ok());
+  EXPECT_TRUE(p5->IsStochastic());
+}
+
+TEST(CsrMatrixTest, WithColumnsZeroedBuildsPaperMPrime) {
+  // Section V-A: S□ = {s1, s2} (0-based: {0, 1}).
+  CsrMatrix m = PaperMatrix();
+  auto region = IndexSet::FromIndices(3, {0, 1}).ValueOrDie();
+  CsrMatrix mp = m.WithColumnsZeroed(region);
+  EXPECT_DOUBLE_EQ(mp.Get(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(mp.Get(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mp.Get(1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(mp.Get(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mp.Get(2, 2), 0.2);
+  EXPECT_TRUE(mp.IsSubStochastic());
+}
+
+TEST(CsrMatrixTest, RowMassInColumnsIsPaperSumVector) {
+  CsrMatrix m = PaperMatrix();
+  auto region = IndexSet::FromIndices(3, {0, 1}).ValueOrDie();
+  const std::vector<double> sums = m.RowMassInColumns(region);
+  // Paper's M+ column: (0, 0.6, 0.8).
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_NEAR(sums[0], 0.0, 1e-12);
+  EXPECT_NEAR(sums[1], 0.6, 1e-12);
+  EXPECT_NEAR(sums[2], 0.8, 1e-12);
+}
+
+TEST(CsrMatrixTest, ZeroedPlusMassEqualsOriginalRowSums) {
+  CsrMatrix m = PaperMatrix();
+  auto region = IndexSet::FromIndices(3, {1}).ValueOrDie();
+  CsrMatrix mp = m.WithColumnsZeroed(region);
+  const std::vector<double> sums = m.RowMassInColumns(region);
+  for (uint32_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(mp.RowSum(r) + sums[r], m.RowSum(r), 1e-12);
+  }
+}
+
+TEST(CsrMatrixTest, ToTripletsRoundTrip) {
+  CsrMatrix m = PaperMatrix();
+  auto rebuilt = CsrMatrix::FromTriplets(3, 3, m.ToTriplets());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, m);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  auto m = CsrMatrix::FromTriplets(3, 3, {});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->nnz(), 0u);
+  EXPECT_FALSE(m->IsStochastic());
+  EXPECT_TRUE(m->IsSubStochastic());
+  CsrMatrix t = m->Transposed();
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(VecMatWorkspaceTest, MultiplyMatchesDenseReference) {
+  CsrMatrix m = PaperMatrix();
+  auto x = ProbVector::FromPairs(3, {{1, 1.0}}).ValueOrDie();
+  VecMatWorkspace ws;
+  ProbVector y;
+  ws.Multiply(x, m, &y);
+  EXPECT_NEAR(y.Get(0), 0.6, 1e-15);
+  EXPECT_NEAR(y.Get(1), 0.0, 1e-15);
+  EXPECT_NEAR(y.Get(2), 0.4, 1e-15);
+}
+
+TEST(VecMatWorkspaceTest, InPlaceMultiply) {
+  CsrMatrix m = PaperMatrix();
+  auto v = ProbVector::FromPairs(3, {{1, 1.0}}).ValueOrDie();
+  VecMatWorkspace ws;
+  ws.Multiply(v, m, &v);  // aliasing allowed
+  ws.Multiply(v, m, &v);
+  // P(o,2) = (0, 0.32, 0.68) from the paper.
+  EXPECT_NEAR(v.Get(1), 0.32, 1e-12);
+  EXPECT_NEAR(v.Get(2), 0.68, 1e-12);
+}
+
+TEST(VecMatWorkspaceTest, ReuseAcrossDifferentWidths) {
+  CsrMatrix small = CsrMatrix::Identity(2);
+  CsrMatrix big = CsrMatrix::Identity(64);
+  VecMatWorkspace ws;
+  ProbVector y;
+  ws.Multiply(ProbVector::Delta(2, 1), small, &y);
+  EXPECT_DOUBLE_EQ(y.Get(1), 1.0);
+  ws.Multiply(ProbVector::Delta(64, 63), big, &y);
+  EXPECT_DOUBLE_EQ(y.Get(63), 1.0);
+  ws.Multiply(ProbVector::Delta(2, 0), small, &y);
+  EXPECT_DOUBLE_EQ(y.Get(0), 1.0);
+}
+
+TEST(VecMatWorkspaceTest, RectangularMatrix) {
+  // 2x4 matrix: result dimension must follow cols().
+  auto m = CsrMatrix::FromTriplets(2, 4, {{0, 3, 1.0}, {1, 0, 1.0}})
+               .ValueOrDie();
+  VecMatWorkspace ws;
+  ProbVector y;
+  ws.Multiply(ProbVector::Delta(2, 0), m, &y);
+  EXPECT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y.Get(3), 1.0);
+}
+
+}  // namespace
+}  // namespace sparse
+}  // namespace ustdb

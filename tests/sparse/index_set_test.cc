@@ -1,0 +1,78 @@
+#include "sparse/index_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ustdb {
+namespace sparse {
+namespace {
+
+TEST(IndexSetTest, FromIndicesSortsAndDeduplicates) {
+  auto s = IndexSet::FromIndices(10, {5, 1, 5, 3, 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->elements(), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_EQ(s->size(), 3u);
+  EXPECT_TRUE(s->Contains(3));
+  EXPECT_FALSE(s->Contains(2));
+  EXPECT_FALSE(s->Contains(99));  // out of domain -> false, not UB
+}
+
+TEST(IndexSetTest, FromIndicesRejectsOutOfRange) {
+  EXPECT_FALSE(IndexSet::FromIndices(10, {10}).ok());
+  EXPECT_FALSE(IndexSet::FromIndices(0, {0}).ok());
+}
+
+TEST(IndexSetTest, FromRangeInclusive) {
+  auto s = IndexSet::FromRange(10, 2, 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->elements(), (std::vector<uint32_t>{2, 3, 4, 5}));
+  EXPECT_EQ(s->min(), 2u);
+  EXPECT_EQ(s->max(), 5u);
+}
+
+TEST(IndexSetTest, FromRangeSingleElement) {
+  auto s = IndexSet::FromRange(10, 7, 7);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 1u);
+  EXPECT_TRUE(s->Contains(7));
+}
+
+TEST(IndexSetTest, FromRangeRejectsInvertedOrOutOfRange) {
+  EXPECT_FALSE(IndexSet::FromRange(10, 5, 2).ok());
+  EXPECT_FALSE(IndexSet::FromRange(10, 2, 10).ok());
+}
+
+TEST(IndexSetTest, EmptyAndAll) {
+  IndexSet none = IndexSet::Empty(5);
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.domain_size(), 5u);
+
+  IndexSet all = IndexSet::All(5);
+  EXPECT_EQ(all.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_TRUE(all.Contains(i));
+}
+
+TEST(IndexSetTest, ComplementPartitionsDomain) {
+  auto s = IndexSet::FromIndices(6, {0, 2, 4}).ValueOrDie();
+  IndexSet c = s.Complement();
+  EXPECT_EQ(c.elements(), (std::vector<uint32_t>{1, 3, 5}));
+  for (uint32_t i = 0; i < 6; ++i) {
+    EXPECT_NE(s.Contains(i), c.Contains(i));
+  }
+  // Double complement is the identity.
+  EXPECT_EQ(c.Complement(), s);
+}
+
+TEST(IndexSetTest, ComplementOfEmptyIsAll) {
+  EXPECT_EQ(IndexSet::Empty(4).Complement(), IndexSet::All(4));
+  EXPECT_EQ(IndexSet::All(4).Complement(), IndexSet::Empty(4));
+}
+
+TEST(IndexSetTest, IterationAscending) {
+  auto s = IndexSet::FromIndices(100, {42, 7, 99}).ValueOrDie();
+  std::vector<uint32_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<uint32_t>{7, 42, 99}));
+}
+
+}  // namespace
+}  // namespace sparse
+}  // namespace ustdb

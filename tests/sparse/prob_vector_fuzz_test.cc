@@ -1,0 +1,138 @@
+// Stateful fuzz test: drive a ProbVector through long random operation
+// sequences while mirroring every operation on a plain dense vector, and
+// assert the two never diverge. This exercises the sparse<->dense
+// migrations, the extract/add paths the engines hammer, and compaction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sparse/index_set.h"
+#include "sparse/prob_vector.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace sparse {
+namespace {
+
+class ProbVectorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+IndexSet RandomSet(uint32_t n, util::Rng* rng) {
+  const uint32_t k = static_cast<uint32_t>(rng->NextBounded(n)) + 1;
+  return IndexSet::FromIndices(
+             n, rng->SampleWithoutReplacement(n, std::min(k, n)))
+      .ValueOrDie();
+}
+
+TEST_P(ProbVectorFuzzTest, MatchesDenseReferenceModel) {
+  util::Rng rng(GetParam());
+  const uint32_t n = 16 + static_cast<uint32_t>(rng.NextBounded(48));
+
+  ProbVector v = ProbVector::Zero(n);
+  std::vector<double> ref(n, 0.0);
+
+  auto check = [&](const char* op, int step) {
+    for (uint32_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(v.Get(i), ref[i], 1e-12)
+          << op << " diverged at step " << step << ", index " << i;
+    }
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.NextBounded(7)) {
+      case 0: {  // AddEntries of random non-negative values
+        std::vector<std::pair<uint32_t, double>> entries;
+        const uint32_t count =
+            static_cast<uint32_t>(rng.NextBounded(6)) + 1;
+        for (uint32_t k = 0; k < count; ++k) {
+          const uint32_t i = static_cast<uint32_t>(rng.NextBounded(n));
+          const double x = rng.NextDouble();
+          entries.emplace_back(i, x);
+          ref[i] += x;
+        }
+        v.AddEntries(entries);
+        check("AddEntries", step);
+        break;
+      }
+      case 1: {  // ExtractMassIn
+        const IndexSet set = RandomSet(n, &rng);
+        double expected = 0.0;
+        for (uint32_t i : set) {
+          expected += ref[i];
+          ref[i] = 0.0;
+        }
+        EXPECT_NEAR(v.ExtractMassIn(set), expected, 1e-10);
+        check("ExtractMassIn", step);
+        break;
+      }
+      case 2: {  // ExtractEntriesIn + AddEntries round trip elsewhere
+        const IndexSet set = RandomSet(n, &rng);
+        const auto extracted = v.ExtractEntriesIn(set);
+        for (const auto& [i, x] : extracted) {
+          EXPECT_NEAR(ref[i], x, 1e-12);
+          ref[i] = 0.0;
+        }
+        check("ExtractEntriesIn", step);
+        // Put them back.
+        v.AddEntries(extracted);
+        for (const auto& [i, x] : extracted) ref[i] += x;
+        check("ExtractEntriesIn/AddBack", step);
+        break;
+      }
+      case 3: {  // Scale
+        const double f = rng.NextDouble() * 2.0;
+        v.Scale(f);
+        for (double& x : ref) x *= f;
+        check("Scale", step);
+        break;
+      }
+      case 4: {  // PointwiseMultiply with a random mask vector
+        std::vector<double> mask(n);
+        for (double& x : mask) {
+          x = rng.NextBounded(3) == 0 ? 0.0 : rng.NextDouble();
+        }
+        auto mask_v = ProbVector::FromDense(mask).ValueOrDie();
+        ASSERT_TRUE(v.PointwiseMultiply(mask_v).ok());
+        for (uint32_t i = 0; i < n; ++i) ref[i] *= mask[i];
+        // PointwiseMultiply compacts: epsilon-dead entries may be dropped.
+        for (double& x : ref) {
+          if (x != 0.0 && x < kProbEpsilon) x = 0.0;
+        }
+        check("PointwiseMultiply", step);
+        break;
+      }
+      case 5: {  // Compact (must be value-preserving above epsilon)
+        v.Compact();
+        for (double& x : ref) {
+          if (x != 0.0 && x < kProbEpsilon) x = 0.0;
+        }
+        check("Compact", step);
+        break;
+      }
+      default: {  // Aggregates
+        double sum = 0.0;
+        double max = 0.0;
+        for (double x : ref) {
+          sum += x;
+          max = std::max(max, x);
+        }
+        EXPECT_NEAR(v.Sum(), sum, 1e-9);
+        EXPECT_NEAR(v.MaxValue(), max, 1e-12);
+        uint32_t support = 0;
+        for (double x : ref) support += (x != 0.0);
+        EXPECT_EQ(v.Support(), support);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbVectorFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sparse
+}  // namespace ustdb

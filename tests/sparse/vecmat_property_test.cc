@@ -1,0 +1,126 @@
+// Property tests of the sparse vec×mat kernel against a dense reference
+// implementation, swept over random stochastic matrices of several sizes,
+// densities and vector sparsities (parameterized gtest).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+#include "sparse/prob_vector.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace sparse {
+namespace {
+
+/// Dense reference: y = x · M.
+std::vector<double> DenseVecMat(const std::vector<double>& x,
+                                const std::vector<std::vector<double>>& m) {
+  std::vector<double> y(m.empty() ? 0 : m[0].size(), 0.0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (size_t j = 0; j < y.size(); ++j) {
+      y[j] += x[i] * m[i][j];
+    }
+  }
+  return y;
+}
+
+/// Random row-stochastic matrix with `row_nnz` entries per row.
+CsrMatrix RandomStochastic(uint32_t n, uint32_t row_nnz, util::Rng* rng) {
+  std::vector<Triplet> t;
+  for (uint32_t r = 0; r < n; ++r) {
+    const auto cols = rng->SampleWithoutReplacement(n, std::min(row_nnz, n));
+    double total = 0.0;
+    std::vector<double> w(cols.size());
+    for (double& x : w) {
+      x = rng->NextDouble() + 1e-3;
+      total += x;
+    }
+    for (size_t k = 0; k < cols.size(); ++k) {
+      t.push_back({r, cols[k], w[k] / total});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t)).ValueOrDie();
+}
+
+/// Random sub-distribution with `support` non-zeros.
+ProbVector RandomVector(uint32_t n, uint32_t support, util::Rng* rng) {
+  const auto idx = rng->SampleWithoutReplacement(n, std::min(support, n));
+  std::vector<std::pair<uint32_t, double>> pairs;
+  for (uint32_t i : idx) pairs.emplace_back(i, rng->NextDouble() + 1e-6);
+  auto v = ProbVector::FromPairs(n, std::move(pairs), /*normalize=*/true);
+  return std::move(v).ValueOrDie();
+}
+
+// (num_states, row_nnz, vector_support, seed)
+using Param = std::tuple<uint32_t, uint32_t, uint32_t, uint64_t>;
+
+class VecMatPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(VecMatPropertyTest, MatchesDenseReference) {
+  const auto [n, row_nnz, support, seed] = GetParam();
+  util::Rng rng(seed);
+  const CsrMatrix m = RandomStochastic(n, row_nnz, &rng);
+  const ProbVector x = RandomVector(n, support, &rng);
+
+  VecMatWorkspace ws;
+  ProbVector y;
+  ws.Multiply(x, m, &y);
+
+  const std::vector<double> expected = DenseVecMat(x.ToDense(), m.ToDense());
+  const std::vector<double> actual = y.ToDense();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_NEAR(actual[j], expected[j], 1e-12) << "column " << j;
+  }
+}
+
+TEST_P(VecMatPropertyTest, StochasticMultiplyPreservesMass) {
+  const auto [n, row_nnz, support, seed] = GetParam();
+  util::Rng rng(seed ^ 0xABCDEF);
+  const CsrMatrix m = RandomStochastic(n, row_nnz, &rng);
+  ProbVector v = RandomVector(n, support, &rng);
+
+  VecMatWorkspace ws;
+  for (int step = 0; step < 10; ++step) {
+    ws.Multiply(v, m, &v);
+    EXPECT_NEAR(v.Sum(), 1.0, 1e-9) << "after step " << step;
+  }
+}
+
+TEST_P(VecMatPropertyTest, TransposeDualityHoldsForDotProducts) {
+  // <x·M, y> == <x, y·Mᵀ> — the identity the query-based engine relies on.
+  const auto [n, row_nnz, support, seed] = GetParam();
+  util::Rng rng(seed ^ 0x5555);
+  const CsrMatrix m = RandomStochastic(n, row_nnz, &rng);
+  const CsrMatrix mt = m.Transposed();
+  const ProbVector x = RandomVector(n, support, &rng);
+  const ProbVector y = RandomVector(n, std::max(1u, n / 2), &rng);
+
+  VecMatWorkspace ws;
+  ProbVector xm;
+  ws.Multiply(x, m, &xm);
+  ProbVector ymt;
+  ws.Multiply(y, mt, &ymt);
+  EXPECT_NEAR(xm.Dot(y), x.Dot(ymt), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VecMatPropertyTest,
+    ::testing::Values(
+        Param{3, 2, 1, 1}, Param{8, 3, 2, 2}, Param{16, 4, 4, 3},
+        Param{16, 16, 16, 4},   // fully dense rows and vector
+        Param{64, 5, 3, 5}, Param{64, 2, 64, 6}, Param{128, 8, 1, 7},
+        Param{200, 3, 5, 8}, Param{200, 20, 100, 9}, Param{5, 1, 5, 10}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_nnz" +
+             std::to_string(std::get<1>(info.param)) + "_supp" +
+             std::to_string(std::get<2>(info.param)) + "_seed" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace sparse
+}  // namespace ustdb

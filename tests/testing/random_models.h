@@ -1,0 +1,68 @@
+// Shared test fixtures: the paper's running-example chains and random model
+// builders used across the engine test suites.
+
+#ifndef USTDB_TESTS_TESTING_RANDOM_MODELS_H_
+#define USTDB_TESTS_TESTING_RANDOM_MODELS_H_
+
+#include <utility>
+#include <vector>
+
+#include "markov/markov_chain.h"
+#include "sparse/prob_vector.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace testing {
+
+/// Section V's running-example chain:
+///   ( 0    0   1  )
+///   ( 0.6  0   0.4)
+///   ( 0    0.8 0.2)
+inline markov::MarkovChain PaperChainV() {
+  return markov::MarkovChain::FromDense(
+             {{0.0, 0.0, 1.0}, {0.6, 0.0, 0.4}, {0.0, 0.8, 0.2}})
+      .ValueOrDie();
+}
+
+/// Section VI's variant with row 2 = (0.5, 0, 0.5).
+inline markov::MarkovChain PaperChainVI() {
+  return markov::MarkovChain::FromDense(
+             {{0.0, 0.0, 1.0}, {0.5, 0.0, 0.5}, {0.0, 0.8, 0.2}})
+      .ValueOrDie();
+}
+
+/// Random row-stochastic chain with `row_nnz` strictly positive entries per
+/// row (columns drawn uniformly).
+inline markov::MarkovChain RandomChain(uint32_t n, uint32_t row_nnz,
+                                       util::Rng* rng) {
+  std::vector<sparse::Triplet> t;
+  for (uint32_t r = 0; r < n; ++r) {
+    const auto cols = rng->SampleWithoutReplacement(n, std::min(row_nnz, n));
+    double total = 0.0;
+    std::vector<double> w(cols.size());
+    for (double& x : w) {
+      x = rng->NextDouble() + 1e-3;
+      total += x;
+    }
+    for (size_t k = 0; k < cols.size(); ++k) {
+      t.push_back({r, cols[k], w[k] / total});
+    }
+  }
+  return markov::MarkovChain::FromTriplets(n, std::move(t)).ValueOrDie();
+}
+
+/// Random distribution with `support` non-zeros, normalized to mass one.
+inline sparse::ProbVector RandomDistribution(uint32_t n, uint32_t support,
+                                             util::Rng* rng) {
+  const auto idx = rng->SampleWithoutReplacement(n, std::min(support, n));
+  std::vector<std::pair<uint32_t, double>> pairs;
+  for (uint32_t i : idx) pairs.emplace_back(i, rng->NextDouble() + 1e-6);
+  return sparse::ProbVector::FromPairs(n, std::move(pairs),
+                                       /*normalize=*/true)
+      .ValueOrDie();
+}
+
+}  // namespace testing
+}  // namespace ustdb
+
+#endif  // USTDB_TESTS_TESTING_RANDOM_MODELS_H_

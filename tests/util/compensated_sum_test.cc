@@ -1,0 +1,58 @@
+#include "util/compensated_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ustdb {
+namespace util {
+namespace {
+
+TEST(CompensatedSumTest, SumsExactly) {
+  CompensatedSum acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.Total(), 6.0);
+}
+
+TEST(CompensatedSumTest, RecoversTinyTerms) {
+  // 1 + 1e-16 repeated: naive summation loses the small terms entirely.
+  CompensatedSum acc;
+  acc.Add(1.0);
+  for (int i = 0; i < 10'000; ++i) acc.Add(1e-16);
+  EXPECT_NEAR(acc.Total(), 1.0 + 1e-12, 1e-15);
+
+  double naive = 1.0;
+  for (int i = 0; i < 10'000; ++i) naive += 1e-16;
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates the loss being fixed above
+}
+
+TEST(CompensatedSumTest, NeumaierHandlesLargeThenSmall) {
+  // The classic Kahan failure case fixed by Neumaier's variant.
+  CompensatedSum acc;
+  acc.Add(1.0);
+  acc.Add(1e100);
+  acc.Add(1.0);
+  acc.Add(-1e100);
+  EXPECT_DOUBLE_EQ(acc.Total(), 2.0);
+}
+
+TEST(CompensatedSumTest, ResetClears) {
+  CompensatedSum acc;
+  acc.Add(5.0);
+  acc.Reset();
+  EXPECT_DOUBLE_EQ(acc.Total(), 0.0);
+  acc.Add(1.5);
+  EXPECT_DOUBLE_EQ(acc.Total(), 1.5);
+}
+
+TEST(SumCompensatedTest, RangeOverload) {
+  std::vector<double> v = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(SumCompensated(v.data(), v.size()), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(SumCompensated(v.data(), 0), 0.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ustdb

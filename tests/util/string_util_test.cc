@@ -1,0 +1,81 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ustdb {
+namespace util {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  const auto f = Split("a,b,c", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto f = Split("a,,c,", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto f = Split("abc", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "abc");
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  x \t\r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ParseU64Test, ValidValues) {
+  EXPECT_EQ(ParseU64("0").value(), 0u);
+  EXPECT_EQ(ParseU64("42").value(), 42u);
+  EXPECT_EQ(ParseU64(" 7 ").value(), 7u);
+  EXPECT_EQ(ParseU64("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(ParseU64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseU64("").ok());
+  EXPECT_FALSE(ParseU64("-1").ok());
+  EXPECT_FALSE(ParseU64("12x").ok());
+  EXPECT_FALSE(ParseU64("1.5").ok());
+}
+
+TEST(ParseU64Test, RejectsOverflow) {
+  EXPECT_FALSE(ParseU64("18446744073709551616").ok());
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3e2").value(), -300.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 1 ").value(), 1.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5abc").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("ustdb-matrix 1", "ustdb-"));
+  EXPECT_FALSE(StartsWith("ust", "ustdb"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.3f", 0.125), "0.125");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ustdb

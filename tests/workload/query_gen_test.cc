@@ -1,0 +1,105 @@
+#include "workload/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace ustdb {
+namespace workload {
+namespace {
+
+QueryGenConfig SmallConfig() {
+  QueryGenConfig c;
+  c.num_states = 1'000;
+  c.region_extent = 21;
+  c.window_length = 6;
+  c.t_min = 5;
+  c.t_max = 50;
+  c.seed = 1;
+  return c;
+}
+
+TEST(QueryGenTest, RandomWindowRespectsConfig) {
+  util::Rng rng(2);
+  const QueryGenConfig c = SmallConfig();
+  for (int i = 0; i < 50; ++i) {
+    const auto w = RandomWindow(c, &rng).ValueOrDie();
+    EXPECT_EQ(w.region().size(), c.region_extent);
+    EXPECT_EQ(w.num_times(), c.window_length);
+    EXPECT_GE(w.t_begin(), c.t_min);
+    EXPECT_LE(w.t_begin(), c.t_max);
+    EXPECT_EQ(w.t_end(), w.t_begin() + c.window_length - 1);
+    // Contiguous region inside the domain.
+    EXPECT_EQ(w.region().max() - w.region().min() + 1, c.region_extent);
+    EXPECT_LT(w.region().max(), c.num_states);
+  }
+}
+
+TEST(QueryGenTest, RandomWindowValidates) {
+  util::Rng rng(3);
+  QueryGenConfig c = SmallConfig();
+  c.region_extent = 0;
+  EXPECT_FALSE(RandomWindow(c, &rng).ok());
+  c = SmallConfig();
+  c.region_extent = c.num_states + 1;
+  EXPECT_FALSE(RandomWindow(c, &rng).ok());
+  c = SmallConfig();
+  c.window_length = 0;
+  EXPECT_FALSE(RandomWindow(c, &rng).ok());
+  c = SmallConfig();
+  c.t_min = 10;
+  c.t_max = 5;
+  EXPECT_FALSE(RandomWindow(c, &rng).ok());
+}
+
+TEST(QueryGenTest, RepeatingWorkloadDrawsFromPool) {
+  const auto workload =
+      RepeatingWorkload(SmallConfig(), /*distinct_windows=*/5, 200)
+          .ValueOrDie();
+  ASSERT_EQ(workload.size(), 200u);
+  // Count distinct (region min, t_begin) keys — at most 5.
+  std::map<std::pair<uint32_t, Timestamp>, int> freq;
+  for (const auto& w : workload) {
+    ++freq[{w.region().min(), w.t_begin()}];
+  }
+  EXPECT_LE(freq.size(), 5u);
+  EXPECT_GE(freq.size(), 2u);
+}
+
+TEST(QueryGenTest, RepeatSkewFavorsLowRanks) {
+  // With harmonic weights the most popular window should appear clearly
+  // more often than the least popular one.
+  const auto workload =
+      RepeatingWorkload(SmallConfig(), 8, 4'000).ValueOrDie();
+  std::map<std::pair<uint32_t, Timestamp>, int> freq;
+  for (const auto& w : workload) {
+    ++freq[{w.region().min(), w.t_begin()}];
+  }
+  int max_count = 0;
+  int min_count = INT32_MAX;
+  for (const auto& [key, count] : freq) {
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  EXPECT_GT(max_count, 3 * min_count);
+}
+
+TEST(QueryGenTest, DeterministicPerSeed) {
+  const auto a = RepeatingWorkload(SmallConfig(), 4, 50).ValueOrDie();
+  const auto b = RepeatingWorkload(SmallConfig(), 4, 50).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region().elements(), b[i].region().elements());
+    EXPECT_EQ(a[i].times(), b[i].times());
+  }
+}
+
+TEST(QueryGenTest, RepeatingWorkloadValidates) {
+  EXPECT_FALSE(RepeatingWorkload(SmallConfig(), 0, 10).ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ustdb

@@ -1,0 +1,170 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ustdb {
+namespace workload {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_objects = 50;
+  c.num_states = 500;
+  c.object_spread = 5;
+  c.state_spread = 5;
+  c.max_step = 40;
+  c.seed = 42;
+  return c;
+}
+
+TEST(SyntheticTest, TableIDefaultsMatchPaper) {
+  const SyntheticConfig c;
+  EXPECT_EQ(c.num_objects, 10'000u);
+  EXPECT_EQ(c.num_states, 100'000u);
+  EXPECT_EQ(c.object_spread, 5u);
+  EXPECT_EQ(c.state_spread, 5u);
+  EXPECT_EQ(c.max_step, 40u);
+}
+
+TEST(SyntheticTest, ChainIsStochasticWithSpreadEntries) {
+  util::Rng rng(1);
+  const SyntheticConfig c = SmallConfig();
+  auto chain = GenerateChain(c, &rng).ValueOrDie();
+  EXPECT_TRUE(chain.matrix().IsStochastic());
+  // Interior rows carry exactly state_spread entries (border rows may have
+  // fewer if the band is clipped, but 500 >> 40 so all rows qualify here).
+  for (uint32_t r = 0; r < chain.num_states(); ++r) {
+    EXPECT_EQ(chain.matrix().RowNnz(r), c.state_spread) << "row " << r;
+  }
+}
+
+TEST(SyntheticTest, ChainRespectsMaxStepBand) {
+  // "An object in state s_i can only transition into states
+  //  s_j ∈ [s_i − max_step/2, s_i + max_step/2]."
+  util::Rng rng(2);
+  SyntheticConfig c = SmallConfig();
+  c.max_step = 10;
+  auto chain = GenerateChain(c, &rng).ValueOrDie();
+  for (const auto& t : chain.matrix().ToTriplets()) {
+    const int64_t diff =
+        static_cast<int64_t>(t.col) - static_cast<int64_t>(t.row);
+    EXPECT_LE(std::abs(diff), 5);  // max_step / 2
+  }
+}
+
+TEST(SyntheticTest, TinyStateSpacesClampSpread) {
+  util::Rng rng(3);
+  SyntheticConfig c = SmallConfig();
+  c.num_states = 4;
+  c.state_spread = 20;
+  c.max_step = 100;
+  auto chain = GenerateChain(c, &rng).ValueOrDie();
+  EXPECT_TRUE(chain.matrix().IsStochastic());
+  for (uint32_t r = 0; r < 4; ++r) {
+    EXPECT_LE(chain.matrix().RowNnz(r), 4u);
+  }
+}
+
+TEST(SyntheticTest, GenerateChainValidates) {
+  util::Rng rng(4);
+  SyntheticConfig c = SmallConfig();
+  c.num_states = 1;
+  EXPECT_FALSE(GenerateChain(c, &rng).ok());
+  c = SmallConfig();
+  c.state_spread = 0;
+  EXPECT_FALSE(GenerateChain(c, &rng).ok());
+  c = SmallConfig();
+  c.max_step = 0;
+  EXPECT_FALSE(GenerateChain(c, &rng).ok());
+}
+
+TEST(SyntheticTest, ObjectPdfHasSpreadConsecutiveStates) {
+  util::Rng rng(5);
+  const SyntheticConfig c = SmallConfig();
+  for (int i = 0; i < 20; ++i) {
+    const sparse::ProbVector pdf = GenerateObjectPdf(c, &rng);
+    EXPECT_EQ(pdf.Support(), c.object_spread);
+    EXPECT_NEAR(pdf.Sum(), 1.0, 1e-12);
+    // Support is consecutive.
+    uint32_t first = UINT32_MAX;
+    uint32_t last = 0;
+    pdf.ForEachNonZero([&](uint32_t s, double) {
+      first = std::min(first, s);
+      last = std::max(last, s);
+    });
+    EXPECT_EQ(last - first + 1, c.object_spread);
+  }
+}
+
+TEST(SyntheticTest, DatabaseHasOneChainAndAllObjects) {
+  auto db = GenerateDatabase(SmallConfig()).ValueOrDie();
+  EXPECT_EQ(db.num_chains(), 1u);
+  EXPECT_EQ(db.num_objects(), 50u);
+  for (const core::UncertainObject& obj : db.objects()) {
+    EXPECT_TRUE(obj.single_observation());
+    EXPECT_EQ(obj.observations.front().time, 0u);
+  }
+}
+
+TEST(SyntheticTest, DatabaseGenerationIsDeterministic) {
+  auto a = GenerateDatabase(SmallConfig()).ValueOrDie();
+  auto b = GenerateDatabase(SmallConfig()).ValueOrDie();
+  EXPECT_EQ(a.chain(0).matrix(), b.chain(0).matrix());
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  for (uint32_t i = 0; i < a.num_objects(); ++i) {
+    EXPECT_NEAR(a.object(i).initial_pdf().MaxAbsDiff(
+                    b.object(i).initial_pdf()),
+                0.0, 0.0);
+  }
+}
+
+TEST(SyntheticTest, PerturbChainKeepsSupportAndStochasticity) {
+  util::Rng rng(6);
+  auto base = GenerateChain(SmallConfig(), &rng).ValueOrDie();
+  auto perturbed = PerturbChain(base, 0.3, &rng).ValueOrDie();
+  EXPECT_TRUE(perturbed.matrix().IsStochastic());
+  EXPECT_EQ(perturbed.matrix().nnz(), base.matrix().nnz());
+  // Same sparsity pattern, different values.
+  const auto bt = base.matrix().ToTriplets();
+  const auto pt = perturbed.matrix().ToTriplets();
+  ASSERT_EQ(bt.size(), pt.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < bt.size(); ++i) {
+    EXPECT_EQ(bt[i].row, pt[i].row);
+    EXPECT_EQ(bt[i].col, pt[i].col);
+    any_changed |= std::abs(bt[i].value - pt[i].value) > 1e-6;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(SyntheticTest, PerturbChainValidatesJitter) {
+  util::Rng rng(7);
+  auto base = GenerateChain(SmallConfig(), &rng).ValueOrDie();
+  EXPECT_FALSE(PerturbChain(base, -0.1, &rng).ok());
+  EXPECT_FALSE(PerturbChain(base, 1.0, &rng).ok());
+}
+
+TEST(SyntheticTest, MultiChainDatabaseRoundRobinAssignment) {
+  auto db = GenerateMultiChainDatabase(SmallConfig(), 4, 0.2).ValueOrDie();
+  EXPECT_EQ(db.num_chains(), 4u);
+  EXPECT_EQ(db.num_objects(), 50u);
+  // Round-robin: chain 0 gets ceil(50/4) objects.
+  EXPECT_EQ(db.objects_by_chain()[0].size(), 13u);
+  EXPECT_EQ(db.objects_by_chain()[3].size(), 12u);
+}
+
+TEST(SyntheticTest, DefaultWindowMatchesPaper) {
+  SyntheticConfig c;
+  c.num_states = 1'000;
+  auto w = DefaultWindow(c).ValueOrDie();
+  EXPECT_EQ(w.region().min(), 100u);
+  EXPECT_EQ(w.region().max(), 120u);
+  EXPECT_EQ(w.t_begin(), 20u);
+  EXPECT_EQ(w.t_end(), 25u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ustdb
