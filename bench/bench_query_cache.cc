@@ -2,11 +2,11 @@
 //
 // The paper evaluates single queries; a monitoring deployment re-issues a
 // fixed set of watch windows continuously. This bench replays a Zipf-like
-// stream of windows (workload::RepeatingWorkload) against the whole
-// database and sweeps the engine-cache capacity:
+// stream of windows (workload::RepeatingWorkload) through the
+// QueryExecutor pipeline and sweeps its engine-cache capacity:
 //
-//   no_cache       — rebuild the QB engine for every query
-//   cache_<cap>    — LRU cache of backward passes
+//   no_cache       — a cold executor per query: every backward pass rebuilt
+//   cache_<cap>    — one long-lived executor, LRU cache of backward passes
 //   hit_rate_<cap> — the corresponding cache hit rate
 //
 // Expected shape: runtime falls sharply once the capacity covers the hot
@@ -20,7 +20,7 @@
 #include <optional>
 
 #include "bench_common.h"
-#include "core/engine_cache.h"
+#include "core/executor.h"
 #include "workload/query_gen.h"
 #include "workload/synthetic.h"
 
@@ -59,19 +59,31 @@ Fixture& GetFixture() {
   return *cache;
 }
 
-double RunStream(const Fixture& f, core::EngineCache* cache) {
+core::QueryRequest ExistsRequest(const core::QueryWindow& w) {
+  core::QueryRequest request;
+  request.predicate = core::PredicateKind::kExists;
+  request.window = w;
+  request.plan = core::PlanChoice::kQueryBased;
+  return request;
+}
+
+double SumProbabilities(const core::QueryResult& result) {
+  double total = 0.0;
+  for (const auto& r : result.probabilities) total += r.probability;
+  return total;
+}
+
+/// Replays the stream through one long-lived executor (the monitoring
+/// deployment shape); with `executor` null, a cold executor per query
+/// models the no-cache baseline.
+double RunStream(const Fixture& f, core::QueryExecutor* executor) {
   double total = 0.0;
   for (const core::QueryWindow& w : f.stream) {
-    const core::QueryBasedEngine* engine;
-    std::optional<core::QueryBasedEngine> fresh;
-    if (cache != nullptr) {
-      engine = cache->Get(&f.db.chain(0), w);
+    if (executor != nullptr) {
+      total += SumProbabilities(executor->Run(ExistsRequest(w)).ValueOrDie());
     } else {
-      fresh.emplace(&f.db.chain(0), w);
-      engine = &*fresh;
-    }
-    for (const auto& obj : f.db.objects()) {
-      total += engine->ExistsProbability(obj.initial_pdf());
+      core::QueryExecutor cold(&f.db, {.num_threads = 1});
+      total += SumProbabilities(cold.Run(ExistsRequest(w)).ValueOrDie());
     }
   }
   return total;
@@ -91,11 +103,12 @@ void BM_Cached(benchmark::State& state) {
   core::EngineCacheStats stats;
   for (auto _ : state) {
     util::Stopwatch sw;
-    core::EngineCache cache(capacity);
-    benchmark::DoNotOptimize(RunStream(f, &cache));
+    core::QueryExecutor executor(&f.db,
+                                 {.num_threads = 1, .cache_capacity = capacity});
+    benchmark::DoNotOptimize(RunStream(f, &executor));
     seconds = sw.ElapsedSeconds();
     state.SetIterationTime(seconds);
-    stats = cache.stats();
+    stats = executor.cache_stats();
   }
   benchutil::Recorder::Instance().Record("cached", capacity, seconds);
   benchutil::Recorder::Instance().Record(

@@ -72,9 +72,16 @@ int main() {
   auto lane_window =
       core::QueryWindow::Create(lane_states, {8, 9, 10, 11, 12, 13, 14})
           .ValueOrDie();
-  core::QueryProcessor processor(&db);
+  // One executor serves every query of the monitoring session; repeated
+  // windows (the lane is re-checked on every refresh) hit its engine cache.
+  core::QueryExecutor executor(&db);
   std::printf("PST-Exists: P(iceberg in shipping lane during t=8..14)\n");
-  for (const auto& r : processor.Exists(lane_window).ValueOrDie()) {
+  const auto lane_result =
+      executor
+          .Run({.predicate = core::PredicateKind::kExists,
+                .window = lane_window})
+          .ValueOrDie();
+  for (const auto& r : lane_result.probabilities) {
     std::printf("  iceberg %c: %.4f%s\n", 'A' + r.id, r.probability,
                 r.probability > 1e-4 ? "  << alert the convoy" : "");
   }
@@ -87,15 +94,24 @@ int main() {
   auto survey_window =
       core::QueryWindow::Create(survey_states, {5, 6, 7, 8}).ValueOrDie();
   std::printf("\nPST-ForAll: P(stay in survey box for all t=5..8)\n");
-  for (const auto& r : processor.ForAll(survey_window).ValueOrDie()) {
+  const auto survey_result =
+      executor
+          .Run({.predicate = core::PredicateKind::kForAll,
+                .window = survey_window})
+          .ValueOrDie();
+  for (const auto& r : survey_result.probabilities) {
     std::printf("  iceberg %c: %.4f%s\n", 'A' + r.id, r.probability,
                 r.probability > 0.5 ? "  << schedule measurements" : "");
   }
 
   // --- Query 3: PSTkQ — exposure duration of iceberg B. ------------------
   std::printf("\nPST-k-Times: days iceberg B spends in the lane (t=8..14)\n");
-  const auto ktimes = processor.KTimes(lane_window).ValueOrDie();
-  const auto& dist = ktimes[berg_b].distribution;
+  const auto ktimes =
+      executor
+          .Run({.predicate = core::PredicateKind::kKTimes,
+                .window = lane_window})
+          .ValueOrDie();
+  const auto& dist = ktimes.distributions[berg_b].distribution;
   for (size_t k = 0; k < dist.size(); ++k) {
     if (dist[k] > 5e-4) std::printf("  P(%zu days) = %.4f\n", k, dist[k]);
   }

@@ -74,6 +74,20 @@ int main() {
   }
   std::printf("   [paper: 0.136 / 0.672 / 0.192]\n");
 
+  // The production entry point: register the model and object in a
+  // Database and let the planner/executor pipeline serve any predicate —
+  // plan auto-selection, parallelism, and engine caching included.
+  core::Database db;
+  const ChainId cls = db.AddChain(chain);
+  (void)db.AddObjectAt(cls, initial).ValueOrDie();
+  core::QueryExecutor executor(&db);
+  const auto answer =
+      executor
+          .Run({.predicate = core::PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  std::printf("\nQueryExecutor pipeline (auto plan)    P-exists = %.4f\n",
+              answer.probabilities[0].probability);
+
   // Ground truth by exhaustive possible-worlds enumeration (tractable only
   // because the model is tiny — O(|S|^T) in general).
   const double truth =

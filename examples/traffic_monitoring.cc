@@ -81,17 +81,24 @@ int main() {
               region.size());
 
   // --- Paper query: expected number of vehicles in the segment. ----------
-  core::QueryProcessor processor(&db);
+  // The executor picks the plan per vehicle class (both classes are large,
+  // so the cost model lands on the amortized query-based pass) and fans the
+  // per-object work across the hardware threads.
+  core::QueryExecutor executor(&db);
   util::Stopwatch timer;
-  const auto results = processor.Exists(window).ValueOrDie();
+  const auto result =
+      executor.Run({.predicate = core::PredicateKind::kExists,
+                    .window = window})
+          .ValueOrDie();
   double expected_vehicles = 0.0;
   uint32_t possibly_there = 0;
-  for (const auto& r : results) {
+  for (const auto& r : result.probabilities) {
     expected_vehicles += r.probability;
     possibly_there += (r.probability > 0.0);
   }
-  std::printf("\nPST-Exists over the whole fleet (query-based plan, "
+  std::printf("\nPST-Exists over the whole fleet (%u QB classes, %u threads, "
               "%.1f ms):\n",
+              result.stats.chains_query_based, result.stats.threads_used,
               timer.ElapsedMillis());
   std::printf("  vehicles with non-zero probability : %u\n", possibly_there);
   std::printf("  expected vehicles in segment       : %.2f\n",
@@ -113,8 +120,17 @@ int main() {
               stats.objects_refined);
 
   // --- Top-k: which vehicles to reroute first. ----------------------------
-  const auto top = core::TopKExists(db, window, 5).ValueOrDie();
-  std::printf("\ntop-5 vehicles by congestion probability:\n");
+  // Same pipeline, different predicate — and the backward passes computed
+  // for the exists query above are served from the executor's engine cache.
+  const auto top = executor
+                       .Run({.predicate = core::PredicateKind::kTopKExists,
+                             .window = window,
+                             .k = 5})
+                       .ValueOrDie()
+                       .probabilities;
+  std::printf("\ntop-5 vehicles by congestion probability (cache hits so "
+              "far: %llu):\n",
+              static_cast<unsigned long long>(executor.cache_stats().hits));
   for (const auto& r : top) {
     std::printf("  vehicle %3u (%s): %.4f\n", r.id,
                 db.object(r.id).chain == cars ? "car  " : "truck",
@@ -123,8 +139,11 @@ int main() {
 
   // --- Dwell time in the jam (PSTkQ). -------------------------------------
   if (!top.empty()) {
-    const auto ktimes = processor.KTimes(window).ValueOrDie();
-    const auto& dist = ktimes[top[0].id].distribution;
+    const auto ktimes =
+        executor
+            .Run({.predicate = core::PredicateKind::kKTimes, .window = window})
+            .ValueOrDie();
+    const auto& dist = ktimes.distributions[top[0].id].distribution;
     std::printf("\ndwell-time distribution of vehicle %u (minutes inside "
                 "during t=10..15):\n",
                 top[0].id);

@@ -1,0 +1,278 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/k_times.h"
+#include "core/multi_observation.h"
+
+namespace ustdb {
+namespace core {
+
+namespace {
+
+/// Multi-observation objects (or single observations not at t=0) bypass
+/// both single-observation plans and run the Section VI engine.
+bool NeedsMultiObservation(const UncertainObject& obj) {
+  return !obj.single_observation() || obj.observations.front().time != 0;
+}
+
+}  // namespace
+
+/// Per-run, per-chain bundle: the decided plan plus the engine realizing
+/// it. QB engines are borrowed from the cache when possible, owned when
+/// the cache cannot hold the run's working set or a non-default matrix
+/// mode is requested (cache entries are keyed without the mode).
+struct QueryExecutor::ChainPlan {
+  Plan plan = Plan::kQueryBased;
+  const QueryBasedEngine* qb = nullptr;
+  std::unique_ptr<QueryBasedEngine> qb_owned;
+  std::unique_ptr<ObjectBasedEngine> ob;
+};
+
+/// Either the caller's filter (borrowed — the request outlives the run) or
+/// the implicit identity range [0, num_objects); never materializes ids.
+class QueryExecutor::Selection {
+ public:
+  Selection(const QueryRequest& request, uint32_t num_objects)
+      : filter_(request.object_filter.has_value() ? &*request.object_filter
+                                                  : nullptr),
+        size_(filter_ != nullptr ? filter_->size() : num_objects) {}
+
+  size_t size() const { return size_; }
+  ObjectId operator[](size_t i) const {
+    return filter_ != nullptr ? (*filter_)[i] : static_cast<ObjectId>(i);
+  }
+
+ private:
+  const std::vector<ObjectId>* filter_;
+  size_t size_;
+};
+
+QueryExecutor::QueryExecutor(const Database* db, ExecutorOptions options)
+    : db_(db),
+      options_(options),
+      threads_(util::ResolveThreadCount(options.num_threads)),
+      planner_(db),
+      cache_(options.cache_capacity),
+      pool_(options.num_threads) {}
+
+util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
+  if (request.object_filter.has_value()) {
+    for (ObjectId id : *request.object_filter) {
+      if (id >= db_->num_objects()) {
+        return util::Status::InvalidArgument(
+            "object_filter references an id outside the database");
+      }
+    }
+  }
+  const Selection ids(request, db_->num_objects());
+  if (request.predicate == PredicateKind::kKTimes) {
+    return RunKTimes(request, ids);
+  }
+  return RunExistsFamily(request, ids);
+}
+
+util::Result<QueryResult> QueryExecutor::RunExistsFamily(
+    const QueryRequest& request, const Selection& ids) {
+  QueryResult result;
+  result.stats.threads_used = threads_;
+
+  const bool forall = request.predicate == PredicateKind::kForAll;
+  // PST∀Q runs as PST∃Q on the complemented region (Section VII).
+  const QueryWindow window =
+      forall ? request.window.WithComplementRegion() : request.window;
+
+  // --- Plan phase: decide per chain class, then build engines. -----------
+  std::map<ChainId, uint32_t> single_obs_per_chain;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const UncertainObject& obj = db_->object(ids[i]);
+    if (NeedsMultiObservation(obj)) {
+      ++result.stats.objects_multi_observation;
+    } else {
+      ++single_obs_per_chain[obj.chain];
+      ++result.stats.objects_evaluated;
+    }
+  }
+
+  std::map<ChainId, ChainPlan> plans;
+  for (const auto& [chain, count] : single_obs_per_chain) {
+    plans[chain].plan = planner_.Choose(chain, request, count).plan;
+  }
+
+  // The cache serves QB chains only for the default matrix mode (cached
+  // engines are built with it), and only as many chains as fit at once —
+  // Get() pointers are invalidated by eviction, so entries borrowed by
+  // this run must never evict each other. Overflow chains degrade to
+  // owned, uncached engines instead of losing caching wholesale.
+  const bool cacheable = request.matrix_mode == MatrixMode::kImplicit;
+  size_t cache_slots = cacheable ? cache_.capacity() : 0;
+  const EngineCacheStats before = cache_.stats();
+  for (auto& [chain_id, cp] : plans) {
+    const markov::MarkovChain& chain = db_->chain(chain_id);
+    if (cp.plan == Plan::kQueryBased) {
+      ++result.stats.chains_query_based;
+      if (cache_slots > 0) {
+        --cache_slots;
+        cp.qb = cache_.Get(&chain, window);
+      } else {
+        cp.qb_owned = std::make_unique<QueryBasedEngine>(
+            &chain, window, QueryBasedOptions{.mode = request.matrix_mode});
+        cp.qb = cp.qb_owned.get();
+      }
+    } else {
+      ++result.stats.chains_object_based;
+      cp.ob = std::make_unique<ObjectBasedEngine>(
+          &chain, window, ObjectBasedOptions{.mode = request.matrix_mode});
+      if (request.matrix_mode == MatrixMode::kExplicit) {
+        // Force the lazily built M−/M+ before threads share the engine.
+        (void)cp.ob->augmented();
+      }
+    }
+  }
+  result.stats.cache_hits = cache_.stats().hits - before.hits;
+  result.stats.cache_misses = cache_.stats().misses - before.misses;
+
+  // --- Execution phase: per-object evaluation, parallel across objects. --
+  const bool threshold =
+      request.predicate == PredicateKind::kThresholdExists;
+  std::vector<double> probs(ids.size(), 0.0);
+  // Threshold qualification, decided where the probability is computed:
+  // OB objects by the τ-run's verdict, everything else by comparison.
+  std::vector<uint8_t> keep(ids.size(), 1);
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint32_t> early_stops{0};
+  std::mutex error_mu;
+  util::Status first_error = util::Status::OK();
+
+  pool_.ParallelChunks(ids.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const UncertainObject& obj = db_->object(ids[i]);
+      if (NeedsMultiObservation(obj)) {
+        MultiObservationEngine engine(&db_->chain(obj.chain), window,
+                                      {.mode = request.matrix_mode});
+        util::Result<MultiObsResult> r = engine.Evaluate(obj.observations);
+        if (!r.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = r.status();
+          return;
+        }
+        probs[i] = r->exists_probability;
+        if (threshold) keep[i] = probs[i] >= request.tau;
+        continue;
+      }
+      const ChainPlan& cp = plans.at(obj.chain);
+      if (cp.plan == Plan::kQueryBased) {
+        probs[i] = cp.qb->ExistsProbability(obj.initial_pdf());
+        if (threshold) keep[i] = probs[i] >= request.tau;
+      } else if (threshold) {
+        // τ-early-termination (Section V-A): decide first, compute the
+        // exact probability only for qualifying objects.
+        ObRunStats run;
+        const ThresholdDecision d =
+            cp.ob->ExistsDecision(obj.initial_pdf(), request.tau, &run);
+        if (run.early_terminated) {
+          early_stops.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (d == ThresholdDecision::kYes) {
+          probs[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+        } else {
+          keep[i] = 0;
+        }
+      } else {
+        probs[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+      }
+    }
+  });
+  if (failed.load()) return first_error;
+  result.stats.prune.objects_decided_early = early_stops.load();
+
+  // --- Assembly phase: per-predicate output convention. ------------------
+  switch (request.predicate) {
+    case PredicateKind::kExists:
+    case PredicateKind::kForAll:
+      result.probabilities.reserve(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        result.probabilities.push_back(
+            {ids[i], forall ? 1.0 - probs[i] : probs[i]});
+      }
+      break;
+    case PredicateKind::kThresholdExists:
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (keep[i] != 0) result.probabilities.push_back({ids[i], probs[i]});
+      }
+      std::sort(result.probabilities.begin(), result.probabilities.end(),
+                [](const ObjectProbability& a, const ObjectProbability& b) {
+                  return a.id < b.id;
+                });
+      break;
+    case PredicateKind::kTopKExists: {
+      result.probabilities.reserve(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        result.probabilities.push_back({ids[i], probs[i]});
+      }
+      const size_t take =
+          std::min<size_t>(request.k, result.probabilities.size());
+      std::partial_sort(
+          result.probabilities.begin(), result.probabilities.begin() + take,
+          result.probabilities.end(),
+          [](const ObjectProbability& a, const ObjectProbability& b) {
+            if (a.probability != b.probability) {
+              return a.probability > b.probability;
+            }
+            return a.id < b.id;
+          });
+      result.probabilities.resize(take);
+      break;
+    }
+    case PredicateKind::kKTimes:
+      break;  // handled by RunKTimes
+  }
+  return result;
+}
+
+util::Result<QueryResult> QueryExecutor::RunKTimes(
+    const QueryRequest& request, const Selection& ids) {
+  QueryResult result;
+  result.stats.threads_used = threads_;
+
+  // PSTkQ has no backward formulation in the paper: the per-chain forward
+  // engine runs regardless of the plan directive, shared across the
+  // chain's objects like a QB pass but paying one recursion per object.
+  std::map<ChainId, std::unique_ptr<KTimesEngine>> engines;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const UncertainObject& obj = db_->object(ids[i]);
+    if (NeedsMultiObservation(obj)) {
+      return util::Status::Unimplemented(
+          "PSTkQ under multiple observations is not covered by the paper's "
+          "framework; remove multi-observation objects or query PST∃Q");
+    }
+    auto& engine = engines[obj.chain];
+    if (!engine) {
+      engine = std::make_unique<KTimesEngine>(
+          &db_->chain(obj.chain), request.window,
+          KTimesOptions{.mode = request.matrix_mode});
+    }
+    ++result.stats.objects_evaluated;
+  }
+  result.stats.chains_object_based = static_cast<uint32_t>(engines.size());
+
+  result.distributions.resize(ids.size());
+  pool_.ParallelChunks(ids.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const UncertainObject& obj = db_->object(ids[i]);
+      result.distributions[i] = {
+          ids[i], engines.at(obj.chain)->Distribution(obj.initial_pdf())};
+    }
+  });
+  return result;
+}
+
+}  // namespace core
+}  // namespace ustdb

@@ -1,0 +1,95 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryExecutor — the single execution pipeline behind every query entry
+// point. One Run(QueryRequest) call evaluates any predicate (∃ / ∀ /
+// k-times / threshold-τ / top-k) with:
+//
+//   * cost-based plan selection per chain class (QueryPlanner),
+//   * object-level parallelism on a persistent thread pool,
+//   * an LRU cache of query-based backward passes (EngineCache) that turns
+//     repeated monitoring windows into pure dot products,
+//   * τ-early-termination on object-based threshold runs,
+//   * automatic routing of multi-observation objects through the
+//     Section VI engine.
+//
+// The legacy facades — QueryProcessor, ParallelExists, ThresholdExists* —
+// are thin wrappers over this class.
+
+#ifndef USTDB_CORE_EXECUTOR_H_
+#define USTDB_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/engine_cache.h"
+#include "core/planner.h"
+#include "core/query_request.h"
+#include "util/parallel_for.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace core {
+
+/// Configuration of one executor instance.
+struct ExecutorOptions {
+  /// Worker threads for per-object evaluation; 0 = one per hardware
+  /// context, 1 = fully sequential (no threads spawned — bit-identical to
+  /// the sequential facades by construction, since per-object arithmetic
+  /// is independent either way).
+  unsigned num_threads = 0;
+  /// Capacity of the query-based engine cache. Sized for the number of
+  /// distinct (chain, window) pairs a monitoring deployment keeps hot.
+  size_t cache_capacity = 32;
+};
+
+/// \brief Plans and executes QueryRequests over one Database.
+///
+/// Owns the thread pool and the engine cache; create one executor per
+/// serving thread and reuse it across queries so cached backward passes
+/// amortize. Not internally synchronized: Run() must not be called
+/// concurrently on the same instance. The Database must outlive the
+/// executor and must not grow chains while cached engines exist (call
+/// ClearCache() after mutating the database).
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const Database* db, ExecutorOptions options = {});
+
+  /// \brief Evaluates `request`; see QueryResult for per-predicate output
+  /// conventions. Fails with kInvalidArgument on out-of-range filter ids
+  /// and with kUnimplemented for PSTkQ over multi-observation objects
+  /// (outside the paper's framework).
+  util::Result<QueryResult> Run(const QueryRequest& request);
+
+  /// Cumulative engine-cache statistics across all runs.
+  const EngineCacheStats& cache_stats() const { return cache_.stats(); }
+
+  /// Drops cached engines (required after the database is mutated).
+  void ClearCache() { cache_.Clear(); }
+
+  const QueryPlanner& planner() const { return planner_; }
+  const Database& db() const { return *db_; }
+
+  /// Worker threads available to this executor (>= 1).
+  unsigned num_threads() const { return threads_; }
+
+ private:
+  struct ChainPlan;  // per-run, per-chain engine bundle
+  class Selection;   // non-allocating view of the ids a request evaluates
+
+  util::Result<QueryResult> RunExistsFamily(const QueryRequest& request,
+                                            const Selection& ids);
+  util::Result<QueryResult> RunKTimes(const QueryRequest& request,
+                                      const Selection& ids);
+
+  const Database* db_;
+  ExecutorOptions options_;
+  unsigned threads_;
+  QueryPlanner planner_;
+  EngineCache cache_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_EXECUTOR_H_

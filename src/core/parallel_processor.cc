@@ -1,11 +1,6 @@
 #include "core/parallel_processor.h"
 
-#include <map>
-#include <memory>
-
-#include "core/object_based.h"
-#include "core/query_based.h"
-#include "util/parallel_for.h"
+#include "core/executor.h"
 
 namespace ustdb {
 namespace core {
@@ -13,6 +8,9 @@ namespace core {
 util::Result<std::vector<ObjectProbability>> ParallelExists(
     const Database& db, const QueryWindow& window,
     const ParallelOptions& options) {
+  // The historical contract: this entry point only ever covered the
+  // single-observation-at-t0 setting, so keep rejecting histories even
+  // though the pipeline underneath could serve them.
   for (const UncertainObject& obj : db.objects()) {
     if (!obj.single_observation() || obj.observations.front().time != 0) {
       return util::Status::Unimplemented(
@@ -21,37 +19,14 @@ util::Result<std::vector<ObjectProbability>> ParallelExists(
     }
   }
 
-  // Shared, read-only per-chain state built up front on the main thread:
-  // QB start vectors (one backward pass per chain) or OB engines (which
-  // are const and allocate their workspaces per call). Building eagerly
-  // also forces the lazy chain transposes before threads start.
-  std::map<ChainId, std::unique_ptr<QueryBasedEngine>> qb;
-  std::map<ChainId, std::unique_ptr<ObjectBasedEngine>> ob;
-  for (ChainId c = 0; c < db.num_chains(); ++c) {
-    if (db.objects_by_chain()[c].empty()) continue;
-    if (options.plan == Plan::kQueryBased) {
-      qb.emplace(c, std::make_unique<QueryBasedEngine>(&db.chain(c), window));
-    } else {
-      ob.emplace(c,
-                 std::make_unique<ObjectBasedEngine>(&db.chain(c), window));
-    }
-  }
-
-  std::vector<ObjectProbability> results(db.num_objects());
-  util::ParallelChunks(
-      db.num_objects(), options.num_threads, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          const UncertainObject& obj = db.object(static_cast<ObjectId>(i));
-          double p = 0.0;
-          if (options.plan == Plan::kQueryBased) {
-            p = qb.at(obj.chain)->ExistsProbability(obj.initial_pdf());
-          } else {
-            p = ob.at(obj.chain)->ExistsProbability(obj.initial_pdf());
-          }
-          results[i] = {obj.id, p};
-        }
-      });
-  return results;
+  QueryExecutor executor(&db, {.num_threads = options.num_threads});
+  QueryRequest request;
+  request.predicate = PredicateKind::kExists;
+  request.window = window;
+  request.plan = options.plan == Plan::kObjectBased ? PlanChoice::kObjectBased
+                                                    : PlanChoice::kQueryBased;
+  USTDB_ASSIGN_OR_RETURN(QueryResult result, executor.Run(request));
+  return std::move(result.probabilities);
 }
 
 }  // namespace core

@@ -1,11 +1,13 @@
 // Copyright 2026 the ustdb authors.
 //
-// Multi-threaded whole-database PST∃Q. The paper runs single-threaded
-// MATLAB; object-level parallelism is the obvious systems extension because
-// both plans are embarrassingly parallel across objects: OB runs each
-// object independently, and QB's shared backward vector is read-only after
-// construction. Results are bit-identical to the sequential engines
-// (tested) because the per-object computations do not interact.
+// Multi-threaded whole-database PST∃Q — a thin wrapper over the
+// planner/executor pipeline (executor.h) with the plan forced. The paper
+// runs single-threaded MATLAB; object-level parallelism is the obvious
+// systems extension because both plans are embarrassingly parallel across
+// objects: OB runs each object independently, and QB's shared backward
+// vector is read-only after construction. Results are bit-identical to the
+// sequential engines (tested) because the per-object computations do not
+// interact.
 
 #ifndef USTDB_CORE_PARALLEL_PROCESSOR_H_
 #define USTDB_CORE_PARALLEL_PROCESSOR_H_
@@ -27,6 +29,8 @@ struct ParallelOptions {
 };
 
 /// \brief PST∃Q over every object of `db`, parallelized across objects.
+/// \deprecated Prefer QueryExecutor::Run, which parallelizes every
+/// predicate and adds plan auto-selection plus engine caching.
 /// Restrictions: all objects must be single-observation at t = 0 (the
 /// Section V setting the paper parallelizes trivially); multi-observation
 /// objects cause kUnimplemented — run them through QueryProcessor instead.

@@ -1,0 +1,67 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryPlanner — cost-based choice between the paper's two evaluation
+// plans, decided per chain class. Section V gives the asymptotics: the
+// object-based plan (V-A) pays one full forward pass per object, the
+// query-based plan (V-B) pays one backward pass per chain class plus one
+// sparse dot product per object. Which wins therefore depends on the
+// database statistics (objects per chain), the window's temporal reach
+// (transitions per pass), and the matrix mode (explicit M± materialization
+// makes each pass more expensive).
+
+#ifndef USTDB_CORE_PLANNER_H_
+#define USTDB_CORE_PLANNER_H_
+
+#include "core/database.h"
+#include "core/query_request.h"
+
+namespace ustdb {
+namespace core {
+
+/// Estimated work, in transition-matrix-entry touches, for answering one
+/// chain class's objects under each plan.
+struct CostEstimate {
+  double object_based = 0.0;
+  double query_based = 0.0;
+};
+
+/// The planner's verdict for one chain class.
+struct PlanDecision {
+  Plan plan = Plan::kQueryBased;
+  CostEstimate cost;
+  /// True when the request forced the plan and the cost model was bypassed.
+  bool forced = false;
+};
+
+/// \brief Chooses the evaluation plan per chain class from Database
+/// statistics. Stateless beyond the database pointer; cheap to construct.
+class QueryPlanner {
+ public:
+  /// \param db must outlive the planner.
+  explicit QueryPlanner(const Database* db) : db_(db) {}
+
+  /// \brief Decides the plan for `chain` under `request`, honoring a
+  /// forced PlanChoice and otherwise comparing cost estimates.
+  /// \param num_objects how many single-observation objects of this chain
+  ///        the request will actually evaluate (after filtering);
+  ///        multi-observation objects bypass both plans and are excluded.
+  PlanDecision Choose(ChainId chain, const QueryRequest& request,
+                      uint32_t num_objects) const;
+
+  /// \brief Cost of one forward or backward pass over `chain` for
+  /// `window`: transitions (the window's temporal reach, max T□) times the
+  /// matrix entries touched per transition, scaled up under kExplicit mode
+  /// which materializes and multiplies the augmented M−/M+ pair.
+  static double PassCost(const markov::MarkovChain& chain,
+                         const QueryWindow& window, MatrixMode mode);
+
+  const Database& db() const { return *db_; }
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_PLANNER_H_

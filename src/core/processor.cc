@@ -1,99 +1,54 @@
 #include "core/processor.h"
 
-#include <map>
-
-#include "core/multi_observation.h"
+#include "core/executor.h"
 
 namespace ustdb {
 namespace core {
 
-util::Result<std::vector<ObjectProbability>> QueryProcessor::ExistsImpl(
-    const QueryWindow& window, const ProcessorOptions& options) const {
-  std::vector<ObjectProbability> out;
-  out.reserve(db_->num_objects());
+namespace {
 
-  // Engines are built lazily, once per chain class.
-  std::map<ChainId, ObjectBasedEngine> ob_cache;
-  std::map<ChainId, QueryBasedEngine> qb_cache;
-
-  for (const UncertainObject& obj : db_->objects()) {
-    double p = 0.0;
-    if (!obj.single_observation() || obj.observations.front().time != 0) {
-      MultiObservationEngine engine(&db_->chain(obj.chain), window,
-                                    {.mode = options.matrix_mode});
-      USTDB_ASSIGN_OR_RETURN(MultiObsResult r,
-                             engine.Evaluate(obj.observations));
-      p = r.exists_probability;
-    } else if (options.plan == Plan::kObjectBased) {
-      auto it = ob_cache.find(obj.chain);
-      if (it == ob_cache.end()) {
-        it = ob_cache
-                 .emplace(std::piecewise_construct,
-                          std::forward_as_tuple(obj.chain),
-                          std::forward_as_tuple(
-                              &db_->chain(obj.chain), window,
-                              ObjectBasedOptions{.mode = options.matrix_mode}))
-                 .first;
-      }
-      p = it->second.ExistsProbability(obj.initial_pdf());
-    } else {
-      auto it = qb_cache.find(obj.chain);
-      if (it == qb_cache.end()) {
-        it = qb_cache
-                 .emplace(std::piecewise_construct,
-                          std::forward_as_tuple(obj.chain),
-                          std::forward_as_tuple(
-                              &db_->chain(obj.chain), window,
-                              QueryBasedOptions{.mode = options.matrix_mode}))
-                 .first;
-      }
-      p = it->second.ExistsProbability(obj.initial_pdf());
-    }
-    out.push_back({obj.id, p});
-  }
-  return out;
+/// The legacy options mapped onto a pipeline request: plan always forced
+/// (the old API had no auto mode), sequential execution.
+QueryRequest MakeRequest(PredicateKind predicate, const QueryWindow& window,
+                         const ProcessorOptions& options) {
+  QueryRequest request;
+  request.predicate = predicate;
+  request.window = window;
+  request.plan = options.plan == Plan::kObjectBased ? PlanChoice::kObjectBased
+                                                    : PlanChoice::kQueryBased;
+  request.matrix_mode = options.matrix_mode;
+  return request;
 }
+
+ExecutorOptions SequentialOptions() { return {.num_threads = 1}; }
+
+}  // namespace
 
 util::Result<std::vector<ObjectProbability>> QueryProcessor::Exists(
     const QueryWindow& window, const ProcessorOptions& options) const {
-  return ExistsImpl(window, options);
+  QueryExecutor executor(db_, SequentialOptions());
+  USTDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      executor.Run(MakeRequest(PredicateKind::kExists, window, options)));
+  return std::move(result.probabilities);
 }
 
 util::Result<std::vector<ObjectProbability>> QueryProcessor::ForAll(
     const QueryWindow& window, const ProcessorOptions& options) const {
+  QueryExecutor executor(db_, SequentialOptions());
   USTDB_ASSIGN_OR_RETURN(
-      std::vector<ObjectProbability> complement,
-      ExistsImpl(window.WithComplementRegion(), options));
-  for (ObjectProbability& r : complement) {
-    r.probability = 1.0 - r.probability;
-  }
-  return complement;
+      QueryResult result,
+      executor.Run(MakeRequest(PredicateKind::kForAll, window, options)));
+  return std::move(result.probabilities);
 }
 
 util::Result<std::vector<ObjectKTimes>> QueryProcessor::KTimes(
     const QueryWindow& window, const ProcessorOptions& options) const {
-  std::vector<ObjectKTimes> out;
-  out.reserve(db_->num_objects());
-  std::map<ChainId, KTimesEngine> engines;
-  for (const UncertainObject& obj : db_->objects()) {
-    if (!obj.single_observation() || obj.observations.front().time != 0) {
-      return util::Status::Unimplemented(
-          "PSTkQ under multiple observations is not covered by the paper's "
-          "framework; remove multi-observation objects or query PST∃Q");
-    }
-    auto it = engines.find(obj.chain);
-    if (it == engines.end()) {
-      it = engines
-               .emplace(std::piecewise_construct,
-                        std::forward_as_tuple(obj.chain),
-                        std::forward_as_tuple(
-                            &db_->chain(obj.chain), window,
-                            KTimesOptions{.mode = options.matrix_mode}))
-               .first;
-    }
-    out.push_back({obj.id, it->second.Distribution(obj.initial_pdf())});
-  }
-  return out;
+  QueryExecutor executor(db_, SequentialOptions());
+  USTDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      executor.Run(MakeRequest(PredicateKind::kKTimes, window, options)));
+  return std::move(result.distributions);
 }
 
 }  // namespace core

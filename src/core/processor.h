@@ -1,9 +1,11 @@
 // Copyright 2026 the ustdb authors.
 //
-// QueryProcessor — the front door of the framework: evaluates the three
-// probabilistic spatio-temporal query types of Section III over a whole
-// Database, dispatching to the object-based or query-based plan and to the
-// multi-observation engine where an object's history requires it.
+// QueryProcessor — sequential facade over the planner/executor pipeline.
+// Historically this class was the framework's front door; query execution
+// now lives in core::QueryExecutor (see executor.h), which adds cost-based
+// plan selection, parallelism, and engine caching for every predicate.
+// QueryProcessor remains as a thin, deterministic, single-threaded wrapper
+// for callers that want the original API.
 
 #ifndef USTDB_CORE_PROCESSOR_H_
 #define USTDB_CORE_PROCESSOR_H_
@@ -15,19 +17,12 @@
 #include "core/k_times.h"
 #include "core/object_based.h"
 #include "core/query_based.h"
+#include "core/query_request.h"
 #include "core/threshold.h"
 #include "util/result.h"
 
 namespace ustdb {
 namespace core {
-
-/// Which query evaluation plan to run.
-enum class Plan {
-  /// Forward per-object evaluation (Section V-A).
-  kObjectBased,
-  /// Backward per-chain evaluation, amortized over objects (Section V-B).
-  kQueryBased,
-};
 
 /// Options shared by all QueryProcessor entry points.
 struct ProcessorOptions {
@@ -35,14 +30,9 @@ struct ProcessorOptions {
   MatrixMode matrix_mode = MatrixMode::kImplicit;
 };
 
-/// Distribution over visit counts for one object (PSTkQ answer).
-struct ObjectKTimes {
-  ObjectId id = 0;
-  /// Element k = P(object inside S□ at exactly k timestamps of T□).
-  std::vector<double> distribution;
-};
-
 /// \brief Stateless facade evaluating queries over a Database.
+/// \deprecated Prefer core::QueryExecutor, which serves the same answers
+/// with plan auto-selection, parallelism, and engine caching.
 ///
 /// Thread-compatible: distinct QueryProcessor instances may run on distinct
 /// threads; a single instance must not be shared without synchronization.
@@ -72,9 +62,6 @@ class QueryProcessor {
   const Database& db() const { return *db_; }
 
  private:
-  util::Result<std::vector<ObjectProbability>> ExistsImpl(
-      const QueryWindow& window, const ProcessorOptions& options) const;
-
   const Database* db_;
 };
 

@@ -1,0 +1,135 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryRequest / QueryResult — the single request type understood by the
+// planner/executor pipeline. One struct describes every predicate of the
+// paper (PST∃Q, PST∀Q, PSTkQ of Section III plus the threshold/top-k
+// variants of Section V) so that plan selection, parallel execution,
+// engine caching, and pruning apply uniformly instead of living in
+// per-predicate entry points.
+
+#ifndef USTDB_CORE_QUERY_REQUEST_H_
+#define USTDB_CORE_QUERY_REQUEST_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/object_based.h"
+#include "core/query_window.h"
+#include "sparse/types.h"
+
+namespace ustdb {
+namespace core {
+
+/// Which query evaluation plan to run.
+enum class Plan {
+  /// Forward per-object evaluation (Section V-A).
+  kObjectBased,
+  /// Backward per-chain evaluation, amortized over objects (Section V-B).
+  kQueryBased,
+};
+
+/// Plan selection directive carried by a request. kAuto defers to the
+/// QueryPlanner's cost model, decided independently per chain class.
+enum class PlanChoice {
+  kAuto,
+  kObjectBased,
+  kQueryBased,
+};
+
+/// The predicate a request evaluates.
+enum class PredicateKind {
+  /// PST∃Q (Definition 2): P(object intersects S□ × T□), every object.
+  kExists,
+  /// PST∀Q (Definition 3): P(object inside S□ at all t ∈ T□), every
+  /// object, via the complement reduction of Section VII.
+  kForAll,
+  /// PSTkQ (Definition 4): full visit-count distribution per object.
+  kKTimes,
+  /// Objects with P∃ >= tau, ascending by id (Section V's query mode).
+  kThresholdExists,
+  /// The k objects with the highest P∃, descending (ties broken by id).
+  kTopKExists,
+};
+
+/// Per-object query answer.
+struct ObjectProbability {
+  ObjectId id = 0;
+  double probability = 0.0;
+
+  bool operator==(const ObjectProbability&) const = default;
+};
+
+/// Distribution over visit counts for one object (PSTkQ answer).
+struct ObjectKTimes {
+  ObjectId id = 0;
+  /// Element k = P(object inside S□ at exactly k timestamps of T□).
+  std::vector<double> distribution;
+};
+
+/// Statistics describing how much work pruning avoided.
+struct PruneStats {
+  uint32_t clusters_total = 0;
+  uint32_t clusters_pruned = 0;   ///< decided wholesale by interval bounds
+  uint32_t objects_refined = 0;   ///< needed an individual evaluation
+  uint32_t objects_decided_early = 0;  ///< OB runs cut short by τ-decision
+};
+
+/// \brief One query against a Database, complete with predicate
+/// parameters and execution directives. Aggregate-initializable:
+///
+///   executor.Run({.predicate = PredicateKind::kThresholdExists,
+///                 .window = window, .tau = 0.3});
+struct QueryRequest {
+  PredicateKind predicate = PredicateKind::kExists;
+  QueryWindow window;
+
+  /// Probability threshold; only read by kThresholdExists.
+  double tau = 0.0;
+  /// Result count; only read by kTopKExists.
+  uint32_t k = 0;
+
+  /// Plan directive; kAuto lets the planner decide per chain class.
+  PlanChoice plan = PlanChoice::kAuto;
+  /// Absorbing-state realization passed through to every engine.
+  MatrixMode matrix_mode = MatrixMode::kImplicit;
+
+  /// Restricts evaluation to these object ids (any order, no duplicates).
+  /// nullopt evaluates the whole database; an empty vector evaluates
+  /// nothing. Used by cluster pruning to refine only undecided objects.
+  std::optional<std::vector<ObjectId>> object_filter;
+};
+
+/// Execution telemetry of one QueryExecutor::Run.
+struct ExecStats {
+  /// Chain classes evaluated with the object-based plan.
+  uint32_t chains_object_based = 0;
+  /// Chain classes evaluated with the query-based plan.
+  uint32_t chains_query_based = 0;
+  /// Objects answered by the single-observation engines.
+  uint32_t objects_evaluated = 0;
+  /// Objects routed through the Section VI multi-observation engine.
+  uint32_t objects_multi_observation = 0;
+  /// Worker threads the executor's pool had available for this run.
+  unsigned threads_used = 1;
+  /// Engine-cache hits/misses incurred by this run.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// τ-pruning counters (threshold predicates only).
+  PruneStats prune;
+};
+
+/// \brief The answer to one QueryRequest.
+///
+/// kExists / kForAll / kThresholdExists / kTopKExists fill `probabilities`
+/// (ordering per predicate: request order, request order, ascending id,
+/// descending probability). kKTimes fills `distributions` in request order.
+struct QueryResult {
+  std::vector<ObjectProbability> probabilities;
+  std::vector<ObjectKTimes> distributions;
+  ExecStats stats;
+};
+
+}  // namespace core
+}  // namespace ustdb
+
+#endif  // USTDB_CORE_QUERY_REQUEST_H_

@@ -1,85 +1,47 @@
 #include "core/threshold.h"
 
 #include <algorithm>
-#include <map>
 
-#include "core/multi_observation.h"
+#include "core/executor.h"
 
 namespace ustdb {
 namespace core {
 
 namespace {
 
-/// Exact P∃ for one object, choosing the right engine for its observation
-/// count / first-observation time.
-util::Result<double> ExactExists(const Database& db,
-                                 const UncertainObject& obj,
-                                 const QueryWindow& window,
-                                 std::map<ChainId, QueryBasedEngine>* qb_cache) {
-  if (obj.single_observation() && obj.observations.front().time == 0) {
-    auto it = qb_cache->find(obj.chain);
-    if (it == qb_cache->end()) {
-      it = qb_cache
-               ->emplace(std::piecewise_construct,
-                         std::forward_as_tuple(obj.chain),
-                         std::forward_as_tuple(&db.chain(obj.chain), window))
-               .first;
-    }
-    return it->second.ExistsProbability(obj.initial_pdf());
-  }
-  MultiObservationEngine engine(&db.chain(obj.chain), window);
-  USTDB_ASSIGN_OR_RETURN(MultiObsResult r, engine.Evaluate(obj.observations));
-  return r.exists_probability;
+/// One sequential pipeline pass with the plan forced.
+util::Result<QueryResult> RunThreshold(const Database& db,
+                                       const QueryWindow& window, double tau,
+                                       PlanChoice plan) {
+  QueryExecutor executor(&db, {.num_threads = 1});
+  QueryRequest request;
+  request.predicate = PredicateKind::kThresholdExists;
+  request.window = window;
+  request.tau = tau;
+  request.plan = plan;
+  return executor.Run(request);
 }
 
 }  // namespace
 
 util::Result<std::vector<ObjectProbability>> ThresholdExistsQueryBased(
     const Database& db, const QueryWindow& window, double tau) {
-  std::vector<ObjectProbability> out;
-  std::map<ChainId, QueryBasedEngine> qb_cache;
-  for (const UncertainObject& obj : db.objects()) {
-    USTDB_ASSIGN_OR_RETURN(double p,
-                           ExactExists(db, obj, window, &qb_cache));
-    if (p >= tau) out.push_back({obj.id, p});
-  }
-  return out;
+  USTDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      RunThreshold(db, window, tau, PlanChoice::kQueryBased));
+  return std::move(result.probabilities);
 }
 
 util::Result<std::vector<ObjectProbability>> ThresholdExistsObjectBased(
     const Database& db, const QueryWindow& window, double tau,
     PruneStats* stats) {
-  std::vector<ObjectProbability> out;
-  std::map<ChainId, ObjectBasedEngine> ob_cache;
-  std::map<ChainId, QueryBasedEngine> qb_cache;
-  for (const UncertainObject& obj : db.objects()) {
-    if (!obj.single_observation() || obj.observations.front().time != 0) {
-      USTDB_ASSIGN_OR_RETURN(double p,
-                             ExactExists(db, obj, window, &qb_cache));
-      if (p >= tau) out.push_back({obj.id, p});
-      continue;
-    }
-    auto it = ob_cache.find(obj.chain);
-    if (it == ob_cache.end()) {
-      it = ob_cache
-               .emplace(std::piecewise_construct,
-                        std::forward_as_tuple(obj.chain),
-                        std::forward_as_tuple(&db.chain(obj.chain), window,
-                                              ObjectBasedOptions{}))
-               .first;
-    }
-    ObRunStats run;
-    const ThresholdDecision d =
-        it->second.ExistsDecision(obj.initial_pdf(), tau, &run);
-    if (stats != nullptr && run.early_terminated) {
-      ++stats->objects_decided_early;
-    }
-    if (d == ThresholdDecision::kYes) {
-      // The decision run stops at τ; re-run for the exact probability.
-      out.push_back({obj.id, it->second.ExistsProbability(obj.initial_pdf())});
-    }
+  USTDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      RunThreshold(db, window, tau, PlanChoice::kObjectBased));
+  if (stats != nullptr) {
+    stats->objects_decided_early += result.stats.prune.objects_decided_early;
   }
-  return out;
+  return std::move(result.probabilities);
 }
 
 util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
@@ -95,18 +57,28 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
     return ThresholdExistsQueryBased(db, window, tau);
   }
 
-  // Chunk chains contiguously into clusters (chains created together tend
-  // to be variations of the same model in our workloads).
+  // Chunk chains contiguously into clusters: chains created together tend
+  // to be variations of the same model in our workloads, so neighbors give
+  // the tightest interval envelopes.
   const uint32_t num_chains = db.num_chains();
   num_clusters = std::min(num_clusters, num_chains);
+  // Balanced split: cluster i covers [i*n/k, (i+1)*n/k) — contiguous and
+  // never empty for k <= n.
   std::vector<std::vector<ChainId>> clusters(num_clusters);
-  for (ChainId c = 0; c < num_chains; ++c) {
-    clusters[c % num_clusters].push_back(c);
+  for (uint32_t i = 0; i < num_clusters; ++i) {
+    const uint32_t begin =
+        static_cast<uint32_t>(uint64_t{i} * num_chains / num_clusters);
+    const uint32_t end =
+        static_cast<uint32_t>(uint64_t{i + 1} * num_chains / num_clusters);
+    for (ChainId c = begin; c < end; ++c) clusters[i].push_back(c);
   }
   if (stats != nullptr) stats->clusters_total = num_clusters;
 
-  std::vector<ObjectProbability> out;
-  std::map<ChainId, QueryBasedEngine> qb_cache;
+  // Pass 1 — interval bounds decide what needs an exact evaluation:
+  // sure hits still need their exact probability for the output, undecided
+  // objects need refinement, sure drops need nothing.
+  std::vector<ObjectId> sure_hits;
+  std::vector<ObjectId> refine;
   for (const std::vector<ChainId>& cluster : clusters) {
     std::vector<const markov::MarkovChain*> members;
     for (ChainId c : cluster) members.push_back(&db.chain(c));
@@ -131,23 +103,40 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
           if (hi < tau) {
             needs_refine = false;  // true drop, no output
           } else if (lo >= tau) {
-            // Qualifies for sure; still needs its exact probability.
-            USTDB_ASSIGN_OR_RETURN(double p,
-                                   ExactExists(db, obj, window, &qb_cache));
-            out.push_back({obj.id, p});
+            sure_hits.push_back(id);  // qualifies; exact value still needed
             needs_refine = false;
           }
         }
         if (needs_refine) {
           all_decided = false;
           if (stats != nullptr) ++stats->objects_refined;
-          USTDB_ASSIGN_OR_RETURN(double p,
-                                 ExactExists(db, obj, window, &qb_cache));
-          if (p >= tau) out.push_back({obj.id, p});
+          refine.push_back(id);
         }
       }
     }
     if (stats != nullptr && all_decided) ++stats->clusters_pruned;
+  }
+
+  // Pass 2 — one batched pipeline run over exactly the objects the bounds
+  // could not drop. Results come back in filter order (sure hits first,
+  // then refine candidates): sure hits always qualify, the rest compare.
+  std::vector<ObjectProbability> out;
+  const size_t num_sure = sure_hits.size();
+  std::vector<ObjectId> exact_ids = std::move(sure_hits);
+  exact_ids.insert(exact_ids.end(), refine.begin(), refine.end());
+  if (!exact_ids.empty()) {
+    QueryExecutor executor(&db, {.num_threads = 1});
+    QueryRequest request;
+    request.predicate = PredicateKind::kExists;
+    request.window = window;
+    request.plan = PlanChoice::kQueryBased;
+    request.object_filter = std::move(exact_ids);
+    USTDB_ASSIGN_OR_RETURN(QueryResult result, executor.Run(request));
+    for (size_t j = 0; j < result.probabilities.size(); ++j) {
+      if (j < num_sure || result.probabilities[j].probability >= tau) {
+        out.push_back(result.probabilities[j]);
+      }
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const ObjectProbability& a, const ObjectProbability& b) {
@@ -158,23 +147,14 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
 
 util::Result<std::vector<ObjectProbability>> TopKExists(
     const Database& db, const QueryWindow& window, uint32_t k) {
-  std::vector<ObjectProbability> all;
-  all.reserve(db.num_objects());
-  std::map<ChainId, QueryBasedEngine> qb_cache;
-  for (const UncertainObject& obj : db.objects()) {
-    USTDB_ASSIGN_OR_RETURN(double p, ExactExists(db, obj, window, &qb_cache));
-    all.push_back({obj.id, p});
-  }
-  const uint32_t take = std::min<uint32_t>(k, db.num_objects());
-  std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    [](const ObjectProbability& a, const ObjectProbability& b) {
-                      if (a.probability != b.probability) {
-                        return a.probability > b.probability;
-                      }
-                      return a.id < b.id;
-                    });
-  all.resize(take);
-  return all;
+  QueryExecutor executor(&db, {.num_threads = 1});
+  QueryRequest request;
+  request.predicate = PredicateKind::kTopKExists;
+  request.window = window;
+  request.k = k;
+  request.plan = PlanChoice::kQueryBased;
+  USTDB_ASSIGN_OR_RETURN(QueryResult result, executor.Run(request));
+  return std::move(result.probabilities);
 }
 
 }  // namespace core

@@ -1,9 +1,10 @@
 // Copyright 2026 the ustdb authors.
 //
-// Threshold and top-k PST∃Q over a whole database, with the pruning layers
-// the paper describes: query-based amortization per chain class, early
-// terminated object-based refinement, and interval-Markov-chain cluster
-// pruning for databases with many distinct chains (Section V-C).
+// Threshold and top-k PST∃Q facades. The plan-specific entry points are
+// thin wrappers over the planner/executor pipeline (executor.h) with the
+// plan forced; ThresholdExistsClustered contributes the one layer the
+// executor does not own — Section V-C's interval-Markov-chain cluster
+// bounds — and delegates every exact evaluation to the pipeline.
 
 #ifndef USTDB_CORE_THRESHOLD_H_
 #define USTDB_CORE_THRESHOLD_H_
@@ -13,6 +14,7 @@
 #include "core/database.h"
 #include "core/object_based.h"
 #include "core/query_based.h"
+#include "core/query_request.h"
 #include "core/query_window.h"
 #include "markov/interval_chain.h"
 #include "util/result.h"
@@ -20,24 +22,9 @@
 namespace ustdb {
 namespace core {
 
-/// Per-object query answer.
-struct ObjectProbability {
-  ObjectId id = 0;
-  double probability = 0.0;
-
-  bool operator==(const ObjectProbability&) const = default;
-};
-
-/// Statistics describing how much work pruning avoided.
-struct PruneStats {
-  uint32_t clusters_total = 0;
-  uint32_t clusters_pruned = 0;   ///< decided wholesale by interval bounds
-  uint32_t objects_refined = 0;   ///< needed an individual evaluation
-  uint32_t objects_decided_early = 0;  ///< OB runs cut short by τ-decision
-};
-
-/// \brief Returns the ids of all single-observation objects with
-/// P∃(o, S□, T□) >= tau, ascending by id.
+/// \brief Returns the ids of all objects with P∃(o, S□, T□) >= tau,
+/// ascending by id.
+/// \deprecated Prefer QueryExecutor::Run with kThresholdExists.
 ///
 /// Strategy: one query-based backward pass per chain class, then one dot
 /// product per object — the paper's preferred plan when classes are few.
@@ -47,14 +34,16 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsQueryBased(
 /// \brief Same result via per-object object-based evaluation with early
 /// τ-termination (true hit / true drop cuts), the plan of choice when every
 /// object follows its own chain. `stats` (optional) reports early stops.
+/// \deprecated Prefer QueryExecutor::Run with kThresholdExists.
 util::Result<std::vector<ObjectProbability>> ThresholdExistsObjectBased(
     const Database& db, const QueryWindow& window, double tau,
     PruneStats* stats = nullptr);
 
 /// \brief Section V-C cluster pruning: groups chains into `num_clusters`
-/// clusters (round-robin over similarity order), bounds every cluster with
+/// contiguous clusters (in creation order), bounds every cluster with
 /// an IntervalMarkovChain, decides whole clusters whose [lo, hi] bound does
-/// not straddle tau, and refines the rest object-by-object.
+/// not straddle tau, and refines the rest object-by-object through the
+/// executor pipeline.
 /// Requires a contiguous window time range (uses [t_begin, t_end]).
 util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
     const Database& db, const QueryWindow& window, double tau,
@@ -62,6 +51,7 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
 
 /// \brief The k objects with the highest P∃ (ties broken by id), descending
 /// probability. Uses the query-based plan.
+/// \deprecated Prefer QueryExecutor::Run with kTopKExists.
 util::Result<std::vector<ObjectProbability>> TopKExists(
     const Database& db, const QueryWindow& window, uint32_t k);
 

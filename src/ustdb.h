@@ -18,14 +18,17 @@
 #include "core/cylinder_baseline.h"     // IWYU pragma: export
 #include "core/database.h"              // IWYU pragma: export
 #include "core/engine_cache.h"          // IWYU pragma: export
+#include "core/executor.h"              // IWYU pragma: export
 #include "core/forall.h"                // IWYU pragma: export
 #include "core/independent_baseline.h"  // IWYU pragma: export
 #include "core/k_times.h"               // IWYU pragma: export
 #include "core/multi_observation.h"     // IWYU pragma: export
 #include "core/object_based.h"          // IWYU pragma: export
 #include "core/parallel_processor.h"    // IWYU pragma: export
+#include "core/planner.h"               // IWYU pragma: export
 #include "core/processor.h"             // IWYU pragma: export
 #include "core/query_based.h"           // IWYU pragma: export
+#include "core/query_request.h"         // IWYU pragma: export
 #include "core/query_window.h"          // IWYU pragma: export
 #include "core/smoothing.h"             // IWYU pragma: export
 #include "core/threshold.h"             // IWYU pragma: export

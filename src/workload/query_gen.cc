@@ -59,5 +59,44 @@ util::Result<std::vector<core::QueryWindow>> RepeatingWorkload(
   return out;
 }
 
+util::Result<std::vector<core::QueryRequest>> MixedRequestWorkload(
+    const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count,
+    const PredicateMix& mix, double tau, uint32_t top_k) {
+  const uint32_t total_weight =
+      mix.exists + mix.forall + mix.k_times + mix.threshold + mix.top_k;
+  if (total_weight == 0) {
+    return util::Status::InvalidArgument(
+        "predicate mix needs at least one non-zero weight");
+  }
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<core::QueryWindow> windows,
+      RepeatingWorkload(config, distinct_windows, count));
+
+  // A separate stream so predicate draws do not perturb window repetition.
+  util::Rng rng(config.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<core::QueryRequest> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    core::QueryRequest request;
+    request.window = std::move(windows[i]);
+    uint64_t draw = rng.NextBounded(total_weight);
+    if (draw < mix.exists) {
+      request.predicate = core::PredicateKind::kExists;
+    } else if ((draw -= mix.exists) < mix.forall) {
+      request.predicate = core::PredicateKind::kForAll;
+    } else if ((draw -= mix.forall) < mix.k_times) {
+      request.predicate = core::PredicateKind::kKTimes;
+    } else if ((draw -= mix.k_times) < mix.threshold) {
+      request.predicate = core::PredicateKind::kThresholdExists;
+      request.tau = tau;
+    } else {
+      request.predicate = core::PredicateKind::kTopKExists;
+      request.k = top_k;
+    }
+    out.push_back(std::move(request));
+  }
+  return out;
+}
+
 }  // namespace workload
 }  // namespace ustdb

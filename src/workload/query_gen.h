@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/query_request.h"
 #include "core/query_window.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -39,6 +40,25 @@ util::Result<core::QueryWindow> RandomWindow(const QueryGenConfig& config,
 /// monitoring dashboards that refresh a fixed set of watches.
 util::Result<std::vector<core::QueryWindow>> RepeatingWorkload(
     const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count);
+
+/// Predicate mix of a mixed request stream, in relative weights.
+struct PredicateMix {
+  uint32_t exists = 4;     ///< dashboards refreshing P∃ watches
+  uint32_t forall = 1;     ///< containment monitors (PST∀Q)
+  uint32_t k_times = 1;    ///< dwell-time panels (PSTkQ)
+  uint32_t threshold = 3;  ///< alerting rules (P∃ >= τ)
+  uint32_t top_k = 1;      ///< "worst offenders" widgets
+};
+
+/// \brief A stream of `count` fully formed QueryRequests for the
+/// planner/executor pipeline: windows drawn from a Zipf-like repeating
+/// pool (see RepeatingWorkload) and predicates drawn from `mix`. Models a
+/// monitoring deployment where the same watch windows serve dashboards,
+/// alerts, and rankings at once — the workload the engine cache and plan
+/// auto-selection are built for.
+util::Result<std::vector<core::QueryRequest>> MixedRequestWorkload(
+    const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count,
+    const PredicateMix& mix = {}, double tau = 0.3, uint32_t top_k = 10);
 
 }  // namespace workload
 }  // namespace ustdb

@@ -1,0 +1,407 @@
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/parallel_processor.h"
+#include "core/processor.h"
+#include "core/threshold.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::PaperChainV;
+using ::ustdb::testing::PaperChainVI;
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+Database MakeDb(uint32_t num_chains, uint32_t num_objects, uint64_t seed,
+                uint32_t num_states = 25) {
+  util::Rng rng(seed);
+  Database db;
+  std::vector<ChainId> chains;
+  for (uint32_t c = 0; c < num_chains; ++c) {
+    chains.push_back(db.AddChain(RandomChain(num_states, 3, &rng)));
+  }
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    (void)db.AddObjectAt(chains[i % num_chains],
+                         RandomDistribution(num_states, 3, &rng))
+        .ValueOrDie();
+  }
+  return db;
+}
+
+QueryWindow Window(uint32_t num_states = 25) {
+  return QueryWindow::FromRanges(num_states, 6, 12, 3, 8).ValueOrDie();
+}
+
+TEST(ExecutorTest, ExistsOnPaperExample) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainV());
+  (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+  QueryExecutor executor(&db);
+  const auto result =
+      executor
+          .Run({.predicate = PredicateKind::kExists,
+                .window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie()})
+          .ValueOrDie();
+  ASSERT_EQ(result.probabilities.size(), 1u);
+  EXPECT_NEAR(result.probabilities[0].probability, 0.864, 1e-12);
+}
+
+TEST(ExecutorTest, AllPredicatesAgreeBetweenPlans) {
+  Database db = MakeDb(3, 30, 901);
+  QueryExecutor executor(&db);
+  const QueryWindow window = Window();
+
+  for (PredicateKind predicate :
+       {PredicateKind::kExists, PredicateKind::kForAll,
+        PredicateKind::kThresholdExists, PredicateKind::kTopKExists}) {
+    QueryRequest request;
+    request.predicate = predicate;
+    request.window = window;
+    request.tau = 0.3;
+    request.k = 10;
+
+    request.plan = PlanChoice::kObjectBased;
+    const auto ob = executor.Run(request).ValueOrDie();
+    request.plan = PlanChoice::kQueryBased;
+    const auto qb = executor.Run(request).ValueOrDie();
+
+    ASSERT_EQ(ob.probabilities.size(), qb.probabilities.size())
+        << "predicate " << static_cast<int>(predicate);
+    for (size_t i = 0; i < ob.probabilities.size(); ++i) {
+      EXPECT_EQ(ob.probabilities[i].id, qb.probabilities[i].id);
+      EXPECT_NEAR(ob.probabilities[i].probability,
+                  qb.probabilities[i].probability, 1e-10)
+          << "predicate " << static_cast<int>(predicate) << " entry " << i;
+    }
+  }
+}
+
+TEST(ExecutorTest, MatchesLegacyEntryPoints) {
+  Database db = MakeDb(2, 25, 902);
+  QueryExecutor executor(&db);
+  const QueryWindow window = Window();
+  QueryProcessor processor(&db);
+
+  const auto exists =
+      executor.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  const auto legacy_exists = processor.Exists(window).ValueOrDie();
+  ASSERT_EQ(exists.probabilities.size(), legacy_exists.size());
+  for (size_t i = 0; i < legacy_exists.size(); ++i) {
+    EXPECT_EQ(exists.probabilities[i].id, legacy_exists[i].id);
+    EXPECT_NEAR(exists.probabilities[i].probability,
+                legacy_exists[i].probability, 1e-12);
+  }
+
+  const auto forall =
+      executor.Run({.predicate = PredicateKind::kForAll, .window = window})
+          .ValueOrDie();
+  const auto legacy_forall = processor.ForAll(window).ValueOrDie();
+  for (size_t i = 0; i < legacy_forall.size(); ++i) {
+    EXPECT_NEAR(forall.probabilities[i].probability,
+                legacy_forall[i].probability, 1e-12);
+  }
+
+  const auto threshold = executor
+                             .Run({.predicate = PredicateKind::kThresholdExists,
+                                   .window = window,
+                                   .tau = 0.3})
+                             .ValueOrDie();
+  const auto legacy_threshold =
+      ThresholdExistsQueryBased(db, window, 0.3).ValueOrDie();
+  ASSERT_EQ(threshold.probabilities.size(), legacy_threshold.size());
+  for (size_t i = 0; i < legacy_threshold.size(); ++i) {
+    EXPECT_EQ(threshold.probabilities[i].id, legacy_threshold[i].id);
+  }
+
+  const auto topk =
+      executor
+          .Run({.predicate = PredicateKind::kTopKExists, .window = window,
+                .k = 5})
+          .ValueOrDie();
+  const auto legacy_topk = TopKExists(db, window, 5).ValueOrDie();
+  ASSERT_EQ(topk.probabilities.size(), legacy_topk.size());
+  for (size_t i = 0; i < legacy_topk.size(); ++i) {
+    EXPECT_EQ(topk.probabilities[i].id, legacy_topk[i].id);
+    EXPECT_NEAR(topk.probabilities[i].probability,
+                legacy_topk[i].probability, 1e-12);
+  }
+
+  const auto ktimes =
+      executor.Run({.predicate = PredicateKind::kKTimes, .window = window})
+          .ValueOrDie();
+  const auto legacy_ktimes = processor.KTimes(window).ValueOrDie();
+  ASSERT_EQ(ktimes.distributions.size(), legacy_ktimes.size());
+  for (size_t i = 0; i < legacy_ktimes.size(); ++i) {
+    EXPECT_EQ(ktimes.distributions[i].distribution,
+              legacy_ktimes[i].distribution);
+  }
+}
+
+TEST(ExecutorTest, ParallelRunsAreBitIdenticalToSequential) {
+  Database db = MakeDb(3, 40, 903);
+  const QueryWindow window = Window();
+  QueryExecutor sequential(&db, {.num_threads = 1});
+
+  for (PredicateKind predicate :
+       {PredicateKind::kExists, PredicateKind::kForAll,
+        PredicateKind::kThresholdExists, PredicateKind::kTopKExists}) {
+    QueryRequest request;
+    request.predicate = predicate;
+    request.window = window;
+    request.tau = 0.3;
+    request.k = 7;
+    const auto want = sequential.Run(request).ValueOrDie();
+    for (unsigned threads : {2u, 4u}) {
+      QueryExecutor parallel(&db, {.num_threads = threads});
+      const auto got = parallel.Run(request).ValueOrDie();
+      ASSERT_EQ(got.probabilities.size(), want.probabilities.size());
+      for (size_t i = 0; i < want.probabilities.size(); ++i) {
+        EXPECT_EQ(got.probabilities[i].id, want.probabilities[i].id);
+        EXPECT_DOUBLE_EQ(got.probabilities[i].probability,
+                         want.probabilities[i].probability)
+            << "predicate " << static_cast<int>(predicate) << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, ParallelKTimesMatchesSequential) {
+  Database db = MakeDb(2, 20, 904, 12);
+  QueryRequest request;
+  request.predicate = PredicateKind::kKTimes;
+  request.window = QueryWindow::FromRanges(12, 3, 6, 1, 4).ValueOrDie();
+  QueryExecutor sequential(&db, {.num_threads = 1});
+  QueryExecutor parallel(&db, {.num_threads = 4});
+  const auto want = sequential.Run(request).ValueOrDie();
+  const auto got = parallel.Run(request).ValueOrDie();
+  ASSERT_EQ(got.distributions.size(), want.distributions.size());
+  for (size_t i = 0; i < want.distributions.size(); ++i) {
+    EXPECT_EQ(got.distributions[i].id, want.distributions[i].id);
+    EXPECT_EQ(got.distributions[i].distribution,
+              want.distributions[i].distribution);
+  }
+}
+
+TEST(ExecutorTest, MultiObservationObjectsRoutedAutomatically) {
+  Database db;
+  const ChainId c = db.AddChain(PaperChainVI());
+  std::vector<Observation> obs;
+  obs.push_back({0, sparse::ProbVector::Delta(3, 0)});
+  obs.push_back({3, sparse::ProbVector::Delta(3, 1)});
+  (void)db.AddObject(c, obs).ValueOrDie();
+  (void)db.AddObjectAt(c, sparse::ProbVector::Delta(3, 1)).ValueOrDie();
+
+  QueryExecutor executor(&db, {.num_threads = 2});
+  const auto window = QueryWindow::FromRanges(3, 0, 1, 1, 2).ValueOrDie();
+  const auto result =
+      executor.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  ASSERT_EQ(result.probabilities.size(), 2u);
+  EXPECT_NEAR(result.probabilities[0].probability, 0.0, 1e-12);
+  EXPECT_GT(result.probabilities[1].probability, 0.0);
+  EXPECT_EQ(result.stats.objects_multi_observation, 1u);
+  EXPECT_EQ(result.stats.objects_evaluated, 1u);
+
+  // PSTkQ stays outside the paper's multi-observation framework.
+  const auto ktimes =
+      executor.Run({.predicate = PredicateKind::kKTimes, .window = window});
+  ASSERT_FALSE(ktimes.ok());
+  EXPECT_EQ(ktimes.status().code(), util::StatusCode::kUnimplemented);
+}
+
+TEST(ExecutorTest, ObjectFilterRestrictsEvaluation) {
+  Database db = MakeDb(2, 10, 905);
+  QueryExecutor executor(&db);
+  const QueryWindow window = Window();
+
+  const auto full =
+      executor.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  QueryRequest filtered;
+  filtered.window = window;
+  filtered.object_filter = std::vector<ObjectId>{7, 2};
+  const auto subset = executor.Run(filtered).ValueOrDie();
+  ASSERT_EQ(subset.probabilities.size(), 2u);
+  EXPECT_EQ(subset.probabilities[0].id, 7u);  // request order preserved
+  EXPECT_EQ(subset.probabilities[1].id, 2u);
+  EXPECT_DOUBLE_EQ(subset.probabilities[0].probability,
+                   full.probabilities[7].probability);
+  EXPECT_DOUBLE_EQ(subset.probabilities[1].probability,
+                   full.probabilities[2].probability);
+
+  // An empty filter evaluates nothing (distinct from nullopt = everything).
+  QueryRequest none;
+  none.window = window;
+  none.object_filter = std::vector<ObjectId>{};
+  EXPECT_TRUE(executor.Run(none).ValueOrDie().probabilities.empty());
+
+  QueryRequest invalid;
+  invalid.window = window;
+  invalid.object_filter = std::vector<ObjectId>{99};
+  const auto r = executor.Run(invalid);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, AutoPlanFollowsDatabaseShape) {
+  const QueryWindow window = Window();
+  // One object per chain: every chain class should run object-based.
+  Database sparse_db = MakeDb(5, 5, 906);
+  QueryExecutor sparse_exec(&sparse_db);
+  const auto sparse_result =
+      sparse_exec.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  EXPECT_EQ(sparse_result.stats.chains_object_based, 5u);
+  EXPECT_EQ(sparse_result.stats.chains_query_based, 0u);
+
+  // Many objects on one chain: the backward pass amortizes, QB wins.
+  Database dense_db = MakeDb(1, 50, 907);
+  QueryExecutor dense_exec(&dense_db);
+  const auto dense_result =
+      dense_exec.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+  EXPECT_EQ(dense_result.stats.chains_object_based, 0u);
+  EXPECT_EQ(dense_result.stats.chains_query_based, 1u);
+}
+
+TEST(ExecutorTest, EngineCacheServesRepeatedWindows) {
+  Database db = MakeDb(1, 20, 908);
+  QueryExecutor executor(&db, {.num_threads = 1, .cache_capacity = 4});
+  QueryRequest request;
+  request.window = Window();
+  request.plan = PlanChoice::kQueryBased;
+
+  const auto first = executor.Run(request).ValueOrDie();
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_EQ(first.stats.cache_misses, 1u);
+
+  const auto second = executor.Run(request).ValueOrDie();
+  EXPECT_EQ(second.stats.cache_hits, 1u);
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  for (size_t i = 0; i < first.probabilities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.probabilities[i].probability,
+                     first.probabilities[i].probability);
+  }
+  EXPECT_EQ(executor.cache_stats().hits, 1u);
+  EXPECT_EQ(executor.cache_stats().misses, 1u);
+}
+
+TEST(ExecutorTest, EngineCacheEvictsUnderPressure) {
+  Database db = MakeDb(1, 10, 909);
+  QueryExecutor executor(&db, {.num_threads = 1, .cache_capacity = 1});
+  QueryRequest a;
+  a.window = QueryWindow::FromRanges(25, 2, 6, 2, 5).ValueOrDie();
+  a.plan = PlanChoice::kQueryBased;
+  QueryRequest b = a;
+  b.window = QueryWindow::FromRanges(25, 10, 14, 2, 5).ValueOrDie();
+
+  (void)executor.Run(a).ValueOrDie();
+  (void)executor.Run(b).ValueOrDie();  // evicts a's engine
+  (void)executor.Run(a).ValueOrDie();  // rebuilds
+  EXPECT_EQ(executor.cache_stats().hits, 0u);
+  EXPECT_EQ(executor.cache_stats().misses, 3u);
+  EXPECT_EQ(executor.cache_stats().evictions, 2u);
+}
+
+TEST(ExecutorTest, CacheDegradesGracefullyWhenChainsExceedCapacity) {
+  // 3 QB chain classes but room for 1 engine: the executor must keep
+  // caching one chain per run (not disable caching wholesale) and still
+  // answer correctly for the uncached overflow chains.
+  Database db = MakeDb(3, 30, 913);
+  QueryExecutor small(&db, {.num_threads = 1, .cache_capacity = 1});
+  QueryRequest request;
+  request.window = Window();
+  request.plan = PlanChoice::kQueryBased;
+
+  const auto first = small.Run(request).ValueOrDie();
+  EXPECT_EQ(first.stats.chains_query_based, 3u);
+  EXPECT_EQ(first.stats.cache_misses, 1u);  // one chain cached, two owned
+  const auto second = small.Run(request).ValueOrDie();
+  EXPECT_EQ(second.stats.cache_hits, 1u);  // the cached chain is reused
+
+  QueryExecutor big(&db, {.num_threads = 1, .cache_capacity = 8});
+  const auto want = big.Run(request).ValueOrDie();
+  ASSERT_EQ(first.probabilities.size(), want.probabilities.size());
+  for (size_t i = 0; i < want.probabilities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first.probabilities[i].probability,
+                     want.probabilities[i].probability);
+  }
+}
+
+TEST(ExecutorTest, CacheBypassedForExplicitModeStaysCorrect) {
+  Database db = MakeDb(1, 8, 910);
+  QueryExecutor executor(&db, {.num_threads = 1});
+  QueryRequest request;
+  request.window = Window();
+  request.plan = PlanChoice::kQueryBased;
+  const auto implicit = executor.Run(request).ValueOrDie();
+  request.matrix_mode = MatrixMode::kExplicit;
+  const auto explicit_run = executor.Run(request).ValueOrDie();
+  // Explicit runs never consult the cache (entries are implicit-mode).
+  EXPECT_EQ(explicit_run.stats.cache_hits, 0u);
+  EXPECT_EQ(explicit_run.stats.cache_misses, 0u);
+  for (size_t i = 0; i < implicit.probabilities.size(); ++i) {
+    EXPECT_NEAR(explicit_run.probabilities[i].probability,
+                implicit.probabilities[i].probability, 1e-10);
+  }
+}
+
+TEST(ExecutorTest, ThresholdEarlyTerminationReported) {
+  Database db = MakeDb(1, 60, 911, 20);
+  QueryExecutor executor(&db);
+  QueryRequest request;
+  request.predicate = PredicateKind::kThresholdExists;
+  request.window = QueryWindow::FromRanges(20, 5, 10, 2, 6).ValueOrDie();
+  request.tau = 0.5;
+  request.plan = PlanChoice::kObjectBased;
+  const auto result = executor.Run(request).ValueOrDie();
+  EXPECT_GT(result.stats.prune.objects_decided_early, 0u);
+}
+
+TEST(ExecutorTest, EmptyDatabase) {
+  Database db;
+  (void)db.AddChain(PaperChainV());
+  QueryExecutor executor(&db);
+  const auto window = QueryWindow::FromRanges(3, 0, 1, 2, 3).ValueOrDie();
+  for (PredicateKind predicate :
+       {PredicateKind::kExists, PredicateKind::kForAll,
+        PredicateKind::kThresholdExists, PredicateKind::kTopKExists}) {
+    QueryRequest request;
+    request.predicate = predicate;
+    request.window = window;
+    EXPECT_TRUE(executor.Run(request).ValueOrDie().probabilities.empty());
+  }
+  QueryRequest ktimes;
+  ktimes.predicate = PredicateKind::kKTimes;
+  ktimes.window = window;
+  EXPECT_TRUE(executor.Run(ktimes).ValueOrDie().distributions.empty());
+}
+
+TEST(ExecutorTest, KTimesDistributionsSumToOne) {
+  Database db = MakeDb(1, 8, 912, 12);
+  QueryExecutor executor(&db);
+  QueryRequest request;
+  request.predicate = PredicateKind::kKTimes;
+  request.window = QueryWindow::FromRanges(12, 3, 6, 1, 4).ValueOrDie();
+  const auto result = executor.Run(request).ValueOrDie();
+  ASSERT_EQ(result.distributions.size(), 8u);
+  for (const ObjectKTimes& r : result.distributions) {
+    ASSERT_EQ(r.distribution.size(), request.window.num_times() + 1);
+    const double total =
+        std::accumulate(r.distribution.begin(), r.distribution.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

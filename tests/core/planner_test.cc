@@ -1,0 +1,121 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_models.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+Database MakeDb(uint32_t num_chains, uint32_t objects_per_chain,
+                uint64_t seed) {
+  util::Rng rng(seed);
+  Database db;
+  std::vector<ChainId> chains;
+  for (uint32_t c = 0; c < num_chains; ++c) {
+    chains.push_back(db.AddChain(RandomChain(25, 3, &rng)));
+  }
+  for (uint32_t c = 0; c < num_chains; ++c) {
+    for (uint32_t i = 0; i < objects_per_chain; ++i) {
+      (void)db.AddObjectAt(chains[c], RandomDistribution(25, 3, &rng))
+          .ValueOrDie();
+    }
+  }
+  return db;
+}
+
+QueryRequest ExistsRequest(uint32_t num_states = 25) {
+  QueryRequest request;
+  request.window =
+      QueryWindow::FromRanges(num_states, 6, 12, 3, 8).ValueOrDie();
+  return request;
+}
+
+TEST(PlannerTest, SingleObjectChainPrefersObjectBased) {
+  Database db = MakeDb(4, 1, 11);
+  QueryPlanner planner(&db);
+  const PlanDecision d = planner.Choose(0, ExistsRequest(), 1);
+  EXPECT_EQ(d.plan, Plan::kObjectBased);
+  EXPECT_FALSE(d.forced);
+  EXPECT_LE(d.cost.object_based, d.cost.query_based);
+}
+
+TEST(PlannerTest, ManyObjectChainPrefersQueryBased) {
+  Database db = MakeDb(1, 50, 12);
+  QueryPlanner planner(&db);
+  const PlanDecision d = planner.Choose(0, ExistsRequest(), 50);
+  EXPECT_EQ(d.plan, Plan::kQueryBased);
+  EXPECT_GT(d.cost.object_based, d.cost.query_based);
+}
+
+TEST(PlannerTest, ObjectBasedCostScalesLinearlyWithObjects) {
+  Database db = MakeDb(1, 1, 13);
+  QueryPlanner planner(&db);
+  const CostEstimate one = planner.Choose(0, ExistsRequest(), 1).cost;
+  const CostEstimate ten = planner.Choose(0, ExistsRequest(), 10).cost;
+  EXPECT_NEAR(ten.object_based, 10.0 * one.object_based, 1e-9);
+  // QB amortizes the pass: going 1 -> 10 objects adds only dot products.
+  EXPECT_LT(ten.query_based - one.query_based, one.query_based);
+}
+
+TEST(PlannerTest, ForcedPlanBypassesCostModel) {
+  Database db = MakeDb(1, 50, 14);
+  QueryPlanner planner(&db);
+  QueryRequest request = ExistsRequest();
+  request.plan = PlanChoice::kObjectBased;
+  const PlanDecision d = planner.Choose(0, request, 50);
+  EXPECT_EQ(d.plan, Plan::kObjectBased);  // despite 50 objects
+  EXPECT_TRUE(d.forced);
+
+  request.plan = PlanChoice::kQueryBased;
+  const PlanDecision d2 = planner.Choose(0, request, 1);
+  EXPECT_EQ(d2.plan, Plan::kQueryBased);  // despite 1 object
+  EXPECT_TRUE(d2.forced);
+}
+
+TEST(PlannerTest, ExplicitModeRaisesPassCost) {
+  Database db = MakeDb(1, 1, 15);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const double implicit =
+      QueryPlanner::PassCost(db.chain(0), window, MatrixMode::kImplicit);
+  const double explicit_cost =
+      QueryPlanner::PassCost(db.chain(0), window, MatrixMode::kExplicit);
+  EXPECT_GT(explicit_cost, implicit);
+}
+
+TEST(PlannerTest, LongerReachRaisesPassCost) {
+  Database db = MakeDb(1, 1, 16);
+  const QueryWindow near_window =
+      QueryWindow::FromRanges(25, 6, 12, 1, 3).ValueOrDie();
+  const QueryWindow far_window =
+      QueryWindow::FromRanges(25, 6, 12, 1, 30).ValueOrDie();
+  EXPECT_GT(
+      QueryPlanner::PassCost(db.chain(0), far_window, MatrixMode::kImplicit),
+      QueryPlanner::PassCost(db.chain(0), near_window,
+                             MatrixMode::kImplicit));
+}
+
+TEST(PlannerTest, ThresholdDiscountShiftsBreakEven) {
+  // Early τ-termination makes OB cheaper per object, so the break-even
+  // object count must be at least as high as for plain exists.
+  Database db = MakeDb(1, 2, 17);
+  QueryPlanner planner(&db);
+  QueryRequest exists = ExistsRequest();
+  QueryRequest threshold = ExistsRequest();
+  threshold.predicate = PredicateKind::kThresholdExists;
+  threshold.tau = 0.5;
+  const CostEstimate e = planner.Choose(0, exists, 2).cost;
+  const CostEstimate t = planner.Choose(0, threshold, 2).cost;
+  EXPECT_LT(t.object_based, e.object_based);
+  EXPECT_DOUBLE_EQ(t.query_based, e.query_based);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

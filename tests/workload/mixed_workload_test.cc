@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/executor.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+#include "workload/query_gen.h"
+
+namespace ustdb {
+namespace workload {
+namespace {
+
+QueryGenConfig SmallConfig() {
+  QueryGenConfig config;
+  config.num_states = 30;
+  config.region_extent = 5;
+  config.window_length = 4;
+  config.t_min = 1;
+  config.t_max = 8;
+  config.seed = 99;
+  return config;
+}
+
+TEST(MixedRequestWorkloadTest, ProducesEveryPredicateWithParameters) {
+  const auto stream =
+      MixedRequestWorkload(SmallConfig(), 6, 200, {}, /*tau=*/0.25,
+                           /*top_k=*/7)
+          .ValueOrDie();
+  ASSERT_EQ(stream.size(), 200u);
+  std::map<core::PredicateKind, int> counts;
+  for (const core::QueryRequest& request : stream) {
+    ++counts[request.predicate];
+    if (request.predicate == core::PredicateKind::kThresholdExists) {
+      EXPECT_DOUBLE_EQ(request.tau, 0.25);
+    }
+    if (request.predicate == core::PredicateKind::kTopKExists) {
+      EXPECT_EQ(request.k, 7u);
+    }
+  }
+  EXPECT_EQ(counts.size(), 5u);  // all predicates present at 200 draws
+}
+
+TEST(MixedRequestWorkloadTest, WindowsRepeatAcrossTheStream) {
+  const auto stream =
+      MixedRequestWorkload(SmallConfig(), 4, 100).ValueOrDie();
+  std::set<std::pair<uint32_t, Timestamp>> distinct;
+  for (const core::QueryRequest& request : stream) {
+    distinct.emplace(request.window.region().elements().front(),
+                     request.window.t_begin());
+  }
+  EXPECT_LE(distinct.size(), 4u);
+  EXPECT_GE(distinct.size(), 2u);  // the skew still surfaces several
+}
+
+TEST(MixedRequestWorkloadTest, RejectsAllZeroMix) {
+  PredicateMix mix;
+  mix.exists = mix.forall = mix.k_times = mix.threshold = mix.top_k = 0;
+  EXPECT_FALSE(MixedRequestWorkload(SmallConfig(), 4, 10, mix).ok());
+}
+
+TEST(MixedRequestWorkloadTest, StreamRunsThroughExecutorWithCacheHits) {
+  util::Rng rng(4242);
+  core::Database db;
+  const ChainId chain = db.AddChain(testing::RandomChain(30, 3, &rng));
+  for (int i = 0; i < 12; ++i) {
+    (void)db.AddObjectAt(chain, testing::RandomDistribution(30, 3, &rng))
+        .ValueOrDie();
+  }
+  const auto stream =
+      MixedRequestWorkload(SmallConfig(), 5, 60).ValueOrDie();
+
+  core::QueryExecutor executor(&db, {.num_threads = 2, .cache_capacity = 8});
+  for (const core::QueryRequest& request : stream) {
+    ASSERT_TRUE(executor.Run(request).ok());
+  }
+  // Repeated windows must have been served from cached backward passes.
+  EXPECT_GT(executor.cache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ustdb
