@@ -1,0 +1,250 @@
+// Extension — batched query execution under a dashboard-refresh workload.
+//
+// A dashboard refresh issues many requests against the same watch window
+// (different widgets, alerts, rankings). Run serially on a cold cache,
+// every request pays its own query-based backward pass; submitted as one
+// QueryExecutor::RunBatch, the group pays a single pass and fans the
+// start vector out to every member. This bench sweeps the batch size and
+// reports:
+//
+//   sequential_cold — N solo Run calls, a fresh executor per call (every
+//                     backward pass rebuilt: the no-batching baseline)
+//   sequential_warm — N solo Run calls on one long-lived executor (the
+//                     engine cache absorbs repeats after the first call)
+//   run_batch       — one RunBatch of the N requests on a cold executor
+//   speedup_cold    — sequential_cold / run_batch at the same N
+//
+// plus one mixed series (mixed_sequential / mixed_batch) replaying
+// workload::RefreshBatches — multi-window refreshes with the full
+// predicate mix — through both submission paths.
+//
+// The fixture asserts that run_batch probabilities are bit-identical to
+// the sequential results before any timing happens.
+//
+// Usage: bench_batch_refresh [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/executor.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+
+bool g_full = false;
+
+constexpr int64_t kMaxBatch = 128;
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow window;  // the single watch window of the sweep
+  std::vector<core::QueryRequest> requests;  // kMaxBatch × same window
+  std::vector<std::vector<core::QueryRequest>> refreshes;  // mixed batches
+};
+
+core::QueryRequest ExistsRequest(const core::QueryWindow& w) {
+  core::QueryRequest request;
+  request.predicate = core::PredicateKind::kExists;
+  request.window = w;
+  return request;
+}
+
+/// Bit-identity guard: a 64-request single-window batch must answer
+/// exactly what 64 cold solo runs answer, or the amortization is buying
+/// speed with correctness.
+void VerifyBatchParity(const Fixture& f) {
+  std::vector<core::QueryRequest> requests(f.requests.begin(),
+                                           f.requests.begin() + 64);
+  core::QueryExecutor batch_exec(&f.db, {.num_threads = 1});
+  const auto batch = batch_exec.RunBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    core::QueryExecutor cold(&f.db, {.num_threads = 1});
+    const auto solo = cold.Run(requests[i]).ValueOrDie();
+    const auto& got = batch[i].value();
+    if (got.probabilities.size() != solo.probabilities.size()) {
+      std::fprintf(stderr, "batch parity: size mismatch at request %zu\n", i);
+      std::exit(1);
+    }
+    for (size_t j = 0; j < solo.probabilities.size(); ++j) {
+      if (got.probabilities[j].id != solo.probabilities[j].id ||
+          got.probabilities[j].probability !=
+              solo.probabilities[j].probability) {
+        std::fprintf(stderr,
+                     "batch parity: request %zu object %zu differs "
+                     "(batch %.17g vs solo %.17g)\n",
+                     i, j, got.probabilities[j].probability,
+                     solo.probabilities[j].probability);
+        std::exit(1);
+      }
+    }
+  }
+  std::printf("parity: 64-request batch bit-identical to 64 solo runs\n");
+}
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 50'000 : 10'000;
+    config.num_objects = g_full ? 5'000 : 1'000;
+    config.seed = 47;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(), {}, {}, {}};
+
+    workload::QueryGenConfig qconfig;
+    qconfig.num_states = config.num_states;
+    qconfig.t_min = 10;
+    qconfig.t_max = 30;
+    qconfig.seed = 48;
+    util::Rng rng(qconfig.seed);
+    f.window = workload::RandomWindow(qconfig, &rng).ValueOrDie();
+    for (int64_t i = 0; i < kMaxBatch; ++i) {
+      f.requests.push_back(ExistsRequest(f.window));
+    }
+    f.refreshes = workload::RefreshBatches(qconfig, /*distinct_windows=*/8,
+                                           /*batch_size=*/64,
+                                           /*num_batches=*/g_full ? 12 : 4)
+                      .ValueOrDie();
+    (void)f.db.chain(0).transposed();  // pre-warm the shared transpose
+    VerifyBatchParity(f);
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+double SumProbabilities(const core::QueryResult& result) {
+  double total = 0.0;
+  for (const auto& r : result.probabilities) total += r.probability;
+  return total;
+}
+
+// Timings of the single-window sweep, kept so the speedup series can be
+// derived without re-measuring.
+std::map<int64_t, double> g_cold_seconds;
+
+void BM_SequentialCold(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int64_t n = state.range(0);
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      core::QueryExecutor cold(&f.db, {.num_threads = 1});
+      total += SumProbabilities(cold.Run(f.requests[i]).ValueOrDie());
+    }
+    benchmark::DoNotOptimize(total);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  g_cold_seconds[n] = seconds;
+  benchutil::Recorder::Instance().Record("sequential_cold",
+                                         static_cast<double>(n), seconds);
+}
+
+void BM_SequentialWarm(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int64_t n = state.range(0);
+  benchutil::TimedIterations(state, "sequential_warm", static_cast<double>(n),
+                             [&] {
+    core::QueryExecutor executor(&f.db, {.num_threads = 1});
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += SumProbabilities(executor.Run(f.requests[i]).ValueOrDie());
+    }
+    benchmark::DoNotOptimize(total);
+  });
+}
+
+void BM_RunBatch(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int64_t n = state.range(0);
+  std::span<const core::QueryRequest> requests(f.requests.data(),
+                                               static_cast<size_t>(n));
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    core::QueryExecutor executor(&f.db, {.num_threads = 1});
+    const auto results = executor.RunBatch(requests);
+    double total = 0.0;
+    for (const auto& r : results) total += SumProbabilities(r.value());
+    benchmark::DoNotOptimize(total);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("run_batch", static_cast<double>(n),
+                                         seconds);
+  const auto cold = g_cold_seconds.find(n);
+  if (cold != g_cold_seconds.end() && seconds > 0.0) {
+    benchutil::Recorder::Instance().Record(
+        "speedup_cold", static_cast<double>(n), cold->second / seconds);
+  }
+}
+
+void BM_MixedSequential(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  benchutil::TimedIterations(state, "mixed_sequential", 64, [&] {
+    core::QueryExecutor executor(&f.db, {.num_threads = 1});
+    for (const auto& refresh : f.refreshes) {
+      for (const core::QueryRequest& request : refresh) {
+        benchmark::DoNotOptimize(executor.Run(request).ValueOrDie());
+      }
+    }
+  });
+}
+
+void BM_MixedBatch(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  benchutil::TimedIterations(state, "mixed_batch", 64, [&] {
+    core::QueryExecutor executor(&f.db, {.num_threads = 1});
+    for (const auto& refresh : f.refreshes) {
+      benchmark::DoNotOptimize(executor.RunBatch(refresh));
+    }
+  });
+}
+
+void Register() {
+  for (int64_t n : {int64_t{8}, int64_t{16}, int64_t{32}, int64_t{64},
+                    kMaxBatch}) {
+    benchmark::RegisterBenchmark("refresh/sequential_cold", BM_SequentialCold)
+        ->Arg(n)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("refresh/sequential_warm", BM_SequentialWarm)
+        ->Arg(n)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("refresh/run_batch", BM_RunBatch)
+        ->Arg(n)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("refresh/mixed_sequential", BM_MixedSequential)
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("refresh/mixed_batch", BM_MixedBatch)
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv, "batch_refresh", "batch_size",
+      "refresh runtime [s] / speedup vs cold sequential");
+}

@@ -5,13 +5,17 @@
 // stream of windows (workload::RepeatingWorkload) through the
 // QueryExecutor pipeline and sweeps its engine-cache capacity:
 //
-//   no_cache       — a cold executor per query: every backward pass rebuilt
-//   cache_<cap>    — one long-lived executor, LRU cache of backward passes
-//   hit_rate_<cap> — the corresponding cache hit rate
+//   no_cache  — a cold executor per query: every backward pass rebuilt
+//   cached    — one long-lived executor, LRU cache of backward passes
+//   hit_rate  — the corresponding cache hit rate
+//   batched   — the same stream submitted refresh-wise through RunBatch
+//               (one executor): within a refresh identical windows share
+//               one pass, across refreshes the cache carries them
 //
 // Expected shape: runtime falls sharply once the capacity covers the hot
 // windows; at capacity >= distinct windows every repeat is a pure
-// dot-product pass.
+// dot-product pass, and batching matches or beats solo submission at
+// every capacity because in-batch repeats never even consult the cache.
 //
 // Usage: bench_query_cache [--full]
 
@@ -117,6 +121,36 @@ void BM_Cached(benchmark::State& state) {
           static_cast<double>(stats.hits + stats.misses));
 }
 
+/// The batched submission path: the same stream, cut into refresh-sized
+/// batches of consecutive windows and submitted through RunBatch.
+void BM_Batched(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const uint32_t capacity = static_cast<uint32_t>(state.range(0));
+  constexpr size_t kRefreshSize = 24;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    core::QueryExecutor executor(
+        &f.db, {.num_threads = 1, .cache_capacity = capacity});
+    double total = 0.0;
+    std::vector<core::QueryRequest> refresh;
+    for (size_t begin = 0; begin < f.stream.size(); begin += kRefreshSize) {
+      const size_t end = std::min(f.stream.size(), begin + kRefreshSize);
+      refresh.clear();
+      for (size_t i = begin; i < end; ++i) {
+        refresh.push_back(ExistsRequest(f.stream[i]));
+      }
+      for (const auto& r : executor.RunBatch(refresh)) {
+        total += SumProbabilities(r.value());
+      }
+    }
+    benchmark::DoNotOptimize(total);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("batched", capacity, seconds);
+}
+
 void Register() {
   for (int64_t cap : {1, 2, 4, 8, 12, 16}) {
     benchmark::RegisterBenchmark("cache/no_cache", BM_NoCache)
@@ -125,6 +159,11 @@ void Register() {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("cache/cached", BM_Cached)
+        ->Arg(cap)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("cache/batched", BM_Batched)
         ->Arg(cap)
         ->Iterations(1)
         ->UseManualTime()

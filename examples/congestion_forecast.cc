@@ -79,15 +79,43 @@ int main() {
   }
   std::printf("\n");
 
-  // --- 4. Who is most likely stuck there? Per-object drill-down. ----------
+  // --- 4. The bottleneck dashboard: one batched refresh. -------------------
+  // Three widgets watch the same window — the "worst offender" ranking, the
+  // τ-alert list, and the per-vehicle presence panel. Submitting them as
+  // one RunBatch shares a single query-based backward pass across all
+  // three instead of paying one per widget.
   auto window = core::QueryWindow::Create(
                     region, {10, 11, 12, 13, 14, 15})
                     .ValueOrDie();
-  const auto top = core::TopKExists(db, window, 1).ValueOrDie();
+  core::QueryExecutor executor(&db);
+  std::vector<core::QueryRequest> refresh;
+  refresh.push_back({.predicate = core::PredicateKind::kTopKExists,
+                     .window = window,
+                     .k = 1});
+  refresh.push_back({.predicate = core::PredicateKind::kThresholdExists,
+                     .window = window,
+                     .tau = 0.5});
+  refresh.push_back(
+      {.predicate = core::PredicateKind::kExists, .window = window});
+  const auto dashboard = executor.RunBatch(refresh);
+
+  const auto& top = dashboard[0].value().probabilities;
   const ObjectId suspect = top[0].id;
-  std::printf("\nvehicle %u has the highest probability (%.3f) of being at "
+  std::printf("\nbottleneck dashboard (one batch, %u widgets sharing the "
+              "window's backward pass):\n",
+              dashboard[0]->stats.batch_group_members);
+  std::printf("  vehicle %u has the highest probability (%.3f) of being at "
               "the bottleneck in minutes 10-15\n",
               suspect, top[0].probability);
+  std::printf("  %zu vehicles trip the P >= 0.5 congestion alert\n",
+              dashboard[1]->probabilities.size());
+  double expected_inside = 0.0;
+  for (const auto& p : dashboard[2]->probabilities) {
+    expected_inside += p.probability;
+  }
+  std::printf("  expected number of distinct vehicles touching the area: "
+              "%.2f\n",
+              expected_inside);
 
   // Suppose it reports a second GPS fix at t=20; reconstruct its route.
   const auto& chain = db.chain(model);

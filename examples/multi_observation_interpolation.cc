@@ -73,26 +73,57 @@ int main() {
               r.exists_probability);
 
   // --- Observations after the window still matter. ------------------------
+  // Three objects on the same motion model, differing only in their
+  // observation history, all answered by the one executor pipeline — it
+  // routes single-observation objects through the Section V plans and
+  // multi-observation ones through the Section VI engine automatically.
   std::printf("\n=== information content of a later observation ===\n");
-  core::QueryBasedEngine single(&chain, window);
-  const double p_single =
-      single.ExistsProbability(sparse::ProbVector::Delta(3, 0));
-  std::printf("P-exists with only the t=0 sighting  : %.3f\n", p_single);
-  std::printf("P-exists adding the t=3 sighting     : %.3f\n",
-              r.exists_probability);
-  std::printf("the later sighting eliminated every window-hitting world "
-              "(class A worlds of Fig. 6)\n");
-
-  // A different second sighting keeps both world classes alive:
   std::vector<core::Observation> obs2;
   obs2.push_back({0, sparse::ProbVector::Delta(3, 0)});
   obs2.push_back(
       {3, sparse::ProbVector::FromPairs(3, {{1, 0.5}, {2, 0.5}})
               .ValueOrDie()});
+
+  core::Database db;
+  const ChainId cls = db.AddChain(chain);
+  const ObjectId only_t0 =
+      db.AddObjectAt(cls, sparse::ProbVector::Delta(3, 0)).ValueOrDie();
+  const ObjectId certain_t3 = db.AddObject(cls, obs).ValueOrDie();
+  const ObjectId uncertain_t3 = db.AddObject(cls, obs2).ValueOrDie();
+
+  // A two-widget refresh on one window, submitted as a batch: the exists
+  // panel and the τ-alert share the group's single backward pass.
+  core::QueryExecutor executor(&db);
+  std::vector<core::QueryRequest> refresh;
+  refresh.push_back(
+      {.predicate = core::PredicateKind::kExists, .window = window});
+  refresh.push_back({.predicate = core::PredicateKind::kThresholdExists,
+                     .window = window,
+                     .tau = 0.5});
+  const auto dashboard = executor.RunBatch(refresh);
+  const auto& exists = dashboard[0].value();
+
+  std::printf("P-exists with only the t=0 sighting  : %.3f\n",
+              exists.probabilities[only_t0].probability);
+  std::printf("P-exists adding the t=3 sighting     : %.3f\n",
+              exists.probabilities[certain_t3].probability);
+  std::printf("the later sighting eliminated every window-hitting world "
+              "(class A worlds of Fig. 6)\n");
+
+  // A different second sighting keeps both world classes alive:
   const auto r2 = engine.Evaluate(obs2).ValueOrDie();
   std::printf("with an *uncertain* t=3 sighting (s2 or s3 equally likely): "
               "P-exists = %.3f, surviving mass = %.3f\n",
-              r2.exists_probability, r2.surviving_mass);
+              exists.probabilities[uncertain_t3].probability,
+              r2.surviving_mass);
+
+  std::printf("pipeline routing: %u object(s) via the Section V plans, %u "
+              "via the Section VI engine; %zu object(s) above τ=0.5; both "
+              "widgets shared one group of %u requests\n",
+              exists.stats.objects_evaluated,
+              exists.stats.objects_multi_observation,
+              dashboard[1]->probabilities.size(),
+              exists.stats.batch_group_members);
 
   // --- Contradiction detection. -------------------------------------------
   std::printf("\n=== contradictory observations ===\n");

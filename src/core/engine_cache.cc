@@ -5,23 +5,37 @@ namespace core {
 
 const QueryBasedEngine* EngineCache::Get(const markov::MarkovChain* chain,
                                          const QueryWindow& window) {
+  if (const QueryBasedEngine* hit = Lookup(chain, window)) return hit;
+  return Put(chain, window,
+             std::make_unique<QueryBasedEngine>(chain, window));
+}
+
+const QueryBasedEngine* EngineCache::Lookup(const markov::MarkovChain* chain,
+                                            const QueryWindow& window) {
   Key key{chain, window.region().elements(), window.times()};
   auto it = index_.find(key);
-  if (it != index_.end()) {
-    ++stats_.hits;
-    // Move to the front of the LRU list.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->engine.get();
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
   }
+  ++stats_.hits;
+  // Move to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->engine.get();
+}
 
-  ++stats_.misses;
+const QueryBasedEngine* EngineCache::Put(
+    const markov::MarkovChain* chain, const QueryWindow& window,
+    std::unique_ptr<QueryBasedEngine> engine) {
+  Key key{chain, window.region().elements(), window.times()};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second->engine.get();
   if (lru_.size() >= capacity_) {
     ++stats_.evictions;
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front(
-      Entry{key, std::make_unique<QueryBasedEngine>(chain, window)});
+  lru_.push_front(Entry{key, std::move(engine)});
   index_[std::move(key)] = lru_.begin();
   return lru_.front().engine.get();
 }

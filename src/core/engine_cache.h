@@ -33,7 +33,10 @@ struct EngineCacheStats {
 ///
 /// Keys are (chain pointer, region elements, time set); two windows with
 /// equal content share an entry regardless of how they were built.
-/// Not thread-safe; wrap externally or use one per thread.
+/// Not thread-safe; wrap externally or use one per thread. The batch
+/// executor splits Get() into Lookup() + Put() so that cache bookkeeping
+/// stays on the submitting thread while missed backward passes are built
+/// inside parallel group tasks and inserted after the batch completes.
 class EngineCache {
  public:
   /// \param capacity maximum number of cached engines (>= 1).
@@ -42,9 +45,27 @@ class EngineCache {
 
   /// \brief Returns the engine for (chain, window), building and caching
   /// it on a miss. The pointer stays valid until the entry is evicted —
-  /// do not hold it across further Get() calls.
+  /// do not hold it across further Get() or Put() calls.
   const QueryBasedEngine* Get(const markov::MarkovChain* chain,
                               const QueryWindow& window);
+
+  /// \brief Returns the cached engine for (chain, window) or nullptr,
+  /// recording a hit or a miss. Never builds and never evicts, so pointers
+  /// returned by earlier Lookup() calls stay valid until the next Get(),
+  /// Put(), or Clear() — the batch executor relies on this to borrow
+  /// several engines at once without them evicting each other.
+  const QueryBasedEngine* Lookup(const markov::MarkovChain* chain,
+                                 const QueryWindow& window);
+
+  /// \brief Inserts a pre-built engine for (chain, window), evicting the
+  /// least-recently-used entry when full. If the key is already cached the
+  /// existing engine is kept (and returned) and `engine` is discarded.
+  /// Records evictions but neither hits nor misses (a paired Lookup()
+  /// already did). `engine` must have been built for exactly this chain
+  /// and window, in the default (implicit) matrix mode.
+  const QueryBasedEngine* Put(const markov::MarkovChain* chain,
+                              const QueryWindow& window,
+                              std::unique_ptr<QueryBasedEngine> engine);
 
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
+#include <utility>
 
 #include "core/k_times.h"
 #include "core/multi_observation.h"
@@ -20,17 +21,66 @@ bool NeedsMultiObservation(const UncertainObject& obj) {
   return !obj.single_observation() || obj.observations.front().time != 0;
 }
 
+/// Groups of a batch are keyed by the content of the effective window
+/// (region elements + time set) and the matrix mode: requests with equal
+/// keys share every per-chain engine.
+using GroupKey =
+    std::tuple<std::vector<uint32_t>, std::vector<Timestamp>, int>;
+
 }  // namespace
 
-/// Per-run, per-chain bundle: the decided plan plus the engine realizing
-/// it. QB engines are borrowed from the cache when possible, owned when
-/// the cache cannot hold the run's working set or a non-default matrix
-/// mode is requested (cache entries are keyed without the mode).
+/// Per-run (solo) or per-group (batch), per-chain engine bundle: the
+/// decided plan plus the engines realizing it. QB engines are borrowed
+/// from the cache when possible, owned when the cache cannot hold the
+/// run's working set or a non-default matrix mode is requested (cache
+/// entries are keyed without the mode). The want_* flags are filled by
+/// the batch planner so the group task knows which engines to build;
+/// solo runs build exactly the decided plan's engine and leave them unset.
 struct QueryExecutor::ChainPlan {
   Plan plan = Plan::kQueryBased;
+  bool want_qb = false;
+  bool want_ob = false;
+  bool want_ktimes = false;
   const QueryBasedEngine* qb = nullptr;
   std::unique_ptr<QueryBasedEngine> qb_owned;
   std::unique_ptr<ObjectBasedEngine> ob;
+  std::unique_ptr<KTimesEngine> ktimes;
+
+  /// The plan this request evaluates the chain with: its pinned plan if
+  /// any, the planner's decision otherwise. Solo runs fold the pin into
+  /// `plan` already, so both paths resolve identically.
+  Plan Resolve(const QueryRequest& request) const {
+    if (request.plan == PlanChoice::kObjectBased) return Plan::kObjectBased;
+    if (request.plan == PlanChoice::kQueryBased) return Plan::kQueryBased;
+    return plan;
+  }
+};
+
+/// One RunBatch group: every member request shares the effective window,
+/// the matrix mode, and therefore every engine in `plans`.
+struct QueryExecutor::BatchGroup {
+  QueryWindow window;  // effective (complemented region for ∀ members)
+  MatrixMode mode = MatrixMode::kImplicit;
+
+  /// Census of one member request, taken on the submitting thread.
+  struct Member {
+    size_t request_index = 0;
+    std::map<ChainId, uint32_t> single_obs_per_chain;
+    uint32_t multi_obs = 0;
+    uint32_t singles = 0;
+  };
+  std::vector<Member> members;
+
+  std::map<ChainId, ChainPlan> plans;
+  /// Chains whose QB engine missed the cache (or is mode-uncacheable) and
+  /// is built inside the group task; implicit-mode builds are inserted
+  /// into the cache after the parallel phase.
+  std::vector<ChainId> qb_to_build;
+  /// Cache-stat deltas of this group's lookups, reported on the first
+  /// successfully answered member so aggregating over members never
+  /// double-counts.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// Either the caller's filter (borrowed — the request outlives the run) or
@@ -60,14 +110,21 @@ QueryExecutor::QueryExecutor(const Database* db, ExecutorOptions options)
       cache_(options.cache_capacity),
       pool_(options.num_threads) {}
 
-util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
-  if (request.object_filter.has_value()) {
-    for (ObjectId id : *request.object_filter) {
-      if (id >= db_->num_objects()) {
-        return util::Status::InvalidArgument(
-            "object_filter references an id outside the database");
-      }
+util::Status QueryExecutor::ValidateFilter(
+    const QueryRequest& request) const {
+  if (!request.object_filter.has_value()) return util::Status::OK();
+  for (ObjectId id : *request.object_filter) {
+    if (id >= db_->num_objects()) {
+      return util::Status::InvalidArgument(
+          "object_filter references an id outside the database");
     }
+  }
+  return util::Status::OK();
+}
+
+util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
+  if (util::Status status = ValidateFilter(request); !status.ok()) {
+    return status;
   }
   const Selection ids(request, db_->num_objects());
   if (request.predicate == PredicateKind::kKTimes) {
@@ -137,19 +194,37 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   result.stats.cache_misses = cache_.stats().misses - before.misses;
 
   // --- Execution phase: per-object evaluation, parallel across objects. --
+  std::vector<double> probs;
+  std::vector<uint8_t> keep;
+  uint32_t early_stops = 0;
+  util::Status status = EvaluateExistsObjects(
+      request, window, ids, plans, /*use_pool=*/true, &probs, &keep,
+      &early_stops);
+  if (!status.ok()) return status;
+  result.stats.prune.objects_decided_early = early_stops;
+
+  AssembleExistsResult(request, ids, probs, keep, &result);
+  return result;
+}
+
+util::Status QueryExecutor::EvaluateExistsObjects(
+    const QueryRequest& request, const QueryWindow& window,
+    const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
+    bool use_pool, std::vector<double>* probs, std::vector<uint8_t>* keep,
+    uint32_t* early_stops) {
   const bool threshold =
       request.predicate == PredicateKind::kThresholdExists;
-  std::vector<double> probs(ids.size(), 0.0);
+  probs->assign(ids.size(), 0.0);
   // Threshold qualification, decided where the probability is computed:
   // OB objects by the τ-run's verdict, everything else by comparison.
-  std::vector<uint8_t> keep(ids.size(), 1);
+  keep->assign(ids.size(), 1);
 
   std::atomic<bool> failed{false};
-  std::atomic<uint32_t> early_stops{0};
+  std::atomic<uint32_t> early{0};
   std::mutex error_mu;
   util::Status first_error = util::Status::OK();
 
-  pool_.ParallelChunks(ids.size(), [&](size_t begin, size_t end) {
+  const auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       if (failed.load(std::memory_order_relaxed)) return;
       const UncertainObject& obj = db_->object(ids[i]);
@@ -163,14 +238,14 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
           if (first_error.ok()) first_error = r.status();
           return;
         }
-        probs[i] = r->exists_probability;
-        if (threshold) keep[i] = probs[i] >= request.tau;
+        (*probs)[i] = r->exists_probability;
+        if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
         continue;
       }
       const ChainPlan& cp = plans.at(obj.chain);
-      if (cp.plan == Plan::kQueryBased) {
-        probs[i] = cp.qb->ExistsProbability(obj.initial_pdf());
-        if (threshold) keep[i] = probs[i] >= request.tau;
+      if (cp.Resolve(request) == Plan::kQueryBased) {
+        (*probs)[i] = cp.qb->ExistsProbability(obj.initial_pdf());
+        if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
       } else if (threshold) {
         // τ-early-termination (Section V-A): decide first, compute the
         // exact probability only for qualifying objects.
@@ -178,63 +253,74 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
         const ThresholdDecision d =
             cp.ob->ExistsDecision(obj.initial_pdf(), request.tau, &run);
         if (run.early_terminated) {
-          early_stops.fetch_add(1, std::memory_order_relaxed);
+          early.fetch_add(1, std::memory_order_relaxed);
         }
         if (d == ThresholdDecision::kYes) {
-          probs[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+          (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
         } else {
-          keep[i] = 0;
+          (*keep)[i] = 0;
         }
       } else {
-        probs[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+        (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
       }
     }
-  });
+  };
+  if (use_pool) {
+    pool_.ParallelChunks(ids.size(), body);
+  } else {
+    body(0, ids.size());
+  }
   if (failed.load()) return first_error;
-  result.stats.prune.objects_decided_early = early_stops.load();
+  *early_stops = early.load();
+  return util::Status::OK();
+}
 
-  // --- Assembly phase: per-predicate output convention. ------------------
+void QueryExecutor::AssembleExistsResult(const QueryRequest& request,
+                                         const Selection& ids,
+                                         const std::vector<double>& probs,
+                                         const std::vector<uint8_t>& keep,
+                                         QueryResult* result) {
+  const bool forall = request.predicate == PredicateKind::kForAll;
   switch (request.predicate) {
     case PredicateKind::kExists:
     case PredicateKind::kForAll:
-      result.probabilities.reserve(ids.size());
+      result->probabilities.reserve(ids.size());
       for (size_t i = 0; i < ids.size(); ++i) {
-        result.probabilities.push_back(
+        result->probabilities.push_back(
             {ids[i], forall ? 1.0 - probs[i] : probs[i]});
       }
       break;
     case PredicateKind::kThresholdExists:
       for (size_t i = 0; i < ids.size(); ++i) {
-        if (keep[i] != 0) result.probabilities.push_back({ids[i], probs[i]});
+        if (keep[i] != 0) result->probabilities.push_back({ids[i], probs[i]});
       }
-      std::sort(result.probabilities.begin(), result.probabilities.end(),
+      std::sort(result->probabilities.begin(), result->probabilities.end(),
                 [](const ObjectProbability& a, const ObjectProbability& b) {
                   return a.id < b.id;
                 });
       break;
     case PredicateKind::kTopKExists: {
-      result.probabilities.reserve(ids.size());
+      result->probabilities.reserve(ids.size());
       for (size_t i = 0; i < ids.size(); ++i) {
-        result.probabilities.push_back({ids[i], probs[i]});
+        result->probabilities.push_back({ids[i], probs[i]});
       }
       const size_t take =
-          std::min<size_t>(request.k, result.probabilities.size());
+          std::min<size_t>(request.k, result->probabilities.size());
       std::partial_sort(
-          result.probabilities.begin(), result.probabilities.begin() + take,
-          result.probabilities.end(),
+          result->probabilities.begin(),
+          result->probabilities.begin() + take, result->probabilities.end(),
           [](const ObjectProbability& a, const ObjectProbability& b) {
             if (a.probability != b.probability) {
               return a.probability > b.probability;
             }
             return a.id < b.id;
           });
-      result.probabilities.resize(take);
+      result->probabilities.resize(take);
       break;
     }
     case PredicateKind::kKTimes:
-      break;  // handled by RunKTimes
+      break;  // handled by the k-times path
   }
-  return result;
 }
 
 util::Result<QueryResult> QueryExecutor::RunKTimes(
@@ -245,7 +331,7 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
   // PSTkQ has no backward formulation in the paper: the per-chain forward
   // engine runs regardless of the plan directive, shared across the
   // chain's objects like a QB pass but paying one recursion per object.
-  std::map<ChainId, std::unique_ptr<KTimesEngine>> engines;
+  std::map<ChainId, ChainPlan> plans;
   for (size_t i = 0; i < ids.size(); ++i) {
     const UncertainObject& obj = db_->object(ids[i]);
     if (NeedsMultiObservation(obj)) {
@@ -253,25 +339,260 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
           "PSTkQ under multiple observations is not covered by the paper's "
           "framework; remove multi-observation objects or query PST∃Q");
     }
-    auto& engine = engines[obj.chain];
-    if (!engine) {
-      engine = std::make_unique<KTimesEngine>(
+    ChainPlan& cp = plans[obj.chain];
+    if (cp.ktimes == nullptr) {
+      cp.ktimes = std::make_unique<KTimesEngine>(
           &db_->chain(obj.chain), request.window,
           KTimesOptions{.mode = request.matrix_mode});
     }
     ++result.stats.objects_evaluated;
   }
-  result.stats.chains_object_based = static_cast<uint32_t>(engines.size());
+  result.stats.chains_object_based = static_cast<uint32_t>(plans.size());
 
-  result.distributions.resize(ids.size());
-  pool_.ParallelChunks(ids.size(), [&](size_t begin, size_t end) {
+  EvaluateKTimesObjects(ids, plans, /*use_pool=*/true,
+                        &result.distributions);
+  return result;
+}
+
+void QueryExecutor::EvaluateKTimesObjects(
+    const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
+    bool use_pool, std::vector<ObjectKTimes>* distributions) {
+  distributions->resize(ids.size());
+  const auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const UncertainObject& obj = db_->object(ids[i]);
-      result.distributions[i] = {
-          ids[i], engines.at(obj.chain)->Distribution(obj.initial_pdf())};
+      (*distributions)[i] = {
+          ids[i],
+          plans.at(obj.chain).ktimes->Distribution(obj.initial_pdf())};
+    }
+  };
+  if (use_pool) {
+    pool_.ParallelChunks(ids.size(), body);
+  } else {
+    body(0, ids.size());
+  }
+}
+
+std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
+    std::span<const QueryRequest> requests) {
+  std::vector<util::Result<QueryResult>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(util::Status::Internal("batch member not executed"));
+  }
+  if (requests.empty()) return results;
+
+  // --- Group phase: census each request, bucket by (window, mode). -------
+  std::vector<BatchGroup> groups;
+  std::map<GroupKey, size_t> group_index;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryRequest& request = requests[i];
+    if (util::Status status = ValidateFilter(request); !status.ok()) {
+      results[i] = std::move(status);
+      continue;
+    }
+    BatchGroup::Member member;
+    member.request_index = i;
+    const Selection ids(request, db_->num_objects());
+    bool unsupported = false;
+    for (size_t j = 0; j < ids.size(); ++j) {
+      const UncertainObject& obj = db_->object(ids[j]);
+      if (NeedsMultiObservation(obj)) {
+        if (request.predicate == PredicateKind::kKTimes) {
+          results[i] = util::Status::Unimplemented(
+              "PSTkQ under multiple observations is not covered by the "
+              "paper's framework; remove multi-observation objects or "
+              "query PST∃Q");
+          unsupported = true;
+          break;
+        }
+        ++member.multi_obs;
+      } else {
+        ++member.single_obs_per_chain[obj.chain];
+        ++member.singles;
+      }
+    }
+    if (unsupported) continue;
+
+    const QueryWindow window =
+        request.predicate == PredicateKind::kForAll
+            ? request.window.WithComplementRegion()
+            : request.window;
+    GroupKey key{window.region().elements(), window.times(),
+                 static_cast<int>(request.matrix_mode)};
+    const auto [it, inserted] =
+        group_index.try_emplace(std::move(key), groups.size());
+    if (inserted) {
+      BatchGroup group;
+      group.window = window;
+      group.mode = request.matrix_mode;
+      groups.push_back(std::move(group));
+    }
+    groups[it->second].members.push_back(std::move(member));
+  }
+
+  // --- Plan phase (submitting thread): one decision per (group, chain),
+  // amortized over the group's members, plus cache lookups. Engine builds
+  // are deferred into the group tasks so backward passes of distinct
+  // groups run concurrently. ----------------------------------------------
+  for (BatchGroup& group : groups) {
+    std::map<ChainId, std::vector<MemberLoad>> auto_loads;
+    for (const BatchGroup::Member& member : group.members) {
+      const QueryRequest& request = requests[member.request_index];
+      for (const auto& [chain, count] : member.single_obs_per_chain) {
+        ChainPlan& cp = group.plans[chain];
+        if (request.predicate == PredicateKind::kKTimes) {
+          cp.want_ktimes = true;
+        } else if (request.plan == PlanChoice::kObjectBased) {
+          cp.want_ob = true;
+        } else if (request.plan == PlanChoice::kQueryBased) {
+          cp.want_qb = true;
+        } else {
+          auto_loads[chain].push_back({request.predicate, count});
+        }
+      }
+    }
+    for (const auto& [chain, loads] : auto_loads) {
+      ChainPlan& cp = group.plans.at(chain);
+      cp.plan =
+          planner_.PlanBatch(chain, group.window, group.mode, loads).plan;
+      (cp.plan == Plan::kQueryBased ? cp.want_qb : cp.want_ob) = true;
+    }
+
+    // Borrow cached backward passes now: Lookup() never evicts, so every
+    // borrowed pointer stays valid for the whole parallel phase.
+    const bool cacheable = group.mode == MatrixMode::kImplicit;
+    const EngineCacheStats before = cache_.stats();
+    for (auto& [chain_id, cp] : group.plans) {
+      if (!cp.want_qb) continue;
+      if (cacheable) {
+        cp.qb = cache_.Lookup(&db_->chain(chain_id), group.window);
+      }
+      if (cp.qb == nullptr) {
+        group.qb_to_build.push_back(chain_id);
+        if (group.mode == MatrixMode::kImplicit) {
+          // The implicit backward pass reads the chain's lazily built,
+          // unsynchronized transpose cache; materialize it here, before
+          // group tasks construct engines for this chain concurrently.
+          (void)db_->chain(chain_id).transposed();
+        }
+      }
+    }
+    group.cache_hits = cache_.stats().hits - before.hits;
+    group.cache_misses = cache_.stats().misses - before.misses;
+  }
+
+  // --- Execution phase: groups are the parallel unit; members of one
+  // group run sequentially on its shared engines. --------------------------
+  pool_.ParallelChunks(groups.size(), [&](size_t begin, size_t end) {
+    for (size_t g = begin; g < end; ++g) {
+      ExecuteGroup(requests, &groups[g], &results);
     }
   });
-  return result;
+
+  // --- Admission phase: publish freshly built backward passes so the next
+  // refresh of the same dashboard hits a warm cache. -----------------------
+  for (BatchGroup& group : groups) {
+    if (group.mode != MatrixMode::kImplicit) continue;
+    for (ChainId chain_id : group.qb_to_build) {
+      ChainPlan& cp = group.plans.at(chain_id);
+      if (cp.qb_owned != nullptr) {
+        cache_.Put(&db_->chain(chain_id), group.window,
+                   std::move(cp.qb_owned));
+      }
+    }
+  }
+  return results;
+}
+
+void QueryExecutor::ExecuteGroup(
+    const std::span<const QueryRequest>& requests, BatchGroup* group,
+    std::vector<util::Result<QueryResult>>* results) {
+  // Build the group's missing engines — the expensive backward passes run
+  // here, inside the parallel region, one per (chain, kind) per group.
+  for (ChainId chain_id : group->qb_to_build) {
+    ChainPlan& cp = group->plans.at(chain_id);
+    cp.qb_owned = std::make_unique<QueryBasedEngine>(
+        &db_->chain(chain_id), group->window,
+        QueryBasedOptions{.mode = group->mode});
+    cp.qb = cp.qb_owned.get();
+  }
+  for (auto& [chain_id, cp] : group->plans) {
+    if (cp.want_ob) {
+      cp.ob = std::make_unique<ObjectBasedEngine>(
+          &db_->chain(chain_id), group->window,
+          ObjectBasedOptions{.mode = group->mode});
+      if (group->mode == MatrixMode::kExplicit) {
+        (void)cp.ob->augmented();
+      }
+    }
+    if (cp.want_ktimes) {
+      cp.ktimes = std::make_unique<KTimesEngine>(
+          &db_->chain(chain_id), group->window,
+          KTimesOptions{.mode = group->mode});
+    }
+  }
+
+  // Execute members in batch order; every member reuses the shared
+  // engines, so a group of g same-window requests pays one backward pass
+  // where g cold solo runs pay g.
+  //
+  // The group's cache-stat deltas go to the first member whose result is
+  // actually stored — attributing them to a member that then fails would
+  // drop them, and aggregating members would no longer reconcile with
+  // cache_stats().
+  bool cache_stats_unattributed = true;
+  const auto attach_cache_stats = [&](QueryResult* result) {
+    result->stats.cache_hits = group->cache_hits;
+    result->stats.cache_misses = group->cache_misses;
+    cache_stats_unattributed = false;
+  };
+  for (const BatchGroup::Member& member : group->members) {
+    const QueryRequest& request = requests[member.request_index];
+    const Selection ids(request, db_->num_objects());
+    QueryResult result;
+    result.stats.threads_used = threads_;
+    result.stats.batch_group_members =
+        static_cast<uint32_t>(group->members.size());
+    result.stats.objects_evaluated = member.singles;
+    result.stats.objects_multi_observation = member.multi_obs;
+
+    if (request.predicate == PredicateKind::kKTimes) {
+      result.stats.chains_object_based =
+          static_cast<uint32_t>(member.single_obs_per_chain.size());
+      EvaluateKTimesObjects(ids, group->plans, /*use_pool=*/false,
+                            &result.distributions);
+      if (cache_stats_unattributed) attach_cache_stats(&result);
+      (*results)[member.request_index] = std::move(result);
+      continue;
+    }
+
+    for (const auto& [chain, count] : member.single_obs_per_chain) {
+      (void)count;
+      if (group->plans.at(chain).Resolve(request) == Plan::kQueryBased) {
+        ++result.stats.chains_query_based;
+      } else {
+        ++result.stats.chains_object_based;
+      }
+    }
+
+    std::vector<double> probs;
+    std::vector<uint8_t> keep;
+    uint32_t early_stops = 0;
+    const QueryWindow& window = group->window;
+    util::Status status =
+        EvaluateExistsObjects(request, window, ids, group->plans,
+                              /*use_pool=*/false, &probs, &keep,
+                              &early_stops);
+    if (!status.ok()) {
+      (*results)[member.request_index] = std::move(status);
+      continue;
+    }
+    result.stats.prune.objects_decided_early = early_stops;
+    AssembleExistsResult(request, ids, probs, keep, &result);
+    if (cache_stats_unattributed) attach_cache_stats(&result);
+    (*results)[member.request_index] = std::move(result);
+  }
 }
 
 }  // namespace core

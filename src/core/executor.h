@@ -12,12 +12,21 @@
 //   * automatic routing of multi-observation objects through the
 //     Section VI engine.
 //
+// RunBatch() accepts a whole dashboard refresh at once: requests are
+// grouped by (effective window, matrix mode), each group shares one
+// backward pass (and one engine of every other kind it needs) across all
+// of its members, and groups execute in parallel on the pool. The
+// amortization the paper's query-based plan promises across *objects*
+// thus extends across *requests*.
+//
 // The legacy facades — QueryProcessor, ParallelExists, ThresholdExists* —
 // are thin wrappers over this class.
 
 #ifndef USTDB_CORE_EXECUTOR_H_
 #define USTDB_CORE_EXECUTOR_H_
 
+#include <map>
+#include <span>
 #include <vector>
 
 #include "core/database.h"
@@ -46,19 +55,58 @@ struct ExecutorOptions {
 ///
 /// Owns the thread pool and the engine cache; create one executor per
 /// serving thread and reuse it across queries so cached backward passes
-/// amortize. Not internally synchronized: Run() must not be called
-/// concurrently on the same instance. The Database must outlive the
-/// executor and must not grow chains while cached engines exist (call
+/// amortize. Not internally synchronized: Run() and RunBatch() must not
+/// be called concurrently on the same instance. The Database must outlive
+/// the executor and must not grow chains while cached engines exist (call
 /// ClearCache() after mutating the database).
 class QueryExecutor {
  public:
+  /// \param db the database to serve; must outlive the executor.
+  /// \param options thread-pool size and engine-cache capacity.
   explicit QueryExecutor(const Database* db, ExecutorOptions options = {});
 
   /// \brief Evaluates `request`; see QueryResult for per-predicate output
   /// conventions. Fails with kInvalidArgument on out-of-range filter ids
   /// and with kUnimplemented for PSTkQ over multi-observation objects
   /// (outside the paper's framework).
+  ///
+  /// Complexity per chain class: one pass is O(t_end × nnz); the
+  /// object-based plan pays one pass per object, the query-based plan one
+  /// pass per chain plus one sparse dot product per object (zero passes
+  /// when the engine cache holds the window). Objects run in parallel on
+  /// the executor's pool; results are bit-identical across thread counts.
   util::Result<QueryResult> Run(const QueryRequest& request);
+
+  /// \brief Evaluates a batch of requests, amortizing shared work, and
+  /// returns one result per request in request order.
+  ///
+  /// Requests are grouped by (effective window, matrix mode) — the
+  /// effective window is the complemented region for PST∀Q members, so a
+  /// ∀-request never shares a backward pass with an ∃-request on the same
+  /// region. Each group builds at most one engine per (chain, kind):
+  /// one query-based backward pass serves every member that evaluates the
+  /// chain query-based, one object-based engine every forward member, one
+  /// k-times engine every PSTkQ member. Plan choice is made once per
+  /// (group, chain) by QueryPlanner::PlanBatch, whose cost model amortizes
+  /// the backward pass over the whole group; requests that pin `plan` keep
+  /// their pinned plan.
+  ///
+  /// Groups are the parallel unit: distinct groups execute concurrently on
+  /// the executor's pool, members of one group run sequentially on its
+  /// engines. Cached backward passes are borrowed before the parallel
+  /// phase and newly built ones are inserted after it, so repeated
+  /// refreshes of the same dashboard hit a warm cache exactly like
+  /// repeated Run() calls.
+  ///
+  /// Each member's result is the same as a solo Run() of that request —
+  /// bit-identical whenever the solo run would pick the same plan (always
+  /// true for pinned plans; for kAuto the batch cost model may upgrade an
+  /// object-based chain to the shared query-based pass, which changes the
+  /// result only within floating-point rounding of the same exact value).
+  /// Failures are per member: one invalid request does not poison the
+  /// batch. An empty span yields an empty vector.
+  std::vector<util::Result<QueryResult>> RunBatch(
+      std::span<const QueryRequest> requests);
 
   /// Cumulative engine-cache statistics across all runs.
   const EngineCacheStats& cache_stats() const { return cache_.stats(); }
@@ -66,20 +114,51 @@ class QueryExecutor {
   /// Drops cached engines (required after the database is mutated).
   void ClearCache() { cache_.Clear(); }
 
+  /// The planner whose cost model drives OB/QB selection.
   const QueryPlanner& planner() const { return planner_; }
+  /// The database this executor serves.
   const Database& db() const { return *db_; }
 
   /// Worker threads available to this executor (>= 1).
   unsigned num_threads() const { return threads_; }
 
  private:
-  struct ChainPlan;  // per-run, per-chain engine bundle
-  class Selection;   // non-allocating view of the ids a request evaluates
+  struct ChainPlan;   // per-run or per-group, per-chain engine bundle
+  struct BatchGroup;  // requests sharing (effective window, matrix mode)
+  class Selection;    // non-allocating view of the ids a request evaluates
+
+  util::Status ValidateFilter(const QueryRequest& request) const;
 
   util::Result<QueryResult> RunExistsFamily(const QueryRequest& request,
                                             const Selection& ids);
   util::Result<QueryResult> RunKTimes(const QueryRequest& request,
                                       const Selection& ids);
+
+  // Shared per-object evaluation cores. `use_pool` selects between the
+  // executor's thread pool (solo runs) and inline execution on the calling
+  // thread (batch group tasks, which are already on a pool worker).
+  util::Status EvaluateExistsObjects(const QueryRequest& request,
+                                     const QueryWindow& window,
+                                     const Selection& ids,
+                                     const std::map<ChainId, ChainPlan>& plans,
+                                     bool use_pool, std::vector<double>* probs,
+                                     std::vector<uint8_t>* keep,
+                                     uint32_t* early_stops);
+  void EvaluateKTimesObjects(const Selection& ids,
+                             const std::map<ChainId, ChainPlan>& plans,
+                             bool use_pool,
+                             std::vector<ObjectKTimes>* distributions);
+  static void AssembleExistsResult(const QueryRequest& request,
+                                   const Selection& ids,
+                                   const std::vector<double>& probs,
+                                   const std::vector<uint8_t>& keep,
+                                   QueryResult* result);
+
+  // Builds the group's missing engines and executes its members in batch
+  // order, writing each member's result slot.
+  void ExecuteGroup(const std::span<const QueryRequest>& requests,
+                    BatchGroup* group,
+                    std::vector<util::Result<QueryResult>>* results);
 
   const Database* db_;
   ExecutorOptions options_;

@@ -40,27 +40,41 @@ double QueryPlanner::PassCost(const markov::MarkovChain& chain,
 
 PlanDecision QueryPlanner::Choose(ChainId chain, const QueryRequest& request,
                                   uint32_t num_objects) const {
-  PlanDecision decision;
   if (request.plan != PlanChoice::kAuto) {
+    PlanDecision decision;
     decision.plan = request.plan == PlanChoice::kObjectBased
                         ? Plan::kObjectBased
                         : Plan::kQueryBased;
     decision.forced = true;
     return decision;
   }
+  // A solo run is a batch group of one: same cost model, one member.
+  const MemberLoad load{request.predicate, num_objects};
+  return PlanBatch(chain, request.window, request.matrix_mode, {&load, 1});
+}
 
-  const double pass =
-      PassCost(db_->chain(chain), request.window, request.matrix_mode);
-  const double n = static_cast<double>(num_objects);
+PlanDecision QueryPlanner::PlanBatch(
+    ChainId chain, const QueryWindow& window, MatrixMode mode,
+    std::span<const MemberLoad> members) const {
+  PlanDecision decision;
+  const double pass = PassCost(db_->chain(chain), window, mode);
 
-  // OB: one full pass per object — discounted when τ-termination applies.
-  decision.cost.object_based =
-      n * pass *
-      (request.predicate == PredicateKind::kThresholdExists
-           ? kThresholdEarlyStopFactor
-           : 1.0);
-  // QB: one shared backward pass, then a sparse dot product per object.
-  decision.cost.query_based = pass + n * kDotCost;
+  // OB: one full pass per object per member — discounted when
+  // τ-termination applies. QB: one backward pass shared by the whole
+  // group, then a sparse dot product per object per member.
+  double object_based = 0.0;
+  double dots = 0.0;
+  for (const MemberLoad& member : members) {
+    const double n = static_cast<double>(member.num_objects);
+    object_based +=
+        n * pass *
+        (member.predicate == PredicateKind::kThresholdExists
+             ? kThresholdEarlyStopFactor
+             : 1.0);
+    dots += n * kDotCost;
+  }
+  decision.cost.object_based = object_based;
+  decision.cost.query_based = pass + dots;
 
   decision.plan = decision.cost.object_based <= decision.cost.query_based
                       ? Plan::kObjectBased

@@ -8,9 +8,16 @@
 // database statistics (objects per chain), the window's temporal reach
 // (transitions per pass), and the matrix mode (explicit M± materialization
 // makes each pass more expensive).
+//
+// A batch of requests sharing one (window, matrix-mode) key shifts the
+// trade-off further: the backward pass is paid once for the whole group,
+// so PlanBatch() amortizes it over every member request while the
+// object-based side still pays per member and per object.
 
 #ifndef USTDB_CORE_PLANNER_H_
 #define USTDB_CORE_PLANNER_H_
+
+#include <span>
 
 #include "core/database.h"
 #include "core/query_request.h"
@@ -18,10 +25,16 @@
 namespace ustdb {
 namespace core {
 
-/// Estimated work, in transition-matrix-entry touches, for answering one
-/// chain class's objects under each plan.
+/// \brief Estimated work, in transition-matrix-entry touches, for
+/// answering one chain class's objects under each plan. Both figures are
+/// proportional to t_end × nnz (the window's temporal reach times the
+/// matrix entries touched per transition).
 struct CostEstimate {
+  /// n × t_end × nnz — one forward pass per object (× the τ-early-stop
+  /// discount for threshold predicates).
   double object_based = 0.0;
+  /// t_end × nnz + n × dot — one shared backward pass, then a sparse dot
+  /// product per object (per member for batches).
   double query_based = 0.0;
 };
 
@@ -33,28 +46,74 @@ struct PlanDecision {
   bool forced = false;
 };
 
+/// \brief The load one request of a batch group places on a chain class:
+/// its predicate (threshold predicates discount the object-based side via
+/// τ-early-termination) and how many single-observation objects of the
+/// chain it evaluates after filtering.
+struct MemberLoad {
+  PredicateKind predicate = PredicateKind::kExists;
+  uint32_t num_objects = 0;
+};
+
 /// \brief Chooses the evaluation plan per chain class from Database
-/// statistics. Stateless beyond the database pointer; cheap to construct.
+/// statistics.
+///
+/// Stateless beyond the database pointer; cheap to construct and
+/// thread-safe (all entry points are const and touch only immutable
+/// database statistics). Every cost figure is O(1) to compute.
 class QueryPlanner {
  public:
-  /// \param db must outlive the planner.
+  /// \param db the database whose statistics feed the cost model; must
+  ///        outlive the planner.
   explicit QueryPlanner(const Database* db) : db_(db) {}
 
   /// \brief Decides the plan for `chain` under `request`, honoring a
   /// forced PlanChoice and otherwise comparing cost estimates.
+  ///
+  /// Equivalent to PlanBatch() with a single member carrying the request's
+  /// predicate — a solo run is a batch group of one.
+  ///
+  /// \param chain the chain class being planned.
+  /// \param request supplies the window (temporal reach), matrix mode, and
+  ///        plan directive.
   /// \param num_objects how many single-observation objects of this chain
   ///        the request will actually evaluate (after filtering);
   ///        multi-observation objects bypass both plans and are excluded.
   PlanDecision Choose(ChainId chain, const QueryRequest& request,
                       uint32_t num_objects) const;
 
+  /// \brief Batch-aware plan decision for one chain class shared by every
+  /// member of a RunBatch group (requests with identical effective window
+  /// and matrix mode).
+  ///
+  /// Cost model: the object-based side pays one forward pass per object
+  /// per member — sum over members of n_m × t_end × nnz, discounted for
+  /// threshold predicates — while the query-based side pays a single
+  /// backward pass (t_end × nnz) for the whole group plus one dot product
+  /// per object per member. Amortization therefore tips the decision
+  /// toward the query-based plan as the group grows; with one member the
+  /// decision is identical to Choose().
+  ///
+  /// \param chain the chain class being planned.
+  /// \param window the group's effective window (only its temporal reach,
+  ///        max T□, enters the cost).
+  /// \param mode the group's matrix mode (kExplicit scales up every pass).
+  /// \param members per-member loads; only members that left plan choice
+  ///        to the planner belong here (forced members bypass the model).
+  ///        An empty span yields the object-based plan at zero cost.
+  PlanDecision PlanBatch(ChainId chain, const QueryWindow& window,
+                         MatrixMode mode,
+                         std::span<const MemberLoad> members) const;
+
   /// \brief Cost of one forward or backward pass over `chain` for
   /// `window`: transitions (the window's temporal reach, max T□) times the
-  /// matrix entries touched per transition, scaled up under kExplicit mode
-  /// which materializes and multiplies the augmented M−/M+ pair.
+  /// matrix entries touched per transition — t_end × nnz — scaled up under
+  /// kExplicit mode which materializes and multiplies the augmented M−/M+
+  /// pair.
   static double PassCost(const markov::MarkovChain& chain,
                          const QueryWindow& window, MatrixMode mode);
 
+  /// The database whose statistics feed the cost model.
   const Database& db() const { return *db_; }
 
  private:

@@ -51,7 +51,7 @@ enum class PredicateKind {
   kTopKExists,
 };
 
-/// Per-object query answer.
+/// Per-object query answer: one object id and its window probability.
 struct ObjectProbability {
   ObjectId id = 0;
   double probability = 0.0;
@@ -99,7 +99,10 @@ struct QueryRequest {
   std::optional<std::vector<ObjectId>> object_filter;
 };
 
-/// Execution telemetry of one QueryExecutor::Run.
+/// \brief Execution telemetry of one QueryExecutor::Run — or, for
+/// RunBatch, of one member request (cache counters are attributed to the
+/// first successfully answered member of each batch group to avoid
+/// double counting).
 struct ExecStats {
   /// Chain classes evaluated with the object-based plan.
   uint32_t chains_object_based = 0;
@@ -111,9 +114,16 @@ struct ExecStats {
   uint32_t objects_multi_observation = 0;
   /// Worker threads the executor's pool had available for this run.
   unsigned threads_used = 1;
-  /// Engine-cache hits/misses incurred by this run.
+  /// Engine-cache hits/misses incurred by this run. In a batch these are
+  /// reported on the group's first successfully answered member only;
+  /// other members read 0.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Requests sharing this request's RunBatch group — every member of a
+  /// group reuses the same per-chain engines, so a group of size g pays
+  /// one backward pass where g solo runs on a cold cache pay g. Zero for
+  /// a plain Run.
+  uint32_t batch_group_members = 0;
   /// τ-pruning counters (threshold predicates only).
   PruneStats prune;
 };

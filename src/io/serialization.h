@@ -46,9 +46,9 @@ util::Result<network::RoadNetwork> LoadRoadNetwork(const std::string& path);
 
 /// \name Databases
 /// Format: "ustdb-objects 1" header, then "num_objects"; per object a line
-/// "object <chain> <num_observations>" followed by one observation per
-/// line: "obs <time> <support> idx:val idx:val ...". Chains are stored
-/// separately (SaveChain) and re-attached on load.
+/// "object CHAIN NUM_OBSERVATIONS" followed by one observation per line:
+/// "obs TIME SUPPORT idx:val idx:val ...". Chains are stored separately
+/// (SaveChain) and re-attached on load.
 /// \{
 util::Status SaveObjects(const core::Database& db, const std::string& path);
 /// Loads objects into `db`, which must already contain the referenced

@@ -81,7 +81,7 @@ class Status {
   /// Message attached at construction; empty for OK.
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// "OK" or "CodeName: message".
   std::string ToString() const;
 
   bool operator==(const Status& other) const {

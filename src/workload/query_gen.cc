@@ -1,5 +1,8 @@
 #include "workload/query_gen.h"
 
+#include <iterator>
+#include <limits>
+
 #include "util/string_util.h"
 
 namespace ustdb {
@@ -96,6 +99,35 @@ util::Result<std::vector<core::QueryRequest>> MixedRequestWorkload(
     out.push_back(std::move(request));
   }
   return out;
+}
+
+util::Result<std::vector<std::vector<core::QueryRequest>>> RefreshBatches(
+    const QueryGenConfig& config, uint32_t distinct_windows,
+    uint32_t batch_size, uint32_t num_batches, const PredicateMix& mix,
+    double tau, uint32_t top_k) {
+  if (batch_size == 0) {
+    return util::Status::InvalidArgument("batch size must be >= 1");
+  }
+  const uint64_t total =
+      static_cast<uint64_t>(batch_size) * static_cast<uint64_t>(num_batches);
+  if (total > std::numeric_limits<uint32_t>::max()) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "batch_size %u x num_batches %u overflows the request stream",
+        batch_size, num_batches));
+  }
+  USTDB_ASSIGN_OR_RETURN(
+      std::vector<core::QueryRequest> stream,
+      MixedRequestWorkload(config, distinct_windows,
+                           static_cast<uint32_t>(total), mix, tau, top_k));
+
+  std::vector<std::vector<core::QueryRequest>> batches;
+  batches.reserve(num_batches);
+  auto it = std::make_move_iterator(stream.begin());
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    batches.emplace_back(it, it + batch_size);
+    it += batch_size;
+  }
+  return batches;
 }
 
 }  // namespace workload

@@ -60,6 +60,18 @@ util::Result<std::vector<core::QueryRequest>> MixedRequestWorkload(
     const QueryGenConfig& config, uint32_t distinct_windows, uint32_t count,
     const PredicateMix& mix = {}, double tau = 0.3, uint32_t top_k = 10);
 
+/// \brief `num_batches` dashboard refreshes of `batch_size` requests each,
+/// drawn from one MixedRequestWorkload stream: every refresh submits its
+/// requests together (the QueryExecutor::RunBatch shape), windows repeat
+/// Zipf-like across and within refreshes, and predicates follow `mix`.
+/// Models a dashboard tick: many widgets over few watch windows, issued as
+/// one batch so shared backward passes amortize within the refresh and the
+/// engine cache carries them across refreshes.
+util::Result<std::vector<std::vector<core::QueryRequest>>> RefreshBatches(
+    const QueryGenConfig& config, uint32_t distinct_windows,
+    uint32_t batch_size, uint32_t num_batches, const PredicateMix& mix = {},
+    double tau = 0.3, uint32_t top_k = 10);
+
 }  // namespace workload
 }  // namespace ustdb
 

@@ -98,6 +98,52 @@ TEST(EngineCacheTest, ClearDropsEverything) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(EngineCacheTest, LookupNeverBuildsAndPutAdmits) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(4);
+  EXPECT_EQ(cache.Lookup(&chain, WindowV()), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // a miss does not insert
+
+  auto built = std::make_unique<QueryBasedEngine>(&chain, WindowV());
+  const QueryBasedEngine* raw = built.get();
+  EXPECT_EQ(cache.Put(&chain, WindowV(), std::move(built)), raw);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // Put counts neither hit nor miss
+
+  EXPECT_EQ(cache.Lookup(&chain, WindowV()), raw);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.Get(&chain, WindowV()), raw);  // Get sees the same entry
+}
+
+TEST(EngineCacheTest, PutKeepsExistingEntry) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(4);
+  const QueryBasedEngine* first = cache.Get(&chain, WindowV());
+  auto duplicate = std::make_unique<QueryBasedEngine>(&chain, WindowV());
+  EXPECT_EQ(cache.Put(&chain, WindowV(), std::move(duplicate)), first);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EngineCacheTest, PutEvictsLruButLookupNeverDoes) {
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(1);
+  auto w1 = QueryWindow::FromRanges(3, 0, 0, 1, 2).ValueOrDie();
+  auto w2 = QueryWindow::FromRanges(3, 1, 1, 1, 2).ValueOrDie();
+  const QueryBasedEngine* a = cache.Get(&chain, w1);
+  // Lookups of absent keys must not disturb resident entries — the batch
+  // executor borrows pointers across many lookups.
+  EXPECT_EQ(cache.Lookup(&chain, w2), nullptr);
+  EXPECT_EQ(cache.Lookup(&chain, w1), a);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  (void)cache.Put(&chain, w2,
+                  std::make_unique<QueryBasedEngine>(&chain, w2));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(&chain, w1), nullptr);  // w1 was the LRU entry
+}
+
 TEST(EngineCacheTest, CachedResultsMatchFreshEngines) {
   util::Rng rng(601);
   markov::MarkovChain chain = RandomChain(30, 3, &rng);

@@ -101,6 +101,81 @@ TEST(PlannerTest, LongerReachRaisesPassCost) {
                              MatrixMode::kImplicit));
 }
 
+TEST(PlannerTest, PlanBatchWithOneMemberMatchesChoose) {
+  Database db = MakeDb(1, 10, 18);
+  QueryPlanner planner(&db);
+  const QueryRequest request = ExistsRequest();
+  for (uint32_t n : {1u, 3u, 10u, 50u}) {
+    const PlanDecision solo = planner.Choose(0, request, n);
+    const MemberLoad load{request.predicate, n};
+    const PlanDecision batch = planner.PlanBatch(
+        0, request.window, request.matrix_mode, {&load, 1});
+    EXPECT_EQ(batch.plan, solo.plan) << "n=" << n;
+    EXPECT_DOUBLE_EQ(batch.cost.object_based, solo.cost.object_based);
+    EXPECT_DOUBLE_EQ(batch.cost.query_based, solo.cost.query_based);
+  }
+}
+
+TEST(PlannerTest, PlanBatchAmortizesThePassAcrossMembers) {
+  // One object per chain: solo prefers OB, but a growing group shares the
+  // backward pass, so at some group size QB must win.
+  Database db = MakeDb(1, 1, 19);
+  QueryPlanner planner(&db);
+  const QueryRequest request = ExistsRequest();
+  EXPECT_EQ(planner.Choose(0, request, 1).plan, Plan::kObjectBased);
+
+  std::vector<MemberLoad> members;
+  Plan plan = Plan::kObjectBased;
+  while (plan == Plan::kObjectBased && members.size() < 64) {
+    members.push_back({PredicateKind::kExists, 1});
+    plan = planner
+               .PlanBatch(0, request.window, request.matrix_mode, members)
+               .plan;
+  }
+  EXPECT_EQ(plan, Plan::kQueryBased);
+  EXPECT_GT(members.size(), 1u);  // one member alone stays OB
+
+  // The QB side grows only by dot products as the group grows.
+  const CostEstimate big = planner
+                               .PlanBatch(0, request.window,
+                                          request.matrix_mode, members)
+                               .cost;
+  const MemberLoad one{PredicateKind::kExists, 1};
+  const CostEstimate small =
+      planner.PlanBatch(0, request.window, request.matrix_mode, {&one, 1})
+          .cost;
+  EXPECT_NEAR(big.object_based,
+              static_cast<double>(members.size()) * small.object_based,
+              1e-9);
+  EXPECT_LT(big.query_based - small.query_based, small.query_based);
+}
+
+TEST(PlannerTest, PlanBatchMixedPredicatesDiscountThresholdMembers) {
+  Database db = MakeDb(1, 4, 20);
+  QueryPlanner planner(&db);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const std::vector<MemberLoad> plain = {{PredicateKind::kExists, 4},
+                                         {PredicateKind::kExists, 4}};
+  const std::vector<MemberLoad> mixed = {{PredicateKind::kExists, 4},
+                                         {PredicateKind::kThresholdExists, 4}};
+  const CostEstimate p =
+      planner.PlanBatch(0, window, MatrixMode::kImplicit, plain).cost;
+  const CostEstimate m =
+      planner.PlanBatch(0, window, MatrixMode::kImplicit, mixed).cost;
+  EXPECT_LT(m.object_based, p.object_based);
+  EXPECT_DOUBLE_EQ(m.query_based, p.query_based);
+}
+
+TEST(PlannerTest, PlanBatchEmptyGroupIsObjectBasedAtZeroCost) {
+  Database db = MakeDb(1, 1, 21);
+  QueryPlanner planner(&db);
+  const PlanDecision d = planner.PlanBatch(
+      0, ExistsRequest().window, MatrixMode::kImplicit, {});
+  EXPECT_EQ(d.plan, Plan::kObjectBased);
+  EXPECT_DOUBLE_EQ(d.cost.object_based, 0.0);
+}
+
 TEST(PlannerTest, ThresholdDiscountShiftsBreakEven) {
   // Early τ-termination makes OB cheaper per object, so the break-even
   // object count must be at least as high as for plain exists.

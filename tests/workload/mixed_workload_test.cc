@@ -60,6 +60,31 @@ TEST(MixedRequestWorkloadTest, RejectsAllZeroMix) {
   EXPECT_FALSE(MixedRequestWorkload(SmallConfig(), 4, 10, mix).ok());
 }
 
+TEST(RefreshBatchesTest, SlicesOneStreamIntoUniformBatches) {
+  const auto batches = RefreshBatches(SmallConfig(), 4, 10, 6).ValueOrDie();
+  ASSERT_EQ(batches.size(), 6u);
+  for (const auto& batch : batches) EXPECT_EQ(batch.size(), 10u);
+
+  // The batches are exactly the mixed stream in order — a dashboard that
+  // submits per refresh sees the same requests as one that streams.
+  const auto stream =
+      MixedRequestWorkload(SmallConfig(), 4, 60).ValueOrDie();
+  size_t k = 0;
+  for (const auto& batch : batches) {
+    for (const core::QueryRequest& request : batch) {
+      EXPECT_EQ(request.predicate, stream[k].predicate);
+      EXPECT_EQ(request.window.times(), stream[k].window.times());
+      EXPECT_EQ(request.window.region().elements(),
+                stream[k].window.region().elements());
+      ++k;
+    }
+  }
+}
+
+TEST(RefreshBatchesTest, RejectsEmptyBatchSize) {
+  EXPECT_FALSE(RefreshBatches(SmallConfig(), 4, 0, 3).ok());
+}
+
 TEST(MixedRequestWorkloadTest, StreamRunsThroughExecutorWithCacheHits) {
   util::Rng rng(4242);
   core::Database db;
