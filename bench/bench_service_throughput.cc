@@ -1,0 +1,348 @@
+// Extension — QueryService under open-loop traffic.
+//
+// The batch benchmark (bench_batch_refresh) measures the executor when a
+// caller hands it a ready-made batch; this one measures the *service*,
+// which must build those batches itself from an arrival stream. Two
+// scenarios, each run with coalescing on and off (off = strict
+// one-request-per-dispatch, the no-batching admission layer):
+//
+//   burst    — a 64-request single-window bulk burst submitted while
+//              background interactive traffic (Poisson over other windows,
+//              cache sized to thrash) keeps evicting the burst's backward
+//              pass. Uncoalesced, burst members interleave with background
+//              requests and re-pay the pass; coalesced, the whole burst
+//              drains as one RunBatch group and pays it once. Reported as
+//              burst makespan [ms] at x = 64.
+//   idle_burst — the same burst on an otherwise idle service (the warm
+//              cache rescues solo mode here; reported for honesty about
+//              where coalescing does and does not matter).
+//   sustained — Poisson arrivals over a Zipf-repeating window pool for two
+//              seconds per offered rate; reports achieved qps and p99
+//              latency [ms] per submission mode at x = offered qps.
+//
+// Before any timing, the fixture asserts that a coalesced 64-request
+// single-window burst answers bit-identically to a direct
+// QueryExecutor::RunBatch of the same requests.
+//
+// Usage: bench_service_throughput [--full]
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/executor.h"
+#include "service/query_service.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace ustdb;
+using Clock = std::chrono::steady_clock;
+
+bool g_full = false;
+
+constexpr size_t kBurst = 64;
+constexpr auto kResolveTimeout = std::chrono::milliseconds(60'000);
+
+struct Fixture {
+  core::Database db;
+  core::QueryWindow burst_window;
+  std::vector<core::QueryWindow> noise_windows;
+  std::vector<core::QueryWindow> sustained_pool;  // Zipf-repeating stream
+};
+
+core::QueryRequest ExistsRequest(const core::QueryWindow& w) {
+  core::QueryRequest request;
+  request.predicate = core::PredicateKind::kExists;
+  request.window = w;
+  return request;
+}
+
+/// Bit-identity guard (acceptance): the service's coalesced burst answers
+/// must equal a direct RunBatch of the same 64 requests, bit for bit.
+void VerifyCoalescedBurstParity(const Fixture& f) {
+  service::ServiceOptions options;
+  options.executor.num_threads = 1;
+  options.start_paused = true;
+  options.queue_capacity = 2 * kBurst;
+  options.max_batch = kBurst;
+  service::QueryService svc(&f.db, options);
+  std::vector<core::QueryRequest> burst(kBurst,
+                                        ExistsRequest(f.burst_window));
+  std::vector<service::QueryTicket> tickets = svc.SubmitBurst(burst);
+  svc.Resume();
+
+  // Drain the service before running the twin: two executors may share a
+  // Database only when they do not touch it concurrently.
+  std::vector<util::Result<core::QueryResult>> answers;
+  for (service::QueryTicket& t : tickets) answers.push_back(t.Get());
+
+  core::QueryExecutor twin(&f.db, {.num_threads = 1});
+  const auto expected = twin.RunBatch(
+      std::vector<core::QueryRequest>(kBurst, ExistsRequest(f.burst_window)));
+
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const auto& got = answers[i];
+    if (!got.ok() || !expected[i].ok()) {
+      std::fprintf(stderr, "burst parity: request %zu failed\n", i);
+      std::exit(1);
+    }
+    const auto& a = got.value().probabilities;
+    const auto& b = expected[i].value().probabilities;
+    if (a.size() != b.size()) {
+      std::fprintf(stderr, "burst parity: size mismatch at %zu\n", i);
+      std::exit(1);
+    }
+    for (size_t j = 0; j < a.size(); ++j) {
+      if (a[j].id != b[j].id || a[j].probability != b[j].probability) {
+        std::fprintf(stderr,
+                     "burst parity: request %zu object %zu differs "
+                     "(service %.17g vs RunBatch %.17g)\n",
+                     i, j, a[j].probability, b[j].probability);
+        std::exit(1);
+      }
+    }
+  }
+  const service::ServiceStats stats = svc.stats();
+  if (stats.coalesced_requests != kBurst) {
+    std::fprintf(stderr, "burst parity: expected one coalesced drain, got "
+                 "%llu coalesced requests\n",
+                 static_cast<unsigned long long>(stats.coalesced_requests));
+    std::exit(1);
+  }
+  std::printf(
+      "parity: coalesced 64-burst bit-identical to RunBatch (1 batch)\n");
+}
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    workload::SyntheticConfig config;
+    config.num_states = g_full ? 50'000 : 10'000;
+    config.num_objects = g_full ? 5'000 : 1'000;
+    config.seed = 51;
+    Fixture f{workload::GenerateDatabase(config).ValueOrDie(), {}, {}, {}};
+
+    workload::QueryGenConfig qconfig;
+    qconfig.num_states = config.num_states;
+    qconfig.t_min = 10;
+    qconfig.t_max = 30;
+    qconfig.seed = 52;
+    util::Rng rng(qconfig.seed);
+    f.burst_window = workload::RandomWindow(qconfig, &rng).ValueOrDie();
+    for (int i = 0; i < 3; ++i) {
+      f.noise_windows.push_back(
+          workload::RandomWindow(qconfig, &rng).ValueOrDie());
+    }
+    f.sustained_pool =
+        workload::RepeatingWorkload(qconfig, /*distinct_windows=*/8,
+                                    /*count=*/4096)
+            .ValueOrDie();
+    (void)f.db.chain(0).transposed();  // pre-warm the shared transpose
+    VerifyCoalescedBurstParity(f);
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+/// Submits `count` interactive noise requests at Poisson arrivals until
+/// stopped, cycling the noise windows (cache capacity 1 → every one
+/// evicts). Joined before the service dies.
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(service::QueryService* svc, const Fixture& f,
+                    double rate_qps, uint64_t seed)
+      : thread_([this, svc, &f, rate_qps, seed] {
+          workload::ArrivalProcess arrivals =
+              workload::ArrivalProcess::Create(
+                  {.rate_qps = rate_qps, .seed = seed})
+                  .ValueOrDie();
+          const Clock::time_point start = Clock::now();
+          double offset_s = 0.0;
+          std::vector<service::QueryTicket> tickets;
+          size_t i = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            offset_s += arrivals.NextGap();
+            std::this_thread::sleep_until(
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(offset_s)));
+            if (stop_.load(std::memory_order_relaxed)) break;
+            tickets.push_back(svc->Submit(
+                ExistsRequest(f.noise_windows[i % f.noise_windows.size()]),
+                service::Priority::kInteractive));
+            ++i;
+          }
+          for (service::QueryTicket& t : tickets) {
+            (void)t.WaitFor(kResolveTimeout);
+          }
+        }) {}
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Burst makespan [s]: submit 64 bulk same-window requests at once, wait
+/// for all of them, optionally under interactive background traffic.
+double MeasureBurst(const Fixture& f, bool coalesce, bool contended) {
+  service::ServiceOptions options;
+  options.executor.num_threads = 1;
+  // One cache slot: background traffic over several windows evicts the
+  // burst's backward pass between uncoalesced burst members.
+  options.executor.cache_capacity = 1;
+  options.coalesce = coalesce;
+  options.max_batch = 2 * kBurst;
+  options.queue_capacity = 1024;
+  service::QueryService svc(&f.db, options);
+
+  std::optional<BackgroundTraffic> background;
+  if (contended) {
+    background.emplace(&svc, f, /*rate_qps=*/1000.0, /*seed=*/61);
+    // Let the background stream occupy the cache before the burst lands.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::vector<core::QueryRequest> burst(kBurst,
+                                        ExistsRequest(f.burst_window));
+  util::Stopwatch sw;
+  std::vector<service::QueryTicket> tickets =
+      svc.SubmitBurst(std::move(burst), service::Priority::kBulk);
+  for (service::QueryTicket& t : tickets) {
+    if (!t.WaitFor(kResolveTimeout)) {
+      std::fprintf(stderr, "burst ticket timed out\n");
+      std::exit(1);
+    }
+  }
+  const double seconds = sw.ElapsedSeconds();
+  if (background.has_value()) background->Stop();
+  svc.Shutdown();
+  return seconds;
+}
+
+struct SustainedResult {
+  double achieved_qps = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Two seconds of Poisson arrivals at `offered_qps` over the Zipf pool.
+SustainedResult MeasureSustained(const Fixture& f, bool coalesce,
+                                 double offered_qps) {
+  service::ServiceOptions options;
+  options.executor.num_threads = 1;
+  options.executor.cache_capacity = 4;  // pool has 8 distinct windows
+  options.coalesce = coalesce;
+  options.max_batch = kBurst;
+  options.queue_capacity = 4096;
+  service::QueryService svc(&f.db, options);
+
+  workload::ArrivalProcess arrivals =
+      workload::ArrivalProcess::Create({.rate_qps = offered_qps, .seed = 62})
+          .ValueOrDie();
+  const auto count =
+      static_cast<size_t>(offered_qps * (g_full ? 4.0 : 2.0));
+
+  util::Stopwatch sw;
+  const Clock::time_point start = Clock::now();
+  double offset_s = 0.0;
+  std::vector<service::QueryTicket> tickets;
+  tickets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    offset_s += arrivals.NextGap();
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(offset_s)));
+    tickets.push_back(svc.Submit(
+        ExistsRequest(f.sustained_pool[i % f.sustained_pool.size()]),
+        service::Priority::kInteractive));
+  }
+  for (service::QueryTicket& t : tickets) {
+    if (!t.WaitFor(kResolveTimeout)) {
+      std::fprintf(stderr, "sustained ticket timed out\n");
+      std::exit(1);
+    }
+  }
+  const double seconds = sw.ElapsedSeconds();
+  const service::ServiceStats stats = svc.stats();
+  svc.Shutdown();
+  return {static_cast<double>(stats.completed) / seconds,
+          stats.latency_p99_ms};
+}
+
+void BM_Burst(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const bool coalesce = state.range(0) != 0;
+  const bool contended = state.range(1) != 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    seconds = MeasureBurst(f, coalesce, contended);
+    state.SetIterationTime(seconds);
+  }
+  const char* series = contended
+                           ? (coalesce ? "burst_coalesced_ms" : "burst_solo_ms")
+                           : (coalesce ? "idle_burst_coalesced_ms"
+                                       : "idle_burst_solo_ms");
+  benchutil::Recorder::Instance().Record(series,
+                                         static_cast<double>(kBurst),
+                                         seconds * 1e3);
+}
+
+void BM_Sustained(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const bool coalesce = state.range(0) != 0;
+  const double offered = static_cast<double>(state.range(1));
+  SustainedResult result;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    result = MeasureSustained(f, coalesce, offered);
+    state.SetIterationTime(sw.ElapsedSeconds());
+  }
+  benchutil::Recorder::Instance().Record(
+      coalesce ? "coalesced_qps" : "solo_qps", offered, result.achieved_qps);
+  benchutil::Recorder::Instance().Record(
+      coalesce ? "coalesced_p99_ms" : "solo_p99_ms", offered, result.p99_ms);
+}
+
+void Register() {
+  for (int64_t contended : {int64_t{1}, int64_t{0}}) {
+    for (int64_t coalesce : {int64_t{0}, int64_t{1}}) {
+      benchmark::RegisterBenchmark("service/burst", BM_Burst)
+          ->Args({coalesce, contended})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  std::vector<int64_t> rates = {500, 1500};
+  if (g_full) rates = {250, 500, 1000, 2000};
+  for (int64_t qps : rates) {
+    for (int64_t coalesce : {int64_t{0}, int64_t{1}}) {
+      benchmark::RegisterBenchmark("service/sustained", BM_Sustained)
+          ->Args({coalesce, qps})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_full = ustdb::benchutil::ExtractFlag(&argc, argv, "--full");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv, "service_throughput", "x (burst size / offered qps)",
+      "burst makespan [ms] / achieved qps / p99 [ms]");
+}

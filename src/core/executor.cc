@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <tuple>
@@ -26,6 +27,73 @@ bool NeedsMultiObservation(const UncertainObject& obj) {
 /// keys share every per-chain engine.
 using GroupKey =
     std::tuple<std::vector<uint32_t>, std::vector<Timestamp>, int>;
+
+/// Which cooperative stop fired. Workers race to record the first one they
+/// observe; when a cancellation and a deadline trip simultaneously either
+/// status is a faithful answer.
+enum class StopReason : int { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+util::Status StopStatus(StopReason reason) {
+  return reason == StopReason::kCancelled
+             ? util::Status::Cancelled("query cancelled by caller")
+             : util::Status::DeadlineExceeded("query deadline exceeded");
+}
+
+/// Submission-time stop check, shared by Run and the RunBatch census: a
+/// request that is already cancelled or past its deadline fails before any
+/// engine is built or object evaluated.
+util::Status CheckNotStopped(const QueryRequest& request) {
+  if (request.cancel.stop_requested()) {
+    return util::Status::Cancelled("query cancelled before execution");
+  }
+  if (request.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *request.deadline) {
+    return util::Status::DeadlineExceeded(
+        "query deadline passed before execution");
+  }
+  return util::Status::OK();
+}
+
+/// The cooperative stop predicate shared by both evaluation loops: polls
+/// the request's token and deadline, latching which reason fired first.
+/// Thread-safe; workers racing the latch may each record a reason, any
+/// single observed one is a faithful answer.
+class StopPoller {
+ public:
+  explicit StopPoller(const QueryRequest& request)
+      : request_(request), has_deadline_(request.deadline.has_value()) {}
+
+  bool ShouldStop() {
+    if (reason_.load(std::memory_order_relaxed) !=
+        static_cast<int>(StopReason::kNone)) {
+      return true;
+    }
+    if (request_.cancel.stop_requested()) {
+      reason_.store(static_cast<int>(StopReason::kCancelled),
+                    std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= *request_.deadline) {
+      reason_.store(static_cast<int>(StopReason::kDeadline),
+                    std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Status of the observed stop, or OK when no stop fired.
+  util::Status ToStatus() const {
+    const auto reason = static_cast<StopReason>(reason_.load());
+    if (reason == StopReason::kNone) return util::Status::OK();
+    return StopStatus(reason);
+  }
+
+ private:
+  const QueryRequest& request_;
+  const bool has_deadline_;
+  std::atomic<int> reason_{static_cast<int>(StopReason::kNone)};
+};
 
 }  // namespace
 
@@ -123,7 +191,12 @@ util::Status QueryExecutor::ValidateFilter(
 }
 
 util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
+  last_stats_ = {};
+  last_stats_.threads_used = threads_;
   if (util::Status status = ValidateFilter(request); !status.ok()) {
+    return status;
+  }
+  if (util::Status status = CheckNotStopped(request); !status.ok()) {
     return status;
   }
   const Selection ids(request, db_->num_objects());
@@ -147,12 +220,7 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   std::map<ChainId, uint32_t> single_obs_per_chain;
   for (size_t i = 0; i < ids.size(); ++i) {
     const UncertainObject& obj = db_->object(ids[i]);
-    if (NeedsMultiObservation(obj)) {
-      ++result.stats.objects_multi_observation;
-    } else {
-      ++single_obs_per_chain[obj.chain];
-      ++result.stats.objects_evaluated;
-    }
+    if (!NeedsMultiObservation(obj)) ++single_obs_per_chain[obj.chain];
   }
 
   std::map<ChainId, ChainPlan> plans;
@@ -192,16 +260,20 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   }
   result.stats.cache_hits = cache_.stats().hits - before.hits;
   result.stats.cache_misses = cache_.stats().misses - before.misses;
+  result.stats.cache_evictions = cache_.stats().evictions - before.evictions;
 
   // --- Execution phase: per-object evaluation, parallel across objects. --
   std::vector<double> probs;
   std::vector<uint8_t> keep;
-  uint32_t early_stops = 0;
+  EvalCounters counters;
   util::Status status = EvaluateExistsObjects(
       request, window, ids, plans, /*use_pool=*/true, &probs, &keep,
-      &early_stops);
+      &counters);
+  result.stats.prune.objects_decided_early = counters.early_stops;
+  result.stats.objects_evaluated = counters.singles;
+  result.stats.objects_multi_observation = counters.multis;
+  last_stats_ = result.stats;
   if (!status.ok()) return status;
-  result.stats.prune.objects_decided_early = early_stops;
 
   AssembleExistsResult(request, ids, probs, keep, &result);
   return result;
@@ -211,7 +283,7 @@ util::Status QueryExecutor::EvaluateExistsObjects(
     const QueryRequest& request, const QueryWindow& window,
     const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
     bool use_pool, std::vector<double>* probs, std::vector<uint8_t>* keep,
-    uint32_t* early_stops) {
+    EvalCounters* counters) {
   const bool threshold =
       request.predicate == PredicateKind::kThresholdExists;
   probs->assign(ids.size(), 0.0);
@@ -221,8 +293,18 @@ util::Status QueryExecutor::EvaluateExistsObjects(
 
   std::atomic<bool> failed{false};
   std::atomic<uint32_t> early{0};
+  std::atomic<uint32_t> singles{0};
+  std::atomic<uint32_t> multis{0};
   std::mutex error_mu;
   util::Status first_error = util::Status::OK();
+
+  // Polled between kStopCheckStride-object sub-chunks on every worker; an
+  // error, a tripped cancellation token, or a passed deadline makes every
+  // worker abandon its remaining objects at the next check.
+  StopPoller poller(request);
+  const auto should_stop = [&] {
+    return failed.load(std::memory_order_relaxed) || poller.ShouldStop();
+  };
 
   const auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
@@ -240,6 +322,7 @@ util::Status QueryExecutor::EvaluateExistsObjects(
         }
         (*probs)[i] = r->exists_probability;
         if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
+        multis.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       const ChainPlan& cp = plans.at(obj.chain);
@@ -263,16 +346,20 @@ util::Status QueryExecutor::EvaluateExistsObjects(
       } else {
         (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
       }
+      singles.fetch_add(1, std::memory_order_relaxed);
     }
   };
   if (use_pool) {
-    pool_.ParallelChunks(ids.size(), body);
+    pool_.ParallelChunksUntil(ids.size(), should_stop, body);
   } else {
-    body(0, ids.size());
+    util::ChunksUntil(0, ids.size(), util::kStopCheckStride, should_stop,
+                      body);
   }
+  counters->early_stops = early.load();
+  counters->singles = singles.load();
+  counters->multis = multis.load();
   if (failed.load()) return first_error;
-  *early_stops = early.load();
-  return util::Status::OK();
+  return poller.ToStatus();
 }
 
 void QueryExecutor::AssembleExistsResult(const QueryRequest& request,
@@ -345,32 +432,44 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
           &db_->chain(obj.chain), request.window,
           KTimesOptions{.mode = request.matrix_mode});
     }
-    ++result.stats.objects_evaluated;
   }
   result.stats.chains_object_based = static_cast<uint32_t>(plans.size());
 
-  EvaluateKTimesObjects(ids, plans, /*use_pool=*/true,
-                        &result.distributions);
+  uint32_t evaluated = 0;
+  util::Status status = EvaluateKTimesObjects(
+      request, ids, plans, /*use_pool=*/true, &result.distributions,
+      &evaluated);
+  result.stats.objects_evaluated = evaluated;
+  last_stats_ = result.stats;
+  if (!status.ok()) return status;
   return result;
 }
 
-void QueryExecutor::EvaluateKTimesObjects(
-    const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
-    bool use_pool, std::vector<ObjectKTimes>* distributions) {
+util::Status QueryExecutor::EvaluateKTimesObjects(
+    const QueryRequest& request, const Selection& ids,
+    const std::map<ChainId, ChainPlan>& plans, bool use_pool,
+    std::vector<ObjectKTimes>* distributions, uint32_t* evaluated) {
   distributions->resize(ids.size());
+  std::atomic<uint32_t> done{0};
+  StopPoller poller(request);
+  const auto should_stop = [&] { return poller.ShouldStop(); };
   const auto body = [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const UncertainObject& obj = db_->object(ids[i]);
       (*distributions)[i] = {
           ids[i],
           plans.at(obj.chain).ktimes->Distribution(obj.initial_pdf())};
+      done.fetch_add(1, std::memory_order_relaxed);
     }
   };
   if (use_pool) {
-    pool_.ParallelChunks(ids.size(), body);
+    pool_.ParallelChunksUntil(ids.size(), should_stop, body);
   } else {
-    body(0, ids.size());
+    util::ChunksUntil(0, ids.size(), util::kStopCheckStride, should_stop,
+                      body);
   }
+  *evaluated = done.load();
+  return poller.ToStatus();
 }
 
 std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
@@ -388,6 +487,13 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
   for (size_t i = 0; i < requests.size(); ++i) {
     const QueryRequest& request = requests[i];
     if (util::Status status = ValidateFilter(request); !status.ok()) {
+      results[i] = std::move(status);
+      continue;
+    }
+    // Requests already cancelled or expired at submission never join a
+    // group — the dispatcher above us relies on this to resolve stale
+    // tickets without paying for engines they will not use.
+    if (util::Status status = CheckNotStopped(request); !status.ok()) {
       results[i] = std::move(status);
       continue;
     }
@@ -549,19 +655,32 @@ void QueryExecutor::ExecuteGroup(
   };
   for (const BatchGroup::Member& member : group->members) {
     const QueryRequest& request = requests[member.request_index];
+    // A member cancelled (or expired) while queued behind earlier members
+    // resolves without touching the shared engines.
+    if (util::Status status = CheckNotStopped(request); !status.ok()) {
+      (*results)[member.request_index] = std::move(status);
+      continue;
+    }
     const Selection ids(request, db_->num_objects());
     QueryResult result;
     result.stats.threads_used = threads_;
     result.stats.batch_group_members =
         static_cast<uint32_t>(group->members.size());
-    result.stats.objects_evaluated = member.singles;
     result.stats.objects_multi_observation = member.multi_obs;
 
     if (request.predicate == PredicateKind::kKTimes) {
       result.stats.chains_object_based =
           static_cast<uint32_t>(member.single_obs_per_chain.size());
-      EvaluateKTimesObjects(ids, group->plans, /*use_pool=*/false,
-                            &result.distributions);
+      uint32_t evaluated = 0;
+      util::Status status =
+          EvaluateKTimesObjects(request, ids, group->plans,
+                                /*use_pool=*/false, &result.distributions,
+                                &evaluated);
+      if (!status.ok()) {
+        (*results)[member.request_index] = std::move(status);
+        continue;
+      }
+      result.stats.objects_evaluated = evaluated;
       if (cache_stats_unattributed) attach_cache_stats(&result);
       (*results)[member.request_index] = std::move(result);
       continue;
@@ -578,17 +697,18 @@ void QueryExecutor::ExecuteGroup(
 
     std::vector<double> probs;
     std::vector<uint8_t> keep;
-    uint32_t early_stops = 0;
+    EvalCounters counters;
     const QueryWindow& window = group->window;
     util::Status status =
         EvaluateExistsObjects(request, window, ids, group->plans,
-                              /*use_pool=*/false, &probs, &keep,
-                              &early_stops);
+                              /*use_pool=*/false, &probs, &keep, &counters);
     if (!status.ok()) {
       (*results)[member.request_index] = std::move(status);
       continue;
     }
-    result.stats.prune.objects_decided_early = early_stops;
+    result.stats.prune.objects_decided_early = counters.early_stops;
+    result.stats.objects_evaluated = counters.singles;
+    result.stats.objects_multi_observation = counters.multis;
     AssembleExistsResult(request, ids, probs, keep, &result);
     if (cache_stats_unattributed) attach_cache_stats(&result);
     (*results)[member.request_index] = std::move(result);

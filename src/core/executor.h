@@ -70,6 +70,13 @@ class QueryExecutor {
   /// and with kUnimplemented for PSTkQ over multi-observation objects
   /// (outside the paper's framework).
   ///
+  /// Cooperative stops: the parallel loop polls request.cancel and checks
+  /// request.deadline between kStopCheckStride-object sub-chunks; a
+  /// tripped token resolves the run with Status::Cancelled, a passed
+  /// deadline with Status::DeadlineExceeded, in both cases leaving the
+  /// remaining objects unevaluated (last_run_stats() shows the partial
+  /// progress).
+  ///
   /// Complexity per chain class: one pass is O(t_end × nnz); the
   /// object-based plan pays one pass per object, the query-based plan one
   /// pass per chain plus one sparse dot product per object (zero passes
@@ -111,6 +118,14 @@ class QueryExecutor {
   /// Cumulative engine-cache statistics across all runs.
   const EngineCacheStats& cache_stats() const { return cache_.stats(); }
 
+  /// \brief Telemetry of the most recent Run(), including runs that failed
+  /// or were stopped mid-flight — whose Result carries no QueryResult to
+  /// hold stats. A cancelled run's objects_evaluated counts only the
+  /// objects answered before the stop, so a caller can prove the loop quit
+  /// early by comparing against an uncancelled twin. Solo Run() only;
+  /// RunBatch members report through their own QueryResult::stats.
+  const ExecStats& last_run_stats() const { return last_stats_; }
+
   /// Drops cached engines (required after the database is mutated).
   void ClearCache() { cache_.Clear(); }
 
@@ -126,6 +141,14 @@ class QueryExecutor {
   struct ChainPlan;   // per-run or per-group, per-chain engine bundle
   struct BatchGroup;  // requests sharing (effective window, matrix mode)
   class Selection;    // non-allocating view of the ids a request evaluates
+
+  /// Progress counters of one evaluation loop, valid even when the loop
+  /// was stopped early by an error, a cancellation, or a deadline.
+  struct EvalCounters {
+    uint32_t early_stops = 0;  ///< OB runs cut short by a τ-decision
+    uint32_t singles = 0;      ///< single-observation objects answered
+    uint32_t multis = 0;       ///< multi-observation objects answered
+  };
 
   util::Status ValidateFilter(const QueryRequest& request) const;
 
@@ -143,11 +166,13 @@ class QueryExecutor {
                                      const std::map<ChainId, ChainPlan>& plans,
                                      bool use_pool, std::vector<double>* probs,
                                      std::vector<uint8_t>* keep,
-                                     uint32_t* early_stops);
-  void EvaluateKTimesObjects(const Selection& ids,
-                             const std::map<ChainId, ChainPlan>& plans,
-                             bool use_pool,
-                             std::vector<ObjectKTimes>* distributions);
+                                     EvalCounters* counters);
+  util::Status EvaluateKTimesObjects(const QueryRequest& request,
+                                     const Selection& ids,
+                                     const std::map<ChainId, ChainPlan>& plans,
+                                     bool use_pool,
+                                     std::vector<ObjectKTimes>* distributions,
+                                     uint32_t* evaluated);
   static void AssembleExistsResult(const QueryRequest& request,
                                    const Selection& ids,
                                    const std::vector<double>& probs,
@@ -166,6 +191,7 @@ class QueryExecutor {
   QueryPlanner planner_;
   EngineCache cache_;
   util::ThreadPool pool_;
+  ExecStats last_stats_;
 };
 
 }  // namespace core

@@ -10,12 +10,14 @@
 #ifndef USTDB_CORE_QUERY_REQUEST_H_
 #define USTDB_CORE_QUERY_REQUEST_H_
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
 #include "core/object_based.h"
 #include "core/query_window.h"
 #include "sparse/types.h"
+#include "util/cancellation.h"
 
 namespace ustdb {
 namespace core {
@@ -97,6 +99,20 @@ struct QueryRequest {
   /// nullopt evaluates the whole database; an empty vector evaluates
   /// nothing. Used by cluster pruning to refine only undecided objects.
   std::optional<std::vector<ObjectId>> object_filter;
+
+  /// Cooperative cancellation: the executor polls this token between
+  /// kStopCheckStride-object sub-chunks of its parallel loop and resolves
+  /// the run with Status::Cancelled once it trips, leaving the remaining
+  /// objects unevaluated. The default token never stops. The QueryService
+  /// links its per-ticket source below a caller-supplied token, so both
+  /// QueryTicket::Cancel() and the caller's own source can stop the run.
+  util::CancellationToken cancel;
+
+  /// Absolute deadline; past it the executor stops at the next cooperative
+  /// check and resolves with Status::DeadlineExceeded (a request whose
+  /// deadline has already passed at submission fails without evaluating
+  /// anything). nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// \brief Execution telemetry of one QueryExecutor::Run — or, for
@@ -108,9 +124,13 @@ struct ExecStats {
   uint32_t chains_object_based = 0;
   /// Chain classes evaluated with the query-based plan.
   uint32_t chains_query_based = 0;
-  /// Objects answered by the single-observation engines.
+  /// Objects answered by the single-observation engines. Counted as the
+  /// parallel loop answers them, so a run stopped mid-flight by a
+  /// cancellation or deadline reports only the objects it actually
+  /// evaluated (observable via QueryExecutor::last_run_stats()).
   uint32_t objects_evaluated = 0;
-  /// Objects routed through the Section VI multi-observation engine.
+  /// Objects routed through the Section VI multi-observation engine
+  /// (counted as answered, like objects_evaluated).
   uint32_t objects_multi_observation = 0;
   /// Worker threads the executor's pool had available for this run.
   unsigned threads_used = 1;
@@ -119,6 +139,11 @@ struct ExecStats {
   /// other members read 0.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Engine-cache evictions this solo Run's lookups caused. Batch members
+  /// read 0: RunBatch admits batch-built passes after its members have
+  /// already been answered, so those evictions are visible only in the
+  /// executor-level cache_stats() (and ServiceStats.cache).
+  uint64_t cache_evictions = 0;
   /// Requests sharing this request's RunBatch group — every member of a
   /// group reuses the same per-chain engines, so a group of size g pays
   /// one backward pass where g solo runs on a cold cache pay g. Zero for

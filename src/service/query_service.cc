@@ -1,0 +1,407 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/cancellation.h"
+
+namespace ustdb {
+namespace service {
+
+namespace {
+
+/// Completed-request latencies kept for the percentile estimates: large
+/// enough that p99 is meaningful, small enough that a long-lived service
+/// never grows.
+constexpr size_t kLatencyReservoir = 4096;
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+namespace internal {
+
+/// Shared state behind one ticket: the pending request, its cancellation
+/// source, and the one-shot outcome slot. `mu` guards outcome/resolved/
+/// taken; the request itself is written at submit and read only by the
+/// dispatcher afterwards.
+struct TicketState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool resolved = false;
+  bool taken = false;
+  std::optional<util::Result<core::QueryResult>> outcome;
+
+  util::CancellationSource cancel;
+  core::QueryRequest request;
+  Priority priority = Priority::kInteractive;
+  Clock::time_point submitted_at;
+};
+
+}  // namespace internal
+
+using internal::TicketState;
+
+// ---------------------------------------------------------------------------
+// QueryTicket
+// ---------------------------------------------------------------------------
+
+void QueryTicket::Cancel() {
+  if (state_ != nullptr) state_->cancel.RequestStop();
+}
+
+bool QueryTicket::resolved() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->resolved;
+}
+
+bool QueryTicket::WaitFor(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout,
+                             [this] { return state_->resolved; });
+}
+
+util::Result<core::QueryResult> QueryTicket::Get() {
+  if (state_ == nullptr) {
+    return util::Status::FailedPrecondition("ticket is not valid");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->resolved; });
+  if (state_->taken) {
+    return util::Status::FailedPrecondition(
+        "ticket result was already taken");
+  }
+  state_->taken = true;
+  return std::move(*state_->outcome);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ServiceOptions Sanitize(ServiceOptions options) {
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+  if (options.max_batch == 0) options.max_batch = 1;
+  return options;
+}
+
+}  // namespace
+
+QueryService::QueryService(const core::Database* db, ServiceOptions options)
+    : options_(Sanitize(options)),
+      executor_(db, options.executor),
+      paused_(options.start_paused) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::shared_ptr<TicketState> QueryService::PrepareState(
+    core::QueryRequest request, Priority priority) {
+  auto state = std::make_shared<TicketState>();
+  state->priority = priority;
+  state->submitted_at = Clock::now();
+  // Link the ticket's source beneath any caller-supplied token: both
+  // QueryTicket::Cancel() and the caller's own source stop the run.
+  state->cancel = util::CancellationSource(request.cancel);
+  request.cancel = state->cancel.token();
+  state->request = std::move(request);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  return state;
+}
+
+util::Status QueryService::TryEnqueueLocked(
+    const std::shared_ptr<TicketState>& state,
+    std::unique_lock<std::mutex>* lock, bool allow_block) {
+  if (stopping_) {
+    return util::Status::Unavailable("query service is shut down");
+  }
+  auto& lane = lanes_[static_cast<int>(state->priority)];
+  if (lane.size() >= options_.queue_capacity) {
+    if (options_.backpressure == BackpressurePolicy::kReject ||
+        !allow_block) {
+      return util::Status::Unavailable("submission queue full");
+    }
+    space_cv_.wait(*lock, [this, &lane] {
+      return stopping_ || lane.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      return util::Status::Unavailable("query service is shut down");
+    }
+  }
+  lane.push_back(state);
+  queue_peak_ =
+      std::max(queue_peak_, lanes_[0].size() + lanes_[1].size());
+  return util::Status::OK();
+}
+
+QueryTicket QueryService::Submit(core::QueryRequest request,
+                                 Priority priority) {
+  std::shared_ptr<TicketState> state =
+      PrepareState(std::move(request), priority);
+  QueryTicket ticket{std::shared_ptr<TicketState>(state)};
+
+  // Shutdown outranks the deadline check: after Shutdown() *every*
+  // submission resolves Unavailable, even one that is also expired.
+  util::Status enqueue = util::Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      enqueue = util::Status::Unavailable("query service is shut down");
+    } else if (state->request.deadline.has_value() &&
+               Clock::now() >= *state->request.deadline) {
+      enqueue = util::Status::DeadlineExceeded(
+          "deadline already passed at submission");
+    } else {
+      enqueue = TryEnqueueLocked(state, &lock, /*allow_block=*/true);
+    }
+  }
+  if (!enqueue.ok()) {
+    Resolve(state, std::move(enqueue));
+    return ticket;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::vector<QueryTicket> QueryService::SubmitBurst(
+    std::vector<core::QueryRequest> requests, Priority priority) {
+  std::vector<std::shared_ptr<TicketState>> states;
+  states.reserve(requests.size());
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(requests.size());
+  for (core::QueryRequest& request : requests) {
+    states.push_back(PrepareState(std::move(request), priority));
+    tickets.push_back(QueryTicket{states.back()});
+  }
+
+  // One queue lock for the whole burst: the dispatcher sees either none or
+  // all of it, so an idle service drains the burst as one coalesced batch.
+  std::vector<std::pair<size_t, util::Status>> failures;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    for (size_t i = 0; i < states.size(); ++i) {
+      // stopping_ only changes under queue_mu_, but check it per entry so
+      // the shutdown status outranks the deadline one, like in Submit().
+      if (stopping_) {
+        failures.emplace_back(
+            i, util::Status::Unavailable("query service is shut down"));
+        continue;
+      }
+      if (states[i]->request.deadline.has_value() &&
+          Clock::now() >= *states[i]->request.deadline) {
+        failures.emplace_back(i, util::Status::DeadlineExceeded(
+                                     "deadline already passed at submission"));
+        continue;
+      }
+      if (util::Status s =
+              TryEnqueueLocked(states[i], &lock, /*allow_block=*/false);
+          !s.ok()) {
+        failures.emplace_back(i, std::move(s));
+      }
+    }
+  }
+  work_cv_.notify_one();
+  for (auto& [index, status] : failures) {
+    Resolve(states[index], std::move(status));
+  }
+  return tickets;
+}
+
+void QueryService::DispatcherLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<TicketState>> taken;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ ||
+               (!paused_ && (!lanes_[0].empty() || !lanes_[1].empty()));
+      });
+      if (lanes_[0].empty() && lanes_[1].empty()) {
+        if (stopping_) return;
+        continue;  // spurious or pause-toggle wake
+      }
+      // One lane per drain, interactive whenever it has work — coalescing
+      // never crosses lanes, so a batched dispatch cannot make an
+      // interactive ticket wait on bulk members' engines. Shutdown drains
+      // the same way, iterating until both lanes are empty.
+      auto& lane = lanes_[0].empty() ? lanes_[1] : lanes_[0];
+      const size_t want = options_.coalesce ? options_.max_batch : 1;
+      while (taken.size() < want && !lane.empty()) {
+        taken.push_back(std::move(lane.front()));
+        lane.pop_front();
+      }
+    }
+    space_cv_.notify_all();
+    Dispatch(std::move(taken));
+  }
+}
+
+void QueryService::Dispatch(std::vector<std::shared_ptr<TicketState>> taken) {
+  // Resolve tickets that went stale while queued without paying for
+  // engines: cancel-before-dequeue and expire-in-queue land here.
+  const Clock::time_point now = Clock::now();
+  std::vector<std::shared_ptr<TicketState>> runnable;
+  runnable.reserve(taken.size());
+  for (std::shared_ptr<TicketState>& state : taken) {
+    if (state->cancel.stop_requested()) {
+      Resolve(state, util::Status::Cancelled("query cancelled while queued"));
+      continue;
+    }
+    if (state->request.deadline.has_value() &&
+        now >= *state->request.deadline) {
+      Resolve(state, util::Status::DeadlineExceeded(
+                         "query deadline passed while queued"));
+      continue;
+    }
+    runnable.push_back(std::move(state));
+  }
+  if (runnable.empty()) return;
+
+  if (runnable.size() == 1) {
+    util::Result<core::QueryResult> result =
+        executor_.Run(runnable.front()->request);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.solo_dispatches;
+      cache_snapshot_ = executor_.cache_stats();
+    }
+    Resolve(runnable.front(), std::move(result));
+    return;
+  }
+
+  // The coalescing step: one RunBatch over the whole drain. The executor
+  // groups members by (effective window, matrix mode) internally, so every
+  // same-window subset shares one backward pass per chain.
+  std::vector<core::QueryRequest> requests;
+  requests.reserve(runnable.size());
+  for (std::shared_ptr<TicketState>& state : runnable) {
+    requests.push_back(std::move(state->request));
+  }
+  std::vector<util::Result<core::QueryResult>> results =
+      executor_.RunBatch(requests);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.coalesced_batches;
+    stats_.coalesced_requests += runnable.size();
+    cache_snapshot_ = executor_.cache_stats();
+  }
+  for (size_t i = 0; i < runnable.size(); ++i) {
+    Resolve(runnable[i], std::move(results[i]));
+  }
+}
+
+void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
+                           util::Result<core::QueryResult> outcome) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                state->submitted_at)
+          .count();
+  const util::StatusCode code = outcome.ok()
+                                    ? util::StatusCode::kOk
+                                    : outcome.status().code();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    switch (code) {
+      case util::StatusCode::kOk:
+        ++stats_.completed;
+        if (latencies_ms_.size() < kLatencyReservoir) {
+          latencies_ms_.push_back(latency_ms);
+        } else {
+          latencies_ms_[latency_next_] = latency_ms;
+        }
+        latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
+        break;
+      case util::StatusCode::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_expired;
+        break;
+      case util::StatusCode::kUnavailable:
+        ++stats_.rejected;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    assert(!state->resolved && "ticket resolved twice");
+    state->outcome = std::move(outcome);
+    state->resolved = true;
+  }
+  state->cv.notify_all();
+}
+
+void QueryService::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_one();
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return lanes_[0].size() + lanes_[1].size();
+}
+
+ServiceStats QueryService::stats() const {
+  size_t depth = 0;
+  size_t peak = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = lanes_[0].size() + lanes_[1].size();
+    peak = queue_peak_;
+  }
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+    out.cache = cache_snapshot_;
+    if (!latencies_ms_.empty()) {
+      std::vector<double> sorted = latencies_ms_;
+      std::sort(sorted.begin(), sorted.end());
+      const auto at = [&sorted](double q) {
+        const size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+        return sorted[idx];
+      };
+      out.latency_p50_ms = at(0.50);
+      out.latency_p99_ms = at(0.99);
+    }
+  }
+  out.queue_depth = depth;
+  out.queue_peak = peak;
+  return out;
+}
+
+}  // namespace service
+}  // namespace ustdb

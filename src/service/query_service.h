@@ -1,0 +1,254 @@
+// Copyright 2026 the ustdb authors.
+//
+// QueryService — the asynchronous admission layer in front of the
+// QueryExecutor. Callers Submit() a QueryRequest and immediately get a
+// QueryTicket (a future for the Result); a dispatcher thread drains the
+// bounded two-lane submission queue and hands whole drains to
+// QueryExecutor::RunBatch, so compatible requests that happen to be queued
+// together automatically coalesce into shared-backward-pass groups — a
+// bursty dashboard refresh pays one pass per (window, chain) without any
+// caller-side batching.
+//
+// The service owns the request lifecycle the bare executor does not:
+// backpressure (reject-when-full or block), a priority lane for
+// interactive traffic ahead of bulk jobs, per-request deadlines,
+// cancellation that reaches into the executor's parallel loop mid-flight,
+// drain-on-shutdown, and latency/coalescing telemetry (ServiceStats).
+
+#ifndef USTDB_SERVICE_QUERY_SERVICE_H_
+#define USTDB_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/engine_cache.h"
+#include "core/executor.h"
+#include "core/query_request.h"
+#include "util/result.h"
+
+namespace ustdb {
+namespace service {
+
+/// Which submission lane a request joins. Every dispatch serves the
+/// kInteractive lane whenever it has work — kBulk drains only when no
+/// interactive request is queued, and coalescing never crosses lanes, so
+/// dashboard widgets neither queue behind a bulk re-scoring job nor share
+/// a dispatch with one.
+enum class Priority {
+  kInteractive = 0,  ///< latency-sensitive traffic (dashboards, alerts)
+  kBulk = 1,         ///< throughput traffic (backfills, re-scoring)
+};
+
+/// What Submit() does when the chosen lane is at capacity.
+enum class BackpressurePolicy {
+  /// Resolve the ticket immediately with Status::Unavailable. The default:
+  /// a serving layer should shed load, not buffer unboundedly.
+  kReject,
+  /// Block the submitting thread until the dispatcher frees a slot (or the
+  /// service shuts down, which rejects the waiting submission).
+  kBlock,
+};
+
+/// Configuration of one QueryService instance.
+struct ServiceOptions {
+  /// Capacity of each priority lane (>= 1 enforced); the bound that makes
+  /// backpressure meaningful.
+  size_t queue_capacity = 256;
+  /// Behavior when a lane is full.
+  BackpressurePolicy backpressure = BackpressurePolicy::kReject;
+  /// Coalesce queued requests into one RunBatch per drain. Off = strict
+  /// one-request-at-a-time dispatch (the uncoalesced baseline the service
+  /// benchmark compares against).
+  bool coalesce = true;
+  /// Most requests one coalesced dispatch may drain (>= 1 enforced).
+  size_t max_batch = 64;
+  /// Construct with the dispatcher paused (tests use this to stage a
+  /// deterministic queue state before Resume()).
+  bool start_paused = false;
+  /// Forwarded to the service-owned QueryExecutor.
+  core::ExecutorOptions executor;
+};
+
+/// Snapshot of the service's counters. Counts are cumulative since
+/// construction; queue_depth is sampled at the stats() call; latency
+/// percentiles cover the most recent completed requests (a bounded
+/// reservoir, so a long-lived service reports recent behavior, not its
+/// whole history).
+struct ServiceStats {
+  uint64_t submitted = 0;         ///< tickets handed out
+  uint64_t completed = 0;         ///< resolved OK
+  uint64_t failed = 0;            ///< resolved with a non-stop error
+  uint64_t cancelled = 0;         ///< resolved Status::Cancelled
+  uint64_t deadline_expired = 0;  ///< resolved Status::DeadlineExceeded
+  uint64_t rejected = 0;          ///< resolved Status::Unavailable
+  /// Dispatches that coalesced >= 2 requests into one RunBatch, and the
+  /// total requests those dispatches carried. coalesced_requests /
+  /// completed is the coalesce rate a capacity model needs.
+  uint64_t coalesced_batches = 0;
+  uint64_t coalesced_requests = 0;
+  /// Dispatches that carried exactly one request.
+  uint64_t solo_dispatches = 0;
+  size_t queue_depth = 0;  ///< queued requests across both lanes, sampled
+  size_t queue_peak = 0;   ///< high-water mark of queue_depth
+  double latency_p50_ms = 0.0;  ///< median completed-request latency
+  double latency_p99_ms = 0.0;  ///< tail completed-request latency
+  /// Engine-cache counters of the service's executor (hits, misses,
+  /// evictions), snapshotted after the most recent dispatch.
+  core::EngineCacheStats cache;
+};
+
+namespace internal {
+struct TicketState;
+}  // namespace internal
+
+/// \brief Caller-side handle for one submitted request: a one-shot future
+/// for the Result plus the cancellation trigger. Cheap to move and copy
+/// (copies share the same underlying request).
+class QueryTicket {
+ public:
+  /// An invalid ticket; Get() fails with kFailedPrecondition.
+  QueryTicket() = default;
+
+  /// True when connected to a submitted request.
+  bool valid() const { return state_ != nullptr; }
+
+  /// \brief Requests cancellation. If the request is still queued it
+  /// resolves with Status::Cancelled without executing; if it is
+  /// mid-flight the executor's loop stops at its next cooperative check.
+  /// Idempotent; a request that already finished is unaffected.
+  void Cancel();
+
+  /// True once the request has resolved (non-blocking).
+  bool resolved() const;
+
+  /// Blocks until resolved or `timeout` elapses; true when resolved.
+  bool WaitFor(std::chrono::milliseconds timeout) const;
+
+  /// \brief Blocks until the request resolves and moves the Result out.
+  /// One-shot: a second Get() (from any copy of the ticket) fails with
+  /// kFailedPrecondition.
+  util::Result<core::QueryResult> Get();
+
+ private:
+  friend class QueryService;
+  explicit QueryTicket(std::shared_ptr<internal::TicketState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::TicketState> state_;
+};
+
+/// \brief Asynchronous query admission in front of one QueryExecutor.
+///
+/// Thread-safe: any number of threads may Submit()/Cancel()/stats()
+/// concurrently. Exactly one dispatcher thread talks to the executor, so
+/// the executor's no-concurrent-Run contract holds by construction. Every
+/// ticket resolves exactly once — including under Shutdown(), which stops
+/// admitting, drains the queue through the executor, and only then joins
+/// the dispatcher. The Database must outlive the service.
+class QueryService {
+ public:
+  /// \param db the database to serve; must outlive the service.
+  /// \param options queue, backpressure, coalescing, and executor knobs.
+  explicit QueryService(const core::Database* db, ServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Shuts down (draining queued requests) if Shutdown() was not called.
+  ~QueryService();
+
+  /// \brief Enqueues `request` and returns its ticket. The request's own
+  /// cancel token (if any) is linked beneath the ticket's, so either can
+  /// stop it. A request whose deadline has already passed resolves
+  /// immediately with Status::DeadlineExceeded; a full lane either rejects
+  /// (Status::Unavailable) or blocks, per BackpressurePolicy; after
+  /// Shutdown() every submission resolves with Status::Unavailable.
+  QueryTicket Submit(core::QueryRequest request,
+                     Priority priority = Priority::kInteractive);
+
+  /// \brief Enqueues a whole burst under one queue lock — the dispatcher
+  /// observes all-or-nothing, so an idle (or paused) service coalesces the
+  /// burst into the fewest possible RunBatch dispatches. To keep that
+  /// atomicity (and to stay deadlock-free on a paused service), a burst
+  /// never blocks: requests beyond the lane's remaining capacity resolve
+  /// with Status::Unavailable even under BackpressurePolicy::kBlock.
+  /// Other per-request failure semantics match Submit().
+  std::vector<QueryTicket> SubmitBurst(
+      std::vector<core::QueryRequest> requests,
+      Priority priority = Priority::kInteractive);
+
+  /// \brief Stops admitting, drains every queued request through the
+  /// executor (cancelled/expired ones resolve without executing), then
+  /// joins the dispatcher. Idempotent and safe to call concurrently.
+  void Shutdown();
+
+  /// Holds the dispatcher after its current drain; queued and newly
+  /// submitted requests wait until Resume(). Shutdown() overrides a pause.
+  void Pause();
+  /// Releases a Pause().
+  void Resume();
+
+  /// Current counters; see ServiceStats for sampling semantics.
+  ServiceStats stats() const;
+
+  /// Queued requests across both lanes right now.
+  size_t queue_depth() const;
+
+  /// The executor options actually in effect (after sanitization).
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void DispatcherLoop();
+  /// Executes one drained set: resolves stale entries, runs the rest as a
+  /// solo Run or one coalesced RunBatch, resolves every ticket.
+  void Dispatch(std::vector<std::shared_ptr<internal::TicketState>> taken);
+  /// Resolves `state` with `outcome`, classifying it into the stats
+  /// counters and recording latency. Every ticket passes through here
+  /// exactly once.
+  void Resolve(const std::shared_ptr<internal::TicketState>& state,
+               util::Result<core::QueryResult> outcome);
+  /// Builds the ticket state for one submission (links cancel tokens,
+  /// stamps the clock, counts it submitted).
+  std::shared_ptr<internal::TicketState> PrepareState(
+      core::QueryRequest request, Priority priority);
+  /// Appends to the lane under `lock`, honoring capacity/backpressure.
+  /// Returns non-OK (without enqueueing) when the submission must be
+  /// rejected. With `allow_block` (solo Submit under kBlock) it may
+  /// release and reacquire `lock` while waiting for space; bursts pass
+  /// false so the whole burst stays under one uninterrupted lock hold.
+  util::Status TryEnqueueLocked(
+      const std::shared_ptr<internal::TicketState>& state,
+      std::unique_lock<std::mutex>* lock, bool allow_block);
+
+  const core::Database* db_;
+  ServiceOptions options_;
+  core::QueryExecutor executor_;  // dispatcher thread only
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable work_cv_;   // wakes the dispatcher
+  std::condition_variable space_cv_;  // wakes blocked producers
+  std::deque<std::shared_ptr<internal::TicketState>> lanes_[2];
+  size_t queue_peak_ = 0;  ///< high-water mark of both lanes combined
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::mutex shutdown_mu_;  // serializes Shutdown() callers around join
+  std::thread dispatcher_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;  // counter fields only; sampled fields set in stats()
+  core::EngineCacheStats cache_snapshot_;
+  std::vector<double> latencies_ms_;  // bounded reservoir, ring-indexed
+  size_t latency_next_ = 0;
+};
+
+}  // namespace service
+}  // namespace ustdb
+
+#endif  // USTDB_SERVICE_QUERY_SERVICE_H_

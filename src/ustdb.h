@@ -48,6 +48,8 @@
 #include "sparse/prob_vector.h"         // IWYU pragma: export
 #include "sparse/types.h"               // IWYU pragma: export
 #include "io/serialization.h"           // IWYU pragma: export
+#include "service/query_service.h"      // IWYU pragma: export
+#include "util/cancellation.h"          // IWYU pragma: export
 #include "util/result.h"                // IWYU pragma: export
 #include "util/rng.h"                   // IWYU pragma: export
 #include "util/status.h"                // IWYU pragma: export

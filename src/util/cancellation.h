@@ -1,0 +1,126 @@
+// Copyright 2026 the ustdb authors.
+//
+// Cooperative cancellation for long-running queries. A CancellationSource
+// owns the stop flag; the CancellationTokens it hands out are cheap,
+// copyable views polled by workers between chunks of a parallel loop
+// (std::stop_token idiom, without tying the lifetime to a jthread). The
+// QueryService resolves a cancelled request with Status::Cancelled as soon
+// as the executor's loop observes the token — a revoked dashboard widget
+// stops consuming pool time mid-flight instead of running to completion.
+
+#ifndef USTDB_UTIL_CANCELLATION_H_
+#define USTDB_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ustdb {
+namespace util {
+
+namespace internal {
+
+/// Shared stop state: a flag, an optional upstream token to mirror, and an
+/// optional poll budget for deterministic mid-loop stops in tests.
+struct CancelState {
+  std::atomic<bool> stop_requested{false};
+  /// When >= 0, the number of further polls after which the flag trips on
+  /// its own (deterministic under single-threaded polling). -1 = disabled.
+  std::atomic<int64_t> poll_budget{-1};
+  /// Upstream state linked by CancellationSource(CancellationToken): a stop
+  /// requested upstream is observed by every downstream token.
+  std::shared_ptr<CancelState> upstream;
+
+  bool Poll() {
+    if (stop_requested.load(std::memory_order_relaxed)) return true;
+    if (upstream != nullptr && upstream->Poll()) {
+      stop_requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    int64_t budget = poll_budget.load(std::memory_order_relaxed);
+    if (budget >= 0 &&
+        poll_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      stop_requested.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace internal
+
+/// \brief Copyable, pollable view of a CancellationSource's stop flag.
+///
+/// A default-constructed token is "null": it never requests a stop and
+/// polls in one predictable branch, so request structs can carry one
+/// unconditionally. Thread-safe: any number of threads may poll
+/// concurrently with a RequestStop().
+class CancellationToken {
+ public:
+  /// Null token — stop_requested() is always false.
+  CancellationToken() = default;
+
+  /// True once the owning source requested a stop (or the poll budget ran
+  /// out). Safe to call from any thread at any rate; a relaxed atomic load
+  /// on the fast path.
+  bool stop_requested() const {
+    return state_ != nullptr && state_->Poll();
+  }
+
+  /// True when the token is connected to a source (i.e. can ever stop).
+  bool can_stop() const { return state_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<internal::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// \brief Owner of a stop flag; hands out CancellationTokens and trips
+/// them. One source per request: the QueryService creates one per ticket
+/// so QueryTicket::Cancel() reaches the executor's loop.
+class CancellationSource {
+ public:
+  CancellationSource()
+      : state_(std::make_shared<internal::CancelState>()) {}
+
+  /// Links this source below `upstream`: tokens of this source also stop
+  /// when `upstream` stops (linked-token idiom). A null upstream yields a
+  /// plain unlinked source.
+  explicit CancellationSource(const CancellationToken& upstream)
+      : CancellationSource() {
+    state_->upstream = upstream.state_;
+  }
+
+  /// A token observing this source (and any linked upstream).
+  CancellationToken token() const { return CancellationToken(state_); }
+
+  /// Trips the flag; every token observes it on its next poll.
+  void RequestStop() {
+    state_->stop_requested.store(true, std::memory_order_relaxed);
+  }
+
+  /// True once RequestStop() was called (or the poll budget ran out).
+  bool stop_requested() const { return state_->Poll(); }
+
+  /// \brief Trips the flag after `polls` further token polls — a
+  /// deterministic way to stop a single-threaded run provably mid-loop
+  /// (tests use it to show a cancelled run evaluates fewer objects than
+  /// its uncancelled twin). Deterministic only under single-threaded
+  /// polling; concurrent pollers make the trip point approximate.
+  void RequestStopAfterPolls(uint64_t polls) {
+    state_->poll_budget.store(static_cast<int64_t>(polls),
+                              std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_CANCELLATION_H_

@@ -28,6 +28,9 @@ enum class StatusCode : int {
   kIOError = 7,           ///< filesystem / parse failure
   kUnimplemented = 8,     ///< feature intentionally not available
   kInternal = 9,          ///< invariant broken inside ustdb itself
+  kCancelled = 10,        ///< caller revoked the request before completion
+  kDeadlineExceeded = 11, ///< the request's deadline passed before completion
+  kUnavailable = 12,      ///< transient refusal (queue full, shutting down)
 };
 
 /// \brief Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -72,6 +75,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// \}
 

@@ -1,5 +1,6 @@
 #include "workload/query_gen.h"
 
+#include <cmath>
 #include <iterator>
 #include <limits>
 
@@ -128,6 +129,62 @@ util::Result<std::vector<std::vector<core::QueryRequest>>> RefreshBatches(
     it += batch_size;
   }
   return batches;
+}
+
+util::Result<ArrivalProcess> ArrivalProcess::Create(
+    const ArrivalConfig& config) {
+  if (!(config.rate_qps > 0.0)) {
+    return util::Status::InvalidArgument("arrival rate must be > 0 qps");
+  }
+  if (config.kind == ArrivalConfig::Kind::kOnOff &&
+      (!(config.on_mean_s > 0.0) || !(config.off_mean_s > 0.0))) {
+    return util::Status::InvalidArgument(
+        "on/off phase means must be > 0 seconds");
+  }
+  return ArrivalProcess(config);
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.kind == ArrivalConfig::Kind::kOnOff) {
+    on_remaining_s_ = NextExponential(config_.on_mean_s);
+  }
+}
+
+double ArrivalProcess::NextExponential(double mean) {
+  // 1 - NextDouble() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng_.NextDouble());
+}
+
+double ArrivalProcess::NextGap() {
+  const double mean_gap = 1.0 / config_.rate_qps;
+  if (config_.kind == ArrivalConfig::Kind::kPoisson) {
+    return NextExponential(mean_gap);
+  }
+  // On/off: arrivals are Poisson inside an on phase; a candidate gap that
+  // outlives the phase is discarded (memorylessness makes the redraw
+  // exact) and the silent phase is added to the elapsed gap.
+  double gap = 0.0;
+  for (;;) {
+    const double candidate = NextExponential(mean_gap);
+    if (candidate <= on_remaining_s_) {
+      on_remaining_s_ -= candidate;
+      return gap + candidate;
+    }
+    gap += on_remaining_s_ + NextExponential(config_.off_mean_s);
+    on_remaining_s_ = NextExponential(config_.on_mean_s);
+  }
+}
+
+std::vector<double> ArrivalProcess::Times(uint32_t count) {
+  std::vector<double> times;
+  times.reserve(count);
+  double t = 0.0;
+  for (uint32_t i = 0; i < count; ++i) {
+    t += NextGap();
+    times.push_back(t);
+  }
+  return times;
 }
 
 }  // namespace workload

@@ -72,6 +72,51 @@ util::Result<std::vector<std::vector<core::QueryRequest>>> RefreshBatches(
     uint32_t batch_size, uint32_t num_batches, const PredicateMix& mix = {},
     double tau = 0.3, uint32_t top_k = 10);
 
+/// Parameters of the arrival-time generator.
+struct ArrivalConfig {
+  /// The two traffic shapes service benchmarks need: memoryless steady
+  /// load, and bursts (on phases at full rate separated by silences).
+  enum class Kind {
+    kPoisson,  ///< exponential inter-arrival gaps at rate_qps
+    kOnOff,    ///< Poisson at rate_qps during "on" phases, silent between
+  };
+  Kind kind = Kind::kPoisson;
+  /// Mean arrival rate while arrivals flow (the overall rate for kPoisson;
+  /// the in-burst rate for kOnOff). Must be > 0.
+  double rate_qps = 1000.0;
+  /// kOnOff only: mean duration of the bursting / silent phases, seconds
+  /// (both exponentially distributed; must be > 0).
+  double on_mean_s = 0.05;
+  double off_mean_s = 0.20;
+  uint64_t seed = 99;
+};
+
+/// \brief Open-loop arrival-time generator for service benchmarks: where
+/// RepeatingWorkload decides *what* is asked, ArrivalProcess decides
+/// *when* — closed-loop (submit, wait, repeat) benchmarks can never build
+/// a queue, so they measure an idle service. Deterministic per seed.
+class ArrivalProcess {
+ public:
+  /// \param config validated shape parameters.
+  static util::Result<ArrivalProcess> Create(const ArrivalConfig& config);
+
+  /// Seconds until the next arrival (>= 0; includes any silent phases the
+  /// gap spans under kOnOff).
+  double NextGap();
+
+  /// The next `count` absolute arrival times, seconds from now.
+  std::vector<double> Times(uint32_t count);
+
+ private:
+  explicit ArrivalProcess(const ArrivalConfig& config);
+
+  double NextExponential(double mean);
+
+  ArrivalConfig config_;
+  util::Rng rng_;
+  double on_remaining_s_ = 0.0;  ///< time left in the current on phase
+};
+
 }  // namespace workload
 }  // namespace ustdb
 

@@ -1,0 +1,85 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ustdb {
+namespace util {
+namespace {
+
+TEST(CancellationTest, NullTokenNeverStops) {
+  CancellationToken token;
+  EXPECT_FALSE(token.can_stop());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(CancellationTest, RequestStopReachesEveryTokenCopy) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  CancellationToken copy = token;
+  EXPECT_TRUE(token.can_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(copy.stop_requested());
+
+  source.RequestStop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(copy.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+}
+
+TEST(CancellationTest, StopIsIdempotent) {
+  CancellationSource source;
+  source.RequestStop();
+  source.RequestStop();
+  EXPECT_TRUE(source.token().stop_requested());
+}
+
+TEST(CancellationTest, StopAfterPollsTripsDeterministically) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  source.RequestStopAfterPolls(3);
+  // Exactly 3 polls succeed; every later poll observes the stop.
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(CancellationTest, StopAfterZeroPollsTripsImmediately) {
+  CancellationSource source;
+  source.RequestStopAfterPolls(0);
+  EXPECT_TRUE(source.token().stop_requested());
+}
+
+TEST(CancellationTest, LinkedSourceObservesUpstreamStop) {
+  CancellationSource upstream;
+  CancellationSource linked(upstream.token());
+  CancellationToken token = linked.token();
+  EXPECT_FALSE(token.stop_requested());
+
+  upstream.RequestStop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(CancellationTest, LinkedSourceStopsIndependentlyOfUpstream) {
+  CancellationSource upstream;
+  CancellationSource linked(upstream.token());
+  linked.RequestStop();
+  EXPECT_TRUE(linked.token().stop_requested());
+  // The link is one-way: a downstream stop never propagates up.
+  EXPECT_FALSE(upstream.token().stop_requested());
+}
+
+TEST(CancellationTest, CrossThreadStopIsObserved) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  std::thread canceller([&source] { source.RequestStop(); });
+  canceller.join();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace ustdb
