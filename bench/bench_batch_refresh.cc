@@ -58,35 +58,58 @@ core::QueryRequest ExistsRequest(const core::QueryWindow& w) {
 }
 
 /// Bit-identity guard: a 64-request single-window batch must answer
-/// exactly what 64 cold solo runs answer, or the amortization is buying
+/// exactly what 64 cold solo runs answer — on a sequential executor AND
+/// on a multi-threaded one whose intra-group splitting spreads the
+/// members' object ranges across workers — or the amortization is buying
 /// speed with correctness.
 void VerifyBatchParity(const Fixture& f) {
   std::vector<core::QueryRequest> requests(f.requests.begin(),
                                            f.requests.begin() + 64);
   core::QueryExecutor batch_exec(&f.db, {.num_threads = 1});
+  core::QueryExecutor batch_mt(&f.db, {.num_threads = 4});
   const auto batch = batch_exec.RunBatch(requests);
+  const auto batch_split = batch_mt.RunBatch(requests);
+  uint64_t subtasks = 0;
   for (size_t i = 0; i < requests.size(); ++i) {
     core::QueryExecutor cold(&f.db, {.num_threads = 1});
     const auto solo = cold.Run(requests[i]).ValueOrDie();
-    const auto& got = batch[i].value();
-    if (got.probabilities.size() != solo.probabilities.size()) {
-      std::fprintf(stderr, "batch parity: size mismatch at request %zu\n", i);
-      std::exit(1);
-    }
-    for (size_t j = 0; j < solo.probabilities.size(); ++j) {
-      if (got.probabilities[j].id != solo.probabilities[j].id ||
-          got.probabilities[j].probability !=
-              solo.probabilities[j].probability) {
-        std::fprintf(stderr,
-                     "batch parity: request %zu object %zu differs "
-                     "(batch %.17g vs solo %.17g)\n",
-                     i, j, got.probabilities[j].probability,
-                     solo.probabilities[j].probability);
+    for (const auto* result : {&batch[i], &batch_split[i]}) {
+      if (!result->ok()) {
+        std::fprintf(stderr, "batch parity: request %zu failed: %s\n", i,
+                     result->status().ToString().c_str());
         std::exit(1);
       }
+      const auto& got = result->value();
+      if (got.probabilities.size() != solo.probabilities.size()) {
+        std::fprintf(stderr, "batch parity: size mismatch at request %zu\n",
+                     i);
+        std::exit(1);
+      }
+      for (size_t j = 0; j < solo.probabilities.size(); ++j) {
+        if (got.probabilities[j].id != solo.probabilities[j].id ||
+            got.probabilities[j].probability !=
+                solo.probabilities[j].probability) {
+          std::fprintf(stderr,
+                       "batch parity: request %zu object %zu differs "
+                       "(batch %.17g vs solo %.17g)\n",
+                       i, j, got.probabilities[j].probability,
+                       solo.probabilities[j].probability);
+          std::exit(1);
+        }
+      }
     }
+    subtasks += batch_split[i].value().stats.group_subtasks;
   }
-  std::printf("parity: 64-request batch bit-identical to 64 solo runs\n");
+  std::printf(
+      "parity: 64-request batch bit-identical to 64 solo runs, with and "
+      "without intra-group splitting (%llu subtasks taken)\n",
+      static_cast<unsigned long long>(subtasks));
+  if (subtasks < 64) {
+    std::fprintf(stderr,
+                 "expected the intra-group scheduler to take >= 1 subtask "
+                 "per member\n");
+    std::exit(1);
+  }
 }
 
 Fixture& GetFixture() {
@@ -188,6 +211,36 @@ void BM_RunBatch(benchmark::State& state) {
   }
 }
 
+// RunBatch on a multi-threaded executor: the intra-group scheduler splits
+// the single group's member × object ranges across the pool, so the
+// backward pass amortization AND all hardware contexts apply at once.
+// (On a single-hardware-context host the pool degrades gracefully and
+// this tracks run_batch; the speedup shows on multi-core CI.)
+void BM_RunBatchSplit(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const int64_t n = state.range(0);
+  std::span<const core::QueryRequest> requests(f.requests.data(),
+                                               static_cast<size_t>(n));
+  double seconds = 0.0;
+  for (auto _ : state) {
+    util::Stopwatch sw;
+    core::QueryExecutor executor(&f.db, {.num_threads = 0});  // hw default
+    const auto results = executor.RunBatch(requests);
+    double total = 0.0;
+    for (const auto& r : results) total += SumProbabilities(r.value());
+    benchmark::DoNotOptimize(total);
+    seconds = sw.ElapsedSeconds();
+    state.SetIterationTime(seconds);
+  }
+  benchutil::Recorder::Instance().Record("run_batch_split",
+                                         static_cast<double>(n), seconds);
+  const auto cold = g_cold_seconds.find(n);
+  if (cold != g_cold_seconds.end() && seconds > 0.0) {
+    benchutil::Recorder::Instance().Record(
+        "speedup_split", static_cast<double>(n), cold->second / seconds);
+  }
+}
+
 void BM_MixedSequential(benchmark::State& state) {
   Fixture& f = GetFixture();
   benchutil::TimedIterations(state, "mixed_sequential", 64, [&] {
@@ -224,6 +277,11 @@ void Register() {
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("refresh/run_batch", BM_RunBatch)
+        ->Arg(n)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("refresh/run_batch_split", BM_RunBatchSplit)
         ->Arg(n)
         ->Iterations(1)
         ->UseManualTime()

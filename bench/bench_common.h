@@ -41,6 +41,14 @@ class Recorder {
     }
   }
 
+  /// Last recorded value of (series, x); 0 when the point is absent.
+  double Get(const std::string& series, double x) const {
+    auto it = data_.find(series);
+    if (it == data_.end()) return 0.0;
+    auto jt = it->second.find(x);
+    return jt == it->second.end() ? 0.0 : jt->second;
+  }
+
   /// Prints the pivot table to stdout and writes bench/out/<name>.csv.
   /// \param x_label  column header for the sweep variable.
   /// \param value_label unit note shown in the header (e.g. "runtime [s]").
@@ -100,6 +108,42 @@ class Recorder {
     std::printf("written: %s\n", path.c_str());
   }
 
+  /// \brief Writes the recorded series as machine-readable JSON so the
+  /// perf trajectory of a PR can be captured as a BENCH_*.json artifact
+  /// and diffed against a checked-in baseline (see
+  /// bench/check_perf_baseline.py). Schema:
+  /// { "name": ..., "x_label": ..., "value_label": ...,
+  ///   "series": { series: { x-as-string: value } } }.
+  void WriteJson(const std::string& path, const std::string& name,
+                 const std::string& x_label,
+                 const std::string& value_label) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"x_label\": \"%s\",\n",
+                 name.c_str(), x_label.c_str());
+    std::fprintf(f, "  \"value_label\": \"%s\",\n  \"series\": {",
+                 value_label.c_str());
+    bool first_series = true;
+    for (const auto& s : series_order_) {
+      std::fprintf(f, "%s\n    \"%s\": {", first_series ? "" : ",",
+                   s.c_str());
+      first_series = false;
+      bool first_point = true;
+      for (const auto& [x, v] : data_.at(s)) {
+        std::fprintf(f, "%s\n      \"%g\": %.17g", first_point ? "" : ",",
+                     x, v);
+        first_point = false;
+      }
+      std::fprintf(f, "\n    }");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("written: %s\n", path.c_str());
+  }
+
  private:
   Recorder() = default;
   std::map<std::string, std::map<double, double>> data_;
@@ -133,15 +177,39 @@ inline bool ExtractFlag(int* argc, char** argv, const std::string& flag) {
   return false;
 }
 
-/// Standard main body: initialize google-benchmark, run, print the figure.
+/// Removes `flag <value>` from argv if present; returns the value, or ""
+/// when the flag is absent (or has no value following it).
+inline std::string ExtractOption(int* argc, char** argv,
+                                 const std::string& flag) {
+  for (int i = 1; i + 1 < *argc; ++i) {
+    if (argv[i] == flag) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return value;
+    }
+  }
+  return std::string();
+}
+
+/// \brief Standard main body: initialize google-benchmark, run, print the
+/// figure. Every bench accepts `--json <path>` to additionally emit the
+/// recorded series as machine-readable JSON (Recorder::WriteJson), so CI
+/// and the per-PR perf trajectory can consume BENCH_*.json files instead
+/// of scraping stdout.
 inline int RunBenchMain(int argc, char** argv, const std::string& fig_name,
                         const std::string& x_label,
                         const std::string& value_label) {
+  const std::string json_path = ExtractOption(&argc, argv, "--json");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   Recorder::Instance().PrintAndWrite(fig_name, x_label, value_label);
+  if (!json_path.empty()) {
+    Recorder::Instance().WriteJson(json_path, fig_name, x_label,
+                                   value_label);
+  }
   return 0;
 }
 

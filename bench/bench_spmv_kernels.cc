@@ -1,0 +1,366 @@
+// Extension — microbenchmark of the regime-specialized SpMV kernels.
+//
+// Every predicate of the paper reduces to repeated row-vector × CSR
+// products, so the innermost kernels of VecMatWorkspace are where nearly
+// all query time goes. This bench sweeps the input vector's support
+// density across the sparse→dense transition and times, per product:
+//
+//   legacy          — the pre-overhaul single-path kernel
+//                     (MultiplyLegacy: stamp bookkeeping in every regime)
+//   multiply        — the regime-dispatching kernel (Multiply), scatter
+//   multiply_gather — Multiply with the memoized transpose supplied
+//                     (sequential gather; only meaningful in the dense
+//                     regime, where engines actually use it)
+//   legacy_extract  — legacy product followed by the separate
+//                     ExtractMassIn sweep (the old engine inner loop)
+//   fused_extract   — MultiplyAndExtract: product + ◆-redirection in one
+//                     pass (the new engine inner loop)
+//
+// plus derived ratio series (higher is better, machine-independent-ish):
+//
+//   speedup_multiply = legacy / multiply
+//   speedup_gather   = legacy / multiply_gather
+//   speedup_fused    = legacy_extract / fused_extract
+//
+// Before timing, every kernel's output is checked against the legacy
+// path (max-abs diff <= 1e-12; the non-clamped kernels are in fact
+// bit-identical by construction).
+//
+// Usage: bench_spmv_kernels [--smoke] [--json <path>]
+//   --smoke shrinks the model so the bench finishes in seconds; CI's
+//   perf-smoke job runs this mode and compares the speedup series against
+//   bench/baselines/spmv_smoke.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/index_set.h"
+#include "sparse/prob_vector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ustdb;
+using sparse::CsrMatrix;
+using sparse::IndexSet;
+using sparse::ProbVector;
+using sparse::VecMatWorkspace;
+
+bool g_smoke = false;
+
+struct Fixture {
+  CsrMatrix matrix;
+  CsrMatrix transposed;
+  IndexSet region;  // ~10% of states, the ◆-redirection target
+  // One input vector per swept density, in the representation the
+  // adaptive ProbVector would actually be using at that support.
+  std::vector<double> densities;
+  std::vector<ProbVector> vectors;
+};
+
+// Smoke stays cache-resident (the regime where the kernel, not DRAM
+// bandwidth, is measured — and the regime of the paper's state spaces);
+// full additionally streams from memory.
+uint32_t NumStates() { return g_smoke ? 1'500 : 6'000; }
+constexpr uint32_t kNnzPerRow = 12;
+
+Fixture& GetFixture() {
+  static std::optional<Fixture> cache;
+  if (!cache.has_value()) {
+    const uint32_t n = NumStates();
+    util::Rng rng(20260728);
+
+    // Random sub-stochastic matrix: kNnzPerRow random columns per row,
+    // row sums scaled to 0.97 (augmented M' matrices are sub-stochastic).
+    std::vector<sparse::Triplet> triplets;
+    triplets.reserve(static_cast<size_t>(n) * kNnzPerRow);
+    for (uint32_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      std::vector<std::pair<uint32_t, double>> row;
+      for (uint32_t k = 0; k < kNnzPerRow; ++k) {
+        row.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                         0.05 + rng.NextDouble());
+      }
+      for (const auto& [c, v] : row) sum += v;
+      for (const auto& [c, v] : row) {
+        triplets.push_back({r, c, 0.97 * v / sum});
+      }
+    }
+    Fixture f;
+    f.matrix = CsrMatrix::FromTriplets(n, n, std::move(triplets))
+                   .ValueOrDie();
+    f.transposed = f.matrix.Transposed();
+
+    std::vector<uint32_t> region_members;
+    for (uint32_t s = 0; s < n / 10; ++s) {
+      region_members.push_back(static_cast<uint32_t>(rng.NextBounded(n)));
+    }
+    f.region =
+        IndexSet::FromIndices(n, std::move(region_members)).ValueOrDie();
+
+    f.densities = {0.01, 0.05, 0.15, 0.30, 0.60, 1.00};
+    std::vector<uint32_t> perm(n);
+    for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+    for (uint32_t i = n; i > 1; --i) {  // Fisher–Yates, exact support sizes
+      std::swap(perm[i - 1],
+                perm[static_cast<uint32_t>(rng.NextBounded(i))]);
+    }
+    for (double d : f.densities) {
+      const auto support = static_cast<uint32_t>(d * n);
+      std::vector<std::pair<uint32_t, double>> pairs;
+      for (uint32_t k = 0; k < support; ++k) {
+        pairs.emplace_back(perm[k], rng.NextDouble() + 1e-3);
+      }
+      f.vectors.push_back(
+          ProbVector::FromPairs(n, std::move(pairs), /*normalize=*/true)
+              .ValueOrDie());
+    }
+    cache.emplace(std::move(f));
+  }
+  return *cache;
+}
+
+/// Parity gate: refuse to time kernels whose answers drift from legacy.
+void VerifyParity(const Fixture& f) {
+  VecMatWorkspace ws;
+  for (size_t i = 0; i < f.vectors.size(); ++i) {
+    const ProbVector& x = f.vectors[i];
+    ProbVector ref;
+    ws.MultiplyLegacy(x, f.matrix, &ref);
+
+    ProbVector got;
+    ws.Multiply(x, f.matrix, &got);
+    double diff = got.MaxAbsDiff(ref);
+    ws.Multiply(x, f.matrix, &got, &f.transposed);
+    diff = std::max(diff, got.MaxAbsDiff(ref));
+
+    ProbVector ref_extract = ref;
+    const double ref_mass = ref_extract.ExtractMassIn(f.region);
+    const double fused_mass =
+        ws.MultiplyAndExtract(x, f.matrix, f.region, &got, &f.transposed);
+    diff = std::max(diff, got.MaxAbsDiff(ref_extract));
+    diff = std::max(diff, std::abs(fused_mass - ref_mass));
+
+    const double massin =
+        ws.MultiplyAndMassIn(x, f.matrix, f.region, &got, &f.transposed);
+    diff = std::max(diff, got.MaxAbsDiff(ref));
+    diff = std::max(diff, std::abs(massin - ref_mass));
+
+    std::vector<std::pair<uint32_t, double>> moved;
+    const double entries_mass = ws.MultiplyAndExtractEntries(
+        x, f.matrix, f.region, &got, &moved, &f.transposed);
+    diff = std::max(diff, got.MaxAbsDiff(ref_extract));
+    diff = std::max(diff, std::abs(entries_mass - ref_mass));
+
+    // Clamp: reference is the unfused extract + re-insert + multiply.
+    ProbVector clamped = x;
+    clamped.ExtractMassIn(f.region);
+    std::vector<std::pair<uint32_t, double>> ones;
+    for (uint32_t s : f.region) ones.emplace_back(s, 1.0);
+    clamped.AddEntries(ones);
+    ProbVector clamp_ref;
+    ws.MultiplyLegacy(clamped, f.matrix, &clamp_ref);
+    ws.MultiplyClamped(x, f.matrix, f.region, &got, &f.transposed);
+    diff = std::max(diff, got.MaxAbsDiff(clamp_ref));
+
+    if (diff > 1e-12) {
+      std::fprintf(stderr,
+                   "kernel parity failure at density %g: max diff %.3e\n",
+                   f.densities[i], diff);
+      std::exit(1);
+    }
+  }
+  std::printf("parity: all kernels within 1e-12 of the legacy path\n");
+}
+
+int Reps() { return g_smoke ? 200 : 60; }
+constexpr int kTrials = 3;  // record the fastest trial: noise is one-sided
+
+// Per-product seconds of the base kernels, kept to derive the speedup
+// series without re-measuring.
+std::map<double, double> g_legacy_seconds;
+std::map<double, double> g_legacy_extract_seconds;
+std::map<double, double> g_legacy_clamp_seconds;
+
+template <typename Body>
+void TimePerProduct(benchmark::State& state, const std::string& series,
+                    double density, Body&& body) {
+  const int reps = Reps();
+  double seconds = 0.0;
+  for (auto _ : state) {
+    double best = 1e300;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      util::Stopwatch sw;
+      for (int r = 0; r < reps; ++r) body();
+      best = std::min(best, sw.ElapsedSeconds() / reps);
+    }
+    seconds = best;
+    state.SetIterationTime(seconds * reps * kTrials);
+  }
+  benchutil::Recorder::Instance().Record(series, density * 100.0, seconds);
+  if (series == "legacy") g_legacy_seconds[density] = seconds;
+  if (series == "legacy_extract") {
+    g_legacy_extract_seconds[density] = seconds;
+  }
+  if (series == "legacy_clamp") g_legacy_clamp_seconds[density] = seconds;
+}
+
+void RecordRatio(const std::string& series, double density, double base,
+                 double mine) {
+  if (base > 0.0 && mine > 0.0) {
+    benchutil::Recorder::Instance().Record(series, density * 100.0,
+                                           base / mine);
+  }
+}
+
+void BM_Legacy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "legacy", d, [&] {
+    ws.MultiplyLegacy(x, f.matrix, &out);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+void BM_Multiply(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "multiply", d, [&] {
+    ws.Multiply(x, f.matrix, &out);
+    benchmark::DoNotOptimize(out);
+  });
+  RecordRatio("speedup_multiply", d, g_legacy_seconds[d],
+              benchutil::Recorder::Instance().Get("multiply", d * 100.0));
+}
+
+void BM_MultiplyGather(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "multiply_gather", d, [&] {
+    ws.Multiply(x, f.matrix, &out, &f.transposed);
+    benchmark::DoNotOptimize(out);
+  });
+  RecordRatio(
+      "speedup_gather", d, g_legacy_seconds[d],
+      benchutil::Recorder::Instance().Get("multiply_gather", d * 100.0));
+}
+
+void BM_LegacyExtract(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "legacy_extract", d, [&] {
+    ws.MultiplyLegacy(x, f.matrix, &out);
+    benchmark::DoNotOptimize(out.ExtractMassIn(f.region));
+  });
+}
+
+void BM_FusedExtract(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "fused_extract", d, [&] {
+    benchmark::DoNotOptimize(
+        ws.MultiplyAndExtract(x, f.matrix, f.region, &out, &f.transposed));
+  });
+  RecordRatio(
+      "speedup_fused", d, g_legacy_extract_seconds[d],
+      benchutil::Recorder::Instance().Get("fused_extract", d * 100.0));
+}
+
+// The query-based backward step before the overhaul: clamp the region to
+// ones (extract + merge re-insert — a full vector rebuild) and multiply.
+void BM_LegacyClamp(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  std::vector<std::pair<uint32_t, double>> ones;
+  ones.reserve(f.region.size());
+  for (uint32_t s : f.region) ones.emplace_back(s, 1.0);
+  TimePerProduct(state, "legacy_clamp", d, [&] {
+    ProbVector g = x;
+    g.ExtractMassIn(f.region);
+    g.AddEntries(ones);
+    ws.MultiplyLegacy(g, f.matrix, &out);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+void BM_FusedClamp(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "fused_clamp", d, [&] {
+    ws.MultiplyClamped(x, f.matrix, f.region, &out, &f.transposed);
+    benchmark::DoNotOptimize(out);
+  });
+  RecordRatio(
+      "speedup_clamp", d, g_legacy_clamp_seconds[d],
+      benchutil::Recorder::Instance().Get("fused_clamp", d * 100.0));
+}
+
+void Register() {
+  Fixture& f = GetFixture();
+  VerifyParity(f);
+  for (size_t i = 0; i < f.densities.size(); ++i) {
+    const auto arg = static_cast<int64_t>(i);
+    benchmark::RegisterBenchmark("spmv/legacy", BM_Legacy)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/multiply", BM_Multiply)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/multiply_gather", BM_MultiplyGather)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/legacy_extract", BM_LegacyExtract)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/fused_extract", BM_FusedExtract)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/legacy_clamp", BM_LegacyClamp)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("spmv/fused_clamp", BM_FusedClamp)
+        ->Arg(arg)->Iterations(1)->UseManualTime()
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_smoke = ustdb::benchutil::ExtractFlag(&argc, argv, "--smoke");
+  Register();
+  return ustdb::benchutil::RunBenchMain(
+      argc, argv, "spmv_kernels", "support_density_pct",
+      "seconds per product / speedup vs legacy kernel");
+}

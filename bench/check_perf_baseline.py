@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compares a bench --json output against a checked-in perf baseline.
+
+Usage: check_perf_baseline.py BASELINE.json CURRENT.json [--tolerance T]
+
+The baseline lists (series, x, value) points for *higher-is-better*
+series (the bench's machine-independent speedup ratios). The check fails
+when any listed point regresses by more than the tolerance (default 0.25,
+i.e. current < baseline * 0.75) or is missing from the current output.
+Absolute timings are deliberately not checked — they do not transfer
+across machines; ratios of two kernels measured on the same machine do.
+
+Baseline schema:
+  { "tolerance": 0.25,
+    "series": { "speedup_gather": { "100": 2.0 }, ... } }
+
+CURRENT is the bench's --json output (bench_common.h WriteJson schema).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline's tolerance")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = baseline.get("tolerance", 0.25)
+    current_series = current.get("series", {})
+
+    failures = []
+    checked = 0
+    for series, points in baseline.get("series", {}).items():
+        for x, expected in points.items():
+            got = current_series.get(series, {}).get(x)
+            checked += 1
+            if got is None:
+                failures.append(
+                    f"{series}@{x}: missing from current output")
+                continue
+            floor = expected * (1.0 - tolerance)
+            status = "OK" if got >= floor else "REGRESSION"
+            print(f"{status:>10}  {series}@{x}: current {got:.3f} vs "
+                  f"baseline {expected:.3f} (floor {floor:.3f})")
+            if got < floor:
+                failures.append(
+                    f"{series}@{x}: {got:.3f} < floor {floor:.3f} "
+                    f"(baseline {expected:.3f}, tolerance {tolerance:.0%})")
+
+    if failures:
+        print(f"\n{len(failures)} of {checked} checked points regressed "
+              f"beyond {tolerance:.0%}:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} baseline points within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

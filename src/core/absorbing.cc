@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/compensated_sum.h"
+
 namespace ustdb {
 namespace core {
 
@@ -57,6 +59,57 @@ AugmentedMatrices BuildAbsorbingMatrices(const markov::MarkovChain& chain,
       CsrMatrix::FromTriplets(n + 1, n + 1, std::move(minus)).ValueOrDie();
   out.plus =
       CsrMatrix::FromTriplets(n + 1, n + 1, std::move(plus)).ValueOrDie();
+  return out;
+}
+
+AugmentedMatrices BuildAbsorbingTransposed(const markov::MarkovChain& chain,
+                                           const IndexSet& region) {
+  const CsrMatrix& mt = chain.transposed();  // built once per chain
+  const uint32_t n = mt.rows();
+  const uint32_t diamond = n;
+
+  // (M−)ᵀ = [[Mᵀ, 0], [0ᵀ, 1]].
+  std::vector<Triplet> minus_t;
+  minus_t.reserve(mt.nnz() + 1);
+  AppendShifted(mt, 0, 0, nullptr, false, &minus_t);
+  minus_t.push_back({diamond, diamond, 1.0});
+
+  // (M+)ᵀ = [[M'ᵀ, 0], [sum(S□)ᵀ, 1]]: transposing M's column-zeroing
+  // turns into row-zeroing of Mᵀ, and the ◆ column becomes the ◆ row. The
+  // skipped region rows of Mᵀ hold exactly the entries sum(S□) folds, so
+  // one pass over Mᵀ yields both pieces — no second scan of M.
+  // Compensated per-target accumulation in ascending region-row order
+  // reproduces RowMassInColumns bit for bit (the equality test against
+  // transposing the built M+ depends on it).
+  std::vector<Triplet> plus_t;
+  plus_t.reserve(mt.nnz() + n + 1);
+  for (uint32_t r = 0; r < n; ++r) {
+    if (region.Contains(r)) continue;
+    auto idx = mt.RowIndices(r);
+    auto val = mt.RowValues(r);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      plus_t.push_back({r, idx[k], val[k]});
+    }
+  }
+  std::vector<util::CompensatedSum> removed(n);
+  for (uint32_t c : region) {
+    auto idx = mt.RowIndices(c);
+    auto val = mt.RowValues(c);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      removed[idx[k]].Add(val[k]);
+    }
+  }
+  for (uint32_t c = 0; c < n; ++c) {
+    const double mass = removed[c].Total();
+    if (mass != 0.0) plus_t.push_back({diamond, c, mass});
+  }
+  plus_t.push_back({diamond, diamond, 1.0});
+
+  AugmentedMatrices out;
+  out.minus =
+      CsrMatrix::FromTriplets(n + 1, n + 1, std::move(minus_t)).ValueOrDie();
+  out.plus =
+      CsrMatrix::FromTriplets(n + 1, n + 1, std::move(plus_t)).ValueOrDie();
   return out;
 }
 
@@ -117,6 +170,14 @@ AugmentedMatrices BuildKTimesMatrices(const markov::MarkovChain& chain,
   out.minus = CsrMatrix::FromTriplets(dim, dim, std::move(minus)).ValueOrDie();
   out.plus = CsrMatrix::FromTriplets(dim, dim, std::move(plus)).ValueOrDie();
   return out;
+}
+
+void ClampRegionToOnes(const IndexSet& region, ProbVector* v) {
+  v->ExtractMassIn(region);
+  std::vector<std::pair<uint32_t, double>> region_ones;
+  region_ones.reserve(region.size());
+  for (uint32_t s : region) region_ones.emplace_back(s, 1.0);
+  v->AddEntries(region_ones);
 }
 
 ProbVector ExtendInitialAbsorbing(const ProbVector& initial,

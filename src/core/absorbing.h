@@ -53,6 +53,21 @@ struct AugmentedMatrices {
 AugmentedMatrices BuildAbsorbingMatrices(const markov::MarkovChain& chain,
                                          const sparse::IndexSet& region);
 
+/// \brief The *transposed* Section V-A matrices (M−)ᵀ/(M+)ᵀ, which the
+/// explicit query-based backward pass multiplies with. Derived directly
+/// from the chain's memoized Mᵀ —
+///
+///   (M−)ᵀ = | Mᵀ          0 |     (M+)ᵀ = | M'ᵀ         0 |
+///           | 0ᵀ          1 |             | sum(S□)ᵀ    1 |
+///
+/// where M'ᵀ is Mᵀ with the *rows* of S□ emptied — so building a QB
+/// engine never re-materializes M± only to transpose them again: the
+/// expensive per-chain transposition is paid once (MarkovChain caches it)
+/// and every (chain, window) build after that is a linear assembly.
+/// Fields hold the transposed matrices despite the struct's field names.
+AugmentedMatrices BuildAbsorbingTransposed(const markov::MarkovChain& chain,
+                                           const sparse::IndexSet& region);
+
 /// \brief Section VI doubled-state matrices (s at index i, s◾ at index n+i).
 /// Result dimension: 2n × 2n.
 AugmentedMatrices BuildDoubledMatrices(const markov::MarkovChain& chain,
@@ -70,6 +85,12 @@ AugmentedMatrices BuildDoubledMatrices(const markov::MarkovChain& chain,
 AugmentedMatrices BuildKTimesMatrices(const markov::MarkovChain& chain,
                                       const sparse::IndexSet& region,
                                       uint32_t num_window_times);
+
+/// \brief Replaces the entries of `v` inside `region` with exactly 1.0 —
+/// the backward pass's terminal clamp at a window time with no product
+/// following it (query-based and time-varying start vectors; the mid-loop
+/// clamps are fused into the product via MultiplyClamped).
+void ClampRegionToOnes(const sparse::IndexSet& region, sparse::ProbVector* v);
 
 /// \brief Extends an initial distribution over S to the (n+1)-dim absorbing
 /// space of BuildAbsorbingMatrices. If t=0 ∈ T□ the region mass is moved to

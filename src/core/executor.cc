@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <tuple>
@@ -151,6 +152,41 @@ struct QueryExecutor::BatchGroup {
   uint64_t cache_misses = 0;
 };
 
+/// Shared state of one exists-family evaluation: the cooperative-stop
+/// poller, the first-error latch, and the progress counters. One instance
+/// per solo Run or per batch member; workers touching disjoint object
+/// ranges share it through atomics only.
+struct QueryExecutor::ExistsEval {
+  explicit ExistsEval(const QueryRequest& request) : poller(request) {}
+
+  bool ShouldStop() {
+    return failed.load(std::memory_order_relaxed) || poller.ShouldStop();
+  }
+
+  /// Resolution status: the first evaluation error, else the stop status,
+  /// else OK. Call after all workers finished.
+  util::Status Finish() {
+    if (failed.load()) return first_error;
+    return poller.ToStatus();
+  }
+
+  StopPoller poller;
+  std::atomic<bool> failed{false};
+  std::atomic<uint32_t> early{0};
+  std::atomic<uint32_t> singles{0};
+  std::atomic<uint32_t> multis{0};
+  std::mutex error_mu;
+  util::Status first_error = util::Status::OK();
+};
+
+/// ExistsEval's k-times counterpart (k-times evaluation cannot fail).
+struct QueryExecutor::KTimesEval {
+  explicit KTimesEval(const QueryRequest& request) : poller(request) {}
+
+  StopPoller poller;
+  std::atomic<uint32_t> done{0};
+};
+
 /// Either the caller's filter (borrowed — the request outlives the run) or
 /// the implicit identity range [0, num_objects); never materializes ids.
 class QueryExecutor::Selection {
@@ -266,9 +302,8 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   std::vector<double> probs;
   std::vector<uint8_t> keep;
   EvalCounters counters;
-  util::Status status = EvaluateExistsObjects(
-      request, window, ids, plans, /*use_pool=*/true, &probs, &keep,
-      &counters);
+  util::Status status = EvaluateExistsObjects(request, window, ids, plans,
+                                              &probs, &keep, &counters);
   result.stats.prune.objects_decided_early = counters.early_stops;
   result.stats.objects_evaluated = counters.singles;
   result.stats.objects_multi_observation = counters.multis;
@@ -279,87 +314,80 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   return result;
 }
 
+void QueryExecutor::EvaluateExistsRange(
+    const QueryRequest& request, const QueryWindow& window,
+    const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
+    size_t begin, size_t end, std::vector<double>* probs,
+    std::vector<uint8_t>* keep, ExistsEval* ev) {
+  const bool threshold =
+      request.predicate == PredicateKind::kThresholdExists;
+  for (size_t i = begin; i < end; ++i) {
+    if (ev->failed.load(std::memory_order_relaxed)) return;
+    const UncertainObject& obj = db_->object(ids[i]);
+    if (NeedsMultiObservation(obj)) {
+      MultiObservationEngine engine(&db_->chain(obj.chain), window,
+                                    {.mode = request.matrix_mode});
+      util::Result<MultiObsResult> r = engine.Evaluate(obj.observations);
+      if (!r.ok()) {
+        ev->failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(ev->error_mu);
+        if (ev->first_error.ok()) ev->first_error = r.status();
+        return;
+      }
+      (*probs)[i] = r->exists_probability;
+      if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
+      ev->multis.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const ChainPlan& cp = plans.at(obj.chain);
+    if (cp.Resolve(request) == Plan::kQueryBased) {
+      (*probs)[i] = cp.qb->ExistsProbability(obj.initial_pdf());
+      if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
+    } else if (threshold) {
+      // τ-early-termination (Section V-A): decide first, compute the
+      // exact probability only for qualifying objects.
+      ObRunStats run;
+      const ThresholdDecision d =
+          cp.ob->ExistsDecision(obj.initial_pdf(), request.tau, &run);
+      if (run.early_terminated) {
+        ev->early.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (d == ThresholdDecision::kYes) {
+        (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+      } else {
+        (*keep)[i] = 0;
+      }
+    } else {
+      (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
+    }
+    ev->singles.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 util::Status QueryExecutor::EvaluateExistsObjects(
     const QueryRequest& request, const QueryWindow& window,
     const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
-    bool use_pool, std::vector<double>* probs, std::vector<uint8_t>* keep,
+    std::vector<double>* probs, std::vector<uint8_t>* keep,
     EvalCounters* counters) {
-  const bool threshold =
-      request.predicate == PredicateKind::kThresholdExists;
   probs->assign(ids.size(), 0.0);
   // Threshold qualification, decided where the probability is computed:
   // OB objects by the τ-run's verdict, everything else by comparison.
   keep->assign(ids.size(), 1);
 
-  std::atomic<bool> failed{false};
-  std::atomic<uint32_t> early{0};
-  std::atomic<uint32_t> singles{0};
-  std::atomic<uint32_t> multis{0};
-  std::mutex error_mu;
-  util::Status first_error = util::Status::OK();
-
-  // Polled between kStopCheckStride-object sub-chunks on every worker; an
-  // error, a tripped cancellation token, or a passed deadline makes every
-  // worker abandon its remaining objects at the next check.
-  StopPoller poller(request);
-  const auto should_stop = [&] {
-    return failed.load(std::memory_order_relaxed) || poller.ShouldStop();
-  };
-
-  const auto body = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      const UncertainObject& obj = db_->object(ids[i]);
-      if (NeedsMultiObservation(obj)) {
-        MultiObservationEngine engine(&db_->chain(obj.chain), window,
-                                      {.mode = request.matrix_mode});
-        util::Result<MultiObsResult> r = engine.Evaluate(obj.observations);
-        if (!r.ok()) {
-          failed.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = r.status();
-          return;
-        }
-        (*probs)[i] = r->exists_probability;
-        if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
-        multis.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      const ChainPlan& cp = plans.at(obj.chain);
-      if (cp.Resolve(request) == Plan::kQueryBased) {
-        (*probs)[i] = cp.qb->ExistsProbability(obj.initial_pdf());
-        if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
-      } else if (threshold) {
-        // τ-early-termination (Section V-A): decide first, compute the
-        // exact probability only for qualifying objects.
-        ObRunStats run;
-        const ThresholdDecision d =
-            cp.ob->ExistsDecision(obj.initial_pdf(), request.tau, &run);
-        if (run.early_terminated) {
-          early.fetch_add(1, std::memory_order_relaxed);
-        }
-        if (d == ThresholdDecision::kYes) {
-          (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
-        } else {
-          (*keep)[i] = 0;
-        }
-      } else {
-        (*probs)[i] = cp.ob->ExistsProbability(obj.initial_pdf());
-      }
-      singles.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  if (use_pool) {
-    pool_.ParallelChunksUntil(ids.size(), should_stop, body);
-  } else {
-    util::ChunksUntil(0, ids.size(), util::kStopCheckStride, should_stop,
-                      body);
-  }
-  counters->early_stops = early.load();
-  counters->singles = singles.load();
-  counters->multis = multis.load();
-  if (failed.load()) return first_error;
-  return poller.ToStatus();
+  // ev is polled between kStopCheckStride-object sub-chunks on every
+  // worker; an error, a tripped cancellation token, or a passed deadline
+  // makes every worker abandon its remaining objects at the next check.
+  ExistsEval ev(request);
+  pool_.ParallelChunksUntil(
+      ids.size(), [&] { return ev.ShouldStop(); },
+      [&](size_t begin, size_t end) {
+        EvaluateExistsRange(request, window, ids, plans, begin, end, probs,
+                            keep, &ev);
+      });
+  counters->early_stops = ev.early.load();
+  counters->singles = ev.singles.load();
+  counters->multis = ev.multis.load();
+  return ev.Finish();
 }
 
 void QueryExecutor::AssembleExistsResult(const QueryRequest& request,
@@ -436,40 +464,40 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
   result.stats.chains_object_based = static_cast<uint32_t>(plans.size());
 
   uint32_t evaluated = 0;
-  util::Status status = EvaluateKTimesObjects(
-      request, ids, plans, /*use_pool=*/true, &result.distributions,
-      &evaluated);
+  util::Status status = EvaluateKTimesObjects(request, ids, plans,
+                                              &result.distributions,
+                                              &evaluated);
   result.stats.objects_evaluated = evaluated;
   last_stats_ = result.stats;
   if (!status.ok()) return status;
   return result;
 }
 
+void QueryExecutor::EvaluateKTimesRange(
+    const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
+    size_t begin, size_t end, std::vector<ObjectKTimes>* distributions,
+    KTimesEval* ev) {
+  for (size_t i = begin; i < end; ++i) {
+    const UncertainObject& obj = db_->object(ids[i]);
+    (*distributions)[i] = {
+        ids[i], plans.at(obj.chain).ktimes->Distribution(obj.initial_pdf())};
+    ev->done.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 util::Status QueryExecutor::EvaluateKTimesObjects(
     const QueryRequest& request, const Selection& ids,
-    const std::map<ChainId, ChainPlan>& plans, bool use_pool,
+    const std::map<ChainId, ChainPlan>& plans,
     std::vector<ObjectKTimes>* distributions, uint32_t* evaluated) {
   distributions->resize(ids.size());
-  std::atomic<uint32_t> done{0};
-  StopPoller poller(request);
-  const auto should_stop = [&] { return poller.ShouldStop(); };
-  const auto body = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const UncertainObject& obj = db_->object(ids[i]);
-      (*distributions)[i] = {
-          ids[i],
-          plans.at(obj.chain).ktimes->Distribution(obj.initial_pdf())};
-      done.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-  if (use_pool) {
-    pool_.ParallelChunksUntil(ids.size(), should_stop, body);
-  } else {
-    util::ChunksUntil(0, ids.size(), util::kStopCheckStride, should_stop,
-                      body);
-  }
-  *evaluated = done.load();
-  return poller.ToStatus();
+  KTimesEval ev(request);
+  pool_.ParallelChunksUntil(
+      ids.size(), [&] { return ev.poller.ShouldStop(); },
+      [&](size_t begin, size_t end) {
+        EvaluateKTimesRange(ids, plans, begin, end, distributions, &ev);
+      });
+  *evaluated = ev.done.load();
+  return ev.poller.ToStatus();
 }
 
 std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
@@ -575,26 +603,253 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
         cp.qb = cache_.Lookup(&db_->chain(chain_id), group.window);
       }
       if (cp.qb == nullptr) {
+        // Built in the parallel build phase below. The backward pass reads
+        // the chain's lazily built transpose cache, which is thread-safe,
+        // so no pre-materialization is needed here.
         group.qb_to_build.push_back(chain_id);
-        if (group.mode == MatrixMode::kImplicit) {
-          // The implicit backward pass reads the chain's lazily built,
-          // unsynchronized transpose cache; materialize it here, before
-          // group tasks construct engines for this chain concurrently.
-          (void)db_->chain(chain_id).transposed();
-        }
       }
     }
     group.cache_hits = cache_.stats().hits - before.hits;
     group.cache_misses = cache_.stats().misses - before.misses;
   }
 
-  // --- Execution phase: groups are the parallel unit; members of one
-  // group run sequentially on its shared engines. --------------------------
-  pool_.ParallelChunks(groups.size(), [&](size_t begin, size_t end) {
-    for (size_t g = begin; g < end; ++g) {
-      ExecuteGroup(requests, &groups[g], &results);
+  // --- Build phase: construct the cheap engine shells inline, then run
+  // every expensive build — the query-based backward passes and the
+  // explicit-mode M± materializations — as its own pool task, so even a
+  // single-group batch builds its chains' engines in parallel. ------------
+  struct EngineBuild {
+    BatchGroup* group;
+    ChainId chain;
+    bool backward;  // true: QB backward pass; false: force OB's M±
+  };
+  std::vector<EngineBuild> builds;
+  for (BatchGroup& group : groups) {
+    for (ChainId chain_id : group.qb_to_build) {
+      builds.push_back({&group, chain_id, /*backward=*/true});
+    }
+    for (auto& [chain_id, cp] : group.plans) {
+      if (cp.want_ob) {
+        cp.ob = std::make_unique<ObjectBasedEngine>(
+            &db_->chain(chain_id), group.window,
+            ObjectBasedOptions{.mode = group.mode});
+        if (group.mode == MatrixMode::kExplicit) {
+          // Force the lazily built M−/M+ before subtasks share the engine.
+          builds.push_back({&group, chain_id, /*backward=*/false});
+        }
+      }
+      if (cp.want_ktimes) {
+        cp.ktimes = std::make_unique<KTimesEngine>(
+            &db_->chain(chain_id), group.window,
+            KTimesOptions{.mode = group.mode});
+      }
+    }
+  }
+  pool_.ParallelChunks(builds.size(), [&](size_t begin, size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      const EngineBuild& build = builds[b];
+      ChainPlan& cp = build.group->plans.at(build.chain);
+      if (build.backward) {
+        cp.qb_owned = std::make_unique<QueryBasedEngine>(
+            &db_->chain(build.chain), build.group->window,
+            QueryBasedOptions{.mode = build.group->mode});
+        cp.qb = cp.qb_owned.get();
+      } else {
+        (void)cp.ob->augmented();
+      }
     }
   });
+
+  // --- Execution phase: flatten the per-object evaluation of every
+  // member of every group into object-range subtasks of kStopCheckStride
+  // objects and spread them across the pool. A batch concentrated on one
+  // window — a dashboard refresh — therefore still saturates all workers
+  // instead of serializing its members on one. Results are unaffected by
+  // the split: every object's output is written independently, exactly as
+  // in the solo path's ParallelChunksUntil loop, and each subtask
+  // re-checks its member's cancellation token and deadline first,
+  // preserving the cooperative-stop stride.
+  //
+  // Members run in *waves* whose combined object count is bounded, so
+  // per-member scratch (probs/keep/distributions) peaks at roughly the
+  // wave budget instead of O(batch × objects) — a 64-request refresh over
+  // a million-object database must not hold 64 full result buffers at
+  // once. Each wave is assembled (and its scratch freed) before the next
+  // allocates; waves follow batch order, so assembly order and cache-stat
+  // attribution are unchanged. ---------------------------------------------
+  struct MemberExec {
+    MemberExec(const QueryRequest& req, BatchGroup* g, uint32_t num_objects)
+        : request(req),
+          group(g),
+          ids(req, num_objects),
+          ktimes(req.predicate == PredicateKind::kKTimes) {
+      if (ktimes) {
+        ktimes_ev.emplace(req);
+      } else {
+        exists_ev.emplace(req);
+      }
+    }
+
+    const QueryRequest& request;
+    BatchGroup* group;
+    Selection ids;
+    bool ktimes;
+    std::optional<ExistsEval> exists_ev;  // engaged iff !ktimes
+    std::optional<KTimesEval> ktimes_ev;  // engaged iff ktimes
+    std::vector<double> probs;
+    std::vector<uint8_t> keep;
+    std::vector<ObjectKTimes> distributions;
+    std::atomic<uint32_t> subtasks{0};  // intra-group splits executed
+  };
+  struct SubTask {
+    MemberExec* member;
+    size_t begin;
+    size_t end;
+  };
+  struct MemberRef {
+    size_t group_index;
+    const BatchGroup::Member* member;
+  };
+  std::vector<MemberRef> member_order;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const BatchGroup::Member& member : groups[g].members) {
+      member_order.push_back({g, &member});
+    }
+  }
+  // Per-group flag: the group's cache-stat deltas go to the first member
+  // whose result is actually stored — attributing them to a member that
+  // then fails would drop them, and aggregating members would no longer
+  // reconcile with cache_stats(). Persistent across waves, since a
+  // group's members may span several.
+  std::vector<uint8_t> cache_stats_attributed(groups.size(), 0);
+
+  /// Combined object count one wave's members may hold scratch for
+  /// (~36 MB of probs + keep). A single larger member still runs alone.
+  constexpr size_t kWaveObjectBudget = size_t{4} << 20;
+
+  size_t next_member = 0;
+  while (next_member < member_order.size()) {
+    size_t wave_end = next_member;
+    size_t wave_objects = 0;
+    while (wave_end < member_order.size()) {
+      const size_t n_objects =
+          Selection(requests[member_order[wave_end].member->request_index],
+                    db_->num_objects())
+              .size();
+      if (wave_end > next_member &&
+          wave_objects + n_objects > kWaveObjectBudget) {
+        break;
+      }
+      wave_objects += n_objects;
+      ++wave_end;
+    }
+
+    std::deque<MemberExec> execs;  // deque: MemberExec holds atomics
+    std::vector<SubTask> subtasks;
+    for (size_t i = next_member; i < wave_end; ++i) {
+      const MemberRef& mr = member_order[i];
+      execs.emplace_back(requests[mr.member->request_index],
+                         &groups[mr.group_index], db_->num_objects());
+      MemberExec& me = execs.back();
+      if (me.ktimes) {
+        me.distributions.resize(me.ids.size());
+      } else {
+        me.probs.assign(me.ids.size(), 0.0);
+        me.keep.assign(me.ids.size(), 1);
+      }
+      for (size_t b = 0; b < me.ids.size(); b += util::kStopCheckStride) {
+        subtasks.push_back(
+            {&me, b, std::min(me.ids.size(), b + util::kStopCheckStride)});
+      }
+    }
+    pool_.ParallelChunks(subtasks.size(), [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        const SubTask& task = subtasks[s];
+        MemberExec& me = *task.member;
+        if (me.ktimes) {
+          if (me.ktimes_ev->poller.ShouldStop()) continue;
+          me.subtasks.fetch_add(1, std::memory_order_relaxed);
+          EvaluateKTimesRange(me.ids, me.group->plans, task.begin, task.end,
+                              &me.distributions, &*me.ktimes_ev);
+        } else {
+          if (me.exists_ev->ShouldStop()) continue;
+          me.subtasks.fetch_add(1, std::memory_order_relaxed);
+          EvaluateExistsRange(me.request, me.group->window, me.ids,
+                              me.group->plans, task.begin, task.end,
+                              &me.probs, &me.keep, &*me.exists_ev);
+        }
+      }
+    });
+
+    // Assembly (calling thread): convert this wave's evaluation state
+    // into result slots, in batch order, then drop the wave's scratch.
+    size_t exec_index = 0;
+    for (size_t i = next_member; i < wave_end; ++i) {
+      const MemberRef& mr = member_order[i];
+      BatchGroup& group = groups[mr.group_index];
+      const BatchGroup::Member& member = *mr.member;
+      MemberExec& me = execs[exec_index++];
+      const auto attach_cache_stats = [&](QueryResult* result) {
+        result->stats.cache_hits = group.cache_hits;
+        result->stats.cache_misses = group.cache_misses;
+        cache_stats_attributed[mr.group_index] = 1;
+      };
+      if (me.ids.size() == 0) {
+        // Zero-object members never reach a subtask's cooperative stop
+        // check; poll once here so a cancellation or expiry while the
+        // batch ran still resolves with its stop status, as the old
+        // sequential member loop did.
+        if (me.ktimes) {
+          (void)me.ktimes_ev->poller.ShouldStop();
+        } else {
+          (void)me.exists_ev->ShouldStop();
+        }
+      }
+      QueryResult result;
+      result.stats.threads_used = threads_;
+      result.stats.batch_group_members =
+          static_cast<uint32_t>(group.members.size());
+      result.stats.group_subtasks = me.subtasks.load();
+
+      if (me.ktimes) {
+        if (util::Status status = me.ktimes_ev->poller.ToStatus();
+            !status.ok()) {
+          results[member.request_index] = std::move(status);
+          continue;
+        }
+        result.stats.chains_object_based =
+            static_cast<uint32_t>(member.single_obs_per_chain.size());
+        result.stats.objects_evaluated = me.ktimes_ev->done.load();
+        result.distributions = std::move(me.distributions);
+        if (cache_stats_attributed[mr.group_index] == 0) {
+          attach_cache_stats(&result);
+        }
+        results[member.request_index] = std::move(result);
+        continue;
+      }
+
+      if (util::Status status = me.exists_ev->Finish(); !status.ok()) {
+        results[member.request_index] = std::move(status);
+        continue;
+      }
+      for (const auto& [chain, count] : member.single_obs_per_chain) {
+        (void)count;
+        if (group.plans.at(chain).Resolve(me.request) == Plan::kQueryBased) {
+          ++result.stats.chains_query_based;
+        } else {
+          ++result.stats.chains_object_based;
+        }
+      }
+      result.stats.prune.objects_decided_early = me.exists_ev->early.load();
+      result.stats.objects_evaluated = me.exists_ev->singles.load();
+      result.stats.objects_multi_observation = me.exists_ev->multis.load();
+      AssembleExistsResult(me.request, me.ids, me.probs, me.keep, &result);
+      if (cache_stats_attributed[mr.group_index] == 0) {
+        attach_cache_stats(&result);
+      }
+      results[member.request_index] = std::move(result);
+    }
+    next_member = wave_end;
+  }
 
   // --- Admission phase: publish freshly built backward passes so the next
   // refresh of the same dashboard hits a warm cache. -----------------------
@@ -609,110 +864,6 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     }
   }
   return results;
-}
-
-void QueryExecutor::ExecuteGroup(
-    const std::span<const QueryRequest>& requests, BatchGroup* group,
-    std::vector<util::Result<QueryResult>>* results) {
-  // Build the group's missing engines — the expensive backward passes run
-  // here, inside the parallel region, one per (chain, kind) per group.
-  for (ChainId chain_id : group->qb_to_build) {
-    ChainPlan& cp = group->plans.at(chain_id);
-    cp.qb_owned = std::make_unique<QueryBasedEngine>(
-        &db_->chain(chain_id), group->window,
-        QueryBasedOptions{.mode = group->mode});
-    cp.qb = cp.qb_owned.get();
-  }
-  for (auto& [chain_id, cp] : group->plans) {
-    if (cp.want_ob) {
-      cp.ob = std::make_unique<ObjectBasedEngine>(
-          &db_->chain(chain_id), group->window,
-          ObjectBasedOptions{.mode = group->mode});
-      if (group->mode == MatrixMode::kExplicit) {
-        (void)cp.ob->augmented();
-      }
-    }
-    if (cp.want_ktimes) {
-      cp.ktimes = std::make_unique<KTimesEngine>(
-          &db_->chain(chain_id), group->window,
-          KTimesOptions{.mode = group->mode});
-    }
-  }
-
-  // Execute members in batch order; every member reuses the shared
-  // engines, so a group of g same-window requests pays one backward pass
-  // where g cold solo runs pay g.
-  //
-  // The group's cache-stat deltas go to the first member whose result is
-  // actually stored — attributing them to a member that then fails would
-  // drop them, and aggregating members would no longer reconcile with
-  // cache_stats().
-  bool cache_stats_unattributed = true;
-  const auto attach_cache_stats = [&](QueryResult* result) {
-    result->stats.cache_hits = group->cache_hits;
-    result->stats.cache_misses = group->cache_misses;
-    cache_stats_unattributed = false;
-  };
-  for (const BatchGroup::Member& member : group->members) {
-    const QueryRequest& request = requests[member.request_index];
-    // A member cancelled (or expired) while queued behind earlier members
-    // resolves without touching the shared engines.
-    if (util::Status status = CheckNotStopped(request); !status.ok()) {
-      (*results)[member.request_index] = std::move(status);
-      continue;
-    }
-    const Selection ids(request, db_->num_objects());
-    QueryResult result;
-    result.stats.threads_used = threads_;
-    result.stats.batch_group_members =
-        static_cast<uint32_t>(group->members.size());
-    result.stats.objects_multi_observation = member.multi_obs;
-
-    if (request.predicate == PredicateKind::kKTimes) {
-      result.stats.chains_object_based =
-          static_cast<uint32_t>(member.single_obs_per_chain.size());
-      uint32_t evaluated = 0;
-      util::Status status =
-          EvaluateKTimesObjects(request, ids, group->plans,
-                                /*use_pool=*/false, &result.distributions,
-                                &evaluated);
-      if (!status.ok()) {
-        (*results)[member.request_index] = std::move(status);
-        continue;
-      }
-      result.stats.objects_evaluated = evaluated;
-      if (cache_stats_unattributed) attach_cache_stats(&result);
-      (*results)[member.request_index] = std::move(result);
-      continue;
-    }
-
-    for (const auto& [chain, count] : member.single_obs_per_chain) {
-      (void)count;
-      if (group->plans.at(chain).Resolve(request) == Plan::kQueryBased) {
-        ++result.stats.chains_query_based;
-      } else {
-        ++result.stats.chains_object_based;
-      }
-    }
-
-    std::vector<double> probs;
-    std::vector<uint8_t> keep;
-    EvalCounters counters;
-    const QueryWindow& window = group->window;
-    util::Status status =
-        EvaluateExistsObjects(request, window, ids, group->plans,
-                              /*use_pool=*/false, &probs, &keep, &counters);
-    if (!status.ok()) {
-      (*results)[member.request_index] = std::move(status);
-      continue;
-    }
-    result.stats.prune.objects_decided_early = counters.early_stops;
-    result.stats.objects_evaluated = counters.singles;
-    result.stats.objects_multi_observation = counters.multis;
-    AssembleExistsResult(request, ids, probs, keep, &result);
-    if (cache_stats_unattributed) attach_cache_stats(&result);
-    (*results)[member.request_index] = std::move(result);
-  }
 }
 
 }  // namespace core

@@ -98,12 +98,21 @@ class QueryExecutor {
   /// the backward pass over the whole group; requests that pin `plan` keep
   /// their pinned plan.
   ///
-  /// Groups are the parallel unit: distinct groups execute concurrently on
-  /// the executor's pool, members of one group run sequentially on its
-  /// engines. Cached backward passes are borrowed before the parallel
-  /// phase and newly built ones are inserted after it, so repeated
-  /// refreshes of the same dashboard hit a warm cache exactly like
-  /// repeated Run() calls.
+  /// Parallelism is two-phase. First every missing engine — above all the
+  /// expensive query-based backward passes — is built, one pool task per
+  /// (group, chain) build. Then the per-object evaluation of *all* members
+  /// of *all* groups is flattened into object-range subtasks of
+  /// util::kStopCheckStride objects each and spread across the pool, so a
+  /// batch concentrated on a single window (one group) still saturates
+  /// every worker instead of one. Members are evaluated in waves whose
+  /// combined object count is bounded, so per-member scratch peaks at the
+  /// wave budget rather than O(batch × objects). Each subtask re-checks
+  /// its member's cancellation token and deadline before running,
+  /// preserving the solo path's cooperative-stop stride;
+  /// ExecStats::group_subtasks reports the splits taken per member. Cached backward passes are borrowed before
+  /// the parallel phases and newly built ones are inserted after, so
+  /// repeated refreshes of the same dashboard hit a warm cache exactly
+  /// like repeated Run() calls.
   ///
   /// Each member's result is the same as a solo Run() of that request —
   /// bit-identical whenever the solo run would pick the same plan (always
@@ -141,6 +150,8 @@ class QueryExecutor {
   struct ChainPlan;   // per-run or per-group, per-chain engine bundle
   struct BatchGroup;  // requests sharing (effective window, matrix mode)
   class Selection;    // non-allocating view of the ids a request evaluates
+  struct ExistsEval;  // shared stop/error/counter state of one evaluation
+  struct KTimesEval;  // ditto for the k-times evaluation loop
 
   /// Progress counters of one evaluation loop, valid even when the loop
   /// was stopped early by an error, a cancellation, or a deadline.
@@ -157,20 +168,32 @@ class QueryExecutor {
   util::Result<QueryResult> RunKTimes(const QueryRequest& request,
                                       const Selection& ids);
 
-  // Shared per-object evaluation cores. `use_pool` selects between the
-  // executor's thread pool (solo runs) and inline execution on the calling
-  // thread (batch group tasks, which are already on a pool worker).
+  // Shared per-object evaluation cores: the range methods evaluate
+  // objects [begin, end) of `ids` (thread-safe across disjoint ranges,
+  // results written independently per object) and are driven either by
+  // the solo Run's ParallelChunksUntil loop (the *Objects wrappers) or by
+  // RunBatch's flat subtask scheduler.
+  void EvaluateExistsRange(const QueryRequest& request,
+                           const QueryWindow& window, const Selection& ids,
+                           const std::map<ChainId, ChainPlan>& plans,
+                           size_t begin, size_t end,
+                           std::vector<double>* probs,
+                           std::vector<uint8_t>* keep, ExistsEval* ev);
+  void EvaluateKTimesRange(const Selection& ids,
+                           const std::map<ChainId, ChainPlan>& plans,
+                           size_t begin, size_t end,
+                           std::vector<ObjectKTimes>* distributions,
+                           KTimesEval* ev);
   util::Status EvaluateExistsObjects(const QueryRequest& request,
                                      const QueryWindow& window,
                                      const Selection& ids,
                                      const std::map<ChainId, ChainPlan>& plans,
-                                     bool use_pool, std::vector<double>* probs,
+                                     std::vector<double>* probs,
                                      std::vector<uint8_t>* keep,
                                      EvalCounters* counters);
   util::Status EvaluateKTimesObjects(const QueryRequest& request,
                                      const Selection& ids,
                                      const std::map<ChainId, ChainPlan>& plans,
-                                     bool use_pool,
                                      std::vector<ObjectKTimes>* distributions,
                                      uint32_t* evaluated);
   static void AssembleExistsResult(const QueryRequest& request,
@@ -178,12 +201,6 @@ class QueryExecutor {
                                    const std::vector<double>& probs,
                                    const std::vector<uint8_t>& keep,
                                    QueryResult* result);
-
-  // Builds the group's missing engines and executes its members in batch
-  // order, writing each member's result slot.
-  void ExecuteGroup(const std::span<const QueryRequest>& requests,
-                    BatchGroup* group,
-                    std::vector<util::Result<QueryResult>>* results);
 
   const Database* db_;
   ExecutorOptions options_;

@@ -16,8 +16,15 @@ std::vector<double> IndependentBaseline::WindowMarginals(
   if (window_.ContainsTime(0)) out.push_back(v.MassIn(window_.region()));
   const Timestamp t_end = window_.t_end();
   for (Timestamp t = 1; t <= t_end; ++t) {
-    ws.Multiply(v, chain_->matrix(), &v);
-    if (window_.ContainsTime(t)) out.push_back(v.MassIn(window_.region()));
+    // Deliberately no transpose argument: this is an accuracy baseline,
+    // not a hot path, and it should not force chains to materialize Mᵀ.
+    if (window_.ContainsTime(t)) {
+      // Fused: the marginal is measured during the product's own pass.
+      out.push_back(
+          ws.MultiplyAndMassIn(v, chain_->matrix(), window_.region(), &v));
+    } else {
+      ws.Multiply(v, chain_->matrix(), &v);
+    }
   }
   return out;
 }

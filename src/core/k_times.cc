@@ -36,34 +36,27 @@ std::vector<double> KTimesEngine::RunImplicit(
       levels, sparse::ProbVector::Zero(chain_->num_states()));
   rows[0] = initial;
 
-  // Shift at t=0 if the window starts immediately.
-  auto shift = [&]() {
-    // new c_{k+1, s} += old c_{k, s} for s in region, top row cleared;
-    // extract all levels first so the update is order-independent.
-    std::vector<std::vector<std::pair<uint32_t, double>>> extracted(levels);
-    for (uint32_t k = 0; k < levels; ++k) {
-      extracted[k] = rows[k].ExtractEntriesIn(window_.region());
-    }
-    // Mass at level K stays at level K: a world can visit at most K = |T□|
-    // window timestamps, and level K only receives mass at the last one, so
-    // this branch only triggers for the final shift where it is a no-op for
-    // correctness (keeps the distribution summing to one).
-    for (uint32_t k = 0; k + 1 < levels; ++k) {
-      rows[k + 1].AddEntries(extracted[k]);
-    }
-    rows[levels - 1].AddEntries(extracted[levels - 1]);
-  };
-
-  if (window_.ContainsTime(0)) shift();
+  KTimesShift shift(levels);
+  if (window_.ContainsTime(0)) shift.ShiftAll(window_.region(), &rows);
 
   sparse::VecMatWorkspace ws;
+  const sparse::CsrMatrix& m = chain_->matrix();
+  const sparse::CsrMatrix* mt = nullptr;  // fetched on first dense row
   const Timestamp t_end = window_.t_end();
   for (Timestamp t = 1; t <= t_end; ++t) {
+    const bool in_window = window_.ContainsTime(t);
     for (uint32_t k = 0; k < levels; ++k) {
+      if (in_window) shift.slot(k)->clear();
       if (rows[k].Support() == 0) continue;
-      ws.Multiply(rows[k], chain_->matrix(), &rows[k]);
+      if (mt == nullptr && !rows[k].IsSparse()) mt = &chain_->transposed();
+      if (in_window) {
+        ws.MultiplyAndExtractEntries(rows[k], m, window_.region(), &rows[k],
+                                     shift.slot(k), mt);
+      } else {
+        ws.Multiply(rows[k], m, &rows[k], mt);
+      }
     }
-    if (window_.ContainsTime(t)) shift();
+    if (in_window) shift.Reinsert(&rows);
   }
 
   std::vector<double> out(levels, 0.0);

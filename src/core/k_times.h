@@ -31,6 +31,49 @@ struct KTimesOptions {
   MatrixMode mode = MatrixMode::kImplicit;
 };
 
+/// \brief The PSTkQ count-shift, shared by KTimesEngine (homogeneous
+/// chains) and TimeVaryingKTimes: region entries of level k move to level
+/// k+1, with level K keeping its mass — a world can visit at most
+/// K = num_times window timestamps, and level K only receives mass at the
+/// last one, so that branch only triggers for the final shift, where it
+/// is a no-op for correctness (keeps the distribution summing to one).
+/// All levels are extracted before any is re-inserted so the update is
+/// order-independent; inside the engines' transition loops the extraction
+/// is fused into each level's product (MultiplyAndExtractEntries writes
+/// into slot(k)) and only Reinsert() remains.
+class KTimesShift {
+ public:
+  explicit KTimesShift(uint32_t levels) : extracted_(levels) {}
+
+  /// Extraction buffer of level k (cleared and refilled by the caller's
+  /// fused product at window times).
+  std::vector<std::pair<uint32_t, double>>* slot(uint32_t k) {
+    return &extracted_[k];
+  }
+
+  /// Re-inserts every level's extracted entries one level up.
+  void Reinsert(std::vector<sparse::ProbVector>* rows) {
+    const size_t levels = extracted_.size();
+    for (size_t k = 0; k + 1 < levels; ++k) {
+      (*rows)[k + 1].AddEntries(extracted_[k]);
+    }
+    (*rows)[levels - 1].AddEntries(extracted_[levels - 1]);
+  }
+
+  /// The standalone shift (extract every level, then re-insert) — used at
+  /// t=0 where no product precedes the shift.
+  void ShiftAll(const sparse::IndexSet& region,
+                std::vector<sparse::ProbVector>* rows) {
+    for (size_t k = 0; k < extracted_.size(); ++k) {
+      extracted_[k] = (*rows)[k].ExtractEntriesIn(region);
+    }
+    Reinsert(rows);
+  }
+
+ private:
+  std::vector<std::vector<std::pair<uint32_t, double>>> extracted_;
+};
+
 /// \brief Evaluates PSTkQ for one chain and one window.
 class KTimesEngine {
  public:

@@ -58,6 +58,8 @@ util::Result<MultiObsResult> MultiObservationEngine::RunImplicit(
     const std::vector<Observation>& observations) const {
   const uint32_t n = chain_->num_states();
   sparse::VecMatWorkspace ws;
+  const sparse::CsrMatrix& m = chain_->matrix();
+  const sparse::CsrMatrix* mt = nullptr;  // fetched on first dense step
 
   // u: worlds that have not hit the window; w: worlds that have, keyed by
   // their *current* state (the doubled space of Section VI, kept as two
@@ -69,18 +71,28 @@ util::Result<MultiObsResult> MultiObservationEngine::RunImplicit(
 
   double surviving = 1.0;
   const Timestamp t_start = observations.front().time;
-  auto move_window_mass = [&]() {
+  if (window_.ContainsTime(t_start)) {
     w.AddEntries(u.ExtractEntriesIn(window_.region()));
-  };
-  if (window_.ContainsTime(t_start)) move_window_mass();
+  }
 
   const Timestamp t_stop =
       std::max(window_.t_end(), observations.back().time);
+  std::vector<std::pair<uint32_t, double>> moved;
   size_t next_obs = 1;
   for (Timestamp t = t_start + 1; t <= t_stop; ++t) {
-    ws.Multiply(u, chain_->matrix(), &u);
-    ws.Multiply(w, chain_->matrix(), &w);
-    if (window_.ContainsTime(t)) move_window_mass();
+    // At window times the move of u's region mass into w is fused into
+    // u's product; w receives it after its own product, as before.
+    if (mt == nullptr && (!u.IsSparse() || !w.IsSparse())) {
+      mt = &chain_->transposed();
+    }
+    if (window_.ContainsTime(t)) {
+      ws.MultiplyAndExtractEntries(u, m, window_.region(), &u, &moved, mt);
+      ws.Multiply(w, m, &w, mt);
+      w.AddEntries(moved);
+    } else {
+      ws.Multiply(u, m, &u, mt);
+      ws.Multiply(w, m, &w, mt);
+    }
 
     if (next_obs < observations.size() &&
         observations[next_obs].time == t) {

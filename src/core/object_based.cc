@@ -43,6 +43,11 @@ ThresholdDecision ObjectBasedEngine::ExistsDecision(
   // hit >= tau  -> true hit;  hit + residual < tau -> true drop.
   sparse::ProbVector v = initial;
   sparse::VecMatWorkspace ws;
+  const sparse::CsrMatrix& m = chain_->matrix();
+  // The gather kernel's transpose is fetched only once the vector goes
+  // dense, so sparse-support runs never force the O(nnz) transpose build
+  // (it is memoized per chain once any run does).
+  const sparse::CsrMatrix* mt = nullptr;
   double hit = 0.0;
   if (window_.ContainsTime(0)) {
     hit += v.ExtractMassIn(window_.region());
@@ -59,11 +64,13 @@ ThresholdDecision ObjectBasedEngine::ExistsDecision(
       s->early_terminated = true;
       return ThresholdDecision::kNo;
     }
-    ws.Multiply(v, chain_->matrix(), &v);
-    ++s->transitions;
+    if (mt == nullptr && !v.IsSparse()) mt = &chain_->transposed();
     if (window_.ContainsTime(t)) {
-      hit += v.ExtractMassIn(window_.region());
+      hit += ws.MultiplyAndExtract(v, m, window_.region(), &v, mt);
+    } else {
+      ws.Multiply(v, m, &v, mt);
     }
+    ++s->transitions;
     s->max_support = std::max(s->max_support, v.Support());
   }
   return hit >= tau ? ThresholdDecision::kYes : ThresholdDecision::kNo;
@@ -77,6 +84,8 @@ double ObjectBasedEngine::RunImplicit(const sparse::ProbVector& initial,
 
   sparse::ProbVector v = initial;
   sparse::VecMatWorkspace ws;
+  const sparse::CsrMatrix& m = chain_->matrix();
+  const sparse::CsrMatrix* mt = nullptr;  // fetched on first dense step
   double hit = 0.0;
   // Special case t=0 ∈ T□: initial window mass is already a true hit.
   if (window_.ContainsTime(0)) {
@@ -96,11 +105,15 @@ double ObjectBasedEngine::RunImplicit(const sparse::ProbVector& initial,
       s->early_terminated = true;
       break;
     }
-    ws.Multiply(v, chain_->matrix(), &v);
-    ++s->transitions;
+    if (mt == nullptr && !v.IsSparse()) mt = &chain_->transposed();
     if (window_.ContainsTime(t)) {
-      hit += v.ExtractMassIn(window_.region());
+      // Fused transition + ◆-redirection: the product's materialization
+      // pass extracts the window mass, replacing the second full sweep.
+      hit += ws.MultiplyAndExtract(v, m, window_.region(), &v, mt);
+    } else {
+      ws.Multiply(v, m, &v, mt);
     }
+    ++s->transitions;
     s->max_support = std::max(s->max_support, v.Support());
   }
   return hit;

@@ -21,51 +21,47 @@ QueryBasedEngine::QueryBasedEngine(const markov::MarkovChain* chain,
 void QueryBasedEngine::RunBackwardImplicit() {
   const uint32_t n = chain_->num_states();
   const sparse::CsrMatrix& mt = chain_->transposed();
+  // The gather kernel wants the transpose of the multiplied matrix — the
+  // transpose of Mᵀ is M itself, already materialized.
+  const sparse::CsrMatrix& mtt = chain_->matrix();
 
   // g(t)[s] = P(object at s at time t, not yet redirected, satisfies the
   // query at some time >= t). Backward from t_end: g(t_end) = 0 everywhere
   // — a world that has not been absorbed by the last window time never will
   // be. Before each backward step from t to t-1, states in the region are
-  // clamped to 1 when t ∈ T□ (forward M+ would have redirected them).
+  // clamped to 1 when t ∈ T□ (forward M+ would have redirected them); the
+  // clamp is fused into the product (MultiplyClamped) so a window step
+  // costs one pass instead of extract + re-insert + product.
   sparse::ProbVector g = sparse::ProbVector::Zero(n);
   sparse::VecMatWorkspace ws;
-
-  std::vector<std::pair<uint32_t, double>> region_ones;
-  region_ones.reserve(window_.region().size());
 
   const Timestamp t_end = window_.t_end();
   for (Timestamp t = t_end; t > 0; --t) {
     if (window_.ContainsTime(t)) {
-      // Clamp region entries to exactly 1 (replace, not add).
-      g.ExtractMassIn(window_.region());
-      region_ones.clear();
-      for (uint32_t s : window_.region()) region_ones.emplace_back(s, 1.0);
-      g.AddEntries(region_ones);
+      ws.MultiplyClamped(g, mt, window_.region(), &g, &mtt);
+    } else {
+      ws.Multiply(g, mt, &g, &mtt);
     }
-    ws.Multiply(g, mt, &g);
     ++transitions_;
   }
   if (window_.ContainsTime(0)) {
-    g.ExtractMassIn(window_.region());
-    region_ones.clear();
-    for (uint32_t s : window_.region()) region_ones.emplace_back(s, 1.0);
-    g.AddEntries(region_ones);
+    ClampRegionToOnes(window_.region(), &g);
   }
   start_vector_ = std::move(g);
 }
 
 void QueryBasedEngine::RunBackwardExplicit() {
   const uint32_t n = chain_->num_states();
-  // Build M± and transpose them; the backward pass is then plain vec×mat.
-  AugmentedMatrices aug = BuildAbsorbingMatrices(*chain_, window_.region());
-  const sparse::CsrMatrix minus_t = aug.minus.Transposed();
-  const sparse::CsrMatrix plus_t = aug.plus.Transposed();
+  // (M±)ᵀ assembled from the chain's memoized Mᵀ — no per-build
+  // re-materialization and re-transposition of the augmented matrices.
+  AugmentedMatrices augt = BuildAbsorbingTransposed(*chain_, window_.region());
 
   sparse::ProbVector p = sparse::ProbVector::Delta(n + 1, n);  // (0,...,0,1)
   sparse::VecMatWorkspace ws;
   const Timestamp t_end = window_.t_end();
   for (Timestamp t = t_end; t > 0; --t) {
-    const sparse::CsrMatrix& m = window_.ContainsTime(t) ? plus_t : minus_t;
+    const sparse::CsrMatrix& m = window_.ContainsTime(t) ? augt.plus
+                                                         : augt.minus;
     ws.Multiply(p, m, &p);
     ++transitions_;
   }

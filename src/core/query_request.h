@@ -149,6 +149,14 @@ struct ExecStats {
   /// one backward pass where g solo runs on a cold cache pay g. Zero for
   /// a plain Run.
   uint32_t batch_group_members = 0;
+  /// Object-range subtasks this request's evaluation was split into by the
+  /// intra-group batch scheduler (the parallel unit of RunBatch's
+  /// execution phase; splitting never changes results, every object's
+  /// output is written independently). Zero for a plain Run or for a
+  /// member stopped before evaluating anything; a member with objects
+  /// reports >= 1 even on a single-threaded executor, where the subtasks
+  /// simply run in order on one worker.
+  uint32_t group_subtasks = 0;
   /// τ-pruning counters (threshold predicates only).
   PruneStats prune;
 };

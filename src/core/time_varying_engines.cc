@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "core/absorbing.h"
+#include "core/k_times.h"
+
 namespace ustdb {
 namespace core {
 
@@ -17,9 +20,19 @@ double TimeVaryingExistsForward(const markov::TimeVaryingChain& chain,
   if (window.ContainsTime(0)) hit += v.ExtractMassIn(window.region());
   const Timestamp t_end = window.t_end();
   for (Timestamp t = 1; t <= t_end; ++t) {
-    // The transition from t-1 to t is governed by phase (t-1).
-    ws.Multiply(v, chain.PhaseAt(t - 1).matrix(), &v);
-    if (window.ContainsTime(t)) hit += v.ExtractMassIn(window.region());
+    // The transition from t-1 to t is governed by phase (t-1); window
+    // steps fuse the ◆-redirection into the product's single pass. The
+    // phase's transpose is fetched only once the vector is dense, so
+    // sparse-support runs never force the per-phase transpose builds.
+    const markov::MarkovChain& phase = chain.PhaseAt(t - 1);
+    const sparse::CsrMatrix* pt =
+        v.IsSparse() ? nullptr : &phase.transposed();
+    if (window.ContainsTime(t)) {
+      hit += ws.MultiplyAndExtract(v, phase.matrix(), window.region(), &v,
+                                   pt);
+    } else {
+      ws.Multiply(v, phase.matrix(), &v, pt);
+    }
   }
   return hit;
 }
@@ -31,22 +44,22 @@ sparse::ProbVector TimeVaryingExistsStartVector(
 
   sparse::ProbVector g = sparse::ProbVector::Zero(n);
   sparse::VecMatWorkspace ws;
-  std::vector<std::pair<uint32_t, double>> region_ones;
-  region_ones.reserve(window.region().size());
-  auto clamp_region = [&]() {
-    g.ExtractMassIn(window.region());
-    region_ones.clear();
-    for (uint32_t s : window.region()) region_ones.emplace_back(s, 1.0);
-    g.AddEntries(region_ones);
-  };
 
   const Timestamp t_end = window.t_end();
   for (Timestamp t = t_end; t > 0; --t) {
-    if (window.ContainsTime(t)) clamp_region();
-    // Stepping back from t to t-1 inverts phase (t-1).
-    ws.Multiply(g, chain.PhaseAt(t - 1).transposed(), &g);
+    // Stepping back from t to t-1 inverts phase (t-1); the region clamp of
+    // a window time is fused into the product.
+    const markov::MarkovChain& phase = chain.PhaseAt(t - 1);
+    if (window.ContainsTime(t)) {
+      ws.MultiplyClamped(g, phase.transposed(), window.region(), &g,
+                         &phase.matrix());
+    } else {
+      ws.Multiply(g, phase.transposed(), &g, &phase.matrix());
+    }
   }
-  if (window.ContainsTime(0)) clamp_region();
+  if (window.ContainsTime(0)) {
+    ClampRegionToOnes(window.region(), &g);
+  }
   return g;
 }
 
@@ -66,26 +79,27 @@ std::vector<double> TimeVaryingKTimes(const markov::TimeVaryingChain& chain,
       levels, sparse::ProbVector::Zero(chain.num_states()));
   rows[0] = initial;
 
-  auto shift = [&]() {
-    std::vector<std::vector<std::pair<uint32_t, double>>> extracted(levels);
-    for (uint32_t k = 0; k < levels; ++k) {
-      extracted[k] = rows[k].ExtractEntriesIn(window.region());
-    }
-    for (uint32_t k = 0; k + 1 < levels; ++k) {
-      rows[k + 1].AddEntries(extracted[k]);
-    }
-    rows[levels - 1].AddEntries(extracted[levels - 1]);
-  };
-
-  if (window.ContainsTime(0)) shift();
+  KTimesShift shift(levels);  // shared count-shift; see k_times.h
+  if (window.ContainsTime(0)) shift.ShiftAll(window.region(), &rows);
   sparse::VecMatWorkspace ws;
   const Timestamp t_end = window.t_end();
   for (Timestamp t = 1; t <= t_end; ++t) {
+    const markov::MarkovChain& phase = chain.PhaseAt(t - 1);
+    const bool in_window = window.ContainsTime(t);
     for (uint32_t k = 0; k < levels; ++k) {
+      if (in_window) shift.slot(k)->clear();
       if (rows[k].Support() == 0) continue;
-      ws.Multiply(rows[k], chain.PhaseAt(t - 1).matrix(), &rows[k]);
+      const sparse::CsrMatrix* pt =
+          rows[k].IsSparse() ? nullptr : &phase.transposed();
+      if (in_window) {
+        ws.MultiplyAndExtractEntries(rows[k], phase.matrix(),
+                                     window.region(), &rows[k],
+                                     shift.slot(k), pt);
+      } else {
+        ws.Multiply(rows[k], phase.matrix(), &rows[k], pt);
+      }
     }
-    if (window.ContainsTime(t)) shift();
+    if (in_window) shift.Reinsert(&rows);
   }
 
   std::vector<double> out(levels, 0.0);

@@ -53,8 +53,13 @@ util::Result<MarkovChain> MarkovChain::FromDense(
 }
 
 const sparse::CsrMatrix& MarkovChain::transposed() const {
+  const sparse::CsrMatrix* t =
+      transposed_pub_.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  std::lock_guard<std::mutex> lock(transpose_mu_);
   if (!transposed_) {
     transposed_ = std::make_unique<sparse::CsrMatrix>(matrix_.Transposed());
+    transposed_pub_.store(transposed_.get(), std::memory_order_release);
   }
   return *transposed_;
 }
@@ -103,8 +108,9 @@ sparse::IndexSet MarkovChain::ReachableWithin(const sparse::IndexSet& from,
 }
 
 size_t MarkovChain::MemoryBytes() const {
-  return matrix_.MemoryBytes() +
-         (transposed_ ? transposed_->MemoryBytes() : 0);
+  const sparse::CsrMatrix* t =
+      transposed_pub_.load(std::memory_order_acquire);
+  return matrix_.MemoryBytes() + (t != nullptr ? t->MemoryBytes() : 0);
 }
 
 }  // namespace markov

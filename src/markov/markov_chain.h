@@ -7,7 +7,9 @@
 #ifndef USTDB_MARKOV_MARKOV_CHAIN_H_
 #define USTDB_MARKOV_MARKOV_CHAIN_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sparse/csr_matrix.h"
@@ -41,16 +43,33 @@ class MarkovChain {
 
   MarkovChain() = default;
 
-  /// Copyable (the lazily built transpose cache is dropped, not copied)
-  /// and movable.
+  /// Copyable (the lazily built transpose cache is dropped, not copied;
+  /// it rebuilds on demand) and movable (the cache moves along — growing
+  /// a Database must not silently re-pay every chain's transposition).
+  /// Copies/moves themselves are not thread-safe — only transposed()
+  /// below is.
   MarkovChain(const MarkovChain& other) : matrix_(other.matrix_) {}
   MarkovChain& operator=(const MarkovChain& other) {
     matrix_ = other.matrix_;
     transposed_.reset();
+    transposed_pub_.store(nullptr, std::memory_order_relaxed);
     return *this;
   }
-  MarkovChain(MarkovChain&&) = default;
-  MarkovChain& operator=(MarkovChain&&) = default;
+  MarkovChain(MarkovChain&& other) noexcept
+      : matrix_(std::move(other.matrix_)),
+        transposed_(std::move(other.transposed_)) {
+    transposed_pub_.store(transposed_.get(), std::memory_order_release);
+    other.transposed_pub_.store(nullptr, std::memory_order_relaxed);
+  }
+  MarkovChain& operator=(MarkovChain&& other) noexcept {
+    if (this != &other) {
+      matrix_ = std::move(other.matrix_);
+      transposed_ = std::move(other.transposed_);
+      transposed_pub_.store(transposed_.get(), std::memory_order_release);
+      other.transposed_pub_.store(nullptr, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// |S| — the number of states.
   uint32_t num_states() const { return matrix_.rows(); }
@@ -59,9 +78,13 @@ class MarkovChain {
   const sparse::CsrMatrix& matrix() const { return matrix_; }
 
   /// \brief M transposed, built lazily and cached. The query-based engine
-  /// (Section V-B) walks backward in time with (M±)ᵀ; sharing one transpose
-  /// per chain is what makes QB cheap across queries.
-  /// Not thread-safe on first call.
+  /// (Section V-B) walks backward in time with (M±)ᵀ, and the dense-regime
+  /// gather kernel reads Mᵀ on the forward paths too; sharing one
+  /// transpose per chain is what makes both cheap across queries.
+  /// Thread-safe, including the first (building) call: concurrent callers
+  /// serialize on an internal mutex and later calls are a single acquire
+  /// atomic load (paired with the builder's release store — do not
+  /// weaken it).
   const sparse::CsrMatrix& transposed() const;
 
   /// \brief One state transition: dist ← dist · M (Corollary 1).
@@ -90,7 +113,12 @@ class MarkovChain {
   explicit MarkovChain(sparse::CsrMatrix m) : matrix_(std::move(m)) {}
 
   sparse::CsrMatrix matrix_;
-  mutable std::unique_ptr<sparse::CsrMatrix> transposed_;  // lazy cache
+  // Lazy transpose cache: transposed_ owns the matrix, transposed_pub_
+  // publishes it (acquire/release) once fully built, transpose_mu_
+  // serializes the one-time build.
+  mutable std::unique_ptr<sparse::CsrMatrix> transposed_;
+  mutable std::atomic<const sparse::CsrMatrix*> transposed_pub_{nullptr};
+  mutable std::mutex transpose_mu_;
 };
 
 }  // namespace markov

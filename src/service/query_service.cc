@@ -314,6 +314,7 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
     switch (code) {
       case util::StatusCode::kOk:
         ++stats_.completed;
+        stats_.group_subtasks += outcome->stats.group_subtasks;
         if (latencies_ms_.size() < kLatencyReservoir) {
           latencies_ms_.push_back(latency_ms);
         } else {

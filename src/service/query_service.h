@@ -94,6 +94,12 @@ struct ServiceStats {
   uint64_t coalesced_requests = 0;
   /// Dispatches that carried exactly one request.
   uint64_t solo_dispatches = 0;
+  /// Sum of ExecStats::group_subtasks over completed requests: how many
+  /// object-range subtasks the executor's intra-group batch scheduler
+  /// split coalesced work into. A high ratio of group_subtasks to
+  /// completed means large same-window groups are being spread across the
+  /// pool rather than serialized on one worker.
+  uint64_t group_subtasks = 0;
   size_t queue_depth = 0;  ///< queued requests across both lanes, sampled
   size_t queue_peak = 0;   ///< high-water mark of queue_depth
   double latency_p50_ms = 0.0;  ///< median completed-request latency

@@ -243,14 +243,15 @@ size_t CsrMatrix::MemoryBytes() const {
 }
 
 void VecMatWorkspace::EnsureWidth(uint32_t cols) {
-  if (scratch_.size() < cols) {
-    scratch_.resize(cols, 0.0);
-    stamp_.resize(cols, 0);
-  }
+  // Checked independently: Materialize's dense path donates scratch_ to
+  // the result and adopts the output's previous buffer, so the two arrays
+  // can drift apart in size between calls.
+  if (scratch_.size() < cols) scratch_.resize(cols, 0.0);
+  if (stamp_.size() < cols) stamp_.resize(cols, 0);
 }
 
-void VecMatWorkspace::Multiply(const ProbVector& x, const CsrMatrix& m,
-                               ProbVector* out) {
+void VecMatWorkspace::MultiplyLegacy(const ProbVector& x, const CsrMatrix& m,
+                                     ProbVector* out) {
   assert(x.size() == m.rows());
   EnsureWidth(m.cols());
   ++epoch_;
@@ -295,6 +296,290 @@ void VecMatWorkspace::Multiply(const ProbVector& x, const CsrMatrix& m,
     }
   }
   *out = std::move(result);
+}
+
+bool VecMatWorkspace::Accumulate(const ProbVector& x, const CsrMatrix& m,
+                                 const CsrMatrix* m_transposed,
+                                 const IndexSet* clamp_ones) {
+  assert(x.size() == m.rows());
+  assert(m_transposed == nullptr || (m_transposed->rows() == m.cols() &&
+                                     m_transposed->cols() == m.rows()));
+  assert(clamp_ones == nullptr || clamp_ones->domain_size() == m.rows());
+  EnsureWidth(m.cols());
+
+  const uint32_t rows = m.rows();
+  const uint32_t cols = m.cols();
+  // A dense-representation x always takes the dense kernels (iterating it
+  // costs O(rows) either way); a sparse x is promoted once its support —
+  // plus any clamped entries, which contribute whether or not x stores
+  // them — crosses the dense threshold. Support() is O(1) for sparse x.
+  bool dense_regime = !x.IsSparse();
+  if (!dense_regime) {
+    const uint64_t effective_support =
+        clamp_ones == nullptr
+            ? x.Support()
+            : std::min<uint64_t>(
+                  rows, uint64_t{x.Support()} + clamp_ones->size());
+    dense_regime = effective_support > ProbVector::kDenseThreshold * rows;
+  }
+
+  if (!dense_regime) {
+    // Sparse regime: stamp/touched scatter, O(touched work).
+    ++epoch_;
+    if (epoch_ == 0) {
+      // Stamp wrap-around: invalidate everything once per 2^32 products.
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+    touched_.clear();
+    const auto scatter_row = [&](uint32_t i, double xi) {
+      auto idx = m.RowIndices(i);
+      auto val = m.RowValues(i);
+      for (size_t k = 0; k < idx.size(); ++k) {
+        const uint32_t c = idx[k];
+        if (stamp_[c] != epoch_) {
+          stamp_[c] = epoch_;
+          scratch_[c] = 0.0;
+          touched_.push_back(c);
+        }
+        scratch_[c] += xi * val[k];
+      }
+    };
+    if (clamp_ones == nullptr) {
+      x.ForEachNonZero(scatter_row);
+    } else {
+      x.ForEachNonZero([&](uint32_t i, double xi) {
+        if (!clamp_ones->Contains(i)) scatter_row(i, xi);
+      });
+      for (uint32_t i : *clamp_ones) scatter_row(i, 1.0);
+    }
+    return false;
+  }
+
+  // Dense regime. When x stores a dense array the kernels read it through
+  // `xv`; a clamp substitutes a clamped copy once (O(rows)) so the inner
+  // loops stay branch-free instead of paying a bitmap test per non-zero.
+  const double* xv = nullptr;
+  if (!x.IsSparse()) {
+    xv = x.dense_values_.data();
+    if (clamp_ones != nullptr) {
+      clamp_scratch_.assign(x.dense_values_.begin(), x.dense_values_.end());
+      for (uint32_t i : *clamp_ones) clamp_scratch_[i] = 1.0;
+      xv = clamp_scratch_.data();
+    }
+  }
+
+  // Gather over the transposed matrix when available: fully sequential
+  // reads/writes, no scratch reset, no per-entry bookkeeping of any kind.
+  // Four interleaved accumulators hide the add latency of the per-output
+  // reduction chain (changes the accumulation order by one regrouping —
+  // kernels are parity-tested to 1e-12, not bit-equality, for this
+  // reason).
+  if (m_transposed != nullptr && xv != nullptr) {
+    const double* __restrict xr = xv;
+    const NnzIndex* __restrict rp = m_transposed->row_ptr_.data();
+    const uint32_t* __restrict ci = m_transposed->col_idx_.data();
+    const double* __restrict va = m_transposed->values_.data();
+    double* __restrict acc_out = scratch_.data();
+    for (uint32_t c = 0; c < cols; ++c) {
+      const NnzIndex e = rp[c + 1];
+      NnzIndex k = rp[c];
+      double acc0 = 0.0;
+      double acc1 = 0.0;
+      double acc2 = 0.0;
+      double acc3 = 0.0;
+      for (; k + 3 < e; k += 4) {
+        acc0 += xr[ci[k]] * va[k];
+        acc1 += xr[ci[k + 1]] * va[k + 1];
+        acc2 += xr[ci[k + 2]] * va[k + 2];
+        acc3 += xr[ci[k + 3]] * va[k + 3];
+      }
+      for (; k < e; ++k) acc0 += xr[ci[k]] * va[k];
+      acc_out[c] = (acc0 + acc1) + (acc2 + acc3);
+    }
+    return true;
+  }
+
+  // Dense scatter: contiguous accumulator, branch-free inner loop over
+  // the raw CSR arrays.
+  std::fill(scratch_.begin(), scratch_.begin() + cols, 0.0);
+  const NnzIndex* __restrict rp = m.row_ptr_.data();
+  const uint32_t* __restrict ci = m.col_idx_.data();
+  const double* __restrict va = m.values_.data();
+  const auto scatter_row = [&](uint32_t i, double xi) {
+    double* __restrict acc = scratch_.data();
+    const NnzIndex e = rp[i + 1];
+    for (NnzIndex k = rp[i]; k < e; ++k) acc[ci[k]] += xi * va[k];
+  };
+  if (xv != nullptr) {
+    for (uint32_t i = 0; i < rows; ++i) {
+      if (xv[i] != 0.0) scatter_row(i, xv[i]);
+    }
+  } else if (clamp_ones == nullptr) {
+    x.ForEachNonZero(scatter_row);
+  } else {
+    x.ForEachNonZero([&](uint32_t i, double xi) {
+      if (!clamp_ones->Contains(i)) scatter_row(i, xi);
+    });
+    for (uint32_t i : *clamp_ones) scatter_row(i, 1.0);
+  }
+  return true;
+}
+
+template <VecMatWorkspace::SetAction kAction>
+double VecMatWorkspace::Materialize(
+    uint32_t cols, bool dense_regime, const IndexSet* set, ProbVector* out,
+    std::vector<std::pair<uint32_t, double>>* entries) {
+  constexpr bool kHasSet = kAction != SetAction::kNone;
+  constexpr bool kExtracting = kAction == SetAction::kExtract ||
+                               kAction == SetAction::kExtractEntries;
+  assert(kHasSet == (set != nullptr));
+  assert(set == nullptr || set->domain_size() == cols);
+  util::CompensatedSum in_set;
+  if (entries != nullptr) entries->clear();
+
+  // Hysteresis: inside the [kSparseThreshold, kDenseThreshold] support
+  // band the result keeps the previous representation of *out, so vectors
+  // hovering at one boundary stop oscillating every transition. The
+  // support estimate feeding the decision differs by regime — the dense
+  // branch counts post-filter survivors (it has them for free), the
+  // sparse branch uses the pre-filter touched count so, like the legacy
+  // kernel, it can pick the destination before writing anything. Both
+  // estimates only steer representation, never values.
+  const bool prev_dense = !out->IsSparse() && out->size() == cols;
+
+  ProbVector result(cols);
+
+  // Classifies one surviving entry; returns true when it is stored. The
+  // whole classification folds away at compile time for kNone callers.
+  const auto keep_entry = [&](uint32_t c, double v) -> bool {
+    if constexpr (kHasSet) {
+      if (set->Contains(c)) {
+        in_set.Add(v);
+        if constexpr (kExtracting) {
+          if constexpr (kAction == SetAction::kExtractEntries) {
+            entries->emplace_back(c, v);
+          }
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  if (dense_regime) {
+    // One ascending in-place pass over the contiguous accumulator: filter
+    // and classify entries where they already are, then *move* the
+    // accumulator into the result and recycle the output's previous
+    // buffer as the next product's accumulator — the steady dense loop
+    // (v ← v·M) ping-pongs two buffers and never copies a value twice.
+    uint32_t stored = 0;
+    for (uint32_t c = 0; c < cols; ++c) {
+      const double v = scratch_[c];
+      if (!(v > kProbEpsilon)) {
+        scratch_[c] = 0.0;
+        continue;
+      }
+      if (keep_entry(c, v)) {
+        ++stored;
+      } else {
+        scratch_[c] = 0.0;
+      }
+    }
+    const bool to_sparse =
+        stored < ProbVector::kSparseThreshold * cols ||
+        (!prev_dense && stored <= ProbVector::kDenseThreshold * cols);
+    if (to_sparse) {
+      result.idx_.reserve(stored);
+      result.val_.reserve(stored);
+      for (uint32_t c = 0; c < cols; ++c) {
+        if (scratch_[c] != 0.0) {
+          result.idx_.push_back(c);
+          result.val_.push_back(scratch_[c]);
+        }
+      }
+    } else {
+      std::vector<double> recycled;
+      if (!out->IsSparse()) recycled = std::move(out->dense_values_);
+      result.dense_ = true;
+      result.dense_values_ = std::move(scratch_);
+      result.dense_values_.resize(cols);  // trim if the workspace is wider
+      scratch_ = std::move(recycled);     // EnsureWidth re-grows if needed
+    }
+  } else {
+    const size_t candidates = touched_.size();
+    const bool to_dense =
+        candidates > ProbVector::kDenseThreshold * cols ||
+        (prev_dense && candidates >= ProbVector::kSparseThreshold * cols);
+    if (to_dense) {
+      // Insertion-order writes into the dense array (no sort), exactly
+      // like the legacy kernel's dense materialization.
+      result.dense_ = true;
+      result.dense_values_.assign(cols, 0.0);
+      for (uint32_t c : touched_) {
+        const double v = scratch_[c];
+        if (!(v > kProbEpsilon)) continue;
+        if (keep_entry(c, v)) result.dense_values_[c] = v;
+      }
+    } else {
+      std::sort(touched_.begin(), touched_.end());
+      result.idx_.reserve(candidates);
+      result.val_.reserve(candidates);
+      for (uint32_t c : touched_) {
+        const double v = scratch_[c];
+        if (!(v > kProbEpsilon)) continue;
+        if (keep_entry(c, v)) {
+          result.idx_.push_back(c);
+          result.val_.push_back(v);
+        }
+      }
+    }
+  }
+  *out = std::move(result);
+  return in_set.Total();
+}
+
+void VecMatWorkspace::Multiply(const ProbVector& x, const CsrMatrix& m,
+                               ProbVector* out,
+                               const CsrMatrix* m_transposed) {
+  const bool dense = Accumulate(x, m, m_transposed, nullptr);
+  Materialize<SetAction::kNone>(m.cols(), dense, nullptr, out, nullptr);
+}
+
+double VecMatWorkspace::MultiplyAndMassIn(const ProbVector& x,
+                                          const CsrMatrix& m,
+                                          const IndexSet& set,
+                                          ProbVector* out,
+                                          const CsrMatrix* m_transposed) {
+  const bool dense = Accumulate(x, m, m_transposed, nullptr);
+  return Materialize<SetAction::kMassIn>(m.cols(), dense, &set, out,
+                                         nullptr);
+}
+
+double VecMatWorkspace::MultiplyAndExtract(const ProbVector& x,
+                                           const CsrMatrix& m,
+                                           const IndexSet& set,
+                                           ProbVector* out,
+                                           const CsrMatrix* m_transposed) {
+  const bool dense = Accumulate(x, m, m_transposed, nullptr);
+  return Materialize<SetAction::kExtract>(m.cols(), dense, &set, out,
+                                          nullptr);
+}
+
+double VecMatWorkspace::MultiplyAndExtractEntries(
+    const ProbVector& x, const CsrMatrix& m, const IndexSet& set,
+    ProbVector* out, std::vector<std::pair<uint32_t, double>>* extracted,
+    const CsrMatrix* m_transposed) {
+  const bool dense = Accumulate(x, m, m_transposed, nullptr);
+  return Materialize<SetAction::kExtractEntries>(m.cols(), dense, &set, out,
+                                                 extracted);
+}
+
+void VecMatWorkspace::MultiplyClamped(const ProbVector& x, const CsrMatrix& m,
+                                      const IndexSet& ones, ProbVector* out,
+                                      const CsrMatrix* m_transposed) {
+  const bool dense = Accumulate(x, m, m_transposed, &ones);
+  Materialize<SetAction::kNone>(m.cols(), dense, nullptr, out, nullptr);
 }
 
 }  // namespace sparse

@@ -111,6 +111,8 @@ class CsrMatrix {
   bool operator==(const CsrMatrix& other) const = default;
 
  private:
+  friend class VecMatWorkspace;  // kernels walk the raw CSR arrays
+
   uint32_t rows_;
   uint32_t cols_;
   std::vector<NnzIndex> row_ptr_;   // size rows_ + 1
@@ -120,8 +122,28 @@ class CsrMatrix {
 
 /// \brief Reusable workspace for row-vector × CsrMatrix products.
 ///
-/// Holds a dense scratch accumulator plus a stamp array so repeated products
-/// against the same-width matrices cost O(work) rather than O(cols) to reset.
+/// Two regime-specialized kernels sit behind every product (the paper's
+/// Section VIII observation: distribution vectors start with ~5-state
+/// support and densify within a few transitions, so one fixed kernel is
+/// wrong in one of the two regimes):
+///
+///   * sparse regime (support below ProbVector::kDenseThreshold of the
+///     input dimension): the classic stamp/touched-list scatter that costs
+///     O(work) instead of O(cols),
+///   * dense regime: a contiguous accumulator with a branch-free scatter
+///     inner loop (no stamps, no touched bookkeeping), upgraded to a fully
+///     sequential *gather* over the transposed matrix whenever the caller
+///     can supply it (engines hold memoized transposes per chain).
+///
+/// All regimes accumulate each output column in ascending input-row
+/// order, so the scatter kernels reproduce the legacy results bit for
+/// bit; the gather kernel's unrolled reduction regroups additions and may
+/// differ in the last ulp (kernel parity is tested to 1e-12, not
+/// bit-equality, for this reason). The fused variants fold the engines'
+/// hit-mass accumulation and ◆-redirection sweeps into the product's
+/// materialization pass, so one transition costs one pass over the data
+/// instead of a product followed by a second full sweep.
+///
 /// Not thread-safe; create one per thread.
 class VecMatWorkspace {
  public:
@@ -129,13 +151,82 @@ class VecMatWorkspace {
 
   /// \brief out = x · m. `out` may alias x. Dimension of x must equal
   /// m.rows(); the result has dimension m.cols(). The representation of
-  /// `out` (sparse vs dense) is chosen from the result's support.
-  void Multiply(const ProbVector& x, const CsrMatrix& m, ProbVector* out);
+  /// `out` (sparse vs dense) is chosen from the result's support with
+  /// hysteresis against the previous representation of `*out`.
+  /// \param m_transposed optional mᵀ; when supplied and x is dense the
+  /// product runs as a sequential gather (the fastest regime). Passing a
+  /// matrix that is not exactly mᵀ is undefined.
+  void Multiply(const ProbVector& x, const CsrMatrix& m, ProbVector* out,
+                const CsrMatrix* m_transposed = nullptr);
+
+  /// \brief The pre-overhaul single-path kernel (stamp bookkeeping in
+  /// every regime, no fusion, no hysteresis), kept verbatim as the parity
+  /// reference for kernel tests and the baseline for bench_spmv_kernels.
+  void MultiplyLegacy(const ProbVector& x, const CsrMatrix& m,
+                      ProbVector* out);
+
+  /// \brief Fused out = x · m and mass measurement: returns the product's
+  /// mass inside `set` without removing it. Equivalent to Multiply
+  /// followed by out->MassIn(set), in one pass.
+  double MultiplyAndMassIn(const ProbVector& x, const CsrMatrix& m,
+                           const IndexSet& set, ProbVector* out,
+                           const CsrMatrix* m_transposed = nullptr);
+
+  /// \brief Fused out = x · m and ◆-redirection: entries of the product
+  /// inside `set` are dropped and their total (compensated) mass returned.
+  /// Equivalent to Multiply followed by out->ExtractMassIn(set), in one
+  /// pass — the second full sweep of the engines' transition loops is
+  /// gone.
+  double MultiplyAndExtract(const ProbVector& x, const CsrMatrix& m,
+                            const IndexSet& set, ProbVector* out,
+                            const CsrMatrix* m_transposed = nullptr);
+
+  /// \brief MultiplyAndExtract that also hands the removed entries to the
+  /// caller as (index, value) pairs — the PSTkQ / doubled-space flavour
+  /// where extracted mass moves to the same state one level up instead of
+  /// into a single ◆ state. `extracted` is cleared first; pairs may be
+  /// unsorted (ProbVector::AddEntries sorts defensively). Returns the
+  /// extracted mass.
+  double MultiplyAndExtractEntries(
+      const ProbVector& x, const CsrMatrix& m, const IndexSet& set,
+      ProbVector* out, std::vector<std::pair<uint32_t, double>>* extracted,
+      const CsrMatrix* m_transposed = nullptr);
+
+  /// \brief out = x' · m where x' is x with every entry in `ones` replaced
+  /// by exactly 1.0 — the query-based backward step's region clamp fused
+  /// into the product, avoiding the extract/re-insert sweep that
+  /// previously materialized x'. Unlike the kernels above this changes
+  /// the accumulation order of the clamped entries, so results may differ
+  /// from the unfused sequence by O(1e-16) roundoff per step.
+  void MultiplyClamped(const ProbVector& x, const CsrMatrix& m,
+                       const IndexSet& ones, ProbVector* out,
+                       const CsrMatrix* m_transposed = nullptr);
 
  private:
+  /// What the materialization pass does with entries inside the set.
+  enum class SetAction { kNone, kMassIn, kExtract, kExtractEntries };
+
   void EnsureWidth(uint32_t cols);
 
+  /// Accumulates x·m into scratch_. Returns true when the dense regime ran
+  /// (scratch_[0..cols) valid); false for the sparse regime (touched_
+  /// holds the live columns, unsorted). `clamp_ones` != nullptr applies
+  /// the MultiplyClamped input substitution.
+  bool Accumulate(const ProbVector& x, const CsrMatrix& m,
+                  const CsrMatrix* m_transposed, const IndexSet* clamp_ones);
+
+  /// Builds the result vector from scratch_, applying kProbEpsilon
+  /// filtering, the set action (a template parameter so the no-set fast
+  /// path carries zero per-entry overhead), and representation
+  /// hysteresis; returns the (compensated) mass of the entries inside
+  /// `set`.
+  template <SetAction kAction>
+  double Materialize(uint32_t cols, bool dense_regime, const IndexSet* set,
+                     ProbVector* out,
+                     std::vector<std::pair<uint32_t, double>>* entries);
+
   std::vector<double> scratch_;
+  std::vector<double> clamp_scratch_;  // dense clamped-input substitute
   std::vector<uint32_t> stamp_;
   std::vector<uint32_t> touched_;
   uint32_t epoch_ = 0;

@@ -332,7 +332,7 @@ void ProbVector::Compact() {
       if (x != 0.0 && x < kProbEpsilon) x = 0.0;
       support += (x != 0.0);
     }
-    if (support < kDenseThreshold * size_) SwitchToSparse();
+    if (support < kSparseThreshold * size_) SwitchToSparse();
   } else {
     size_t w = 0;
     for (size_t k = 0; k < idx_.size(); ++k) {

@@ -31,6 +31,13 @@ class ProbVector {
   /// Support fraction above which the vector migrates to dense storage.
   static constexpr double kDenseThreshold = 0.30;
 
+  /// Support fraction below which a dense vector migrates back to sparse
+  /// storage. Strictly below kDenseThreshold: inside the band between the
+  /// two thresholds a vector keeps its current representation, so support
+  /// hovering at one boundary (common once a distribution saturates its
+  /// reachable set) stops flipping representations every transition.
+  static constexpr double kSparseThreshold = 0.15;
+
   /// Zero vector of dimension `size`.
   static ProbVector Zero(uint32_t size);
 
@@ -122,7 +129,8 @@ class ProbVector {
   }
 
   /// \brief Re-evaluates the representation choice: drops entries below
-  /// kProbEpsilon and switches sparse<->dense according to kDenseThreshold.
+  /// kProbEpsilon and switches sparse<->dense with hysteresis (dense above
+  /// kDenseThreshold, sparse below kSparseThreshold, unchanged between).
   void Compact();
 
   /// L-infinity distance to `other` (test helper).

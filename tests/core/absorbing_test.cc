@@ -148,6 +148,31 @@ TEST(AbsorbingTest, ExtendInitialDoubledAndKTimesRedirects) {
   EXPECT_DOUBLE_EQ(ktimes.Get(2), 0.6);      // level k=0
 }
 
+TEST(AbsorbingTest, TransposedBuilderEqualsTransposingTheBuiltMatrices) {
+  // BuildAbsorbingTransposed assembles (M±)ᵀ from the chain's memoized
+  // Mᵀ; it must equal materializing M± and transposing them — on the
+  // paper chain and on random chains with random regions.
+  util::Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    const markov::MarkovChain chain =
+        round == 0 ? ::ustdb::testing::PaperChainV()
+                   : ::ustdb::testing::RandomChain(20, 4, &rng);
+    std::vector<uint32_t> members;
+    for (uint32_t s = 0; s < chain.num_states(); ++s) {
+      if (rng.NextBounded(3) == 0) members.push_back(s);
+    }
+    if (members.empty()) members.push_back(0);
+    const auto region =
+        sparse::IndexSet::FromIndices(chain.num_states(), members)
+            .ValueOrDie();
+
+    const AugmentedMatrices aug = BuildAbsorbingMatrices(chain, region);
+    const AugmentedMatrices augt = BuildAbsorbingTransposed(chain, region);
+    EXPECT_EQ(augt.minus, aug.minus.Transposed());
+    EXPECT_EQ(augt.plus, aug.plus.Transposed());
+  }
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace ustdb

@@ -312,6 +312,96 @@ TEST(ExecutorBatchTest, BatchCostModelAmortizesSparseChainsToQueryBased) {
   }
 }
 
+TEST(ExecutorBatchTest, IntraGroupSplittingIsBitIdenticalToSequential) {
+  // A single-window batch forms one group; on a multi-threaded executor
+  // the scheduler splits each member's object range into
+  // kStopCheckStride-object subtasks across the pool. Splitting must be
+  // invisible in the results: bit-identical to the sequential executor
+  // and to solo runs.
+  Database db = MakeDb(1, 300, 109);
+  const QueryWindow window =
+      QueryWindow::FromRanges(30, 6, 12, 3, 8).ValueOrDie();
+  QueryRequest request;
+  request.predicate = PredicateKind::kExists;
+  request.window = window;
+  std::vector<QueryRequest> requests(8, request);
+
+  QueryExecutor split_exec(&db, {.num_threads = 4});
+  QueryExecutor seq_exec(&db, {.num_threads = 1});
+  QueryExecutor solo_exec(&db, {.num_threads = 1});
+  const auto split = split_exec.RunBatch(requests);
+  const auto seq = seq_exec.RunBatch(requests);
+  ASSERT_EQ(split.size(), 8u);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(split[i].ok());
+    ASSERT_TRUE(seq[i].ok());
+    ExpectSameResult(split[i].value(), seq[i].value());
+    const auto solo = solo_exec.Run(requests[i]).ValueOrDie();
+    ExpectSameResult(split[i].value(), solo);
+
+    // 300 objects / 64-object stride = 5 subtasks per member, reported on
+    // both executors (the sequential one simply runs them in order).
+    EXPECT_EQ(split[i]->stats.group_subtasks, 5u);
+    EXPECT_EQ(seq[i]->stats.group_subtasks, 5u);
+    EXPECT_EQ(split[i]->stats.batch_group_members, 8u);
+  }
+  // Solo runs never go through the batch scheduler.
+  EXPECT_EQ(solo_exec.last_run_stats().group_subtasks, 0u);
+}
+
+TEST(ExecutorBatchTest, IntraGroupSplittingCoversKTimesAndThreshold) {
+  Database db = MakeDb(2, 150, 110);
+  const QueryWindow window =
+      QueryWindow::FromRanges(30, 4, 9, 2, 6).ValueOrDie();
+  QueryRequest ktimes;
+  ktimes.predicate = PredicateKind::kKTimes;
+  ktimes.window = window;
+  QueryRequest threshold;
+  threshold.predicate = PredicateKind::kThresholdExists;
+  threshold.window = window;
+  threshold.tau = 0.2;
+  std::vector<QueryRequest> requests{ktimes, threshold, ktimes, threshold};
+
+  QueryExecutor split_exec(&db, {.num_threads = 3});
+  QueryExecutor solo_exec(&db, {.num_threads = 1});
+  const auto split = split_exec.RunBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(split[i].ok()) << split[i].status().ToString();
+    EXPECT_EQ(split[i]->stats.group_subtasks, 3u);  // ceil(150 / 64)
+    ExpectSameResult(split[i].value(),
+                     solo_exec.Run(requests[i]).ValueOrDie());
+  }
+}
+
+TEST(ExecutorBatchTest, EmptySelectionMemberObservesLateCancellation) {
+  // A member with zero objects produces no subtasks, so the assembly
+  // phase polls its stop state once: cancellation arriving after the
+  // submission check must still resolve the member with kCancelled, as
+  // the sequential member loop did.
+  Database db = MakeDb(1, 8, 111);
+  const QueryWindow window =
+      QueryWindow::FromRanges(30, 6, 12, 3, 8).ValueOrDie();
+  QueryRequest empty;
+  empty.predicate = PredicateKind::kExists;
+  empty.window = window;
+  empty.object_filter.emplace();  // evaluates nothing
+  util::CancellationSource source;
+  // Budget: the submission-time check passes, the assembly-phase poll
+  // trips (deterministic: this request is polled nowhere else).
+  source.RequestStopAfterPolls(1);
+  empty.cancel = source.token();
+  QueryRequest normal;
+  normal.predicate = PredicateKind::kExists;
+  normal.window = window;
+
+  QueryExecutor executor(&db, {.num_threads = 1});
+  std::vector<QueryRequest> requests{empty, normal};
+  const auto results = executor.RunBatch(requests);
+  EXPECT_EQ(results[0].status().code(), util::StatusCode::kCancelled);
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1]->probabilities.size(), 8u);
+}
+
 TEST(ExecutorBatchTest, RefreshBatchesRunEndToEnd) {
   Database db = MakeDb(2, 20, 107);
   const auto batches =
