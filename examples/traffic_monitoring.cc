@@ -104,20 +104,29 @@ int main() {
   std::printf("  expected vehicles in segment       : %.2f\n",
               expected_vehicles);
 
-  // --- Threshold query with cluster pruning (Section V-C). ---------------
+  // --- Threshold query with cluster pruning (Section V-C). ----------------
+  // kBoundsThenRefine bounds whole chain clusters (the database's
+  // similarity registry) with interval envelopes and refines only the
+  // undecided vehicles; under kAuto the planner engages it on its own
+  // once chain classes are numerous and similar.
   timer.Restart();
-  core::PruneStats stats;
-  const auto flagged = core::ThresholdExistsClustered(
-                           db, window, /*tau=*/0.10, /*num_clusters=*/2,
-                           &stats)
-                           .ValueOrDie();
+  const auto threshold_result =
+      executor
+          .Run({.predicate = core::PredicateKind::kThresholdExists,
+                .window = window,
+                .tau = 0.10,
+                .plan = core::PlanChoice::kBoundsThenRefine})
+          .ValueOrDie();
+  const core::PruneStats& stats = threshold_result.stats.prune;
   std::printf("\nthreshold query tau=0.10 with interval-chain clustering "
               "(%.1f ms):\n",
               timer.ElapsedMillis());
-  std::printf("  qualifying vehicles: %zu\n", flagged.size());
-  std::printf("  clusters pruned wholesale: %u / %u, objects refined: %u\n",
+  std::printf("  qualifying vehicles: %zu\n",
+              threshold_result.probabilities.size());
+  std::printf("  clusters pruned wholesale: %u / %u, objects decided by "
+              "bounds: %u, refined: %u\n",
               stats.clusters_pruned, stats.clusters_total,
-              stats.objects_refined);
+              stats.objects_decided_by_bounds, stats.objects_refined);
 
   // --- Top-k: which vehicles to reroute first. ----------------------------
   // Same pipeline, different predicate — and the backward passes computed

@@ -1,14 +1,106 @@
 #include "core/database.h"
 
+#include <cmath>
+
 #include "util/string_util.h"
 
 namespace ustdb {
 namespace core {
 
+double Database::MeanRowL1Distance(const markov::MarkovChain& a,
+                                   const markov::MarkovChain& b) {
+  const uint32_t n = a.num_states();
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    const auto a_idx = a.matrix().RowIndices(r);
+    const auto a_val = a.matrix().RowValues(r);
+    const auto b_idx = b.matrix().RowIndices(r);
+    const auto b_val = b.matrix().RowValues(r);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a_idx.size() || j < b_idx.size()) {
+      if (j == b_idx.size() || (i < a_idx.size() && a_idx[i] < b_idx[j])) {
+        total += a_val[i++];
+      } else if (i == a_idx.size() || b_idx[j] < a_idx[i]) {
+        total += b_val[j++];
+      } else {
+        total += std::abs(a_val[i++] - b_val[j++]);
+      }
+    }
+  }
+  return n == 0 ? 0.0 : total / n;
+}
+
+namespace {
+
+/// How many cluster leaders AddChain compares against before giving up
+/// and founding a new cluster. Keeps ingestion of mutually dissimilar
+/// chains linear: beyond the cap the registry degrades to extra
+/// (possibly singleton) clusters, which costs pruning opportunity but
+/// never correctness.
+constexpr size_t kMaxLeaderScan = 256;
+
+/// Whether MeanRowL1Distance(a, b) <= threshold, aborting the scan as
+/// soon as the accumulating distance proves otherwise — for dissimilar
+/// chains (the expensive case, every leader scanned) this exits after a
+/// small prefix of the rows.
+bool WithinMeanRowL1(const markov::MarkovChain& a,
+                     const markov::MarkovChain& b, double threshold) {
+  const uint32_t n = a.num_states();
+  const double budget = threshold * n;
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    const auto a_idx = a.matrix().RowIndices(r);
+    const auto a_val = a.matrix().RowValues(r);
+    const auto b_idx = b.matrix().RowIndices(r);
+    const auto b_val = b.matrix().RowValues(r);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a_idx.size() || j < b_idx.size()) {
+      if (j == b_idx.size() || (i < a_idx.size() && a_idx[i] < b_idx[j])) {
+        total += a_val[i++];
+      } else if (i == a_idx.size() || b_idx[j] < a_idx[i]) {
+        total += b_val[j++];
+      } else {
+        total += std::abs(a_val[i++] - b_val[j++]);
+      }
+    }
+    if (total > budget) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 ChainId Database::AddChain(markov::MarkovChain chain) {
+  const ChainId id = static_cast<ChainId>(chains_.size());
   chains_.push_back(std::move(chain));
   by_chain_.emplace_back();
-  return static_cast<ChainId>(chains_.size() - 1);
+
+  // Greedy leader clustering: join the first cluster whose leader is
+  // within the radius, else found a new one. Comparing against leaders
+  // only (early-aborted, scan-capped) keeps AddChain cheap and the
+  // assignment stable under insertion order (a chain never migrates once
+  // placed).
+  const markov::MarkovChain& added = chains_[id];
+  uint32_t cluster = static_cast<uint32_t>(clusters_.size());
+  size_t scanned = 0;
+  for (uint32_t c = 0; c < clusters_.size() && scanned < kMaxLeaderScan;
+       ++c) {
+    const markov::MarkovChain& leader = chains_[clusters_[c].leader];
+    if (leader.num_states() != added.num_states()) continue;
+    ++scanned;
+    if (WithinMeanRowL1(leader, added, kChainClusterL1Threshold)) {
+      cluster = c;
+      break;
+    }
+  }
+  if (cluster == clusters_.size()) {
+    clusters_.push_back({id, {}});
+  }
+  clusters_[cluster].members.push_back(id);
+  cluster_of_.push_back(cluster);
+  return id;
 }
 
 util::Result<ObjectId> Database::AddObject(

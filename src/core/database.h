@@ -35,16 +35,30 @@ struct UncertainObject {
   bool single_observation() const { return observations.size() == 1; }
 };
 
+/// \brief One cluster of similar motion models (Section V-C). Clusters are
+/// built by greedy leader clustering on transition-matrix distance: the
+/// first chain of a cluster is its leader, and every later chain joins the
+/// first cluster whose leader it is close to (mean per-row L1 distance).
+struct ChainCluster {
+  ChainId leader = 0;            ///< first member; the cluster's exemplar
+  std::vector<ChainId> members;  ///< ascending; includes the leader
+};
+
 /// \brief In-memory database of uncertain objects and their motion models.
 ///
 /// Objects referencing the same ChainId form a class (buses / trucks / cars
 /// in the paper's discussion); the query-based engine amortizes its backward
-/// pass across each class.
+/// pass across each class. Similar classes are further grouped into
+/// ChainClusters so the bounds-then-refine plan can bound many classes with
+/// one interval envelope.
 class Database {
  public:
   Database() = default;
 
-  /// Registers a motion model; returns its ChainId.
+  /// \brief Registers a motion model; returns its ChainId. Also assigns the
+  /// chain to a cluster: it joins the first existing cluster whose leader
+  /// has the same state count and a mean per-row L1 transition distance at
+  /// most kChainClusterL1Threshold, else it starts a new cluster.
   ChainId AddChain(markov::MarkovChain chain);
 
   /// \brief Adds an object. Observations must be sorted by strictly
@@ -72,10 +86,34 @@ class Database {
     return by_chain_;
   }
 
+  /// \brief Similarity clusters over the registered chains, maintained
+  /// incrementally by AddChain. Never empty entries; every chain belongs
+  /// to exactly one cluster.
+  const std::vector<ChainCluster>& chain_clusters() const {
+    return clusters_;
+  }
+
+  /// Index into chain_clusters() of the cluster holding `chain`.
+  uint32_t cluster_of(ChainId chain) const { return cluster_of_[chain]; }
+
+  /// \brief Mean per-row L1 distance between two equal-dimension transition
+  /// matrices: sum over rows of Σ_j |a(r,j) − b(r,j)|, divided by the row
+  /// count. 0 for identical chains, 2 for chains with disjoint supports.
+  static double MeanRowL1Distance(const markov::MarkovChain& a,
+                                  const markov::MarkovChain& b);
+
+  /// \brief Clustering radius of AddChain: perturbed variants of one base
+  /// model (jittered weights on a shared support) stay well below it,
+  /// while independently drawn models land near the disjoint-support
+  /// maximum of 2.
+  static constexpr double kChainClusterL1Threshold = 0.6;
+
  private:
   std::vector<markov::MarkovChain> chains_;
   std::vector<UncertainObject> objects_;
   std::vector<std::vector<ObjectId>> by_chain_;
+  std::vector<ChainCluster> clusters_;
+  std::vector<uint32_t> cluster_of_;  // parallel to chains_
 };
 
 }  // namespace core

@@ -40,9 +40,53 @@ const QueryBasedEngine* EngineCache::Put(
   return lru_.front().engine.get();
 }
 
+const markov::IntervalMarkovChain* EngineCache::LookupEnvelope(
+    ChainId leader, uint32_t num_members) {
+  const markov::IntervalMarkovChain* hit =
+      envelopes_.Lookup(ClusterKey{leader, num_members});
+  ++(hit != nullptr ? stats_.bound_hits : stats_.bound_misses);
+  return hit;
+}
+
+const markov::IntervalMarkovChain* EngineCache::PutEnvelope(
+    ChainId leader, uint32_t num_members,
+    markov::IntervalMarkovChain envelope) {
+  bool evicted = false;
+  const markov::IntervalMarkovChain* cached = envelopes_.Put(
+      ClusterKey{leader, num_members}, std::move(envelope), capacity_,
+      &evicted);
+  if (evicted) ++stats_.bound_evictions;
+  return cached;
+}
+
+const std::vector<markov::ProbBound>* EngineCache::LookupBounds(
+    ChainId leader, uint32_t num_members, const QueryWindow& window) {
+  const std::vector<markov::ProbBound>* hit = bounds_.Lookup(
+      BoundsKey{{leader, num_members}, window.region().elements(),
+                window.times()});
+  ++(hit != nullptr ? stats_.bound_hits : stats_.bound_misses);
+  return hit;
+}
+
+const std::vector<markov::ProbBound>* EngineCache::PutBounds(
+    ChainId leader, uint32_t num_members, const QueryWindow& window,
+    std::vector<markov::ProbBound> bounds) {
+  bool evicted = false;
+  const std::vector<markov::ProbBound>* cached = bounds_.Put(
+      BoundsKey{{leader, num_members}, window.region().elements(),
+                window.times()},
+      std::move(bounds), capacity_, &evicted);
+  if (evicted) ++stats_.bound_evictions;
+  return cached;
+}
+
 void EngineCache::Clear() {
   lru_.clear();
   index_.clear();
+  envelopes_.lru.clear();
+  envelopes_.index.clear();
+  bounds_.lru.clear();
+  bounds_.index.clear();
 }
 
 }  // namespace core

@@ -17,16 +17,24 @@
 
 #include "core/query_based.h"
 #include "core/query_window.h"
+#include "markov/interval_chain.h"
 #include "markov/markov_chain.h"
 
 namespace ustdb {
 namespace core {
 
-/// Cache statistics.
+/// Cache statistics. hits/misses/evictions cover the query-based engine
+/// store; the bound_* counters cover the Section V-C cluster stores
+/// (interval envelopes and their per-window bound passes), which live in
+/// separate LRU lists so admitting a bound pass can never evict a borrowed
+/// backward pass.
 struct EngineCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  uint64_t bound_hits = 0;       ///< envelope + bound-pass lookups served
+  uint64_t bound_misses = 0;     ///< envelope + bound-pass lookups missed
+  uint64_t bound_evictions = 0;  ///< entries displaced from either store
 };
 
 /// \brief LRU cache of QueryBasedEngine instances.
@@ -67,9 +75,46 @@ class EngineCache {
                               const QueryWindow& window,
                               std::unique_ptr<QueryBasedEngine> engine);
 
+  /// \brief Cached interval envelope of one chain cluster, or nullptr
+  /// (recording a bound hit/miss). Keyed by (leader ChainId, member
+  /// count) — ids are stable where chain pointers are not (growing the
+  /// Database reallocates its chain storage) — and a cluster that gained
+  /// a member reads as a different key, so stale envelopes age out of the
+  /// LRU instead of serving unsound bounds. The pointer stays valid until
+  /// the next PutEnvelope() or Clear().
+  const markov::IntervalMarkovChain* LookupEnvelope(ChainId leader,
+                                                    uint32_t num_members);
+
+  /// \brief Inserts a cluster envelope, evicting the least-recently-used
+  /// envelope when full; returns the cached instance (the existing one if
+  /// the key was already present).
+  const markov::IntervalMarkovChain* PutEnvelope(
+      ChainId leader, uint32_t num_members,
+      markov::IntervalMarkovChain envelope);
+
+  /// \brief Cached per-start-state bound pass of one (cluster, window)
+  /// pair, or nullptr (recording a bound hit/miss). The pointer stays
+  /// valid until the next PutBounds() or Clear(). Cached vectors carry
+  /// whatever the producer computed — the executor stores upper-only
+  /// passes (lo pinned to 0).
+  const std::vector<markov::ProbBound>* LookupBounds(
+      ChainId leader, uint32_t num_members, const QueryWindow& window);
+
+  /// \brief Inserts a computed bound pass for (cluster, window), evicting
+  /// the least-recently-used bound pass when full; returns the cached
+  /// instance.
+  const std::vector<markov::ProbBound>* PutBounds(
+      ChainId leader, uint32_t num_members, const QueryWindow& window,
+      std::vector<markov::ProbBound> bounds);
+
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
   const EngineCacheStats& stats() const { return stats_; }
+
+  /// Cached cluster envelopes currently held.
+  size_t envelope_size() const { return envelopes_.lru.size(); }
+  /// Cached cluster bound passes currently held.
+  size_t bounds_size() const { return bounds_.lru.size(); }
 
   /// Drops every entry (e.g. after a chain is mutated/replaced).
   void Clear();
@@ -92,9 +137,60 @@ class EngineCache {
     std::unique_ptr<QueryBasedEngine> engine;
   };
 
+  /// Shared LRU-map implementation of the two cluster stores; V is the
+  /// cached payload, K must be strictly ordered.
+  template <typename K, typename V>
+  struct LruStore {
+    struct Node {
+      K key;
+      V value;
+    };
+    std::list<Node> lru;  // front = most recently used
+    std::map<K, typename std::list<Node>::iterator> index;
+
+    /// Returns the payload and refreshes recency, or nullptr.
+    V* Lookup(const K& key) {
+      auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      lru.splice(lru.begin(), lru, it->second);
+      return &it->second->value;
+    }
+
+    /// Inserts (keeping any existing entry); true when an LRU entry was
+    /// displaced to stay within `capacity`.
+    V* Put(const K& key, V value, size_t capacity, bool* evicted) {
+      if (V* existing = Lookup(key)) return existing;
+      *evicted = lru.size() >= capacity;
+      if (*evicted) {
+        index.erase(lru.back().key);
+        lru.pop_back();
+      }
+      lru.push_front(Node{key, std::move(value)});
+      index[key] = lru.begin();
+      return &lru.front().value;
+    }
+  };
+
+  /// (leader chain id, member count) — see LookupEnvelope.
+  using ClusterKey = std::pair<ChainId, uint32_t>;
+  /// Cluster key plus window contents — see LookupBounds.
+  struct BoundsKey {
+    ClusterKey cluster;
+    std::vector<uint32_t> region;
+    std::vector<Timestamp> times;
+
+    bool operator<(const BoundsKey& other) const {
+      if (cluster != other.cluster) return cluster < other.cluster;
+      if (region != other.region) return region < other.region;
+      return times < other.times;
+    }
+  };
+
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::map<Key, std::list<Entry>::iterator> index_;
+  LruStore<ClusterKey, markov::IntervalMarkovChain> envelopes_;
+  LruStore<BoundsKey, std::vector<markov::ProbBound>> bounds_;
   EngineCacheStats stats_;
 };
 

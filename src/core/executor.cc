@@ -23,6 +23,17 @@ bool NeedsMultiObservation(const UncertainObject& obj) {
   return !obj.single_observation() || obj.observations.front().time != 0;
 }
 
+/// The cluster bound pass propagates over the inclusive range
+/// [t_begin, t_end], so it is sound only when the window's time set is
+/// exactly that range. Checks the degenerate empty window first (its
+/// t_begin()/t_end() are undefined) and compares span against count in a
+/// form that cannot wrap unsigned arithmetic.
+bool HasContiguousTimes(const QueryWindow& window) {
+  if (window.num_times() == 0) return false;
+  return window.t_end() - window.t_begin() ==
+         static_cast<Timestamp>(window.num_times() - 1);
+}
+
 /// Groups of a batch are keyed by the content of the effective window
 /// (region elements + time set) and the matrix mode: requests with equal
 /// keys share every per-chain engine.
@@ -137,6 +148,16 @@ struct QueryExecutor::BatchGroup {
     std::map<ChainId, uint32_t> single_obs_per_chain;
     uint32_t multi_obs = 0;
     uint32_t singles = 0;
+    /// True once the member's result slot is already filled (stopped
+    /// during the bound phase); later phases skip it.
+    bool resolved = false;
+    /// kBoundsThenRefine members: the bound pass ran, `refine_ids` is the
+    /// member's evaluated id set (undecided objects only, refined
+    /// query-based) and `prune` holds the bound-phase counters. The
+    /// census fields above are re-taken over the refine set.
+    bool bounds = false;
+    std::vector<ObjectId> refine_ids;
+    PruneStats prune;
   };
   std::vector<Member> members;
 
@@ -171,6 +192,12 @@ struct QueryExecutor::ExistsEval {
   }
 
   StopPoller poller;
+  /// True for the refine stage of a bounds-then-refine evaluation: every
+  /// single-observation object resolves query-based regardless of the
+  /// chain's decided plan (kept probabilities thereby stay bit-identical
+  /// to the pure query-based plan's), even when the plans map is shared
+  /// with differently planned batch members.
+  bool force_query_based = false;
   std::atomic<bool> failed{false};
   std::atomic<uint32_t> early{0};
   std::atomic<uint32_t> singles{0};
@@ -195,6 +222,11 @@ class QueryExecutor::Selection {
       : filter_(request.object_filter.has_value() ? &*request.object_filter
                                                   : nullptr),
         size_(filter_ != nullptr ? filter_->size() : num_objects) {}
+
+  /// View of an explicit id list (the bound pass's refine set); `ids` must
+  /// outlive the selection.
+  explicit Selection(const std::vector<ObjectId>* ids)
+      : filter_(ids), size_(ids->size()) {}
 
   size_t size() const { return size_; }
   ObjectId operator[](size_t i) const {
@@ -259,44 +291,37 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
     if (!NeedsMultiObservation(obj)) ++single_obs_per_chain[obj.chain];
   }
 
+  // Threshold requests may route through the Section V-C cluster bound
+  // pass before any per-chain planning — cost-based under kAuto, forced
+  // by kBoundsThenRefine. A window whose time set is not one contiguous
+  // range cannot be bounded; a forced bound plan then falls back to the
+  // per-chain path below, observably (prune.bound_fallbacks).
+  if (request.predicate == PredicateKind::kThresholdExists &&
+      (request.plan == PlanChoice::kAuto ||
+       request.plan == PlanChoice::kBoundsThenRefine)) {
+    if (!HasContiguousTimes(window)) {
+      if (request.plan == PlanChoice::kBoundsThenRefine) {
+        ++result.stats.prune.bound_fallbacks;
+      }
+    } else {
+      std::vector<ChainLoad> loads;
+      loads.reserve(single_obs_per_chain.size());
+      for (const auto& [chain, count] : single_obs_per_chain) {
+        loads.push_back({chain, count});
+      }
+      const PlanDecision bound_decision = planner_.ChooseThresholdPlan(
+          window, request.matrix_mode, request.plan, loads);
+      if (bound_decision.plan == Plan::kBoundsThenRefine) {
+        return RunBoundsThenRefine(request, ids, window);
+      }
+    }
+  }
+
   std::map<ChainId, ChainPlan> plans;
   for (const auto& [chain, count] : single_obs_per_chain) {
     plans[chain].plan = planner_.Choose(chain, request, count).plan;
   }
-
-  // The cache serves QB chains only for the default matrix mode (cached
-  // engines are built with it), and only as many chains as fit at once —
-  // Get() pointers are invalidated by eviction, so entries borrowed by
-  // this run must never evict each other. Overflow chains degrade to
-  // owned, uncached engines instead of losing caching wholesale.
-  const bool cacheable = request.matrix_mode == MatrixMode::kImplicit;
-  size_t cache_slots = cacheable ? cache_.capacity() : 0;
-  const EngineCacheStats before = cache_.stats();
-  for (auto& [chain_id, cp] : plans) {
-    const markov::MarkovChain& chain = db_->chain(chain_id);
-    if (cp.plan == Plan::kQueryBased) {
-      ++result.stats.chains_query_based;
-      if (cache_slots > 0) {
-        --cache_slots;
-        cp.qb = cache_.Get(&chain, window);
-      } else {
-        cp.qb_owned = std::make_unique<QueryBasedEngine>(
-            &chain, window, QueryBasedOptions{.mode = request.matrix_mode});
-        cp.qb = cp.qb_owned.get();
-      }
-    } else {
-      ++result.stats.chains_object_based;
-      cp.ob = std::make_unique<ObjectBasedEngine>(
-          &chain, window, ObjectBasedOptions{.mode = request.matrix_mode});
-      if (request.matrix_mode == MatrixMode::kExplicit) {
-        // Force the lazily built M−/M+ before threads share the engine.
-        (void)cp.ob->augmented();
-      }
-    }
-  }
-  result.stats.cache_hits = cache_.stats().hits - before.hits;
-  result.stats.cache_misses = cache_.stats().misses - before.misses;
-  result.stats.cache_evictions = cache_.stats().evictions - before.evictions;
+  BuildExistsEngines(request, window, &plans, &result.stats);
 
   // --- Execution phase: per-object evaluation, parallel across objects. --
   std::vector<double> probs;
@@ -311,6 +336,172 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   if (!status.ok()) return status;
 
   AssembleExistsResult(request, ids, probs, keep, &result);
+  return result;
+}
+
+void QueryExecutor::BuildExistsEngines(const QueryRequest& request,
+                                       const QueryWindow& window,
+                                       std::map<ChainId, ChainPlan>* plans,
+                                       ExecStats* stats) {
+  // The cache serves QB chains only for the default matrix mode (cached
+  // engines are built with it), and only as many chains as fit at once —
+  // Get() pointers are invalidated by eviction, so entries borrowed by
+  // this run must never evict each other. Overflow chains degrade to
+  // owned, uncached engines instead of losing caching wholesale.
+  const bool cacheable = request.matrix_mode == MatrixMode::kImplicit;
+  size_t cache_slots = cacheable ? cache_.capacity() : 0;
+  const EngineCacheStats before = cache_.stats();
+  for (auto& [chain_id, cp] : *plans) {
+    const markov::MarkovChain& chain = db_->chain(chain_id);
+    if (cp.plan == Plan::kQueryBased) {
+      ++stats->chains_query_based;
+      if (cache_slots > 0) {
+        --cache_slots;
+        cp.qb = cache_.Get(&chain, window);
+      } else {
+        cp.qb_owned = std::make_unique<QueryBasedEngine>(
+            &chain, window, QueryBasedOptions{.mode = request.matrix_mode});
+        cp.qb = cp.qb_owned.get();
+      }
+    } else {
+      ++stats->chains_object_based;
+      cp.ob = std::make_unique<ObjectBasedEngine>(
+          &chain, window, ObjectBasedOptions{.mode = request.matrix_mode});
+      if (request.matrix_mode == MatrixMode::kExplicit) {
+        // Force the lazily built M−/M+ before threads share the engine.
+        (void)cp.ob->augmented();
+      }
+    }
+  }
+  stats->cache_hits += cache_.stats().hits - before.hits;
+  stats->cache_misses += cache_.stats().misses - before.misses;
+  stats->cache_evictions += cache_.stats().evictions - before.evictions;
+}
+
+void QueryExecutor::PartitionByCluster(
+    const Selection& ids,
+    std::map<uint32_t, std::vector<ObjectId>>* cluster_objects,
+    std::vector<ObjectId>* refine) const {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const UncertainObject& obj = db_->object(ids[i]);
+    if (NeedsMultiObservation(obj)) {
+      refine->push_back(ids[i]);
+    } else {
+      (*cluster_objects)[db_->cluster_of(obj.chain)].push_back(ids[i]);
+    }
+  }
+}
+
+util::Status QueryExecutor::BoundClusters(
+    const QueryRequest& request, const QueryWindow& window,
+    const std::map<uint32_t, std::vector<ObjectId>>& cluster_objects,
+    std::vector<ObjectId>* refine, PruneStats* prune) {
+  StopPoller poller(request);
+  for (const auto& [cluster_index, objects] : cluster_objects) {
+    // Clusters are the bound pass's unit of progress: a cancellation or
+    // deadline observed here abandons the remaining clusters unbounded.
+    if (poller.ShouldStop()) return poller.ToStatus();
+
+    const ChainCluster& cluster = db_->chain_clusters()[cluster_index];
+    const ChainId leader = cluster.leader;
+    const uint32_t num_members =
+        static_cast<uint32_t>(cluster.members.size());
+    const std::vector<markov::ProbBound>* bounds =
+        cache_.LookupBounds(leader, num_members, window);
+    if (bounds == nullptr) {
+      const markov::IntervalMarkovChain* envelope =
+          cache_.LookupEnvelope(leader, num_members);
+      if (envelope == nullptr) {
+        std::vector<const markov::MarkovChain*> members;
+        members.reserve(cluster.members.size());
+        for (ChainId c : cluster.members) members.push_back(&db_->chain(c));
+        USTDB_ASSIGN_OR_RETURN(
+            markov::IntervalMarkovChain built,
+            markov::IntervalMarkovChain::FromChains(members));
+        envelope = cache_.PutEnvelope(leader, num_members, std::move(built));
+      }
+      // Upper bounds only: the drop test below never reads lo, and
+      // skipping the lower propagation halves the bound pass.
+      bounds = cache_.PutBounds(
+          leader, num_members, window,
+          envelope->BoundExists(window.region(), window.t_begin(),
+                                window.t_end(), /*with_lower=*/false));
+    }
+
+    ++prune->clusters_bounded;
+    bool any_refined = false;
+    for (ObjectId id : objects) {
+      const UncertainObject& obj = db_->object(id);
+      double hi = 0.0;
+      obj.initial_pdf().ForEachNonZero(
+          [&](uint32_t s, double p) { hi += p * (*bounds)[s].hi; });
+      if (hi < request.tau) {
+        // Sound drop: every member chain's true P∃ is at most hi. Objects
+        // whose bound straddles (or clears) τ all refine — qualifying
+        // objects need their exact probability for the output anyway, so
+        // a sure-hit lower bound saves nothing.
+        ++prune->objects_decided_by_bounds;
+      } else {
+        any_refined = true;
+        refine->push_back(id);
+      }
+    }
+    ++(any_refined ? prune->clusters_refined : prune->clusters_pruned);
+  }
+  return poller.ToStatus();
+}
+
+util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
+    const QueryRequest& request, const Selection& ids,
+    const QueryWindow& window) {
+  QueryResult result;
+  result.stats.threads_used = threads_;
+  PruneStats& prune = result.stats.prune;
+
+  // --- Bound phase: group evaluated objects by chain cluster and decide
+  // them against the cluster's interval bound. Multi-observation objects
+  // (and observations not at t=0) skip straight to refinement — the
+  // t=0 bound pass does not cover them.
+  std::map<uint32_t, std::vector<ObjectId>> cluster_objects;
+  std::vector<ObjectId> refine_ids;
+  PartitionByCluster(ids, &cluster_objects, &refine_ids);
+  prune.clusters_total = static_cast<uint32_t>(cluster_objects.size());
+  if (util::Status status = BoundClusters(request, window, cluster_objects,
+                                          &refine_ids, &prune);
+      !status.ok()) {
+    last_stats_ = result.stats;
+    return status;
+  }
+  prune.objects_refined = static_cast<uint32_t>(refine_ids.size());
+
+  // --- Refine phase: one query-based engine per undecided chain, then
+  // the normal threshold evaluation loop (strided sub-chunks, cooperative
+  // stops) over exactly the undecided objects. Query-based refinement
+  // keeps every surviving probability bit-identical to the pure
+  // query-based plan's.
+  std::map<ChainId, ChainPlan> plans;
+  for (ObjectId id : refine_ids) {
+    const UncertainObject& obj = db_->object(id);
+    if (!NeedsMultiObservation(obj)) {
+      plans[obj.chain].plan = Plan::kQueryBased;
+    }
+  }
+  BuildExistsEngines(request, window, &plans, &result.stats);
+
+  const Selection refine_sel(&refine_ids);
+  std::vector<double> probs;
+  std::vector<uint8_t> keep;
+  EvalCounters counters;
+  util::Status status =
+      EvaluateExistsObjects(request, window, refine_sel, plans, &probs,
+                            &keep, &counters, /*refine_query_based=*/true);
+  result.stats.prune.objects_decided_early = counters.early_stops;
+  result.stats.objects_evaluated = counters.singles;
+  result.stats.objects_multi_observation = counters.multis;
+  last_stats_ = result.stats;
+  if (!status.ok()) return status;
+
+  AssembleExistsResult(request, refine_sel, probs, keep, &result);
   return result;
 }
 
@@ -340,7 +531,9 @@ void QueryExecutor::EvaluateExistsRange(
       continue;
     }
     const ChainPlan& cp = plans.at(obj.chain);
-    if (cp.Resolve(request) == Plan::kQueryBased) {
+    const Plan plan =
+        ev->force_query_based ? Plan::kQueryBased : cp.Resolve(request);
+    if (plan == Plan::kQueryBased) {
       (*probs)[i] = cp.qb->ExistsProbability(obj.initial_pdf());
       if (threshold) (*keep)[i] = (*probs)[i] >= request.tau;
     } else if (threshold) {
@@ -368,7 +561,7 @@ util::Status QueryExecutor::EvaluateExistsObjects(
     const QueryRequest& request, const QueryWindow& window,
     const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
     std::vector<double>* probs, std::vector<uint8_t>* keep,
-    EvalCounters* counters) {
+    EvalCounters* counters, bool refine_query_based) {
   probs->assign(ids.size(), 0.0);
   // Threshold qualification, decided where the probability is computed:
   // OB objects by the τ-run's verdict, everything else by comparison.
@@ -378,6 +571,7 @@ util::Status QueryExecutor::EvaluateExistsObjects(
   // worker; an error, a tripped cancellation token, or a passed deadline
   // makes every worker abandon its remaining objects at the next check.
   ExistsEval ev(request);
+  ev.force_query_based = refine_query_based;
   pool_.ParallelChunksUntil(
       ids.size(), [&] { return ev.ShouldStop(); },
       [&](size_t begin, size_t end) {
@@ -570,18 +764,83 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
   // are deferred into the group tasks so backward passes of distinct
   // groups run concurrently. ----------------------------------------------
   for (BatchGroup& group : groups) {
+    // Bound phase: threshold members eligible for the Section V-C plan
+    // run their cluster bound pass now, on the submitting thread, and
+    // shrink their evaluated set to the undecided objects. The envelope
+    // and bound pass are memoized in the cache, so members sharing this
+    // group's window pay the pass once; the cluster stores are disjoint
+    // from the QB store, so these insertions can never evict backward
+    // passes borrowed below.
+    for (BatchGroup::Member& member : group.members) {
+      const QueryRequest& request = requests[member.request_index];
+      if (request.predicate != PredicateKind::kThresholdExists) continue;
+      const bool forced = request.plan == PlanChoice::kBoundsThenRefine;
+      if (!forced && request.plan != PlanChoice::kAuto) continue;
+      if (!HasContiguousTimes(group.window)) {
+        if (forced) ++member.prune.bound_fallbacks;
+        continue;
+      }
+      std::vector<ChainLoad> loads;
+      loads.reserve(member.single_obs_per_chain.size());
+      for (const auto& [chain, count] : member.single_obs_per_chain) {
+        loads.push_back({chain, count});
+      }
+      if (planner_
+              .ChooseThresholdPlan(group.window, group.mode, request.plan,
+                                   loads)
+              .plan != Plan::kBoundsThenRefine) {
+        continue;
+      }
+
+      const Selection ids(request, db_->num_objects());
+      std::map<uint32_t, std::vector<ObjectId>> cluster_objects;
+      PartitionByCluster(ids, &cluster_objects, &member.refine_ids);
+      member.prune.clusters_total =
+          static_cast<uint32_t>(cluster_objects.size());
+      if (util::Status status =
+              BoundClusters(request, group.window, cluster_objects,
+                            &member.refine_ids, &member.prune);
+          !status.ok()) {
+        results[member.request_index] = std::move(status);
+        member.resolved = true;
+        continue;
+      }
+      member.prune.objects_refined =
+          static_cast<uint32_t>(member.refine_ids.size());
+      member.bounds = true;
+      // Re-census over the refine set so plan loads, engine wants, and
+      // wave sizing all see the shrunken member.
+      member.single_obs_per_chain.clear();
+      member.singles = 0;
+      member.multi_obs = 0;
+      for (ObjectId id : member.refine_ids) {
+        const UncertainObject& obj = db_->object(id);
+        if (NeedsMultiObservation(obj)) {
+          ++member.multi_obs;
+        } else {
+          ++member.single_obs_per_chain[obj.chain];
+          ++member.singles;
+        }
+      }
+    }
+
     std::map<ChainId, std::vector<MemberLoad>> auto_loads;
     for (const BatchGroup::Member& member : group.members) {
+      if (member.resolved) continue;
       const QueryRequest& request = requests[member.request_index];
       for (const auto& [chain, count] : member.single_obs_per_chain) {
         ChainPlan& cp = group.plans[chain];
         if (request.predicate == PredicateKind::kKTimes) {
           cp.want_ktimes = true;
+        } else if (member.bounds) {
+          cp.want_qb = true;  // refinement is always query-based
         } else if (request.plan == PlanChoice::kObjectBased) {
           cp.want_ob = true;
         } else if (request.plan == PlanChoice::kQueryBased) {
           cp.want_qb = true;
         } else {
+          // kAuto, and kBoundsThenRefine members that fell back to
+          // per-chain planning (ineligible window or cost model).
           auto_loads[chain].push_back({request.predicate, count});
         }
       }
@@ -677,15 +936,21 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
   // allocates; waves follow batch order, so assembly order and cache-stat
   // attribution are unchanged. ---------------------------------------------
   struct MemberExec {
-    MemberExec(const QueryRequest& req, BatchGroup* g, uint32_t num_objects)
+    MemberExec(const QueryRequest& req, BatchGroup* g,
+               const BatchGroup::Member& m, uint32_t num_objects)
         : request(req),
           group(g),
-          ids(req, num_objects),
+          // Bound-pass members evaluate their refine set (which outlives
+          // the wave in the group's member census); everyone else their
+          // request selection.
+          ids(m.bounds ? Selection(&m.refine_ids)
+                       : Selection(req, num_objects)),
           ktimes(req.predicate == PredicateKind::kKTimes) {
       if (ktimes) {
         ktimes_ev.emplace(req);
       } else {
         exists_ev.emplace(req);
+        exists_ev->force_query_based = m.bounds;
       }
     }
 
@@ -712,6 +977,7 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
   std::vector<MemberRef> member_order;
   for (size_t g = 0; g < groups.size(); ++g) {
     for (const BatchGroup::Member& member : groups[g].members) {
+      if (member.resolved) continue;  // stopped during the bound phase
       member_order.push_back({g, &member});
     }
   }
@@ -731,10 +997,12 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     size_t wave_end = next_member;
     size_t wave_objects = 0;
     while (wave_end < member_order.size()) {
+      const BatchGroup::Member& m = *member_order[wave_end].member;
       const size_t n_objects =
-          Selection(requests[member_order[wave_end].member->request_index],
-                    db_->num_objects())
-              .size();
+          m.bounds
+              ? m.refine_ids.size()
+              : Selection(requests[m.request_index], db_->num_objects())
+                    .size();
       if (wave_end > next_member &&
           wave_objects + n_objects > kWaveObjectBudget) {
         break;
@@ -748,7 +1016,8 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     for (size_t i = next_member; i < wave_end; ++i) {
       const MemberRef& mr = member_order[i];
       execs.emplace_back(requests[mr.member->request_index],
-                         &groups[mr.group_index], db_->num_objects());
+                         &groups[mr.group_index], *mr.member,
+                         db_->num_objects());
       MemberExec& me = execs.back();
       if (me.ktimes) {
         me.distributions.resize(me.ids.size());
@@ -833,12 +1102,19 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
       }
       for (const auto& [chain, count] : member.single_obs_per_chain) {
         (void)count;
-        if (group.plans.at(chain).Resolve(me.request) == Plan::kQueryBased) {
+        const Plan plan = me.exists_ev->force_query_based
+                              ? Plan::kQueryBased
+                              : group.plans.at(chain).Resolve(me.request);
+        if (plan == Plan::kQueryBased) {
           ++result.stats.chains_query_based;
         } else {
           ++result.stats.chains_object_based;
         }
       }
+      // Bound-phase counters (zero for non-bounds members, except a
+      // possible forced-plan fallback) merge with the evaluation loop's
+      // early-termination count.
+      result.stats.prune = member.prune;
       result.stats.prune.objects_decided_early = me.exists_ev->early.load();
       result.stats.objects_evaluated = me.exists_ev->singles.load();
       result.stats.objects_multi_observation = me.exists_ev->multis.load();

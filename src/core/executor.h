@@ -9,6 +9,10 @@
 //   * an LRU cache of query-based backward passes (EngineCache) that turns
 //     repeated monitoring windows into pure dot products,
 //   * τ-early-termination on object-based threshold runs,
+//   * Section V-C cluster pruning as a first-class plan: threshold
+//     requests may bound whole chain clusters with cached interval
+//     envelopes and refine only the undecided objects (kBoundsThenRefine,
+//     chosen cost-based or forced),
 //   * automatic routing of multi-observation objects through the
 //     Section VI engine.
 //
@@ -168,6 +172,46 @@ class QueryExecutor {
   util::Result<QueryResult> RunKTimes(const QueryRequest& request,
                                       const Selection& ids);
 
+  /// \brief Solo kThresholdExists via the Section V-C plan: bound every
+  /// chain cluster holding evaluated objects, drop objects whose upper
+  /// bound clears τ from below, then refine the remainder query-based.
+  /// \pre the window's time set is a contiguous range.
+  util::Result<QueryResult> RunBoundsThenRefine(const QueryRequest& request,
+                                                const Selection& ids,
+                                                const QueryWindow& window);
+
+  /// \brief Splits a selection for the bound pass: single-observation
+  /// objects (observed at t=0) are bucketed by registry cluster, every
+  /// other object — outside the t=0 bound pass's reach — goes straight to
+  /// `refine`. Shared by Run and RunBatch so the partition rule cannot
+  /// drift between the two.
+  void PartitionByCluster(
+      const Selection& ids,
+      std::map<uint32_t, std::vector<ObjectId>>* cluster_objects,
+      std::vector<ObjectId>* refine) const;
+
+  /// \brief The bound → decide step shared by Run and RunBatch: for every
+  /// (cluster index → evaluated object ids) entry, obtains the cluster's
+  /// interval envelope and per-window bound pass (memoized in the
+  /// EngineCache), drops objects whose exists upper bound is below
+  /// request.tau, and appends the rest to `refine`. Polls the request's
+  /// cancellation token and deadline between clusters and returns the stop
+  /// status (with `prune` reflecting the clusters bounded so far).
+  util::Status BoundClusters(
+      const QueryRequest& request, const QueryWindow& window,
+      const std::map<uint32_t, std::vector<ObjectId>>& cluster_objects,
+      std::vector<ObjectId>* refine, PruneStats* prune);
+
+  /// \brief Builds the engines realizing each ChainPlan's decided plan for
+  /// a solo evaluation: query-based passes come from the cache while
+  /// capacity lasts (implicit mode only — borrowed pointers must never
+  /// evict each other), overflow and explicit-mode chains get owned
+  /// engines. Accumulates the cache deltas into `stats`.
+  void BuildExistsEngines(const QueryRequest& request,
+                          const QueryWindow& window,
+                          std::map<ChainId, ChainPlan>* plans,
+                          ExecStats* stats);
+
   // Shared per-object evaluation cores: the range methods evaluate
   // objects [begin, end) of `ids` (thread-safe across disjoint ranges,
   // results written independently per object) and are driven either by
@@ -190,7 +234,8 @@ class QueryExecutor {
                                      const std::map<ChainId, ChainPlan>& plans,
                                      std::vector<double>* probs,
                                      std::vector<uint8_t>* keep,
-                                     EvalCounters* counters);
+                                     EvalCounters* counters,
+                                     bool refine_query_based = false);
   util::Status EvaluateKTimesObjects(const QueryRequest& request,
                                      const Selection& ids,
                                      const std::map<ChainId, ChainPlan>& plans,

@@ -36,9 +36,16 @@ struct CostEstimate {
   /// t_end × nnz + n × dot — one shared backward pass, then a sparse dot
   /// product per object (per member for batches).
   double query_based = 0.0;
+  /// Section V-C bound pass: one upper-only interval backward pass per
+  /// touched chain cluster (costed at kIntervalPassFactor × t_end ×
+  /// envelope-nnz), one upper-bound dot product per object, plus the
+  /// expected refine fraction of the query-based cost. Filled by
+  /// ChooseThresholdPlan only; 0 elsewhere.
+  double bounds_then_refine = 0.0;
 };
 
-/// The planner's verdict for one chain class.
+/// The planner's verdict for one chain class (Choose / PlanBatch) or for
+/// a whole threshold request (ChooseThresholdPlan).
 struct PlanDecision {
   Plan plan = Plan::kQueryBased;
   CostEstimate cost;
@@ -52,6 +59,14 @@ struct PlanDecision {
 /// chain it evaluates after filtering.
 struct MemberLoad {
   PredicateKind predicate = PredicateKind::kExists;
+  uint32_t num_objects = 0;
+};
+
+/// \brief One chain class's share of a threshold request: the chain and how
+/// many single-observation objects of it the request evaluates. Input of
+/// ChooseThresholdPlan.
+struct ChainLoad {
+  ChainId chain = 0;
   uint32_t num_objects = 0;
 };
 
@@ -104,6 +119,29 @@ class QueryPlanner {
   PlanDecision PlanBatch(ChainId chain, const QueryWindow& window,
                          MatrixMode mode,
                          std::span<const MemberLoad> members) const;
+
+  /// \brief Whole-request decision for kThresholdExists: prices the
+  /// Section V-C bounds-then-refine plan — one interval bound pass per
+  /// chain cluster touched by `loads`, plus an expected refine fraction of
+  /// the query-based cost — against the best per-chain OB/QB mix, using
+  /// the database's cluster registry.
+  ///
+  /// Returns kBoundsThenRefine when the bound pass wins (or `directive`
+  /// forces it, marking the decision forced); otherwise returns the
+  /// cheaper of the aggregated per-chain plans so the caller can proceed
+  /// with per-chain Choose() decisions. Every cost field of the returned
+  /// estimate is filled. An empty `loads` never chooses the bound pass.
+  ///
+  /// The caller remains responsible for window eligibility (contiguous,
+  /// non-degenerate time range) — the cost model does not inspect it.
+  ///
+  /// \param window the request window (temporal reach enters every cost).
+  /// \param mode the request matrix mode (kExplicit scales refine passes).
+  /// \param directive the request's PlanChoice; kBoundsThenRefine forces.
+  /// \param loads per-chain single-observation object counts.
+  PlanDecision ChooseThresholdPlan(const QueryWindow& window, MatrixMode mode,
+                                   PlanChoice directive,
+                                   std::span<const ChainLoad> loads) const;
 
   /// \brief Cost of one forward or backward pass over `chain` for
   /// `window`: transitions (the window's temporal reach, max T□) times the

@@ -28,14 +28,27 @@ enum class Plan {
   kObjectBased,
   /// Backward per-chain evaluation, amortized over objects (Section V-B).
   kQueryBased,
+  /// Section V-C cluster pruning: bound whole chain clusters with an
+  /// IntervalMarkovChain envelope, drop every object whose upper bound
+  /// falls below τ, and refine only the undecided remainder (query-based,
+  /// per chain). Only meaningful for kThresholdExists over a window whose
+  /// time set is a contiguous range.
+  kBoundsThenRefine,
 };
 
 /// Plan selection directive carried by a request. kAuto defers to the
-/// QueryPlanner's cost model, decided independently per chain class.
+/// QueryPlanner's cost model, decided independently per chain class —
+/// except for kThresholdExists, where the planner may first choose the
+/// whole-request kBoundsThenRefine plan from the database's cluster
+/// registry. kBoundsThenRefine forces that plan; when the window is not
+/// eligible (non-contiguous or degenerate time range) the executor falls
+/// back to per-chain cost-based planning and counts the fallback in
+/// PruneStats::bound_fallbacks.
 enum class PlanChoice {
   kAuto,
   kObjectBased,
   kQueryBased,
+  kBoundsThenRefine,
 };
 
 /// The predicate a request evaluates.
@@ -68,12 +81,29 @@ struct ObjectKTimes {
   std::vector<double> distribution;
 };
 
-/// Statistics describing how much work pruning avoided.
+/// \brief Statistics describing how much work pruning avoided.
+///
+/// Bound-pass accounting invariants (kBoundsThenRefine runs): every object
+/// the request evaluates is either dropped by the interval bounds or
+/// refined exactly once, so objects_decided_by_bounds + objects_refined
+/// equals the evaluated object count; likewise clusters_pruned +
+/// clusters_refined == clusters_bounded. objects_decided_early counts only
+/// τ-cuts inside object-based refinement and is therefore a subset of —
+/// never additive with — objects_refined.
 struct PruneStats {
-  uint32_t clusters_total = 0;
+  uint32_t clusters_total = 0;    ///< clusters holding evaluated objects
+  uint32_t clusters_bounded = 0;  ///< clusters whose bound pass ran
   uint32_t clusters_pruned = 0;   ///< decided wholesale by interval bounds
+  uint32_t clusters_refined = 0;  ///< had >= 1 object needing refinement
+  /// Objects dropped by the cluster bound pass (upper bound below τ)
+  /// without any individual evaluation.
+  uint32_t objects_decided_by_bounds = 0;
   uint32_t objects_refined = 0;   ///< needed an individual evaluation
   uint32_t objects_decided_early = 0;  ///< OB runs cut short by τ-decision
+  /// Times a requested/chosen bound pass could not run (non-contiguous or
+  /// degenerate window time range) and the run fell back to per-chain
+  /// plans. Previously this fallback was silent.
+  uint32_t bound_fallbacks = 0;
 };
 
 /// \brief One query against a Database, complete with predicate
@@ -90,7 +120,8 @@ struct QueryRequest {
   /// Result count; only read by kTopKExists.
   uint32_t k = 0;
 
-  /// Plan directive; kAuto lets the planner decide per chain class.
+  /// Plan directive; kAuto lets the planner decide per chain class (and,
+  /// for kThresholdExists, consider the whole-request cluster-bound plan).
   PlanChoice plan = PlanChoice::kAuto;
   /// Absorbing-state realization passed through to every engine.
   MatrixMode matrix_mode = MatrixMode::kImplicit;

@@ -1,7 +1,5 @@
 #include "core/threshold.h"
 
-#include <algorithm>
-
 #include "core/executor.h"
 
 namespace ustdb {
@@ -50,99 +48,27 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
   if (num_clusters == 0) {
     return util::Status::InvalidArgument("need at least one cluster");
   }
-  // Interval bounds assume a contiguous time range; fall back otherwise.
-  const bool contiguous =
-      window.t_end() - window.t_begin() + 1 == window.num_times();
-  if (!contiguous) {
-    return ThresholdExistsQueryBased(db, window, tau);
+  // The Section V-C layer now lives inside the pipeline: force the
+  // kBoundsThenRefine plan and let the executor bound the database's own
+  // chain clusters (Database::chain_clusters — similarity-driven, so
+  // `num_clusters` no longer dictates the grouping and is only
+  // validated). An ineligible window falls back to per-chain planning
+  // inside the executor and reports it via PruneStats::bound_fallbacks.
+  USTDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      RunThreshold(db, window, tau, PlanChoice::kBoundsThenRefine));
+  if (stats != nullptr) {
+    const PruneStats& prune = result.stats.prune;
+    stats->clusters_total += prune.clusters_total;
+    stats->clusters_bounded += prune.clusters_bounded;
+    stats->clusters_pruned += prune.clusters_pruned;
+    stats->clusters_refined += prune.clusters_refined;
+    stats->objects_decided_by_bounds += prune.objects_decided_by_bounds;
+    stats->objects_refined += prune.objects_refined;
+    stats->objects_decided_early += prune.objects_decided_early;
+    stats->bound_fallbacks += prune.bound_fallbacks;
   }
-
-  // Chunk chains contiguously into clusters: chains created together tend
-  // to be variations of the same model in our workloads, so neighbors give
-  // the tightest interval envelopes.
-  const uint32_t num_chains = db.num_chains();
-  num_clusters = std::min(num_clusters, num_chains);
-  // Balanced split: cluster i covers [i*n/k, (i+1)*n/k) — contiguous and
-  // never empty for k <= n.
-  std::vector<std::vector<ChainId>> clusters(num_clusters);
-  for (uint32_t i = 0; i < num_clusters; ++i) {
-    const uint32_t begin =
-        static_cast<uint32_t>(uint64_t{i} * num_chains / num_clusters);
-    const uint32_t end =
-        static_cast<uint32_t>(uint64_t{i + 1} * num_chains / num_clusters);
-    for (ChainId c = begin; c < end; ++c) clusters[i].push_back(c);
-  }
-  if (stats != nullptr) stats->clusters_total = num_clusters;
-
-  // Pass 1 — interval bounds decide what needs an exact evaluation:
-  // sure hits still need their exact probability for the output, undecided
-  // objects need refinement, sure drops need nothing.
-  std::vector<ObjectId> sure_hits;
-  std::vector<ObjectId> refine;
-  for (const std::vector<ChainId>& cluster : clusters) {
-    std::vector<const markov::MarkovChain*> members;
-    for (ChainId c : cluster) members.push_back(&db.chain(c));
-    if (members.empty()) continue;
-    USTDB_ASSIGN_OR_RETURN(markov::IntervalMarkovChain env,
-                           markov::IntervalMarkovChain::FromChains(members));
-    const std::vector<markov::ProbBound> bounds =
-        env.BoundExists(window.region(), window.t_begin(), window.t_end());
-
-    bool all_decided = true;
-    for (ChainId c : cluster) {
-      for (ObjectId id : db.objects_by_chain()[c]) {
-        const UncertainObject& obj = db.object(id);
-        bool needs_refine = true;
-        if (obj.single_observation() && obj.observations.front().time == 0) {
-          double lo = 0.0;
-          double hi = 0.0;
-          obj.initial_pdf().ForEachNonZero([&](uint32_t s, double p) {
-            lo += p * bounds[s].lo;
-            hi += p * bounds[s].hi;
-          });
-          if (hi < tau) {
-            needs_refine = false;  // true drop, no output
-          } else if (lo >= tau) {
-            sure_hits.push_back(id);  // qualifies; exact value still needed
-            needs_refine = false;
-          }
-        }
-        if (needs_refine) {
-          all_decided = false;
-          if (stats != nullptr) ++stats->objects_refined;
-          refine.push_back(id);
-        }
-      }
-    }
-    if (stats != nullptr && all_decided) ++stats->clusters_pruned;
-  }
-
-  // Pass 2 — one batched pipeline run over exactly the objects the bounds
-  // could not drop. Results come back in filter order (sure hits first,
-  // then refine candidates): sure hits always qualify, the rest compare.
-  std::vector<ObjectProbability> out;
-  const size_t num_sure = sure_hits.size();
-  std::vector<ObjectId> exact_ids = std::move(sure_hits);
-  exact_ids.insert(exact_ids.end(), refine.begin(), refine.end());
-  if (!exact_ids.empty()) {
-    QueryExecutor executor(&db, {.num_threads = 1});
-    QueryRequest request;
-    request.predicate = PredicateKind::kExists;
-    request.window = window;
-    request.plan = PlanChoice::kQueryBased;
-    request.object_filter = std::move(exact_ids);
-    USTDB_ASSIGN_OR_RETURN(QueryResult result, executor.Run(request));
-    for (size_t j = 0; j < result.probabilities.size(); ++j) {
-      if (j < num_sure || result.probabilities[j].probability >= tau) {
-        out.push_back(result.probabilities[j]);
-      }
-    }
-  }
-  std::sort(out.begin(), out.end(),
-            [](const ObjectProbability& a, const ObjectProbability& b) {
-              return a.id < b.id;
-            });
-  return out;
+  return std::move(result.probabilities);
 }
 
 util::Result<std::vector<ObjectProbability>> TopKExists(

@@ -1,10 +1,10 @@
 // Copyright 2026 the ustdb authors.
 //
-// Threshold and top-k PST∃Q facades. The plan-specific entry points are
-// thin wrappers over the planner/executor pipeline (executor.h) with the
-// plan forced; ThresholdExistsClustered contributes the one layer the
-// executor does not own — Section V-C's interval-Markov-chain cluster
-// bounds — and delegates every exact evaluation to the pipeline.
+// Threshold and top-k PST∃Q facades: thin wrappers over the
+// planner/executor pipeline (executor.h) with the plan forced. Section
+// V-C's interval-Markov-chain cluster bounds are a first-class executor
+// plan (PlanChoice::kBoundsThenRefine) since the cluster-pruning fold-in;
+// ThresholdExistsClustered merely forces that plan.
 
 #ifndef USTDB_CORE_THRESHOLD_H_
 #define USTDB_CORE_THRESHOLD_H_
@@ -16,7 +16,6 @@
 #include "core/query_based.h"
 #include "core/query_request.h"
 #include "core/query_window.h"
-#include "markov/interval_chain.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -39,12 +38,20 @@ util::Result<std::vector<ObjectProbability>> ThresholdExistsObjectBased(
     const Database& db, const QueryWindow& window, double tau,
     PruneStats* stats = nullptr);
 
-/// \brief Section V-C cluster pruning: groups chains into `num_clusters`
-/// contiguous clusters (in creation order), bounds every cluster with
-/// an IntervalMarkovChain, decides whole clusters whose [lo, hi] bound does
-/// not straddle tau, and refines the rest object-by-object through the
-/// executor pipeline.
-/// Requires a contiguous window time range (uses [t_begin, t_end]).
+/// \brief Section V-C cluster pruning via the pipeline's kBoundsThenRefine
+/// plan: bounds every chain cluster of the database's similarity registry
+/// (Database::chain_clusters) with a cached IntervalMarkovChain envelope,
+/// drops objects whose upper bound falls below tau, and refines the rest
+/// through the executor. Windows without a contiguous time range fall
+/// back to per-chain plans (counted in `stats` as bound_fallbacks).
+/// \deprecated Prefer QueryExecutor::Run with kThresholdExists — the
+/// planner chooses the bound pass cost-based under PlanChoice::kAuto.
+/// \param db the database to query.
+/// \param window the query window Q□.
+/// \param tau the qualification threshold on P∃.
+/// \param num_clusters legacy knob, only validated (must be >= 1): the
+///        similarity registry now dictates the clustering.
+/// \param stats accumulates PruneStats counters when non-null.
 util::Result<std::vector<ObjectProbability>> ThresholdExistsClustered(
     const Database& db, const QueryWindow& window, double tau,
     uint32_t num_clusters, PruneStats* stats = nullptr);

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <limits>
 
 #include "util/string_util.h"
 
@@ -25,37 +25,134 @@ util::Result<IntervalMarkovChain> IntervalMarkovChain::FromChains(
 
   IntervalMarkovChain out;
   out.num_states_ = n;
-  out.row_ptr_.assign(n + 1, 0);
 
-  // Per-row envelope: union support; lo = min over members (0 if absent
-  // from any member), hi = max over members.
-  std::map<uint32_t, ProbBound> row_env;
-  for (uint32_t r = 0; r < n; ++r) {
-    row_env.clear();
-    for (const MarkovChain* c : members) {
-      auto idx = c->matrix().RowIndices(r);
-      auto val = c->matrix().RowValues(r);
-      for (size_t k = 0; k < idx.size(); ++k) {
-        auto [it, inserted] = row_env.try_emplace(
-            idx[k], ProbBound{val[k], val[k]});
-        if (!inserted) {
-          it->second.lo = std::min(it->second.lo, val[k]);
-          it->second.hi = std::max(it->second.hi, val[k]);
+  // The envelope is folded in one pairwise CSR merge per member, so every
+  // member matrix is streamed sequentially exactly once (interleaving all
+  // members row by row thrashes the cache once clusters grow to dozens of
+  // members). Each accumulator entry tracks how many members carry it: lo
+  // survives as the min over members only when every member has the entry
+  // — an entry absent from any member counts as zero there, so its lower
+  // bound must be 0 regardless of which member (first or later) lacks it.
+  // Counting presence across the merges enforces that contract
+  // structurally instead of relying on a repair pass.
+  struct Accumulator {
+    std::vector<sparse::NnzIndex> row_ptr;
+    std::vector<uint32_t> col;
+    std::vector<double> lo;
+    std::vector<double> hi;
+    std::vector<uint32_t> present;
+  };
+  Accumulator acc;
+  Accumulator next;
+  acc.row_ptr.assign(n + 1, 0);
+  {
+    const sparse::CsrMatrix& first = members[0]->matrix();
+    for (uint32_t r = 0; r < n; ++r) {
+      auto idx = first.RowIndices(r);
+      auto val = first.RowValues(r);
+      acc.col.insert(acc.col.end(), idx.begin(), idx.end());
+      acc.lo.insert(acc.lo.end(), val.begin(), val.end());
+      acc.hi.insert(acc.hi.end(), val.begin(), val.end());
+      acc.row_ptr[r + 1] = static_cast<sparse::NnzIndex>(acc.col.size());
+    }
+    acc.present.assign(acc.col.size(), 1);
+  }
+  for (size_t m = 1; m < members.size(); ++m) {
+    const sparse::CsrMatrix& matrix = members[m]->matrix();
+    // Fast path — member support identical to the accumulator's. Chains
+    // land in one cluster because they are close variants of one model,
+    // which in practice means jittered weights on a shared support, so
+    // this avoids the structural merge for the overwhelmingly common
+    // case: one sequential min/max fold over the values.
+    bool same_support =
+        static_cast<size_t>(matrix.nnz()) == acc.col.size();
+    for (uint32_t r = 0; same_support && r < n; ++r) {
+      auto idx = matrix.RowIndices(r);
+      const sparse::NnzIndex a = acc.row_ptr[r];
+      same_support =
+          static_cast<sparse::NnzIndex>(idx.size()) ==
+              acc.row_ptr[r + 1] - a &&
+          std::equal(idx.begin(), idx.end(), acc.col.begin() + a);
+    }
+    if (same_support) {
+      size_t k = 0;
+      for (uint32_t r = 0; r < n; ++r) {
+        for (const double v : matrix.RowValues(r)) {
+          acc.lo[k] = std::min(acc.lo[k], v);
+          acc.hi[k] = std::max(acc.hi[k], v);
+          ++acc.present[k];
+          ++k;
         }
       }
+      continue;
     }
-    // Any entry not present in *all* members has lo = 0.
-    for (auto& [col, bound] : row_env) {
-      size_t present = 0;
-      for (const MarkovChain* c : members) {
-        if (c->matrix().Get(r, col) > 0.0) ++present;
+    // Preallocate for the worst-case union and write through raw indices:
+    // this loop runs members × nnz times and per-entry push_back
+    // bookkeeping would dominate it.
+    const size_t cap = acc.col.size() + static_cast<size_t>(matrix.nnz());
+    next.row_ptr.assign(n + 1, 0);
+    next.col.resize(cap);
+    next.lo.resize(cap);
+    next.hi.resize(cap);
+    next.present.resize(cap);
+    size_t w = 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      sparse::NnzIndex a = acc.row_ptr[r];
+      const sparse::NnzIndex a_end = acc.row_ptr[r + 1];
+      auto idx = matrix.RowIndices(r);
+      auto val = matrix.RowValues(r);
+      size_t b = 0;
+      // Two-pointer union over ascending columns.
+      while (a < a_end && b < idx.size()) {
+        if (acc.col[a] < idx[b]) {
+          next.col[w] = acc.col[a];
+          next.lo[w] = acc.lo[a];
+          next.hi[w] = acc.hi[a];
+          next.present[w] = acc.present[a];
+          ++a;
+        } else if (idx[b] < acc.col[a]) {
+          next.col[w] = idx[b];
+          next.lo[w] = val[b];
+          next.hi[w] = val[b];
+          next.present[w] = 1;
+          ++b;
+        } else {
+          next.col[w] = acc.col[a];
+          next.lo[w] = std::min(acc.lo[a], val[b]);
+          next.hi[w] = std::max(acc.hi[a], val[b]);
+          next.present[w] = acc.present[a] + 1;
+          ++a;
+          ++b;
+        }
+        ++w;
       }
-      if (present < members.size()) bound.lo = 0.0;
-      out.col_idx_.push_back(col);
-      out.lo_.push_back(bound.lo);
-      out.hi_.push_back(bound.hi);
+      for (; a < a_end; ++a, ++w) {
+        next.col[w] = acc.col[a];
+        next.lo[w] = acc.lo[a];
+        next.hi[w] = acc.hi[a];
+        next.present[w] = acc.present[a];
+      }
+      for (; b < idx.size(); ++b, ++w) {
+        next.col[w] = idx[b];
+        next.lo[w] = val[b];
+        next.hi[w] = val[b];
+        next.present[w] = 1;
+      }
+      next.row_ptr[r + 1] = static_cast<sparse::NnzIndex>(w);
     }
-    out.row_ptr_[r + 1] = static_cast<sparse::NnzIndex>(out.col_idx_.size());
+    next.col.resize(w);
+    next.lo.resize(w);
+    next.hi.resize(w);
+    next.present.resize(w);
+    std::swap(acc, next);
+  }
+
+  out.row_ptr_ = std::move(acc.row_ptr);
+  out.col_idx_ = std::move(acc.col);
+  out.hi_ = std::move(acc.hi);
+  out.lo_ = std::move(acc.lo);
+  for (size_t k = 0; k < out.lo_.size(); ++k) {
+    if (acc.present[k] != members.size()) out.lo_[k] = 0.0;
   }
   return out;
 }
@@ -70,9 +167,9 @@ ProbBound IntervalMarkovChain::Bound(uint32_t i, uint32_t j) const {
   return {lo_[k], hi_[k]};
 }
 
-double IntervalMarkovChain::ExtremalRowValue(uint32_t row,
-                                             const std::vector<double>& v,
-                                             bool want_max) const {
+double IntervalMarkovChain::ExtremalRowValueWith(
+    uint32_t row, const std::vector<double>& v, bool want_max,
+    std::vector<std::pair<double, double>>* scratch) const {
   const sparse::NnzIndex begin = row_ptr_[row];
   const sparse::NnzIndex end = row_ptr_[row + 1];
   const size_t m = static_cast<size_t>(end - begin);
@@ -82,19 +179,31 @@ double IntervalMarkovChain::ExtremalRowValue(uint32_t row,
   // (1 - Σ lo) on the most favourable v-values first, capped at hi - lo.
   double base = 0.0;
   double budget = 1.0;
-  // (value, slack) pairs sorted by v; ascending for min, descending for max.
-  std::vector<std::pair<double, double>> order;
-  order.reserve(m);
+  scratch->clear();
   for (sparse::NnzIndex k = begin; k < end; ++k) {
     const uint32_t c = col_idx_[k];
     base += lo_[k] * v[c];
     budget -= lo_[k];
-    order.emplace_back(v[c], hi_[k] - lo_[k]);
+    scratch->emplace_back(v[c], hi_[k] - lo_[k]);
   }
-  std::sort(order.begin(), order.end(),
-            [want_max](const auto& a, const auto& b) {
-              return want_max ? a.first > b.first : a.first < b.first;
-            });
+  // Tight rows (every member identical on this row, e.g. singleton
+  // clusters) have no slack to distribute: the base already is the value.
+  if (budget <= 0.0) return base;
+  // (value, slack) pairs sorted by v — ascending for min, descending for
+  // max. Rows are small (a few entries), so an insertion sort into the
+  // reused scratch buffer beats std::sort with its allocation-heavy
+  // call pattern in this innermost loop.
+  auto& order = *scratch;
+  for (size_t i = 1; i < m; ++i) {
+    const std::pair<double, double> key = order[i];
+    size_t j = i;
+    while (j > 0 && (want_max ? order[j - 1].first < key.first
+                              : order[j - 1].first > key.first)) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = key;
+  }
   double extra = 0.0;
   for (const auto& [value, slack] : order) {
     if (budget <= 0.0) break;
@@ -106,7 +215,8 @@ double IntervalMarkovChain::ExtremalRowValue(uint32_t row,
 }
 
 std::vector<ProbBound> IntervalMarkovChain::BoundExists(
-    const sparse::IndexSet& region, Timestamp t_lo, Timestamp t_hi) const {
+    const sparse::IndexSet& region, Timestamp t_lo, Timestamp t_hi,
+    bool with_lower) const {
   assert(region.domain_size() == num_states_);
   assert(t_lo <= t_hi);
 
@@ -121,20 +231,66 @@ std::vector<ProbBound> IntervalMarkovChain::BoundExists(
 
   std::vector<double> next_lo(num_states_);
   std::vector<double> next_hi(num_states_);
+  std::vector<std::pair<double, double>> scratch;
+  // Active interval: every non-zero of flo/fhi lies inside [a_lo, a_hi].
+  // The backward reach grows by one matrix band per step, so on the
+  // paper's banded models almost all rows are provably zero and skip both
+  // the gather and the greedy. Rows store ascending columns, so the
+  // intersection test is two O(1) loads per row.
+  uint32_t a_lo = region.empty() ? 0 : region.min();
+  uint32_t a_hi = region.empty() ? 0 : region.max();
   for (Timestamp t = t_hi; t > 0; --t) {
     // Step backward from t to t-1.
+    uint32_t next_a_lo = std::numeric_limits<uint32_t>::max();
+    uint32_t next_a_hi = 0;
     for (uint32_t s = 0; s < num_states_; ++s) {
-      next_lo[s] = ExtremalRowValue(s, flo, /*want_max=*/false);
-      next_hi[s] = ExtremalRowValue(s, fhi, /*want_max=*/true);
+      const sparse::NnzIndex row_begin = row_ptr_[s];
+      const sparse::NnzIndex row_end = row_ptr_[s + 1];
+      if (row_begin == row_end || col_idx_[row_end - 1] < a_lo ||
+          col_idx_[row_begin] > a_hi) {
+        next_lo[s] = 0.0;
+        next_hi[s] = 0.0;
+        continue;
+      }
+      bool any_lo = false;
+      bool any_hi = false;
+      for (sparse::NnzIndex k = row_begin; k < row_end; ++k) {
+        const uint32_t c = col_idx_[k];
+        any_lo |= flo[c] != 0.0;
+        any_hi |= fhi[c] != 0.0;
+      }
+      next_lo[s] = any_lo && with_lower
+                       ? ExtremalRowValueWith(s, flo, /*want_max=*/false,
+                                              &scratch)
+                       : 0.0;
+      next_hi[s] = any_hi ? ExtremalRowValueWith(s, fhi, /*want_max=*/true,
+                                                 &scratch)
+                          : 0.0;
+      if (next_lo[s] != 0.0 || next_hi[s] != 0.0) {
+        next_a_lo = std::min(next_a_lo, s);
+        next_a_hi = std::max(next_a_hi, s);
+      }
     }
     const Timestamp t_prev = t - 1;
-    if (t_prev >= t_lo) {
+    if (t_prev >= t_lo && !region.empty()) {
       // Being inside the region at t_prev is itself a hit.
       for (uint32_t s : region) {
         next_lo[s] = 1.0;
         next_hi[s] = 1.0;
       }
+      next_a_lo = std::min(next_a_lo, region.min());
+      next_a_hi = std::max(next_a_hi, region.max());
     }
+    if (next_a_lo > next_a_hi) {
+      // Everything is zero; the remaining steps cannot change that.
+      std::fill(next_lo.begin(), next_lo.end(), 0.0);
+      std::fill(next_hi.begin(), next_hi.end(), 0.0);
+      flo.swap(next_lo);
+      fhi.swap(next_hi);
+      break;
+    }
+    a_lo = next_a_lo;
+    a_hi = next_a_hi;
     flo.swap(next_lo);
     fhi.swap(next_hi);
   }
@@ -143,7 +299,8 @@ std::vector<ProbBound> IntervalMarkovChain::BoundExists(
   }
   std::vector<ProbBound> out(num_states_);
   for (uint32_t s = 0; s < num_states_; ++s) {
-    out[s] = {std::clamp(flo[s], 0.0, 1.0), std::clamp(fhi[s], 0.0, 1.0)};
+    out[s] = {with_lower ? std::clamp(flo[s], 0.0, 1.0) : 0.0,
+              std::clamp(fhi[s], 0.0, 1.0)};
   }
   return out;
 }

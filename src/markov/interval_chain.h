@@ -9,6 +9,7 @@
 #ifndef USTDB_MARKOV_INTERVAL_CHAIN_H_
 #define USTDB_MARKOV_INTERVAL_CHAIN_H_
 
+#include <utility>
 #include <vector>
 
 #include "markov/markov_chain.h"
@@ -55,16 +56,25 @@ class IntervalMarkovChain {
   /// [t_lo, t_hi]) under *any* member chain. Backward recursion in the style
   /// of the query-based engine with interval arithmetic at each step.
   /// \pre region.domain_size() == num_states() and t_lo <= t_hi.
+  /// \param region the query region S□.
+  /// \param t_lo first window timestamp (inclusive).
+  /// \param t_hi last window timestamp (inclusive).
+  /// \param with_lower when false, only the upper bounds are propagated
+  ///        and every returned lo is 0 (still sound, half the work) — the
+  ///        executor's drop test reads hi alone.
   std::vector<ProbBound> BoundExists(const sparse::IndexSet& region,
-                                     Timestamp t_lo, Timestamp t_hi) const;
+                                     Timestamp t_lo, Timestamp t_hi,
+                                     bool with_lower = true) const;
 
  private:
   IntervalMarkovChain() : num_states_(0) {}
 
   /// min (want_max=false) or max (want_max=true) of Σ_j m_j·v[col_j] over
-  /// the interval-stochastic row `row`.
-  double ExtremalRowValue(uint32_t row, const std::vector<double>& v,
-                          bool want_max) const;
+  /// the interval-stochastic row `row`, using a caller-owned scratch
+  /// buffer so the backward pass's innermost loop allocates nothing.
+  double ExtremalRowValueWith(
+      uint32_t row, const std::vector<double>& v, bool want_max,
+      std::vector<std::pair<double, double>>* scratch) const;
 
   uint32_t num_states_;
   // CSR-like envelope storage; lo_ and hi_ are parallel to col_idx_.

@@ -315,6 +315,9 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
       case util::StatusCode::kOk:
         ++stats_.completed;
         stats_.group_subtasks += outcome->stats.group_subtasks;
+        stats_.clusters_bounded += outcome->stats.prune.clusters_bounded;
+        stats_.clusters_pruned += outcome->stats.prune.clusters_pruned;
+        stats_.clusters_refined += outcome->stats.prune.clusters_refined;
         if (latencies_ms_.size() < kLatencyReservoir) {
           latencies_ms_.push_back(latency_ms);
         } else {

@@ -100,6 +100,14 @@ struct ServiceStats {
   /// completed means large same-window groups are being spread across the
   /// pool rather than serialized on one worker.
   uint64_t group_subtasks = 0;
+  /// Section V-C bound-pass totals over completed requests (see
+  /// PruneStats): clusters whose interval bound pass ran, clusters whose
+  /// objects were all dropped by it, and clusters that needed per-object
+  /// refinement. clusters_pruned / clusters_bounded is the wholesale-prune
+  /// rate of the serving mix.
+  uint64_t clusters_bounded = 0;
+  uint64_t clusters_pruned = 0;
+  uint64_t clusters_refined = 0;
   size_t queue_depth = 0;  ///< queued requests across both lanes, sampled
   size_t queue_peak = 0;   ///< high-water mark of queue_depth
   double latency_p50_ms = 0.0;  ///< median completed-request latency

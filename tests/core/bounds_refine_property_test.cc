@@ -1,0 +1,280 @@
+// Property suite for the Section V-C kBoundsThenRefine plan: across
+// randomized multi-cluster databases, windows, and τ values (including τ
+// pinned exactly to object probabilities, the >= boundary), the bound
+// pass must return the same qualifying set as the pure per-chain plans —
+// bit-identical probabilities against the query-based plan, whose engines
+// the refine stage reuses — and stop cooperatively mid-refine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/executor.h"
+#include "testing/random_models.h"
+#include "util/cancellation.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::RandomChain;
+using ::ustdb::testing::RandomDistribution;
+
+constexpr uint32_t kStates = 24;
+
+/// Mixed-class database: `num_clusters` families of jittered chains (the
+/// registry folds each family into one cluster) plus `num_loner_chains`
+/// independent chains, objects spread round-robin.
+Database MakeMixedDb(uint32_t num_clusters, uint32_t chains_per_cluster,
+                     uint32_t num_loner_chains, uint32_t num_objects,
+                     uint64_t seed) {
+  util::Rng rng(seed);
+  workload::SyntheticConfig config;
+  config.num_states = kStates;
+  config.state_spread = 3;
+  config.max_step = 8;
+  Database db;
+  std::vector<ChainId> chains;
+  for (uint32_t f = 0; f < num_clusters; ++f) {
+    markov::MarkovChain base =
+        workload::GenerateChain(config, &rng).ValueOrDie();
+    chains.push_back(db.AddChain(base));
+    for (uint32_t c = 1; c < chains_per_cluster; ++c) {
+      chains.push_back(db.AddChain(
+          workload::PerturbChain(base, 0.08, &rng).ValueOrDie()));
+    }
+  }
+  for (uint32_t c = 0; c < num_loner_chains; ++c) {
+    chains.push_back(db.AddChain(RandomChain(kStates, 3, &rng)));
+  }
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    (void)db.AddObjectAt(chains[i % chains.size()],
+                         RandomDistribution(kStates, 3, &rng))
+        .ValueOrDie();
+  }
+  return db;
+}
+
+QueryRequest ThresholdRequest(const QueryWindow& window, double tau,
+                              PlanChoice plan) {
+  QueryRequest request;
+  request.predicate = PredicateKind::kThresholdExists;
+  request.window = window;
+  request.tau = tau;
+  request.plan = plan;
+  return request;
+}
+
+TEST(BoundsRefinePropertyTest, MatchesPerChainPlansAcrossRandomWorkloads) {
+  util::Rng rng(4242);
+  for (uint64_t round = 0; round < 8; ++round) {
+    Database db = MakeMixedDb(/*num_clusters=*/2, /*chains_per_cluster=*/3,
+                              /*num_loner_chains=*/2, /*num_objects=*/48,
+                              9000 + round);
+    // Random contiguous window.
+    const uint32_t s_lo = static_cast<uint32_t>(rng.NextBounded(kStates - 6));
+    const uint32_t s_hi = s_lo + 2 + static_cast<uint32_t>(rng.NextBounded(4));
+    const Timestamp t_lo = 1 + static_cast<Timestamp>(rng.NextBounded(3));
+    const Timestamp t_hi = t_lo + 2 + static_cast<Timestamp>(rng.NextBounded(5));
+    const QueryWindow window =
+        QueryWindow::FromRanges(kStates, s_lo, std::min(s_hi, kStates - 1),
+                                t_lo, t_hi)
+            .ValueOrDie();
+
+    QueryExecutor executor(&db, {.num_threads = 1});
+    const QueryResult qb_all =
+        executor
+            .Run(ThresholdRequest(window, -1.0, PlanChoice::kQueryBased))
+            .ValueOrDie();  // τ = -1: every object, exact probabilities
+
+    // τ sweep: generic values plus values pinned exactly to object
+    // probabilities (the >= boundary) and to boundary±ulp-scale offsets —
+    // the regime where an unsound interval bound would flip membership.
+    // Pinned τs compare only against the query-based plan (whose engines
+    // the refine stage reuses, so membership matches bit for bit); the
+    // object-based plan rounds independently and may legitimately flip an
+    // exact-boundary object.
+    std::vector<double> taus = {0.05, 0.3, 0.7, 0.95, 1.5};
+    const size_t num_generic = taus.size();
+    for (int k = 0; k < 3; ++k) {
+      const size_t pick = static_cast<size_t>(
+          rng.NextBounded(static_cast<uint32_t>(qb_all.probabilities.size())));
+      const double p = qb_all.probabilities[pick].probability;
+      taus.push_back(p);
+      taus.push_back(p * (1.0 + 1e-12));
+      taus.push_back(p * (1.0 - 1e-12));
+    }
+
+    for (size_t t = 0; t < taus.size(); ++t) {
+      const double tau = taus[t];
+      const QueryResult bounds =
+          executor
+              .Run(ThresholdRequest(window, tau, PlanChoice::kBoundsThenRefine))
+              .ValueOrDie();
+      const QueryResult qb =
+          executor.Run(ThresholdRequest(window, tau, PlanChoice::kQueryBased))
+              .ValueOrDie();
+
+      // Bit-identical against the query-based plan: same ids, same bits.
+      ASSERT_EQ(bounds.probabilities.size(), qb.probabilities.size())
+          << "round " << round << " tau " << tau;
+      for (size_t i = 0; i < qb.probabilities.size(); ++i) {
+        EXPECT_EQ(bounds.probabilities[i].id, qb.probabilities[i].id);
+        EXPECT_EQ(bounds.probabilities[i].probability,
+                  qb.probabilities[i].probability)
+            << "round " << round << " tau " << tau << " id "
+            << qb.probabilities[i].id;
+      }
+      if (t < num_generic) {
+        // Same qualifying set as the object-based plan; values agree to
+        // rounding (OB and QB are distinct exact algorithms).
+        const QueryResult ob =
+            executor
+                .Run(ThresholdRequest(window, tau, PlanChoice::kObjectBased))
+                .ValueOrDie();
+        ASSERT_EQ(bounds.probabilities.size(), ob.probabilities.size())
+            << "round " << round << " tau " << tau;
+        for (size_t i = 0; i < ob.probabilities.size(); ++i) {
+          EXPECT_EQ(bounds.probabilities[i].id, ob.probabilities[i].id);
+          EXPECT_NEAR(bounds.probabilities[i].probability,
+                      ob.probabilities[i].probability, 1e-10);
+        }
+      }
+      // Accounting invariant: decided + refined covers every object.
+      const PruneStats& prune = bounds.stats.prune;
+      EXPECT_EQ(prune.objects_decided_by_bounds + prune.objects_refined,
+                db.num_objects());
+      EXPECT_EQ(prune.clusters_pruned + prune.clusters_refined,
+                prune.clusters_bounded);
+    }
+  }
+}
+
+TEST(BoundsRefinePropertyTest, AutoPlanSelectsBoundsOnPrunableWorkload) {
+  // Many similar chain classes with few objects each: the cost model must
+  // route a plain kAuto threshold request through the bound pass.
+  workload::SyntheticConfig config;
+  config.num_states = kStates;
+  config.num_objects = 96;
+  config.state_spread = 3;
+  config.max_step = 8;
+  config.seed = 77;
+  Database db =
+      workload::GenerateMultiChainDatabase(config, /*num_chains=*/24,
+                                           /*jitter=*/0.05)
+          .ValueOrDie();
+  const QueryWindow window =
+      QueryWindow::FromRanges(kStates, 6, 12, 2, 8).ValueOrDie();
+  QueryExecutor executor(&db, {.num_threads = 1});
+  const QueryResult with_auto =
+      executor.Run(ThresholdRequest(window, 0.3, PlanChoice::kAuto))
+          .ValueOrDie();
+  EXPECT_GT(with_auto.stats.prune.clusters_bounded, 0u);
+  const QueryResult qb =
+      executor.Run(ThresholdRequest(window, 0.3, PlanChoice::kQueryBased))
+          .ValueOrDie();
+  ASSERT_EQ(with_auto.probabilities.size(), qb.probabilities.size());
+  for (size_t i = 0; i < qb.probabilities.size(); ++i) {
+    EXPECT_EQ(with_auto.probabilities[i].id, qb.probabilities[i].id);
+    EXPECT_EQ(with_auto.probabilities[i].probability,
+              qb.probabilities[i].probability);
+  }
+}
+
+TEST(BoundsRefinePropertyTest, BatchMembersMatchSoloBoundsRuns) {
+  Database db = MakeMixedDb(2, 3, 1, 64, 555);
+  const QueryWindow window =
+      QueryWindow::FromRanges(kStates, 4, 10, 2, 7).ValueOrDie();
+  std::vector<QueryRequest> batch;
+  for (double tau : {0.1, 0.45, 0.8}) {
+    batch.push_back(
+        ThresholdRequest(window, tau, PlanChoice::kBoundsThenRefine));
+  }
+  // A same-window exists member shares the group without disturbing the
+  // bounds members' query-based refinement.
+  batch.push_back({.predicate = PredicateKind::kExists, .window = window});
+
+  QueryExecutor batch_executor(&db, {.num_threads = 1});
+  const auto results = batch_executor.RunBatch(batch);
+  QueryExecutor solo_executor(&db, {.num_threads = 1});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "member " << i;
+    const QueryResult solo = solo_executor.Run(batch[i]).ValueOrDie();
+    const QueryResult& member = *results[i];
+    ASSERT_EQ(member.probabilities.size(), solo.probabilities.size())
+        << "member " << i;
+    for (size_t j = 0; j < solo.probabilities.size(); ++j) {
+      EXPECT_EQ(member.probabilities[j].id, solo.probabilities[j].id);
+      EXPECT_EQ(member.probabilities[j].probability,
+                solo.probabilities[j].probability);
+    }
+    if (batch[i].predicate == PredicateKind::kThresholdExists) {
+      EXPECT_EQ(member.stats.prune.objects_decided_by_bounds +
+                    member.stats.prune.objects_refined,
+                db.num_objects())
+          << "member " << i;
+    }
+  }
+}
+
+TEST(BoundsRefinePropertyTest, CancellationMidRefineStopsEarly) {
+  // τ = -1 makes every object refine (no upper bound is below a negative
+  // τ), so the refine loop dominates; a poll budget beyond the bound
+  // phase's per-cluster checks trips the token mid-refine. The run must
+  // resolve kCancelled having evaluated provably fewer objects than its
+  // uncancelled twin.
+  Database db = MakeMixedDb(2, 2, 0, 512, 321);
+  const QueryWindow window =
+      QueryWindow::FromRanges(kStates, 4, 10, 2, 7).ValueOrDie();
+  QueryExecutor executor(&db, {.num_threads = 1});
+
+  const QueryResult full =
+      executor
+          .Run(ThresholdRequest(window, -1.0, PlanChoice::kBoundsThenRefine))
+          .ValueOrDie();
+  ASSERT_EQ(full.stats.prune.objects_refined, db.num_objects());
+  ASSERT_EQ(full.stats.objects_evaluated, db.num_objects());
+
+  QueryRequest cancelled =
+      ThresholdRequest(window, -1.0, PlanChoice::kBoundsThenRefine);
+  util::CancellationSource source;
+  // Polls spent before the refine loop: one submission check plus one per
+  // bounded cluster; a budget a few sub-chunks beyond that stops inside
+  // the refine loop's strided checks.
+  source.RequestStopAfterPolls(1 + full.stats.prune.clusters_bounded + 3);
+  cancelled.cancel = source.token();
+  const auto result = executor.Run(cancelled);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCancelled);
+  const ExecStats& stats = executor.last_run_stats();
+  EXPECT_GT(stats.objects_evaluated, 0u);
+  EXPECT_LT(stats.objects_evaluated, db.num_objects());
+}
+
+TEST(BoundsRefinePropertyTest, CancellationBetweenClustersSkipsBounding) {
+  // A budget of exactly the submission poll plus one cluster check stops
+  // the bound phase before the second cluster: no refinement happens at
+  // all.
+  Database db = MakeMixedDb(3, 2, 0, 60, 654);
+  const QueryWindow window =
+      QueryWindow::FromRanges(kStates, 4, 10, 2, 7).ValueOrDie();
+  QueryExecutor executor(&db, {.num_threads = 1});
+  QueryRequest request =
+      ThresholdRequest(window, 0.4, PlanChoice::kBoundsThenRefine);
+  util::CancellationSource source;
+  source.RequestStopAfterPolls(2);
+  request.cancel = source.token();
+  const auto result = executor.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCancelled);
+  const ExecStats& stats = executor.last_run_stats();
+  EXPECT_LT(stats.prune.clusters_bounded, 3u);
+  EXPECT_EQ(stats.objects_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "testing/random_models.h"
+#include "workload/synthetic.h"
 
 namespace ustdb {
 namespace core {
@@ -10,6 +13,7 @@ namespace {
 
 using ::ustdb::testing::PaperChainV;
 using ::ustdb::testing::PaperChainVI;
+using ::ustdb::testing::RandomChain;
 
 TEST(DatabaseTest, AddChainAssignsSequentialIds) {
   Database db;
@@ -93,6 +97,74 @@ TEST(DatabaseTest, SingleObservationHelper) {
   multi.push_back({4, sparse::ProbVector::Delta(3, 2)});
   const ObjectId id2 = db.AddObject(c, multi).ValueOrDie();
   EXPECT_FALSE(db.object(id2).single_observation());
+}
+
+TEST(DatabaseClusterTest, MeanRowL1DistanceExtremes) {
+  auto a = markov::MarkovChain::FromDense({{1.0, 0.0}, {0.0, 1.0}})
+               .ValueOrDie();
+  auto b = markov::MarkovChain::FromDense({{0.0, 1.0}, {1.0, 0.0}})
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(Database::MeanRowL1Distance(a, a), 0.0);
+  // Disjoint supports: every row contributes |1| + |1| = 2.
+  EXPECT_DOUBLE_EQ(Database::MeanRowL1Distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(Database::MeanRowL1Distance(a, b),
+                   Database::MeanRowL1Distance(b, a));
+}
+
+TEST(DatabaseClusterTest, PerturbedChainsShareOneCluster) {
+  util::Rng rng(31);
+  workload::SyntheticConfig config;
+  config.num_states = 40;
+  config.state_spread = 4;
+  config.max_step = 10;
+  markov::MarkovChain base = workload::GenerateChain(config, &rng)
+                                 .ValueOrDie();
+  Database db;
+  const ChainId first = db.AddChain(base);
+  for (int i = 0; i < 5; ++i) {
+    const ChainId c = db.AddChain(
+        workload::PerturbChain(base, 0.2, &rng).ValueOrDie());
+    EXPECT_EQ(db.cluster_of(c), db.cluster_of(first));
+  }
+  ASSERT_EQ(db.chain_clusters().size(), 1u);
+  EXPECT_EQ(db.chain_clusters()[0].leader, first);
+  EXPECT_EQ(db.chain_clusters()[0].members.size(), 6u);
+}
+
+TEST(DatabaseClusterTest, DissimilarChainsGetOwnClusters) {
+  util::Rng rng(32);
+  Database db;
+  const ChainId a = db.AddChain(RandomChain(30, 3, &rng));
+  const ChainId b = db.AddChain(RandomChain(30, 3, &rng));
+  // Different state counts can never share a cluster with `a`/`b`.
+  const ChainId c = db.AddChain(PaperChainV());
+  EXPECT_NE(db.cluster_of(a), db.cluster_of(b));
+  EXPECT_NE(db.cluster_of(a), db.cluster_of(c));
+  EXPECT_NE(db.cluster_of(b), db.cluster_of(c));
+  ASSERT_EQ(db.chain_clusters().size(), 3u);
+  // Every chain appears in exactly the cluster cluster_of() names.
+  for (ChainId id : {a, b, c}) {
+    const ChainCluster& cluster = db.chain_clusters()[db.cluster_of(id)];
+    EXPECT_EQ(std::count(cluster.members.begin(), cluster.members.end(), id),
+              1);
+  }
+}
+
+TEST(DatabaseClusterTest, LateSimilarChainJoinsExistingCluster) {
+  util::Rng rng(33);
+  workload::SyntheticConfig config;
+  config.num_states = 25;
+  config.state_spread = 3;
+  config.max_step = 8;
+  markov::MarkovChain base = workload::GenerateChain(config, &rng)
+                                 .ValueOrDie();
+  Database db;
+  const ChainId leader = db.AddChain(base);
+  const ChainId stranger = db.AddChain(RandomChain(25, 3, &rng));
+  const ChainId late = db.AddChain(
+      workload::PerturbChain(base, 0.1, &rng).ValueOrDie());
+  EXPECT_EQ(db.cluster_of(late), db.cluster_of(leader));
+  EXPECT_NE(db.cluster_of(stranger), db.cluster_of(leader));
 }
 
 }  // namespace

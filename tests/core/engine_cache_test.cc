@@ -170,6 +170,86 @@ TEST(EngineCacheTest, CachedResultsMatchFreshEngines) {
   EXPECT_GT(cache.stats().evictions, 0u);
 }
 
+TEST(EngineCacheTest, EnvelopeRoundTripAndMemberCountKeying) {
+  markov::MarkovChain a = PaperChainV();
+  markov::MarkovChain b = PaperChainVI();
+  const ChainId leader = 7;  // keys are stable ChainIds, not pointers
+  EngineCache cache(4);
+  EXPECT_EQ(cache.LookupEnvelope(leader, 2), nullptr);
+  EXPECT_EQ(cache.stats().bound_misses, 1u);
+
+  auto env = markov::IntervalMarkovChain::FromChains({&a, &b}).ValueOrDie();
+  const markov::IntervalMarkovChain* cached =
+      cache.PutEnvelope(leader, 2, std::move(env));
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cache.LookupEnvelope(leader, 2), cached);
+  EXPECT_EQ(cache.stats().bound_hits, 1u);
+  // A grown cluster (3 members) reads as a different key: no stale hit.
+  EXPECT_EQ(cache.LookupEnvelope(leader, 3), nullptr);
+  EXPECT_EQ(cache.envelope_size(), 1u);
+}
+
+TEST(EngineCacheTest, BoundsKeyedByWindowContents) {
+  markov::MarkovChain a = PaperChainV();
+  const ChainId leader = 0;
+  EngineCache cache(4);
+  auto env = markov::IntervalMarkovChain::FromChains({&a}).ValueOrDie();
+  const QueryWindow w = WindowV();
+  EXPECT_EQ(cache.LookupBounds(leader, 1, w), nullptr);
+  const std::vector<markov::ProbBound>* bounds = cache.PutBounds(
+      leader, 1, w, env.BoundExists(w.region(), w.t_begin(), w.t_end()));
+  ASSERT_NE(bounds, nullptr);
+  EXPECT_EQ(cache.LookupBounds(leader, 1, w), bounds);
+
+  // Equal content built differently shares the entry; a different window
+  // misses.
+  auto region = sparse::IndexSet::FromIndices(3, {1, 0}).ValueOrDie();
+  auto same = QueryWindow::Create(region, {3, 2}).ValueOrDie();
+  EXPECT_EQ(cache.LookupBounds(leader, 1, same), bounds);
+  auto other = QueryWindow::FromRanges(3, 0, 1, 1, 2).ValueOrDie();
+  EXPECT_EQ(cache.LookupBounds(leader, 1, other), nullptr);
+}
+
+TEST(EngineCacheTest, ClusterStoresEvictIndependentlyOfEngines) {
+  // Filling the envelope store beyond capacity must evict envelopes —
+  // and only envelopes: the QB engine store is untouched, so borrowed
+  // backward passes can never dangle because of bound-pass admissions.
+  markov::MarkovChain chain = PaperChainV();
+  EngineCache cache(2);
+  const QueryBasedEngine* engine = cache.Get(&chain, WindowV());
+  util::Rng rng(5);
+  for (ChainId leader = 0; leader < 3; ++leader) {
+    markov::MarkovChain member = RandomChain(4, 2, &rng);
+    auto env = markov::IntervalMarkovChain::FromChains({&member})
+                   .ValueOrDie();
+    cache.PutEnvelope(leader, 1, std::move(env));
+  }
+  EXPECT_EQ(cache.envelope_size(), 2u);  // capacity 2: one eviction
+  EXPECT_EQ(cache.stats().bound_evictions, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  // The engine entry is still served (a hit, not a rebuild).
+  EXPECT_EQ(cache.Get(&chain, WindowV()), engine);
+  // The oldest envelope is gone, the two youngest remain.
+  EXPECT_EQ(cache.LookupEnvelope(0, 1), nullptr);
+  EXPECT_NE(cache.LookupEnvelope(1, 1), nullptr);
+  EXPECT_NE(cache.LookupEnvelope(2, 1), nullptr);
+}
+
+TEST(EngineCacheTest, ClearDropsClusterStores) {
+  markov::MarkovChain a = PaperChainV();
+  EngineCache cache(4);
+  auto env = markov::IntervalMarkovChain::FromChains({&a}).ValueOrDie();
+  const QueryWindow w = WindowV();
+  cache.PutEnvelope(0, 1, std::move(env));
+  cache.PutBounds(0, 1, w, {});
+  cache.Clear();
+  EXPECT_EQ(cache.envelope_size(), 0u);
+  EXPECT_EQ(cache.bounds_size(), 0u);
+  EXPECT_EQ(cache.LookupEnvelope(0, 1), nullptr);
+  EXPECT_EQ(cache.LookupBounds(0, 1, w), nullptr);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace ustdb

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "testing/random_models.h"
 #include "util/rng.h"
+#include "workload/synthetic.h"
 
 namespace ustdb {
 namespace core {
@@ -189,6 +192,100 @@ TEST(PlannerTest, ThresholdDiscountShiftsBreakEven) {
   const CostEstimate t = planner.Choose(0, threshold, 2).cost;
   EXPECT_LT(t.object_based, e.object_based);
   EXPECT_DOUBLE_EQ(t.query_based, e.query_based);
+}
+
+/// Database of `num_chains` jittered copies of one base model — one
+/// similarity cluster — with `objects_per_chain` objects each.
+Database MakeClusteredDb(uint32_t num_chains, uint32_t objects_per_chain,
+                         uint64_t seed) {
+  workload::SyntheticConfig config;
+  config.num_states = 25;
+  config.num_objects = num_chains * objects_per_chain;
+  config.state_spread = 3;
+  config.max_step = 8;
+  config.seed = seed;
+  return workload::GenerateMultiChainDatabase(config, num_chains, 0.05)
+      .ValueOrDie();
+}
+
+std::vector<ChainLoad> LoadsOf(const Database& db) {
+  std::vector<ChainLoad> loads;
+  for (ChainId c = 0; c < db.num_chains(); ++c) {
+    loads.push_back(
+        {c, static_cast<uint32_t>(db.objects_by_chain()[c].size())});
+  }
+  return loads;
+}
+
+TEST(PlannerTest, ThresholdPlanPicksBoundsForManySimilarChains) {
+  // Many chain classes with few objects each defeat per-chain QB
+  // amortization; one interval pass over their shared cluster plus a
+  // fractional refine must win.
+  Database db = MakeClusteredDb(/*num_chains=*/24, /*objects_per_chain=*/4,
+                                22);
+  ASSERT_EQ(db.chain_clusters().size(), 1u);
+  QueryPlanner planner(&db);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const PlanDecision d = planner.ChooseThresholdPlan(
+      window, MatrixMode::kImplicit, PlanChoice::kAuto, LoadsOf(db));
+  EXPECT_EQ(d.plan, Plan::kBoundsThenRefine);
+  EXPECT_FALSE(d.forced);
+  EXPECT_LT(d.cost.bounds_then_refine,
+            std::min(d.cost.object_based, d.cost.query_based));
+}
+
+TEST(PlannerTest, ThresholdPlanKeepsSingleChainWorkloadsPerChain) {
+  // One shared chain: the QB pass is already fully amortized and the
+  // bound pass (a costlier interval pass plus refines) cannot beat it.
+  Database db = MakeClusteredDb(/*num_chains=*/1, /*objects_per_chain=*/64,
+                                23);
+  QueryPlanner planner(&db);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const PlanDecision d = planner.ChooseThresholdPlan(
+      window, MatrixMode::kImplicit, PlanChoice::kAuto, LoadsOf(db));
+  EXPECT_NE(d.plan, Plan::kBoundsThenRefine);
+  EXPECT_GT(d.cost.bounds_then_refine, 0.0);
+}
+
+TEST(PlannerTest, ThresholdPlanHonorsForcedDirective) {
+  Database db = MakeClusteredDb(1, 4, 24);
+  QueryPlanner planner(&db);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const PlanDecision d = planner.ChooseThresholdPlan(
+      window, MatrixMode::kImplicit, PlanChoice::kBoundsThenRefine,
+      LoadsOf(db));
+  EXPECT_EQ(d.plan, Plan::kBoundsThenRefine);
+  EXPECT_TRUE(d.forced);
+}
+
+TEST(PlannerTest, ThresholdPlanEmptyLoadsNeverBounds) {
+  Database db = MakeClusteredDb(2, 2, 25);
+  QueryPlanner planner(&db);
+  const QueryWindow window =
+      QueryWindow::FromRanges(25, 6, 12, 3, 8).ValueOrDie();
+  const PlanDecision d = planner.ChooseThresholdPlan(
+      window, MatrixMode::kImplicit, PlanChoice::kAuto, {});
+  EXPECT_NE(d.plan, Plan::kBoundsThenRefine);
+  EXPECT_DOUBLE_EQ(d.cost.bounds_then_refine, 0.0);
+}
+
+TEST(PlannerTest, ChooseTreatsBoundsDirectiveAsCostBasedPerChain) {
+  // When the executor falls back from an ineligible window, per-chain
+  // decisions under kBoundsThenRefine must match kAuto, not pin a plan.
+  Database db = MakeDb(1, 50, 26);
+  QueryPlanner planner(&db);
+  QueryRequest request = ExistsRequest();
+  request.predicate = PredicateKind::kThresholdExists;
+  request.tau = 0.4;
+  request.plan = PlanChoice::kBoundsThenRefine;
+  const PlanDecision fallback = planner.Choose(0, request, 50);
+  request.plan = PlanChoice::kAuto;
+  const PlanDecision auto_choice = planner.Choose(0, request, 50);
+  EXPECT_EQ(fallback.plan, auto_choice.plan);
+  EXPECT_FALSE(fallback.forced);
 }
 
 }  // namespace

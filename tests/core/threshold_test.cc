@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "core/executor.h"
 #include "testing/random_models.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
@@ -90,6 +91,24 @@ TEST(ThresholdTest, ObjectBasedEarlyTerminationTriggers) {
   EXPECT_GT(stats.objects_decided_early, 0u);
 }
 
+/// The bound-pass accounting contract (see PruneStats): every evaluated
+/// object was either dropped by the interval bounds or refined — exactly
+/// once each — and every bounded cluster was either pruned wholesale or
+/// refined. The pre-fold-in facade violated this: sure-hit objects were
+/// neither counted decided nor refined, and object-based refinement could
+/// double-count early-terminated objects.
+void ExpectPruneAccounting(const PruneStats& stats, uint32_t num_objects) {
+  EXPECT_EQ(stats.objects_decided_by_bounds + stats.objects_refined,
+            num_objects);
+  EXPECT_EQ(stats.clusters_pruned + stats.clusters_refined,
+            stats.clusters_bounded);
+  EXPECT_EQ(stats.clusters_bounded, stats.clusters_total);
+  // Query-based refinement has no τ-early-termination, so refined objects
+  // can never additionally count as early-decided.
+  EXPECT_EQ(stats.objects_decided_early, 0u);
+  EXPECT_EQ(stats.bound_fallbacks, 0u);
+}
+
 TEST(ThresholdTest, ClusteredMatchesBruteForceOnMultiChainDb) {
   workload::SyntheticConfig config;
   config.num_states = 30;
@@ -103,6 +122,9 @@ TEST(ThresholdTest, ClusteredMatchesBruteForceOnMultiChainDb) {
           .ValueOrDie();
   auto window = QueryWindow::FromRanges(30, 8, 14, 2, 6).ValueOrDie();
   const auto truth = AllProbabilities(db, window);
+  // All six chains are jittered copies of one base, so the similarity
+  // registry folds them into a single cluster.
+  ASSERT_EQ(db.chain_clusters().size(), 1u);
 
   for (double tau : {0.2, 0.6}) {
     PruneStats stats;
@@ -118,7 +140,53 @@ TEST(ThresholdTest, ClusteredMatchesBruteForceOnMultiChainDb) {
       EXPECT_EQ(got[i].id, want_ids[i]) << "tau " << tau;
       EXPECT_NEAR(got[i].probability, truth.at(got[i].id), 1e-10);
     }
-    EXPECT_EQ(stats.clusters_total, 3u);
+    EXPECT_EQ(stats.clusters_total, 1u);
+    ExpectPruneAccounting(stats, db.num_objects());
+  }
+}
+
+TEST(ThresholdTest, ClusteredAccountingOnMixedChainClasses) {
+  // Two dissimilar chain families (independent random chains never land
+  // inside the clustering radius) plus multi-observation objects, which
+  // bypass the bound pass and must still be counted refined exactly once.
+  util::Rng rng(906);
+  Database db;
+  const ChainId a = db.AddChain(RandomChain(20, 3, &rng));
+  const ChainId b = db.AddChain(RandomChain(20, 3, &rng));
+  ASSERT_NE(db.cluster_of(a), db.cluster_of(b));
+  for (uint32_t i = 0; i < 12; ++i) {
+    (void)db.AddObjectAt(i % 2 == 0 ? a : b, RandomDistribution(20, 3, &rng))
+        .ValueOrDie();
+  }
+  // Two multi-observation objects (second observation after the window).
+  for (uint32_t i = 0; i < 2; ++i) {
+    std::vector<Observation> obs;
+    obs.push_back({0, RandomDistribution(20, 3, &rng)});
+    obs.push_back({9, RandomDistribution(20, 3, &rng)});
+    (void)db.AddObject(a, std::move(obs)).ValueOrDie();
+  }
+  auto window = QueryWindow::FromRanges(20, 5, 10, 2, 5).ValueOrDie();
+  // Ground truth through the pipeline's kExists path, which routes the
+  // multi-observation objects through the Section VI engine.
+  QueryExecutor executor(&db, {.num_threads = 1});
+  const QueryResult all =
+      executor.Run({.predicate = PredicateKind::kExists, .window = window})
+          .ValueOrDie();
+
+  for (double tau : {0.15, 0.5, 0.9}) {
+    PruneStats stats;
+    const auto got =
+        ThresholdExistsClustered(db, window, tau, 2, &stats).ValueOrDie();
+    EXPECT_EQ(stats.clusters_total, 2u) << "tau " << tau;
+    ExpectPruneAccounting(stats, db.num_objects());
+    // Multi-observation objects can never be decided by the t=0 bounds.
+    EXPECT_GE(stats.objects_refined, 2u);
+    for (const auto& op : got) {
+      EXPECT_GE(op.probability, tau);
+    }
+    size_t want = 0;
+    for (const auto& op : all.probabilities) want += op.probability >= tau;
+    EXPECT_EQ(got.size(), want) << "tau " << tau;
   }
 }
 
@@ -138,13 +206,42 @@ TEST(ThresholdTest, ClusteredPrunesAtExtremeTaus) {
   const auto got =
       ThresholdExistsClustered(db, window, 1.1, 2, &stats).ValueOrDie();
   EXPECT_TRUE(got.empty());
+  EXPECT_GT(stats.clusters_total, 0u);
   EXPECT_EQ(stats.clusters_pruned, stats.clusters_total);
   EXPECT_EQ(stats.objects_refined, 0u);
+  ExpectPruneAccounting(stats, db.num_objects());
 }
 
 TEST(ThresholdTest, ClusteredRejectsZeroClusters) {
   Fixture f = MakeSharedChainFixture(10, 5, 1);
   EXPECT_FALSE(ThresholdExistsClustered(f.db, f.window, 0.5, 0).ok());
+}
+
+TEST(ThresholdTest, ClusteredFallsBackObservablyOnNonContiguousWindow) {
+  // A time set with holes cannot be bounded over [t_begin, t_end]; the
+  // forced bound plan must fall back to per-chain planning, report it,
+  // and still answer exactly.
+  Fixture f = MakeSharedChainFixture(25, 40, 808);
+  const auto region = sparse::IndexSet::FromRange(25, 6, 12).ValueOrDie();
+  const auto window =
+      QueryWindow::Create(region, {2, 4, 7}).ValueOrDie();
+  const auto truth = AllProbabilities(f.db, window);
+
+  PruneStats stats;
+  const auto got =
+      ThresholdExistsClustered(f.db, window, 0.3, 2, &stats).ValueOrDie();
+  EXPECT_EQ(stats.bound_fallbacks, 1u);
+  EXPECT_EQ(stats.clusters_bounded, 0u);
+  EXPECT_EQ(stats.objects_decided_by_bounds, 0u);
+  std::vector<ObjectId> want_ids;
+  for (const auto& [id, p] : truth) {
+    if (p >= 0.3) want_ids.push_back(id);
+  }
+  ASSERT_EQ(got.size(), want_ids.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want_ids[i]);
+    EXPECT_NEAR(got[i].probability, truth.at(got[i].id), 1e-10);
+  }
 }
 
 TEST(TopKTest, ReturnsHighestProbabilityObjects) {

@@ -70,6 +70,60 @@ TEST(IntervalChainTest, SupportMismatchForcesZeroLowerBound) {
   EXPECT_DOUBLE_EQ(env.Bound(0, 0).hi, 1.0);
 }
 
+TEST(IntervalChainTest, SupportMismatchZeroLowerBoundInBothMemberOrders) {
+  // Regression for the FromChains lower-bound contract: an entry absent
+  // from *any* member must read lo = 0, no matter whether the members
+  // that carry it come before or after the ones that lack it. The merge
+  // seeds each entry from the first member that has it, so an
+  // implementation that only lowers lo on later carriers (instead of
+  // tracking presence across all members) passes one order and fails the
+  // other.
+  auto a = MarkovChain::FromDense({{1.0, 0.0, 0.0},
+                                   {0.2, 0.8, 0.0},
+                                   {0.0, 0.0, 1.0}})
+               .ValueOrDie();
+  auto b = MarkovChain::FromDense({{0.4, 0.6, 0.0},
+                                   {0.2, 0.3, 0.5},
+                                   {0.0, 1.0, 0.0}})
+               .ValueOrDie();
+  for (const auto& members :
+       {std::vector<const MarkovChain*>{&a, &b},
+        std::vector<const MarkovChain*>{&b, &a}}) {
+    auto env = IntervalMarkovChain::FromChains(members).ValueOrDie();
+    // (0,1): only in b — lo must be 0 whether b is first or last.
+    EXPECT_DOUBLE_EQ(env.Bound(0, 1).lo, 0.0);
+    EXPECT_DOUBLE_EQ(env.Bound(0, 1).hi, 0.6);
+    // (1,2): only in b.
+    EXPECT_DOUBLE_EQ(env.Bound(1, 2).lo, 0.0);
+    EXPECT_DOUBLE_EQ(env.Bound(1, 2).hi, 0.5);
+    // (2,2): only in a.
+    EXPECT_DOUBLE_EQ(env.Bound(2, 2).lo, 0.0);
+    EXPECT_DOUBLE_EQ(env.Bound(2, 2).hi, 1.0);
+    // (2,1): only in b.
+    EXPECT_DOUBLE_EQ(env.Bound(2, 1).lo, 0.0);
+    EXPECT_DOUBLE_EQ(env.Bound(2, 1).hi, 1.0);
+    // (1,0): in both — lo stays the true minimum.
+    EXPECT_DOUBLE_EQ(env.Bound(1, 0).lo, 0.2);
+    EXPECT_DOUBLE_EQ(env.Bound(1, 0).hi, 0.2);
+    // (1,1): in both.
+    EXPECT_DOUBLE_EQ(env.Bound(1, 1).lo, 0.3);
+    EXPECT_DOUBLE_EQ(env.Bound(1, 1).hi, 0.8);
+  }
+}
+
+TEST(IntervalChainTest, MiddleMemberSupportGapZeroesLowerBound) {
+  // Three members where the *middle* one lacks an entry the outer two
+  // share: presence counting must span all members, not adjacent pairs.
+  auto a = MarkovChain::FromDense({{0.7, 0.3}, {0.5, 0.5}}).ValueOrDie();
+  auto b = MarkovChain::FromDense({{1.0, 0.0}, {0.5, 0.5}}).ValueOrDie();
+  auto c = MarkovChain::FromDense({{0.6, 0.4}, {0.5, 0.5}}).ValueOrDie();
+  auto env = IntervalMarkovChain::FromChains({&a, &b, &c}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(env.Bound(0, 1).lo, 0.0);  // absent from b only
+  EXPECT_DOUBLE_EQ(env.Bound(0, 1).hi, 0.4);
+  EXPECT_DOUBLE_EQ(env.Bound(0, 0).lo, 0.6);  // present in all three
+  EXPECT_DOUBLE_EQ(env.Bound(0, 0).hi, 1.0);
+}
+
 TEST(IntervalChainTest, BoundExistsContainsEveryMemberTruth) {
   // The fundamental soundness property of Section V-C cluster pruning:
   // for every member chain and start state, the true exists-probability
@@ -122,6 +176,28 @@ TEST(IntervalChainTest, BoundExistsExactForSingleMember) {
   }
   // The paper's example: starting at s2 the answer is 0.864.
   EXPECT_NEAR(bounds[1].lo, 0.864, 1e-12);
+}
+
+TEST(IntervalChainTest, UpperOnlyPassMatchesFullPassUpperBounds) {
+  // The executor's drop test reads hi only; the with_lower=false fast
+  // path must reproduce the full pass's upper bounds exactly and pin
+  // every lo to 0.
+  util::Rng rng(11);
+  workload::SyntheticConfig config;
+  config.num_states = 18;
+  config.state_spread = 3;
+  config.max_step = 6;
+  MarkovChain base = workload::GenerateChain(config, &rng).ValueOrDie();
+  MarkovChain p1 = workload::PerturbChain(base, 0.2, &rng).ValueOrDie();
+  auto env = IntervalMarkovChain::FromChains({&base, &p1}).ValueOrDie();
+  const auto region = sparse::IndexSet::FromRange(18, 5, 9).ValueOrDie();
+  const auto full = env.BoundExists(region, 2, 6);
+  const auto upper = env.BoundExists(region, 2, 6, /*with_lower=*/false);
+  ASSERT_EQ(full.size(), upper.size());
+  for (uint32_t s = 0; s < full.size(); ++s) {
+    EXPECT_EQ(upper[s].hi, full[s].hi) << "state " << s;
+    EXPECT_DOUBLE_EQ(upper[s].lo, 0.0) << "state " << s;
+  }
 }
 
 TEST(IntervalChainTest, RegionStatesBoundedByOneAtWindowStart) {
