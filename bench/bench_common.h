@@ -41,6 +41,14 @@ class Recorder {
     }
   }
 
+  /// \brief Attaches a (key, value) annotation to the run — e.g. the
+  /// kernel ISA the dispatcher selected. Meta entries are emitted as a
+  /// top-level "meta" object in WriteJson output and printed with the
+  /// table; baseline checkers ignore keys they do not know.
+  void SetMeta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
+
   /// Last recorded value of (series, x); 0 when the point is absent.
   double Get(const std::string& series, double x) const {
     auto it = data_.find(series);
@@ -64,6 +72,9 @@ class Recorder {
     std::sort(xs.begin(), xs.end());
 
     std::printf("\n=== %s (%s) ===\n", name.c_str(), value_label.c_str());
+    for (const auto& [key, value] : meta_) {
+      std::printf("%s: %s\n", key.c_str(), value.c_str());
+    }
     std::printf("%14s", x_label.c_str());
     for (const auto& s : series_order_) std::printf(" %14s", s.c_str());
     std::printf("\n");
@@ -124,8 +135,18 @@ class Recorder {
     }
     std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"x_label\": \"%s\",\n",
                  name.c_str(), x_label.c_str());
-    std::fprintf(f, "  \"value_label\": \"%s\",\n  \"series\": {",
-                 value_label.c_str());
+    std::fprintf(f, "  \"value_label\": \"%s\",\n", value_label.c_str());
+    if (!meta_.empty()) {
+      std::fprintf(f, "  \"meta\": {");
+      bool first_meta = true;
+      for (const auto& [key, value] : meta_) {
+        std::fprintf(f, "%s\n    \"%s\": \"%s\"", first_meta ? "" : ",",
+                     key.c_str(), value.c_str());
+        first_meta = false;
+      }
+      std::fprintf(f, "\n  },\n");
+    }
+    std::fprintf(f, "  \"series\": {");
     bool first_series = true;
     for (const auto& s : series_order_) {
       std::fprintf(f, "%s\n    \"%s\": {", first_series ? "" : ",",
@@ -148,6 +169,7 @@ class Recorder {
   Recorder() = default;
   std::map<std::string, std::map<double, double>> data_;
   std::vector<std::string> series_order_;
+  std::map<std::string, std::string> meta_;
 };
 
 /// Runs `body` once per benchmark iteration under manual timing and records

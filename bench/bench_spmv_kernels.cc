@@ -22,14 +22,28 @@
 //   speedup_gather   = legacy / multiply_gather
 //   speedup_fused    = legacy_extract / fused_extract
 //
+// A banded fixture (consecutive-column rows, the shape of the paper's
+// road-network and spatial-grid models) contributes banded_legacy /
+// banded_gather / speedup_banded_gather at the dense end of the sweep.
+// On hosts with AVX2, in-process isa_speedup_* series additionally time
+// the same body under the scalar-baseline and the AVX2 kernel tables
+// (kernels::SetActiveIsa) and report baseline/avx2 ratios:
+//
+//   isa_speedup_gather         — random fixture, transposed gather
+//   isa_speedup_scatter        — random fixture, dense scatter
+//   isa_speedup_banded_gather  — banded fixture, dense-dot gather
+//
 // Before timing, every kernel's output is checked against the legacy
 // path (max-abs diff <= 1e-12; the non-clamped kernels are in fact
 // bit-identical by construction).
 //
-// Usage: bench_spmv_kernels [--smoke] [--json <path>]
+// Usage: bench_spmv_kernels [--smoke] [--json <path>] [--isa <name>]
 //   --smoke shrinks the model so the bench finishes in seconds; CI's
 //   perf-smoke job runs this mode and compares the speedup series against
-//   bench/baselines/spmv_smoke.json.
+//   bench/baselines/spmv_smoke.<isa>.json.
+//   --isa baseline|avx2 forces the dispatched kernel table (exits
+//   non-zero when the host cannot run it); the selected ISA is printed
+//   and recorded in the --json output's "meta" object either way.
 
 #include <benchmark/benchmark.h>
 
@@ -43,6 +57,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "kernels/isa.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/index_set.h"
 #include "sparse/prob_vector.h"
@@ -61,6 +76,11 @@ bool g_smoke = false;
 struct Fixture {
   CsrMatrix matrix;
   CsrMatrix transposed;
+  // Banded variant: consecutive-column rows (road networks, spatial
+  // grids). Its transpose's gather blocks are whole contiguous runs, the
+  // dense-dot fast path of the AVX2 gather.
+  CsrMatrix banded;
+  CsrMatrix banded_transposed;
   IndexSet region;  // ~10% of states, the ◆-redirection target
   // One input vector per swept density, in the representation the
   // adaptive ProbVector would actually be using at that support.
@@ -100,6 +120,26 @@ Fixture& GetFixture() {
     f.matrix = CsrMatrix::FromTriplets(n, n, std::move(triplets))
                    .ValueOrDie();
     f.transposed = f.matrix.Transposed();
+
+    std::vector<sparse::Triplet> banded_triplets;
+    banded_triplets.reserve(static_cast<size_t>(n) * kNnzPerRow);
+    for (uint32_t r = 0; r < n; ++r) {
+      uint32_t c0 = r >= kNnzPerRow / 2 ? r - kNnzPerRow / 2 : 0;
+      c0 = std::min(c0, n - kNnzPerRow);
+      double sum = 0.0;
+      std::vector<double> w(kNnzPerRow);
+      for (double& v : w) {
+        v = 0.05 + rng.NextDouble();
+        sum += v;
+      }
+      for (uint32_t k = 0; k < kNnzPerRow; ++k) {
+        banded_triplets.push_back({r, c0 + k, 0.97 * w[k] / sum});
+      }
+    }
+    f.banded =
+        CsrMatrix::FromTriplets(n, n, std::move(banded_triplets))
+            .ValueOrDie();
+    f.banded_transposed = f.banded.Transposed();
 
     std::vector<uint32_t> region_members;
     for (uint32_t s = 0; s < n / 10; ++s) {
@@ -172,6 +212,13 @@ void VerifyParity(const Fixture& f) {
     ws.MultiplyLegacy(clamped, f.matrix, &clamp_ref);
     ws.MultiplyClamped(x, f.matrix, f.region, &got, &f.transposed);
     diff = std::max(diff, got.MaxAbsDiff(clamp_ref));
+
+    // Banded fixture: the gather must agree there too (it takes the
+    // contiguous dense-dot fast path instead of the indexed one).
+    ProbVector banded_ref;
+    ws.MultiplyLegacy(x, f.banded, &banded_ref);
+    ws.Multiply(x, f.banded, &got, &f.banded_transposed);
+    diff = std::max(diff, got.MaxAbsDiff(banded_ref));
 
     if (diff > 1e-12) {
       std::fprintf(stderr,
@@ -326,6 +373,107 @@ void BM_FusedClamp(benchmark::State& state) {
       benchutil::Recorder::Instance().Get("fused_clamp", d * 100.0));
 }
 
+// Banded fixture at the dense end of the sweep: the regime where banded
+// models (road networks, grids) actually run, and where the gather's
+// contiguous dense-dot path pays off.
+void BM_BandedLegacy(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ProbVector& x = f.vectors.back();
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "banded_legacy", 1.0, [&] {
+    ws.MultiplyLegacy(x, f.banded, &out);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+void BM_BandedGather(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ProbVector& x = f.vectors.back();
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimePerProduct(state, "banded_gather", 1.0, [&] {
+    ws.Multiply(x, f.banded, &out, &f.banded_transposed);
+    benchmark::DoNotOptimize(out);
+  });
+  RecordRatio("speedup_banded_gather", 1.0,
+              benchutil::Recorder::Instance().Get("banded_legacy", 100.0),
+              benchutil::Recorder::Instance().Get("banded_gather", 100.0));
+}
+
+// ---- In-process ISA comparison ---------------------------------------
+// Times the same body under the scalar-baseline and the AVX2 kernel
+// tables and records the baseline/avx2 ratio. Registered only on hosts
+// whose CPU supports AVX2; the active table is restored afterwards, so
+// these series compose with a --isa forced run.
+
+template <typename Body>
+double BestSecondsPerProduct(int reps, Body&& body) {
+  double best = 1e300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    util::Stopwatch sw;
+    for (int r = 0; r < reps; ++r) body();
+    best = std::min(best, sw.ElapsedSeconds() / reps);
+  }
+  return best;
+}
+
+template <typename Body>
+void TimeIsaRatio(benchmark::State& state, const std::string& series,
+                  double density, Body&& body) {
+  const kernels::Isa prev = kernels::ActiveIsa();
+  const int reps = Reps();
+  double scalar_s = 0.0;
+  double avx2_s = 0.0;
+  for (auto _ : state) {
+    kernels::SetActiveIsa(kernels::Isa::kBaseline);
+    scalar_s = BestSecondsPerProduct(reps, body);
+    kernels::SetActiveIsa(kernels::Isa::kAvx2);
+    avx2_s = BestSecondsPerProduct(reps, body);
+    state.SetIterationTime((scalar_s + avx2_s) * reps * kTrials);
+  }
+  kernels::SetActiveIsa(prev);
+  if (scalar_s > 0.0 && avx2_s > 0.0) {
+    benchutil::Recorder::Instance().Record(series, density * 100.0,
+                                           scalar_s / avx2_s);
+  }
+}
+
+void BM_IsaGather(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimeIsaRatio(state, "isa_speedup_gather", d, [&] {
+    ws.Multiply(x, f.matrix, &out, &f.transposed);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+void BM_IsaScatter(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const double d = f.densities[state.range(0)];
+  const ProbVector& x = f.vectors[state.range(0)];
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimeIsaRatio(state, "isa_speedup_scatter", d, [&] {
+    ws.Multiply(x, f.matrix, &out);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
+void BM_IsaBandedGather(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const ProbVector& x = f.vectors.back();
+  VecMatWorkspace ws;
+  ProbVector out;
+  TimeIsaRatio(state, "isa_speedup_banded_gather", 1.0, [&] {
+    ws.Multiply(x, f.banded, &out, &f.banded_transposed);
+    benchmark::DoNotOptimize(out);
+  });
+}
+
 void Register() {
   Fixture& f = GetFixture();
   VerifyParity(f);
@@ -353,12 +501,53 @@ void Register() {
         ->Arg(arg)->Iterations(1)->UseManualTime()
         ->Unit(benchmark::kMicrosecond);
   }
+  benchmark::RegisterBenchmark("spmv/banded_legacy", BM_BandedLegacy)
+      ->Iterations(1)->UseManualTime()->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark("spmv/banded_gather", BM_BandedGather)
+      ->Iterations(1)->UseManualTime()->Unit(benchmark::kMicrosecond);
+  if (kernels::IsaSupported(kernels::Isa::kAvx2)) {
+    for (size_t i = 0; i < f.densities.size(); ++i) {
+      const auto arg = static_cast<int64_t>(i);
+      benchmark::RegisterBenchmark("spmv/isa_gather", BM_IsaGather)
+          ->Arg(arg)->Iterations(1)->UseManualTime()
+          ->Unit(benchmark::kMicrosecond);
+      benchmark::RegisterBenchmark("spmv/isa_scatter", BM_IsaScatter)
+          ->Arg(arg)->Iterations(1)->UseManualTime()
+          ->Unit(benchmark::kMicrosecond);
+    }
+    benchmark::RegisterBenchmark("spmv/isa_banded_gather",
+                                 BM_IsaBandedGather)
+        ->Iterations(1)->UseManualTime()->Unit(benchmark::kMicrosecond);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   g_smoke = ustdb::benchutil::ExtractFlag(&argc, argv, "--smoke");
+  const std::string isa_name =
+      ustdb::benchutil::ExtractOption(&argc, argv, "--isa");
+  if (!isa_name.empty()) {
+    kernels::Isa isa;
+    if (isa_name == "baseline") {
+      isa = kernels::Isa::kBaseline;
+    } else if (isa_name == "avx2") {
+      isa = kernels::Isa::kAvx2;
+    } else {
+      std::fprintf(stderr, "unknown --isa '%s' (baseline|avx2)\n",
+                   isa_name.c_str());
+      return 2;
+    }
+    if (!kernels::SetActiveIsa(isa)) {
+      std::fprintf(stderr, "--isa %s not supported on this host\n",
+                   isa_name.c_str());
+      return 2;
+    }
+  }
+  std::printf("kernel isa: %s\n",
+              kernels::IsaName(kernels::ActiveIsa()));
+  ustdb::benchutil::Recorder::Instance().SetMeta(
+      "isa", kernels::IsaName(kernels::ActiveIsa()));
   Register();
   return ustdb::benchutil::RunBenchMain(
       argc, argv, "spmv_kernels", "support_density_pct",

@@ -81,7 +81,11 @@ class EngineCache {
   /// Database reallocates its chain storage) — and a cluster that gained
   /// a member reads as a different key, so stale envelopes age out of the
   /// LRU instead of serving unsound bounds. The pointer stays valid until
-  /// the next PutEnvelope() or Clear().
+  /// the next PutEnvelope() or Clear(). Cached envelopes store their
+  /// bounds interleaved ({lo,hi} per transition entry) for the vectorized
+  /// bound sweep, and that sweep is bit-identical under every kernel
+  /// dispatch table — a hit never depends on which ISA built or reuses
+  /// the entry, even across a runtime kernels::SetActiveIsa() flip.
   const markov::IntervalMarkovChain* LookupEnvelope(ChainId leader,
                                                     uint32_t num_members);
 

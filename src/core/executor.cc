@@ -429,17 +429,26 @@ util::Status QueryExecutor::BoundClusters(
     }
 
     ++prune->clusters_bounded;
+    // The envelope sweep accumulates strictly sequentially, but the exact
+    // engines the refine stage reuses run reassociating dense kernels that
+    // only promise ≤1e-12 of that order — so a slack-free upper bound can
+    // sit a few ulps *below* the value refinement would report. Shaving
+    // the kernels' parity bound off the drop threshold keeps knife-edge
+    // objects (τ pinned exactly at a probability) in the refine set, which
+    // is always sound: refined objects get their exact probability.
+    constexpr double kKernelParityMargin = 1e-12;
+    const double drop_below = request.tau - kKernelParityMargin;
     bool any_refined = false;
     for (ObjectId id : objects) {
       const UncertainObject& obj = db_->object(id);
       double hi = 0.0;
       obj.initial_pdf().ForEachNonZero(
           [&](uint32_t s, double p) { hi += p * (*bounds)[s].hi; });
-      if (hi < request.tau) {
-        // Sound drop: every member chain's true P∃ is at most hi. Objects
-        // whose bound straddles (or clears) τ all refine — qualifying
-        // objects need their exact probability for the output anyway, so
-        // a sure-hit lower bound saves nothing.
+      if (hi < drop_below) {
+        // Sound drop: every member chain's true P∃ is at most hi (plus
+        // the kernel margin). Objects whose bound straddles (or clears) τ
+        // all refine — qualifying objects need their exact probability
+        // for the output anyway, so a sure-hit lower bound saves nothing.
         ++prune->objects_decided_by_bounds;
       } else {
         any_refined = true;

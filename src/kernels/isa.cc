@@ -1,0 +1,101 @@
+#include "kernels/isa.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernel_tables.h"
+
+namespace ustdb {
+namespace kernels {
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kBaseline:
+      return internal::BaselineTable();
+    case Isa::kAvx2:
+      return internal::Avx2Table();
+  }
+  return nullptr;
+}
+
+/// Resolves the startup table: USTDB_KERNEL_ISA when set and usable,
+/// otherwise the best ISA the CPU supports. An unusable or unknown value
+/// warns once on stderr and falls back — a forced-AVX2 run on a machine
+/// without AVX2 must degrade, not crash.
+const KernelTable* ResolveStartupTable() {
+  const char* forced = std::getenv("USTDB_KERNEL_ISA");
+  if (forced != nullptr && forced[0] != '\0') {
+    if (std::strcmp(forced, "baseline") == 0) {
+      return internal::BaselineTable();
+    }
+    if (std::strcmp(forced, "avx2") == 0) {
+      if (IsaSupported(Isa::kAvx2)) return internal::Avx2Table();
+      std::fprintf(stderr,
+                   "ustdb: USTDB_KERNEL_ISA=avx2 but this CPU/build lacks "
+                   "AVX2+FMA; using baseline kernels\n");
+      return internal::BaselineTable();
+    }
+    std::fprintf(stderr,
+                 "ustdb: unknown USTDB_KERNEL_ISA value \"%s\" "
+                 "(expected \"baseline\" or \"avx2\"); auto-selecting\n",
+                 forced);
+  }
+  return TableFor(BestSupportedIsa());
+}
+
+std::atomic<const KernelTable*>& ActiveSlot() {
+  static std::atomic<const KernelTable*> slot{ResolveStartupTable()};
+  return slot;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kBaseline:
+      return "baseline";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable& Active() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+Isa ActiveIsa() { return Active().isa; }
+
+Isa BestSupportedIsa() {
+  return IsaSupported(Isa::kAvx2) ? Isa::kAvx2 : Isa::kBaseline;
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kBaseline:
+      return true;
+    case Isa::kAvx2:
+      return internal::Avx2Table() != nullptr && CpuHasAvx2Fma();
+  }
+  return false;
+}
+
+bool SetActiveIsa(Isa isa) {
+  if (!IsaSupported(isa)) return false;
+  ActiveSlot().store(TableFor(isa), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace ustdb

@@ -1,0 +1,123 @@
+// Copyright 2026 the ustdb authors.
+//
+// kernels::Isa — runtime-dispatched CPU kernels for the hot SpMV sweeps.
+//
+// The library ships one scalar baseline implementation of each kernel plus
+// an AVX2/FMA variant compiled in its own translation unit with -mavx2
+// -mfma (no global -march leakage: only the variant TU may emit VEX
+// instructions, and it is only entered after a CPUID check). The active
+// table is chosen once at startup — the best ISA the CPU supports, or the
+// one forced through the USTDB_KERNEL_ISA environment variable — and can
+// be flipped at runtime by tests and benches that compare ISAs in one
+// process.
+//
+// Numeric contracts, per kernel (see docs/PERFORMANCE.md):
+//   * scatter kernels are bit-identical across ISAs (mul+add, per-slot
+//     order preserved),
+//   * the gather kernel may regroup its reduction (FMA allowed); parity
+//     vs the scalar path is 1e-12, like the scalar gather's own contract,
+//   * the envelope sweep uses a canonical even/odd two-lane accumulation
+//     with mul+add in *both* ISAs, so interval bounds — which feed prune
+//     decisions — are bit-identical regardless of dispatch.
+
+#ifndef USTDB_KERNELS_ISA_H_
+#define USTDB_KERNELS_ISA_H_
+
+#include <cstdint>
+
+#include "sparse/types.h"
+
+namespace ustdb {
+namespace kernels {
+
+/// Instruction-set variants a kernel table can be compiled for.
+enum class Isa : uint8_t {
+  kBaseline = 0,  ///< portable scalar kernels (every CPU)
+  kAvx2 = 1,      ///< AVX2 + FMA variants (x86-64 with both CPUID bits)
+};
+
+/// Stable lowercase name ("baseline", "avx2") for logs, benches, and the
+/// USTDB_KERNEL_ISA environment knob.
+const char* IsaName(Isa isa);
+
+/// \brief One resolved set of kernel entry points. All pointers are
+/// non-null in every registered table.
+///
+/// Buffer contracts: `x`, `acc`, `out`, and `f2` point at dense arrays
+/// allocated through util::AlignedVector (64-byte-aligned heads); column
+/// indices are in-range for the arrays they index; CSR columns are
+/// strictly ascending within a row.
+struct KernelTable {
+  /// ISA this table was compiled for.
+  Isa isa;
+
+  /// \brief Sequential gather: for each output column c in [0, n),
+  /// out[c] = Σ_k x[ci[k]] · va[k] over the CSR row c of the *transposed*
+  /// matrix given by (rp, ci, va). Rows whose columns form one contiguous
+  /// run degrade to a pure dense dot product (the banded-model fast
+  /// path). Reduction order may regroup; parity contract is 1e-12.
+  void (*gather)(const sparse::NnzIndex* rp, const uint32_t* ci,
+                 const double* va, const double* x, uint32_t n, double* out);
+
+  /// \brief Dense-regime scatter over all rows: for each row i with
+  /// x[i] != 0, acc[ci[k]] += x[i] · va[k] for the row's entries.
+  /// Bit-identical across ISAs (mul+add, ascending per-slot order).
+  void (*scatter_dense)(const sparse::NnzIndex* rp, const uint32_t* ci,
+                        const double* va, const double* x, uint32_t rows,
+                        double* acc);
+
+  /// \brief Scatter of one row: acc[ci[k]] += xi · va[k] for
+  /// k in [begin, end). Bit-identical across ISAs.
+  void (*scatter_row)(const uint32_t* ci, const double* va,
+                      sparse::NnzIndex begin, sparse::NnzIndex end, double xi,
+                      double* acc);
+
+  /// \brief Positive-threshold filter: zeroes every v[c] not strictly
+  /// above eps and returns the number of surviving entries. Values are
+  /// only compared and zeroed, never recomputed, so the pass is exact.
+  uint32_t (*filter_positive)(double* v, uint32_t n, double eps);
+
+  /// \brief Paired interval-envelope row sweep for BoundExists. `env2`
+  /// holds interleaved {lo, hi} pairs (entry k at env2[2k]) and `f2`
+  /// interleaved {flo, fhi} working values (state c at f2[2c]). For row
+  /// entries k in [begin, end) with column c = ci[k], computes
+  ///   base2[0] = Σ lo_k · flo_c,  base2[1] = Σ lo_k · fhi_c,
+  ///   *lo_sum  = Σ lo_k,
+  /// copies vals2[2j] = {flo_c, fhi_c} and slack[j] = hi_k − lo_k for the
+  /// caller's greedy pass (j = k − begin), and returns bit 0 set when any
+  /// flo_c was non-zero and bit 1 when any fhi_c was. Every implementation
+  /// accumulates strictly sequentially over k with mul+add (no FMA, no
+  /// reordering): results are bit-identical regardless of dispatch, and on
+  /// slack-free rows the base sums reproduce the exact engines' row
+  /// recursion bit for bit — thresholds pinned to exact probabilities
+  /// depend on that.
+  uint32_t (*envelope_row_sweep)(const double* env2, const uint32_t* ci,
+                                 sparse::NnzIndex begin, sparse::NnzIndex end,
+                                 const double* f2, double* vals2,
+                                 double* slack, double* base2,
+                                 double* lo_sum);
+};
+
+/// Active kernel table (one relaxed atomic load; safe to call
+/// concurrently with SetActiveIsa, which tests use between runs).
+const KernelTable& Active();
+
+/// ISA of the active table.
+Isa ActiveIsa();
+
+/// Best ISA this CPU supports (what the startup default resolves to when
+/// USTDB_KERNEL_ISA is unset).
+Isa BestSupportedIsa();
+
+/// True when this build and CPU can run `isa`.
+bool IsaSupported(Isa isa);
+
+/// \brief Switches the active table; returns false (leaving the table
+/// unchanged) when the ISA is not supported on this CPU or build. Used by
+/// tests and benches; engines never call this.
+bool SetActiveIsa(Isa isa);
+
+}  // namespace kernels
+}  // namespace ustdb
+
+#endif  // USTDB_KERNELS_ISA_H_

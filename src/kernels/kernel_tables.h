@@ -1,0 +1,27 @@
+// Copyright 2026 the ustdb authors.
+//
+// Internal linkage point between the ISA dispatcher (isa.cc) and the
+// per-ISA kernel translation units. Not part of the public API.
+
+#ifndef USTDB_KERNELS_KERNEL_TABLES_H_
+#define USTDB_KERNELS_KERNEL_TABLES_H_
+
+#include "kernels/isa.h"
+
+namespace ustdb {
+namespace kernels {
+namespace internal {
+
+/// Scalar table; available on every build.
+const KernelTable* BaselineTable();
+
+/// AVX2/FMA table, or nullptr when this build targets a non-x86-64
+/// architecture. Callers must additionally CPUID-check before executing
+/// the returned kernels (see IsaSupported).
+const KernelTable* Avx2Table();
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ustdb
+
+#endif  // USTDB_KERNELS_KERNEL_TABLES_H_

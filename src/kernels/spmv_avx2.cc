@@ -1,0 +1,231 @@
+// AVX2/FMA kernel variants. This is the only translation unit compiled
+// with -mavx2 -mfma (set per-source in CMakeLists.txt, so no VEX code
+// leaks into TUs that run before the CPUID check), and it compiles to a
+// stub returning no table on non-x86-64 targets.
+//
+// Shapes were chosen by measurement on server Xeons rather than on paper:
+// the hardware vpgatherdd path is *slower* than scalar loads on the
+// deployment CPUs, so the gather kernel builds its vectors with scalar
+// lane loads, detects contiguous column runs (banded transition matrices
+// make entire rows contiguous) to degrade into a pure dense dot product,
+// and reads column indices as packed 64-bit pairs to halve index-load
+// traffic. The scatter keeps strict per-slot mul+add so it stays
+// bit-identical to the baseline kernel.
+
+#include "kernels/kernel_tables.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ustdb {
+namespace kernels {
+namespace {
+
+using sparse::NnzIndex;
+
+// Unpacks a 64-bit load of two adjacent uint32 column indices.
+inline void LoadIndexPair(const uint32_t* ci, uint32_t* c0, uint32_t* c1) {
+  uint64_t w;
+  std::memcpy(&w, ci, sizeof(w));
+  *c0 = static_cast<uint32_t>(w);
+  *c1 = static_cast<uint32_t>(w >> 32);
+}
+
+inline double HorizontalSum(__m256d v) {
+  const __m128d lo128 = _mm256_castpd256_pd128(v);
+  const __m128d hi128 = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo128, hi128);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+void GatherAvx2(const NnzIndex* rp, const uint32_t* ci, const double* va,
+                const double* x, uint32_t n, double* out) {
+  for (uint32_t c = 0; c < n; ++c) {
+    NnzIndex k = rp[c];
+    const NnzIndex e = rp[c + 1];
+    const NnzIndex len = e - k;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    double tail = 0.0;
+    if (len >= 4 && ci[e - 1] - ci[k] == len - 1) {
+      // Whole row is one contiguous column run: a dense dot product with
+      // no index loads at all. Banded models hit this on ~every row.
+      const double* __restrict xp = x + ci[k];
+      const double* __restrict vp = va + k;
+      NnzIndex i = 0;
+      for (; i + 7 < len; i += 8) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp + i),
+                               _mm256_loadu_pd(vp + i), acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(xp + i + 4),
+                               _mm256_loadu_pd(vp + i + 4), acc1);
+      }
+      for (; i + 3 < len; i += 4) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp + i),
+                               _mm256_loadu_pd(vp + i), acc0);
+      }
+      for (; i < len; ++i) tail += xp[i] * vp[i];
+    } else {
+      // Scattered columns: build x-vectors with scalar lane loads
+      // (measured faster than vpgatherdd on the target parts), reading
+      // indices as 64-bit pairs; 4-entry groups that happen to be
+      // contiguous take one vector load instead.
+      for (; k + 7 < e; k += 8) {
+        uint32_t c0, c1, c2, c3, c4, c5, c6, c7;
+        LoadIndexPair(ci + k, &c0, &c1);
+        LoadIndexPair(ci + k + 2, &c2, &c3);
+        LoadIndexPair(ci + k + 4, &c4, &c5);
+        LoadIndexPair(ci + k + 6, &c6, &c7);
+        const __m256d xv0 = (c3 - c0 == 3)
+                                ? _mm256_loadu_pd(x + c0)
+                                : _mm256_setr_pd(x[c0], x[c1], x[c2], x[c3]);
+        const __m256d xv1 = (c7 - c4 == 3)
+                                ? _mm256_loadu_pd(x + c4)
+                                : _mm256_setr_pd(x[c4], x[c5], x[c6], x[c7]);
+        acc0 = _mm256_fmadd_pd(xv0, _mm256_loadu_pd(va + k), acc0);
+        acc1 = _mm256_fmadd_pd(xv1, _mm256_loadu_pd(va + k + 4), acc1);
+      }
+      for (; k + 3 < e; k += 4) {
+        uint32_t c0, c1, c2, c3;
+        LoadIndexPair(ci + k, &c0, &c1);
+        LoadIndexPair(ci + k + 2, &c2, &c3);
+        const __m256d xv = (c3 - c0 == 3)
+                               ? _mm256_loadu_pd(x + c0)
+                               : _mm256_setr_pd(x[c0], x[c1], x[c2], x[c3]);
+        acc0 = _mm256_fmadd_pd(xv, _mm256_loadu_pd(va + k), acc0);
+      }
+      for (; k < e; ++k) tail += x[ci[k]] * va[k];
+    }
+    out[c] = tail + HorizontalSum(_mm256_add_pd(acc0, acc1));
+  }
+}
+
+inline void ScatterRowImpl(const uint32_t* ci, const double* va,
+                           NnzIndex begin, NnzIndex end, double xi,
+                           double* __restrict acc) {
+  const __m256d xiv = _mm256_set1_pd(xi);
+  NnzIndex k = begin;
+  for (; k + 3 < end; k += 4) {
+    uint32_t c0, c1, c2, c3;
+    LoadIndexPair(ci + k, &c0, &c1);
+    LoadIndexPair(ci + k + 2, &c2, &c3);
+    // mul then add, never FMA: each slot must round exactly like the
+    // scalar acc[c] += xi * va[k], so both ISAs stay bit-identical.
+    const __m256d prod = _mm256_mul_pd(xiv, _mm256_loadu_pd(va + k));
+    if (c3 - c0 == 3) {
+      _mm256_storeu_pd(
+          acc + c0, _mm256_add_pd(_mm256_loadu_pd(acc + c0), prod));
+    } else {
+      alignas(32) double tmp[4];
+      _mm256_store_pd(tmp, prod);
+      acc[c0] += tmp[0];
+      acc[c1] += tmp[1];
+      acc[c2] += tmp[2];
+      acc[c3] += tmp[3];
+    }
+  }
+  for (; k < end; ++k) acc[ci[k]] += xi * va[k];
+}
+
+void ScatterRowAvx2(const uint32_t* ci, const double* va, NnzIndex begin,
+                    NnzIndex end, double xi, double* acc) {
+  ScatterRowImpl(ci, va, begin, end, xi, acc);
+}
+
+void ScatterDenseAvx2(const NnzIndex* rp, const uint32_t* ci,
+                      const double* va, const double* x, uint32_t rows,
+                      double* acc) {
+  for (uint32_t i = 0; i < rows; ++i) {
+    const double xi = x[i];
+    if (xi != 0.0) ScatterRowImpl(ci, va, rp[i], rp[i + 1], xi, acc);
+  }
+}
+
+uint32_t FilterPositiveAvx2(double* v, uint32_t n, double eps) {
+  const __m256d epsv = _mm256_set1_pd(eps);
+  uint32_t kept = 0;
+  uint32_t c = 0;
+  for (; c + 3 < n; c += 4) {
+    const __m256d vals = _mm256_loadu_pd(v + c);
+    // keep-mask lanes are all-ones where vals > eps; AND-ing zeroes the
+    // losers without a branch (values are exact sums of non-negative
+    // products, so there are no NaNs and no negative zeros to preserve).
+    const __m256d keep = _mm256_cmp_pd(vals, epsv, _CMP_GT_OQ);
+    _mm256_storeu_pd(v + c, _mm256_and_pd(vals, keep));
+    kept += static_cast<uint32_t>(
+        __builtin_popcount(_mm256_movemask_pd(keep)));
+  }
+  for (; c < n; ++c) {  // masked-equivalent scalar tail (< 4 lanes)
+    if (v[c] > eps) {
+      ++kept;
+    } else {
+      v[c] = 0.0;
+    }
+  }
+  return kept;
+}
+
+uint32_t EnvelopeRowSweepAvx2(const double* env2, const uint32_t* ci,
+                              NnzIndex begin, NnzIndex end, const double* f2,
+                              double* vals2, double* slack, double* base2,
+                              double* lo_sum) {
+  // One envelope entry per iteration, both lanes of its {flo, fhi} pair
+  // in a single 128-bit op. Entries MUST accumulate sequentially with
+  // mul+add: each xmm lane then performs exactly the baseline's scalar
+  // sequence, keeping the bounds bit-identical across dispatch modes —
+  // and, for slack-free rows, bit-identical to the exact engines' row
+  // recursion, which τ values pinned to exact probabilities rely on. A
+  // wider two-entry lane layout reorders the sums and is unsound there.
+  __m128d acc = _mm_setzero_pd();
+  __m128d nonzero = _mm_setzero_pd();
+  const __m128d zero = _mm_setzero_pd();
+  double sum_lo = 0.0;
+  NnzIndex j = 0;
+  for (NnzIndex k = begin; k < end; ++k, ++j) {
+    const uint32_t c = ci[k];
+    const double lo = env2[2 * k];
+    const __m128d lov = _mm_set1_pd(lo);
+    const __m128d fv = _mm_loadu_pd(f2 + 2 * c);  // {flo, fhi}
+    acc = _mm_add_pd(acc, _mm_mul_pd(lov, fv));
+    sum_lo += lo;
+    nonzero = _mm_or_pd(nonzero, _mm_cmpneq_pd(fv, zero));
+    _mm_storeu_pd(vals2 + 2 * j, fv);
+    slack[j] = env2[2 * k + 1] - lo;
+  }
+  _mm_storeu_pd(base2, acc);
+  *lo_sum = sum_lo;
+  // movemask bit 0 is the flo lane, bit 1 the fhi lane — the return
+  // encoding (bit 0 = any_lo, bit 1 = any_hi) verbatim.
+  return static_cast<uint32_t>(_mm_movemask_pd(nonzero)) & 3u;
+}
+
+const KernelTable kAvx2Table = {
+    Isa::kAvx2,     GatherAvx2,         ScatterDenseAvx2,
+    ScatterRowAvx2, FilterPositiveAvx2, EnvelopeRowSweepAvx2,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* Avx2Table() { return &kAvx2Table; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ustdb
+
+#else  // !x86-64
+
+namespace ustdb {
+namespace kernels {
+namespace internal {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ustdb
+
+#endif  // x86-64

@@ -1,0 +1,119 @@
+// Scalar baseline kernels — the portable implementations every build
+// carries and every other ISA variant is parity-tested against. The
+// gather and scatter bodies are the PR 4 loops of VecMatWorkspace moved
+// behind the dispatch table verbatim; the envelope sweep uses the same
+// canonical even/odd two-lane accumulation as the AVX2 variant so bound
+// values are bit-identical across ISAs (see kernels/isa.h).
+
+#include "kernels/kernel_tables.h"
+
+namespace ustdb {
+namespace kernels {
+namespace {
+
+using sparse::NnzIndex;
+
+void GatherBaseline(const NnzIndex* rp, const uint32_t* ci, const double* va,
+                    const double* x, uint32_t n, double* out) {
+  const double* __restrict xr = x;
+  for (uint32_t c = 0; c < n; ++c) {
+    const NnzIndex e = rp[c + 1];
+    NnzIndex k = rp[c];
+    // Four interleaved accumulators hide the add latency of the
+    // reduction chain; the final regrouping is why the gather's parity
+    // contract is 1e-12 rather than bit-equality.
+    double acc0 = 0.0;
+    double acc1 = 0.0;
+    double acc2 = 0.0;
+    double acc3 = 0.0;
+    for (; k + 3 < e; k += 4) {
+      acc0 += xr[ci[k]] * va[k];
+      acc1 += xr[ci[k + 1]] * va[k + 1];
+      acc2 += xr[ci[k + 2]] * va[k + 2];
+      acc3 += xr[ci[k + 3]] * va[k + 3];
+    }
+    for (; k < e; ++k) acc0 += xr[ci[k]] * va[k];
+    out[c] = (acc0 + acc1) + (acc2 + acc3);
+  }
+}
+
+void ScatterRowBaseline(const uint32_t* ci, const double* va, NnzIndex begin,
+                        NnzIndex end, double xi, double* acc) {
+  double* __restrict a = acc;
+  for (NnzIndex k = begin; k < end; ++k) a[ci[k]] += xi * va[k];
+}
+
+void ScatterDenseBaseline(const NnzIndex* rp, const uint32_t* ci,
+                          const double* va, const double* x, uint32_t rows,
+                          double* acc) {
+  for (uint32_t i = 0; i < rows; ++i) {
+    const double xi = x[i];
+    if (xi != 0.0) ScatterRowBaseline(ci, va, rp[i], rp[i + 1], xi, acc);
+  }
+}
+
+uint32_t FilterPositiveBaseline(double* v, uint32_t n, double eps) {
+  uint32_t kept = 0;
+  for (uint32_t c = 0; c < n; ++c) {
+    if (v[c] > eps) {
+      ++kept;
+    } else {
+      v[c] = 0.0;
+    }
+  }
+  return kept;
+}
+
+uint32_t EnvelopeRowSweepBaseline(const double* env2, const uint32_t* ci,
+                                  NnzIndex begin, NnzIndex end,
+                                  const double* f2, double* vals2,
+                                  double* slack, double* base2,
+                                  double* lo_sum) {
+  // Strictly sequential per-entry mul+add in each lane. This order is
+  // load-bearing twice over: the AVX2 variant keeps both lanes in one
+  // 128-bit register with the same sequence (so bounds are bit-identical
+  // across dispatch modes), and for a slack-free envelope (singleton
+  // cluster) the base sum IS the exact engines' row recursion — a
+  // reordered sum could land one ulp below an object's true probability
+  // and unsoundly drop it at a τ pinned to that exact value.
+  double base_lo = 0.0;
+  double base_hi = 0.0;
+  double sum_lo = 0.0;
+  bool any_lo = false;
+  bool any_hi = false;
+  NnzIndex j = 0;
+  for (NnzIndex k = begin; k < end; ++k, ++j) {
+    const uint32_t c = ci[k];
+    const double lo = env2[2 * k];
+    const double hi = env2[2 * k + 1];
+    const double flo = f2[2 * c];
+    const double fhi = f2[2 * c + 1];
+    any_lo |= flo != 0.0;
+    any_hi |= fhi != 0.0;
+    base_lo += lo * flo;
+    base_hi += lo * fhi;
+    sum_lo += lo;
+    vals2[2 * j] = flo;
+    vals2[2 * j + 1] = fhi;
+    slack[j] = hi - lo;
+  }
+  base2[0] = base_lo;
+  base2[1] = base_hi;
+  *lo_sum = sum_lo;
+  return (any_lo ? 1u : 0u) | (any_hi ? 2u : 0u);
+}
+
+const KernelTable kBaselineTable = {
+    Isa::kBaseline,       GatherBaseline,         ScatterDenseBaseline,
+    ScatterRowBaseline,   FilterPositiveBaseline, EnvelopeRowSweepBaseline,
+};
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* BaselineTable() { return &kBaselineTable; }
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ustdb

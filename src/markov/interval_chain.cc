@@ -3,11 +3,54 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
+#include "kernels/isa.h"
 #include "util/string_util.h"
 
 namespace ustdb {
 namespace markov {
+namespace {
+
+/// \brief Greedy finish of one extremal-row LP: spends the residual
+/// budget (1 − Σ lo) on the most favourable working values first, capped
+/// at each entry's slack (hi − lo); returns the extra value on top of the
+/// base Σ lo·v. `vals2` is the sweep kernel's interleaved per-entry
+/// working values — `lane` 0 reads the lower vector, 1 the upper — and
+/// `slack` its hi − lo array, both of length `m`.
+double GreedySpend(const double* vals2, int lane, const double* slack,
+                   size_t m, bool want_max, double budget,
+                   std::vector<std::pair<double, double>>* scratch) {
+  auto& order = *scratch;
+  order.clear();
+  for (size_t j = 0; j < m; ++j) {
+    order.emplace_back(vals2[2 * j + lane], slack[j]);
+  }
+  // (value, slack) pairs sorted by v — ascending for min, descending for
+  // max. Rows are small (a few entries), so an insertion sort into the
+  // reused scratch buffer beats std::sort with its allocation-heavy
+  // call pattern in this innermost loop.
+  for (size_t i = 1; i < m; ++i) {
+    const std::pair<double, double> key = order[i];
+    size_t j = i;
+    while (j > 0 && (want_max ? order[j - 1].first < key.first
+                              : order[j - 1].first > key.first)) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = key;
+  }
+  double extra = 0.0;
+  for (const auto& [value, entry_slack] : order) {
+    if (budget <= 0.0) break;
+    const double take = std::min(entry_slack, budget);
+    extra += take * value;
+    budget -= take;
+  }
+  return extra;
+}
+
+}  // namespace
 
 util::Result<IntervalMarkovChain> IntervalMarkovChain::FromChains(
     const std::vector<const MarkovChain*>& members) {
@@ -148,12 +191,14 @@ util::Result<IntervalMarkovChain> IntervalMarkovChain::FromChains(
   }
 
   out.row_ptr_ = std::move(acc.row_ptr);
-  out.col_idx_ = std::move(acc.col);
-  out.hi_ = std::move(acc.hi);
-  out.lo_ = std::move(acc.lo);
-  for (size_t k = 0; k < out.lo_.size(); ++k) {
-    if (acc.present[k] != members.size()) out.lo_[k] = 0.0;
+  // Interleave the merged lo/hi arrays into the {lo, hi}-pair layout the
+  // dispatched bound sweep consumes (see the env2_ member comment).
+  out.env2_.resize(2 * acc.lo.size());
+  for (size_t k = 0; k < acc.lo.size(); ++k) {
+    out.env2_[2 * k] = acc.present[k] == members.size() ? acc.lo[k] : 0.0;
+    out.env2_[2 * k + 1] = acc.hi[k];
   }
+  out.col_idx_ = std::move(acc.col);
   return out;
 }
 
@@ -164,54 +209,7 @@ ProbBound IntervalMarkovChain::Bound(uint32_t i, uint32_t j) const {
   auto it = std::lower_bound(begin, end, j);
   if (it == end || *it != j) return {0.0, 0.0};
   const size_t k = static_cast<size_t>(it - col_idx_.begin());
-  return {lo_[k], hi_[k]};
-}
-
-double IntervalMarkovChain::ExtremalRowValueWith(
-    uint32_t row, const std::vector<double>& v, bool want_max,
-    std::vector<std::pair<double, double>>* scratch) const {
-  const sparse::NnzIndex begin = row_ptr_[row];
-  const sparse::NnzIndex end = row_ptr_[row + 1];
-  const size_t m = static_cast<size_t>(end - begin);
-  if (m == 0) return 0.0;
-
-  // Greedy: start every entry at lo, then spend the residual budget
-  // (1 - Σ lo) on the most favourable v-values first, capped at hi - lo.
-  double base = 0.0;
-  double budget = 1.0;
-  scratch->clear();
-  for (sparse::NnzIndex k = begin; k < end; ++k) {
-    const uint32_t c = col_idx_[k];
-    base += lo_[k] * v[c];
-    budget -= lo_[k];
-    scratch->emplace_back(v[c], hi_[k] - lo_[k]);
-  }
-  // Tight rows (every member identical on this row, e.g. singleton
-  // clusters) have no slack to distribute: the base already is the value.
-  if (budget <= 0.0) return base;
-  // (value, slack) pairs sorted by v — ascending for min, descending for
-  // max. Rows are small (a few entries), so an insertion sort into the
-  // reused scratch buffer beats std::sort with its allocation-heavy
-  // call pattern in this innermost loop.
-  auto& order = *scratch;
-  for (size_t i = 1; i < m; ++i) {
-    const std::pair<double, double> key = order[i];
-    size_t j = i;
-    while (j > 0 && (want_max ? order[j - 1].first < key.first
-                              : order[j - 1].first > key.first)) {
-      order[j] = order[j - 1];
-      --j;
-    }
-    order[j] = key;
-  }
-  double extra = 0.0;
-  for (const auto& [value, slack] : order) {
-    if (budget <= 0.0) break;
-    const double take = std::min(slack, budget);
-    extra += take * value;
-    budget -= take;
-  }
-  return base + extra;
+  return {env2_[2 * k], env2_[2 * k + 1]};
 }
 
 std::vector<ProbBound> IntervalMarkovChain::BoundExists(
@@ -221,17 +219,28 @@ std::vector<ProbBound> IntervalMarkovChain::BoundExists(
   assert(t_lo <= t_hi);
 
   // f(t)[s] = P(trajectory from s at time t hits region during
-  // [max(t, t_lo), t_hi]); propagated backward from t_hi to 0.
-  std::vector<double> flo(num_states_, 0.0);
-  std::vector<double> fhi(num_states_, 0.0);
+  // [max(t, t_lo), t_hi]); propagated backward from t_hi to 0. The two
+  // working vectors live interleaved — f2[2s] the lower, f2[2s+1] the
+  // upper — matching the envelope's {lo, hi}-pair layout, so the
+  // dispatched sweep bounds both lanes of a state with the same vector
+  // op. Bound arithmetic is bit-identical across ISAs by the kernel's
+  // contract: prune decisions cannot depend on the dispatch mode.
+  util::AlignedVector<double> f2(2 * size_t{num_states_}, 0.0);
   for (uint32_t s : region) {
-    flo[s] = 1.0;
-    fhi[s] = 1.0;
+    f2[2 * s] = 1.0;
+    f2[2 * s + 1] = 1.0;
   }
 
-  std::vector<double> next_lo(num_states_);
-  std::vector<double> next_hi(num_states_);
+  util::AlignedVector<double> next2(2 * size_t{num_states_});
+  // Kernel per-row outputs, sized once to the widest row.
+  sparse::NnzIndex max_row = 0;
+  for (uint32_t s = 0; s < num_states_; ++s) {
+    max_row = std::max(max_row, row_ptr_[s + 1] - row_ptr_[s]);
+  }
+  util::AlignedVector<double> vals2(2 * max_row);
+  util::AlignedVector<double> slack(max_row);
   std::vector<std::pair<double, double>> scratch;
+  const kernels::KernelTable& kt = kernels::Active();
   // Active interval: every non-zero of flo/fhi lies inside [a_lo, a_hi].
   // The backward reach grows by one matrix band per step, so on the
   // paper's banded models almost all rows are provably zero and skip both
@@ -248,25 +257,40 @@ std::vector<ProbBound> IntervalMarkovChain::BoundExists(
       const sparse::NnzIndex row_end = row_ptr_[s + 1];
       if (row_begin == row_end || col_idx_[row_end - 1] < a_lo ||
           col_idx_[row_begin] > a_hi) {
-        next_lo[s] = 0.0;
-        next_hi[s] = 0.0;
+        next2[2 * s] = 0.0;
+        next2[2 * s + 1] = 0.0;
         continue;
       }
-      bool any_lo = false;
-      bool any_hi = false;
-      for (sparse::NnzIndex k = row_begin; k < row_end; ++k) {
-        const uint32_t c = col_idx_[k];
-        any_lo |= flo[c] != 0.0;
-        any_hi |= fhi[c] != 0.0;
+      // One interleaved sweep gathers both lanes' base sums Σ lo·v, the
+      // row's Σ lo, the per-entry working values and slacks, and whether
+      // either lane saw a non-zero (bit 0 lower, bit 1 upper).
+      double base2[2];
+      double lo_sum;
+      const uint32_t any =
+          kt.envelope_row_sweep(env2_.data(), col_idx_.data(), row_begin,
+                                row_end, f2.data(), vals2.data(),
+                                slack.data(), base2, &lo_sum);
+      const size_t m = static_cast<size_t>(row_end - row_begin);
+      const double budget = 1.0 - lo_sum;
+      double nlo = 0.0;
+      double nhi = 0.0;
+      if ((any & 1u) != 0 && with_lower) {
+        nlo = budget <= 0.0
+                  ? base2[0]
+                  : base2[0] + GreedySpend(vals2.data(), 0, slack.data(), m,
+                                           /*want_max=*/false, budget,
+                                           &scratch);
       }
-      next_lo[s] = any_lo && with_lower
-                       ? ExtremalRowValueWith(s, flo, /*want_max=*/false,
-                                              &scratch)
-                       : 0.0;
-      next_hi[s] = any_hi ? ExtremalRowValueWith(s, fhi, /*want_max=*/true,
-                                                 &scratch)
-                          : 0.0;
-      if (next_lo[s] != 0.0 || next_hi[s] != 0.0) {
+      if ((any & 2u) != 0) {
+        nhi = budget <= 0.0
+                  ? base2[1]
+                  : base2[1] + GreedySpend(vals2.data(), 1, slack.data(), m,
+                                           /*want_max=*/true, budget,
+                                           &scratch);
+      }
+      next2[2 * s] = nlo;
+      next2[2 * s + 1] = nhi;
+      if (nlo != 0.0 || nhi != 0.0) {
         next_a_lo = std::min(next_a_lo, s);
         next_a_hi = std::max(next_a_hi, s);
       }
@@ -275,32 +299,29 @@ std::vector<ProbBound> IntervalMarkovChain::BoundExists(
     if (t_prev >= t_lo && !region.empty()) {
       // Being inside the region at t_prev is itself a hit.
       for (uint32_t s : region) {
-        next_lo[s] = 1.0;
-        next_hi[s] = 1.0;
+        next2[2 * s] = 1.0;
+        next2[2 * s + 1] = 1.0;
       }
       next_a_lo = std::min(next_a_lo, region.min());
       next_a_hi = std::max(next_a_hi, region.max());
     }
     if (next_a_lo > next_a_hi) {
       // Everything is zero; the remaining steps cannot change that.
-      std::fill(next_lo.begin(), next_lo.end(), 0.0);
-      std::fill(next_hi.begin(), next_hi.end(), 0.0);
-      flo.swap(next_lo);
-      fhi.swap(next_hi);
+      std::fill(next2.begin(), next2.end(), 0.0);
+      f2.swap(next2);
       break;
     }
     a_lo = next_a_lo;
     a_hi = next_a_hi;
-    flo.swap(next_lo);
-    fhi.swap(next_hi);
+    f2.swap(next2);
   }
   if (t_lo > 0) {
     // Start time 0 is outside the window; nothing more to fold in.
   }
   std::vector<ProbBound> out(num_states_);
   for (uint32_t s = 0; s < num_states_; ++s) {
-    out[s] = {with_lower ? std::clamp(flo[s], 0.0, 1.0) : 0.0,
-              std::clamp(fhi[s], 0.0, 1.0)};
+    out[s] = {with_lower ? std::clamp(f2[2 * s], 0.0, 1.0) : 0.0,
+              std::clamp(f2[2 * s + 1], 0.0, 1.0)};
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include "markov/markov_chain.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/index_set.h"
+#include "util/aligned_alloc.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -69,19 +70,15 @@ class IntervalMarkovChain {
  private:
   IntervalMarkovChain() : num_states_(0) {}
 
-  /// min (want_max=false) or max (want_max=true) of Σ_j m_j·v[col_j] over
-  /// the interval-stochastic row `row`, using a caller-owned scratch
-  /// buffer so the backward pass's innermost loop allocates nothing.
-  double ExtremalRowValueWith(
-      uint32_t row, const std::vector<double>& v, bool want_max,
-      std::vector<std::pair<double, double>>* scratch) const;
-
   uint32_t num_states_;
-  // CSR-like envelope storage; lo_ and hi_ are parallel to col_idx_.
+  // CSR-like envelope storage. Bounds live as interleaved {lo, hi} pairs
+  // — entry k's pair at env2_[2k] — so the dispatched envelope sweep
+  // (kernels::KernelTable::envelope_row_sweep) bounds the lower and the
+  // upper working vector of BoundExists with the same vector op instead
+  // of two strided passes over parallel arrays.
   std::vector<sparse::NnzIndex> row_ptr_;
   std::vector<uint32_t> col_idx_;
-  std::vector<double> lo_;
-  std::vector<double> hi_;
+  util::AlignedVector<double> env2_;
 };
 
 }  // namespace markov

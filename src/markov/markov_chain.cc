@@ -26,6 +26,12 @@ util::Result<MarkovChain> MarkovChain::FromMatrix(sparse::CsrMatrix m) {
           sum));
     }
   }
+  // Both multiply operands reach the dense gather kernel — Mᵀ on forward
+  // passes and M itself on the backward pass (the "transpose of Mᵀ") — so
+  // block the forward matrix at construction, while it is still private to
+  // this thread; Transposed() blocks the other side. Building lazily at
+  // first use would mutate matrix_ under concurrent readers.
+  m.BuildGatherBlocks();
   return MarkovChain(std::move(m));
 }
 

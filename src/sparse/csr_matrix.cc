@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/isa.h"
 #include "util/compensated_sum.h"
 #include "util/string_util.h"
 
@@ -124,7 +125,69 @@ CsrMatrix CsrMatrix::Transposed() const {
       t.values_[pos] = values_[k];
     }
   }
+  // Transposes exist to feed the gather kernel (engines memoize one per
+  // chain), so hand them the blocked layout the kernel streams fastest.
+  t.BuildGatherBlocks();
   return t;
+}
+
+void CsrMatrix::BuildGatherBlocks() {
+  if (has_gather_blocks()) return;
+  gb_row_ptr_.assign(rows_ + 1, 0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const NnzIndex len = row_ptr_[r + 1] - row_ptr_[r];
+    // Rows padded to a multiple of 8 entries: with the 64-byte-aligned
+    // base below, every row's values start on a cache-line boundary and
+    // the vector gather never needs a scalar tail.
+    gb_row_ptr_[r + 1] = gb_row_ptr_[r] + ((len + 7) & ~NnzIndex{7});
+  }
+  const NnzIndex total = gb_row_ptr_[rows_];
+  gb_col_idx_.assign(total, 0);
+  gb_values_.assign(total, 0.0);
+  assert(util::IsKernelAligned(gb_values_.data()));
+  assert(util::IsKernelAligned(gb_col_idx_.data()));
+  for (uint32_t r = 0; r < rows_; ++r) {
+    const NnzIndex src = row_ptr_[r];
+    const NnzIndex len = row_ptr_[r + 1] - src;
+    const NnzIndex dst = gb_row_ptr_[r];
+    std::copy(col_idx_.begin() + static_cast<ptrdiff_t>(src),
+              col_idx_.begin() + static_cast<ptrdiff_t>(src + len),
+              gb_col_idx_.begin() + static_cast<ptrdiff_t>(dst));
+    std::copy(values_.begin() + static_cast<ptrdiff_t>(src),
+              values_.begin() + static_cast<ptrdiff_t>(src + len),
+              gb_values_.begin() + static_cast<ptrdiff_t>(dst));
+    const NnzIndex padded = gb_row_ptr_[r + 1] - dst;
+    // Padding entries carry value 0.0, so any in-range column is sound
+    // (they add exactly +0.0). Column choice still matters: the gather
+    // kernel detects contiguous runs by first/last index differences,
+    // which is exact only while a row stays strictly ascending. So pads
+    // continue the ascending run while the domain allows (a contiguous
+    // row stays contiguous and keeps the dense-dot fast path); once the
+    // run hits the top edge they descend below the row's first column
+    // instead — the descent makes every unsigned difference test in the
+    // kernel fail, never fake a run. A row already covering all columns
+    // repeats column 0, which is equally undetectable as contiguous.
+    uint32_t up = len > 0 ? col_idx_[src + len - 1] : 0;
+    uint32_t down = len > 0 ? col_idx_[src] : 1;  // first pad is down - 1
+    for (NnzIndex k = len; k < padded; ++k) {
+      uint32_t pad_col = 0;
+      if (up + 1 < cols_) {
+        pad_col = ++up;
+      } else if (down > 0) {
+        pad_col = --down;
+      }
+      gb_col_idx_[dst + k] = pad_col;
+    }
+  }
+}
+
+bool CsrMatrix::operator==(const CsrMatrix& other) const {
+  // Logical contents only; the gather-block acceleration arrays are a
+  // layout detail (a transposed matrix must compare equal to the same
+  // matrix assembled from triplets, which carries no blocks).
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
 }
 
 std::vector<std::vector<double>> CsrMatrix::ToDense() const {
@@ -239,7 +302,10 @@ std::vector<double> CsrMatrix::RowMassInColumns(const IndexSet& cols) const {
 size_t CsrMatrix::MemoryBytes() const {
   return row_ptr_.capacity() * sizeof(NnzIndex) +
          col_idx_.capacity() * sizeof(uint32_t) +
-         values_.capacity() * sizeof(double);
+         values_.capacity() * sizeof(double) +
+         gb_row_ptr_.capacity() * sizeof(NnzIndex) +
+         gb_col_idx_.capacity() * sizeof(uint32_t) +
+         gb_values_.capacity() * sizeof(double);
 }
 
 void VecMatWorkspace::EnsureWidth(uint32_t cols) {
@@ -356,9 +422,16 @@ bool VecMatWorkspace::Accumulate(const ProbVector& x, const CsrMatrix& m,
     return false;
   }
 
-  // Dense regime. When x stores a dense array the kernels read it through
-  // `xv`; a clamp substitutes a clamped copy once (O(rows)) so the inner
-  // loops stay branch-free instead of paying a bitmap test per non-zero.
+  // Dense regime: everything below runs through the ISA-dispatched kernel
+  // table (kernels/isa.h) — one relaxed atomic load per product, then
+  // direct calls into whichever variant (scalar baseline or AVX2/FMA) the
+  // dispatcher selected at startup.
+  const kernels::KernelTable& kt = kernels::Active();
+  assert(util::IsKernelAligned(scratch_.data()));
+
+  // When x stores a dense array the kernels read it through `xv`; a clamp
+  // substitutes a clamped copy once (O(rows)) so the inner loops stay
+  // branch-free instead of paying a bitmap test per non-zero.
   const double* xv = nullptr;
   if (!x.IsSparse()) {
     xv = x.dense_values_.data();
@@ -367,61 +440,48 @@ bool VecMatWorkspace::Accumulate(const ProbVector& x, const CsrMatrix& m,
       for (uint32_t i : *clamp_ones) clamp_scratch_[i] = 1.0;
       xv = clamp_scratch_.data();
     }
+    assert(util::IsKernelAligned(xv));
   }
 
   // Gather over the transposed matrix when available: fully sequential
   // reads/writes, no scratch reset, no per-entry bookkeeping of any kind.
-  // Four interleaved accumulators hide the add latency of the per-output
-  // reduction chain (changes the accumulation order by one regrouping —
-  // kernels are parity-tested to 1e-12, not bit-equality, for this
-  // reason).
+  // Prefers the cache-line-blocked row layout when the transpose carries
+  // one (Transposed() builds it) — padded rows mean the kernel never runs
+  // a scalar tail. The gather's reduction may regroup, so kernels are
+  // parity-tested to 1e-12, not bit-equality.
   if (m_transposed != nullptr && xv != nullptr) {
-    const double* __restrict xr = xv;
-    const NnzIndex* __restrict rp = m_transposed->row_ptr_.data();
-    const uint32_t* __restrict ci = m_transposed->col_idx_.data();
-    const double* __restrict va = m_transposed->values_.data();
-    double* __restrict acc_out = scratch_.data();
-    for (uint32_t c = 0; c < cols; ++c) {
-      const NnzIndex e = rp[c + 1];
-      NnzIndex k = rp[c];
-      double acc0 = 0.0;
-      double acc1 = 0.0;
-      double acc2 = 0.0;
-      double acc3 = 0.0;
-      for (; k + 3 < e; k += 4) {
-        acc0 += xr[ci[k]] * va[k];
-        acc1 += xr[ci[k + 1]] * va[k + 1];
-        acc2 += xr[ci[k + 2]] * va[k + 2];
-        acc3 += xr[ci[k + 3]] * va[k + 3];
-      }
-      for (; k < e; ++k) acc0 += xr[ci[k]] * va[k];
-      acc_out[c] = (acc0 + acc1) + (acc2 + acc3);
+    const CsrMatrix& mt = *m_transposed;
+    if (mt.has_gather_blocks()) {
+      kt.gather(mt.gb_row_ptr_.data(), mt.gb_col_idx_.data(),
+                mt.gb_values_.data(), xv, cols, scratch_.data());
+    } else {
+      kt.gather(mt.row_ptr_.data(), mt.col_idx_.data(), mt.values_.data(),
+                xv, cols, scratch_.data());
     }
     return true;
   }
 
   // Dense scatter: contiguous accumulator, branch-free inner loop over
-  // the raw CSR arrays.
+  // the raw CSR arrays. Scatter kernels are bit-identical across ISAs.
   std::fill(scratch_.begin(), scratch_.begin() + cols, 0.0);
-  const NnzIndex* __restrict rp = m.row_ptr_.data();
-  const uint32_t* __restrict ci = m.col_idx_.data();
-  const double* __restrict va = m.values_.data();
-  const auto scatter_row = [&](uint32_t i, double xi) {
-    double* __restrict acc = scratch_.data();
-    const NnzIndex e = rp[i + 1];
-    for (NnzIndex k = rp[i]; k < e; ++k) acc[ci[k]] += xi * va[k];
-  };
+  const NnzIndex* rp = m.row_ptr_.data();
+  const uint32_t* ci = m.col_idx_.data();
+  const double* va = m.values_.data();
   if (xv != nullptr) {
-    for (uint32_t i = 0; i < rows; ++i) {
-      if (xv[i] != 0.0) scatter_row(i, xv[i]);
-    }
+    kt.scatter_dense(rp, ci, va, xv, rows, scratch_.data());
   } else if (clamp_ones == nullptr) {
-    x.ForEachNonZero(scatter_row);
+    x.ForEachNonZero([&](uint32_t i, double xi) {
+      kt.scatter_row(ci, va, rp[i], rp[i + 1], xi, scratch_.data());
+    });
   } else {
     x.ForEachNonZero([&](uint32_t i, double xi) {
-      if (!clamp_ones->Contains(i)) scatter_row(i, xi);
+      if (!clamp_ones->Contains(i)) {
+        kt.scatter_row(ci, va, rp[i], rp[i + 1], xi, scratch_.data());
+      }
     });
-    for (uint32_t i : *clamp_ones) scatter_row(i, 1.0);
+    for (uint32_t i : *clamp_ones) {
+      kt.scatter_row(ci, va, rp[i], rp[i + 1], 1.0, scratch_.data());
+    }
   }
   return true;
 }
@@ -474,16 +534,25 @@ double VecMatWorkspace::Materialize(
     // buffer as the next product's accumulator — the steady dense loop
     // (v ← v·M) ping-pongs two buffers and never copies a value twice.
     uint32_t stored = 0;
-    for (uint32_t c = 0; c < cols; ++c) {
-      const double v = scratch_[c];
-      if (!(v > kProbEpsilon)) {
-        scratch_[c] = 0.0;
-        continue;
-      }
-      if (keep_entry(c, v)) {
-        ++stored;
-      } else {
-        scratch_[c] = 0.0;
+    if constexpr (!kHasSet) {
+      // No set action: the filter is a pure compare-and-zero sweep, which
+      // the dispatched kernel runs 4 lanes at a time.
+      stored = kernels::Active().filter_positive(scratch_.data(), cols,
+                                                 kProbEpsilon);
+    } else {
+      // Set actions interleave CompensatedSum updates (order-dependent)
+      // and extraction bookkeeping with the filter; they stay scalar.
+      for (uint32_t c = 0; c < cols; ++c) {
+        const double v = scratch_[c];
+        if (!(v > kProbEpsilon)) {
+          scratch_[c] = 0.0;
+          continue;
+        }
+        if (keep_entry(c, v)) {
+          ++stored;
+        } else {
+          scratch_[c] = 0.0;
+        }
       }
     }
     const bool to_sparse =
@@ -499,12 +568,17 @@ double VecMatWorkspace::Materialize(
         }
       }
     } else {
-      std::vector<double> recycled;
+      // The ping-pong swap keeps both buffers on the aligned allocator:
+      // the result adopts the accumulator and the workspace adopts the
+      // output's previous (aligned) dense buffer, so no later kernel can
+      // ever see a misaligned head.
+      util::AlignedVector<double> recycled;
       if (!out->IsSparse()) recycled = std::move(out->dense_values_);
       result.dense_ = true;
       result.dense_values_ = std::move(scratch_);
       result.dense_values_.resize(cols);  // trim if the workspace is wider
       scratch_ = std::move(recycled);     // EnsureWidth re-grows if needed
+      assert(util::IsKernelAligned(result.dense_values_.data()));
     }
   } else {
     const size_t candidates = touched_.size();

@@ -15,6 +15,7 @@
 #include "sparse/index_set.h"
 #include "sparse/prob_vector.h"
 #include "sparse/types.h"
+#include "util/aligned_alloc.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -108,16 +109,40 @@ class CsrMatrix {
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;
 
-  bool operator==(const CsrMatrix& other) const = default;
+  /// \brief Builds the cache-line-blocked row layout the gather kernel
+  /// streams: a padded copy of (col_idx_, values_) whose rows start
+  /// 64-byte aligned and are padded to a multiple of 8 entries with
+  /// zero-valued entries, so the vector gather never runs a scalar tail.
+  /// Padding columns ascend past the row's last column where the domain
+  /// allows (preserving the contiguous-row fast path on banded models),
+  /// else descend below the row's first column, else repeat column 0 —
+  /// never repeating an interior column, so the kernel's unsigned-diff
+  /// contiguity tests stay exact; either way a padding entry contributes
+  /// exactly +0.0. Idempotent; called automatically by Transposed() and
+  /// by MarkovChain construction. Purely an acceleration structure — it
+  /// never affects results, equality, or serialization.
+  void BuildGatherBlocks();
+
+  /// True once BuildGatherBlocks() has run on this matrix.
+  bool has_gather_blocks() const { return !gb_row_ptr_.empty(); }
+
+  /// \brief Logical equality: same shape and same structural non-zeros.
+  /// The gather-block acceleration arrays are deliberately ignored — a
+  /// matrix compares equal to its blocked copy.
+  bool operator==(const CsrMatrix& other) const;
 
  private:
   friend class VecMatWorkspace;  // kernels walk the raw CSR arrays
 
   uint32_t rows_;
   uint32_t cols_;
-  std::vector<NnzIndex> row_ptr_;   // size rows_ + 1
-  std::vector<uint32_t> col_idx_;   // ascending within each row
-  std::vector<double> values_;
+  std::vector<NnzIndex> row_ptr_;           // size rows_ + 1
+  util::AlignedVector<uint32_t> col_idx_;   // ascending within each row
+  util::AlignedVector<double> values_;
+  // Blocked gather layout (BuildGatherBlocks); empty until built.
+  std::vector<NnzIndex> gb_row_ptr_;        // size rows_ + 1 when built
+  util::AlignedVector<uint32_t> gb_col_idx_;
+  util::AlignedVector<double> gb_values_;
 };
 
 /// \brief Reusable workspace for row-vector × CsrMatrix products.
@@ -225,8 +250,8 @@ class VecMatWorkspace {
                      ProbVector* out,
                      std::vector<std::pair<uint32_t, double>>* entries);
 
-  std::vector<double> scratch_;
-  std::vector<double> clamp_scratch_;  // dense clamped-input substitute
+  util::AlignedVector<double> scratch_;
+  util::AlignedVector<double> clamp_scratch_;  // dense clamped-input copy
   std::vector<uint32_t> stamp_;
   std::vector<uint32_t> touched_;
   uint32_t epoch_ = 0;

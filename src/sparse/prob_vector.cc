@@ -59,7 +59,9 @@ util::Result<ProbVector> ProbVector::FromDense(std::vector<double> values,
     }
   }
   v.dense_ = true;
-  v.dense_values_ = std::move(values);
+  // Copy (not move) into the aligned dense buffer: every dense ProbVector
+  // buffer must come from the kernel-aligned allocator.
+  v.dense_values_.assign(values.begin(), values.end());
   if (normalize) USTDB_RETURN_NOT_OK(v.Normalize());
   v.Compact();
   return v;
@@ -301,6 +303,7 @@ std::vector<double> ProbVector::ToDense() const {
 void ProbVector::SwitchToDense() {
   if (dense_) return;
   dense_values_.assign(size_, 0.0);
+  assert(util::IsKernelAligned(dense_values_.data()));
   for (size_t k = 0; k < idx_.size(); ++k) dense_values_[idx_[k]] = val_[k];
   idx_.clear();
   idx_.shrink_to_fit();

@@ -16,6 +16,7 @@
 
 #include "sparse/index_set.h"
 #include "sparse/types.h"
+#include "util/aligned_alloc.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -149,8 +150,9 @@ class ProbVector {
   // Sparse representation (ascending, values > 0):
   std::vector<uint32_t> idx_;
   std::vector<double> val_;
-  // Dense representation:
-  std::vector<double> dense_values_;
+  // Dense representation — 64-byte-aligned so the SIMD kernels can read
+  // and ping-pong it directly (see util/aligned_alloc.h):
+  util::AlignedVector<double> dense_values_;
 };
 
 }  // namespace sparse

@@ -1,0 +1,73 @@
+// Copyright 2026 the ustdb authors.
+//
+// 64-byte-aligned allocation for the dense buffers the SpMV kernels sweep.
+// Vector loads/stores do not require alignment for correctness, but a
+// cache-line-aligned head keeps every 8-double block of a buffer inside one
+// line and lets the AVX2 kernels use aligned stores on their main loops, so
+// all dense ProbVector / CsrMatrix / workspace storage routes through this
+// allocator (asserted in debug builds at the kernel entry points).
+
+#ifndef USTDB_UTIL_ALIGNED_ALLOC_H_
+#define USTDB_UTIL_ALIGNED_ALLOC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace ustdb {
+namespace util {
+
+/// Cache-line alignment used for all kernel-visible dense buffers.
+inline constexpr size_t kKernelAlignment = 64;
+
+/// \brief Minimal std::allocator replacement returning `kAlign`-aligned
+/// blocks via the C++17 aligned operator new. Stateless; all instances
+/// compare equal, so vectors using it move/swap buffers freely.
+template <typename T, size_t kAlign = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be a power of 2");
+  static_assert(kAlign >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, kAlign>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, kAlign>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+  }
+};
+
+template <typename T, size_t A, typename U, size_t B>
+bool operator==(const AlignedAllocator<T, A>&, const AlignedAllocator<U, B>&) {
+  return A == B;
+}
+
+/// std::vector whose heap buffer head is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when `p` is aligned to `alignment` bytes (null counts as aligned,
+/// matching an empty vector's data()).
+inline bool IsKernelAligned(const void* p,
+                            size_t alignment = kKernelAlignment) {
+  return reinterpret_cast<uintptr_t>(p) % alignment == 0;
+}
+
+}  // namespace util
+}  // namespace ustdb
+
+#endif  // USTDB_UTIL_ALIGNED_ALLOC_H_

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "kernels/isa.h"
 #include "testing/random_models.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
@@ -218,6 +219,64 @@ TEST(BoundsRefinePropertyTest, BatchMembersMatchSoloBoundsRuns) {
           << "member " << i;
     }
   }
+}
+
+TEST(BoundsRefinePropertyTest, InterleavedEnvelopePrunesIdenticallyAcrossIsas) {
+  // The interval envelope is stored as interleaved {lo, hi} pairs and
+  // swept by the dispatched envelope_row_sweep kernel, whose contract is
+  // strictly sequential mul+add in every implementation. Consequence
+  // under test: the vectorized bound pass must prune EXACTLY the same
+  // set as the scalar one — same per-plan result bits, same PruneStats —
+  // including at τ values pinned to exact object probabilities.
+  if (!kernels::IsaSupported(kernels::Isa::kAvx2)) {
+    GTEST_SKIP() << "AVX2 not supported on this host";
+  }
+  const kernels::Isa prev = kernels::ActiveIsa();
+  Database db = MakeMixedDb(2, 3, 2, 48, 2026);
+  const QueryWindow window =
+      QueryWindow::FromRanges(kStates, 5, 11, 2, 7).ValueOrDie();
+  QueryExecutor executor(&db, {.num_threads = 1});
+
+  ASSERT_TRUE(kernels::SetActiveIsa(kernels::Isa::kBaseline));
+  const QueryResult all =
+      executor.Run(ThresholdRequest(window, -1.0, PlanChoice::kQueryBased))
+          .ValueOrDie();
+  std::vector<double> taus = {0.05, 0.3, 0.7, 0.95};
+  for (size_t pick : {size_t{0}, all.probabilities.size() / 2}) {
+    taus.push_back(all.probabilities[pick].probability);  // exact boundary
+  }
+
+  for (const double tau : taus) {
+    ASSERT_TRUE(kernels::SetActiveIsa(kernels::Isa::kBaseline));
+    const QueryResult scalar =
+        executor
+            .Run(ThresholdRequest(window, tau, PlanChoice::kBoundsThenRefine))
+            .ValueOrDie();
+    ASSERT_TRUE(kernels::SetActiveIsa(kernels::Isa::kAvx2));
+    const QueryResult vectorized =
+        executor
+            .Run(ThresholdRequest(window, tau, PlanChoice::kBoundsThenRefine))
+            .ValueOrDie();
+
+    ASSERT_EQ(vectorized.probabilities.size(), scalar.probabilities.size())
+        << "tau " << tau;
+    for (size_t i = 0; i < scalar.probabilities.size(); ++i) {
+      EXPECT_EQ(vectorized.probabilities[i].id, scalar.probabilities[i].id);
+      EXPECT_EQ(vectorized.probabilities[i].probability,
+                scalar.probabilities[i].probability)
+          << "tau " << tau << " id " << scalar.probabilities[i].id;
+    }
+    const PruneStats& sp = scalar.stats.prune;
+    const PruneStats& vp = vectorized.stats.prune;
+    EXPECT_EQ(vp.clusters_bounded, sp.clusters_bounded);
+    EXPECT_EQ(vp.clusters_pruned, sp.clusters_pruned);
+    EXPECT_EQ(vp.clusters_refined, sp.clusters_refined);
+    EXPECT_EQ(vp.objects_decided_by_bounds, sp.objects_decided_by_bounds);
+    EXPECT_EQ(vp.objects_refined, sp.objects_refined);
+    EXPECT_EQ(sp.objects_decided_by_bounds + sp.objects_refined,
+              db.num_objects());
+  }
+  kernels::SetActiveIsa(prev);
 }
 
 TEST(BoundsRefinePropertyTest, CancellationMidRefineStopsEarly) {

@@ -14,9 +14,11 @@
 #include <utility>
 #include <vector>
 
+#include "kernels/isa.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/index_set.h"
 #include "sparse/prob_vector.h"
+#include "util/aligned_alloc.h"
 #include "util/rng.h"
 
 namespace ustdb {
@@ -248,6 +250,152 @@ TEST(SpmvKernelsTest, LongPropagationTracksLegacy) {
     ws_ref.MultiplyLegacy(ref, m, &ref);
     ASSERT_LE(v.MaxAbsDiff(ref), kTol) << "diverged at step " << step;
   }
+}
+
+// ---- ISA-dispatch matrix suite ---------------------------------------
+// The same parity contracts, re-run under every supported kernel table.
+// The grid leans on vector-width boundaries: row/vector sizes below, at,
+// and just above the 4- and 8-lane blocks, where masked-tail and unroll
+// bugs live.
+
+/// Forces a kernel ISA for the enclosing scope, restoring the previously
+/// active one on destruction.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(kernels::Isa isa) : prev_(kernels::ActiveIsa()) {
+    forced_ = kernels::SetActiveIsa(isa);
+  }
+  ~ScopedIsa() { kernels::SetActiveIsa(prev_); }
+
+  bool forced() const { return forced_; }
+
+ private:
+  kernels::Isa prev_;
+  bool forced_;
+};
+
+std::vector<kernels::Isa> SupportedIsas() {
+  std::vector<kernels::Isa> isas = {kernels::Isa::kBaseline};
+  if (kernels::IsaSupported(kernels::Isa::kAvx2)) {
+    isas.push_back(kernels::Isa::kAvx2);
+  }
+  return isas;
+}
+
+// Sizes bracketing one and two 4-lane blocks and the 8-wide unroll, plus
+// a long-run size with a 7-entry tail (4095 = 8·511 + 7).
+constexpr uint32_t kTailSizes[] = {1, 7, 8, 9, 15, 16, 17, 4095};
+
+TEST(SpmvKernelsIsaTest, EveryKernelMatchesLegacyUnderEveryIsa) {
+  for (const kernels::Isa isa : SupportedIsas()) {
+    ScopedIsa forced(isa);
+    ASSERT_TRUE(forced.forced()) << kernels::IsaName(isa);
+    util::Rng rng(0xABBA0000 + static_cast<uint64_t>(isa));
+    VecMatWorkspace ws;
+    std::vector<std::pair<uint32_t, double>> entries;
+    for (const uint32_t n : kTailSizes) {
+      // Small sizes get full rows (the contiguous-run fast path); the
+      // long size keeps scattered 12-entry rows (the indexed path).
+      const uint32_t nnz = n <= 17 ? n : 12;
+      const CsrMatrix m = RandomSubStochastic(n, n, nnz, 1.0, &rng);
+      const CsrMatrix mt = m.Transposed();
+      const uint32_t supports[] = {0, 1, n / 3, n};
+      for (const uint32_t support : supports) {
+        for (const bool dense_rep : {false, true}) {
+          const ProbVector x = RandomVector(n, support, dense_rep, &rng);
+          const IndexSet set = RandomSet(n, 0.3, &rng);
+          ProbVector ref;
+          ws.MultiplyLegacy(x, m, &ref);
+
+          ProbVector got;
+          ws.Multiply(x, m, &got);
+          EXPECT_LE(got.MaxAbsDiff(ref), kTol);
+          ws.Multiply(x, m, &got, &mt);
+          EXPECT_LE(got.MaxAbsDiff(ref), kTol);
+
+          ProbVector ref_extract = ref;
+          const double ref_mass = ref_extract.ExtractMassIn(set);
+          EXPECT_NEAR(ws.MultiplyAndMassIn(x, m, set, &got, &mt), ref_mass,
+                      kTol);
+          EXPECT_LE(got.MaxAbsDiff(ref), kTol);
+          EXPECT_NEAR(ws.MultiplyAndExtract(x, m, set, &got, &mt), ref_mass,
+                      kTol);
+          EXPECT_LE(got.MaxAbsDiff(ref_extract), kTol);
+          const double entry_mass =
+              ws.MultiplyAndExtractEntries(x, m, set, &got, &entries, &mt);
+          EXPECT_NEAR(entry_mass, ref_mass, kTol);
+          EXPECT_LE(got.MaxAbsDiff(ref_extract), kTol);
+
+          ProbVector clamped = x;
+          clamped.ExtractMassIn(set);
+          std::vector<std::pair<uint32_t, double>> ones;
+          for (uint32_t s : set) ones.emplace_back(s, 1.0);
+          clamped.AddEntries(ones);
+          ProbVector clamp_ref;
+          ws.MultiplyLegacy(clamped, m, &clamp_ref);
+          ws.MultiplyClamped(x, m, set, &got, &mt);
+          EXPECT_LE(got.MaxAbsDiff(clamp_ref), kTol);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpmvKernelsIsaTest, ForcedIsaRunsAreDeterministic) {
+  util::Rng rng(1234);
+  const CsrMatrix m = RandomSubStochastic(120, 120, 6, 1.0, &rng);
+  const CsrMatrix mt = m.Transposed();
+  const ProbVector x0 = RandomVector(120, 4, false, &rng);
+  for (const kernels::Isa isa : SupportedIsas()) {
+    ScopedIsa forced(isa);
+    ASSERT_TRUE(forced.forced()) << kernels::IsaName(isa);
+    const auto propagate = [&] {
+      VecMatWorkspace ws;
+      ProbVector v = x0;
+      for (int s = 0; s < 30; ++s) ws.Multiply(v, m, &v, &mt);
+      return v.ToDense();
+    };
+    EXPECT_EQ(propagate(), propagate()) << kernels::IsaName(isa);
+  }
+}
+
+TEST(SpmvKernelsIsaTest, ScatterPathsBitIdenticalAcrossIsas) {
+  // The scatter kernels' contract is per-slot mul+add in row order —
+  // stronger than the 1e-12 gather tolerance: with no transpose passed,
+  // Multiply always scatters, and every ISA must produce the baseline's
+  // bits exactly.
+  util::Rng rng(0xBEEF);
+  for (const uint32_t n : kTailSizes) {
+    const CsrMatrix m = RandomSubStochastic(n, n, std::min(n, 8u), 1.0, &rng);
+    for (const bool dense_rep : {false, true}) {
+      const ProbVector x = RandomVector(n, n / 2 + 1, dense_rep, &rng);
+      std::vector<double> baseline_bits;
+      {
+        ScopedIsa forced(kernels::Isa::kBaseline);
+        VecMatWorkspace ws;
+        ProbVector out;
+        ws.Multiply(x, m, &out);
+        baseline_bits = out.ToDense();
+      }
+      for (const kernels::Isa isa : SupportedIsas()) {
+        ScopedIsa forced(isa);
+        VecMatWorkspace ws;
+        ProbVector out;
+        ws.Multiply(x, m, &out);
+        EXPECT_EQ(out.ToDense(), baseline_bits)
+            << kernels::IsaName(isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(AlignedAllocTest, VectorsAreKernelAligned) {
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{100}, size_t{4096}}) {
+    util::AlignedVector<double> v(n, 0.0);
+    EXPECT_TRUE(util::IsKernelAligned(v.data())) << n;
+  }
+  util::AlignedVector<uint32_t> u(37, 0);
+  EXPECT_TRUE(util::IsKernelAligned(u.data()));
 }
 
 TEST(ProbVectorHysteresisTest, CompactKeepsRepresentationInsideBand) {
