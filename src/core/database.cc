@@ -103,6 +103,23 @@ ChainId Database::AddChain(markov::MarkovChain chain) {
   return id;
 }
 
+ChainId Database::AddChainToClusterOf(markov::MarkovChain chain,
+                                      std::optional<ChainId> join) {
+  const ChainId id = static_cast<ChainId>(chains_.size());
+  chains_.push_back(std::move(chain));
+  by_chain_.emplace_back();
+  uint32_t cluster;
+  if (join.has_value()) {
+    cluster = cluster_of_[*join];
+  } else {
+    cluster = static_cast<uint32_t>(clusters_.size());
+    clusters_.push_back({id, {}});
+  }
+  clusters_[cluster].members.push_back(id);
+  cluster_of_.push_back(cluster);
+  return id;
+}
+
 util::Result<ObjectId> Database::AddObject(
     ChainId chain, std::vector<Observation> observations) {
   if (chain >= chains_.size()) {
@@ -126,6 +143,14 @@ util::Result<ObjectId> Database::AddObject(
           "observations must have strictly increasing times");
     }
   }
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back({id, chain, std::move(observations)});
+  by_chain_[chain].push_back(id);
+  return id;
+}
+
+ObjectId Database::ReAddNormalizedObject(
+    ChainId chain, std::vector<Observation> observations) {
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   objects_.push_back({id, chain, std::move(observations)});
   by_chain_[chain].push_back(id);

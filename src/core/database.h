@@ -7,6 +7,7 @@
 #ifndef USTDB_CORE_DATABASE_H_
 #define USTDB_CORE_DATABASE_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/multi_observation.h"
@@ -33,6 +34,15 @@ struct UncertainObject {
 
   /// True when the object has exactly one observation (Section V setting).
   bool single_observation() const { return observations.size() == 1; }
+
+  /// \brief True when the object bypasses both single-observation plans
+  /// and runs the Section VI multi-observation engine: several
+  /// observations, or a single one not at t=0. The executor's census and
+  /// the shard router's global plan census share this rule so their
+  /// ChainLoads can never drift apart.
+  bool needs_multi_observation_engine() const {
+    return !single_observation() || observations.front().time != 0;
+  }
 };
 
 /// \brief One cluster of similar motion models (Section V-C). Clusters are
@@ -61,6 +71,16 @@ class Database {
   /// most kChainClusterL1Threshold, else it starts a new cluster.
   ChainId AddChain(markov::MarkovChain chain);
 
+  /// \brief Registers a motion model with a dictated cluster assignment:
+  /// the chain joins the cluster of existing chain `join`, or founds a new
+  /// cluster when `join` is nullopt. No similarity scan runs. Used by
+  /// ShardedDatabase to mirror the global cluster registry into each
+  /// shard's local Database exactly — the global greedy scan is capped
+  /// (kMaxLeaderScan), so re-running it over a shard's subset of chains
+  /// could place a chain differently than the unsharded registry did.
+  ChainId AddChainToClusterOf(markov::MarkovChain chain,
+                              std::optional<ChainId> join);
+
   /// \brief Adds an object. Observations must be sorted by strictly
   /// increasing time, non-empty, with pdfs matching the chain's state count;
   /// pdfs are normalized on insertion. Returns the new ObjectId.
@@ -71,6 +91,16 @@ class Database {
   util::Result<ObjectId> AddObjectAt(ChainId chain,
                                      sparse::ProbVector initial_pdf,
                                      Timestamp t = 0);
+
+  /// \brief Re-inserts observations that already passed AddObject once,
+  /// bit-exactly: no validation and — critically — no re-normalization,
+  /// since Normalize() scales by 1/Sum() and is not floating-point
+  /// idempotent. Used by ShardedDatabase's rebalance rebuild so a
+  /// migrated object's pdfs keep the exact bits of the original
+  /// insertion. The caller vouches the observations came out of a
+  /// Database with a matching chain dimension.
+  ObjectId ReAddNormalizedObject(ChainId chain,
+                                 std::vector<Observation> observations);
 
   uint32_t num_objects() const {
     return static_cast<uint32_t>(objects_.size());

@@ -18,20 +18,10 @@ namespace core {
 namespace {
 
 /// Multi-observation objects (or single observations not at t=0) bypass
-/// both single-observation plans and run the Section VI engine.
+/// both single-observation plans and run the Section VI engine. The rule
+/// lives on UncertainObject so the shard router's census matches exactly.
 bool NeedsMultiObservation(const UncertainObject& obj) {
-  return !obj.single_observation() || obj.observations.front().time != 0;
-}
-
-/// The cluster bound pass propagates over the inclusive range
-/// [t_begin, t_end], so it is sound only when the window's time set is
-/// exactly that range. Checks the degenerate empty window first (its
-/// t_begin()/t_end() are undefined) and compares span against count in a
-/// form that cannot wrap unsigned arithmetic.
-bool HasContiguousTimes(const QueryWindow& window) {
-  if (window.num_times() == 0) return false;
-  return window.t_end() - window.t_begin() ==
-         static_cast<Timestamp>(window.num_times() - 1);
+  return obj.needs_multi_observation_engine();
 }
 
 /// Groups of a batch are keyed by the content of the effective window
@@ -299,7 +289,7 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   if (request.predicate == PredicateKind::kThresholdExists &&
       (request.plan == PlanChoice::kAuto ||
        request.plan == PlanChoice::kBoundsThenRefine)) {
-    if (!HasContiguousTimes(window)) {
+    if (!window.has_contiguous_times()) {
       if (request.plan == PlanChoice::kBoundsThenRefine) {
         ++result.stats.prune.bound_fallbacks;
       }
@@ -785,7 +775,7 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
       if (request.predicate != PredicateKind::kThresholdExists) continue;
       const bool forced = request.plan == PlanChoice::kBoundsThenRefine;
       if (!forced && request.plan != PlanChoice::kAuto) continue;
-      if (!HasContiguousTimes(group.window)) {
+      if (!group.window.has_contiguous_times()) {
         if (forced) ++member.prune.bound_fallbacks;
         continue;
       }

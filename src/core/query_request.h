@@ -46,6 +46,13 @@ enum class Plan {
 /// PruneStats::bound_fallbacks.
 enum class PlanChoice {
   kAuto,
+  /// Cost-based per-chain selection that never considers the
+  /// whole-request kBoundsThenRefine plan. The shard router pins this on
+  /// threshold sub-requests after deciding bound-vs-per-chain globally:
+  /// the bound plan's break-even sums over every chain of the request,
+  /// so re-deciding it per shard could diverge from the unsharded
+  /// pipeline. For every other predicate it behaves exactly like kAuto.
+  kAutoPerChain,
   kObjectBased,
   kQueryBased,
   kBoundsThenRefine,

@@ -56,6 +56,17 @@ class QueryWindow {
   /// |T□| — number of query timestamps (the K of PSTkQ).
   uint32_t num_times() const { return static_cast<uint32_t>(times_.size()); }
 
+  /// \brief True when T□ is exactly the inclusive range [t_begin(),
+  /// t_end()] — the only time-set shape the Section V-C cluster bound
+  /// pass can propagate over, so both the executor and the shard router
+  /// gate bound-plan eligibility on it. Checks the degenerate empty
+  /// window first (its t_begin()/t_end() are undefined) and compares
+  /// span against count in a form that cannot wrap unsigned arithmetic.
+  bool has_contiguous_times() const {
+    if (times_.empty()) return false;
+    return t_end() - t_begin() == static_cast<Timestamp>(times_.size() - 1);
+  }
+
   /// \brief Same times, complemented region (S \ S□) — the reduction PST∀Q
   /// uses: P∀(S□, T□) = 1 − P∃(S\S□, T□).
   QueryWindow WithComplementRegion() const;

@@ -1,0 +1,209 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ustdb {
+namespace core {
+
+namespace {
+
+/// Load contribution of one object of `chain`: the transition-matrix nnz,
+/// the factor both evaluation plans' pass costs scale with.
+uint64_t ChainWeight(const Database& db, ChainId chain) {
+  return static_cast<uint64_t>(db.chain(chain).matrix().nnz());
+}
+
+}  // namespace
+
+ShardedDatabase::ShardedDatabase(ShardingOptions options)
+    : options_(options) {
+  shards_.resize(ResolveNumShards(options.num_shards));
+}
+
+uint32_t ShardedDatabase::ResolveNumShards(uint32_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("USTDB_SHARDS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 4096) {
+      return static_cast<uint32_t>(value);
+    }
+  }
+  return 1;
+}
+
+ChainId ShardedDatabase::AddChain(markov::MarkovChain chain) {
+  // The routing db runs the real greedy similarity scan, so its registry
+  // (and every ChainId) is bit-identical to the unsharded pipeline's.
+  const ChainId global = routing_db_.AddChain(std::move(chain));
+  const uint32_t cluster = routing_db_.cluster_of(global);
+
+  uint32_t target;
+  if (cluster == cluster_shard_.size()) {
+    // New cluster: found it on the least loaded shard.
+    target = 0;
+    for (uint32_t s = 1; s < num_shards(); ++s) {
+      if (shards_[s].load < shards_[target].load) target = s;
+    }
+    cluster_shard_.push_back(target);
+  } else {
+    // Existing cluster: co-location is the invariant every cross-shard
+    // guarantee rests on (bound passes never straddle shards).
+    target = cluster_shard_[cluster];
+  }
+
+  chain_shard_.push_back(target);
+  chain_local_.push_back(0);  // filled by PlaceChain
+  PlaceChain(target, global);
+  return global;
+}
+
+void ShardedDatabase::PlaceChain(uint32_t s, ChainId global_chain) {
+  Shard& shard = shards_[s];
+  const uint32_t cluster = routing_db_.cluster_of(global_chain);
+  const ChainCluster& info = routing_db_.chain_clusters()[cluster];
+  // Members are ascending, so the leader (front) is already local unless
+  // this chain IS the leader founding the cluster.
+  std::optional<ChainId> join;
+  if (info.members.front() != global_chain) {
+    join = chain_local_[info.members.front()];
+  }
+  const ChainId local = shard.db.AddChainToClusterOf(
+      markov::MarkovChain(routing_db_.chain(global_chain)), join);
+  chain_local_[global_chain] = local;
+  shard.global_chains.push_back(global_chain);
+}
+
+util::Result<ObjectId> ShardedDatabase::AddObject(
+    ChainId chain, std::vector<Observation> observations) {
+  // Replicate the unsharded error (with the *global* id) before routing:
+  // the shard Database would otherwise report a local id.
+  if (chain >= num_chains()) {
+    return util::Status::NotFound(
+        util::StringPrintf("chain %u does not exist", chain));
+  }
+  const uint32_t s = chain_shard_[chain];
+  Shard& shard = shards_[s];
+  ObjectId local;
+  USTDB_ASSIGN_OR_RETURN(
+      local, shard.db.AddObject(chain_local_[chain], std::move(observations)));
+  const ObjectId global = static_cast<ObjectId>(object_shard_.size());
+  object_shard_.push_back(s);
+  object_local_.push_back(local);
+  shard.global_objects.push_back(global);
+  shard.load += ChainWeight(routing_db_, chain);
+  MaybeRebalance();
+  return global;
+}
+
+util::Result<ObjectId> ShardedDatabase::AddObjectAt(
+    ChainId chain, sparse::ProbVector initial_pdf, Timestamp t) {
+  std::vector<Observation> obs;
+  obs.push_back({t, std::move(initial_pdf)});
+  return AddObject(chain, std::move(obs));
+}
+
+void ShardedDatabase::MaybeRebalance() {
+  if (num_shards() < 2) return;
+  uint64_t total = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    total += shards_[s].load;
+    if (shards_[s].load > shards_[src].load) src = s;
+    if (shards_[s].load < shards_[dst].load) dst = s;
+  }
+  if (total == 0 || src == dst) return;
+  const double ideal = static_cast<double>(total) / num_shards();
+  const double factor = std::max(1.0, options_.load_factor);
+  const uint64_t src_load = shards_[src].load;
+  const uint64_t dst_load = shards_[dst].load;
+  if (static_cast<double>(src_load) <= factor * ideal) return;
+
+  // Per-cluster load resident on the overloaded shard.
+  std::map<uint32_t, uint64_t> cluster_load;
+  const Shard& shard = shards_[src];
+  for (ObjectId local = 0; local < shard.db.num_objects(); ++local) {
+    const ChainId global_chain =
+        shard.global_chains[shard.db.object(local).chain];
+    cluster_load[routing_db_.cluster_of(global_chain)] +=
+        ChainWeight(routing_db_, global_chain);
+  }
+
+  // Pick the cluster whose weight lands closest to half the load gap —
+  // the move that minimizes max(src - w, dst + w) — requiring a strict
+  // improvement so a shard holding one giant cluster stays put.
+  const uint64_t half_gap = (src_load - dst_load) / 2;
+  bool found = false;
+  uint32_t best_cluster = 0;
+  uint64_t best_distance = 0;
+  for (const auto& [cluster, weight] : cluster_load) {
+    if (weight == 0 || dst_load + weight >= src_load) continue;
+    const uint64_t distance =
+        weight > half_gap ? weight - half_gap : half_gap - weight;
+    if (!found || distance < best_distance) {
+      found = true;
+      best_cluster = cluster;
+      best_distance = distance;
+    }
+  }
+  if (!found) return;
+
+  // Snapshot both shards' objects (the rebuild discards their Databases),
+  // flip the membership maps, and rebuild. Global ids never change.
+  std::vector<ObjectSnapshot> snapshot;
+  for (uint32_t s : {src, dst}) {
+    const Shard& sh = shards_[s];
+    for (ObjectId local = 0; local < sh.db.num_objects(); ++local) {
+      const UncertainObject& obj = sh.db.object(local);
+      snapshot.push_back({sh.global_objects[local],
+                          sh.global_chains[obj.chain], obj.observations});
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const ObjectSnapshot& a, const ObjectSnapshot& b) {
+              return a.global < b.global;
+            });
+  for (ChainId member :
+       routing_db_.chain_clusters()[best_cluster].members) {
+    chain_shard_[member] = dst;
+  }
+  for (const ObjectSnapshot& obj : snapshot) {
+    if (routing_db_.cluster_of(obj.chain) == best_cluster) {
+      object_shard_[obj.global] = dst;
+    }
+  }
+  cluster_shard_[best_cluster] = dst;
+  RebuildShard(src, snapshot);
+  RebuildShard(dst, snapshot);
+  ++rebalances_;
+  if (rebalance_listener_) rebalance_listener_(src, dst);
+}
+
+void ShardedDatabase::RebuildShard(
+    uint32_t s, const std::vector<ObjectSnapshot>& snapshot) {
+  shards_[s] = Shard{};
+  for (ChainId g = 0; g < num_chains(); ++g) {
+    if (chain_shard_[g] == s) PlaceChain(s, g);
+  }
+  Shard& shard = shards_[s];
+  for (const ObjectSnapshot& obj : snapshot) {
+    if (object_shard_[obj.global] != s) continue;
+    // Bit-exact reinsertion: these observations already passed AddObject
+    // once, and running Normalize() again would perturb their low bits
+    // (it scales by 1/Sum()), breaking result parity with the unsharded
+    // pipeline after a migration.
+    const ObjectId local = shard.db.ReAddNormalizedObject(
+        chain_local_[obj.chain], obj.observations);
+    object_local_[obj.global] = local;
+    shard.global_objects.push_back(obj.global);
+    shard.load += ChainWeight(routing_db_, obj.chain);
+  }
+}
+
+}  // namespace core
+}  // namespace ustdb

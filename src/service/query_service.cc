@@ -1,20 +1,26 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <deque>
+#include <map>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "core/planner.h"
 #include "util/cancellation.h"
+#include "util/parallel_for.h"
 
 namespace ustdb {
 namespace service {
 
 namespace {
 
-/// Completed-request latencies kept for the percentile estimates: large
-/// enough that p99 is meaningful, small enough that a long-lived service
-/// never grows.
+/// Completed-request latencies kept per shard for the percentile
+/// estimates: large enough that p99 is meaningful, small enough that a
+/// long-lived service never grows.
 constexpr size_t kLatencyReservoir = 4096;
 
 using Clock = std::chrono::steady_clock;
@@ -25,8 +31,9 @@ namespace internal {
 
 /// Shared state behind one ticket: the pending request, its cancellation
 /// source, and the one-shot outcome slot. `mu` guards outcome/resolved/
-/// taken; the request itself is written at submit and read only by the
-/// dispatcher afterwards.
+/// taken; the request itself is written at submit and — in sharded mode,
+/// where the router keeps it for merge metadata (object_filter) — read
+/// only by merging dispatchers afterwards.
 struct TicketState {
   std::mutex mu;
   std::condition_variable cv;
@@ -38,10 +45,63 @@ struct TicketState {
   core::QueryRequest request;
   Priority priority = Priority::kInteractive;
   Clock::time_point submitted_at;
+  /// Stashed copy of request.deadline: in legacy mode the request moves
+  /// into its identity sub at routing, before the submit-time deadline
+  /// check runs.
+  std::optional<Clock::time_point> deadline;
 };
+
+/// One per-shard sub-request of a routed parent plus the metadata its
+/// result needs to merge back.
+struct SubRoute {
+  uint32_t shard = 0;
+  core::QueryRequest request;  // moved out by the dispatcher that runs it
+  /// Position predicates (kExists / kForAll / kKTimes): parent result
+  /// position of each sub result entry, in the sub's evaluation order.
+  /// Unused (empty) for the sort-merged predicates.
+  std::vector<ObjectId> positions;
+};
+
+/// Scatter-gather state of one parent request: one slot per sub, filled
+/// by shard dispatchers; the dispatcher completing the last sub merges
+/// and resolves the parent on its own thread (the slot writes
+/// happen-before the merge via the acq_rel countdown).
+struct GatherState {
+  std::shared_ptr<TicketState> parent;
+  /// Legacy single-executor mode: one sub, pass the outcome through
+  /// untouched (no id translation, no stats merge).
+  bool identity = false;
+  /// The router pinned kAutoPerChain because a forced kBoundsThenRefine
+  /// request had an ineligible (non-contiguous) window; the merge adds
+  /// the single bound_fallbacks increment the unsharded executor would
+  /// have recorded.
+  bool add_bound_fallback = false;
+  std::vector<SubRoute> subs;
+  std::vector<std::optional<util::Result<core::QueryResult>>> results;
+  std::atomic<size_t> remaining{0};
+};
+
+LatencyPercentiles MergeLatencyPercentiles(
+    const std::vector<std::vector<double>>& reservoirs) {
+  std::vector<double> pool;
+  for (const std::vector<double>& reservoir : reservoirs) {
+    pool.insert(pool.end(), reservoir.begin(), reservoir.end());
+  }
+  LatencyPercentiles out;
+  if (pool.empty()) return out;
+  std::sort(pool.begin(), pool.end());
+  const auto at = [&pool](double q) {
+    return pool[static_cast<size_t>(q * (pool.size() - 1))];
+  };
+  out.p50_ms = at(0.50);
+  out.p99_ms = at(0.99);
+  return out;
+}
 
 }  // namespace internal
 
+using internal::GatherState;
+using internal::SubRoute;
 using internal::TicketState;
 
 // ---------------------------------------------------------------------------
@@ -80,8 +140,31 @@ util::Result<core::QueryResult> QueryTicket::Get() {
 }
 
 // ---------------------------------------------------------------------------
-// QueryService
+// QueryService internals
 // ---------------------------------------------------------------------------
+
+/// One queued entry of a shard lane: which sub of which gather to run.
+struct QueryService::ShardTask {
+  std::shared_ptr<GatherState> gather;
+  size_t sub_index = 0;
+};
+
+/// Everything one shard owns: its executor (cache + worker slice), its
+/// two-lane queue (guarded by the service-wide queue_mu_), its dispatcher
+/// thread, and its telemetry (guarded by stats_mu_).
+struct QueryService::ShardLane {
+  core::QueryExecutor executor;  // dispatcher thread only
+  std::condition_variable work_cv;
+  std::deque<ShardTask> lanes[2];
+  std::thread dispatcher;
+
+  core::EngineCacheStats cache_snapshot;
+  std::vector<double> latencies_ms;  // bounded reservoir, ring-indexed
+  size_t latency_next = 0;
+
+  ShardLane(const core::Database* db, core::ExecutorOptions options)
+      : executor(db, options) {}
+};
 
 namespace {
 
@@ -91,13 +174,63 @@ ServiceOptions Sanitize(ServiceOptions options) {
   return options;
 }
 
+/// Field-wise merge of per-shard ExecStats into the parent's: counters
+/// sum (each shard's work is disjoint — co-located clusters make even the
+/// PruneStats sums equal the unsharded run's), threads_used sums the
+/// shard slices, batch_group_members takes the max (groups never span
+/// shards, so "largest group this request shared" is the honest global
+/// reading).
+void AccumulateStats(const core::ExecStats& in, core::ExecStats* out) {
+  out->chains_object_based += in.chains_object_based;
+  out->chains_query_based += in.chains_query_based;
+  out->objects_evaluated += in.objects_evaluated;
+  out->objects_multi_observation += in.objects_multi_observation;
+  out->threads_used += in.threads_used;
+  out->cache_hits += in.cache_hits;
+  out->cache_misses += in.cache_misses;
+  out->cache_evictions += in.cache_evictions;
+  out->batch_group_members =
+      std::max(out->batch_group_members, in.batch_group_members);
+  out->group_subtasks += in.group_subtasks;
+  out->prune.clusters_total += in.prune.clusters_total;
+  out->prune.clusters_bounded += in.prune.clusters_bounded;
+  out->prune.clusters_pruned += in.prune.clusters_pruned;
+  out->prune.clusters_refined += in.prune.clusters_refined;
+  out->prune.objects_decided_by_bounds += in.prune.objects_decided_by_bounds;
+  out->prune.objects_refined += in.prune.objects_refined;
+  out->prune.objects_decided_early += in.prune.objects_decided_early;
+  out->prune.bound_fallbacks += in.prune.bound_fallbacks;
+}
+
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------------
+
 QueryService::QueryService(const core::Database* db, ServiceOptions options)
-    : options_(Sanitize(options)),
-      executor_(db, options.executor),
-      paused_(options.start_paused) {
-  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+    : db_(db), options_(Sanitize(options)), paused_(options.start_paused) {
+  shards_.push_back(std::make_unique<ShardLane>(db, options_.executor));
+  shards_[0]->dispatcher = std::thread([this] { DispatcherLoop(0); });
+}
+
+QueryService::QueryService(const core::ShardedDatabase* db,
+                           ServiceOptions options)
+    : sharded_(db), options_(Sanitize(options)), paused_(options.start_paused) {
+  // Slice the worker budget evenly: ExecutorOptions::num_threads is the
+  // TOTAL (0 = hardware default), each shard executor gets its share,
+  // never less than one worker.
+  core::ExecutorOptions per_shard = options_.executor;
+  const unsigned total = util::ResolveThreadCount(per_shard.num_threads);
+  const uint32_t num_shards = std::max(1u, db->num_shards());
+  per_shard.num_threads = std::max(1u, total / num_shards);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<ShardLane>(&db->shard(s), per_shard));
+  }
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s]->dispatcher = std::thread([this, s] { DispatcherLoop(s); });
+  }
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -107,6 +240,7 @@ std::shared_ptr<TicketState> QueryService::PrepareState(
   auto state = std::make_shared<TicketState>();
   state->priority = priority;
   state->submitted_at = Clock::now();
+  state->deadline = request.deadline;
   // Link the ticket's source beneath any caller-supplied token: both
   // QueryTicket::Cancel() and the caller's own source stop the run.
   state->cancel = util::CancellationSource(request.cancel);
@@ -119,29 +253,173 @@ std::shared_ptr<TicketState> QueryService::PrepareState(
   return state;
 }
 
-util::Status QueryService::TryEnqueueLocked(
+util::Status QueryService::BuildRoute(
     const std::shared_ptr<TicketState>& state,
+    std::shared_ptr<GatherState>* out) const {
+  auto gather = std::make_shared<GatherState>();
+  gather->parent = state;
+
+  if (sharded_ == nullptr) {
+    // Legacy single-executor mode: one identity sub; the executor sees
+    // the caller's request verbatim (filter validation included).
+    gather->identity = true;
+    SubRoute sub;
+    sub.shard = 0;
+    sub.request = std::move(state->request);
+    gather->subs.push_back(std::move(sub));
+  } else {
+    const core::QueryRequest& req = state->request;
+    const uint32_t num_shards = sharded_->num_shards();
+    const bool filtered = req.object_filter.has_value();
+
+    // Bucket the evaluated set per shard, translating global object ids
+    // to shard-local ones and remembering each entry's parent result
+    // position. Without a filter every shard evaluates its whole local
+    // database, whose local order IS ascending global order.
+    std::vector<std::vector<ObjectId>> filters(num_shards);
+    std::vector<std::vector<ObjectId>> positions(num_shards);
+    if (filtered) {
+      for (size_t p = 0; p < req.object_filter->size(); ++p) {
+        const ObjectId global = (*req.object_filter)[p];
+        if (global >= sharded_->num_objects()) {
+          // Same error the executor reports on an untranslatable filter.
+          return util::Status::InvalidArgument(
+              "object_filter references an id outside the database");
+        }
+        const uint32_t s = sharded_->shard_of_object(global);
+        filters[s].push_back(sharded_->local_object(global));
+        positions[s].push_back(static_cast<ObjectId>(p));
+      }
+    } else {
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        const uint32_t n = sharded_->shard(s).num_objects();
+        positions[s].reserve(n);
+        for (ObjectId local = 0; local < n; ++local) {
+          positions[s].push_back(sharded_->global_object(s, local));
+        }
+      }
+    }
+
+    // Whole-request plan decision for kThresholdExists, made ONCE from
+    // the global view: ChooseThresholdPlan's break-even sums over every
+    // chain of the request, so per-shard re-decisions could diverge from
+    // the unsharded pipeline. Sub-requests get the outcome pinned —
+    // kBoundsThenRefine (forced; each shard bounds its own co-located
+    // clusters) or kAutoPerChain (per-chain cost model, never the
+    // whole-request bound plan).
+    core::PlanChoice pinned = req.plan;
+    bool add_fallback = false;
+    if (req.predicate == core::PredicateKind::kThresholdExists &&
+        (req.plan == core::PlanChoice::kAuto ||
+         req.plan == core::PlanChoice::kBoundsThenRefine)) {
+      if (!req.window.has_contiguous_times()) {
+        // The executor would fall back to per-chain planning; a forced
+        // bound plan records the fallback exactly once at merge.
+        add_fallback = req.plan == core::PlanChoice::kBoundsThenRefine;
+        pinned = core::PlanChoice::kAutoPerChain;
+      } else if (req.plan == core::PlanChoice::kAuto) {
+        std::map<ChainId, uint32_t> load_map;
+        for (uint32_t s = 0; s < num_shards; ++s) {
+          const core::Database& shard_db = sharded_->shard(s);
+          const size_t n =
+              filtered ? filters[s].size() : shard_db.num_objects();
+          for (size_t i = 0; i < n; ++i) {
+            const ObjectId local =
+                filtered ? filters[s][i] : static_cast<ObjectId>(i);
+            const core::UncertainObject& obj = shard_db.object(local);
+            if (obj.needs_multi_observation_engine()) continue;
+            ++load_map[sharded_->global_chain(s, obj.chain)];
+          }
+        }
+        std::vector<core::ChainLoad> loads;
+        loads.reserve(load_map.size());
+        for (const auto& [chain, count] : load_map) {
+          loads.push_back({chain, count});
+        }
+        const core::QueryPlanner planner(&sharded_->routing_db());
+        const core::PlanDecision decision = planner.ChooseThresholdPlan(
+            req.window, req.matrix_mode, req.plan, loads);
+        pinned = decision.plan == core::Plan::kBoundsThenRefine
+                     ? core::PlanChoice::kBoundsThenRefine
+                     : core::PlanChoice::kAutoPerChain;
+      }
+    }
+    gather->add_bound_fallback = add_fallback;
+
+    const auto make_sub = [&](uint32_t s) {
+      SubRoute sub;
+      sub.shard = s;
+      sub.request.predicate = req.predicate;
+      sub.request.window = req.window;
+      sub.request.tau = req.tau;
+      sub.request.k = req.k;
+      sub.request.plan = pinned;
+      sub.request.matrix_mode = req.matrix_mode;
+      if (filtered) sub.request.object_filter = std::move(filters[s]);
+      sub.request.cancel = req.cancel;  // the parent-linked token
+      sub.request.deadline = req.deadline;
+      sub.positions = std::move(positions[s]);
+      return sub;
+    };
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      const bool has_work =
+          filtered ? !filters[s].empty() : sharded_->shard(s).num_objects() > 0;
+      if (has_work) gather->subs.push_back(make_sub(s));
+    }
+    if (gather->subs.empty()) {
+      // Empty database or empty filter: one empty sub against shard 0
+      // produces the executor's empty result (and its stats) verbatim.
+      gather->subs.push_back(make_sub(0));
+    }
+  }
+
+  gather->results.resize(gather->subs.size());
+  gather->remaining.store(gather->subs.size(), std::memory_order_relaxed);
+  *out = std::move(gather);
+  return util::Status::OK();
+}
+
+util::Status QueryService::TryEnqueueLocked(
+    const std::shared_ptr<GatherState>& gather, Priority priority,
     std::unique_lock<std::mutex>* lock, bool allow_block) {
   if (stopping_) {
     return util::Status::Unavailable("query service is shut down");
   }
-  auto& lane = lanes_[static_cast<int>(state->priority)];
-  if (lane.size() >= options_.queue_capacity) {
+  const int lane = static_cast<int>(priority);
+  // All-or-nothing admission: every target shard's lane needs a slot (at
+  // most one sub per shard), or the whole request rejects/blocks.
+  const auto has_space = [this, &gather, lane] {
+    for (const SubRoute& sub : gather->subs) {
+      if (shards_[sub.shard]->lanes[lane].size() >= options_.queue_capacity) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!has_space()) {
     if (options_.backpressure == BackpressurePolicy::kReject ||
         !allow_block) {
       return util::Status::Unavailable("submission queue full");
     }
-    space_cv_.wait(*lock, [this, &lane] {
-      return stopping_ || lane.size() < options_.queue_capacity;
+    space_cv_.wait(*lock, [this, &has_space] {
+      return stopping_ || has_space();
     });
     if (stopping_) {
       return util::Status::Unavailable("query service is shut down");
     }
   }
-  lane.push_back(state);
-  queue_peak_ =
-      std::max(queue_peak_, lanes_[0].size() + lanes_[1].size());
+  for (size_t i = 0; i < gather->subs.size(); ++i) {
+    shards_[gather->subs[i].shard]->lanes[lane].push_back(
+        ShardTask{gather, i});
+  }
+  queue_peak_ = std::max(queue_peak_, QueueDepthLocked());
   return util::Status::OK();
+}
+
+void QueryService::NotifyTargets(const GatherState& gather) {
+  for (const SubRoute& sub : gather.subs) {
+    shards_[sub.shard]->work_cv.notify_one();
+  }
 }
 
 QueryTicket QueryService::Submit(core::QueryRequest request,
@@ -150,26 +428,38 @@ QueryTicket QueryService::Submit(core::QueryRequest request,
       PrepareState(std::move(request), priority);
   QueryTicket ticket{std::shared_ptr<TicketState>(state)};
 
-  // Shutdown outranks the deadline check: after Shutdown() *every*
-  // submission resolves Unavailable, even one that is also expired.
+  std::shared_ptr<GatherState> gather;
+  util::Status route = BuildRoute(state, &gather);
+
+  // Shutdown outranks the deadline check, which outranks routing errors:
+  // after Shutdown() *every* submission resolves Unavailable, even one
+  // that is also expired or unroutable.
   util::Status enqueue = util::Status::OK();
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     if (stopping_) {
       enqueue = util::Status::Unavailable("query service is shut down");
-    } else if (state->request.deadline.has_value() &&
-               Clock::now() >= *state->request.deadline) {
+    } else if (state->deadline.has_value() &&
+               Clock::now() >= *state->deadline) {
       enqueue = util::Status::DeadlineExceeded(
           "deadline already passed at submission");
+    } else if (!route.ok()) {
+      enqueue = std::move(route);
     } else {
-      enqueue = TryEnqueueLocked(state, &lock, /*allow_block=*/true);
+      enqueue = TryEnqueueLocked(gather, priority, &lock,
+                                 /*allow_block=*/true);
     }
   }
   if (!enqueue.ok()) {
-    Resolve(state, std::move(enqueue));
+    Resolve(state, std::move(enqueue), /*latency_shard=*/0);
     return ticket;
   }
-  work_cv_.notify_one();
+  if (gather->subs.size() >= 2) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.scatter_requests;
+    stats_.scatter_subtasks += gather->subs.size();
+  }
+  NotifyTargets(*gather);
   return ticket;
 }
 
@@ -184,9 +474,19 @@ std::vector<QueryTicket> QueryService::SubmitBurst(
     tickets.push_back(QueryTicket{states.back()});
   }
 
-  // One queue lock for the whole burst: the dispatcher sees either none or
-  // all of it, so an idle service drains the burst as one coalesced batch.
+  // Route outside the lock (translation and plan pinning are pure), then
+  // take one queue lock for the whole burst: the dispatchers see either
+  // none or all of it, so an idle service drains the burst as one
+  // coalesced batch per shard.
+  std::vector<std::shared_ptr<GatherState>> gathers(states.size());
+  std::vector<util::Status> routes;
+  routes.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    routes.push_back(BuildRoute(states[i], &gathers[i]));
+  }
+
   std::vector<std::pair<size_t, util::Status>> failures;
+  std::vector<size_t> admitted;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     for (size_t i = 0; i < states.size(); ++i) {
@@ -197,36 +497,52 @@ std::vector<QueryTicket> QueryService::SubmitBurst(
             i, util::Status::Unavailable("query service is shut down"));
         continue;
       }
-      if (states[i]->request.deadline.has_value() &&
-          Clock::now() >= *states[i]->request.deadline) {
+      if (states[i]->deadline.has_value() &&
+          Clock::now() >= *states[i]->deadline) {
         failures.emplace_back(i, util::Status::DeadlineExceeded(
                                      "deadline already passed at submission"));
         continue;
       }
-      if (util::Status s =
-              TryEnqueueLocked(states[i], &lock, /*allow_block=*/false);
+      if (!routes[i].ok()) {
+        failures.emplace_back(i, std::move(routes[i]));
+        continue;
+      }
+      if (util::Status s = TryEnqueueLocked(gathers[i], priority, &lock,
+                                           /*allow_block=*/false);
           !s.ok()) {
         failures.emplace_back(i, std::move(s));
+        continue;
+      }
+      admitted.push_back(i);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (size_t i : admitted) {
+      if (gathers[i]->subs.size() >= 2) {
+        ++stats_.scatter_requests;
+        stats_.scatter_subtasks += gathers[i]->subs.size();
       }
     }
   }
-  work_cv_.notify_one();
+  for (size_t i : admitted) NotifyTargets(*gathers[i]);
   for (auto& [index, status] : failures) {
-    Resolve(states[index], std::move(status));
+    Resolve(states[index], std::move(status), /*latency_shard=*/0);
   }
   return tickets;
 }
 
-void QueryService::DispatcherLoop() {
+void QueryService::DispatcherLoop(uint32_t shard) {
+  ShardLane& lane = *shards_[shard];
   for (;;) {
-    std::vector<std::shared_ptr<TicketState>> taken;
+    std::vector<ShardTask> taken;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      work_cv_.wait(lock, [this] {
-        return stopping_ ||
-               (!paused_ && (!lanes_[0].empty() || !lanes_[1].empty()));
+      lane.work_cv.wait(lock, [this, &lane] {
+        return stopping_ || (!paused_ && (!lane.lanes[0].empty() ||
+                                          !lane.lanes[1].empty()));
       });
-      if (lanes_[0].empty() && lanes_[1].empty()) {
+      if (lane.lanes[0].empty() && lane.lanes[1].empty()) {
         if (stopping_) return;
         continue;  // spurious or pause-toggle wake
       }
@@ -234,48 +550,56 @@ void QueryService::DispatcherLoop() {
       // never crosses lanes, so a batched dispatch cannot make an
       // interactive ticket wait on bulk members' engines. Shutdown drains
       // the same way, iterating until both lanes are empty.
-      auto& lane = lanes_[0].empty() ? lanes_[1] : lanes_[0];
+      auto& queue = lane.lanes[0].empty() ? lane.lanes[1] : lane.lanes[0];
       const size_t want = options_.coalesce ? options_.max_batch : 1;
-      while (taken.size() < want && !lane.empty()) {
-        taken.push_back(std::move(lane.front()));
-        lane.pop_front();
+      while (taken.size() < want && !queue.empty()) {
+        taken.push_back(std::move(queue.front()));
+        queue.pop_front();
       }
     }
     space_cv_.notify_all();
-    Dispatch(std::move(taken));
+    Dispatch(shard, std::move(taken));
   }
 }
 
-void QueryService::Dispatch(std::vector<std::shared_ptr<TicketState>> taken) {
-  // Resolve tickets that went stale while queued without paying for
+void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
+  // Resolve entries that went stale while queued without paying for
   // engines: cancel-before-dequeue and expire-in-queue land here.
   const Clock::time_point now = Clock::now();
-  std::vector<std::shared_ptr<TicketState>> runnable;
+  std::vector<ShardTask> runnable;
   runnable.reserve(taken.size());
-  for (std::shared_ptr<TicketState>& state : taken) {
-    if (state->cancel.stop_requested()) {
-      Resolve(state, util::Status::Cancelled("query cancelled while queued"));
+  for (ShardTask& task : taken) {
+    const TicketState& parent = *task.gather->parent;
+    const core::QueryRequest& sub =
+        task.gather->subs[task.sub_index].request;
+    if (parent.cancel.stop_requested()) {
+      CompleteSub(task.gather, task.sub_index,
+                  util::Status::Cancelled("query cancelled while queued"),
+                  shard);
       continue;
     }
-    if (state->request.deadline.has_value() &&
-        now >= *state->request.deadline) {
-      Resolve(state, util::Status::DeadlineExceeded(
-                         "query deadline passed while queued"));
+    if (sub.deadline.has_value() && now >= *sub.deadline) {
+      CompleteSub(task.gather, task.sub_index,
+                  util::Status::DeadlineExceeded(
+                      "query deadline passed while queued"),
+                  shard);
       continue;
     }
-    runnable.push_back(std::move(state));
+    runnable.push_back(std::move(task));
   }
   if (runnable.empty()) return;
 
+  ShardLane& lane = *shards_[shard];
   if (runnable.size() == 1) {
+    ShardTask& task = runnable.front();
     util::Result<core::QueryResult> result =
-        executor_.Run(runnable.front()->request);
+        lane.executor.Run(task.gather->subs[task.sub_index].request);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.solo_dispatches;
-      cache_snapshot_ = executor_.cache_stats();
+      lane.cache_snapshot = lane.executor.cache_stats();
     }
-    Resolve(runnable.front(), std::move(result));
+    CompleteSub(task.gather, task.sub_index, std::move(result), shard);
     return;
   }
 
@@ -284,24 +608,157 @@ void QueryService::Dispatch(std::vector<std::shared_ptr<TicketState>> taken) {
   // same-window subset shares one backward pass per chain.
   std::vector<core::QueryRequest> requests;
   requests.reserve(runnable.size());
-  for (std::shared_ptr<TicketState>& state : runnable) {
-    requests.push_back(std::move(state->request));
+  for (ShardTask& task : runnable) {
+    requests.push_back(std::move(task.gather->subs[task.sub_index].request));
   }
   std::vector<util::Result<core::QueryResult>> results =
-      executor_.RunBatch(requests);
+      lane.executor.RunBatch(requests);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.coalesced_batches;
     stats_.coalesced_requests += runnable.size();
-    cache_snapshot_ = executor_.cache_stats();
+    lane.cache_snapshot = lane.executor.cache_stats();
   }
   for (size_t i = 0; i < runnable.size(); ++i) {
-    Resolve(runnable[i], std::move(results[i]));
+    CompleteSub(runnable[i].gather, runnable[i].sub_index,
+                std::move(results[i]), shard);
   }
 }
 
+void QueryService::CompleteSub(const std::shared_ptr<GatherState>& gather,
+                               size_t sub_index,
+                               util::Result<core::QueryResult> outcome,
+                               uint32_t shard) {
+  gather->results[sub_index].emplace(std::move(outcome));
+  // acq_rel: the slot write above happens-before the merging thread's
+  // reads of every slot.
+  if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    MergeAndResolve(gather, shard);
+  }
+}
+
+void QueryService::MergeAndResolve(
+    const std::shared_ptr<GatherState>& gather, uint32_t shard) {
+  // Any sub failure fails the parent; the lowest sub index (= lowest
+  // target shard) wins so concurrent failures resolve deterministically.
+  for (std::optional<util::Result<core::QueryResult>>& slot :
+       gather->results) {
+    if (!slot->ok()) {
+      Resolve(gather->parent, std::move(*slot), shard);
+      return;
+    }
+  }
+  if (gather->identity) {
+    Resolve(gather->parent, std::move(*gather->results.front()), shard);
+    return;
+  }
+
+  core::QueryResult merged;
+  merged.stats.threads_used = 0;  // summed below
+  for (const std::optional<util::Result<core::QueryResult>>& slot :
+       gather->results) {
+    AccumulateStats(slot->value().stats, &merged.stats);
+  }
+  if (gather->add_bound_fallback) ++merged.stats.prune.bound_fallbacks;
+
+  const core::QueryRequest& req = gather->parent->request;
+  switch (req.predicate) {
+    case core::PredicateKind::kExists:
+    case core::PredicateKind::kForAll: {
+      // Position scatter: entry j of sub i lands at its recorded parent
+      // position; the id there is the parent's (filter entry or global
+      // id — without a filter, position == global id).
+      const size_t total = req.object_filter.has_value()
+                               ? req.object_filter->size()
+                               : sharded_->num_objects();
+      merged.probabilities.resize(total);
+      for (size_t i = 0; i < gather->subs.size(); ++i) {
+        const SubRoute& sub = gather->subs[i];
+        const core::QueryResult& result = gather->results[i]->value();
+        for (size_t j = 0; j < result.probabilities.size(); ++j) {
+          const ObjectId position = sub.positions[j];
+          const ObjectId id = req.object_filter.has_value()
+                                  ? (*req.object_filter)[position]
+                                  : position;
+          merged.probabilities[position] = {
+              id, result.probabilities[j].probability};
+        }
+      }
+      break;
+    }
+    case core::PredicateKind::kKTimes: {
+      const size_t total = req.object_filter.has_value()
+                               ? req.object_filter->size()
+                               : sharded_->num_objects();
+      merged.distributions.resize(total);
+      for (size_t i = 0; i < gather->subs.size(); ++i) {
+        const SubRoute& sub = gather->subs[i];
+        core::QueryResult& result = gather->results[i]->value();
+        for (size_t j = 0; j < result.distributions.size(); ++j) {
+          const ObjectId position = sub.positions[j];
+          const ObjectId id = req.object_filter.has_value()
+                                  ? (*req.object_filter)[position]
+                                  : position;
+          merged.distributions[position] = {
+              id, std::move(result.distributions[j].distribution)};
+        }
+      }
+      break;
+    }
+    case core::PredicateKind::kThresholdExists: {
+      // Partial answers carry shard-local ids in local ascending order;
+      // translate and re-sort so the merged answer is ascending by
+      // GLOBAL id exactly like the unsharded pipeline (after a rebalance
+      // migration local order need not be a contiguous global range, so
+      // a plain concatenation is not enough).
+      for (size_t i = 0; i < gather->subs.size(); ++i) {
+        const SubRoute& sub = gather->subs[i];
+        for (const core::ObjectProbability& entry :
+             gather->results[i]->value().probabilities) {
+          merged.probabilities.push_back(
+              {sharded_->global_object(sub.shard, entry.id),
+               entry.probability});
+        }
+      }
+      std::sort(merged.probabilities.begin(), merged.probabilities.end(),
+                [](const core::ObjectProbability& a,
+                   const core::ObjectProbability& b) { return a.id < b.id; });
+      break;
+    }
+    case core::PredicateKind::kTopKExists: {
+      // Global heap merge, materialized as concat + sort + truncate: the
+      // comparator (probability desc, global id asc) is a strict total
+      // order over unique ids, so the merged prefix is bit-identical to
+      // the unsharded partial_sort no matter how objects were placed.
+      for (size_t i = 0; i < gather->subs.size(); ++i) {
+        const SubRoute& sub = gather->subs[i];
+        for (const core::ObjectProbability& entry :
+             gather->results[i]->value().probabilities) {
+          merged.probabilities.push_back(
+              {sharded_->global_object(sub.shard, entry.id),
+               entry.probability});
+        }
+      }
+      std::sort(merged.probabilities.begin(), merged.probabilities.end(),
+                [](const core::ObjectProbability& a,
+                   const core::ObjectProbability& b) {
+                  if (a.probability != b.probability) {
+                    return a.probability > b.probability;
+                  }
+                  return a.id < b.id;
+                });
+      const size_t take =
+          std::min<size_t>(req.k, merged.probabilities.size());
+      merged.probabilities.resize(take);
+      break;
+    }
+  }
+  Resolve(gather->parent, std::move(merged), shard);
+}
+
 void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
-                           util::Result<core::QueryResult> outcome) {
+                           util::Result<core::QueryResult> outcome,
+                           uint32_t latency_shard) {
   const double latency_ms =
       std::chrono::duration<double, std::milli>(Clock::now() -
                                                 state->submitted_at)
@@ -312,19 +769,21 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     switch (code) {
-      case util::StatusCode::kOk:
+      case util::StatusCode::kOk: {
         ++stats_.completed;
         stats_.group_subtasks += outcome->stats.group_subtasks;
         stats_.clusters_bounded += outcome->stats.prune.clusters_bounded;
         stats_.clusters_pruned += outcome->stats.prune.clusters_pruned;
         stats_.clusters_refined += outcome->stats.prune.clusters_refined;
-        if (latencies_ms_.size() < kLatencyReservoir) {
-          latencies_ms_.push_back(latency_ms);
+        ShardLane& lane = *shards_[latency_shard];
+        if (lane.latencies_ms.size() < kLatencyReservoir) {
+          lane.latencies_ms.push_back(latency_ms);
         } else {
-          latencies_ms_[latency_next_] = latency_ms;
+          lane.latencies_ms[lane.latency_next] = latency_ms;
         }
-        latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
+        lane.latency_next = (lane.latency_next + 1) % kLatencyReservoir;
         break;
+      }
       case util::StatusCode::kCancelled:
         ++stats_.cancelled;
         break;
@@ -355,9 +814,13 @@ void QueryService::Shutdown() {
     stopping_ = true;
     paused_ = false;
   }
-  work_cv_.notify_all();
+  for (std::unique_ptr<ShardLane>& lane : shards_) {
+    lane->work_cv.notify_all();
+  }
   space_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::unique_ptr<ShardLane>& lane : shards_) {
+    if (lane->dispatcher.joinable()) lane->dispatcher.join();
+  }
 }
 
 void QueryService::Pause() {
@@ -370,12 +833,22 @@ void QueryService::Resume() {
     std::lock_guard<std::mutex> lock(queue_mu_);
     paused_ = false;
   }
-  work_cv_.notify_one();
+  for (std::unique_ptr<ShardLane>& lane : shards_) {
+    lane->work_cv.notify_one();
+  }
+}
+
+size_t QueryService::QueueDepthLocked() const {
+  size_t depth = 0;
+  for (const std::unique_ptr<ShardLane>& lane : shards_) {
+    depth += lane->lanes[0].size() + lane->lanes[1].size();
+  }
+  return depth;
 }
 
 size_t QueryService::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
-  return lanes_[0].size() + lanes_[1].size();
+  return QueueDepthLocked();
 }
 
 ServiceStats QueryService::stats() const {
@@ -383,25 +856,31 @@ ServiceStats QueryService::stats() const {
   size_t peak = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    depth = lanes_[0].size() + lanes_[1].size();
+    depth = QueueDepthLocked();
     peak = queue_peak_;
   }
   ServiceStats out;
+  std::vector<std::vector<double>> reservoirs;
+  reservoirs.reserve(shards_.size());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
-    out.cache = cache_snapshot_;
-    if (!latencies_ms_.empty()) {
-      std::vector<double> sorted = latencies_ms_;
-      std::sort(sorted.begin(), sorted.end());
-      const auto at = [&sorted](double q) {
-        const size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
-        return sorted[idx];
-      };
-      out.latency_p50_ms = at(0.50);
-      out.latency_p99_ms = at(0.99);
+    core::EngineCacheStats cache;
+    for (const std::unique_ptr<ShardLane>& lane : shards_) {
+      cache.hits += lane->cache_snapshot.hits;
+      cache.misses += lane->cache_snapshot.misses;
+      cache.evictions += lane->cache_snapshot.evictions;
+      cache.bound_hits += lane->cache_snapshot.bound_hits;
+      cache.bound_misses += lane->cache_snapshot.bound_misses;
+      cache.bound_evictions += lane->cache_snapshot.bound_evictions;
+      reservoirs.push_back(lane->latencies_ms);
     }
+    out.cache = cache;
   }
+  const internal::LatencyPercentiles percentiles =
+      internal::MergeLatencyPercentiles(reservoirs);
+  out.latency_p50_ms = percentiles.p50_ms;
+  out.latency_p99_ms = percentiles.p99_ms;
   out.queue_depth = depth;
   out.queue_peak = peak;
   return out;

@@ -1,13 +1,23 @@
 // Copyright 2026 the ustdb authors.
 //
 // QueryService — the asynchronous admission layer in front of the
-// QueryExecutor. Callers Submit() a QueryRequest and immediately get a
-// QueryTicket (a future for the Result); a dispatcher thread drains the
-// bounded two-lane submission queue and hands whole drains to
-// QueryExecutor::RunBatch, so compatible requests that happen to be queued
-// together automatically coalesce into shared-backward-pass groups — a
-// bursty dashboard refresh pays one pass per (window, chain) without any
-// caller-side batching.
+// executor tier. Callers Submit() a QueryRequest and immediately get a
+// QueryTicket (a future for the Result); per-shard dispatcher threads
+// drain bounded two-lane submission queues and hand whole drains to
+// QueryExecutor::RunBatch, so compatible requests that happen to be
+// queued together automatically coalesce into shared-backward-pass
+// groups — a bursty dashboard refresh pays one pass per (window, chain)
+// without any caller-side batching.
+//
+// Serving a ShardedDatabase, the service is a router: one QueryExecutor
+// per shard (own EngineCache, own worker slice), each fed by its own
+// two-lane queue and dispatcher. A request touching a single shard
+// routes to that shard's lane; a request spanning shards scatters one
+// sub-request per target shard and gathers — position/heap/sort merges
+// per predicate, ExecStats summed — with results bit-identical to the
+// single-executor pipeline (global ids, global plan decisions; see
+// Submit()). Serving a plain Database keeps the legacy single-executor
+// behavior exactly.
 //
 // The service owns the request lifecycle the bare executor does not:
 // backpressure (reject-when-full or block), a priority lane for
@@ -20,16 +30,15 @@
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/database.h"
 #include "core/engine_cache.h"
 #include "core/executor.h"
 #include "core/query_request.h"
+#include "core/shard_router.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -39,13 +48,17 @@ namespace service {
 /// kInteractive lane whenever it has work — kBulk drains only when no
 /// interactive request is queued, and coalescing never crosses lanes, so
 /// dashboard widgets neither queue behind a bulk re-scoring job nor share
-/// a dispatch with one.
+/// a dispatch with one. On a sharded service the two lanes exist per
+/// shard, with the same precedence on every dispatcher.
 enum class Priority {
   kInteractive = 0,  ///< latency-sensitive traffic (dashboards, alerts)
   kBulk = 1,         ///< throughput traffic (backfills, re-scoring)
 };
 
-/// What Submit() does when the chosen lane is at capacity.
+/// What Submit() does when a chosen lane is at capacity. A scattered
+/// request is admitted all-or-nothing: every target shard's lane must
+/// have a slot, otherwise the whole request rejects (or blocks until all
+/// of them do) — partial fan-outs never enter the queues.
 enum class BackpressurePolicy {
   /// Resolve the ticket immediately with Status::Unavailable. The default:
   /// a serving layer should shed load, not buffer unboundedly.
@@ -57,8 +70,8 @@ enum class BackpressurePolicy {
 
 /// Configuration of one QueryService instance.
 struct ServiceOptions {
-  /// Capacity of each priority lane (>= 1 enforced); the bound that makes
-  /// backpressure meaningful.
+  /// Capacity of each priority lane (>= 1 enforced), per shard; the bound
+  /// that makes backpressure meaningful.
   size_t queue_capacity = 256;
   /// Behavior when a lane is full.
   BackpressurePolicy backpressure = BackpressurePolicy::kReject;
@@ -68,18 +81,21 @@ struct ServiceOptions {
   bool coalesce = true;
   /// Most requests one coalesced dispatch may drain (>= 1 enforced).
   size_t max_batch = 64;
-  /// Construct with the dispatcher paused (tests use this to stage a
+  /// Construct with the dispatchers paused (tests use this to stage a
   /// deterministic queue state before Resume()).
   bool start_paused = false;
-  /// Forwarded to the service-owned QueryExecutor.
+  /// Forwarded to each service-owned QueryExecutor. On a sharded service
+  /// num_threads is the TOTAL worker budget: it is resolved (0 = one per
+  /// hardware context) and divided evenly across the shard executors, at
+  /// least one worker each.
   core::ExecutorOptions executor;
 };
 
 /// Snapshot of the service's counters. Counts are cumulative since
 /// construction; queue_depth is sampled at the stats() call; latency
-/// percentiles cover the most recent completed requests (a bounded
-/// reservoir, so a long-lived service reports recent behavior, not its
-/// whole history).
+/// percentiles cover the most recent completed requests (bounded
+/// per-shard reservoirs, so a long-lived service reports recent behavior,
+/// not its whole history).
 struct ServiceStats {
   uint64_t submitted = 0;         ///< tickets handed out
   uint64_t completed = 0;         ///< resolved OK
@@ -87,13 +103,20 @@ struct ServiceStats {
   uint64_t cancelled = 0;         ///< resolved Status::Cancelled
   uint64_t deadline_expired = 0;  ///< resolved Status::DeadlineExceeded
   uint64_t rejected = 0;          ///< resolved Status::Unavailable
-  /// Dispatches that coalesced >= 2 requests into one RunBatch, and the
-  /// total requests those dispatches carried. coalesced_requests /
+  /// Dispatches that coalesced >= 2 queued entries into one RunBatch, and
+  /// the total entries those dispatches carried. Counted per shard
+  /// dispatcher; on a sharded service one scattered request can appear in
+  /// several dispatches (one per target shard). coalesced_requests /
   /// completed is the coalesce rate a capacity model needs.
   uint64_t coalesced_batches = 0;
   uint64_t coalesced_requests = 0;
-  /// Dispatches that carried exactly one request.
+  /// Dispatches that carried exactly one queued entry.
   uint64_t solo_dispatches = 0;
+  /// Requests the router scattered across >= 2 shard lanes, and the total
+  /// per-shard sub-requests those scatters enqueued. Always 0 when
+  /// serving a plain Database (single implicit lane, identity routing).
+  uint64_t scatter_requests = 0;
+  uint64_t scatter_subtasks = 0;
   /// Sum of ExecStats::group_subtasks over completed requests: how many
   /// object-range subtasks the executor's intra-group batch scheduler
   /// split coalesced work into. A high ratio of group_subtasks to
@@ -104,21 +127,45 @@ struct ServiceStats {
   /// PruneStats): clusters whose interval bound pass ran, clusters whose
   /// objects were all dropped by it, and clusters that needed per-object
   /// refinement. clusters_pruned / clusters_bounded is the wholesale-prune
-  /// rate of the serving mix.
+  /// rate of the serving mix. Shard co-location keeps every cluster's
+  /// bound pass on one executor, so the sharded sums equal the unsharded
+  /// ones.
   uint64_t clusters_bounded = 0;
   uint64_t clusters_pruned = 0;
   uint64_t clusters_refined = 0;
-  size_t queue_depth = 0;  ///< queued requests across both lanes, sampled
+  size_t queue_depth = 0;  ///< queued entries across all lanes and shards
   size_t queue_peak = 0;   ///< high-water mark of queue_depth
+  /// Completed-request latency percentiles, computed over the MERGED
+  /// per-shard reservoirs — one pooled sample, never an average of
+  /// per-shard percentiles (averaging would let one skewed shard's tail
+  /// vanish into the others' medians).
   double latency_p50_ms = 0.0;  ///< median completed-request latency
   double latency_p99_ms = 0.0;  ///< tail completed-request latency
-  /// Engine-cache counters of the service's executor (hits, misses,
-  /// evictions), snapshotted after the most recent dispatch.
+  /// Engine-cache counters summed over every shard executor (hits,
+  /// misses, evictions), snapshotted after each shard's most recent
+  /// dispatch.
   core::EngineCacheStats cache;
 };
 
 namespace internal {
 struct TicketState;
+struct GatherState;
+
+/// p50/p99 read off one pooled latency sample.
+struct LatencyPercentiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// \brief Merges per-shard latency reservoirs into one pooled sample and
+/// reads the percentiles off the sorted pool. This is the only correct
+/// merge: percentiles do not compose, so averaging per-shard p50/p99
+/// (the tempting shortcut) misreports any service whose shards see
+/// skewed distributions — a slow shard's tail dilutes into the fast
+/// shards' medians. Empty reservoirs contribute nothing; an all-empty
+/// input yields zeros.
+LatencyPercentiles MergeLatencyPercentiles(
+    const std::vector<std::vector<double>>& reservoirs);
 }  // namespace internal
 
 /// \brief Caller-side handle for one submitted request: a one-shot future
@@ -135,6 +182,7 @@ class QueryTicket {
   /// \brief Requests cancellation. If the request is still queued it
   /// resolves with Status::Cancelled without executing; if it is
   /// mid-flight the executor's loop stops at its next cooperative check.
+  /// On a scattered request the trigger reaches every shard's sub-run.
   /// Idempotent; a request that already finished is unaffected.
   void Cancel();
 
@@ -157,19 +205,38 @@ class QueryTicket {
   std::shared_ptr<internal::TicketState> state_;
 };
 
-/// \brief Asynchronous query admission in front of one QueryExecutor.
+/// \brief Asynchronous query admission in front of one executor per
+/// shard.
 ///
 /// Thread-safe: any number of threads may Submit()/Cancel()/stats()
-/// concurrently. Exactly one dispatcher thread talks to the executor, so
-/// the executor's no-concurrent-Run contract holds by construction. Every
-/// ticket resolves exactly once — including under Shutdown(), which stops
-/// admitting, drains the queue through the executor, and only then joins
-/// the dispatcher. The Database must outlive the service.
+/// concurrently. Exactly one dispatcher thread talks to each shard's
+/// executor, so the executor's no-concurrent-Run contract holds by
+/// construction. Every ticket resolves exactly once — including under
+/// Shutdown(), which stops admitting, drains the queues through the
+/// executors, and only then joins the dispatchers. The Database (or
+/// ShardedDatabase) must outlive the service and must not be mutated
+/// while the service is running.
 class QueryService {
  public:
+  /// \brief Legacy single-executor service over a plain Database;
+  /// identity routing, one dispatcher, bit-identical to the pre-sharding
+  /// behavior.
   /// \param db the database to serve; must outlive the service.
   /// \param options queue, backpressure, coalescing, and executor knobs.
   explicit QueryService(const core::Database* db, ServiceOptions options = {});
+
+  /// \brief Sharded service: one executor + dispatcher + two-lane queue
+  /// per shard of `db`. Requests and results speak GLOBAL ids; the
+  /// router translates to shard-local ids on the way in and back on the
+  /// way out. Results are bit-identical to the unsharded pipeline: for
+  /// kThresholdExists under kAuto the router makes the whole-request
+  /// bounds-vs-per-chain decision once, globally, against
+  /// db->routing_db(), and pins the outcome (kBoundsThenRefine or
+  /// kAutoPerChain) on every sub-request, so no shard re-decides from a
+  /// partial view.
+  /// \param db the sharded database to serve; must outlive the service.
+  /// \param options queue, backpressure, coalescing, and executor knobs.
+  QueryService(const core::ShardedDatabase* db, ServiceOptions options = {});
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -182,27 +249,32 @@ class QueryService {
   /// stop it. A request whose deadline has already passed resolves
   /// immediately with Status::DeadlineExceeded; a full lane either rejects
   /// (Status::Unavailable) or blocks, per BackpressurePolicy; after
-  /// Shutdown() every submission resolves with Status::Unavailable.
+  /// Shutdown() every submission resolves with Status::Unavailable. On a
+  /// sharded service an object_filter referencing an id outside the
+  /// database resolves with Status::InvalidArgument at submission (the
+  /// router cannot translate it); the unsharded service reports the same
+  /// error from the executor at dispatch.
   QueryTicket Submit(core::QueryRequest request,
                      Priority priority = Priority::kInteractive);
 
-  /// \brief Enqueues a whole burst under one queue lock — the dispatcher
-  /// observes all-or-nothing, so an idle (or paused) service coalesces the
+  /// \brief Enqueues a whole burst under one queue lock — the dispatchers
+  /// observe all-or-nothing, so an idle (or paused) service coalesces the
   /// burst into the fewest possible RunBatch dispatches. To keep that
   /// atomicity (and to stay deadlock-free on a paused service), a burst
-  /// never blocks: requests beyond the lane's remaining capacity resolve
-  /// with Status::Unavailable even under BackpressurePolicy::kBlock.
-  /// Other per-request failure semantics match Submit().
+  /// never blocks: requests beyond a target lane's remaining capacity
+  /// resolve with Status::Unavailable even under
+  /// BackpressurePolicy::kBlock. Other per-request failure semantics
+  /// match Submit().
   std::vector<QueryTicket> SubmitBurst(
       std::vector<core::QueryRequest> requests,
       Priority priority = Priority::kInteractive);
 
   /// \brief Stops admitting, drains every queued request through the
-  /// executor (cancelled/expired ones resolve without executing), then
-  /// joins the dispatcher. Idempotent and safe to call concurrently.
+  /// executors (cancelled/expired ones resolve without executing), then
+  /// joins the dispatchers. Idempotent and safe to call concurrently.
   void Shutdown();
 
-  /// Holds the dispatcher after its current drain; queued and newly
+  /// Holds every dispatcher after its current drain; queued and newly
   /// submitted requests wait until Resume(). Shutdown() overrides a pause.
   void Pause();
   /// Releases a Pause().
@@ -211,55 +283,79 @@ class QueryService {
   /// Current counters; see ServiceStats for sampling semantics.
   ServiceStats stats() const;
 
-  /// Queued requests across both lanes right now.
+  /// Queued entries across all lanes and shards right now.
   size_t queue_depth() const;
 
   /// The executor options actually in effect (after sanitization).
   const ServiceOptions& options() const { return options_; }
 
+  /// Shard executors this service runs (1 for a plain Database).
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
  private:
-  void DispatcherLoop();
-  /// Executes one drained set: resolves stale entries, runs the rest as a
-  /// solo Run or one coalesced RunBatch, resolves every ticket.
-  void Dispatch(std::vector<std::shared_ptr<internal::TicketState>> taken);
+  struct ShardTask;  // one queued sub-request (gather handle + index)
+  struct ShardLane;  // executor + two-lane queue + dispatcher of a shard
+
+  /// Builds the gather (sub-requests, merge metadata, plan pinning) for
+  /// one prepared parent. Returns non-OK — without touching any queue —
+  /// when the request cannot be routed (invalid object_filter).
+  util::Status BuildRoute(const std::shared_ptr<internal::TicketState>& state,
+                          std::shared_ptr<internal::GatherState>* out) const;
+  /// Appends every sub of `gather` to its target lane under `lock`,
+  /// honoring capacity/backpressure all-or-nothing. Returns non-OK
+  /// (enqueueing nothing) when the submission must be rejected. With
+  /// `allow_block` (solo Submit under kBlock) it may release and
+  /// reacquire `lock` while waiting for space on every target; bursts
+  /// pass false so the whole burst stays under one uninterrupted hold.
+  util::Status TryEnqueueLocked(
+      const std::shared_ptr<internal::GatherState>& gather, Priority priority,
+      std::unique_lock<std::mutex>* lock, bool allow_block);
+  /// Wakes the dispatcher of every shard `gather` targets.
+  void NotifyTargets(const internal::GatherState& gather);
+
+  void DispatcherLoop(uint32_t shard);
+  /// Executes one drained set on shard `shard`: resolves stale entries,
+  /// runs the rest as a solo Run or one coalesced RunBatch, completes
+  /// every sub.
+  void Dispatch(uint32_t shard, std::vector<ShardTask> taken);
+  /// Records sub `sub_index`'s outcome; the last sub to land merges and
+  /// resolves the parent on its dispatcher thread.
+  void CompleteSub(const std::shared_ptr<internal::GatherState>& gather,
+                   size_t sub_index, util::Result<core::QueryResult> outcome,
+                   uint32_t shard);
+  /// Merges sub-results (translation, per-predicate merge, summed stats)
+  /// into the parent outcome and resolves it.
+  void MergeAndResolve(const std::shared_ptr<internal::GatherState>& gather,
+                       uint32_t shard);
   /// Resolves `state` with `outcome`, classifying it into the stats
-  /// counters and recording latency. Every ticket passes through here
-  /// exactly once.
+  /// counters and recording latency in shard `latency_shard`'s reservoir.
+  /// Every ticket passes through here exactly once.
   void Resolve(const std::shared_ptr<internal::TicketState>& state,
-               util::Result<core::QueryResult> outcome);
+               util::Result<core::QueryResult> outcome,
+               uint32_t latency_shard);
   /// Builds the ticket state for one submission (links cancel tokens,
   /// stamps the clock, counts it submitted).
   std::shared_ptr<internal::TicketState> PrepareState(
       core::QueryRequest request, Priority priority);
-  /// Appends to the lane under `lock`, honoring capacity/backpressure.
-  /// Returns non-OK (without enqueueing) when the submission must be
-  /// rejected. With `allow_block` (solo Submit under kBlock) it may
-  /// release and reacquire `lock` while waiting for space; bursts pass
-  /// false so the whole burst stays under one uninterrupted lock hold.
-  util::Status TryEnqueueLocked(
-      const std::shared_ptr<internal::TicketState>& state,
-      std::unique_lock<std::mutex>* lock, bool allow_block);
+  size_t QueueDepthLocked() const;
 
-  const core::Database* db_;
+  const core::Database* db_ = nullptr;            // legacy mode
+  const core::ShardedDatabase* sharded_ = nullptr;  // sharded mode
   ServiceOptions options_;
-  core::QueryExecutor executor_;  // dispatcher thread only
 
   mutable std::mutex queue_mu_;
-  std::condition_variable work_cv_;   // wakes the dispatcher
   std::condition_variable space_cv_;  // wakes blocked producers
-  std::deque<std::shared_ptr<internal::TicketState>> lanes_[2];
-  size_t queue_peak_ = 0;  ///< high-water mark of both lanes combined
+  std::vector<std::unique_ptr<ShardLane>> shards_;
+  size_t queue_peak_ = 0;  ///< high-water mark, all lanes and shards
   bool paused_ = false;
   bool stopping_ = false;
 
   std::mutex shutdown_mu_;  // serializes Shutdown() callers around join
-  std::thread dispatcher_;
 
-  mutable std::mutex stats_mu_;
+  mutable std::mutex stats_mu_;  // guards stats_ + per-shard telemetry
   ServiceStats stats_;  // counter fields only; sampled fields set in stats()
-  core::EngineCacheStats cache_snapshot_;
-  std::vector<double> latencies_ms_;  // bounded reservoir, ring-indexed
-  size_t latency_next_ = 0;
 };
 
 }  // namespace service

@@ -30,6 +30,7 @@
 #include "core/query_based.h"           // IWYU pragma: export
 #include "core/query_request.h"         // IWYU pragma: export
 #include "core/query_window.h"          // IWYU pragma: export
+#include "core/shard_router.h"          // IWYU pragma: export
 #include "core/smoothing.h"             // IWYU pragma: export
 #include "core/threshold.h"             // IWYU pragma: export
 #include "core/time_varying_engines.h"  // IWYU pragma: export

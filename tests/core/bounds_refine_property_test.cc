@@ -14,6 +14,7 @@
 #include "kernels/isa.h"
 #include "testing/random_models.h"
 #include "util/cancellation.h"
+#include "testing/test_seed.h"
 #include "util/rng.h"
 #include "workload/synthetic.h"
 
@@ -70,11 +71,13 @@ QueryRequest ThresholdRequest(const QueryWindow& window, double tau,
 }
 
 TEST(BoundsRefinePropertyTest, MatchesPerChainPlansAcrossRandomWorkloads) {
-  util::Rng rng(4242);
+  const uint64_t seed = ustdb::testing::TestSeed(4242);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
   for (uint64_t round = 0; round < 8; ++round) {
     Database db = MakeMixedDb(/*num_clusters=*/2, /*chains_per_cluster=*/3,
                               /*num_loner_chains=*/2, /*num_objects=*/48,
-                              9000 + round);
+                              ustdb::testing::TestSeed(9000) + round);
     // Random contiguous window.
     const uint32_t s_lo = static_cast<uint32_t>(rng.NextBounded(kStates - 6));
     const uint32_t s_hi = s_lo + 2 + static_cast<uint32_t>(rng.NextBounded(4));
@@ -162,7 +165,8 @@ TEST(BoundsRefinePropertyTest, AutoPlanSelectsBoundsOnPrunableWorkload) {
   config.num_objects = 96;
   config.state_spread = 3;
   config.max_step = 8;
-  config.seed = 77;
+  config.seed = ustdb::testing::TestSeed(77);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(config.seed));
   Database db =
       workload::GenerateMultiChainDatabase(config, /*num_chains=*/24,
                                            /*jitter=*/0.05)

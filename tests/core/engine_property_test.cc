@@ -19,6 +19,7 @@
 #include "exact/possible_worlds.h"
 #include "mc/monte_carlo.h"
 #include "testing/random_models.h"
+#include "testing/test_seed.h"
 #include "util/rng.h"
 
 namespace ustdb {
@@ -57,7 +58,9 @@ class EnginePropertyTest : public ::testing::TestWithParam<Param> {};
 
 TEST_P(EnginePropertyTest, AllEnginesMatchEnumeration) {
   const auto [n, row_nnz, variant, seed] = GetParam();
-  util::Rng rng(seed);
+  const uint64_t base_seed = ustdb::testing::TestSeed(seed);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(base_seed));
+  util::Rng rng(base_seed);
   const markov::MarkovChain chain = RandomChain(n, row_nnz, &rng);
   const QueryWindow window = MakeWindow(n, variant);
   const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);
@@ -84,7 +87,9 @@ TEST_P(EnginePropertyTest, AllEnginesMatchEnumeration) {
 
 TEST_P(EnginePropertyTest, ForAllMatchesEnumeration) {
   const auto [n, row_nnz, variant, seed] = GetParam();
-  util::Rng rng(seed ^ 0xF0F0);
+  const uint64_t base_seed = ustdb::testing::TestSeed(seed);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(base_seed));
+  util::Rng rng(base_seed ^ 0xF0F0);
   const markov::MarkovChain chain = RandomChain(n, row_nnz, &rng);
   const QueryWindow window = MakeWindow(n, variant);
   const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);
@@ -99,7 +104,9 @@ TEST_P(EnginePropertyTest, ForAllMatchesEnumeration) {
 
 TEST_P(EnginePropertyTest, KTimesMatchesEnumerationBothModes) {
   const auto [n, row_nnz, variant, seed] = GetParam();
-  util::Rng rng(seed ^ 0x1234);
+  const uint64_t base_seed = ustdb::testing::TestSeed(seed);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(base_seed));
+  util::Rng rng(base_seed ^ 0x1234);
   const markov::MarkovChain chain = RandomChain(n, row_nnz, &rng);
   const QueryWindow window = MakeWindow(n, variant);
   const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);
@@ -121,7 +128,9 @@ TEST_P(EnginePropertyTest, KTimesMatchesEnumerationBothModes) {
 
 TEST_P(EnginePropertyTest, MonteCarloConvergesToTruth) {
   const auto [n, row_nnz, variant, seed] = GetParam();
-  util::Rng rng(seed ^ 0xBEEF);
+  const uint64_t base_seed = ustdb::testing::TestSeed(seed);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(base_seed));
+  util::Rng rng(base_seed ^ 0xBEEF);
   const markov::MarkovChain chain = RandomChain(n, row_nnz, &rng);
   const QueryWindow window = MakeWindow(n, variant);
   const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);
@@ -132,7 +141,7 @@ TEST_P(EnginePropertyTest, MonteCarloConvergesToTruth) {
       exact::ExistsByEnumeration(chain, initial, window).ValueOrDie(), 0.0,
       1.0);
   mc::MonteCarloEngine engine(&chain, window,
-                              {.num_samples = 40'000, .seed = seed});
+                              {.num_samples = 40'000, .seed = base_seed});
   const mc::McEstimate e = engine.ExistsProbability(initial);
   // 5 sigma of the Bernoulli bound, plus slack for tiny probabilities.
   const double sigma = std::sqrt(truth * (1.0 - truth) / e.num_samples);
@@ -142,7 +151,9 @@ TEST_P(EnginePropertyTest, MonteCarloConvergesToTruth) {
 TEST_P(EnginePropertyTest, MassConservationAcrossAugmentedRuns) {
   // hit + residual must remain exactly 1 throughout an OB run.
   const auto [n, row_nnz, variant, seed] = GetParam();
-  util::Rng rng(seed ^ 0xAAAA);
+  const uint64_t base_seed = ustdb::testing::TestSeed(seed);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(base_seed));
+  util::Rng rng(base_seed ^ 0xAAAA);
   const markov::MarkovChain chain = RandomChain(n, row_nnz, &rng);
   const QueryWindow window = MakeWindow(n, variant);
   const sparse::ProbVector initial = RandomDistribution(n, 2, &rng);

@@ -19,6 +19,7 @@
 #include "sparse/index_set.h"
 #include "sparse/prob_vector.h"
 #include "util/aligned_alloc.h"
+#include "testing/test_seed.h"
 #include "util/rng.h"
 
 namespace ustdb {
@@ -88,7 +89,7 @@ struct Case {
 /// and sub-stochastic rows, supports straddling both representation
 /// thresholds, both input representations.
 std::vector<Case> BuildCases() {
-  util::Rng rng(0xC0FFEE);
+  util::Rng rng(ustdb::testing::TestSeed(0xC0FFEE));
   std::vector<Case> cases;
   const std::pair<uint32_t, uint32_t> shapes[] = {
       {12, 12}, {40, 40}, {150, 150}, {40, 25}, {25, 60}};
@@ -216,7 +217,9 @@ TEST(SpmvKernelsTest, ClampMatchesLegacySequence) {
 }
 
 TEST(SpmvKernelsTest, RepeatedProductsAreDeterministic) {
-  util::Rng rng(99);
+  const uint64_t seed = ustdb::testing::TestSeed(99);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
   CsrMatrix m = RandomSubStochastic(60, 60, 4, 1.0, &rng);
   CsrMatrix mt = m.Transposed();
   const ProbVector x0 = RandomVector(60, 3, false, &rng);
@@ -236,7 +239,9 @@ TEST(SpmvKernelsTest, LongPropagationTracksLegacy) {
   // The regime transition itself: a 3-state-support start densifies over
   // repeated transitions, crossing sparse → band → dense. The adaptive
   // kernel must track the legacy path through every switch.
-  util::Rng rng(7);
+  const uint64_t seed = ustdb::testing::TestSeed(7);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
   CsrMatrix m = RandomSubStochastic(200, 200, 5, 1.0, &rng);
   CsrMatrix mt = m.Transposed();
   const ProbVector x0 = RandomVector(200, 3, false, &rng);
@@ -290,7 +295,10 @@ TEST(SpmvKernelsIsaTest, EveryKernelMatchesLegacyUnderEveryIsa) {
   for (const kernels::Isa isa : SupportedIsas()) {
     ScopedIsa forced(isa);
     ASSERT_TRUE(forced.forced()) << kernels::IsaName(isa);
-    util::Rng rng(0xABBA0000 + static_cast<uint64_t>(isa));
+    const uint64_t seed =
+        ustdb::testing::TestSeed(0xABBA0000) + static_cast<uint64_t>(isa);
+    SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+    util::Rng rng(seed);
     VecMatWorkspace ws;
     std::vector<std::pair<uint32_t, double>> entries;
     for (const uint32_t n : kTailSizes) {
@@ -342,7 +350,9 @@ TEST(SpmvKernelsIsaTest, EveryKernelMatchesLegacyUnderEveryIsa) {
 }
 
 TEST(SpmvKernelsIsaTest, ForcedIsaRunsAreDeterministic) {
-  util::Rng rng(1234);
+  const uint64_t seed = ustdb::testing::TestSeed(1234);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
   const CsrMatrix m = RandomSubStochastic(120, 120, 6, 1.0, &rng);
   const CsrMatrix mt = m.Transposed();
   const ProbVector x0 = RandomVector(120, 4, false, &rng);
@@ -364,7 +374,9 @@ TEST(SpmvKernelsIsaTest, ScatterPathsBitIdenticalAcrossIsas) {
   // stronger than the 1e-12 gather tolerance: with no transpose passed,
   // Multiply always scatters, and every ISA must produce the baseline's
   // bits exactly.
-  util::Rng rng(0xBEEF);
+  const uint64_t seed = ustdb::testing::TestSeed(0xBEEF);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
   for (const uint32_t n : kTailSizes) {
     const CsrMatrix m = RandomSubStochastic(n, n, std::min(n, 8u), 1.0, &rng);
     for (const bool dense_rep : {false, true}) {

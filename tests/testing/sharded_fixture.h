@@ -1,0 +1,89 @@
+// Shared fixture for the sharding suites: one spec builds a clustered
+// multi-chain Database and its sharded twin from the SAME model/object
+// stream, so any divergence a test observes is the router's fault, never
+// the generator's. Chains come in similarity families (perturbations of a
+// family base) to exercise the cluster co-location invariant; objects are
+// dealt round-robin across chains.
+
+#ifndef USTDB_TESTS_TESTING_SHARDED_FIXTURE_H_
+#define USTDB_TESTS_TESTING_SHARDED_FIXTURE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/shard_router.h"
+#include "testing/random_models.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace ustdb {
+namespace testing {
+
+/// Shape of one generated database pair.
+struct ShardedSpec {
+  uint32_t num_states = 30;
+  /// Independent similarity families; each founds its own cluster.
+  uint32_t num_families = 3;
+  /// Perturbed chains per family (>= 1; the family base included).
+  uint32_t chains_per_family = 2;
+  uint32_t num_objects = 120;
+  uint32_t pdf_support = 3;
+  uint32_t row_nnz = 3;
+  /// Weight jitter of the perturbed family members — well inside
+  /// Database::kChainClusterL1Threshold so families cluster as intended.
+  double jitter = 0.05;
+  uint64_t seed = 99;
+};
+
+/// A plain Database and a ShardedDatabase built from one model stream.
+/// Chain and object ids agree across the two by construction.
+struct ShardedPair {
+  core::Database unsharded;
+  core::ShardedDatabase sharded;
+
+  explicit ShardedPair(uint32_t num_shards)
+      : sharded(core::ShardingOptions{.num_shards = num_shards}) {}
+};
+
+/// Builds the pair. All randomness flows from spec.seed; building twice
+/// with the same spec gives bit-identical databases.
+inline ShardedPair MakeShardedPair(const ShardedSpec& spec,
+                                   uint32_t num_shards) {
+  ShardedPair pair(num_shards);
+  util::Rng rng(spec.seed);
+
+  // Chain stream: family bases first draw fresh supports (near-certain to
+  // found distinct clusters), members perturb their base in place.
+  std::vector<ChainId> chains;
+  for (uint32_t f = 0; f < spec.num_families; ++f) {
+    markov::MarkovChain base =
+        RandomChain(spec.num_states, spec.row_nnz, &rng);
+    for (uint32_t c = 0; c < spec.chains_per_family; ++c) {
+      markov::MarkovChain chain =
+          c == 0 ? markov::MarkovChain(base)
+                 : workload::PerturbChain(base, spec.jitter, &rng)
+                       .ValueOrDie();
+      const ChainId a = pair.unsharded.AddChain(markov::MarkovChain(chain));
+      const ChainId b = pair.sharded.AddChain(std::move(chain));
+      (void)b;
+      chains.push_back(a);
+    }
+  }
+
+  // Object stream: round-robin over chains, single observation at t=0.
+  for (uint32_t i = 0; i < spec.num_objects; ++i) {
+    const ChainId chain = chains[i % chains.size()];
+    sparse::ProbVector pdf =
+        RandomDistribution(spec.num_states, spec.pdf_support, &rng);
+    (void)pair.unsharded.AddObjectAt(chain, sparse::ProbVector(pdf))
+        .ValueOrDie();
+    (void)pair.sharded.AddObjectAt(chain, std::move(pdf)).ValueOrDie();
+  }
+  return pair;
+}
+
+}  // namespace testing
+}  // namespace ustdb
+
+#endif  // USTDB_TESTS_TESTING_SHARDED_FIXTURE_H_

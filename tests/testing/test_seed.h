@@ -1,0 +1,41 @@
+// Env-overridable RNG seeding for the randomized suites: every property
+// test derives its seeds through TestSeed(), so one environment variable
+//
+//   USTDB_TEST_SEED=12345 ./core_bounds_refine_property_test
+//
+// replays a CI failure locally without recompiling, and each test scopes
+// a trace so the failing seed is printed with any assertion failure.
+
+#ifndef USTDB_TESTS_TESTING_TEST_SEED_H_
+#define USTDB_TESTS_TESTING_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace ustdb {
+namespace testing {
+
+/// The test's base seed: USTDB_TEST_SEED when set to a valid non-negative
+/// integer, else `fallback` (the seed the test has always hardcoded, so
+/// default runs stay bit-identical to the pre-override suite).
+inline uint64_t TestSeed(uint64_t fallback) {
+  if (const char* env = std::getenv("USTDB_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<uint64_t>(value);
+  }
+  return fallback;
+}
+
+/// Message for SCOPED_TRACE so any failure names the seed that produced
+/// it and how to replay it.
+inline std::string SeedTrace(uint64_t seed) {
+  return "seed=" + std::to_string(seed) +
+         " (replay with USTDB_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace testing
+}  // namespace ustdb
+
+#endif  // USTDB_TESTS_TESTING_TEST_SEED_H_
