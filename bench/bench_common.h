@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace ustdb {
@@ -47,6 +48,17 @@ class Recorder {
   /// table; baseline checkers ignore keys they do not know.
   void SetMeta(const std::string& key, const std::string& value) {
     meta_[key] = value;
+  }
+
+  /// \brief Merges the shared environment meta block (obs::CommonMeta:
+  /// host, nproc, active kernel ISA, USTDB_SHARDS, git sha, UTC
+  /// timestamp) into this run's annotations without overwriting keys a
+  /// bench set explicitly. Called by RunBenchMain so every BENCH_*.json
+  /// and every metrics snapshot share one meta schema.
+  void SetDefaultMeta() {
+    for (const auto& [key, value] : obs::CommonMeta()) {
+      meta_.emplace(key, value);
+    }
   }
 
   /// Last recorded value of (series, x); 0 when the point is absent.
@@ -227,6 +239,7 @@ inline int RunBenchMain(int argc, char** argv, const std::string& fig_name,
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  Recorder::Instance().SetDefaultMeta();
   Recorder::Instance().PrintAndWrite(fig_name, x_label, value_label);
   if (!json_path.empty()) {
     Recorder::Instance().WriteJson(json_path, fig_name, x_label,

@@ -40,6 +40,14 @@ def main() -> int:
         tolerance = baseline.get("tolerance", 0.25)
     current_series = current.get("series", {})
 
+    # Benches annotate runs with a meta block (host, nproc, active ISA,
+    # shard count, git sha, timestamp — obs::CommonMeta). Print it for
+    # log context; unknown keys are fine and never checked.
+    meta = current.get("meta", {})
+    if meta:
+        print("run meta: " +
+              ", ".join(f"{k}={v}" for k, v in sorted(meta.items())))
+
     failures = []
     checked = 0
     for series, points in baseline.get("series", {}).items():

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -11,6 +13,7 @@
 
 #include "core/k_times.h"
 #include "core/multi_observation.h"
+#include "obs/trace.h"
 
 namespace ustdb {
 namespace core {
@@ -204,6 +207,116 @@ struct QueryExecutor::KTimesEval {
   std::atomic<uint32_t> done{0};
 };
 
+/// Registry handles this executor feeds, resolved once at construction
+/// (resolution is the only locking operation; every update below is a
+/// lock-free striped-atomic add). Null when ObsOptions::enabled is false.
+/// Counter families mirror ExecStats/PruneStats/EngineCacheStats field
+/// for field so each event keeps exactly one increment site.
+struct QueryExecutor::ObsHandles {
+  int32_t shard = -1;  ///< trace-span shard, parsed from the labels
+
+  obs::Histogram* stage_plan;
+  obs::Histogram* stage_bound;
+  obs::Histogram* stage_build;
+  obs::Histogram* stage_evaluate;
+  obs::Counter* chains_ob;
+  obs::Counter* chains_qb;
+  obs::Counter* objects_single;
+  obs::Counter* objects_multi;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* cache_bound_hits;
+  obs::Counter* cache_bound_misses;
+  obs::Counter* cache_bound_evictions;
+  obs::Counter* clusters_bounded;
+  obs::Counter* clusters_pruned;
+  obs::Counter* clusters_refined;
+  obs::Counter* objects_by_bounds;
+  obs::Counter* objects_refined;
+  obs::Counter* objects_early;
+  obs::Counter* bound_fallbacks;
+  obs::Counter* runs_solo;
+  obs::Counter* runs_batch;
+
+  explicit ObsHandles(const obs::ObsOptions& options) {
+    obs::MetricsRegistry* reg = options.ResolvedRegistry();
+    const obs::Labels& base = options.labels;
+    if (auto it = base.find("shard"); it != base.end()) {
+      shard = std::atoi(it->second.c_str());
+    }
+    const auto with = [&base](const std::string& key,
+                              const std::string& value) {
+      obs::Labels l = base;
+      l[key] = value;
+      return l;
+    };
+    const char* kStage = "ustdb_exec_stage_seconds";
+    const char* kStageHelp =
+        "Executor stage durations (plan decision, bound pass, engine "
+        "build, per-object evaluation)";
+    stage_plan = reg->GetHistogram(kStage, with("stage", "plan"), kStageHelp,
+                                   "seconds");
+    stage_bound = reg->GetHistogram(kStage, with("stage", "bound"),
+                                    kStageHelp, "seconds");
+    stage_build = reg->GetHistogram(kStage, with("stage", "engine_build"),
+                                    kStageHelp, "seconds");
+    stage_evaluate = reg->GetHistogram(kStage, with("stage", "evaluate"),
+                                       kStageHelp, "seconds");
+    const char* kChains = "ustdb_exec_chains_total";
+    const char* kChainsHelp = "Chain classes evaluated, by decided plan";
+    chains_ob =
+        reg->GetCounter(kChains, with("plan", "object_based"), kChainsHelp);
+    chains_qb =
+        reg->GetCounter(kChains, with("plan", "query_based"), kChainsHelp);
+    const char* kObjects = "ustdb_exec_objects_total";
+    const char* kObjectsHelp = "Objects answered, by engine kind";
+    objects_single =
+        reg->GetCounter(kObjects, with("kind", "single"), kObjectsHelp);
+    objects_multi =
+        reg->GetCounter(kObjects, with("kind", "multi"), kObjectsHelp);
+    const char* kCache = "ustdb_exec_cache_events_total";
+    const char* kCacheHelp =
+        "EngineCache events (QB store and cluster bound store)";
+    cache_hits = reg->GetCounter(kCache, with("kind", "hit"), kCacheHelp);
+    cache_misses = reg->GetCounter(kCache, with("kind", "miss"), kCacheHelp);
+    cache_evictions =
+        reg->GetCounter(kCache, with("kind", "eviction"), kCacheHelp);
+    cache_bound_hits =
+        reg->GetCounter(kCache, with("kind", "bound_hit"), kCacheHelp);
+    cache_bound_misses =
+        reg->GetCounter(kCache, with("kind", "bound_miss"), kCacheHelp);
+    cache_bound_evictions =
+        reg->GetCounter(kCache, with("kind", "bound_eviction"), kCacheHelp);
+    const char* kClusters = "ustdb_prune_clusters_total";
+    const char* kClustersHelp =
+        "Section V-C cluster bound-pass outcomes (see PruneStats)";
+    clusters_bounded =
+        reg->GetCounter(kClusters, with("outcome", "bounded"), kClustersHelp);
+    clusters_pruned =
+        reg->GetCounter(kClusters, with("outcome", "pruned"), kClustersHelp);
+    clusters_refined =
+        reg->GetCounter(kClusters, with("outcome", "refined"), kClustersHelp);
+    const char* kPruneObjects = "ustdb_prune_objects_total";
+    const char* kPruneObjectsHelp =
+        "Per-object pruning outcomes (see PruneStats)";
+    objects_by_bounds = reg->GetCounter(
+        kPruneObjects, with("outcome", "decided_by_bounds"),
+        kPruneObjectsHelp);
+    objects_refined = reg->GetCounter(
+        kPruneObjects, with("outcome", "refined"), kPruneObjectsHelp);
+    objects_early = reg->GetCounter(
+        kPruneObjects, with("outcome", "decided_early"), kPruneObjectsHelp);
+    bound_fallbacks = reg->GetCounter(
+        "ustdb_prune_bound_fallbacks_total", base,
+        "Requested/chosen bound passes that fell back to per-chain plans");
+    const char* kRuns = "ustdb_exec_runs_total";
+    const char* kRunsHelp = "Executor entry points taken";
+    runs_solo = reg->GetCounter(kRuns, with("kind", "solo"), kRunsHelp);
+    runs_batch = reg->GetCounter(kRuns, with("kind", "batch"), kRunsHelp);
+  }
+};
+
 /// Either the caller's filter (borrowed — the request outlives the run) or
 /// the implicit identity range [0, num_objects); never materializes ids.
 class QueryExecutor::Selection {
@@ -234,7 +347,50 @@ QueryExecutor::QueryExecutor(const Database* db, ExecutorOptions options)
       threads_(util::ResolveThreadCount(options.num_threads)),
       planner_(db),
       cache_(options.cache_capacity),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads) {
+  if (options_.obs.enabled) {
+    obs_ = std::make_unique<ObsHandles>(options_.obs);
+  }
+}
+
+QueryExecutor::~QueryExecutor() = default;
+
+void QueryExecutor::FeedRunStats(const ExecStats& stats) {
+  if (obs_ == nullptr) return;
+  const auto add = [](obs::Counter* c, uint64_t n) {
+    if (n != 0) c->Add(n);
+  };
+  add(obs_->chains_ob, stats.chains_object_based);
+  add(obs_->chains_qb, stats.chains_query_based);
+  add(obs_->objects_single, stats.objects_evaluated);
+  add(obs_->objects_multi, stats.objects_multi_observation);
+  add(obs_->clusters_bounded, stats.prune.clusters_bounded);
+  add(obs_->clusters_pruned, stats.prune.clusters_pruned);
+  add(obs_->clusters_refined, stats.prune.clusters_refined);
+  add(obs_->objects_by_bounds, stats.prune.objects_decided_by_bounds);
+  add(obs_->objects_refined, stats.prune.objects_refined);
+  add(obs_->objects_early, stats.prune.objects_decided_early);
+  add(obs_->bound_fallbacks, stats.prune.bound_fallbacks);
+}
+
+void QueryExecutor::FeedCacheDelta(const EngineCacheStats& before) {
+  if (obs_ == nullptr) return;
+  const EngineCacheStats& now = cache_.stats();
+  const auto add = [](obs::Counter* c, uint64_t n) {
+    if (n != 0) c->Add(n);
+  };
+  add(obs_->cache_hits, now.hits - before.hits);
+  add(obs_->cache_misses, now.misses - before.misses);
+  add(obs_->cache_evictions, now.evictions - before.evictions);
+  add(obs_->cache_bound_hits, now.bound_hits - before.bound_hits);
+  add(obs_->cache_bound_misses, now.bound_misses - before.bound_misses);
+  add(obs_->cache_bound_evictions,
+      now.bound_evictions - before.bound_evictions);
+}
+
+void QueryExecutor::FeedStage(obs::Histogram* h, double seconds) {
+  if (obs_ != nullptr) h->Observe(seconds);
+}
 
 util::Status QueryExecutor::ValidateFilter(
     const QueryRequest& request) const {
@@ -257,17 +413,32 @@ util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
   if (util::Status status = CheckNotStopped(request); !status.ok()) {
     return status;
   }
+  EngineCacheStats cache_before;
+  if (obs_ != nullptr) cache_before = cache_.stats();
   const Selection ids(request, db_->num_objects());
-  if (request.predicate == PredicateKind::kKTimes) {
-    return RunKTimes(request, ids);
+  util::Result<QueryResult> result =
+      request.predicate == PredicateKind::kKTimes
+          ? RunKTimes(request, ids)
+          : RunExistsFamily(request, ids);
+  if (obs_ != nullptr) {
+    // One feed per run: counters from the run's ExecStats (partial
+    // counters of a stopped run included — that work happened), cache
+    // events as the delta over the whole run.
+    obs_->runs_solo->Add(1);
+    FeedRunStats(last_stats_);
+    FeedCacheDelta(cache_before);
   }
-  return RunExistsFamily(request, ids);
+  return result;
 }
 
 util::Result<QueryResult> QueryExecutor::RunExistsFamily(
     const QueryRequest& request, const Selection& ids) {
   QueryResult result;
   result.stats.threads_used = threads_;
+
+  using SClock = std::chrono::steady_clock;
+  const bool timing = TimingOn(request);
+  const SClock::time_point t0 = timing ? SClock::now() : SClock::time_point();
 
   const bool forall = request.predicate == PredicateKind::kForAll;
   // PST∀Q runs as PST∃Q on the complemented region (Section VII).
@@ -311,7 +482,10 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   for (const auto& [chain, count] : single_obs_per_chain) {
     plans[chain].plan = planner_.Choose(chain, request, count).plan;
   }
+  const SClock::time_point t1 = timing ? SClock::now() : SClock::time_point();
+  const EngineCacheStats cache_before = cache_.stats();
   BuildExistsEngines(request, window, &plans, &result.stats);
+  const SClock::time_point t2 = timing ? SClock::now() : SClock::time_point();
 
   // --- Execution phase: per-object evaluation, parallel across objects. --
   std::vector<double> probs;
@@ -323,6 +497,30 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
   result.stats.objects_evaluated = counters.singles;
   result.stats.objects_multi_observation = counters.multis;
   last_stats_ = result.stats;
+  if (timing) {
+    const SClock::time_point t3 = SClock::now();
+    FeedStage(obs_ != nullptr ? obs_->stage_plan : nullptr,
+              std::chrono::duration<double>(t1 - t0).count());
+    FeedStage(obs_ != nullptr ? obs_->stage_build : nullptr,
+              std::chrono::duration<double>(t2 - t1).count());
+    FeedStage(obs_ != nullptr ? obs_->stage_evaluate : nullptr,
+              std::chrono::duration<double>(t3 - t2).count());
+    if (request.trace != nullptr) {
+      const int32_t shard = obs_ != nullptr ? obs_->shard : -1;
+      char detail[64];
+      std::snprintf(detail, sizeof(detail),
+                    "cache_hits=%llu,misses=%llu",
+                    static_cast<unsigned long long>(cache_.stats().hits -
+                                                    cache_before.hits),
+                    static_cast<unsigned long long>(cache_.stats().misses -
+                                                    cache_before.misses));
+      request.trace->Record(obs::Stage::kPlan, t0, t1, shard);
+      request.trace->Record(obs::Stage::kEngineBuild, t1, t2, shard, detail);
+      std::snprintf(detail, sizeof(detail), "objects=%u",
+                    counters.singles + counters.multis);
+      request.trace->Record(obs::Stage::kEvaluate, t2, t3, shard, detail);
+    }
+  }
   if (!status.ok()) return status;
 
   AssembleExistsResult(request, ids, probs, keep, &result);
@@ -457,6 +655,10 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
   result.stats.threads_used = threads_;
   PruneStats& prune = result.stats.prune;
 
+  using SClock = std::chrono::steady_clock;
+  const bool timing = TimingOn(request);
+  const SClock::time_point b0 = timing ? SClock::now() : SClock::time_point();
+
   // --- Bound phase: group evaluated objects by chain cluster and decide
   // them against the cluster's interval bound. Multi-observation objects
   // (and observations not at t=0) skip straight to refinement — the
@@ -472,6 +674,7 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
     return status;
   }
   prune.objects_refined = static_cast<uint32_t>(refine_ids.size());
+  const SClock::time_point b1 = timing ? SClock::now() : SClock::time_point();
 
   // --- Refine phase: one query-based engine per undecided chain, then
   // the normal threshold evaluation loop (strided sub-chunks, cooperative
@@ -486,6 +689,7 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
     }
   }
   BuildExistsEngines(request, window, &plans, &result.stats);
+  const SClock::time_point b2 = timing ? SClock::now() : SClock::time_point();
 
   const Selection refine_sel(&refine_ids);
   std::vector<double> probs;
@@ -498,6 +702,26 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
   result.stats.objects_evaluated = counters.singles;
   result.stats.objects_multi_observation = counters.multis;
   last_stats_ = result.stats;
+  if (timing) {
+    const SClock::time_point b3 = SClock::now();
+    FeedStage(obs_ != nullptr ? obs_->stage_bound : nullptr,
+              std::chrono::duration<double>(b1 - b0).count());
+    FeedStage(obs_ != nullptr ? obs_->stage_build : nullptr,
+              std::chrono::duration<double>(b2 - b1).count());
+    FeedStage(obs_ != nullptr ? obs_->stage_evaluate : nullptr,
+              std::chrono::duration<double>(b3 - b2).count());
+    if (request.trace != nullptr) {
+      const int32_t shard = obs_ != nullptr ? obs_->shard : -1;
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "pruned=%u,refined=%u",
+                    prune.objects_decided_by_bounds, prune.objects_refined);
+      request.trace->Record(obs::Stage::kBound, b0, b1, shard, detail);
+      request.trace->Record(obs::Stage::kEngineBuild, b1, b2, shard);
+      std::snprintf(detail, sizeof(detail), "objects=%u",
+                    counters.singles + counters.multis);
+      request.trace->Record(obs::Stage::kEvaluate, b2, b3, shard, detail);
+    }
+  }
   if (!status.ok()) return status;
 
   AssembleExistsResult(request, refine_sel, probs, keep, &result);
@@ -636,6 +860,10 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
   QueryResult result;
   result.stats.threads_used = threads_;
 
+  using SClock = std::chrono::steady_clock;
+  const bool timing = TimingOn(request);
+  const SClock::time_point k0 = timing ? SClock::now() : SClock::time_point();
+
   // PSTkQ has no backward formulation in the paper: the per-chain forward
   // engine runs regardless of the plan directive, shared across the
   // chain's objects like a QB pass but paying one recursion per object.
@@ -655,6 +883,7 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
     }
   }
   result.stats.chains_object_based = static_cast<uint32_t>(plans.size());
+  const SClock::time_point k1 = timing ? SClock::now() : SClock::time_point();
 
   uint32_t evaluated = 0;
   util::Status status = EvaluateKTimesObjects(request, ids, plans,
@@ -662,6 +891,20 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
                                               &evaluated);
   result.stats.objects_evaluated = evaluated;
   last_stats_ = result.stats;
+  if (timing) {
+    const SClock::time_point k2 = SClock::now();
+    FeedStage(obs_ != nullptr ? obs_->stage_build : nullptr,
+              std::chrono::duration<double>(k1 - k0).count());
+    FeedStage(obs_ != nullptr ? obs_->stage_evaluate : nullptr,
+              std::chrono::duration<double>(k2 - k1).count());
+    if (request.trace != nullptr) {
+      const int32_t shard = obs_ != nullptr ? obs_->shard : -1;
+      char detail[32];
+      std::snprintf(detail, sizeof(detail), "objects=%u", evaluated);
+      request.trace->Record(obs::Stage::kEngineBuild, k0, k1, shard);
+      request.trace->Record(obs::Stage::kEvaluate, k1, k2, shard, detail);
+    }
+  }
   if (!status.ok()) return status;
   return result;
 }
@@ -701,6 +944,18 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     results.emplace_back(util::Status::Internal("batch member not executed"));
   }
   if (requests.empty()) return results;
+
+  using SClock = std::chrono::steady_clock;
+  bool timing = obs_ != nullptr;
+  for (const QueryRequest& request : requests) {
+    if (request.trace != nullptr) {
+      timing = true;
+      break;
+    }
+  }
+  const SClock::time_point g0 = timing ? SClock::now() : SClock::time_point();
+  EngineCacheStats batch_cache_before;
+  if (obs_ != nullptr) batch_cache_before = cache_.stats();
 
   // --- Group phase: census each request, bucket by (window, mode). -------
   std::vector<BatchGroup> groups;
@@ -791,6 +1046,9 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
         continue;
       }
 
+      const SClock::time_point mb0 = request.trace != nullptr
+                                         ? SClock::now()
+                                         : SClock::time_point();
       const Selection ids(request, db_->num_objects());
       std::map<uint32_t, std::vector<ObjectId>> cluster_objects;
       PartitionByCluster(ids, &cluster_objects, &member.refine_ids);
@@ -820,6 +1078,14 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
           ++member.single_obs_per_chain[obj.chain];
           ++member.singles;
         }
+      }
+      if (request.trace != nullptr) {
+        char detail[64];
+        std::snprintf(detail, sizeof(detail), "pruned=%u,refined=%u",
+                      member.prune.objects_decided_by_bounds,
+                      member.prune.objects_refined);
+        request.trace->Record(obs::Stage::kBound, mb0, SClock::now(),
+                              obs_ != nullptr ? obs_->shard : -1, detail);
       }
     }
 
@@ -870,6 +1136,10 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     group.cache_hits = cache_.stats().hits - before.hits;
     group.cache_misses = cache_.stats().misses - before.misses;
   }
+  // Batch stage attribution: the member bound passes above run on the
+  // submitting thread inside this plan window, so the aggregate plan timer
+  // covers them; traced members additionally get an exact kBound span.
+  const SClock::time_point g1 = timing ? SClock::now() : SClock::time_point();
 
   // --- Build phase: construct the cheap engine shells inline, then run
   // every expensive build — the query-based backward passes and the
@@ -916,6 +1186,8 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
       }
     }
   });
+  const SClock::time_point g2 = timing ? SClock::now() : SClock::time_point();
+  SClock::time_point last_wave_end = g2;
 
   // --- Execution phase: flatten the per-object evaluation of every
   // member of every group into object-range subtasks of kStopCheckStride
@@ -1029,6 +1301,8 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
             {&me, b, std::min(me.ids.size(), b + util::kStopCheckStride)});
       }
     }
+    const SClock::time_point w0 =
+        timing ? SClock::now() : SClock::time_point();
     pool_.ParallelChunks(subtasks.size(), [&](size_t begin, size_t end) {
       for (size_t s = begin; s < end; ++s) {
         const SubTask& task = subtasks[s];
@@ -1047,6 +1321,9 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
         }
       }
     });
+    const SClock::time_point w1 =
+        timing ? SClock::now() : SClock::time_point();
+    if (timing) last_wave_end = w1;
 
     // Assembly (calling thread): convert this wave's evaluation state
     // into result slots, in batch order, then drop the wave's scratch.
@@ -1060,6 +1337,24 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
         result->stats.cache_hits = group.cache_hits;
         result->stats.cache_misses = group.cache_misses;
         cache_stats_attributed[mr.group_index] = 1;
+      };
+      // One registry feed per successfully answered member (cache events
+      // are fed once for the whole batch below, not here), plus the
+      // member's trace spans: the shared plan/build phases and its wave's
+      // evaluation window.
+      const auto feed_member = [&](const QueryResult& r) {
+        FeedRunStats(r.stats);
+        if (me.request.trace == nullptr) return;
+        const int32_t shard = obs_ != nullptr ? obs_->shard : -1;
+        char detail[40];
+        std::snprintf(detail, sizeof(detail), "batch_members=%u",
+                      r.stats.batch_group_members);
+        me.request.trace->Record(obs::Stage::kPlan, g0, g1, shard, detail);
+        me.request.trace->Record(obs::Stage::kEngineBuild, g1, g2, shard);
+        std::snprintf(detail, sizeof(detail), "subtasks=%u",
+                      r.stats.group_subtasks);
+        me.request.trace->Record(obs::Stage::kEvaluate, w0, w1, shard,
+                                 detail);
       };
       if (me.ids.size() == 0) {
         // Zero-object members never reach a subtask's cooperative stop
@@ -1091,6 +1386,7 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
         if (cache_stats_attributed[mr.group_index] == 0) {
           attach_cache_stats(&result);
         }
+        feed_member(result);
         results[member.request_index] = std::move(result);
         continue;
       }
@@ -1121,6 +1417,7 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
       if (cache_stats_attributed[mr.group_index] == 0) {
         attach_cache_stats(&result);
       }
+      feed_member(result);
       results[member.request_index] = std::move(result);
     }
     next_member = wave_end;
@@ -1137,6 +1434,17 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
                    std::move(cp.qb_owned));
       }
     }
+  }
+
+  if (obs_ != nullptr) {
+    obs_->runs_batch->Add(1);
+    FeedCacheDelta(batch_cache_before);
+    FeedStage(obs_->stage_plan,
+              std::chrono::duration<double>(g1 - g0).count());
+    FeedStage(obs_->stage_build,
+              std::chrono::duration<double>(g2 - g1).count());
+    FeedStage(obs_->stage_evaluate,
+              std::chrono::duration<double>(last_wave_end - g2).count());
   }
   return results;
 }

@@ -30,6 +30,7 @@
 #define USTDB_CORE_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "core/engine_cache.h"
 #include "core/planner.h"
 #include "core/query_request.h"
+#include "obs/metrics.h"
 #include "util/parallel_for.h"
 #include "util/result.h"
 
@@ -53,6 +55,14 @@ struct ExecutorOptions {
   /// Capacity of the query-based engine cache. Sized for the number of
   /// distinct (chain, window) pairs a monitoring deployment keeps hot.
   size_t cache_capacity = 32;
+  /// Observability wiring: with obs.enabled the executor feeds per-stage
+  /// timing histograms, plan/cache/prune counters (labeled with
+  /// obs.labels, e.g. the owning service's shard) into obs.registry, and
+  /// records executor-side spans on any request carrying a QueryTrace.
+  /// ExecStats/PruneStats semantics are unchanged either way — the same
+  /// increment sites feed both. Disabled: no registry handle is resolved
+  /// and no extra clock is read.
+  obs::ObsOptions obs;
 };
 
 /// \brief Plans and executes QueryRequests over one Database.
@@ -68,6 +78,8 @@ class QueryExecutor {
   /// \param db the database to serve; must outlive the executor.
   /// \param options thread-pool size and engine-cache capacity.
   explicit QueryExecutor(const Database* db, ExecutorOptions options = {});
+
+  ~QueryExecutor();
 
   /// \brief Evaluates `request`; see QueryResult for per-predicate output
   /// conventions. Fails with kInvalidArgument on out-of-range filter ids
@@ -128,7 +140,15 @@ class QueryExecutor {
   std::vector<util::Result<QueryResult>> RunBatch(
       std::span<const QueryRequest> requests);
 
-  /// Cumulative engine-cache statistics across all runs.
+  /// \brief Cumulative engine-cache statistics across all runs.
+  ///
+  /// Thread contract (audited for the concurrent-snapshot hardening):
+  /// NOT synchronized against a concurrent Run()/RunBatch() — the cache
+  /// mutates its counters mid-run, so call this only from the thread that
+  /// issues runs (the QueryService reads it exactly there, on each
+  /// shard's dispatcher thread, and republishes a consistent copy through
+  /// ServiceStats::cache under its own lock). Concurrent observers should
+  /// read QueryService::stats() or the obs::MetricsRegistry instead.
   const EngineCacheStats& cache_stats() const { return cache_.stats(); }
 
   /// \brief Telemetry of the most recent Run(), including runs that failed
@@ -137,6 +157,12 @@ class QueryExecutor {
   /// objects answered before the stop, so a caller can prove the loop quit
   /// early by comparing against an uncancelled twin. Solo Run() only;
   /// RunBatch members report through their own QueryResult::stats.
+  ///
+  /// Thread contract: `last_stats_` is plain data written by Run() with no
+  /// synchronization — valid only from the Run-calling thread, after Run
+  /// returns. Reading it while another thread is inside Run() is a data
+  /// race; concurrent observers get the same information race-free from
+  /// the obs::MetricsRegistry the executor feeds.
   const ExecStats& last_run_stats() const { return last_stats_; }
 
   /// Drops cached engines (required after the database is mutated).
@@ -156,6 +182,24 @@ class QueryExecutor {
   class Selection;    // non-allocating view of the ids a request evaluates
   struct ExistsEval;  // shared stop/error/counter state of one evaluation
   struct KTimesEval;  // ditto for the k-times evaluation loop
+  struct ObsHandles;  // resolved metric handles (null when obs disabled)
+
+  /// True when this run should read stage clocks: metrics are on, or the
+  /// request carries a trace. The "off" side of the overhead contract
+  /// reads no clock at all.
+  bool TimingOn(const QueryRequest& request) const {
+    return obs_ != nullptr || request.trace != nullptr;
+  }
+
+  /// One feed site per run for the counter families sourced from
+  /// ExecStats (chains, objects, prune) — the stats themselves keep their
+  /// exact semantics; this mirrors them into the registry.
+  void FeedRunStats(const ExecStats& stats);
+  /// One feed site per run for cache events: the delta of cache_.stats()
+  /// against the run-entry snapshot `before`.
+  void FeedCacheDelta(const EngineCacheStats& before);
+  /// Observes one stage duration (seconds) when metrics are on.
+  void FeedStage(obs::Histogram* h, double seconds);
 
   /// Progress counters of one evaluation loop, valid even when the loop
   /// was stopped early by an error, a cancellation, or a deadline.
@@ -254,6 +298,7 @@ class QueryExecutor {
   EngineCache cache_;
   util::ThreadPool pool_;
   ExecStats last_stats_;
+  std::unique_ptr<ObsHandles> obs_;  // null when options_.obs.enabled=false
 };
 
 }  // namespace core

@@ -11,11 +11,13 @@
 #define USTDB_CORE_QUERY_REQUEST_H_
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/object_based.h"
 #include "core/query_window.h"
+#include "obs/trace.h"
 #include "sparse/types.h"
 #include "util/cancellation.h"
 
@@ -151,6 +153,15 @@ struct QueryRequest {
   /// deadline has already passed at submission fails without evaluating
   /// anything). nullopt = no deadline.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Per-query stage trace. When set, the executor (and, above it, the
+  /// QueryService) records steady_clock-stamped spans for every pipeline
+  /// stage this request passes through; null requests pay nothing beyond
+  /// a pointer check. The QueryService attaches one automatically to every
+  /// ObsOptions::trace_sample_every-th submission; callers may attach
+  /// their own to trace a specific request end to end. Shared: a scattered
+  /// request's sub-requests all append to the same trace.
+  std::shared_ptr<obs::QueryTrace> trace;
 };
 
 /// \brief Execution telemetry of one QueryExecutor::Run — or, for

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace ustdb {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueue:
+      return "queue";
+    case Stage::kDispatch:
+      return "dispatch";
+    case Stage::kPlan:
+      return "plan";
+    case Stage::kBound:
+      return "bound";
+    case Stage::kEngineBuild:
+      return "engine_build";
+    case Stage::kEvaluate:
+      return "evaluate";
+    case Stage::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+void QueryTrace::Record(Stage stage,
+                        std::chrono::steady_clock::time_point begin,
+                        std::chrono::steady_clock::time_point end,
+                        int32_t shard, std::string detail) {
+  TraceSpan span;
+  span.stage = stage;
+  span.shard = shard;
+  span.detail = std::move(detail);
+  span.begin = begin;
+  span.end = end;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> QueryTrace::spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return static_cast<int>(a.stage) < static_cast<int>(b.stage);
+            });
+  return out;
+}
+
+double QueryTrace::StageSeconds(Stage stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const TraceSpan& span : spans_) {
+    if (span.stage == stage) total += span.seconds();
+  }
+  return total;
+}
+
+std::string QueryTrace::Format() const {
+  const std::vector<TraceSpan> sorted = spans();
+  std::string out;
+  char line[256];
+  for (const TraceSpan& span : sorted) {
+    const double offset_ms =
+        std::chrono::duration<double, std::milli>(span.begin - epoch_)
+            .count();
+    const double dur_ms = span.seconds() * 1e3;
+    if (span.shard >= 0) {
+      std::snprintf(line, sizeof(line),
+                    "  +%8.3f ms %-12s %8.3f ms  shard=%d%s%s\n", offset_ms,
+                    StageName(span.stage), dur_ms, span.shard,
+                    span.detail.empty() ? "" : "  ", span.detail.c_str());
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  +%8.3f ms %-12s %8.3f ms%s%s\n", offset_ms,
+                    StageName(span.stage), dur_ms,
+                    span.detail.empty() ? "" : "  ", span.detail.c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ustdb

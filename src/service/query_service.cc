@@ -45,6 +45,13 @@ struct TicketState {
   core::QueryRequest request;
   Priority priority = Priority::kInteractive;
   Clock::time_point submitted_at;
+  /// The request's trace (sampled or caller-attached), kept here because
+  /// legacy routing moves the request into its identity sub. Null for the
+  /// untraced majority.
+  std::shared_ptr<obs::QueryTrace> trace;
+  /// Stashed copy of request.predicate for the slow-query record (same
+  /// move-at-routing reason as `deadline` below).
+  core::PredicateKind predicate = core::PredicateKind::kExists;
   /// Stashed copy of request.deadline: in legacy mode the request moves
   /// into its identity sub at routing, before the submit-time deadline
   /// check runs.
@@ -166,6 +173,108 @@ struct QueryService::ShardLane {
       : executor(db, options) {}
 };
 
+/// Registry handles the service feeds, resolved once at construction so
+/// the hot path is one striped relaxed add (counters), one lock-free
+/// bucket add (histograms), or one relaxed store (the depth gauge) per
+/// event. Absent entirely (obs_ == nullptr) when ObsOptions::enabled is
+/// false. Outcome counters live in one "ustdb_service_requests_total"
+/// family labeled by outcome; per-shard series carry a "shard" label
+/// matching the shard executors' own metrics.
+struct QueryService::ObsHandles {
+  obs::Counter* submitted;
+  /// Indexed by the Resolve() classification: ok, cancelled, deadline,
+  /// rejected, failed.
+  obs::Counter* outcomes[5];
+  obs::Counter* traces_sampled;
+  obs::Counter* scatter_requests;
+  obs::Counter* scatter_subtasks;
+  obs::Gauge* queue_depth;
+
+  struct Shard {
+    obs::Histogram* queue_wait;  ///< submit -> dequeued by the dispatcher
+    obs::Histogram* dispatch;    ///< dequeue -> executor run returned
+    obs::Histogram* latency;     ///< submit -> resolve, OK outcomes only
+    obs::Counter* solo;
+    obs::Counter* coalesced_batches;
+    obs::Counter* coalesced_requests;
+  };
+  std::vector<Shard> shards;
+
+  ObsHandles(const obs::ObsOptions& opts, size_t num_shards) {
+    obs::MetricsRegistry* reg = opts.ResolvedRegistry();
+    const obs::Labels& base = opts.labels;
+    const auto with = [&base](const std::string& key,
+                              const std::string& value) {
+      obs::Labels labels = base;
+      labels[key] = value;
+      return labels;
+    };
+    const auto outcome_counter = [&](const char* outcome) {
+      return reg->GetCounter("ustdb_service_requests_total",
+                             with("outcome", outcome),
+                             "Tickets resolved, by outcome", "requests");
+    };
+    submitted = reg->GetCounter("ustdb_service_submitted_total", base,
+                                "Tickets handed out by Submit/SubmitBurst",
+                                "requests");
+    outcomes[0] = outcome_counter("ok");
+    outcomes[1] = outcome_counter("cancelled");
+    outcomes[2] = outcome_counter("deadline");
+    outcomes[3] = outcome_counter("rejected");
+    outcomes[4] = outcome_counter("failed");
+    traces_sampled = reg->GetCounter(
+        "ustdb_service_traces_sampled_total", base,
+        "Submissions that got a rate-sampled QueryTrace attached",
+        "requests");
+    scatter_requests = reg->GetCounter(
+        "ustdb_service_scatter_requests_total", base,
+        "Requests the router scattered across >= 2 shard lanes",
+        "requests");
+    scatter_subtasks = reg->GetCounter(
+        "ustdb_service_scatter_subtasks_total", base,
+        "Per-shard sub-requests enqueued by scattered requests",
+        "requests");
+    queue_depth =
+        reg->GetGauge("ustdb_service_queue_depth", base,
+                      "Queued entries across all lanes and shards",
+                      "requests");
+    shards.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      obs::Labels labels = with("shard", std::to_string(s));
+      const auto shard_with = [&labels](const std::string& key,
+                                        const std::string& value) {
+        obs::Labels merged = labels;
+        merged[key] = value;
+        return merged;
+      };
+      shards[s].queue_wait = reg->GetHistogram(
+          "ustdb_service_queue_wait_seconds", labels,
+          "Submit-to-dequeue wait of each dispatched entry", "seconds");
+      shards[s].dispatch = reg->GetHistogram(
+          "ustdb_service_dispatch_seconds", labels,
+          "Dequeue-to-run-returned time of each dispatch", "seconds");
+      shards[s].latency = reg->GetHistogram(
+          "ustdb_service_request_latency_seconds", labels,
+          "End-to-end latency of OK requests (matches the reservoir "
+          "percentiles' population)",
+          "seconds");
+      shards[s].solo =
+          reg->GetCounter("ustdb_service_dispatches_total",
+                          shard_with("kind", "solo"),
+                          "Dispatches, by single-entry vs coalesced drain",
+                          "dispatches");
+      shards[s].coalesced_batches =
+          reg->GetCounter("ustdb_service_dispatches_total",
+                          shard_with("kind", "coalesced"),
+                          "Dispatches, by single-entry vs coalesced drain",
+                          "dispatches");
+      shards[s].coalesced_requests = reg->GetCounter(
+          "ustdb_service_coalesced_requests_total", labels,
+          "Queued entries carried by coalesced dispatches", "requests");
+    }
+  }
+};
+
 namespace {
 
 ServiceOptions Sanitize(ServiceOptions options) {
@@ -210,7 +319,13 @@ void AccumulateStats(const core::ExecStats& in, core::ExecStats* out) {
 
 QueryService::QueryService(const core::Database* db, ServiceOptions options)
     : db_(db), options_(Sanitize(options)), paused_(options.start_paused) {
-  shards_.push_back(std::make_unique<ShardLane>(db, options_.executor));
+  core::ExecutorOptions exec = options_.executor;
+  exec.obs = options_.obs;
+  exec.obs.labels["shard"] = "0";
+  shards_.push_back(std::make_unique<ShardLane>(db, exec));
+  if (options_.obs.enabled) {
+    obs_ = std::make_unique<ObsHandles>(options_.obs, 1);
+  }
   shards_[0]->dispatcher = std::thread([this] { DispatcherLoop(0); });
 }
 
@@ -226,7 +341,13 @@ QueryService::QueryService(const core::ShardedDatabase* db,
   per_shard.num_threads = std::max(1u, total / num_shards);
   shards_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(std::make_unique<ShardLane>(&db->shard(s), per_shard));
+    core::ExecutorOptions exec = per_shard;
+    exec.obs = options_.obs;
+    exec.obs.labels["shard"] = std::to_string(s);
+    shards_.push_back(std::make_unique<ShardLane>(&db->shard(s), exec));
+  }
+  if (options_.obs.enabled) {
+    obs_ = std::make_unique<ObsHandles>(options_.obs, num_shards);
   }
   for (uint32_t s = 0; s < num_shards; ++s) {
     shards_[s]->dispatcher = std::thread([this, s] { DispatcherLoop(s); });
@@ -241,6 +362,22 @@ std::shared_ptr<TicketState> QueryService::PrepareState(
   state->priority = priority;
   state->submitted_at = Clock::now();
   state->deadline = request.deadline;
+  state->predicate = request.predicate;
+  // Trace attachment: honor a caller-supplied trace always; otherwise
+  // sample every Nth submission (epoch = the submission instant just
+  // stamped, so span offsets read as time-since-submit).
+  if (request.trace != nullptr) {
+    state->trace = request.trace;
+  } else if (obs_ != nullptr && options_.obs.trace_sample_every > 0) {
+    const uint64_t seq =
+        submit_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (seq % options_.obs.trace_sample_every == 0) {
+      state->trace =
+          std::make_shared<obs::QueryTrace>(state->submitted_at);
+      request.trace = state->trace;
+      obs_->traces_sampled->Add(1);
+    }
+  }
   // Link the ticket's source beneath any caller-supplied token: both
   // QueryTicket::Cancel() and the caller's own source stop the run.
   state->cancel = util::CancellationSource(request.cancel);
@@ -250,6 +387,7 @@ std::shared_ptr<TicketState> QueryService::PrepareState(
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
   }
+  if (obs_ != nullptr) obs_->submitted->Add(1);
   return state;
 }
 
@@ -358,6 +496,7 @@ util::Status QueryService::BuildRoute(
       if (filtered) sub.request.object_filter = std::move(filters[s]);
       sub.request.cancel = req.cancel;  // the parent-linked token
       sub.request.deadline = req.deadline;
+      sub.request.trace = req.trace;  // shared: all subs append to it
       sub.positions = std::move(positions[s]);
       return sub;
     };
@@ -412,7 +551,9 @@ util::Status QueryService::TryEnqueueLocked(
     shards_[gather->subs[i].shard]->lanes[lane].push_back(
         ShardTask{gather, i});
   }
-  queue_peak_ = std::max(queue_peak_, QueueDepthLocked());
+  const size_t depth = QueueDepthLocked();
+  queue_peak_ = std::max(queue_peak_, depth);
+  if (obs_ != nullptr) obs_->queue_depth->Set(static_cast<double>(depth));
   return util::Status::OK();
 }
 
@@ -455,9 +596,15 @@ QueryTicket QueryService::Submit(core::QueryRequest request,
     return ticket;
   }
   if (gather->subs.size() >= 2) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.scatter_requests;
-    stats_.scatter_subtasks += gather->subs.size();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.scatter_requests;
+      stats_.scatter_subtasks += gather->subs.size();
+    }
+    if (obs_ != nullptr) {
+      obs_->scatter_requests->Add(1);
+      obs_->scatter_subtasks->Add(gather->subs.size());
+    }
   }
   NotifyTargets(*gather);
   return ticket;
@@ -522,6 +669,10 @@ std::vector<QueryTicket> QueryService::SubmitBurst(
       if (gathers[i]->subs.size() >= 2) {
         ++stats_.scatter_requests;
         stats_.scatter_subtasks += gathers[i]->subs.size();
+        if (obs_ != nullptr) {
+          obs_->scatter_requests->Add(1);
+          obs_->scatter_subtasks->Add(gathers[i]->subs.size());
+        }
       }
     }
   }
@@ -556,6 +707,9 @@ void QueryService::DispatcherLoop(uint32_t shard) {
         taken.push_back(std::move(queue.front()));
         queue.pop_front();
       }
+      if (obs_ != nullptr) {
+        obs_->queue_depth->Set(static_cast<double>(QueueDepthLocked()));
+      }
     }
     space_cv_.notify_all();
     Dispatch(shard, std::move(taken));
@@ -589,15 +743,44 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
   }
   if (runnable.empty()) return;
 
+  // Queue-wait accounting per runnable entry, reusing the staleness
+  // check's clock read: always-on aggregate histogram, exact kQueue span
+  // for the traced few.
+  bool any_traced = false;
+  for (const ShardTask& task : runnable) {
+    const TicketState& parent = *task.gather->parent;
+    if (obs_ != nullptr) {
+      obs_->shards[shard].queue_wait->Observe(
+          std::chrono::duration<double>(now - parent.submitted_at).count());
+    }
+    if (parent.trace != nullptr) {
+      any_traced = true;
+      parent.trace->Record(obs::Stage::kQueue, parent.submitted_at, now,
+                           static_cast<int32_t>(shard));
+    }
+  }
+  const bool timing = obs_ != nullptr || any_traced;
+
   ShardLane& lane = *shards_[shard];
   if (runnable.size() == 1) {
     ShardTask& task = runnable.front();
     util::Result<core::QueryResult> result =
         lane.executor.Run(task.gather->subs[task.sub_index].request);
+    const Clock::time_point run_end =
+        timing ? Clock::now() : Clock::time_point();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.solo_dispatches;
       lane.cache_snapshot = lane.executor.cache_stats();
+    }
+    if (obs_ != nullptr) {
+      obs_->shards[shard].solo->Add(1);
+      obs_->shards[shard].dispatch->Observe(
+          std::chrono::duration<double>(run_end - now).count());
+    }
+    if (const auto& trace = task.gather->parent->trace; trace != nullptr) {
+      trace->Record(obs::Stage::kDispatch, now, run_end,
+                    static_cast<int32_t>(shard), "batch=1");
     }
     CompleteSub(task.gather, task.sub_index, std::move(result), shard);
     return;
@@ -613,11 +796,29 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
   }
   std::vector<util::Result<core::QueryResult>> results =
       lane.executor.RunBatch(requests);
+  const Clock::time_point run_end =
+      timing ? Clock::now() : Clock::time_point();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.coalesced_batches;
     stats_.coalesced_requests += runnable.size();
     lane.cache_snapshot = lane.executor.cache_stats();
+  }
+  if (obs_ != nullptr) {
+    obs_->shards[shard].coalesced_batches->Add(1);
+    obs_->shards[shard].coalesced_requests->Add(runnable.size());
+    obs_->shards[shard].dispatch->Observe(
+        std::chrono::duration<double>(run_end - now).count());
+  }
+  if (any_traced) {
+    const std::string detail = "batch=" + std::to_string(runnable.size());
+    for (const ShardTask& task : runnable) {
+      if (const auto& trace = task.gather->parent->trace;
+          trace != nullptr) {
+        trace->Record(obs::Stage::kDispatch, now, run_end,
+                      static_cast<int32_t>(shard), detail);
+      }
+    }
   }
   for (size_t i = 0; i < runnable.size(); ++i) {
     CompleteSub(runnable[i].gather, runnable[i].sub_index,
@@ -639,16 +840,27 @@ void QueryService::CompleteSub(const std::shared_ptr<GatherState>& gather,
 
 void QueryService::MergeAndResolve(
     const std::shared_ptr<GatherState>& gather, uint32_t shard) {
+  const std::shared_ptr<obs::QueryTrace>& trace = gather->parent->trace;
+  const Clock::time_point m0 =
+      trace != nullptr ? Clock::now() : Clock::time_point();
+  const auto record_merge = [&] {
+    if (trace != nullptr) {
+      trace->Record(obs::Stage::kMerge, m0, Clock::now(),
+                    static_cast<int32_t>(shard));
+    }
+  };
   // Any sub failure fails the parent; the lowest sub index (= lowest
   // target shard) wins so concurrent failures resolve deterministically.
   for (std::optional<util::Result<core::QueryResult>>& slot :
        gather->results) {
     if (!slot->ok()) {
+      record_merge();
       Resolve(gather->parent, std::move(*slot), shard);
       return;
     }
   }
   if (gather->identity) {
+    record_merge();
     Resolve(gather->parent, std::move(*gather->results.front()), shard);
     return;
   }
@@ -753,6 +965,7 @@ void QueryService::MergeAndResolve(
       break;
     }
   }
+  record_merge();
   Resolve(gather->parent, std::move(merged), shard);
 }
 
@@ -796,6 +1009,48 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
       default:
         ++stats_.failed;
         break;
+    }
+    // Slow-query ring: every traced request competes on latency; the
+    // ring keeps the N slowest with their full span breakdowns.
+    if (obs_ != nullptr && state->trace != nullptr &&
+        options_.obs.slow_query_ring > 0) {
+      SlowQuery record;
+      record.latency_ms = latency_ms;
+      record.predicate = state->predicate;
+      record.priority = state->priority;
+      record.code = code;
+      record.spans = state->trace->spans();
+      slow_ring_.push_back(std::move(record));
+      std::sort(slow_ring_.begin(), slow_ring_.end(),
+                [](const SlowQuery& a, const SlowQuery& b) {
+                  return a.latency_ms > b.latency_ms;
+                });
+      if (slow_ring_.size() > options_.obs.slow_query_ring) {
+        slow_ring_.resize(options_.obs.slow_query_ring);
+      }
+    }
+  }
+  if (obs_ != nullptr) {
+    int outcome_index = 4;  // failed
+    switch (code) {
+      case util::StatusCode::kOk:
+        outcome_index = 0;
+        break;
+      case util::StatusCode::kCancelled:
+        outcome_index = 1;
+        break;
+      case util::StatusCode::kDeadlineExceeded:
+        outcome_index = 2;
+        break;
+      case util::StatusCode::kUnavailable:
+        outcome_index = 3;
+        break;
+      default:
+        break;
+    }
+    obs_->outcomes[outcome_index]->Add(1);
+    if (code == util::StatusCode::kOk) {
+      obs_->shards[latency_shard].latency->Observe(latency_ms / 1e3);
     }
   }
   {
@@ -849,6 +1104,11 @@ size_t QueryService::QueueDepthLocked() const {
 size_t QueryService::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return QueueDepthLocked();
+}
+
+std::vector<SlowQuery> QueryService::slow_queries() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return slow_ring_;
 }
 
 ServiceStats QueryService::stats() const {

@@ -28,6 +28,7 @@
 #ifndef USTDB_SERVICE_QUERY_SERVICE_H_
 #define USTDB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -39,6 +40,8 @@
 #include "core/executor.h"
 #include "core/query_request.h"
 #include "core/shard_router.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -89,6 +92,15 @@ struct ServiceOptions {
   /// hardware context) and divided evenly across the shard executors, at
   /// least one worker each.
   core::ExecutorOptions executor;
+  /// Observability knobs: which MetricsRegistry the service (and, with a
+  /// {"shard": "<s>"} label stamped on, each shard executor) feeds, the
+  /// QueryTrace sampling rate, and the slow-query ring capacity. With
+  /// enabled=false the service resolves no metric handles, reads no extra
+  /// clocks, samples no traces, and keeps no slow-query ring — the
+  /// overhead contract bench_service_throughput --tracing gates. This
+  /// field overrides whatever `executor.obs` carries, so the shard label
+  /// is always stamped consistently.
+  obs::ObsOptions obs;
 };
 
 /// Snapshot of the service's counters. Counts are cumulative since
@@ -96,6 +108,18 @@ struct ServiceOptions {
 /// percentiles cover the most recent completed requests (bounded
 /// per-shard reservoirs, so a long-lived service reports recent behavior,
 /// not its whole history).
+///
+/// Snapshot consistency model (what stats() guarantees under concurrent
+/// Submit/dispatch): every counter field below is mutated and read under
+/// one service-wide stats mutex, so a snapshot's counter fields are
+/// mutually consistent — e.g. completed + failed + cancelled +
+/// deadline_expired + rejected never exceeds submitted, and the cache /
+/// latency aggregates come from the same locked read. queue_depth and
+/// queue_peak are sampled under the separate queue mutex an instant
+/// apart, so they can lag the counters by in-flight requests but are
+/// never torn. The obs::MetricsRegistry fed from the same increment
+/// sites is looser: per-metric reads are atomic (never torn) but carry
+/// no cross-metric instant, see obs/metrics.h.
 struct ServiceStats {
   uint64_t submitted = 0;         ///< tickets handed out
   uint64_t completed = 0;         ///< resolved OK
@@ -145,6 +169,23 @@ struct ServiceStats {
   /// misses, evictions), snapshotted after each shard's most recent
   /// dispatch.
   core::EngineCacheStats cache;
+};
+
+/// \brief One retained record of the slow-query ring: the N slowest
+/// requests that carried a QueryTrace (sampled or caller-attached),
+/// with their full span breakdowns. Retrieved via
+/// QueryService::slow_queries(); capacity set by
+/// ObsOptions::slow_query_ring.
+struct SlowQuery {
+  double latency_ms = 0.0;  ///< end-to-end submit-to-resolve latency
+  core::PredicateKind predicate = core::PredicateKind::kExists;
+  Priority priority = Priority::kInteractive;
+  /// Status code the ticket resolved with (kOk for answered requests;
+  /// slow cancellations and deadline expiries are retained too — they
+  /// are exactly the requests worth explaining).
+  util::StatusCode code = util::StatusCode::kOk;
+  /// The trace's spans, sorted by begin time (see obs::QueryTrace).
+  std::vector<obs::TraceSpan> spans;
 };
 
 namespace internal {
@@ -283,6 +324,14 @@ class QueryService {
   /// Current counters; see ServiceStats for sampling semantics.
   ServiceStats stats() const;
 
+  /// \brief The N slowest traced requests so far (descending latency),
+  /// each with its full span breakdown — N is
+  /// ObsOptions::slow_query_ring. Only requests that carried a
+  /// QueryTrace (every trace_sample_every-th submission, plus any with
+  /// a caller-attached trace) are candidates. Empty when observability
+  /// is disabled or the ring capacity is 0. Thread-safe.
+  std::vector<SlowQuery> slow_queries() const;
+
   /// Queued entries across all lanes and shards right now.
   size_t queue_depth() const;
 
@@ -297,6 +346,7 @@ class QueryService {
  private:
   struct ShardTask;  // one queued sub-request (gather handle + index)
   struct ShardLane;  // executor + two-lane queue + dispatcher of a shard
+  struct ObsHandles;  // resolved registry handles (service + per shard)
 
   /// Builds the gather (sub-requests, merge metadata, plan pinning) for
   /// one prepared parent. Returns non-OK — without touching any queue —
@@ -356,6 +406,10 @@ class QueryService {
 
   mutable std::mutex stats_mu_;  // guards stats_ + per-shard telemetry
   ServiceStats stats_;  // counter fields only; sampled fields set in stats()
+  std::vector<SlowQuery> slow_ring_;  // descending latency; stats_mu_
+
+  std::unique_ptr<ObsHandles> obs_;  // null when options_.obs.enabled=false
+  std::atomic<uint64_t> submit_seq_{0};  // trace sampling counter
 };
 
 }  // namespace service

@@ -5,11 +5,34 @@
 #include <cmath>
 
 #include "kernels/isa.h"
+#include "obs/metrics.h"
 #include "util/compensated_sum.h"
 #include "util/string_util.h"
 
 namespace ustdb {
 namespace sparse {
+
+namespace {
+
+/// Counts dense-regime SpMV passes per active ISA in the global metrics
+/// registry. Handles resolve once (function-local statics); the hot path
+/// pays one striped relaxed add per pass — noise next to the O(nnz) kernel
+/// work being counted, and paid identically by both sides of any ISA
+/// perf comparison.
+obs::Counter* SpmvPassCounter(kernels::Isa isa) {
+  static obs::Counter* const baseline =
+      obs::MetricsRegistry::Global()->GetCounter(
+          "ustdb_kernel_spmv_passes_total", {{"isa", "baseline"}},
+          "Dense-regime SpMV passes dispatched through the kernel table",
+          "passes");
+  static obs::Counter* const avx2 = obs::MetricsRegistry::Global()->GetCounter(
+      "ustdb_kernel_spmv_passes_total", {{"isa", "avx2"}},
+      "Dense-regime SpMV passes dispatched through the kernel table",
+      "passes");
+  return isa == kernels::Isa::kAvx2 ? avx2 : baseline;
+}
+
+}  // namespace
 
 util::Result<CsrMatrix> CsrMatrix::FromTriplets(uint32_t rows, uint32_t cols,
                                                 std::vector<Triplet> t) {
@@ -427,6 +450,7 @@ bool VecMatWorkspace::Accumulate(const ProbVector& x, const CsrMatrix& m,
   // direct calls into whichever variant (scalar baseline or AVX2/FMA) the
   // dispatcher selected at startup.
   const kernels::KernelTable& kt = kernels::Active();
+  SpmvPassCounter(kernels::ActiveIsa())->Add(1);
   assert(util::IsKernelAligned(scratch_.data()));
 
   // When x stores a dense array the kernels read it through `xv`; a clamp

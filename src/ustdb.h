@@ -44,6 +44,8 @@
 #include "mc/monte_carlo.h"             // IWYU pragma: export
 #include "network/generators.h"         // IWYU pragma: export
 #include "network/road_network.h"       // IWYU pragma: export
+#include "obs/metrics.h"                // IWYU pragma: export
+#include "obs/trace.h"                  // IWYU pragma: export
 #include "sparse/csr_matrix.h"          // IWYU pragma: export
 #include "sparse/index_set.h"           // IWYU pragma: export
 #include "sparse/prob_vector.h"         // IWYU pragma: export

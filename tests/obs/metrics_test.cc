@@ -1,0 +1,299 @@
+// obs::MetricsRegistry unit coverage: counter/gauge/histogram semantics
+// under concurrent writers, handle identity (same name+labels -> same
+// handle; kind mismatch -> detached sink, never a crash or null), the
+// percentile-from-buckets contract (conservative by at most one log2
+// bucket, a pure function of the counts), the exactness of
+// MergeHistograms, the CommonMeta schema, both exporters, and the
+// PeriodicLogger lifecycle.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace ustdb {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddsAreExactAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Striping spreads writers across cache lines but must never lose an
+  // increment: the striped sum is exact.
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAddCompose) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(5.0);
+  gauge.Add(-2.0);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.5);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreExact) {
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every delta is an integer small enough to be exact in a double, so
+  // the CAS loop must account for all of them.
+  EXPECT_DOUBLE_EQ(gauge.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, CountsSumAndBucketsTrackObservations) {
+  Histogram h;
+  h.Observe(0.25);
+  h.Observe(0.5);
+  h.Observe(1.0);
+  const HistogramData data = h.Snapshot();
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_DOUBLE_EQ(data.sum, 1.75);
+  EXPECT_EQ(data.buckets.size(), HistogramBucketBounds().size() + 1);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+TEST(HistogramTest, PercentileConservativeByOneBucket) {
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = 1e-4 * i;  // 0.1ms .. 100ms, spread over many buckets
+    samples.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        samples[static_cast<size_t>(q * (samples.size() - 1))];
+    const double approx = h.Percentile(q);
+    // The log2 grid reports the upper bound of the quantile's bucket:
+    // never below the true sample quantile, at most one bucket (2x) above.
+    EXPECT_GE(approx, exact);
+    EXPECT_LE(approx, exact * 2.0 + 1e-12) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  HistogramData empty;
+  empty.buckets.assign(HistogramBucketBounds().size() + 1, 0);
+  EXPECT_EQ(PercentileFromBuckets(empty, 0.99), 0.0);
+
+  Histogram h;
+  h.Observe(1e9);  // beyond the last bound: overflow bucket
+  // The overflow bucket has no finite upper bound; the quantile reports
+  // the last finite bound (the floor of what the value could be).
+  EXPECT_EQ(h.Percentile(0.99), HistogramBucketBounds().back());
+}
+
+TEST(HistogramTest, MergeEqualsPooledObservation) {
+  Histogram a;
+  Histogram b;
+  Histogram pooled;
+  for (int i = 1; i <= 400; ++i) {
+    // Dyadic values: every observation and every partial sum is exact in
+    // a double, so merged.sum can be compared for equality.
+    const double fast = i / 1024.0;
+    const double slow = i / 16.0;
+    a.Observe(fast);
+    b.Observe(slow);
+    pooled.Observe(fast);
+    pooled.Observe(slow);
+  }
+  const HistogramData merged = MergeHistograms({a.Snapshot(), b.Snapshot()});
+  const HistogramData direct = pooled.Snapshot();
+  ASSERT_EQ(merged.buckets.size(), direct.buckets.size());
+  for (size_t i = 0; i < direct.buckets.size(); ++i) {
+    EXPECT_EQ(merged.buckets[i], direct.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(merged.count, direct.count);
+  EXPECT_DOUBLE_EQ(merged.sum, direct.sum);
+  // Same counts => same percentiles: the merge is exact, not approximate.
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(PercentileFromBuckets(merged, q),
+              PercentileFromBuckets(direct, q));
+  }
+}
+
+TEST(RegistryTest, SameNameAndLabelsResolveToOneHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests", {{"shard", "0"}});
+  Counter* b = registry.GetCounter("requests", {{"shard", "0"}});
+  Counter* other = registry.GetCounter("requests", {{"shard", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Add(2);
+  other->Add(5);
+  EXPECT_EQ(b->Value(), 2u);
+}
+
+TEST(RegistryTest, KindMismatchReturnsDetachedSink) {
+  MetricsRegistry registry;
+  registry.GetCounter("latency")->Add(1);
+  // Same name, different kind: instrumentation sites must get a usable
+  // (absorbing) handle, and the export must keep the original family.
+  Gauge* sink = registry.GetGauge("latency");
+  ASSERT_NE(sink, nullptr);
+  sink->Set(42.0);  // absorbed, not exported
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.families.size(), 1u);
+  EXPECT_EQ(snap.families[0].name, "latency");
+  EXPECT_EQ(snap.families[0].kind, MetricKind::kCounter);
+}
+
+TEST(RegistryTest, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz", {{"shard", "1"}})->Add(1);
+  registry.GetCounter("zz", {{"shard", "0"}})->Add(1);
+  registry.GetCounter("aa")->Add(1);
+  registry.GetHistogram("mm")->Observe(0.5);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.families.size(), 3u);
+  EXPECT_EQ(snap.families[0].name, "aa");
+  EXPECT_EQ(snap.families[1].name, "mm");
+  EXPECT_EQ(snap.families[2].name, "zz");
+  ASSERT_EQ(snap.families[2].points.size(), 2u);
+  EXPECT_EQ(snap.families[2].points[0].labels.at("shard"), "0");
+  EXPECT_EQ(snap.families[2].points[1].labels.at("shard"), "1");
+}
+
+TEST(RegistryTest, ConcurrentResolutionAndUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread resolves the same family (lock path) and its own
+      // labeled point, then hammers both.
+      Counter* shared = registry.GetCounter("shared");
+      Counter* own =
+          registry.GetCounter("shared", {{"t", std::to_string(t)}});
+      for (int i = 0; i < 2'000; ++i) {
+        shared->Add(1);
+        own->Add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), kThreads * 2'000u);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.families.size(), 1u);
+  EXPECT_EQ(snap.families[0].points.size(), 1u + kThreads);
+}
+
+TEST(CommonMetaTest, CarriesTheSharedSchemaKeys) {
+  const auto meta = CommonMeta();
+  for (const char* key :
+       {"host", "nproc", "isa", "ustdb_shards", "git_sha", "timestamp_utc"}) {
+    EXPECT_TRUE(meta.count(key)) << "missing meta key: " << key;
+  }
+  EXPECT_FALSE(meta.at("git_sha").empty());
+  // ISO-8601 UTC: "2026-08-08T11:22:33Z".
+  const std::string& ts = meta.at("timestamp_utc");
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(ExportersTest, PrometheusTextCarriesFamiliesBucketsAndMeta) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("ustdb_test_requests_total", {{"shard", "0"}},
+                  "requests seen", "requests")
+      ->Add(3);
+  registry.GetHistogram("ustdb_test_latency_seconds", {}, "latency", "s")
+      ->Observe(0.25);
+  registry.GetGauge("ustdb_test_depth")->Set(7.0);
+
+  const std::string text = WritePrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP ustdb_test_requests_total requests seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ustdb_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ustdb_test_requests_total{shard=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ustdb_test_latency_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets with the mandatory +Inf terminator, plus _sum and
+  // _count series.
+  EXPECT_NE(text.find("ustdb_test_latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ustdb_test_latency_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("ustdb_test_latency_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ustdb_test_depth gauge"), std::string::npos);
+  // Meta rides as comments so the exposition stays parseable.
+  EXPECT_NE(text.find("# meta git_sha"), std::string::npos);
+}
+
+TEST(ExportersTest, JsonCarriesFamiliesAndEscapes) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"k", "with\"quote"}})->Add(1);
+  registry.GetHistogram("h")->Observe(0.5);
+
+  const std::string json = WriteJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"families\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"c\""), std::string::npos);
+  EXPECT_NE(json.find("with\\\"quote"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(PeriodicLoggerTest, InvokesCallbackAndStopsCleanly) {
+  MetricsRegistry registry;
+  registry.GetCounter("ticks")->Add(1);
+  std::atomic<int> calls{0};
+  {
+    PeriodicLogger logger(&registry, std::chrono::milliseconds(5),
+                          [&calls](const MetricsSnapshot& snap) {
+                            EXPECT_FALSE(snap.families.empty());
+                            calls.fetch_add(1);
+                          });
+    while (calls.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    logger.Stop();
+    const int after_stop = calls.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // No callback runs after Stop() returns.
+    EXPECT_EQ(calls.load(), after_stop);
+  }  // destructor after Stop(): idempotent
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ObsOptionsTest, ResolvedRegistryDefaultsToGlobal) {
+  ObsOptions options;
+  EXPECT_EQ(options.ResolvedRegistry(), MetricsRegistry::Global());
+  MetricsRegistry own;
+  options.registry = &own;
+  EXPECT_EQ(options.ResolvedRegistry(), &own);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ustdb

@@ -5,10 +5,17 @@
 // experienced, in either direction (diluting a rare slow tail, or
 // inflating the global p99 when the slow shard serves almost no traffic).
 
+// The same principle governs the registry's bucketed latency histograms:
+// per-shard histograms merge bucket-wise (obs::MergeHistograms), and the
+// merged percentiles must equal the percentiles of one histogram that
+// observed the pooled samples — tested against that oracle below.
+
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/query_service.h"
 
 namespace ustdb {
@@ -77,6 +84,60 @@ TEST(LatencyMergeTest, ShardOrderIrrelevant) {
   const LatencyPercentiles ba = MergeLatencyPercentiles({slow, fast});
   EXPECT_EQ(ab.p50_ms, ba.p50_ms);
   EXPECT_EQ(ab.p99_ms, ba.p99_ms);
+}
+
+/// Feeds each reservoir into its own histogram (one per shard, like the
+/// registry's ustdb_service_request_latency_seconds points), merges, and
+/// checks the merged percentiles against (a) a pooled-oracle histogram
+/// that observed every sample directly — must be identical — and (b) the
+/// true sample percentile — conservative by at most one log2 bucket.
+void ExpectMergedMatchesPool(
+    const std::vector<std::vector<double>>& reservoirs) {
+  std::vector<obs::HistogramData> parts;
+  obs::Histogram pooled_oracle;
+  std::vector<double> all;
+  for (const std::vector<double>& reservoir : reservoirs) {
+    obs::Histogram shard_histogram;
+    for (double v : reservoir) {
+      shard_histogram.Observe(v);
+      pooled_oracle.Observe(v);
+      all.push_back(v);
+    }
+    parts.push_back(shard_histogram.Snapshot());
+  }
+  const obs::HistogramData merged = obs::MergeHistograms(parts);
+  const obs::HistogramData oracle = pooled_oracle.Snapshot();
+  ASSERT_EQ(merged.count, oracle.count);
+  ASSERT_EQ(merged.buckets, oracle.buckets);
+
+  std::sort(all.begin(), all.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double from_merge = obs::PercentileFromBuckets(merged, q);
+    EXPECT_EQ(from_merge, obs::PercentileFromBuckets(oracle, q)) << q;
+    const double exact = all[static_cast<size_t>(q * (all.size() - 1))];
+    EXPECT_GE(from_merge, exact) << q;
+    EXPECT_LE(from_merge, exact * 2.0 + 1e-12) << q;
+  }
+}
+
+TEST(LatencyMergeTest, HistogramMergeMatchesPooledOracleRareSlowShard) {
+  ExpectMergedMatchesPool({Repeat(0.001, 2000), Repeat(0.1, 10)});
+}
+
+TEST(LatencyMergeTest, HistogramMergeMatchesPooledOracleHeavySlowShard) {
+  ExpectMergedMatchesPool({Repeat(0.001, 500), Repeat(0.1, 500)});
+}
+
+TEST(LatencyMergeTest, HistogramMergeMatchesPooledOracleSpreadSamples) {
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  for (int i = 1; i <= 300; ++i) {
+    a.push_back(1e-4 * i);        // 0.1ms .. 30ms
+    b.push_back(2e-3 * i);        // 2ms .. 600ms
+    if (i % 3 == 0) c.push_back(5e-2 * i);  // sparse slow shard
+  }
+  ExpectMergedMatchesPool({a, b, c});
 }
 
 }  // namespace
