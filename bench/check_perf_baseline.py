@@ -22,6 +22,24 @@ import json
 import sys
 
 
+def load_json(path: str, label: str):
+    """Loads one input, distinguishing 'not there' from 'not JSON'.
+
+    Returns (doc, error): exactly one is None. A malformed file is an
+    error string; a missing file is reported by the caller (a missing
+    BASELINE is a skip, a missing CURRENT is a failure).
+    """
+    try:
+        with open(path) as f:
+            return json.load(f), None
+    except FileNotFoundError:
+        return None, None
+    except OSError as e:
+        return None, f"cannot read {label} {path}: {e}"
+    except json.JSONDecodeError as e:
+        return None, f"malformed JSON in {label} {path}: {e}"
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("baseline")
@@ -30,14 +48,36 @@ def main() -> int:
                         help="override the baseline's tolerance")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
+    baseline, error = load_json(args.baseline, "baseline")
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    if baseline is None:
+        # No baseline checked in (yet) is not a regression: new platforms
+        # and fresh clones must not fail CI before a baseline exists.
+        print(f"SKIP: baseline not found: {args.baseline}")
+        return 0
+    current, error = load_json(args.current, "current output")
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    if current is None:
+        # The bench was supposed to have just produced this file.
+        print(f"FAIL: current bench output not found: {args.current}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(baseline, dict) or not isinstance(current, dict):
+        print("FAIL: baseline and current must be JSON objects",
+              file=sys.stderr)
+        return 1
 
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = baseline.get("tolerance", 0.25)
+    if not isinstance(tolerance, (int, float)):
+        print(f"FAIL: tolerance must be a number, got {tolerance!r}",
+              file=sys.stderr)
+        return 1
     current_series = current.get("series", {})
 
     # Benches annotate runs with a meta block (host, nproc, active ISA,

@@ -1,7 +1,25 @@
 #include "core/engine_cache.h"
 
+#include "util/fault_injector.h"
+
 namespace ustdb {
 namespace core {
+
+namespace {
+
+/// Cache-admission fault point. Put* returns a borrowed pointer with no
+/// error channel, so a firing `fail` rule escalates to the same exception
+/// a `throw` rule raises; both are converted to kUnavailable at the
+/// executor's Run/RunBatch boundary (admission always happens on the
+/// run's controlling thread, never on a pool worker).
+void InjectCacheAdmissionFault() {
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    util::Status status = fi->Inject(util::FaultPoint::kCacheAdmission);
+    if (!status.ok()) throw util::FaultInjectedError(status.message());
+  }
+}
+
+}  // namespace
 
 const QueryBasedEngine* EngineCache::Get(const markov::MarkovChain* chain,
                                          const QueryWindow& window) {
@@ -27,6 +45,7 @@ const QueryBasedEngine* EngineCache::Lookup(const markov::MarkovChain* chain,
 const QueryBasedEngine* EngineCache::Put(
     const markov::MarkovChain* chain, const QueryWindow& window,
     std::unique_ptr<QueryBasedEngine> engine) {
+  InjectCacheAdmissionFault();
   Key key{chain, window.region().elements(), window.times()};
   auto it = index_.find(key);
   if (it != index_.end()) return it->second->engine.get();
@@ -51,6 +70,7 @@ const markov::IntervalMarkovChain* EngineCache::LookupEnvelope(
 const markov::IntervalMarkovChain* EngineCache::PutEnvelope(
     ChainId leader, uint32_t num_members,
     markov::IntervalMarkovChain envelope) {
+  InjectCacheAdmissionFault();
   bool evicted = false;
   const markov::IntervalMarkovChain* cached = envelopes_.Put(
       ClusterKey{leader, num_members}, std::move(envelope), capacity_,
@@ -71,6 +91,7 @@ const std::vector<markov::ProbBound>* EngineCache::LookupBounds(
 const std::vector<markov::ProbBound>* EngineCache::PutBounds(
     ChainId leader, uint32_t num_members, const QueryWindow& window,
     std::vector<markov::ProbBound> bounds) {
+  InjectCacheAdmissionFault();
   bool evicted = false;
   const std::vector<markov::ProbBound>* cached = bounds_.Put(
       BoundsKey{{leader, num_members}, window.region().elements(),

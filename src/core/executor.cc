@@ -14,6 +14,7 @@
 #include "core/k_times.h"
 #include "core/multi_observation.h"
 #include "obs/trace.h"
+#include "util/fault_injector.h"
 
 namespace ustdb {
 namespace core {
@@ -405,6 +406,21 @@ util::Status QueryExecutor::ValidateFilter(
 }
 
 util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
+  // Fault boundary: injected throws and allocation failures on this
+  // (controlling) thread resolve the run as a transient error. Pool
+  // workers never throw — their error paths feed ExistsEval directly.
+  try {
+    return RunImpl(request);
+  } catch (const util::FaultInjectedError& e) {
+    return util::Status::Unavailable(e.what());
+  } catch (const std::bad_alloc&) {
+    return util::Status::Unavailable(
+        "allocation failed during query execution");
+  }
+}
+
+util::Result<QueryResult> QueryExecutor::RunImpl(
+    const QueryRequest& request) {
   last_stats_ = {};
   last_stats_.threads_used = threads_;
   if (util::Status status = ValidateFilter(request); !status.ok()) {
@@ -417,9 +433,11 @@ util::Result<QueryResult> QueryExecutor::Run(const QueryRequest& request) {
   if (obs_ != nullptr) cache_before = cache_.stats();
   const Selection ids(request, db_->num_objects());
   util::Result<QueryResult> result =
-      request.predicate == PredicateKind::kKTimes
-          ? RunKTimes(request, ids)
-          : RunExistsFamily(request, ids);
+      request.degrade == DegradeMode::kBoundsOnly
+          ? RunDegradedBounds(request, ids)
+          : (request.predicate == PredicateKind::kKTimes
+                 ? RunKTimes(request, ids)
+                 : RunExistsFamily(request, ids));
   if (obs_ != nullptr) {
     // One feed per run: counters from the run's ExecStats (partial
     // counters of a stopped run included — that work happened), cache
@@ -483,6 +501,9 @@ util::Result<QueryResult> QueryExecutor::RunExistsFamily(
     plans[chain].plan = planner_.Choose(chain, request, count).plan;
   }
   const SClock::time_point t1 = timing ? SClock::now() : SClock::time_point();
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    USTDB_RETURN_NOT_OK(fi->Inject(util::FaultPoint::kEngineBuild));
+  }
   const EngineCacheStats cache_before = cache_.stats();
   BuildExistsEngines(request, window, &plans, &result.stats);
   const SClock::time_point t2 = timing ? SClock::now() : SClock::time_point();
@@ -688,6 +709,13 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
       plans[obj.chain].plan = Plan::kQueryBased;
     }
   }
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    if (util::Status status = fi->Inject(util::FaultPoint::kEngineBuild);
+        !status.ok()) {
+      last_stats_ = result.stats;
+      return status;
+    }
+  }
   BuildExistsEngines(request, window, &plans, &result.stats);
   const SClock::time_point b2 = timing ? SClock::now() : SClock::time_point();
 
@@ -728,11 +756,127 @@ util::Result<QueryResult> QueryExecutor::RunBoundsThenRefine(
   return result;
 }
 
+util::Result<QueryResult> QueryExecutor::RunDegradedBounds(
+    const QueryRequest& request, const Selection& ids) {
+  QueryResult result;
+  result.degraded_bounds = true;
+  result.stats.threads_used = threads_;
+  PruneStats& prune = result.stats.prune;
+
+  // Only the t=0 cluster bound pass can decide anything without running
+  // engines; everything outside its reach — other predicates,
+  // non-contiguous windows, multi-observation objects — is reported
+  // undecided over [0, 1] rather than silently guessed.
+  const bool boundable =
+      request.predicate == PredicateKind::kThresholdExists &&
+      request.window.has_contiguous_times();
+  std::map<uint32_t, std::vector<ObjectId>> cluster_objects;
+  std::vector<ObjectId> unbounded;
+  if (boundable) {
+    PartitionByCluster(ids, &cluster_objects, &unbounded);
+    prune.clusters_total = static_cast<uint32_t>(cluster_objects.size());
+  } else {
+    ++prune.bound_fallbacks;
+    unbounded.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) unbounded.push_back(ids[i]);
+  }
+
+  StopPoller poller(request);
+  // Same soundness margin as BoundClusters: the full-precision twin this
+  // answer must never contradict is computed by reassociating kernels
+  // that promise only 1e-12 of the sequential value, so certainty on
+  // either side requires clearing τ by that margin.
+  constexpr double kKernelParityMargin = 1e-12;
+  for (const auto& [cluster_index, objects] : cluster_objects) {
+    if (poller.ShouldStop()) {
+      last_stats_ = result.stats;
+      return poller.ToStatus();
+    }
+    const ChainCluster& cluster = db_->chain_clusters()[cluster_index];
+    const ChainId leader = cluster.leader;
+    const uint32_t num_members =
+        static_cast<uint32_t>(cluster.members.size());
+    const std::vector<markov::ProbBound>* bounds =
+        cache_.LookupBounds(leader, num_members, request.window);
+    if (bounds == nullptr) {
+      const markov::IntervalMarkovChain* envelope =
+          cache_.LookupEnvelope(leader, num_members);
+      if (envelope == nullptr) {
+        std::vector<const markov::MarkovChain*> members;
+        members.reserve(cluster.members.size());
+        for (ChainId c : cluster.members) members.push_back(&db_->chain(c));
+        USTDB_ASSIGN_OR_RETURN(
+            markov::IntervalMarkovChain built,
+            markov::IntervalMarkovChain::FromChains(members));
+        envelope = cache_.PutEnvelope(leader, num_members, std::move(built));
+      }
+      // With lower bounds: unlike the refining plan, the degraded answer
+      // certifies inclusion from lo. (A cached upper-only pass left by a
+      // full-precision run reads lo = 0 — still sound, every would-be-
+      // certain object just lands in `undecided`.)
+      bounds = cache_.PutBounds(
+          leader, num_members, request.window,
+          envelope->BoundExists(request.window.region(),
+                                request.window.t_begin(),
+                                request.window.t_end(),
+                                /*with_lower=*/true));
+    }
+    ++prune.clusters_bounded;
+    bool any_undecided = false;
+    for (ObjectId id : objects) {
+      const UncertainObject& obj = db_->object(id);
+      double lo = 0.0;
+      double hi = 0.0;
+      obj.initial_pdf().ForEachNonZero([&](uint32_t s, double p) {
+        lo += p * (*bounds)[s].lo;
+        hi += p * (*bounds)[s].hi;
+      });
+      if (hi < request.tau - kKernelParityMargin) {
+        ++prune.objects_decided_by_bounds;  // certainly below τ: dropped
+      } else if (lo >= request.tau + kKernelParityMargin) {
+        ++prune.objects_decided_by_bounds;  // certainly above τ: kept
+        result.probabilities.push_back({id, lo});
+      } else {
+        any_undecided = true;
+        result.undecided.push_back(
+            {id, std::max(0.0, lo), std::min(1.0, hi)});
+      }
+    }
+    ++(any_undecided ? prune.clusters_refined : prune.clusters_pruned);
+  }
+  for (ObjectId id : unbounded) {
+    result.undecided.push_back({id, 0.0, 1.0});
+  }
+  const auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  std::sort(result.probabilities.begin(), result.probabilities.end(), by_id);
+  std::sort(result.undecided.begin(), result.undecided.end(), by_id);
+  last_stats_ = result.stats;
+  return result;
+}
+
 void QueryExecutor::EvaluateExistsRange(
     const QueryRequest& request, const QueryWindow& window,
     const Selection& ids, const std::map<ChainId, ChainPlan>& plans,
     size_t begin, size_t end, std::vector<double>* probs,
     std::vector<uint8_t>* keep, ExistsEval* ev) {
+  // Kernel-dispatch fault point. This runs on pool workers, so a `throw`
+  // rule must not unwind the task — it is converted right here and routed
+  // through the loop's existing first-error latch, exactly like a
+  // multi-observation engine failure.
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    util::Status injected = util::Status::OK();
+    try {
+      injected = fi->Inject(util::FaultPoint::kKernelDispatch);
+    } catch (const util::FaultInjectedError& e) {
+      injected = util::Status::Unavailable(e.what());
+    }
+    if (!injected.ok()) {
+      ev->failed.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(ev->error_mu);
+      if (ev->first_error.ok()) ev->first_error = std::move(injected);
+      return;
+    }
+  }
   const bool threshold =
       request.predicate == PredicateKind::kThresholdExists;
   for (size_t i = begin; i < end; ++i) {
@@ -867,6 +1011,9 @@ util::Result<QueryResult> QueryExecutor::RunKTimes(
   // PSTkQ has no backward formulation in the paper: the per-chain forward
   // engine runs regardless of the plan directive, shared across the
   // chain's objects like a QB pass but paying one recursion per object.
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    USTDB_RETURN_NOT_OK(fi->Inject(util::FaultPoint::kEngineBuild));
+  }
   std::map<ChainId, ChainPlan> plans;
   for (size_t i = 0; i < ids.size(); ++i) {
     const UncertainObject& obj = db_->object(ids[i]);
@@ -938,6 +1085,31 @@ util::Status QueryExecutor::EvaluateKTimesObjects(
 
 std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     std::span<const QueryRequest> requests) {
+  // Fault boundary mirroring Run(): a throw on the submitting thread
+  // fails every member transiently instead of crashing. Pool tasks
+  // (engine builds, evaluation subtasks) never throw.
+  try {
+    return RunBatchImpl(requests);
+  } catch (...) {
+    util::Status status = util::Status::Unavailable(
+        "allocation failed during batch execution");
+    try {
+      throw;
+    } catch (const util::FaultInjectedError& e) {
+      status = util::Status::Unavailable(e.what());
+    } catch (const std::bad_alloc&) {
+    }
+    std::vector<util::Result<QueryResult>> results;
+    results.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results.emplace_back(status);
+    }
+    return results;
+  }
+}
+
+std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
+    std::span<const QueryRequest> requests) {
   std::vector<util::Result<QueryResult>> results;
   results.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -971,6 +1143,13 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
     // tickets without paying for engines they will not use.
     if (util::Status status = CheckNotStopped(request); !status.ok()) {
       results[i] = std::move(status);
+      continue;
+    }
+    // Degraded members never need engines: answer them from the cached
+    // cluster bounds right here (cheap) and keep them out of the groups.
+    if (request.degrade == DegradeMode::kBoundsOnly) {
+      const Selection degraded_ids(request, db_->num_objects());
+      results[i] = RunDegradedBounds(request, degraded_ids);
       continue;
     }
     BatchGroup::Member member;
@@ -1140,6 +1319,21 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatch(
   // submitting thread inside this plan window, so the aggregate plan timer
   // covers them; traced members additionally get an exact kBound span.
   const SClock::time_point g1 = timing ? SClock::now() : SClock::time_point();
+
+  // Engine-build fault point for the batch path, fired on the submitting
+  // thread (pool build tasks have no error channel and must not throw): a
+  // failure here fails every not-yet-resolved member transiently.
+  if (util::FaultInjector* fi = util::FaultInjector::Active()) {
+    if (util::Status status = fi->Inject(util::FaultPoint::kEngineBuild);
+        !status.ok()) {
+      for (const BatchGroup& group : groups) {
+        for (const BatchGroup::Member& member : group.members) {
+          if (!member.resolved) results[member.request_index] = status;
+        }
+      }
+      return results;
+    }
+  }
 
   // --- Build phase: construct the cheap engine shells inline, then run
   // every expensive build — the query-based backward passes and the

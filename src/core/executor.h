@@ -98,6 +98,12 @@ class QueryExecutor {
   /// pass per chain plus one sparse dot product per object (zero passes
   /// when the engine cache holds the window). Objects run in parallel on
   /// the executor's pool; results are bit-identical across thread counts.
+  ///
+  /// Fault boundary: a FaultInjectedError or std::bad_alloc escaping the
+  /// run's controlling thread (engine build, cache admission) is caught
+  /// here and resolves the run with kUnavailable — transient and
+  /// retryable, never a crash. Requests with degrade == kBoundsOnly
+  /// answer from the Section V-C interval bounds alone (see DegradeMode).
   util::Result<QueryResult> Run(const QueryRequest& request);
 
   /// \brief Evaluates a batch of requests, amortizing shared work, and
@@ -211,8 +217,23 @@ class QueryExecutor {
 
   util::Status ValidateFilter(const QueryRequest& request) const;
 
+  /// Run/RunBatch bodies; the public wrappers add the fault boundary.
+  util::Result<QueryResult> RunImpl(const QueryRequest& request);
+  std::vector<util::Result<QueryResult>> RunBatchImpl(
+      std::span<const QueryRequest> requests);
+
   util::Result<QueryResult> RunExistsFamily(const QueryRequest& request,
                                             const Selection& ids);
+
+  /// \brief Bounds-only degraded answer (degrade == kBoundsOnly): decides
+  /// kThresholdExists objects from the cluster interval bounds alone —
+  /// certainly-in objects (lower bound clears τ) are returned with their
+  /// lower bound, certainly-out objects dropped, the borderline reported
+  /// in QueryResult::undecided. Objects (or whole requests) the bound
+  /// pass cannot reach are undecided over [0, 1]. Never refines, so the
+  /// cost is one cached envelope sweep per cluster.
+  util::Result<QueryResult> RunDegradedBounds(const QueryRequest& request,
+                                              const Selection& ids);
   util::Result<QueryResult> RunKTimes(const QueryRequest& request,
                                       const Selection& ids);
 

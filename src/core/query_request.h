@@ -13,6 +13,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/object_based.h"
@@ -20,6 +21,7 @@
 #include "obs/trace.h"
 #include "sparse/types.h"
 #include "util/cancellation.h"
+#include "util/status.h"
 
 namespace ustdb {
 namespace core {
@@ -81,6 +83,38 @@ struct ObjectProbability {
   double probability = 0.0;
 
   bool operator==(const ObjectProbability&) const = default;
+};
+
+/// Degradation directive carried by a request (see docs/RESILIENCE.md).
+enum class DegradeMode {
+  /// Full-precision answers only (default; behavior unchanged).
+  kNever,
+  /// The caller accepts a bounds-only answer when the service is shedding
+  /// load or a shard is quarantined. The executor itself treats this like
+  /// kNever — only the service downgrades it to kBoundsOnly.
+  kUnderPressure,
+  /// Answer kThresholdExists from the Section V-C interval bounds alone:
+  /// certainly-qualifying objects are returned (with their lower bound as
+  /// the reported probability), certainly-failing objects are dropped, and
+  /// everything else lands in QueryResult::undecided with its [lo, hi]
+  /// interval. The result carries degraded_bounds = true. Other predicates
+  /// (and non-contiguous windows, multi-observation objects) cannot be
+  /// bounded and report every object as undecided over [0, 1].
+  kBoundsOnly,
+};
+
+/// Retry directive for transient (kUnavailable) sub-request failures,
+/// honored by the QueryService dispatcher. The budget is per ticket:
+/// every retried sub-request draws from the same budget, backoff grows
+/// exponentially per attempt with ±jitter, and a retry never outlives the
+/// request's deadline or cancellation token. Default: no retries.
+struct RetryPolicy {
+  uint32_t max_retries = 0;
+  std::chrono::milliseconds initial_backoff{5};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  /// Backoff is scaled by a deterministic factor in [1-jitter, 1+jitter].
+  double jitter = 0.2;
 };
 
 /// Distribution over visit counts for one object (PSTkQ answer).
@@ -162,6 +196,13 @@ struct QueryRequest {
   /// their own to trace a specific request end to end. Shared: a scattered
   /// request's sub-requests all append to the same trace.
   std::shared_ptr<obs::QueryTrace> trace;
+
+  /// Degradation directive (resilience layer; see DegradeMode).
+  DegradeMode degrade = DegradeMode::kNever;
+
+  /// Retry budget for transient sub-request failures (service only; the
+  /// executor never retries). Default: no retries.
+  RetryPolicy retry;
 };
 
 /// \brief Execution telemetry of one QueryExecutor::Run — or, for
@@ -210,15 +251,50 @@ struct ExecStats {
   PruneStats prune;
 };
 
+/// One failed sub-request of a partial scatter-gather answer.
+struct ShardError {
+  uint32_t shard = 0;
+  util::StatusCode code = util::StatusCode::kUnavailable;
+  std::string message;
+};
+
+/// One object a degraded (bounds-only) run could not decide: its window
+/// probability is somewhere in [lo, hi]. lo = 0 and hi = 1 when no bound
+/// applies (multi-observation object, unbounded predicate/window).
+struct ObjectInterval {
+  ObjectId id = 0;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool operator==(const ObjectInterval&) const = default;
+};
+
 /// \brief The answer to one QueryRequest.
 ///
 /// kExists / kForAll / kThresholdExists / kTopKExists fill `probabilities`
 /// (ordering per predicate: request order, request order, ascending id,
 /// descending probability). kKTimes fills `distributions` in request order.
+///
+/// Resilience annotations (see docs/RESILIENCE.md): `partial` marks a
+/// scatter-gather answer missing >= 1 shard (per-shard detail in
+/// `shard_errors`, the unanswered object ids in `missing_objects`; the
+/// ticket still resolves OK and is classified kPartial by the service).
+/// `degraded_bounds` marks a bounds-only threshold answer: entries in
+/// `probabilities` are certainly above τ (reported probability = their
+/// lower bound), absent objects are certainly below, and `undecided`
+/// lists the borderline objects with their [lo, hi] intervals. A result
+/// without these flags is a full-precision answer — degraded or partial
+/// answers are never returned unlabeled.
 struct QueryResult {
   std::vector<ObjectProbability> probabilities;
   std::vector<ObjectKTimes> distributions;
   ExecStats stats;
+
+  bool partial = false;
+  bool degraded_bounds = false;
+  std::vector<ShardError> shard_errors;
+  std::vector<ObjectId> missing_objects;
+  std::vector<ObjectInterval> undecided;
 };
 
 }  // namespace core

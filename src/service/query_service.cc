@@ -11,6 +11,7 @@
 
 #include "core/planner.h"
 #include "util/cancellation.h"
+#include "util/fault_injector.h"
 #include "util/parallel_for.h"
 
 namespace ustdb {
@@ -24,6 +25,20 @@ namespace {
 constexpr size_t kLatencyReservoir = 4096;
 
 using Clock = std::chrono::steady_clock;
+
+/// Draws one fault decision at a service-owned injection point. The
+/// service's submit/merge paths speak Status, so a `throw` rule is
+/// converted here — a fault must resolve the ticket, never unwind into
+/// the caller's frame. Inactive injector = one relaxed atomic load.
+util::Status InjectServicePoint(util::FaultPoint point, int32_t shard = -1) {
+  util::FaultInjector* injector = util::FaultInjector::Active();
+  if (injector == nullptr) return util::Status::OK();
+  try {
+    return injector->Inject(point, shard);
+  } catch (const util::FaultInjectedError& e) {
+    return util::Status::Unavailable(e.what());
+  }
+}
 
 }  // namespace
 
@@ -40,6 +55,14 @@ struct TicketState {
   bool resolved = false;
   bool taken = false;
   std::optional<util::Result<core::QueryResult>> outcome;
+  /// First-resolution-wins claim, taken before any side effect of
+  /// Resolve(). Shutdown can race a shed/retry path to the same ticket;
+  /// whoever exchanges this first owns the resolution, the loser returns
+  /// without touching stats or the outcome slot.
+  std::atomic<bool> claimed{false};
+  /// Sub-request retry attempts consumed by this ticket (slow-ring
+  /// annotation; incremented by dispatcher threads).
+  std::atomic<uint32_t> retries{0};
 
   util::CancellationSource cancel;
   core::QueryRequest request;
@@ -56,6 +79,11 @@ struct TicketState {
   /// into its identity sub at routing, before the submit-time deadline
   /// check runs.
   std::optional<Clock::time_point> deadline;
+  /// Stashed copies of the resilience knobs (same move-at-routing
+  /// reason): the retry budget survives the sub request being moved into
+  /// the executor, and the degrade willingness is read at admission.
+  core::RetryPolicy retry;
+  core::DegradeMode degrade_mode = core::DegradeMode::kNever;
 };
 
 /// One per-shard sub-request of a routed parent plus the metadata its
@@ -63,10 +91,14 @@ struct TicketState {
 struct SubRoute {
   uint32_t shard = 0;
   core::QueryRequest request;  // moved out by the dispatcher that runs it
-  /// Position predicates (kExists / kForAll / kKTimes): parent result
-  /// position of each sub result entry, in the sub's evaluation order.
-  /// Unused (empty) for the sort-merged predicates.
+                               // (copied instead when retries are budgeted)
+  /// Parent result position of each sub entry, in the sub's evaluation
+  /// order. The position predicates (kExists / kForAll / kKTimes) scatter
+  /// through it at merge; every predicate reads it to name a failed sub's
+  /// missing objects in a partial answer.
   std::vector<ObjectId> positions;
+  /// Retry attempts consumed by this sub; guarded by queue_mu_.
+  uint32_t attempts = 0;
 };
 
 /// Scatter-gather state of one parent request: one slot per sub, filled
@@ -165,12 +197,26 @@ struct QueryService::ShardLane {
   std::deque<ShardTask> lanes[2];
   std::thread dispatcher;
 
+  /// Health state machine of this shard (lock-free; see resilience.h).
+  ShardHealthTracker health;
+
+  /// Sub-requests waiting out a retry backoff; guarded by queue_mu_.
+  /// Promoted back into their priority lane once due (immediately on
+  /// shutdown). Retries bypass the capacity check — they were admitted
+  /// once already.
+  struct RetryEntry {
+    Clock::time_point due;
+    ShardTask task;
+  };
+  std::vector<RetryEntry> retries;
+
   core::EngineCacheStats cache_snapshot;
   std::vector<double> latencies_ms;  // bounded reservoir, ring-indexed
   size_t latency_next = 0;
 
-  ShardLane(const core::Database* db, core::ExecutorOptions options)
-      : executor(db, options) {}
+  ShardLane(const core::Database* db, core::ExecutorOptions options,
+            const HealthPolicy& policy)
+      : executor(db, options), health(policy) {}
 };
 
 /// Registry handles the service feeds, resolved once at construction so
@@ -183,12 +229,19 @@ struct QueryService::ShardLane {
 struct QueryService::ObsHandles {
   obs::Counter* submitted;
   /// Indexed by the Resolve() classification: ok, cancelled, deadline,
-  /// rejected, failed.
-  obs::Counter* outcomes[5];
+  /// rejected, failed, partial.
+  obs::Counter* outcomes[6];
   obs::Counter* traces_sampled;
   obs::Counter* scatter_requests;
   obs::Counter* scatter_subtasks;
   obs::Gauge* queue_depth;
+  /// Resilience families. Shed counters are labeled by shed_reason;
+  /// retries/degraded are service-wide, health/quarantine/probe/watchdog
+  /// series carry the shard label.
+  obs::Counter* shed_bulk;
+  obs::Counter* shed_interactive;
+  obs::Counter* retries;
+  obs::Counter* degraded;
 
   struct Shard {
     obs::Histogram* queue_wait;  ///< submit -> dequeued by the dispatcher
@@ -197,6 +250,10 @@ struct QueryService::ObsHandles {
     obs::Counter* solo;
     obs::Counter* coalesced_batches;
     obs::Counter* coalesced_requests;
+    obs::Gauge* health;  ///< ShardHealth as 0/1/2 (see health_state docs)
+    obs::Counter* quarantines;
+    obs::Counter* probes;
+    obs::Counter* watchdog_trips;
   };
   std::vector<Shard> shards;
 
@@ -222,6 +279,21 @@ struct QueryService::ObsHandles {
     outcomes[2] = outcome_counter("deadline");
     outcomes[3] = outcome_counter("rejected");
     outcomes[4] = outcome_counter("failed");
+    outcomes[5] = outcome_counter("partial");
+    const auto shed_counter = [&](const char* reason) {
+      return reg->GetCounter("ustdb_service_shed_total",
+                             with("shed_reason", reason),
+                             "Submissions shed by admission control",
+                             "requests");
+    };
+    shed_bulk = shed_counter("bulk_overload");
+    shed_interactive = shed_counter("interactive_overload");
+    retries = reg->GetCounter("ustdb_service_retries_total", base,
+                              "Sub-request retry attempts scheduled",
+                              "retries");
+    degraded = reg->GetCounter(
+        "ustdb_service_degraded_total", base,
+        "Requests answered from interval bounds alone", "requests");
     traces_sampled = reg->GetCounter(
         "ustdb_service_traces_sampled_total", base,
         "Submissions that got a rate-sampled QueryTrace attached",
@@ -271,6 +343,20 @@ struct QueryService::ObsHandles {
       shards[s].coalesced_requests = reg->GetCounter(
           "ustdb_service_coalesced_requests_total", labels,
           "Queued entries carried by coalesced dispatches", "requests");
+      shards[s].health = reg->GetGauge(
+          "ustdb_service_shard_health", labels,
+          "Shard health state: 0=healthy, 1=degraded, 2=quarantined",
+          "state");
+      shards[s].quarantines = reg->GetCounter(
+          "ustdb_service_quarantines_total", labels,
+          "Transitions into kQuarantined (failures + watchdog trips)",
+          "transitions");
+      shards[s].probes = reg->GetCounter(
+          "ustdb_service_probes_total", labels,
+          "Probe sub-requests admitted to a quarantined shard", "probes");
+      shards[s].watchdog_trips = reg->GetCounter(
+          "ustdb_service_watchdog_trips_total", labels,
+          "Dispatcher-stall watchdog trips", "trips");
     }
   }
 };
@@ -322,7 +408,7 @@ QueryService::QueryService(const core::Database* db, ServiceOptions options)
   core::ExecutorOptions exec = options_.executor;
   exec.obs = options_.obs;
   exec.obs.labels["shard"] = "0";
-  shards_.push_back(std::make_unique<ShardLane>(db, exec));
+  shards_.push_back(std::make_unique<ShardLane>(db, exec, options_.health));
   if (options_.obs.enabled) {
     obs_ = std::make_unique<ObsHandles>(options_.obs, 1);
   }
@@ -344,7 +430,8 @@ QueryService::QueryService(const core::ShardedDatabase* db,
     core::ExecutorOptions exec = per_shard;
     exec.obs = options_.obs;
     exec.obs.labels["shard"] = std::to_string(s);
-    shards_.push_back(std::make_unique<ShardLane>(&db->shard(s), exec));
+    shards_.push_back(
+        std::make_unique<ShardLane>(&db->shard(s), exec, options_.health));
   }
   if (options_.obs.enabled) {
     obs_ = std::make_unique<ObsHandles>(options_.obs, num_shards);
@@ -363,6 +450,8 @@ std::shared_ptr<TicketState> QueryService::PrepareState(
   state->submitted_at = Clock::now();
   state->deadline = request.deadline;
   state->predicate = request.predicate;
+  state->retry = request.retry;
+  state->degrade_mode = request.degrade;
   // Trace attachment: honor a caller-supplied trace always; otherwise
   // sample every Nth submission (epoch = the submission instant just
   // stamped, so span offsets read as time-since-submit).
@@ -493,6 +582,7 @@ util::Status QueryService::BuildRoute(
       sub.request.k = req.k;
       sub.request.plan = pinned;
       sub.request.matrix_mode = req.matrix_mode;
+      sub.request.degrade = req.degrade;
       if (filtered) sub.request.object_filter = std::move(filters[s]);
       sub.request.cancel = req.cancel;  // the parent-linked token
       sub.request.deadline = req.deadline;
@@ -526,9 +616,12 @@ util::Status QueryService::TryEnqueueLocked(
   }
   const int lane = static_cast<int>(priority);
   // All-or-nothing admission: every target shard's lane needs a slot (at
-  // most one sub per shard), or the whole request rejects/blocks.
+  // most one sub per shard), or the whole request rejects/blocks. Subs
+  // pre-resolved by the health gate (quarantined targets) never enqueue.
   const auto has_space = [this, &gather, lane] {
-    for (const SubRoute& sub : gather->subs) {
+    for (size_t i = 0; i < gather->subs.size(); ++i) {
+      if (gather->results[i].has_value()) continue;
+      const SubRoute& sub = gather->subs[i];
       if (shards_[sub.shard]->lanes[lane].size() >= options_.queue_capacity) {
         return false;
       }
@@ -548,6 +641,7 @@ util::Status QueryService::TryEnqueueLocked(
     }
   }
   for (size_t i = 0; i < gather->subs.size(); ++i) {
+    if (gather->results[i].has_value()) continue;
     shards_[gather->subs[i].shard]->lanes[lane].push_back(
         ShardTask{gather, i});
   }
@@ -563,19 +657,250 @@ void QueryService::NotifyTargets(const GatherState& gather) {
   }
 }
 
+ShardHealth QueryService::shard_health(uint32_t shard) const {
+  return shards_[shard]->health.health();
+}
+
+void QueryService::CheckWatchdogs(Clock::time_point now) {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s]->health.CheckWatchdog(now)) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.watchdog_trips;
+        ++stats_.quarantines;
+      }
+      if (obs_ != nullptr) {
+        obs_->shards[s].watchdog_trips->Add(1);
+        obs_->shards[s].quarantines->Add(1);
+        obs_->shards[s].health->Set(
+            static_cast<double>(ShardHealth::kQuarantined));
+      }
+    }
+  }
+}
+
+void QueryService::RecordShardOutcome(uint32_t shard,
+                                      const util::Status& status) {
+  ShardHealthTracker& tracker = shards_[shard]->health;
+  if (status.ok()) {
+    const bool recovered = tracker.RecordSuccess();
+    if (recovered && obs_ != nullptr) {
+      obs_->shards[shard].health->Set(
+          static_cast<double>(ShardHealth::kHealthy));
+    }
+    return;
+  }
+  const util::StatusCode code = status.code();
+  if (code == util::StatusCode::kUnavailable ||
+      code == util::StatusCode::kInternal) {
+    const ShardHealth before = tracker.health();
+    const ShardHealth after = tracker.RecordFailure(Clock::now());
+    if (after == ShardHealth::kQuarantined &&
+        before != ShardHealth::kQuarantined) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.quarantines;
+      }
+      if (obs_ != nullptr) obs_->shards[shard].quarantines->Add(1);
+    }
+    if (after != before && obs_ != nullptr) {
+      obs_->shards[shard].health->Set(static_cast<double>(after));
+    }
+    return;
+  }
+  // Caller-attributable outcomes (cancel, deadline, invalid argument) say
+  // nothing about the shard — but a probe that ends this way must free
+  // the probe slot or a quarantined shard would never re-probe.
+  tracker.ProbeAborted();
+}
+
+util::Status QueryService::ApplyHealthGate(
+    const std::shared_ptr<GatherState>& gather) {
+  const Clock::time_point now = Clock::now();
+  size_t live = 0;
+  uint64_t probes = 0;
+  std::vector<size_t> dropped;
+  for (size_t i = 0; i < gather->subs.size(); ++i) {
+    bool is_probe = false;
+    if (shards_[gather->subs[i].shard]->health.AdmitToShard(now,
+                                                            &is_probe)) {
+      if (is_probe) {
+        ++probes;
+        if (obs_ != nullptr) {
+          obs_->shards[gather->subs[i].shard].probes->Add(1);
+        }
+      }
+      ++live;
+    } else {
+      dropped.push_back(i);
+    }
+  }
+  if (live == 0) {
+    return util::Status::Unavailable(
+        "all target shards are quarantined; retry after the probe backoff");
+  }
+  if (!dropped.empty()) {
+    if (!options_.partial_results) {
+      return util::Status::Unavailable(
+          "shard " + std::to_string(gather->subs[dropped.front()].shard) +
+          " is quarantined and partial results are disabled");
+    }
+    // Pre-resolve the quarantined subs: they never enqueue, the merge
+    // sees their slots as transient failures and answers partially.
+    for (size_t i : dropped) {
+      gather->results[i].emplace(util::Status::Unavailable(
+          "shard " + std::to_string(gather->subs[i].shard) +
+          " is quarantined"));
+    }
+    gather->remaining.store(live, std::memory_order_relaxed);
+  }
+  if (probes > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.probes += probes;
+  }
+  return util::Status::OK();
+}
+
+util::Status QueryService::MaybeShedLocked(const GatherState& gather,
+                                           Priority priority,
+                                           bool* degrade_instead) {
+  *degrade_instead = false;
+  const OverloadPolicy& policy = options_.overload;
+  if (!policy.enabled) return util::Status::OK();
+  const size_t capacity =
+      shards_.size() * 2 * options_.queue_capacity;
+  const double fraction =
+      capacity == 0 ? 0.0
+                    : static_cast<double>(QueueDepthLocked()) /
+                          static_cast<double>(capacity);
+  // Optional queue-wait p99 signal from the always-on histograms: any
+  // shard's tail past the limit counts as overload for bulk traffic.
+  bool wait_overload = false;
+  if (policy.max_queue_wait_p99.count() > 0 && obs_ != nullptr) {
+    const double limit_s =
+        std::chrono::duration<double>(policy.max_queue_wait_p99).count();
+    for (const ObsHandles::Shard& shard : obs_->shards) {
+      if (shard.queue_wait->Percentile(0.99) > limit_s) {
+        wait_overload = true;
+        break;
+      }
+    }
+  }
+  const auto retry_hint = [&policy] {
+    return "; retry after " + std::to_string(policy.retry_after.count()) +
+           "ms";
+  };
+  if (priority == Priority::kBulk) {
+    if (fraction >= policy.shed_bulk_at || wait_overload) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_bulk;
+      }
+      if (obs_ != nullptr) obs_->shed_bulk->Add(1);
+      return util::Status::Unavailable(
+          "overloaded: bulk submission shed" + retry_hint());
+    }
+    return util::Status::OK();
+  }
+  if (fraction >= policy.shed_interactive_at) {
+    // A threshold query that opted into degradation answers from interval
+    // bounds alone instead of being shed: certain objects decided, the
+    // borderline reported as [lo, hi] (see QueryResult::undecided).
+    if (gather.parent->degrade_mode == core::DegradeMode::kUnderPressure &&
+        gather.parent->predicate ==
+            core::PredicateKind::kThresholdExists) {
+      *degrade_instead = true;
+      return util::Status::OK();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_interactive;
+    }
+    if (obs_ != nullptr) obs_->shed_interactive->Add(1);
+    return util::Status::Unavailable(
+        "overloaded: interactive submission shed" + retry_hint());
+  }
+  return util::Status::OK();
+}
+
+bool QueryService::MaybeScheduleRetry(
+    const std::shared_ptr<GatherState>& gather, size_t sub_index,
+    const util::Result<core::QueryResult>& outcome, uint32_t shard) {
+  TicketState& parent = *gather->parent;
+  if (parent.retry.max_retries == 0) return false;
+  if (outcome.ok() ||
+      outcome.status().code() != util::StatusCode::kUnavailable) {
+    return false;
+  }
+  if (parent.cancel.stop_requested()) return false;
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  // Shutdown wins: a retry scheduled now would outlive the dispatcher
+  // drain. The sub completes with its error instead (exactly-once).
+  if (stopping_) return false;
+  SubRoute& sub = gather->subs[sub_index];
+  if (sub.attempts >= parent.retry.max_retries) return false;
+  const uint32_t attempt = sub.attempts++;
+  // Per-ticket jitter seed: decorrelates concurrent tickets' backoffs
+  // while staying reproducible for a pinned clock in tests.
+  const uint64_t seed =
+      static_cast<uint64_t>(parent.submitted_at.time_since_epoch().count()) ^
+      (0x9E3779B97f4A7C15ULL * (sub_index + 1));
+  const Clock::time_point due =
+      Clock::now() + RetryBackoff(parent.retry, attempt, seed);
+  // A retry that cannot finish before the deadline is pointless: let the
+  // current failure stand rather than burn backoff into a sure expiry.
+  if (parent.deadline.has_value() && due >= *parent.deadline) return false;
+  ShardLane& lane = *shards_[shard];
+  lane.retries.push_back(
+      ShardLane::RetryEntry{due, ShardTask{gather, sub_index}});
+  parent.retries.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.retries;
+  }
+  if (obs_ != nullptr) obs_->retries->Add(1);
+  lane.work_cv.notify_one();
+  return true;
+}
+
+void QueryService::PromoteRetriesLocked(ShardLane& lane,
+                                        Clock::time_point now) {
+  for (size_t i = 0; i < lane.retries.size();) {
+    if (lane.retries[i].due <= now) {
+      ShardTask task = std::move(lane.retries[i].task);
+      const int priority = static_cast<int>(task.gather->parent->priority);
+      lane.lanes[priority].push_back(std::move(task));
+      lane.retries[i] = std::move(lane.retries.back());
+      lane.retries.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
 QueryTicket QueryService::Submit(core::QueryRequest request,
                                  Priority priority) {
   std::shared_ptr<TicketState> state =
       PrepareState(std::move(request), priority);
   QueryTicket ticket{std::shared_ptr<TicketState>(state)};
 
+  // Queue-admission fault point, drawn outside the lock so a stall rule
+  // delays only this submission. The watchdog sweep rides the same path:
+  // submitting threads are the ones guaranteed to keep arriving while a
+  // dispatcher is wedged.
+  const util::Status admission =
+      InjectServicePoint(util::FaultPoint::kQueueAdmission);
+  CheckWatchdogs(Clock::now());
+
   std::shared_ptr<GatherState> gather;
   util::Status route = BuildRoute(state, &gather);
 
-  // Shutdown outranks the deadline check, which outranks routing errors:
-  // after Shutdown() *every* submission resolves Unavailable, even one
-  // that is also expired or unroutable.
+  // Shutdown outranks the deadline check, which outranks injected
+  // admission faults, which outrank routing errors: after Shutdown()
+  // *every* submission resolves Unavailable, even one that is also
+  // expired or unroutable.
   util::Status enqueue = util::Status::OK();
+  bool degrade_instead = false;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     if (stopping_) {
@@ -584,14 +909,34 @@ QueryTicket QueryService::Submit(core::QueryRequest request,
                Clock::now() >= *state->deadline) {
       enqueue = util::Status::DeadlineExceeded(
           "deadline already passed at submission");
+    } else if (!admission.ok()) {
+      enqueue = admission;
     } else if (!route.ok()) {
       enqueue = std::move(route);
+    } else if (enqueue = ApplyHealthGate(gather); !enqueue.ok()) {
+      // resolved below
+    } else if (enqueue = MaybeShedLocked(*gather, priority, &degrade_instead);
+               !enqueue.ok()) {
+      // resolved below
     } else {
+      if (degrade_instead) {
+        for (SubRoute& sub : gather->subs) {
+          sub.request.degrade = core::DegradeMode::kBoundsOnly;
+        }
+      }
       enqueue = TryEnqueueLocked(gather, priority, &lock,
                                  /*allow_block=*/true);
     }
   }
   if (!enqueue.ok()) {
+    // A probe admitted by the health gate that never enqueued must free
+    // its slot, or the quarantined shard would never re-probe. Harmless
+    // for non-probe targets.
+    if (gather != nullptr) {
+      for (const SubRoute& sub : gather->subs) {
+        shards_[sub.shard]->health.ProbeAborted();
+      }
+    }
     Resolve(state, std::move(enqueue), /*latency_shard=*/0);
     return ticket;
   }
@@ -620,6 +965,16 @@ std::vector<QueryTicket> QueryService::SubmitBurst(
     states.push_back(PrepareState(std::move(request), priority));
     tickets.push_back(QueryTicket{states.back()});
   }
+
+  // Per-entry queue-admission fault draws and the watchdog sweep, both
+  // outside the lock (a stall rule delays the burst, not the lock).
+  std::vector<util::Status> admissions;
+  admissions.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    admissions.push_back(
+        InjectServicePoint(util::FaultPoint::kQueueAdmission));
+  }
+  CheckWatchdogs(Clock::now());
 
   // Route outside the lock (translation and plan pinning are pure), then
   // take one queue lock for the whole burst: the dispatchers see either
@@ -650,13 +1005,32 @@ std::vector<QueryTicket> QueryService::SubmitBurst(
                                      "deadline already passed at submission"));
         continue;
       }
+      if (!admissions[i].ok()) {
+        failures.emplace_back(i, std::move(admissions[i]));
+        continue;
+      }
       if (!routes[i].ok()) {
         failures.emplace_back(i, std::move(routes[i]));
         continue;
       }
-      if (util::Status s = TryEnqueueLocked(gathers[i], priority, &lock,
-                                           /*allow_block=*/false);
-          !s.ok()) {
+      util::Status s = ApplyHealthGate(gathers[i]);
+      bool degrade_instead = false;
+      if (s.ok()) {
+        s = MaybeShedLocked(*gathers[i], priority, &degrade_instead);
+      }
+      if (s.ok()) {
+        if (degrade_instead) {
+          for (SubRoute& sub : gathers[i]->subs) {
+            sub.request.degrade = core::DegradeMode::kBoundsOnly;
+          }
+        }
+        s = TryEnqueueLocked(gathers[i], priority, &lock,
+                             /*allow_block=*/false);
+      }
+      if (!s.ok()) {
+        for (const SubRoute& sub : gathers[i]->subs) {
+          shards_[sub.shard]->health.ProbeAborted();
+        }
         failures.emplace_back(i, std::move(s));
         continue;
       }
@@ -689,10 +1063,25 @@ void QueryService::DispatcherLoop(uint32_t shard) {
     std::vector<ShardTask> taken;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      lane.work_cv.wait(lock, [this, &lane] {
-        return stopping_ || (!paused_ && (!lane.lanes[0].empty() ||
-                                          !lane.lanes[1].empty()));
-      });
+      for (;;) {
+        // Retries whose backoff elapsed rejoin their lane; on shutdown
+        // every pending retry promotes immediately — drain semantics,
+        // the backoff no longer buys anything.
+        PromoteRetriesLocked(lane, stopping_ ? Clock::time_point::max()
+                                             : Clock::now());
+        const bool work =
+            !lane.lanes[0].empty() || !lane.lanes[1].empty();
+        if (stopping_ || (!paused_ && work)) break;
+        if (!paused_ && !lane.retries.empty()) {
+          Clock::time_point due = lane.retries.front().due;
+          for (const ShardLane::RetryEntry& entry : lane.retries) {
+            due = std::min(due, entry.due);
+          }
+          lane.work_cv.wait_until(lock, due);
+        } else {
+          lane.work_cv.wait(lock);
+        }
+      }
       if (lane.lanes[0].empty() && lane.lanes[1].empty()) {
         if (stopping_) return;
         continue;  // spurious or pause-toggle wake
@@ -717,6 +1106,19 @@ void QueryService::DispatcherLoop(uint32_t shard) {
 }
 
 void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
+  // Dispatch fault point (the `shardN` spec sites): a firing fail/throw
+  // rule fails this whole drain — every taken sub completes with the
+  // injected status and flows through the usual retry/merge machinery.
+  if (util::FaultInjector::Active() != nullptr) {
+    util::Status injected = InjectServicePoint(
+        util::FaultPoint::kDispatch, static_cast<int32_t>(shard));
+    if (!injected.ok()) {
+      for (ShardTask& task : taken) {
+        CompleteSub(task.gather, task.sub_index, injected, shard);
+      }
+      return;
+    }
+  }
   // Resolve entries that went stale while queued without paying for
   // engines: cancel-before-dequeue and expire-in-queue land here.
   const Clock::time_point now = Clock::now();
@@ -764,8 +1166,10 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
   ShardLane& lane = *shards_[shard];
   if (runnable.size() == 1) {
     ShardTask& task = runnable.front();
+    lane.health.MarkDispatchStart(now);
     util::Result<core::QueryResult> result =
         lane.executor.Run(task.gather->subs[task.sub_index].request);
+    lane.health.MarkDispatchEnd();
     const Clock::time_point run_end =
         timing ? Clock::now() : Clock::time_point();
     {
@@ -792,10 +1196,19 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
   std::vector<core::QueryRequest> requests;
   requests.reserve(runnable.size());
   for (ShardTask& task : runnable) {
-    requests.push_back(std::move(task.gather->subs[task.sub_index].request));
+    core::QueryRequest& sub = task.gather->subs[task.sub_index].request;
+    if (task.gather->parent->retry.max_retries > 0) {
+      // Keep the sub request intact: a transient failure re-runs it after
+      // backoff. Without a retry budget the move stays free.
+      requests.push_back(sub);
+    } else {
+      requests.push_back(std::move(sub));
+    }
   }
+  lane.health.MarkDispatchStart(now);
   std::vector<util::Result<core::QueryResult>> results =
       lane.executor.RunBatch(requests);
+  lane.health.MarkDispatchEnd();
   const Clock::time_point run_end =
       timing ? Clock::now() : Clock::time_point();
   {
@@ -830,6 +1243,12 @@ void QueryService::CompleteSub(const std::shared_ptr<GatherState>& gather,
                                size_t sub_index,
                                util::Result<core::QueryResult> outcome,
                                uint32_t shard) {
+  RecordShardOutcome(
+      shard, outcome.ok() ? util::Status::OK() : outcome.status());
+  // A transient failure within the retry budget re-queues the sub after
+  // backoff instead of completing it; the countdown is untouched, so the
+  // parent cannot resolve while a retry is pending.
+  if (MaybeScheduleRetry(gather, sub_index, outcome, shard)) return;
   gather->results[sub_index].emplace(std::move(outcome));
   // acq_rel: the slot write above happens-before the merging thread's
   // reads of every slot.
@@ -849,15 +1268,50 @@ void QueryService::MergeAndResolve(
                     static_cast<int32_t>(shard));
     }
   };
-  // Any sub failure fails the parent; the lowest sub index (= lowest
-  // target shard) wins so concurrent failures resolve deterministically.
-  for (std::optional<util::Result<core::QueryResult>>& slot :
-       gather->results) {
-    if (!slot->ok()) {
-      record_merge();
-      Resolve(gather->parent, std::move(*slot), shard);
-      return;
+  // Merge fault point: a firing fail/throw rule fails the whole parent
+  // (a stall just delays the merge).
+  if (util::Status injected = InjectServicePoint(util::FaultPoint::kMerge);
+      !injected.ok()) {
+    record_merge();
+    Resolve(gather->parent, std::move(injected), shard);
+    return;
+  }
+
+  // Classify sub outcomes. Stop codes and non-transient errors fail the
+  // whole parent — the lowest sub index (= lowest target shard) wins so
+  // concurrent failures resolve deterministically, exactly as before the
+  // resilience layer. Transient failures (kUnavailable / kInternal, post
+  // retry budget) tolerate a flagged partial answer when enabled and at
+  // least one shard answered.
+  size_t ok_count = 0;
+  std::optional<size_t> first_fatal;
+  std::optional<size_t> first_transient;
+  for (size_t i = 0; i < gather->results.size(); ++i) {
+    const util::Result<core::QueryResult>& slot = *gather->results[i];
+    if (slot.ok()) {
+      ++ok_count;
+      continue;
     }
+    const util::StatusCode code = slot.status().code();
+    if (code != util::StatusCode::kUnavailable &&
+        code != util::StatusCode::kInternal) {
+      if (!first_fatal.has_value()) first_fatal = i;
+    } else if (!first_transient.has_value()) {
+      first_transient = i;
+    }
+  }
+  if (first_fatal.has_value()) {
+    record_merge();
+    Resolve(gather->parent, std::move(*gather->results[*first_fatal]),
+            shard);
+    return;
+  }
+  const bool partial = first_transient.has_value();
+  if (partial && (!options_.partial_results || ok_count == 0)) {
+    record_merge();
+    Resolve(gather->parent, std::move(*gather->results[*first_transient]),
+            shard);
+    return;
   }
   if (gather->identity) {
     record_merge();
@@ -869,7 +1323,9 @@ void QueryService::MergeAndResolve(
   merged.stats.threads_used = 0;  // summed below
   for (const std::optional<util::Result<core::QueryResult>>& slot :
        gather->results) {
+    if (!slot->ok()) continue;
     AccumulateStats(slot->value().stats, &merged.stats);
+    if (slot->value().degraded_bounds) merged.degraded_bounds = true;
   }
   if (gather->add_bound_fallback) ++merged.stats.prune.bound_fallbacks;
 
@@ -879,12 +1335,17 @@ void QueryService::MergeAndResolve(
     case core::PredicateKind::kForAll: {
       // Position scatter: entry j of sub i lands at its recorded parent
       // position; the id there is the parent's (filter entry or global
-      // id — without a filter, position == global id).
+      // id — without a filter, position == global id). A partial answer
+      // compacts the failed shards' never-filled positions away, keeping
+      // the survivors in parent order.
       const size_t total = req.object_filter.has_value()
                                ? req.object_filter->size()
                                : sharded_->num_objects();
       merged.probabilities.resize(total);
+      std::vector<char> filled;
+      if (partial) filled.assign(total, 0);
       for (size_t i = 0; i < gather->subs.size(); ++i) {
+        if (!gather->results[i]->ok()) continue;
         const SubRoute& sub = gather->subs[i];
         const core::QueryResult& result = gather->results[i]->value();
         for (size_t j = 0; j < result.probabilities.size(); ++j) {
@@ -894,7 +1355,15 @@ void QueryService::MergeAndResolve(
                                   : position;
           merged.probabilities[position] = {
               id, result.probabilities[j].probability};
+          if (partial) filled[position] = 1;
         }
+      }
+      if (partial) {
+        size_t out = 0;
+        for (size_t p = 0; p < total; ++p) {
+          if (filled[p]) merged.probabilities[out++] = merged.probabilities[p];
+        }
+        merged.probabilities.resize(out);
       }
       break;
     }
@@ -903,7 +1372,10 @@ void QueryService::MergeAndResolve(
                                ? req.object_filter->size()
                                : sharded_->num_objects();
       merged.distributions.resize(total);
+      std::vector<char> filled;
+      if (partial) filled.assign(total, 0);
       for (size_t i = 0; i < gather->subs.size(); ++i) {
+        if (!gather->results[i]->ok()) continue;
         const SubRoute& sub = gather->subs[i];
         core::QueryResult& result = gather->results[i]->value();
         for (size_t j = 0; j < result.distributions.size(); ++j) {
@@ -913,7 +1385,17 @@ void QueryService::MergeAndResolve(
                                   : position;
           merged.distributions[position] = {
               id, std::move(result.distributions[j].distribution)};
+          if (partial) filled[position] = 1;
         }
+      }
+      if (partial) {
+        size_t out = 0;
+        for (size_t p = 0; p < total; ++p) {
+          if (filled[p]) {
+            merged.distributions[out++] = std::move(merged.distributions[p]);
+          }
+        }
+        merged.distributions.resize(out);
       }
       break;
     }
@@ -924,17 +1406,28 @@ void QueryService::MergeAndResolve(
       // migration local order need not be a contiguous global range, so
       // a plain concatenation is not enough).
       for (size_t i = 0; i < gather->subs.size(); ++i) {
+        if (!gather->results[i]->ok()) continue;
         const SubRoute& sub = gather->subs[i];
-        for (const core::ObjectProbability& entry :
-             gather->results[i]->value().probabilities) {
+        const core::QueryResult& result = gather->results[i]->value();
+        for (const core::ObjectProbability& entry : result.probabilities) {
           merged.probabilities.push_back(
               {sharded_->global_object(sub.shard, entry.id),
                entry.probability});
+        }
+        // Degraded (bounds-only) sub answers carry undecided intervals;
+        // translate them the same way.
+        for (const core::ObjectInterval& entry : result.undecided) {
+          merged.undecided.push_back(
+              {sharded_->global_object(sub.shard, entry.id), entry.lo,
+               entry.hi});
         }
       }
       std::sort(merged.probabilities.begin(), merged.probabilities.end(),
                 [](const core::ObjectProbability& a,
                    const core::ObjectProbability& b) { return a.id < b.id; });
+      std::sort(merged.undecided.begin(), merged.undecided.end(),
+                [](const core::ObjectInterval& a,
+                   const core::ObjectInterval& b) { return a.id < b.id; });
       break;
     }
     case core::PredicateKind::kTopKExists: {
@@ -943,6 +1436,7 @@ void QueryService::MergeAndResolve(
       // order over unique ids, so the merged prefix is bit-identical to
       // the unsharded partial_sort no matter how objects were placed.
       for (size_t i = 0; i < gather->subs.size(); ++i) {
+        if (!gather->results[i]->ok()) continue;
         const SubRoute& sub = gather->subs[i];
         for (const core::ObjectProbability& entry :
              gather->results[i]->value().probabilities) {
@@ -965,6 +1459,25 @@ void QueryService::MergeAndResolve(
       break;
     }
   }
+  if (partial) {
+    // Label the answer: which shards failed with what, and which objects
+    // therefore went unanswered. Per-shard positions name the parent's
+    // objects directly (filter entries or global ids).
+    merged.partial = true;
+    for (size_t i = 0; i < gather->results.size(); ++i) {
+      if (gather->results[i]->ok()) continue;
+      const SubRoute& sub = gather->subs[i];
+      const util::Status& status = gather->results[i]->status();
+      merged.shard_errors.push_back(
+          {sub.shard, status.code(), status.message()});
+      for (const ObjectId position : sub.positions) {
+        merged.missing_objects.push_back(
+            req.object_filter.has_value() ? (*req.object_filter)[position]
+                                          : position);
+      }
+    }
+    std::sort(merged.missing_objects.begin(), merged.missing_objects.end());
+  }
   record_merge();
   Resolve(gather->parent, std::move(merged), shard);
 }
@@ -972,16 +1485,27 @@ void QueryService::MergeAndResolve(
 void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
                            util::Result<core::QueryResult> outcome,
                            uint32_t latency_shard) {
+  // First resolution wins. Shutdown can race a shed/retry path to the
+  // same ticket (see shutdown_shed_race_test); whoever exchanges the
+  // claim first owns stats, obs, and the outcome slot — the loser leaves
+  // without a trace, so every ticket resolves exactly once.
+  if (state->claimed.exchange(true, std::memory_order_acq_rel)) return;
   const double latency_ms =
       std::chrono::duration<double, std::milli>(Clock::now() -
                                                 state->submitted_at)
           .count();
-  const util::StatusCode code = outcome.ok()
-                                    ? util::StatusCode::kOk
-                                    : outcome.status().code();
+  const bool is_partial = outcome.ok() && outcome->partial;
+  const bool is_degraded = outcome.ok() && outcome->degraded_bounds;
+  const util::StatusCode code =
+      !outcome.ok() ? outcome.status().code()
+                    : (is_partial ? util::StatusCode::kPartial
+                                  : util::StatusCode::kOk);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
+    if (is_partial) ++stats_.partial;
+    if (is_degraded) ++stats_.degraded;
     switch (code) {
+      case util::StatusCode::kPartial:
       case util::StatusCode::kOk: {
         ++stats_.completed;
         stats_.group_subtasks += outcome->stats.group_subtasks;
@@ -1020,6 +1544,9 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
       record.priority = state->priority;
       record.code = code;
       record.spans = state->trace->spans();
+      record.retries = state->retries.load(std::memory_order_relaxed);
+      record.partial = is_partial;
+      record.degraded = is_degraded;
       slow_ring_.push_back(std::move(record));
       std::sort(slow_ring_.begin(), slow_ring_.end(),
                 [](const SlowQuery& a, const SlowQuery& b) {
@@ -1045,11 +1572,16 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
       case util::StatusCode::kUnavailable:
         outcome_index = 3;
         break;
+      case util::StatusCode::kPartial:
+        outcome_index = 5;
+        break;
       default:
         break;
     }
     obs_->outcomes[outcome_index]->Add(1);
-    if (code == util::StatusCode::kOk) {
+    if (is_degraded) obs_->degraded->Add(1);
+    if (code == util::StatusCode::kOk ||
+        code == util::StatusCode::kPartial) {
       obs_->shards[latency_shard].latency->Observe(latency_ms / 1e3);
     }
   }

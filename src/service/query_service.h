@@ -42,6 +42,7 @@
 #include "core/shard_router.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/resilience.h"
 #include "util/result.h"
 
 namespace ustdb {
@@ -101,6 +102,18 @@ struct ServiceOptions {
   /// field overrides whatever `executor.obs` carries, so the shard label
   /// is always stamped consistently.
   obs::ObsOptions obs;
+  /// Health state machine thresholds for the per-shard trackers (failure
+  /// counts, probe backoff, dispatcher watchdog). See docs/RESILIENCE.md.
+  HealthPolicy health;
+  /// Admission-control thresholds; disabled by default, in which case the
+  /// service sheds nothing and behaves exactly as before this layer.
+  OverloadPolicy overload;
+  /// Allow a scattered request to resolve with a flagged partial answer
+  /// (QueryResult::partial + shard_errors + missing_objects) when some —
+  /// but not all — target shards fail transiently or sit in quarantine.
+  /// With false every sub failure fails the whole parent, exactly the
+  /// pre-resilience behavior.
+  bool partial_results = true;
 };
 
 /// Snapshot of the service's counters. Counts are cumulative since
@@ -157,6 +170,18 @@ struct ServiceStats {
   uint64_t clusters_bounded = 0;
   uint64_t clusters_pruned = 0;
   uint64_t clusters_refined = 0;
+  /// Resilience counters. Partial/degraded requests are ALSO counted in
+  /// `completed` (their tickets resolve OK, flagged on the QueryResult),
+  /// so the snapshot invariant completed + failed + cancelled +
+  /// deadline_expired + rejected <= submitted still holds.
+  uint64_t shed_bulk = 0;         ///< bulk submissions shed by overload
+  uint64_t shed_interactive = 0;  ///< interactive submissions shed
+  uint64_t retries = 0;           ///< sub-request retry attempts scheduled
+  uint64_t partial = 0;           ///< requests resolved with partial=true
+  uint64_t degraded = 0;          ///< requests answered bounds-only
+  uint64_t quarantines = 0;       ///< kHealthy/kDegraded -> kQuarantined
+  uint64_t probes = 0;            ///< probe sub-requests admitted
+  uint64_t watchdog_trips = 0;    ///< dispatcher-stall quarantines
   size_t queue_depth = 0;  ///< queued entries across all lanes and shards
   size_t queue_peak = 0;   ///< high-water mark of queue_depth
   /// Completed-request latency percentiles, computed over the MERGED
@@ -186,6 +211,12 @@ struct SlowQuery {
   util::StatusCode code = util::StatusCode::kOk;
   /// The trace's spans, sorted by begin time (see obs::QueryTrace).
   std::vector<obs::TraceSpan> spans;
+  /// Resilience annotations: sub-request retries this ticket consumed,
+  /// whether it resolved with a subset of shards, and whether it was
+  /// answered from interval bounds alone.
+  uint32_t retries = 0;
+  bool partial = false;
+  bool degraded = false;
 };
 
 namespace internal {
@@ -343,6 +374,12 @@ class QueryService {
     return static_cast<uint32_t>(shards_.size());
   }
 
+  /// Current health of shard `shard`'s lane (see ShardHealth). Driven by
+  /// dispatch outcomes: transient failures degrade then quarantine, any
+  /// success recovers, a stalled dispatcher trips the watchdog straight
+  /// to quarantine. Thread-safe, lock-free.
+  ShardHealth shard_health(uint32_t shard) const;
+
  private:
   struct ShardTask;  // one queued sub-request (gather handle + index)
   struct ShardLane;  // executor + two-lane queue + dispatcher of a shard
@@ -390,6 +427,36 @@ class QueryService {
   std::shared_ptr<internal::TicketState> PrepareState(
       core::QueryRequest request, Priority priority);
   size_t QueueDepthLocked() const;
+
+  /// Admission control. Returns non-OK (with a retry-after hint in the
+  /// message) when `priority` traffic must be shed under the current
+  /// queue depth / queue-wait p99; may instead downgrade a willing
+  /// (degrade == kUnderPressure) threshold request to a bounds-only
+  /// answer, setting `*degrade_instead`. Called under queue_mu_.
+  util::Status MaybeShedLocked(const internal::GatherState& gather,
+                               Priority priority, bool* degrade_instead);
+  /// Drops sub-routes targeting quarantined shards (recording their
+  /// objects as missing) and counts admitted probes. Returns non-OK when
+  /// every target is quarantined with no probe due, or when the request
+  /// cannot tolerate a partial answer.
+  util::Status ApplyHealthGate(
+      const std::shared_ptr<internal::GatherState>& gather);
+  /// Schedules a retry of sub `sub_index` when `outcome` is a transient
+  /// failure within the request's retry budget (deadline allowing, not
+  /// shutting down). Returns true when the retry was enqueued — the sub
+  /// is NOT complete and the caller must not record the outcome.
+  bool MaybeScheduleRetry(
+      const std::shared_ptr<internal::GatherState>& gather, size_t sub_index,
+      const util::Result<core::QueryResult>& outcome, uint32_t shard);
+  /// Feeds a sub outcome into shard `shard`'s health tracker, counting
+  /// transitions (quarantines, recoveries) into stats and metrics.
+  void RecordShardOutcome(uint32_t shard, const util::Status& status);
+  /// Watchdog sweep over every shard from a submitting thread.
+  void CheckWatchdogs(std::chrono::steady_clock::time_point now);
+  /// Moves every retry entry of `lane` whose due time has passed `now`
+  /// back into its priority lane. Called under queue_mu_.
+  void PromoteRetriesLocked(ShardLane& lane,
+                            std::chrono::steady_clock::time_point now);
 
   const core::Database* db_ = nullptr;            // legacy mode
   const core::ShardedDatabase* sharded_ = nullptr;  // sharded mode

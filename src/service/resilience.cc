@@ -1,0 +1,133 @@
+#include "service/resilience.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace ustdb {
+namespace service {
+
+std::string_view ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+bool ShardHealthTracker::RecordSuccess() {
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  probe_inflight_.store(false, std::memory_order_release);
+  probe_backoff_ms_.store(0, std::memory_order_relaxed);
+  watchdog_tripped_.store(false, std::memory_order_relaxed);
+  const int prev = state_.exchange(static_cast<int>(ShardHealth::kHealthy),
+                                   std::memory_order_acq_rel);
+  return prev != static_cast<int>(ShardHealth::kHealthy);
+}
+
+ShardHealth ShardHealthTracker::RecordFailure(Clock::time_point now) {
+  const uint32_t failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ShardHealth next = ShardHealth::kHealthy;
+  if (failures >= policy_.quarantine_after) {
+    next = ShardHealth::kQuarantined;
+  } else if (failures >= policy_.degraded_after) {
+    next = ShardHealth::kDegraded;
+  }
+  // Monotone within an episode: a concurrent failure can only push the
+  // state further toward quarantine; successes reset it wholesale.
+  int current = state_.load(std::memory_order_acquire);
+  while (static_cast<int>(next) > current &&
+         !state_.compare_exchange_weak(current, static_cast<int>(next),
+                                       std::memory_order_acq_rel)) {
+  }
+  if (next == ShardHealth::kQuarantined) {
+    // Entering (or re-failing inside) quarantine arms the next probe with
+    // doubled backoff, capped.
+    int64_t backoff = probe_backoff_ms_.load(std::memory_order_relaxed);
+    backoff = backoff == 0 ? policy_.probe_backoff.count()
+                           : std::min<int64_t>(
+                                 static_cast<int64_t>(
+                                     static_cast<double>(backoff) *
+                                     policy_.probe_backoff_multiplier),
+                                 policy_.max_probe_backoff.count());
+    probe_backoff_ms_.store(backoff, std::memory_order_relaxed);
+    probe_due_ns_.store(
+        (now + std::chrono::milliseconds(backoff)).time_since_epoch().count(),
+        std::memory_order_release);
+    probe_inflight_.store(false, std::memory_order_release);
+  }
+  return static_cast<ShardHealth>(state_.load(std::memory_order_acquire));
+}
+
+bool ShardHealthTracker::AdmitToShard(Clock::time_point now, bool* is_probe) {
+  *is_probe = false;
+  if (health() != ShardHealth::kQuarantined) return true;
+  if (now.time_since_epoch().count() <
+      probe_due_ns_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // One probe at a time: the first submitter past the due time wins.
+  bool expected = false;
+  if (!probe_inflight_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+    return false;
+  }
+  *is_probe = true;
+  return true;
+}
+
+bool ShardHealthTracker::CheckWatchdog(Clock::time_point now) {
+  if (policy_.watchdog_stall.count() <= 0) return false;
+  const int64_t busy_since =
+      busy_since_ns_.load(std::memory_order_acquire);
+  if (busy_since == 0) return false;
+  const int64_t stall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          policy_.watchdog_stall)
+          .count();
+  if (now.time_since_epoch().count() - busy_since < stall_ns) return false;
+  if (watchdog_tripped_.exchange(true, std::memory_order_acq_rel)) {
+    return false;  // already tripped for this stall episode
+  }
+  // Straight to quarantine: a wedged dispatcher should stop being fed.
+  // The probe machinery is armed exactly as in RecordFailure.
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  state_.store(static_cast<int>(ShardHealth::kQuarantined),
+               std::memory_order_release);
+  int64_t backoff = probe_backoff_ms_.load(std::memory_order_relaxed);
+  backoff = backoff == 0 ? policy_.probe_backoff.count() : backoff;
+  probe_backoff_ms_.store(backoff, std::memory_order_relaxed);
+  probe_due_ns_.store(
+      (now + std::chrono::milliseconds(backoff)).time_since_epoch().count(),
+      std::memory_order_release);
+  probe_inflight_.store(false, std::memory_order_release);
+  return true;
+}
+
+std::chrono::milliseconds RetryBackoff(const core::RetryPolicy& policy,
+                                       uint32_t attempt, uint64_t seed) {
+  double backoff = static_cast<double>(policy.initial_backoff.count());
+  for (uint32_t i = 0; i < attempt; ++i) backoff *= policy.multiplier;
+  backoff = std::min(backoff,
+                     static_cast<double>(policy.max_backoff.count()));
+  // Deterministic jitter in [1-jitter, 1+jitter] from (seed, attempt):
+  // reproducible under a fixed USTDB_TEST_SEED-style seed, decorrelated
+  // across tickets (each ticket carries its own seed).
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    util::SplitMix64 mix(seed ^ (0x9E3779B97f4A7C15ULL * (attempt + 1)));
+    const double unit = static_cast<double>(mix.Next() >> 11) *
+                        (1.0 / 9007199254740992.0);  // [0, 1)
+    backoff *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  return std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(backoff)));
+}
+
+}  // namespace service
+}  // namespace ustdb

@@ -31,6 +31,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kPartial:
+      return "Partial";
   }
   return "Unknown";
 }

@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kCancelled = 10,        ///< caller revoked the request before completion
   kDeadlineExceeded = 11, ///< the request's deadline passed before completion
   kUnavailable = 12,      ///< transient refusal (queue full, shutting down)
+  kPartial = 13,          ///< scatter-gather answered from a subset of shards
 };
 
 /// \brief Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -84,6 +85,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Partial(std::string msg) {
+    return Status(StatusCode::kPartial, std::move(msg));
   }
   /// \}
 

@@ -1,0 +1,132 @@
+// Degraded answers are never silently wrong: across randomized
+// clustered databases, windows, and τ values, a bounds-only threshold
+// answer (DegradeMode::kBoundsOnly) must be CONSISTENT with the
+// full-precision answer — every certainly-included object really
+// qualifies (with its reported lower bound below its true probability),
+// every silently dropped object really fails τ, every undecided
+// interval contains the true probability, and the result is labeled
+// degraded_bounds. This is the acceptance property that makes the
+// service's under-pressure downgrade safe to serve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/executor.h"
+#include "testing/sharded_fixture.h"
+#include "testing/test_seed.h"
+#include "util/rng.h"
+
+namespace ustdb {
+namespace core {
+namespace {
+
+using ::ustdb::testing::MakeShardedPair;
+using ::ustdb::testing::ShardedPair;
+using ::ustdb::testing::ShardedSpec;
+
+// Reassociating kernels promise 1e-12 of the sequential value; the
+// bound pass already budgets that margin, the assertions mirror it.
+constexpr double kEps = 1e-9;
+
+TEST(DegradedBoundsTest, ConsistentWithFullPrecisionAnswer) {
+  const uint64_t seed = ustdb::testing::TestSeed(777);
+  SCOPED_TRACE(ustdb::testing::SeedTrace(seed));
+  util::Rng rng(seed);
+
+  for (int round = 0; round < 6; ++round) {
+    ShardedSpec spec;
+    spec.seed = seed + static_cast<uint64_t>(round) * 1000003;
+    ShardedPair pair = MakeShardedPair(spec, /*num_shards=*/1);
+    QueryExecutor executor(&pair.unsharded, {.num_threads = 1});
+
+    const uint32_t s_lo =
+        static_cast<uint32_t>(rng.NextBounded(spec.num_states - 8));
+    const uint32_t s_hi =
+        s_lo + 2 + static_cast<uint32_t>(rng.NextBounded(6));
+    const Timestamp t_lo = 1 + static_cast<Timestamp>(rng.NextBounded(3));
+    const Timestamp t_hi =
+        t_lo + 2 + static_cast<Timestamp>(rng.NextBounded(5));
+    const QueryWindow window =
+        QueryWindow::FromRanges(spec.num_states, s_lo,
+                                std::min(s_hi, spec.num_states - 1), t_lo,
+                                t_hi)
+            .ValueOrDie();
+    const double tau = 0.05 + 0.6 * rng.NextDouble();
+
+    QueryRequest request;
+    request.predicate = PredicateKind::kThresholdExists;
+    request.window = window;
+    request.tau = tau;
+
+    // Ground truth: exact P∃ of EVERY object (τ = -1 keeps them all).
+    QueryRequest all = request;
+    all.tau = -1.0;
+    all.plan = PlanChoice::kQueryBased;
+    const QueryResult exact = executor.Run(all).ValueOrDie();
+    std::map<ObjectId, double> truth;
+    for (const ObjectProbability& p : exact.probabilities) {
+      truth[p.id] = p.probability;
+    }
+
+    // Full-precision answer at τ.
+    QueryRequest full = request;
+    full.plan = PlanChoice::kQueryBased;
+    const QueryResult precise = executor.Run(full).ValueOrDie();
+    ASSERT_FALSE(precise.degraded_bounds);
+
+    // Degraded answer at τ.
+    QueryRequest degraded_request = request;
+    degraded_request.degrade = DegradeMode::kBoundsOnly;
+    const QueryResult degraded =
+        executor.Run(degraded_request).ValueOrDie();
+    EXPECT_TRUE(degraded.degraded_bounds);
+
+    std::map<ObjectId, double> certain;
+    for (const ObjectProbability& p : degraded.probabilities) {
+      certain[p.id] = p.probability;
+    }
+    std::map<ObjectId, ObjectInterval> undecided;
+    for (const ObjectInterval& u : degraded.undecided) {
+      undecided[u.id] = u;
+    }
+
+    // 1. Certainly-included objects really qualify, and the reported
+    //    lower bound never exceeds the true probability.
+    for (const auto& [id, lo] : certain) {
+      ASSERT_TRUE(truth.count(id));
+      EXPECT_GE(truth[id], tau - kEps) << "object " << id;
+      EXPECT_LE(lo, truth[id] + kEps) << "object " << id;
+      EXPECT_FALSE(undecided.count(id))
+          << "object " << id << " both certain and undecided";
+    }
+
+    // 2. Every undecided interval contains the true probability.
+    for (const auto& [id, interval] : undecided) {
+      ASSERT_TRUE(truth.count(id));
+      EXPECT_GE(truth[id], interval.lo - kEps) << "object " << id;
+      EXPECT_LE(truth[id], interval.hi + kEps) << "object " << id;
+    }
+
+    // 3. Nothing the full-precision answer includes was silently
+    //    dropped: a qualifying object is either certain or undecided.
+    for (const ObjectProbability& p : precise.probabilities) {
+      EXPECT_TRUE(certain.count(p.id) || undecided.count(p.id))
+          << "qualifying object " << p.id
+          << " silently missing from the degraded answer";
+    }
+
+    // 4. Dropped objects (neither certain nor undecided) really fail τ.
+    for (const auto& [id, probability] : truth) {
+      if (certain.count(id) || undecided.count(id)) continue;
+      EXPECT_LT(probability, tau + kEps)
+          << "object " << id << " dropped despite qualifying";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ustdb

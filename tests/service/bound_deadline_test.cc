@@ -1,0 +1,155 @@
+// Deadline expiry INSIDE the bound phase of kBoundsThenRefine. A
+// cache_admission stall fault makes every cluster's envelope/bounds
+// admission slow enough that a short request deadline deterministically
+// passes between clusters; the run must stop cooperatively at the next
+// cluster boundary with Status::DeadlineExceeded, and the PruneStats of
+// the partial run must still satisfy the bound-pass accounting
+// invariants (clusters_pruned + clusters_refined == clusters_bounded <=
+// clusters_total, strictly partial). Exercised directly against the
+// executor (for last_run_stats()) and through the service at 1, 2, and
+// 4 shards.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/executor.h"
+#include "core/query_request.h"
+#include "service/query_service.h"
+#include "testing/sharded_fixture.h"
+#include "util/fault_injector.h"
+
+namespace ustdb {
+namespace service {
+namespace {
+
+using ::ustdb::testing::MakeShardedPair;
+using ::ustdb::testing::ShardedPair;
+using ::ustdb::testing::ShardedSpec;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+constexpr auto kGetTimeout = milliseconds(60'000);
+
+std::unique_ptr<util::FaultInjector> MustParse(std::string_view spec) {
+  auto parsed = util::FaultInjector::Parse(spec, /*seed=*/7);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return std::move(parsed).ValueOrDie();
+}
+
+core::QueryRequest BoundRequest(const ShardedSpec& spec) {
+  core::QueryRequest request;
+  request.predicate = core::PredicateKind::kThresholdExists;
+  request.tau = 0.3;
+  request.plan = core::PlanChoice::kBoundsThenRefine;
+  request.window = core::QueryWindow::FromRanges(spec.num_states, 5,
+                                                 spec.num_states - 5, 2, 7)
+                       .ValueOrDie();
+  return request;
+}
+
+void ExpectPartialPruneInvariants(const core::PruneStats& prune) {
+  EXPECT_EQ(prune.clusters_pruned + prune.clusters_refined,
+            prune.clusters_bounded);
+  EXPECT_LE(prune.clusters_bounded, prune.clusters_total);
+}
+
+// Executor-level: the deadline passes after the first cluster's two
+// stalled cache admissions (2 x 40ms > 100ms is false, but the second
+// cluster's admissions push past it), so BoundClusters abandons the
+// remaining clusters and last_run_stats() exposes a partial-but-
+// consistent PruneStats.
+TEST(BoundDeadlineTest, ExecutorStopsMidBoundWithConsistentPruneStats) {
+  ShardedSpec spec;  // 3 families -> 3 clusters, objects round-robin
+  ShardedPair pair = MakeShardedPair(spec, /*num_shards=*/1);
+  core::QueryExecutor executor(&pair.unsharded, {.num_threads = 1});
+
+  util::ScopedFaultInjection scope(MustParse("cache_admission:stall:40ms"));
+  core::QueryRequest request = BoundRequest(spec);
+  request.deadline = steady_clock::now() + milliseconds(100);
+
+  const util::Result<core::QueryResult> result = executor.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded)
+      << result.status();
+
+  const core::PruneStats& prune = executor.last_run_stats().prune;
+  ExpectPartialPruneInvariants(prune);
+  EXPECT_EQ(prune.clusters_total, 3u);
+  // Strictly partial: bounding all three clusters would take six stalled
+  // admissions (>= 240ms), far past the 100ms deadline, and the poller
+  // runs before every cluster.
+  EXPECT_LT(prune.clusters_bounded, prune.clusters_total);
+  // The cluster in flight when the deadline passed was finished, not torn.
+  EXPECT_GE(prune.clusters_bounded, 1u);
+}
+
+// Executor-level, mid-refine: the bound phase completes untouched (no
+// cache_admission rule) and an engine_build stall pushes past the
+// deadline right before refinement evaluates, so the expiry lands in
+// the refine loop's cooperative checks. The completed bound pass must
+// be fully accounted for even though the run fails.
+TEST(BoundDeadlineTest, ExecutorStopsMidRefineAfterCompleteBoundPass) {
+  ShardedSpec spec;
+  ShardedPair pair = MakeShardedPair(spec, /*num_shards=*/1);
+  core::QueryExecutor executor(&pair.unsharded, {.num_threads = 1});
+
+  util::ScopedFaultInjection scope(MustParse("engine_build:stall:300ms"));
+  core::QueryRequest request = BoundRequest(spec);
+  request.deadline = steady_clock::now() + milliseconds(100);
+
+  const util::Result<core::QueryResult> result = executor.Run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded)
+      << result.status();
+
+  const core::PruneStats& prune = executor.last_run_stats().prune;
+  ExpectPartialPruneInvariants(prune);
+  // The stall-free bound pass finished well inside the deadline; the
+  // expiry hit refinement, after every cluster was bounded.
+  EXPECT_EQ(prune.clusters_bounded, prune.clusters_total);
+  EXPECT_EQ(prune.clusters_total, 3u);
+}
+
+// Service-level: the same expiry through Submit/ticket resolution. At 1
+// and 2 shards some dispatcher observes the deadline inside its bound
+// loop; at 4 shards each shard holds at most one cluster, so the expiry
+// lands in the refine phase's cooperative checks instead — either way
+// the ticket must resolve DeadlineExceeded, never hang and never answer.
+TEST(BoundDeadlineTest, TicketResolvesDeadlineExceededAcrossShardCounts) {
+  ShardedSpec spec;
+  for (uint32_t num_shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << "num_shards=" << num_shards);
+    ShardedPair pair = MakeShardedPair(spec, num_shards);
+    ServiceOptions options;
+    options.executor.num_threads = 1;
+    QueryService service(&pair.sharded, options);
+
+    util::ScopedFaultInjection scope(
+        MustParse("cache_admission:stall:40ms"));
+    core::QueryRequest request = BoundRequest(spec);
+    request.deadline = steady_clock::now() + milliseconds(100);
+
+    QueryTicket ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.valid());
+    ASSERT_TRUE(ticket.WaitFor(kGetTimeout));
+    const util::Result<core::QueryResult> result = ticket.Get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded)
+        << result.status();
+
+    service.Shutdown();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.deadline_expired, 1u);
+    EXPECT_EQ(stats.completed, 0u);
+    // Failed requests contribute nothing to the service's bound-pass
+    // aggregates; the invariant must hold on whatever was recorded.
+    EXPECT_EQ(stats.clusters_pruned + stats.clusters_refined,
+              stats.clusters_bounded);
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ustdb

@@ -1,0 +1,192 @@
+// ShardHealthTracker state-machine tests (healthy -> degraded ->
+// quarantined on consecutive transient failures, wholesale reset on
+// success, single-probe admission with doubling capped backoff, the
+// dispatcher watchdog) and RetryBackoff properties (exponential growth,
+// cap, jitter bounds, determinism, 1ms floor).
+
+#include "service/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace ustdb {
+namespace service {
+namespace {
+
+using Clock = ShardHealthTracker::Clock;
+using std::chrono::milliseconds;
+
+HealthPolicy TestPolicy() {
+  HealthPolicy policy;
+  policy.degraded_after = 3;
+  policy.quarantine_after = 5;
+  policy.probe_backoff = milliseconds(100);
+  policy.probe_backoff_multiplier = 2.0;
+  policy.max_probe_backoff = milliseconds(400);
+  policy.watchdog_stall = milliseconds(50);
+  return policy;
+}
+
+TEST(ShardHealthTracker, FailureThresholdsDriveTheStateMachine) {
+  ShardHealthTracker tracker(TestPolicy());
+  const Clock::time_point now = Clock::now();
+  EXPECT_EQ(tracker.health(), ShardHealth::kHealthy);
+
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kHealthy);
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kHealthy);
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kDegraded);
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kDegraded);
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kQuarantined);
+  EXPECT_EQ(tracker.consecutive_failures(), 5u);
+}
+
+TEST(ShardHealthTracker, SuccessResetsWholesale) {
+  ShardHealthTracker tracker(TestPolicy());
+  const Clock::time_point now = Clock::now();
+  for (int i = 0; i < 5; ++i) tracker.RecordFailure(now);
+  EXPECT_EQ(tracker.health(), ShardHealth::kQuarantined);
+
+  EXPECT_TRUE(tracker.RecordSuccess());  // reports the transition
+  EXPECT_EQ(tracker.health(), ShardHealth::kHealthy);
+  EXPECT_EQ(tracker.consecutive_failures(), 0u);
+  EXPECT_FALSE(tracker.RecordSuccess());  // already healthy
+
+  // The failure count restarts from zero, not from the old streak.
+  EXPECT_EQ(tracker.RecordFailure(now), ShardHealth::kHealthy);
+}
+
+TEST(ShardHealthTracker, QuarantineAdmitsOneProbeAfterBackoff) {
+  ShardHealthTracker tracker(TestPolicy());
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 5; ++i) tracker.RecordFailure(t0);
+
+  bool is_probe = false;
+  // Before the backoff elapses nothing is admitted.
+  EXPECT_FALSE(tracker.AdmitToShard(t0 + milliseconds(10), &is_probe));
+  // Past the due time exactly one caller wins the probe slot.
+  EXPECT_TRUE(tracker.AdmitToShard(t0 + milliseconds(150), &is_probe));
+  EXPECT_TRUE(is_probe);
+  EXPECT_FALSE(tracker.AdmitToShard(t0 + milliseconds(150), &is_probe));
+
+  // An aborted probe frees the slot for the next caller.
+  tracker.ProbeAborted();
+  EXPECT_TRUE(tracker.AdmitToShard(t0 + milliseconds(150), &is_probe));
+  EXPECT_TRUE(is_probe);
+}
+
+TEST(ShardHealthTracker, HealthyShardsAdmitWithoutProbing) {
+  ShardHealthTracker tracker(TestPolicy());
+  bool is_probe = true;
+  EXPECT_TRUE(tracker.AdmitToShard(Clock::now(), &is_probe));
+  EXPECT_FALSE(is_probe);
+}
+
+TEST(ShardHealthTracker, FailedProbeDoublesBackoffUpToTheCap) {
+  ShardHealthTracker tracker(TestPolicy());
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < 5; ++i) tracker.RecordFailure(t0);  // backoff 100ms
+
+  bool is_probe = false;
+  // Probe at +150ms fails: backoff doubles to 200ms from the failure time.
+  EXPECT_TRUE(tracker.AdmitToShard(t0 + milliseconds(150), &is_probe));
+  const Clock::time_point t1 = t0 + milliseconds(150);
+  tracker.RecordFailure(t1);
+  EXPECT_FALSE(tracker.AdmitToShard(t1 + milliseconds(150), &is_probe));
+  EXPECT_TRUE(tracker.AdmitToShard(t1 + milliseconds(250), &is_probe));
+
+  // Next failure doubles to 400ms = the cap; a further one stays capped.
+  const Clock::time_point t2 = t1 + milliseconds(250);
+  tracker.RecordFailure(t2);
+  EXPECT_FALSE(tracker.AdmitToShard(t2 + milliseconds(350), &is_probe));
+  EXPECT_TRUE(tracker.AdmitToShard(t2 + milliseconds(450), &is_probe));
+  const Clock::time_point t3 = t2 + milliseconds(450);
+  tracker.RecordFailure(t3);
+  EXPECT_FALSE(tracker.AdmitToShard(t3 + milliseconds(350), &is_probe));
+  EXPECT_TRUE(tracker.AdmitToShard(t3 + milliseconds(450), &is_probe));
+}
+
+TEST(ShardHealthTracker, WatchdogQuarantinesAStalledDispatch) {
+  ShardHealthTracker tracker(TestPolicy());
+  const Clock::time_point t0 = Clock::now();
+
+  // Idle: never trips.
+  EXPECT_FALSE(tracker.CheckWatchdog(t0 + milliseconds(1000)));
+
+  tracker.MarkDispatchStart(t0);
+  EXPECT_FALSE(tracker.CheckWatchdog(t0 + milliseconds(10)));
+  EXPECT_TRUE(tracker.CheckWatchdog(t0 + milliseconds(60)));
+  EXPECT_EQ(tracker.health(), ShardHealth::kQuarantined);
+  // One trip per stall episode.
+  EXPECT_FALSE(tracker.CheckWatchdog(t0 + milliseconds(120)));
+
+  // The stalled dispatch eventually finishing recovers the shard and
+  // re-arms the watchdog.
+  tracker.MarkDispatchEnd();
+  EXPECT_TRUE(tracker.RecordSuccess());
+  EXPECT_EQ(tracker.health(), ShardHealth::kHealthy);
+  tracker.MarkDispatchStart(t0 + milliseconds(200));
+  EXPECT_TRUE(tracker.CheckWatchdog(t0 + milliseconds(300)));
+}
+
+TEST(ShardHealthTracker, WatchdogDisabledByZeroStall) {
+  HealthPolicy policy = TestPolicy();
+  policy.watchdog_stall = milliseconds(0);
+  ShardHealthTracker tracker(policy);
+  const Clock::time_point t0 = Clock::now();
+  tracker.MarkDispatchStart(t0);
+  EXPECT_FALSE(tracker.CheckWatchdog(t0 + std::chrono::hours(1)));
+  EXPECT_EQ(tracker.health(), ShardHealth::kHealthy);
+}
+
+TEST(ShardHealthName, NamesEveryState) {
+  EXPECT_EQ(ShardHealthName(ShardHealth::kHealthy), "healthy");
+  EXPECT_EQ(ShardHealthName(ShardHealth::kDegraded), "degraded");
+  EXPECT_EQ(ShardHealthName(ShardHealth::kQuarantined), "quarantined");
+}
+
+TEST(RetryBackoff, GrowsExponentiallyWithinJitterBounds) {
+  core::RetryPolicy policy;
+  policy.initial_backoff = milliseconds(10);
+  policy.max_backoff = milliseconds(1000);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.2;
+  for (uint32_t attempt = 0; attempt < 5; ++attempt) {
+    const double nominal = 10.0 * (1 << attempt);
+    const auto backoff = RetryBackoff(policy, attempt, /*seed=*/7);
+    EXPECT_GE(backoff.count(), static_cast<int64_t>(nominal * 0.8) - 1)
+        << "attempt " << attempt;
+    EXPECT_LE(backoff.count(), static_cast<int64_t>(nominal * 1.2) + 1)
+        << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoff, CapsAtMaxBackoff) {
+  core::RetryPolicy policy;
+  policy.initial_backoff = milliseconds(10);
+  policy.max_backoff = milliseconds(100);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  EXPECT_EQ(RetryBackoff(policy, 10, 7), milliseconds(100));
+}
+
+TEST(RetryBackoff, DeterministicPerSeedAndAttempt) {
+  core::RetryPolicy policy;
+  policy.jitter = 0.5;
+  EXPECT_EQ(RetryBackoff(policy, 2, 11), RetryBackoff(policy, 2, 11));
+  // Different seeds decorrelate (with overwhelming probability for this
+  // fixed pair; the values are deterministic, so this cannot flake).
+  EXPECT_NE(RetryBackoff(policy, 6, 11).count(),
+            RetryBackoff(policy, 6, 12).count());
+}
+
+TEST(RetryBackoff, NeverBelowOneMillisecond) {
+  core::RetryPolicy policy;
+  policy.initial_backoff = milliseconds(0);
+  policy.jitter = 1.0;
+  EXPECT_GE(RetryBackoff(policy, 0, 3).count(), 1);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ustdb
