@@ -76,6 +76,7 @@ ChainId Database::AddChain(markov::MarkovChain chain) {
   const ChainId id = static_cast<ChainId>(chains_.size());
   chains_.push_back(std::move(chain));
   by_chain_.emplace_back();
+  chain_epoch_.push_back(0);
 
   // Greedy leader clustering: join the first cluster whose leader is
   // within the radius, else found a new one. Comparing against leaders
@@ -97,6 +98,7 @@ ChainId Database::AddChain(markov::MarkovChain chain) {
   }
   if (cluster == clusters_.size()) {
     clusters_.push_back({id, {}});
+    cluster_epoch_.push_back(0);
   }
   clusters_[cluster].members.push_back(id);
   cluster_of_.push_back(cluster);
@@ -108,12 +110,14 @@ ChainId Database::AddChainToClusterOf(markov::MarkovChain chain,
   const ChainId id = static_cast<ChainId>(chains_.size());
   chains_.push_back(std::move(chain));
   by_chain_.emplace_back();
+  chain_epoch_.push_back(0);
   uint32_t cluster;
   if (join.has_value()) {
     cluster = cluster_of_[*join];
   } else {
     cluster = static_cast<uint32_t>(clusters_.size());
     clusters_.push_back({id, {}});
+    cluster_epoch_.push_back(0);
   }
   clusters_[cluster].members.push_back(id);
   cluster_of_.push_back(cluster);
@@ -145,7 +149,7 @@ util::Result<ObjectId> Database::AddObject(
   }
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   objects_.push_back({id, chain, std::move(observations)});
-  by_chain_[chain].push_back(id);
+  RegisterObject(id, chain);
   return id;
 }
 
@@ -153,8 +157,55 @@ ObjectId Database::ReAddNormalizedObject(
     ChainId chain, std::vector<Observation> observations) {
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   objects_.push_back({id, chain, std::move(observations)});
-  by_chain_[chain].push_back(id);
+  RegisterObject(id, chain);
   return id;
+}
+
+void Database::RegisterObject(ObjectId id, ChainId chain) {
+  by_chain_[chain].push_back(id);
+  object_epoch_.push_back(0);
+  multi_engine_->emplace_back(
+      objects_[id].needs_multi_observation_engine());
+}
+
+util::Result<DataVersion> Database::AppendObservation(ObjectId id,
+                                                      Observation obs) {
+  return AppendObservationAtVersion(id, std::move(obs), version_ + 1);
+}
+
+util::Result<DataVersion> Database::AppendObservationAtVersion(
+    ObjectId id, Observation obs, DataVersion version) {
+  if (id >= objects_.size()) {
+    return util::Status::NotFound(
+        util::StringPrintf("object %u does not exist", id));
+  }
+  if (version <= version_) {
+    return util::Status::InvalidArgument(
+        "append version must exceed the database's current data_version");
+  }
+  UncertainObject& object = objects_[id];
+  const uint32_t n = chains_[object.chain].num_states();
+  if (obs.pdf.size() != n) {
+    return util::Status::InvalidArgument(util::StringPrintf(
+        "appended pdf has dimension %u, chain has %u states",
+        obs.pdf.size(), n));
+  }
+  USTDB_RETURN_NOT_OK(obs.pdf.Normalize());
+  if (obs.time <= object.observations.back().time) {
+    return util::Status::InvalidArgument(
+        "observations must have strictly increasing times");
+  }
+  object.observations.push_back(std::move(obs));
+  // Census mirror first (release): a submit-path reader that sees the
+  // flag flipped plans the object for the multi-observation engine,
+  // which is correct both before and after the epoch stamps land.
+  (*multi_engine_)[id].store(object.needs_multi_observation_engine(),
+                             std::memory_order_release);
+  version_ = version;
+  object_epoch_[id] = version;
+  chain_epoch_[object.chain] = version;
+  cluster_epoch_[cluster_of_[object.chain]] = version;
+  return version;
 }
 
 util::Result<ObjectId> Database::AddObjectAt(ChainId chain,

@@ -7,6 +7,9 @@
 #ifndef USTDB_CORE_DATABASE_H_
 #define USTDB_CORE_DATABASE_H_
 
+#include <atomic>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -102,6 +105,56 @@ class Database {
   ObjectId ReAddNormalizedObject(ChainId chain,
                                  std::vector<Observation> observations);
 
+  /// \brief Appends one observation to an existing object's history and
+  /// returns the DataVersion the mutation was stamped with. The ingest
+  /// path of the continuous-query pipeline: the pdf is validated against
+  /// the object's chain and normalized exactly like AddObject's, and the
+  /// sorted-history invariant is enforced — a time at or before the
+  /// object's latest observation rejects with kInvalidArgument rather
+  /// than silently corrupting the history. On success the database-wide
+  /// version advances and is recorded as the object's and its chain's
+  /// epoch; the cluster registry is untouched (the object's chain — and
+  /// therefore its cluster membership — never changes), so an append
+  /// never re-runs the capped leader scan.
+  util::Result<DataVersion> AppendObservation(ObjectId id, Observation obs);
+
+  /// \brief AppendObservation with a caller-allocated version stamp,
+  /// which must exceed data_version(). Used by ShardedDatabase so every
+  /// shard's epochs advance along ONE global version sequence: the
+  /// router allocates from its global counter and applies under the
+  /// owning shard's ingest serialization, keeping each shard's
+  /// data_version() monotonic in global order.
+  util::Result<DataVersion> AppendObservationAtVersion(ObjectId id,
+                                                       Observation obs,
+                                                       DataVersion version);
+
+  /// Database-wide epoch: 0 until the first AppendObservation, then the
+  /// version of the latest applied mutation.
+  DataVersion data_version() const { return version_; }
+
+  /// Epoch of the latest mutation touching an object of `chain`
+  /// (0 = never mutated). Cache entries derived from this chain carry
+  /// the epoch they were built at and go stale when it advances.
+  DataVersion chain_epoch(ChainId chain) const { return chain_epoch_[chain]; }
+
+  /// Epoch of the latest mutation of cluster `cluster` (any member
+  /// chain); tags the cluster-keyed envelope/bounds cache stores.
+  DataVersion cluster_epoch(uint32_t cluster) const {
+    return cluster_epoch_[cluster];
+  }
+
+  /// Epoch of object `id`'s latest appended observation (0 = frozen).
+  DataVersion object_epoch(ObjectId id) const { return object_epoch_[id]; }
+
+  /// \brief Lock-free mirror of object(id).needs_multi_observation_engine(),
+  /// safe to read while another thread appends observations. The service's
+  /// submit-path plan census runs without the ingest lock; reading the
+  /// UncertainObject directly there would race the history push_back. Only
+  /// ever transitions false -> true (appends can't remove observations).
+  bool object_needs_multi_engine(ObjectId id) const {
+    return (*multi_engine_)[id].load(std::memory_order_acquire);
+  }
+
   uint32_t num_objects() const {
     return static_cast<uint32_t>(objects_.size());
   }
@@ -139,11 +192,25 @@ class Database {
   static constexpr double kChainClusterL1Threshold = 0.6;
 
  private:
+  /// Registers `id` in by_chain_ and the epoch / census side tables.
+  void RegisterObject(ObjectId id, ChainId chain);
+
   std::vector<markov::MarkovChain> chains_;
   std::vector<UncertainObject> objects_;
   std::vector<std::vector<ObjectId>> by_chain_;
   std::vector<ChainCluster> clusters_;
   std::vector<uint32_t> cluster_of_;  // parallel to chains_
+  DataVersion version_ = 0;
+  std::vector<DataVersion> chain_epoch_;    // parallel to chains_
+  std::vector<DataVersion> cluster_epoch_;  // parallel to clusters_
+  std::vector<DataVersion> object_epoch_;   // parallel to objects_
+  /// deque: push_back never relocates existing atomics, so the census
+  /// mirror stays readable lock-free while objects are added. Held behind
+  /// a unique_ptr so Database stays nothrow-movable (libstdc++'s deque
+  /// move allocates) yet becomes move-only, which every existing use
+  /// already satisfies.
+  std::unique_ptr<std::deque<std::atomic<bool>>> multi_engine_ =
+      std::make_unique<std::deque<std::atomic<bool>>>();  // ∥ objects_
 };
 
 }  // namespace core

@@ -22,18 +22,38 @@ void InjectCacheAdmissionFault() {
 }  // namespace
 
 const QueryBasedEngine* EngineCache::Get(const markov::MarkovChain* chain,
-                                         const QueryWindow& window) {
-  if (const QueryBasedEngine* hit = Lookup(chain, window)) return hit;
-  return Put(chain, window,
-             std::make_unique<QueryBasedEngine>(chain, window));
+                                         const QueryWindow& window,
+                                         DataVersion epoch) {
+  if (const QueryBasedEngine* hit = Lookup(chain, window, epoch)) return hit;
+  // Standing-query fast path: a cached pass for this window shifted
+  // backward extends in delta steps instead of a cold t_end-step build.
+  Timestamp delta = 0;
+  if (const QueryBasedEngine* base =
+          LookupShiftBase(chain, window, epoch, &delta)) {
+    return Put(chain, window,
+               std::make_unique<QueryBasedEngine>(*base, window, delta),
+               epoch);
+  }
+  return Put(chain, window, std::make_unique<QueryBasedEngine>(chain, window),
+             epoch);
 }
 
 const QueryBasedEngine* EngineCache::Lookup(const markov::MarkovChain* chain,
-                                            const QueryWindow& window) {
+                                            const QueryWindow& window,
+                                            DataVersion epoch) {
   Key key{chain, window.region().elements(), window.times()};
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->epoch != epoch) {
+    // Lazy invalidation: the chain's data moved past this entry's build
+    // epoch; drop exactly this entry — untouched chains keep theirs.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    lru_.erase(it->second);
+    index_.erase(it);
     return nullptr;
   }
   ++stats_.hits;
@@ -42,62 +62,117 @@ const QueryBasedEngine* EngineCache::Lookup(const markov::MarkovChain* chain,
   return it->second->engine.get();
 }
 
+const QueryBasedEngine* EngineCache::LookupShiftBase(
+    const markov::MarkovChain* chain, const QueryWindow& window,
+    DataVersion epoch, Timestamp* delta) {
+  const std::vector<uint32_t>& region = window.region().elements();
+  const std::vector<Timestamp>& times = window.times();
+  if (times.empty()) return nullptr;
+  // Candidates share (chain, region) — a contiguous key range. Pick the
+  // smallest offset: the cheapest extension.
+  auto it = index_.lower_bound(Key{chain, region, {}});
+  std::list<Entry>::iterator best;
+  Timestamp best_delta = 0;
+  for (; it != index_.end() && it->first.chain == chain &&
+         it->first.region == region;
+       ++it) {
+    const std::vector<Timestamp>& base_times = it->first.times;
+    if (base_times.size() != times.size()) continue;
+    if (base_times.front() >= times.front()) continue;
+    const Timestamp d = times.front() - base_times.front();
+    if (best_delta != 0 && d >= best_delta) continue;
+    bool aligned = true;
+    for (size_t i = 1; i < times.size(); ++i) {
+      if (base_times[i] + d != times[i]) {
+        aligned = false;
+        break;
+      }
+    }
+    if (!aligned || it->second->epoch != epoch) continue;
+    best = it->second;
+    best_delta = d;
+  }
+  if (best_delta == 0) return nullptr;
+  ++stats_.shift_extends;
+  lru_.splice(lru_.begin(), lru_, best);
+  *delta = best_delta;
+  return best->engine.get();
+}
+
 const QueryBasedEngine* EngineCache::Put(
     const markov::MarkovChain* chain, const QueryWindow& window,
-    std::unique_ptr<QueryBasedEngine> engine) {
+    std::unique_ptr<QueryBasedEngine> engine, DataVersion epoch) {
   InjectCacheAdmissionFault();
   Key key{chain, window.region().elements(), window.times()};
   auto it = index_.find(key);
-  if (it != index_.end()) return it->second->engine.get();
+  if (it != index_.end()) {
+    if (it->second->epoch == epoch) return it->second->engine.get();
+    // Replace the stale pass in place: same key, fresh epoch.
+    ++stats_.invalidations;
+    it->second->engine = std::move(engine);
+    it->second->epoch = epoch;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->engine.get();
+  }
   if (lru_.size() >= capacity_) {
     ++stats_.evictions;
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front(Entry{key, std::move(engine)});
+  lru_.push_front(Entry{key, std::move(engine), epoch});
   index_[std::move(key)] = lru_.begin();
   return lru_.front().engine.get();
 }
 
 const markov::IntervalMarkovChain* EngineCache::LookupEnvelope(
-    ChainId leader, uint32_t num_members) {
+    ChainId leader, uint32_t num_members, DataVersion epoch) {
+  bool invalidated = false;
   const markov::IntervalMarkovChain* hit =
-      envelopes_.Lookup(ClusterKey{leader, num_members});
+      envelopes_.Lookup(ClusterKey{leader, num_members}, epoch, &invalidated);
+  if (invalidated) ++stats_.invalidations;
   ++(hit != nullptr ? stats_.bound_hits : stats_.bound_misses);
   return hit;
 }
 
 const markov::IntervalMarkovChain* EngineCache::PutEnvelope(
-    ChainId leader, uint32_t num_members,
-    markov::IntervalMarkovChain envelope) {
+    ChainId leader, uint32_t num_members, markov::IntervalMarkovChain envelope,
+    DataVersion epoch) {
   InjectCacheAdmissionFault();
   bool evicted = false;
+  bool invalidated = false;
   const markov::IntervalMarkovChain* cached = envelopes_.Put(
-      ClusterKey{leader, num_members}, std::move(envelope), capacity_,
-      &evicted);
+      ClusterKey{leader, num_members}, std::move(envelope), epoch, capacity_,
+      &evicted, &invalidated);
   if (evicted) ++stats_.bound_evictions;
+  if (invalidated) ++stats_.invalidations;
   return cached;
 }
 
 const std::vector<markov::ProbBound>* EngineCache::LookupBounds(
-    ChainId leader, uint32_t num_members, const QueryWindow& window) {
+    ChainId leader, uint32_t num_members, const QueryWindow& window,
+    DataVersion epoch) {
+  bool invalidated = false;
   const std::vector<markov::ProbBound>* hit = bounds_.Lookup(
       BoundsKey{{leader, num_members}, window.region().elements(),
-                window.times()});
+                window.times()},
+      epoch, &invalidated);
+  if (invalidated) ++stats_.invalidations;
   ++(hit != nullptr ? stats_.bound_hits : stats_.bound_misses);
   return hit;
 }
 
 const std::vector<markov::ProbBound>* EngineCache::PutBounds(
     ChainId leader, uint32_t num_members, const QueryWindow& window,
-    std::vector<markov::ProbBound> bounds) {
+    std::vector<markov::ProbBound> bounds, DataVersion epoch) {
   InjectCacheAdmissionFault();
   bool evicted = false;
+  bool invalidated = false;
   const std::vector<markov::ProbBound>* cached = bounds_.Put(
       BoundsKey{{leader, num_members}, window.region().elements(),
                 window.times()},
-      std::move(bounds), capacity_, &evicted);
+      std::move(bounds), epoch, capacity_, &evicted, &invalidated);
   if (evicted) ++stats_.bound_evictions;
+  if (invalidated) ++stats_.invalidations;
   return cached;
 }
 

@@ -35,6 +35,14 @@ struct EngineCacheStats {
   uint64_t bound_hits = 0;       ///< envelope + bound-pass lookups served
   uint64_t bound_misses = 0;     ///< envelope + bound-pass lookups missed
   uint64_t bound_evictions = 0;  ///< entries displaced from either store
+  /// Entries (any store) dropped at lookup because their build epoch no
+  /// longer matches the caller's — the lazy per-chain invalidation of the
+  /// ingest path. Every stale drop also counts as a miss in its store's
+  /// hit/miss pair; the cache is never flushed wholesale by a mutation.
+  uint64_t invalidations = 0;
+  /// Engines built by extending a cached shifted-window base (delta
+  /// propagation steps) instead of a cold full backward pass.
+  uint64_t shift_extends = 0;
 };
 
 /// \brief LRU cache of QueryBasedEngine instances.
@@ -54,26 +62,55 @@ class EngineCache {
   /// \brief Returns the engine for (chain, window), building and caching
   /// it on a miss. The pointer stays valid until the entry is evicted —
   /// do not hold it across further Get() or Put() calls.
+  ///
+  /// Every store method takes the caller's current `epoch` for the data
+  /// the entry derives from (Database::chain_epoch for the engine store,
+  /// cluster_epoch for the cluster stores; 0 — the default — for frozen
+  /// databases, making the tag a no-op). An entry is served only at the
+  /// epoch it was built at: a lookup that finds a stale entry drops it,
+  /// counting an invalidation plus the ordinary miss. On a Get() miss a
+  /// same-epoch cached engine whose window is this window shifted
+  /// backward is extended by the delta instead of built cold.
   const QueryBasedEngine* Get(const markov::MarkovChain* chain,
-                              const QueryWindow& window);
+                              const QueryWindow& window,
+                              DataVersion epoch = 0);
 
   /// \brief Returns the cached engine for (chain, window) or nullptr,
   /// recording a hit or a miss. Never builds and never evicts, so pointers
   /// returned by earlier Lookup() calls stay valid until the next Get(),
   /// Put(), or Clear() — the batch executor relies on this to borrow
-  /// several engines at once without them evicting each other.
+  /// several engines at once without them evicting each other. A stale
+  /// entry IS destroyed by the lookup that finds it — safe under the
+  /// borrow contract, because batch keys are distinct and a borrow only
+  /// ever holds a fresh-epoch entry, never the stale one being dropped.
   const QueryBasedEngine* Lookup(const markov::MarkovChain* chain,
-                                 const QueryWindow& window);
+                                 const QueryWindow& window,
+                                 DataVersion epoch = 0);
+
+  /// \brief Returns a same-epoch cached engine whose window equals
+  /// `window` shifted backward by some delta >= 1 (same region elements,
+  /// every time lower by the same delta), writing the delta, or nullptr.
+  /// Prefers the smallest delta (cheapest extension). Counts neither a
+  /// hit nor a miss — callers pair it with a failed Lookup()/Get() that
+  /// already recorded the miss — but counts a shift_extend on success.
+  /// Never evicts; the returned borrow obeys Lookup()'s validity rules.
+  const QueryBasedEngine* LookupShiftBase(const markov::MarkovChain* chain,
+                                          const QueryWindow& window,
+                                          DataVersion epoch,
+                                          Timestamp* delta);
 
   /// \brief Inserts a pre-built engine for (chain, window), evicting the
-  /// least-recently-used entry when full. If the key is already cached the
-  /// existing engine is kept (and returned) and `engine` is discarded.
-  /// Records evictions but neither hits nor misses (a paired Lookup()
-  /// already did). `engine` must have been built for exactly this chain
-  /// and window, in the default (implicit) matrix mode.
+  /// least-recently-used entry when full. If the key is already cached at
+  /// this epoch the existing engine is kept (and returned) and `engine`
+  /// is discarded; a stale same-key entry is replaced (counting an
+  /// invalidation). Records evictions but neither hits nor misses (a
+  /// paired Lookup() already did). `engine` must have been built for
+  /// exactly this chain and window, in the default (implicit) matrix
+  /// mode.
   const QueryBasedEngine* Put(const markov::MarkovChain* chain,
                               const QueryWindow& window,
-                              std::unique_ptr<QueryBasedEngine> engine);
+                              std::unique_ptr<QueryBasedEngine> engine,
+                              DataVersion epoch = 0);
 
   /// \brief Cached interval envelope of one chain cluster, or nullptr
   /// (recording a bound hit/miss). Keyed by (leader ChainId, member
@@ -87,14 +124,15 @@ class EngineCache {
   /// dispatch table — a hit never depends on which ISA built or reuses
   /// the entry, even across a runtime kernels::SetActiveIsa() flip.
   const markov::IntervalMarkovChain* LookupEnvelope(ChainId leader,
-                                                    uint32_t num_members);
+                                                    uint32_t num_members,
+                                                    DataVersion epoch = 0);
 
   /// \brief Inserts a cluster envelope, evicting the least-recently-used
   /// envelope when full; returns the cached instance (the existing one if
-  /// the key was already present).
+  /// the key was already present at this epoch).
   const markov::IntervalMarkovChain* PutEnvelope(
       ChainId leader, uint32_t num_members,
-      markov::IntervalMarkovChain envelope);
+      markov::IntervalMarkovChain envelope, DataVersion epoch = 0);
 
   /// \brief Cached per-start-state bound pass of one (cluster, window)
   /// pair, or nullptr (recording a bound hit/miss). The pointer stays
@@ -102,14 +140,15 @@ class EngineCache {
   /// whatever the producer computed — the executor stores upper-only
   /// passes (lo pinned to 0).
   const std::vector<markov::ProbBound>* LookupBounds(
-      ChainId leader, uint32_t num_members, const QueryWindow& window);
+      ChainId leader, uint32_t num_members, const QueryWindow& window,
+      DataVersion epoch = 0);
 
   /// \brief Inserts a computed bound pass for (cluster, window), evicting
   /// the least-recently-used bound pass when full; returns the cached
   /// instance.
   const std::vector<markov::ProbBound>* PutBounds(
       ChainId leader, uint32_t num_members, const QueryWindow& window,
-      std::vector<markov::ProbBound> bounds);
+      std::vector<markov::ProbBound> bounds, DataVersion epoch = 0);
 
   size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
@@ -139,37 +178,50 @@ class EngineCache {
   struct Entry {
     Key key;
     std::unique_ptr<QueryBasedEngine> engine;
+    DataVersion epoch = 0;  ///< chain epoch the pass was built at
   };
 
   /// Shared LRU-map implementation of the two cluster stores; V is the
-  /// cached payload, K must be strictly ordered.
+  /// cached payload, K must be strictly ordered. Every node carries the
+  /// epoch it was admitted at; a lookup at a different epoch drops the
+  /// node (lazy invalidation, reported via `invalidated`).
   template <typename K, typename V>
   struct LruStore {
     struct Node {
       K key;
       V value;
+      DataVersion epoch = 0;
     };
     std::list<Node> lru;  // front = most recently used
     std::map<K, typename std::list<Node>::iterator> index;
 
-    /// Returns the payload and refreshes recency, or nullptr.
-    V* Lookup(const K& key) {
+    /// Returns the payload and refreshes recency, or nullptr. A stale
+    /// node reads as a miss and is dropped, setting `*invalidated`.
+    V* Lookup(const K& key, DataVersion epoch, bool* invalidated) {
       auto it = index.find(key);
       if (it == index.end()) return nullptr;
+      if (it->second->epoch != epoch) {
+        *invalidated = true;
+        lru.erase(it->second);
+        index.erase(it);
+        return nullptr;
+      }
       lru.splice(lru.begin(), lru, it->second);
       return &it->second->value;
     }
 
-    /// Inserts (keeping any existing entry); true when an LRU entry was
+    /// Inserts (keeping any same-epoch existing entry; replacing a stale
+    /// one, reported via `invalidated`); `evicted` reports an LRU entry
     /// displaced to stay within `capacity`.
-    V* Put(const K& key, V value, size_t capacity, bool* evicted) {
-      if (V* existing = Lookup(key)) return existing;
+    V* Put(const K& key, V value, DataVersion epoch, size_t capacity,
+           bool* evicted, bool* invalidated) {
+      if (V* existing = Lookup(key, epoch, invalidated)) return existing;
       *evicted = lru.size() >= capacity;
       if (*evicted) {
         index.erase(lru.back().key);
         lru.pop_back();
       }
-      lru.push_front(Node{key, std::move(value)});
+      lru.push_front(Node{key, std::move(value), epoch});
       index[key] = lru.begin();
       return &lru.front().value;
     }

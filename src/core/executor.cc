@@ -119,6 +119,13 @@ struct QueryExecutor::ChainPlan {
   std::unique_ptr<QueryBasedEngine> qb_owned;
   std::unique_ptr<ObjectBasedEngine> ob;
   std::unique_ptr<KTimesEngine> ktimes;
+  /// Batch path only: a cache-borrowed same-epoch pass for this window
+  /// shifted backward by qb_shift_delta. The build phase extends it in
+  /// delta steps instead of building cold; the borrow stays valid through
+  /// the parallel phase because cache bookkeeping (which alone can evict)
+  /// happens only on the submitting thread, before and after it.
+  const QueryBasedEngine* qb_shift_base = nullptr;
+  Timestamp qb_shift_delta = 0;
 
   /// The plan this request evaluates the chain with: its pinned plan if
   /// any, the planner's decision otherwise. Solo runs fold the pin into
@@ -165,6 +172,8 @@ struct QueryExecutor::BatchGroup {
   /// double-counts.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cache_shift_extends = 0;
 };
 
 /// Shared state of one exists-family evaluation: the cooperative-stop
@@ -227,6 +236,8 @@ struct QueryExecutor::ObsHandles {
   obs::Counter* cache_hits;
   obs::Counter* cache_misses;
   obs::Counter* cache_evictions;
+  obs::Counter* cache_invalidations;
+  obs::Counter* cache_shift_extends;
   obs::Counter* cache_bound_hits;
   obs::Counter* cache_bound_misses;
   obs::Counter* cache_bound_evictions;
@@ -283,6 +294,10 @@ struct QueryExecutor::ObsHandles {
     cache_misses = reg->GetCounter(kCache, with("kind", "miss"), kCacheHelp);
     cache_evictions =
         reg->GetCounter(kCache, with("kind", "eviction"), kCacheHelp);
+    cache_invalidations =
+        reg->GetCounter(kCache, with("kind", "invalidation"), kCacheHelp);
+    cache_shift_extends =
+        reg->GetCounter(kCache, with("kind", "shift_extend"), kCacheHelp);
     cache_bound_hits =
         reg->GetCounter(kCache, with("kind", "bound_hit"), kCacheHelp);
     cache_bound_misses =
@@ -383,6 +398,8 @@ void QueryExecutor::FeedCacheDelta(const EngineCacheStats& before) {
   add(obs_->cache_hits, now.hits - before.hits);
   add(obs_->cache_misses, now.misses - before.misses);
   add(obs_->cache_evictions, now.evictions - before.evictions);
+  add(obs_->cache_invalidations, now.invalidations - before.invalidations);
+  add(obs_->cache_shift_extends, now.shift_extends - before.shift_extends);
   add(obs_->cache_bound_hits, now.bound_hits - before.bound_hits);
   add(obs_->cache_bound_misses, now.bound_misses - before.bound_misses);
   add(obs_->cache_bound_evictions,
@@ -431,6 +448,10 @@ util::Result<QueryResult> QueryExecutor::RunImpl(
   }
   EngineCacheStats cache_before;
   if (obs_ != nullptr) cache_before = cache_.stats();
+  // The epoch this answer reflects. The service's ingest lock keeps the
+  // database frozen for the whole run, so a single stamp taken here is
+  // exact; a frozen (never-appended) database reads 0.
+  const DataVersion run_epoch = db_->data_version();
   const Selection ids(request, db_->num_objects());
   util::Result<QueryResult> result =
       request.degrade == DegradeMode::kBoundsOnly
@@ -438,6 +459,7 @@ util::Result<QueryResult> QueryExecutor::RunImpl(
           : (request.predicate == PredicateKind::kKTimes
                  ? RunKTimes(request, ids)
                  : RunExistsFamily(request, ids));
+  if (result.ok()) result->epoch = run_epoch;
   if (obs_ != nullptr) {
     // One feed per run: counters from the run's ExecStats (partial
     // counters of a stopped run included — that work happened), cache
@@ -566,7 +588,7 @@ void QueryExecutor::BuildExistsEngines(const QueryRequest& request,
       ++stats->chains_query_based;
       if (cache_slots > 0) {
         --cache_slots;
-        cp.qb = cache_.Get(&chain, window);
+        cp.qb = cache_.Get(&chain, window, db_->chain_epoch(chain_id));
       } else {
         cp.qb_owned = std::make_unique<QueryBasedEngine>(
             &chain, window, QueryBasedOptions{.mode = request.matrix_mode});
@@ -585,6 +607,10 @@ void QueryExecutor::BuildExistsEngines(const QueryRequest& request,
   stats->cache_hits += cache_.stats().hits - before.hits;
   stats->cache_misses += cache_.stats().misses - before.misses;
   stats->cache_evictions += cache_.stats().evictions - before.evictions;
+  stats->cache_invalidations +=
+      cache_.stats().invalidations - before.invalidations;
+  stats->cache_shift_extends +=
+      cache_.stats().shift_extends - before.shift_extends;
 }
 
 void QueryExecutor::PartitionByCluster(
@@ -615,11 +641,15 @@ util::Status QueryExecutor::BoundClusters(
     const ChainId leader = cluster.leader;
     const uint32_t num_members =
         static_cast<uint32_t>(cluster.members.size());
+    // Cluster stores are tagged with the cluster's epoch: a mutation of
+    // any member chain's object drops this cluster's entries lazily while
+    // every other cluster keeps its envelope and bound passes.
+    const DataVersion epoch = db_->cluster_epoch(cluster_index);
     const std::vector<markov::ProbBound>* bounds =
-        cache_.LookupBounds(leader, num_members, window);
+        cache_.LookupBounds(leader, num_members, window, epoch);
     if (bounds == nullptr) {
       const markov::IntervalMarkovChain* envelope =
-          cache_.LookupEnvelope(leader, num_members);
+          cache_.LookupEnvelope(leader, num_members, epoch);
       if (envelope == nullptr) {
         std::vector<const markov::MarkovChain*> members;
         members.reserve(cluster.members.size());
@@ -627,14 +657,16 @@ util::Status QueryExecutor::BoundClusters(
         USTDB_ASSIGN_OR_RETURN(
             markov::IntervalMarkovChain built,
             markov::IntervalMarkovChain::FromChains(members));
-        envelope = cache_.PutEnvelope(leader, num_members, std::move(built));
+        envelope = cache_.PutEnvelope(leader, num_members, std::move(built),
+                                      epoch);
       }
       // Upper bounds only: the drop test below never reads lo, and
       // skipping the lower propagation halves the bound pass.
       bounds = cache_.PutBounds(
           leader, num_members, window,
           envelope->BoundExists(window.region(), window.t_begin(),
-                                window.t_end(), /*with_lower=*/false));
+                                window.t_end(), /*with_lower=*/false),
+          epoch);
     }
 
     ++prune->clusters_bounded;
@@ -796,11 +828,12 @@ util::Result<QueryResult> QueryExecutor::RunDegradedBounds(
     const ChainId leader = cluster.leader;
     const uint32_t num_members =
         static_cast<uint32_t>(cluster.members.size());
+    const DataVersion epoch = db_->cluster_epoch(cluster_index);
     const std::vector<markov::ProbBound>* bounds =
-        cache_.LookupBounds(leader, num_members, request.window);
+        cache_.LookupBounds(leader, num_members, request.window, epoch);
     if (bounds == nullptr) {
       const markov::IntervalMarkovChain* envelope =
-          cache_.LookupEnvelope(leader, num_members);
+          cache_.LookupEnvelope(leader, num_members, epoch);
       if (envelope == nullptr) {
         std::vector<const markov::MarkovChain*> members;
         members.reserve(cluster.members.size());
@@ -808,7 +841,8 @@ util::Result<QueryResult> QueryExecutor::RunDegradedBounds(
         USTDB_ASSIGN_OR_RETURN(
             markov::IntervalMarkovChain built,
             markov::IntervalMarkovChain::FromChains(members));
-        envelope = cache_.PutEnvelope(leader, num_members, std::move(built));
+        envelope = cache_.PutEnvelope(leader, num_members, std::move(built),
+                                      epoch);
       }
       // With lower bounds: unlike the refining plan, the degraded answer
       // certifies inclusion from lo. (A cached upper-only pass left by a
@@ -819,7 +853,8 @@ util::Result<QueryResult> QueryExecutor::RunDegradedBounds(
           envelope->BoundExists(request.window.region(),
                                 request.window.t_begin(),
                                 request.window.t_end(),
-                                /*with_lower=*/true));
+                                /*with_lower=*/true),
+          epoch);
     }
     ++prune.clusters_bounded;
     bool any_undecided = false;
@@ -1128,6 +1163,9 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
   const SClock::time_point g0 = timing ? SClock::now() : SClock::time_point();
   EngineCacheStats batch_cache_before;
   if (obs_ != nullptr) batch_cache_before = cache_.stats();
+  // One epoch stamp for every member: the service's ingest lock keeps the
+  // database frozen across the whole batch.
+  const DataVersion run_epoch = db_->data_version();
 
   // --- Group phase: census each request, bucket by (window, mode). -------
   std::vector<BatchGroup> groups;
@@ -1297,13 +1335,22 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
     }
 
     // Borrow cached backward passes now: Lookup() never evicts, so every
-    // borrowed pointer stays valid for the whole parallel phase.
+    // borrowed pointer stays valid for the whole parallel phase. On a
+    // miss, a same-epoch pass for the window shifted backward is borrowed
+    // as an extension base: the build phase then runs delta steps instead
+    // of a cold pass (the standing-query window-slide fast path).
     const bool cacheable = group.mode == MatrixMode::kImplicit;
     const EngineCacheStats before = cache_.stats();
     for (auto& [chain_id, cp] : group.plans) {
       if (!cp.want_qb) continue;
       if (cacheable) {
-        cp.qb = cache_.Lookup(&db_->chain(chain_id), group.window);
+        const DataVersion epoch = db_->chain_epoch(chain_id);
+        cp.qb = cache_.Lookup(&db_->chain(chain_id), group.window, epoch);
+        if (cp.qb == nullptr) {
+          cp.qb_shift_base = cache_.LookupShiftBase(
+              &db_->chain(chain_id), group.window, epoch,
+              &cp.qb_shift_delta);
+        }
       }
       if (cp.qb == nullptr) {
         // Built in the parallel build phase below. The backward pass reads
@@ -1314,6 +1361,10 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
     }
     group.cache_hits = cache_.stats().hits - before.hits;
     group.cache_misses = cache_.stats().misses - before.misses;
+    group.cache_invalidations =
+        cache_.stats().invalidations - before.invalidations;
+    group.cache_shift_extends =
+        cache_.stats().shift_extends - before.shift_extends;
   }
   // Batch stage attribution: the member bound passes above run on the
   // submitting thread inside this plan window, so the aggregate plan timer
@@ -1371,9 +1422,14 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
       const EngineBuild& build = builds[b];
       ChainPlan& cp = build.group->plans.at(build.chain);
       if (build.backward) {
-        cp.qb_owned = std::make_unique<QueryBasedEngine>(
-            &db_->chain(build.chain), build.group->window,
-            QueryBasedOptions{.mode = build.group->mode});
+        cp.qb_owned =
+            cp.qb_shift_base != nullptr
+                ? std::make_unique<QueryBasedEngine>(*cp.qb_shift_base,
+                                                     build.group->window,
+                                                     cp.qb_shift_delta)
+                : std::make_unique<QueryBasedEngine>(
+                      &db_->chain(build.chain), build.group->window,
+                      QueryBasedOptions{.mode = build.group->mode});
         cp.qb = cp.qb_owned.get();
       } else {
         (void)cp.ob->augmented();
@@ -1530,6 +1586,8 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
       const auto attach_cache_stats = [&](QueryResult* result) {
         result->stats.cache_hits = group.cache_hits;
         result->stats.cache_misses = group.cache_misses;
+        result->stats.cache_invalidations = group.cache_invalidations;
+        result->stats.cache_shift_extends = group.cache_shift_extends;
         cache_stats_attributed[mr.group_index] = 1;
       };
       // One registry feed per successfully answered member (cache events
@@ -1625,9 +1683,13 @@ std::vector<util::Result<QueryResult>> QueryExecutor::RunBatchImpl(
       ChainPlan& cp = group.plans.at(chain_id);
       if (cp.qb_owned != nullptr) {
         cache_.Put(&db_->chain(chain_id), group.window,
-                   std::move(cp.qb_owned));
+                   std::move(cp.qb_owned), db_->chain_epoch(chain_id));
       }
     }
+  }
+
+  for (util::Result<QueryResult>& r : results) {
+    if (r.ok()) r->epoch = run_epoch;
   }
 
   if (obs_ != nullptr) {

@@ -70,9 +70,15 @@ struct ExecutorOptions {
 /// Owns the thread pool and the engine cache; create one executor per
 /// serving thread and reuse it across queries so cached backward passes
 /// amortize. Not internally synchronized: Run() and RunBatch() must not
-/// be called concurrently on the same instance. The Database must outlive
-/// the executor and must not grow chains while cached engines exist (call
-/// ClearCache() after mutating the database).
+/// be called concurrently on the same instance, and the Database must not
+/// be mutated while a run is in flight (the service layer serializes
+/// ingest against dispatch with a per-shard lock). The Database must
+/// outlive the executor. Between runs, Database::AppendObservation is
+/// safe without ClearCache(): every cache entry is tagged with the epoch
+/// of the data it derives from, and a lookup at a newer epoch lazily
+/// drops exactly the stale entry (EngineCacheStats::invalidations) —
+/// untouched chains keep their passes. ClearCache() remains for chain
+/// replacement, which reuses chain storage addresses.
 class QueryExecutor {
  public:
   /// \param db the database to serve; must outlive the executor.
@@ -171,7 +177,9 @@ class QueryExecutor {
   /// the obs::MetricsRegistry the executor feeds.
   const ExecStats& last_run_stats() const { return last_stats_; }
 
-  /// Drops cached engines (required after the database is mutated).
+  /// Drops every cached engine. Not needed after AppendObservation
+  /// (epoch tags invalidate lazily, per chain); required only when chain
+  /// storage itself is replaced.
   void ClearCache() { cache_.Clear(); }
 
   /// The planner whose cost model drives OB/QB selection.

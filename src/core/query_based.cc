@@ -18,6 +18,27 @@ QueryBasedEngine::QueryBasedEngine(const markov::MarkovChain* chain,
   }
 }
 
+QueryBasedEngine::QueryBasedEngine(const QueryBasedEngine& base,
+                                   QueryWindow window, Timestamp delta)
+    : chain_(base.chain_),
+      window_(std::move(window)),
+      options_(base.options_) {
+  assert(options_.mode == MatrixMode::kImplicit);
+  assert(delta >= 1);
+  assert(window_.t_end() == base.window_.t_end() + delta);
+  const sparse::CsrMatrix& mt = chain_->transposed();
+  const sparse::CsrMatrix& mtt = chain_->matrix();
+  sparse::ProbVector g = base.start_vector_;
+  sparse::VecMatWorkspace ws;
+  for (Timestamp t = delta; t > 0; --t) {
+    ws.Multiply(g, mt, &g, &mtt);
+  }
+  // The shifted window starts at or after t = delta >= 1, so 0 ∈ T□ is
+  // impossible and no final clamp applies.
+  transitions_ = base.transitions_ + delta;
+  start_vector_ = std::move(g);
+}
+
 void QueryBasedEngine::RunBackwardImplicit() {
   const uint32_t n = chain_->num_states();
   const sparse::CsrMatrix& mt = chain_->transposed();

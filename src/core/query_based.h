@@ -34,6 +34,26 @@ class QueryBasedEngine {
   QueryBasedEngine(const markov::MarkovChain* chain, QueryWindow window,
                    QueryBasedOptions options = {});
 
+  /// \brief Incremental window-shift extension: builds the engine for
+  /// `window` = base.window() shifted forward by `delta` steps (same
+  /// region elements, every time offset by +delta) in O(delta)
+  /// transitions instead of re-running the whole backward pass. The
+  /// identity: a cold pass for the shifted window replays the base
+  /// pass's steps verbatim above t = delta (ContainsTime aligns under
+  /// the relabeling), and below that every time lies before the shifted
+  /// window, so the remaining delta steps are pure Mᵀ products applied
+  /// to the base's start vector — which already folds the 0 ∈ T□ clamp,
+  /// making the first product equal the cold pass's fused
+  /// MultiplyClamped step. Implicit mode only (the explicit pass
+  /// projects away the absorbed mass, losing the state the extension
+  /// would need); results match a cold build bit-identically or within
+  /// the 1e-12 kernel-parity margin.
+  /// \pre base is implicit-mode; `window` is base.window() shifted by
+  /// `delta` >= 1 (the caller — EngineCache's shift-base lookup —
+  /// verifies this).
+  QueryBasedEngine(const QueryBasedEngine& base, QueryWindow window,
+                   Timestamp delta);
+
   /// \brief The per-start-state satisfaction vector v at t=0: v[s] =
   /// probability that an object located at s at time 0 (with certainty)
   /// intersects the window. Already accounts for 0 ∈ T□.

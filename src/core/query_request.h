@@ -234,6 +234,14 @@ struct ExecStats {
   /// already been answered, so those evictions are visible only in the
   /// executor-level cache_stats() (and ServiceStats.cache).
   uint64_t cache_evictions = 0;
+  /// Stale-epoch cache entries this run's lookups dropped (the lazy
+  /// per-chain invalidation of the ingest path). Batch attribution
+  /// follows cache_hits/cache_misses.
+  uint64_t cache_invalidations = 0;
+  /// Backward passes this run obtained by extending a cached
+  /// shifted-window base instead of a cold rebuild (standing-query
+  /// window slides). Batch attribution follows cache_hits/cache_misses.
+  uint64_t cache_shift_extends = 0;
   /// Requests sharing this request's RunBatch group — every member of a
   /// group reuses the same per-chain engines, so a group of size g pays
   /// one backward pass where g solo runs on a cold cache pay g. Zero for
@@ -295,6 +303,14 @@ struct QueryResult {
   std::vector<ShardError> shard_errors;
   std::vector<ObjectId> missing_objects;
   std::vector<ObjectInterval> undecided;
+
+  /// Data epoch this answer was computed against: the executor stamps
+  /// its database's data_version() at run start; scatter-gather merges
+  /// take the max over answering shards (shards share one global
+  /// version sequence). 0 = a frozen, never-mutated database. A partial
+  /// answer thereby names the newest epoch it reflects even when some
+  /// shards failed.
+  DataVersion epoch = 0;
 };
 
 }  // namespace core

@@ -44,5 +44,11 @@ QueryWindow QueryWindow::WithComplementRegion() const {
   return w;
 }
 
+QueryWindow QueryWindow::ShiftedBy(Timestamp delta) const {
+  std::vector<Timestamp> shifted(times_.size());
+  for (size_t i = 0; i < times_.size(); ++i) shifted[i] = times_[i] + delta;
+  return QueryWindow(region_, std::move(shifted));
+}
+
 }  // namespace core
 }  // namespace ustdb

@@ -71,6 +71,12 @@ class QueryWindow {
   /// uses: P∀(S□, T□) = 1 − P∃(S\S□, T□).
   QueryWindow WithComplementRegion() const;
 
+  /// \brief Same region, every time shifted forward by `delta` — the
+  /// sliding step of a standing query. A shift of >= 1 keeps the window's
+  /// shape, which is exactly what lets the EngineCache extend a memoized
+  /// backward pass by `delta` propagation steps instead of recomputing.
+  QueryWindow ShiftedBy(Timestamp delta) const;
+
  private:
   QueryWindow(sparse::IndexSet region, std::vector<Timestamp> times);
 

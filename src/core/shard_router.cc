@@ -107,6 +107,19 @@ util::Result<ObjectId> ShardedDatabase::AddObjectAt(
   return AddObject(chain, std::move(obs));
 }
 
+util::Result<DataVersion> ShardedDatabase::AppendObservation(
+    ObjectId id, Observation obs) {
+  if (id >= object_shard_.size()) {
+    return util::Status::NotFound(
+        util::StringPrintf("object %u does not exist", id));
+  }
+  const uint32_t s = object_shard_[id];
+  const DataVersion version =
+      version_->fetch_add(1, std::memory_order_acq_rel) + 1;
+  return shards_[s].db.AppendObservationAtVersion(object_local_[id],
+                                                  std::move(obs), version);
+}
+
 void ShardedDatabase::MaybeRebalance() {
   if (num_shards() < 2) return;
   uint64_t total = 0;

@@ -22,6 +22,7 @@
 #ifndef USTDB_CORE_SHARD_ROUTER_H_
 #define USTDB_CORE_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -75,9 +76,15 @@ struct ShardingOptions {
 ///
 /// Thread safety: none during construction/mutation (like Database).
 /// Once loaded, all accessors are const and safe to share across the
-/// per-shard executors. Mutating while a QueryService is serving the
-/// instance is not supported; a rebalance listener is provided so cache
-/// owners can invalidate pointer-keyed entries of rebuilt shards.
+/// per-shard executors. Structural mutation (AddChain/AddObject, which
+/// can rebalance) while a QueryService is serving the instance is not
+/// supported; a rebalance listener is provided so cache owners can
+/// invalidate pointer-keyed entries of rebuilt shards. AppendObservation
+/// is the one serving-time mutation: it touches exactly the owning
+/// shard's Database (never the registry, never a rebalance), so the
+/// service admits it by serializing against that single shard's
+/// dispatch. Callers appending to the same shard concurrently must hold
+/// that serialization themselves.
 class ShardedDatabase {
  public:
   explicit ShardedDatabase(ShardingOptions options = {});
@@ -104,6 +111,23 @@ class ShardedDatabase {
   util::Result<ObjectId> AddObjectAt(ChainId chain,
                                      sparse::ProbVector initial_pdf,
                                      Timestamp t = 0);
+
+  /// \brief Appends an observation to global object `id`, routed to the
+  /// owning shard. The version is allocated from ONE global counter and
+  /// applied through Database::AppendObservationAtVersion, so every
+  /// shard's epochs advance along the same global sequence — a gathered
+  /// partial answer can name the exact global epoch it reflects, and
+  /// epochs from different shards compare meaningfully (max-merge in the
+  /// scatter-gather). A rejected append (validation failure) burns its
+  /// allocated version: gaps are fine, monotonicity is what matters.
+  util::Result<DataVersion> AppendObservation(ObjectId id, Observation obs);
+
+  /// Newest globally allocated data version (0 = never appended). A
+  /// shard's Database::data_version() is the newest version *applied
+  /// there* and is always <= this.
+  DataVersion data_version() const {
+    return version_->load(std::memory_order_acquire);
+  }
 
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
@@ -206,6 +230,13 @@ class ShardedDatabase {
 
   uint64_t rebalances_ = 0;
   std::function<void(uint32_t, uint32_t)> rebalance_listener_;
+  /// Global ingest version counter; atomic so appends routed to
+  /// *different* shards may allocate concurrently (each under its own
+  /// shard's external serialization). Behind a unique_ptr to keep the
+  /// class nothrow-movable (atomics are neither copyable nor movable);
+  /// a ShardedDatabase is never moved while appends are in flight.
+  std::unique_ptr<std::atomic<DataVersion>> version_ =
+      std::make_unique<std::atomic<DataVersion>>(0);
 };
 
 }  // namespace core

@@ -23,6 +23,10 @@ const char* StageName(Stage stage) {
       return "evaluate";
     case Stage::kMerge:
       return "merge";
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kNotify:
+      return "notify";
   }
   return "unknown";
 }

@@ -38,6 +38,8 @@ enum class Stage : uint8_t {
   kEngineBuild,  ///< engine construction / cache lookups
   kEvaluate,     ///< per-object evaluation (refine included)
   kMerge,        ///< scatter-gather merge + resolve
+  kIngest,       ///< AppendObservation apply + invalidation bookkeeping
+  kNotify,       ///< subscription delta computation + callback delivery
 };
 
 /// Stable lowercase stage name for exports and logs.

@@ -120,6 +120,24 @@ struct GatherState {
   std::atomic<size_t> remaining{0};
 };
 
+/// Shared state behind one standing query. Locking split (see the
+/// members in query_service.h): `dirty` and `request.window` are guarded
+/// by the service's subs_mu_; `last_answer` and sequence advancement are
+/// touched only inside the refresh_mu_-serialized refresh round;
+/// `cancelled` is atomic so the handle's Cancel() never takes a service
+/// lock.
+struct SubscriptionState {
+  uint64_t id = 0;
+  core::QueryRequest request;  // current (possibly slid) window
+  WindowPolicy policy;
+  SubscriptionCallback callback;
+  std::atomic<bool> cancelled{false};
+  std::atomic<uint64_t> sequence{0};  ///< last delivered; 0 = none yet
+  bool dirty = true;  ///< first refresh delivers the full set as entered
+  /// Last delivered answer set, ascending by object id.
+  std::vector<core::ObjectProbability> last_answer;
+};
+
 LatencyPercentiles MergeLatencyPercentiles(
     const std::vector<std::vector<double>>& reservoirs) {
   std::vector<double> pool;
@@ -141,6 +159,7 @@ LatencyPercentiles MergeLatencyPercentiles(
 
 using internal::GatherState;
 using internal::SubRoute;
+using internal::SubscriptionState;
 using internal::TicketState;
 
 // ---------------------------------------------------------------------------
@@ -179,6 +198,31 @@ util::Result<core::QueryResult> QueryTicket::Get() {
 }
 
 // ---------------------------------------------------------------------------
+// Subscription
+// ---------------------------------------------------------------------------
+
+uint64_t Subscription::id() const {
+  return state_ != nullptr ? state_->id : 0;
+}
+
+void Subscription::Cancel() {
+  if (state_ != nullptr) {
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+}
+
+bool Subscription::cancelled() const {
+  return state_ != nullptr &&
+         state_->cancelled.load(std::memory_order_acquire);
+}
+
+uint64_t Subscription::last_sequence() const {
+  return state_ != nullptr
+             ? state_->sequence.load(std::memory_order_acquire)
+             : 0;
+}
+
+// ---------------------------------------------------------------------------
 // QueryService internals
 // ---------------------------------------------------------------------------
 
@@ -196,6 +240,13 @@ struct QueryService::ShardLane {
   std::condition_variable work_cv;
   std::deque<ShardTask> lanes[2];
   std::thread dispatcher;
+
+  /// Serializes this shard's executor runs against its ingest appends:
+  /// the dispatcher holds it across Run/RunBatch, AppendObservation holds
+  /// it while mutating this shard's Database. Per shard — an append stalls
+  /// only the owning shard's dispatch, and the executor's start-of-run
+  /// epoch stamp is exact because the database cannot advance mid-run.
+  std::mutex db_mu;
 
   /// Health state machine of this shard (lock-free; see resilience.h).
   ShardHealthTracker health;
@@ -242,6 +293,15 @@ struct QueryService::ObsHandles {
   obs::Counter* shed_interactive;
   obs::Counter* retries;
   obs::Counter* degraded;
+  /// Continuous-query families: one ingest counter pair (applied /
+  /// rejected), an ingest latency histogram, and the subscription
+  /// lifecycle counters + active gauge.
+  obs::Counter* ingest_applied;
+  obs::Counter* ingest_rejected;
+  obs::Histogram* ingest_latency;
+  obs::Counter* subscription_refreshes;
+  obs::Counter* subscription_deltas;
+  obs::Gauge* subscriptions_active;
 
   struct Shard {
     obs::Histogram* queue_wait;  ///< submit -> dequeued by the dispatcher
@@ -298,6 +358,25 @@ struct QueryService::ObsHandles {
         "ustdb_service_traces_sampled_total", base,
         "Submissions that got a rate-sampled QueryTrace attached",
         "requests");
+    const auto ingest_counter = [&](const char* outcome) {
+      return reg->GetCounter("ustdb_ingest_total", with("outcome", outcome),
+                             "Observations ingested, by outcome",
+                             "observations");
+    };
+    ingest_applied = ingest_counter("applied");
+    ingest_rejected = ingest_counter("rejected");
+    ingest_latency = reg->GetHistogram(
+        "ustdb_ingest_seconds", base,
+        "Apply + invalidation-bookkeeping time of each append", "seconds");
+    subscription_refreshes = reg->GetCounter(
+        "ustdb_subscription_refreshes_total", base,
+        "Refresh rounds that ran >= 1 standing query", "rounds");
+    subscription_deltas = reg->GetCounter(
+        "ustdb_subscription_deltas_total", base,
+        "Answer-set deltas delivered to subscription callbacks", "deltas");
+    subscriptions_active = reg->GetGauge(
+        "ustdb_subscriptions_active", base,
+        "Registered, not-yet-cancelled standing queries", "subscriptions");
     scatter_requests = reg->GetCounter(
         "ustdb_service_scatter_requests_total", base,
         "Requests the router scattered across >= 2 shard lanes",
@@ -384,6 +463,8 @@ void AccumulateStats(const core::ExecStats& in, core::ExecStats* out) {
   out->cache_hits += in.cache_hits;
   out->cache_misses += in.cache_misses;
   out->cache_evictions += in.cache_evictions;
+  out->cache_invalidations += in.cache_invalidations;
+  out->cache_shift_extends += in.cache_shift_extends;
   out->batch_group_members =
       std::max(out->batch_group_members, in.batch_group_members);
   out->group_subtasks += in.group_subtasks;
@@ -439,6 +520,18 @@ QueryService::QueryService(const core::ShardedDatabase* db,
   for (uint32_t s = 0; s < num_shards; ++s) {
     shards_[s]->dispatcher = std::thread([this, s] { DispatcherLoop(s); });
   }
+}
+
+QueryService::QueryService(core::Database* db, ServiceOptions options)
+    : QueryService(static_cast<const core::Database*>(db),
+                   std::move(options)) {
+  mutable_db_ = db;
+}
+
+QueryService::QueryService(core::ShardedDatabase* db, ServiceOptions options)
+    : QueryService(static_cast<const core::ShardedDatabase*>(db),
+                   std::move(options)) {
+  mutable_sharded_ = db;
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -553,9 +646,11 @@ util::Status QueryService::BuildRoute(
           for (size_t i = 0; i < n; ++i) {
             const ObjectId local =
                 filtered ? filters[s][i] : static_cast<ObjectId>(i);
-            const core::UncertainObject& obj = shard_db.object(local);
-            if (obj.needs_multi_observation_engine()) continue;
-            ++load_map[sharded_->global_chain(s, obj.chain)];
+            // Census via the lock-free mirror: this submit-path loop runs
+            // without the shard's ingest lock, and reading the object's
+            // history directly would race a concurrent append.
+            if (shard_db.object_needs_multi_engine(local)) continue;
+            ++load_map[sharded_->global_chain(s, shard_db.object(local).chain)];
           }
         }
         std::vector<core::ChainLoad> loads;
@@ -1167,8 +1262,14 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
   if (runnable.size() == 1) {
     ShardTask& task = runnable.front();
     lane.health.MarkDispatchStart(now);
+    // Ingest serialization: the run sees a frozen shard database, so the
+    // executor's start-of-run epoch stamp names the exact data the whole
+    // answer derives from.
     util::Result<core::QueryResult> result =
-        lane.executor.Run(task.gather->subs[task.sub_index].request);
+        [&]() -> util::Result<core::QueryResult> {
+      std::lock_guard<std::mutex> db_lock(lane.db_mu);
+      return lane.executor.Run(task.gather->subs[task.sub_index].request);
+    }();
     lane.health.MarkDispatchEnd();
     const Clock::time_point run_end =
         timing ? Clock::now() : Clock::time_point();
@@ -1206,8 +1307,11 @@ void QueryService::Dispatch(uint32_t shard, std::vector<ShardTask> taken) {
     }
   }
   lane.health.MarkDispatchStart(now);
-  std::vector<util::Result<core::QueryResult>> results =
-      lane.executor.RunBatch(requests);
+  std::vector<util::Result<core::QueryResult>> results;
+  {
+    std::lock_guard<std::mutex> db_lock(lane.db_mu);  // see solo path
+    results = lane.executor.RunBatch(requests);
+  }
   lane.health.MarkDispatchEnd();
   const Clock::time_point run_end =
       timing ? Clock::now() : Clock::time_point();
@@ -1326,6 +1430,10 @@ void QueryService::MergeAndResolve(
     if (!slot->ok()) continue;
     AccumulateStats(slot->value().stats, &merged.stats);
     if (slot->value().degraded_bounds) merged.degraded_bounds = true;
+    // Epoch max-merge: shards share one global version sequence, so the
+    // newest answering shard's epoch names the data the merged (possibly
+    // partial) answer reflects.
+    merged.epoch = std::max(merged.epoch, slot->value().epoch);
   }
   if (gather->add_bound_fallback) ++merged.stats.prune.bound_fallbacks;
 
@@ -1594,6 +1702,263 @@ void QueryService::Resolve(const std::shared_ptr<TicketState>& state,
   state->cv.notify_all();
 }
 
+// ---------------------------------------------------------------------------
+// Ingest + subscriptions
+// ---------------------------------------------------------------------------
+
+util::Result<DataVersion> QueryService::AppendObservation(
+    ObjectId id, core::Observation obs,
+    const std::shared_ptr<obs::QueryTrace>& trace) {
+  if (mutable_db_ == nullptr && mutable_sharded_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "service was constructed over a const database; ingest is disabled");
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return util::Status::Unavailable("query service is shut down");
+    }
+  }
+  const bool timing = obs_ != nullptr || trace != nullptr;
+  const Clock::time_point t0 = timing ? Clock::now() : Clock::time_point();
+  const auto finish = [&](util::Result<DataVersion> outcome) {
+    const Clock::time_point t1 = timing ? Clock::now() : Clock::time_point();
+    if (trace != nullptr) {
+      trace->Record(obs::Stage::kIngest, t0, t1, /*shard=*/-1,
+                    outcome.ok() ? "applied" : "rejected");
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (outcome.ok()) {
+        ++stats_.ingested;
+      } else {
+        ++stats_.ingest_rejected;
+      }
+    }
+    if (obs_ != nullptr) {
+      (outcome.ok() ? obs_->ingest_applied : obs_->ingest_rejected)->Add(1);
+      obs_->ingest_latency->Observe(
+          std::chrono::duration<double>(t1 - t0).count());
+    }
+    return outcome;
+  };
+  // Ingest fault point: a firing fail/throw rule rejects the append
+  // before any state changes (a stall just delays the apply).
+  if (util::Status injected = InjectServicePoint(util::FaultPoint::kIngest);
+      !injected.ok()) {
+    return finish(std::move(injected));
+  }
+
+  util::Result<DataVersion> version = [&]() -> util::Result<DataVersion> {
+    if (mutable_sharded_ != nullptr) {
+      if (id >= mutable_sharded_->num_objects()) {
+        // Bounds check BEFORE the shard lookup: the router's own check
+        // sits behind shard_of_object, which indexes unconditionally.
+        return util::Status::NotFound("object " + std::to_string(id) +
+                                      " does not exist");
+      }
+      const uint32_t s = mutable_sharded_->shard_of_object(id);
+      // The shard's ingest lock serializes the whole allocate+apply
+      // against that shard's dispatch AND against concurrent appends to
+      // the same shard, so per-shard versions apply in increasing order.
+      std::lock_guard<std::mutex> db_lock(shards_[s]->db_mu);
+      return mutable_sharded_->AppendObservation(id, std::move(obs));
+    }
+    std::lock_guard<std::mutex> db_lock(shards_[0]->db_mu);
+    return mutable_db_->AppendObservation(id, std::move(obs));
+  }();
+  if (version.ok()) MarkDirtyForIngest(id);
+  return finish(std::move(version));
+}
+
+void QueryService::MarkDirtyForIngest(ObjectId id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (const std::shared_ptr<SubscriptionState>& sub : subscriptions_) {
+    if (sub->cancelled.load(std::memory_order_acquire)) continue;
+    if (!sub->policy.refresh_on_ingest) continue;
+    const std::optional<std::vector<ObjectId>>& filter =
+        sub->request.object_filter;
+    if (filter.has_value() &&
+        std::find(filter->begin(), filter->end(), id) == filter->end()) {
+      continue;
+    }
+    sub->dirty = true;
+  }
+}
+
+util::Result<Subscription> QueryService::Subscribe(
+    core::QueryRequest request, WindowPolicy policy,
+    SubscriptionCallback callback) {
+  if (request.predicate == core::PredicateKind::kKTimes) {
+    return util::Status::InvalidArgument(
+        "kKTimes has no answer-set delta form; poll Submit() instead");
+  }
+  if (callback == nullptr) {
+    return util::Status::InvalidArgument("subscription callback is null");
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return util::Status::Unavailable("query service is shut down");
+    }
+  }
+  auto state = std::make_shared<SubscriptionState>();
+  // Per-refresh submissions manage their own cancellation and tracing;
+  // a caller-attached trace would accumulate spans forever.
+  request.trace = nullptr;
+  request.cancel = util::CancellationToken();
+  state->request = std::move(request);
+  state->policy = policy;
+  state->callback = std::move(callback);
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    state->id = next_subscription_id_++;
+    subscriptions_.push_back(state);
+    for (const std::shared_ptr<SubscriptionState>& sub : subscriptions_) {
+      if (!sub->cancelled.load(std::memory_order_acquire)) ++active;
+    }
+  }
+  if (obs_ != nullptr) {
+    obs_->subscriptions_active->Set(static_cast<double>(active));
+  }
+  return Subscription(std::move(state));
+}
+
+void QueryService::TickWindows(Timestamp steps) {
+  if (steps == 0) return;
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (const std::shared_ptr<SubscriptionState>& sub : subscriptions_) {
+    if (sub->cancelled.load(std::memory_order_acquire)) continue;
+    if (sub->policy.slide == 0) continue;
+    sub->request.window =
+        sub->request.window.ShiftedBy(sub->policy.slide * steps);
+    sub->dirty = true;
+  }
+}
+
+size_t QueryService::num_subscriptions() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  size_t active = 0;
+  for (const std::shared_ptr<SubscriptionState>& sub : subscriptions_) {
+    if (!sub->cancelled.load(std::memory_order_acquire)) ++active;
+  }
+  return active;
+}
+
+SubscriptionDelta QueryService::BuildDelta(SubscriptionState& sub,
+                                           const core::QueryResult& result) {
+  SubscriptionDelta delta;
+  delta.subscription_id = sub.id;
+  delta.epoch = result.epoch;
+  delta.partial = result.partial;
+  std::vector<core::ObjectProbability> now = result.probabilities;
+  std::sort(now.begin(), now.end(),
+            [](const core::ObjectProbability& a,
+               const core::ObjectProbability& b) { return a.id < b.id; });
+  // Merge-walk the id-sorted answer sets. Exact probability comparison:
+  // the refresh pipeline is bit-identical to a one-shot query, so any
+  // difference is a real data change, never evaluation noise.
+  size_t i = 0;
+  size_t j = 0;
+  const std::vector<core::ObjectProbability>& prev = sub.last_answer;
+  while (i < now.size() || j < prev.size()) {
+    if (j == prev.size() || (i < now.size() && now[i].id < prev[j].id)) {
+      delta.entered.push_back(now[i]);
+      ++i;
+    } else if (i == now.size() || prev[j].id < now[i].id) {
+      delta.left.push_back(prev[j].id);
+      ++j;
+    } else {
+      if (now[i].probability != prev[j].probability) {
+        delta.changed.push_back(now[i]);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  delta.sequence = sub.sequence.load(std::memory_order_relaxed) + 1;
+  sub.last_answer = std::move(now);
+  sub.sequence.store(delta.sequence, std::memory_order_release);
+  return delta;
+}
+
+size_t QueryService::RefreshSubscriptions() {
+  // One round at a time: refresh_mu_ alone guards the delivered state
+  // (last_answer, sequences), and serialized rounds keep sequence
+  // numbers monotonic per subscription by construction.
+  std::lock_guard<std::mutex> round_lock(refresh_mu_);
+  std::vector<std::shared_ptr<SubscriptionState>> round;
+  std::vector<core::QueryRequest> requests;
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    // Sweep cancelled subscriptions out of the registry while here.
+    std::erase_if(subscriptions_,
+                  [](const std::shared_ptr<SubscriptionState>& sub) {
+                    return sub->cancelled.load(std::memory_order_acquire);
+                  });
+    active = subscriptions_.size();
+    for (const std::shared_ptr<SubscriptionState>& sub : subscriptions_) {
+      if (!sub->dirty) continue;
+      sub->dirty = false;
+      round.push_back(sub);
+      requests.push_back(sub->request);  // window snapshot
+    }
+  }
+  if (obs_ != nullptr) {
+    obs_->subscriptions_active->Set(static_cast<double>(active));
+  }
+  if (round.empty()) return 0;
+
+  // ONE burst for the whole round: the dispatchers observe it atomically,
+  // so same-window standing queries coalesce into shared RunBatch groups
+  // (and slid windows hit the cache's shift-extension path).
+  std::vector<QueryTicket> tickets =
+      SubmitBurst(std::move(requests), Priority::kInteractive);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.subscription_refreshes;
+  }
+  if (obs_ != nullptr) obs_->subscription_refreshes->Add(1);
+
+  size_t delivered = 0;
+  for (size_t i = 0; i < round.size(); ++i) {
+    SubscriptionState& sub = *round[i];
+    util::Result<core::QueryResult> result = tickets[i].Get();
+    if (!result.ok()) {
+      // Transient failure (backpressure rejection, quarantine, injected
+      // fault): stay dirty and retry next round; the sequence number
+      // never advances past a gap.
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      sub.dirty = true;
+      continue;
+    }
+    if (sub.cancelled.load(std::memory_order_acquire)) continue;
+    const std::shared_ptr<obs::QueryTrace>& trace =
+        tickets[i].state_->trace;  // sampled like any submission
+    const Clock::time_point n0 =
+        trace != nullptr ? Clock::now() : Clock::time_point();
+    SubscriptionDelta delta = BuildDelta(sub, result.value());
+    sub.callback(delta);
+    ++delivered;
+    if (trace != nullptr) {
+      trace->Record(obs::Stage::kNotify, n0, Clock::now(), /*shard=*/-1,
+                    "entered=" + std::to_string(delta.entered.size()) +
+                        " left=" + std::to_string(delta.left.size()) +
+                        " changed=" + std::to_string(delta.changed.size()));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.subscription_deltas += delivered;
+  }
+  if (obs_ != nullptr && delivered > 0) {
+    obs_->subscription_deltas->Add(delivered);
+  }
+  return delivered;
+}
+
 void QueryService::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
@@ -1665,10 +2030,13 @@ ServiceStats QueryService::stats() const {
       cache.bound_hits += lane->cache_snapshot.bound_hits;
       cache.bound_misses += lane->cache_snapshot.bound_misses;
       cache.bound_evictions += lane->cache_snapshot.bound_evictions;
+      cache.invalidations += lane->cache_snapshot.invalidations;
+      cache.shift_extends += lane->cache_snapshot.shift_extends;
       reservoirs.push_back(lane->latencies_ms);
     }
     out.cache = cache;
   }
+  out.subscriptions_active = num_subscriptions();
   const internal::LatencyPercentiles percentiles =
       internal::MergeLatencyPercentiles(reservoirs);
   out.latency_p50_ms = percentiles.p50_ms;

@@ -24,6 +24,17 @@
 // interactive traffic ahead of bulk jobs, per-request deadlines,
 // cancellation that reaches into the executor's parallel loop mid-flight,
 // drain-on-shutdown, and latency/coalescing telemetry (ServiceStats).
+//
+// Constructed over a MUTABLE database, the service additionally serves as
+// the ingest front door (AppendObservation routes to the owning shard,
+// serialized against that shard's dispatch only) and as the subscription
+// layer for standing queries: Subscribe() registers a QueryRequest with a
+// WindowPolicy, ingest and window ticks mark affected subscriptions
+// dirty, and RefreshSubscriptions() flushes every dirty subscription
+// through ONE SubmitBurst — so a refresh round coalesces into the fewest
+// RunBatch dispatches and sliding windows hit the engine cache's
+// shift-extension path — delivering answer-set deltas (entered / left /
+// changed) with monotonic sequence numbers.
 
 #ifndef USTDB_SERVICE_QUERY_SERVICE_H_
 #define USTDB_SERVICE_QUERY_SERVICE_H_
@@ -31,6 +42,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -182,6 +195,17 @@ struct ServiceStats {
   uint64_t quarantines = 0;       ///< kHealthy/kDegraded -> kQuarantined
   uint64_t probes = 0;            ///< probe sub-requests admitted
   uint64_t watchdog_trips = 0;    ///< dispatcher-stall quarantines
+  /// Continuous-query counters: observations applied through
+  /// AppendObservation, appends rejected (validation or injected fault),
+  /// refresh rounds that ran >= 1 standing query, and deltas delivered to
+  /// subscription callbacks (empty deltas are counted too — a delivered
+  /// sequence number is a delivery).
+  uint64_t ingested = 0;
+  uint64_t ingest_rejected = 0;
+  uint64_t subscription_refreshes = 0;
+  uint64_t subscription_deltas = 0;
+  /// Registered, not-yet-cancelled subscriptions at the stats() call.
+  size_t subscriptions_active = 0;
   size_t queue_depth = 0;  ///< queued entries across all lanes and shards
   size_t queue_peak = 0;   ///< high-water mark of queue_depth
   /// Completed-request latency percentiles, computed over the MERGED
@@ -191,10 +215,48 @@ struct ServiceStats {
   double latency_p50_ms = 0.0;  ///< median completed-request latency
   double latency_p99_ms = 0.0;  ///< tail completed-request latency
   /// Engine-cache counters summed over every shard executor (hits,
-  /// misses, evictions), snapshotted after each shard's most recent
-  /// dispatch.
+  /// misses, evictions, stale-epoch invalidations, shift-extension
+  /// reuses), snapshotted after each shard's most recent dispatch.
   core::EngineCacheStats cache;
 };
+
+/// How a standing query's window advances and when it refreshes.
+struct WindowPolicy {
+  /// Timestamps the window slides forward per TickWindows(1) unit. The
+  /// default 1 is the classic sliding window; 0 pins the window (the
+  /// subscription then refreshes on ingest only).
+  Timestamp slide = 1;
+  /// Mark the subscription dirty when an appended observation can affect
+  /// its answer (its object_filter contains the object, or it has no
+  /// filter). With false only window ticks dirty it.
+  bool refresh_on_ingest = true;
+};
+
+/// \brief One delivered update of a standing query: the difference
+/// between this refresh's answer set and the previously delivered one.
+/// `entered` lists objects newly in the answer (with their current
+/// probabilities), `left` lists objects that dropped out, `changed`
+/// lists objects that stayed but whose probability changed. The first
+/// delivery of a subscription reports the full answer as `entered`.
+struct SubscriptionDelta {
+  uint64_t subscription_id = 0;
+  /// Monotonic per subscription, starting at 1; a failed refresh round
+  /// never consumes a sequence number, so callbacks can detect loss-free
+  /// delivery by checking consecutiveness.
+  uint64_t sequence = 0;
+  /// Data epoch the answer reflects (QueryResult::epoch of the refresh).
+  DataVersion epoch = 0;
+  std::vector<core::ObjectProbability> entered;
+  std::vector<core::ObjectProbability> changed;
+  std::vector<ObjectId> left;
+  /// The refresh resolved with a partial scatter-gather answer (some
+  /// shards failed); the delta covers only the answering shards.
+  bool partial = false;
+};
+
+/// Invoked on the RefreshSubscriptions() caller's thread, one delta per
+/// refreshed subscription. Must not call back into the service.
+using SubscriptionCallback = std::function<void(const SubscriptionDelta&)>;
 
 /// \brief One retained record of the slow-query ring: the N slowest
 /// requests that carried a QueryTrace (sampled or caller-attached),
@@ -222,6 +284,7 @@ struct SlowQuery {
 namespace internal {
 struct TicketState;
 struct GatherState;
+struct SubscriptionState;
 
 /// p50/p99 read off one pooled latency sample.
 struct LatencyPercentiles {
@@ -277,6 +340,36 @@ class QueryTicket {
   std::shared_ptr<internal::TicketState> state_;
 };
 
+/// \brief Caller-side handle for one standing query. Cheap to copy
+/// (copies share the subscription). Cancel() is the only mutation:
+/// idempotent, takes effect before the next delivery — a refresh round
+/// already in flight skips a subscription cancelled mid-round.
+class Subscription {
+ public:
+  /// An invalid handle; id() is 0 and Cancel() is a no-op.
+  Subscription() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Stable id (1-based) naming this subscription in deltas and metrics.
+  uint64_t id() const;
+
+  /// Stops future deliveries and releases the registry slot at the next
+  /// refresh sweep. Idempotent, callable from any thread.
+  void Cancel();
+  bool cancelled() const;
+
+  /// Sequence number of the last delivered delta (0 before the first).
+  uint64_t last_sequence() const;
+
+ private:
+  friend class QueryService;
+  explicit Subscription(std::shared_ptr<internal::SubscriptionState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::SubscriptionState> state_;
+};
+
 /// \brief Asynchronous query admission in front of one executor per
 /// shard.
 ///
@@ -286,8 +379,12 @@ class QueryTicket {
 /// construction. Every ticket resolves exactly once — including under
 /// Shutdown(), which stops admitting, drains the queues through the
 /// executors, and only then joins the dispatchers. The Database (or
-/// ShardedDatabase) must outlive the service and must not be mutated
-/// while the service is running.
+/// ShardedDatabase) must outlive the service. Structural mutation
+/// (AddChain/AddObject) while the service is running remains
+/// unsupported; AppendObservation is the one serving-time mutation, and
+/// only through the service's own ingest path (which serializes it
+/// against the owning shard's dispatch) — it requires construction over
+/// a mutable database pointer.
 class QueryService {
  public:
   /// \brief Legacy single-executor service over a plain Database;
@@ -309,6 +406,13 @@ class QueryService {
   /// \param db the sharded database to serve; must outlive the service.
   /// \param options queue, backpressure, coalescing, and executor knobs.
   QueryService(const core::ShardedDatabase* db, ServiceOptions options = {});
+
+  /// \brief Mutable-database overloads: identical serving behavior, plus
+  /// the ingest path (AppendObservation) is enabled. The const overloads
+  /// keep ingest disabled (kFailedPrecondition), preserving the frozen
+  /// snapshot guarantee for callers that rely on it.
+  explicit QueryService(core::Database* db, ServiceOptions options = {});
+  QueryService(core::ShardedDatabase* db, ServiceOptions options = {});
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -340,6 +444,55 @@ class QueryService {
   std::vector<QueryTicket> SubmitBurst(
       std::vector<core::QueryRequest> requests,
       Priority priority = Priority::kInteractive);
+
+  /// \brief Appends an observation to object `id` (global id in sharded
+  /// mode), returning the DataVersion the mutation was stamped with. The
+  /// serving-time ingest path: validation and epoch bookkeeping happen in
+  /// Database::AppendObservation under the owning shard's ingest lock —
+  /// only that shard's dispatch serializes against the append, every
+  /// other shard keeps serving untouched. On success the affected
+  /// standing subscriptions (WindowPolicy::refresh_on_ingest) are marked
+  /// dirty for the next refresh round. Fails with kFailedPrecondition on
+  /// a service constructed over a const database, kNotFound for an
+  /// unknown object, kInvalidArgument for an out-of-order or
+  /// duplicate-timestamp observation (the history is never corrupted),
+  /// and kUnavailable after Shutdown() or under an injected `ingest`
+  /// fault. An optional trace records the kIngest span.
+  util::Result<DataVersion> AppendObservation(
+      ObjectId id, core::Observation obs,
+      const std::shared_ptr<obs::QueryTrace>& trace = nullptr);
+
+  /// \brief Registers a standing query. Every refresh re-evaluates
+  /// `request` (with its current window) through the normal submit
+  /// pipeline — answers are bit-identical to a one-shot Submit() at the
+  /// same epoch — and delivers the answer-set delta to `callback`.
+  /// kKTimes requests are rejected (kInvalidArgument): distribution
+  /// answers have no set-delta form. The request's own trace/cancel
+  /// fields are ignored; refresh sub-requests get service-sampled traces
+  /// like any submission.
+  util::Result<Subscription> Subscribe(core::QueryRequest request,
+                                       WindowPolicy policy,
+                                       SubscriptionCallback callback);
+
+  /// \brief Advances every sliding subscription's window forward by
+  /// `steps` x WindowPolicy::slide timestamps and marks it dirty. The
+  /// caller owns the clock — the service runs no timer thread, so tests
+  /// and replay drivers stay deterministic.
+  void TickWindows(Timestamp steps = 1);
+
+  /// \brief Runs one refresh round: flushes every dirty, live
+  /// subscription through ONE SubmitBurst (coalescing into shared
+  /// RunBatch groups), waits for the answers, and delivers deltas on the
+  /// calling thread in subscription order. A subscription whose refresh
+  /// fails transiently (backpressure rejection, quarantined shards with
+  /// partial answers disabled) stays dirty and is retried next round; its
+  /// sequence number does not advance. Returns the number of deltas
+  /// delivered. Rounds are serialized — concurrent callers queue behind
+  /// one another.
+  size_t RefreshSubscriptions();
+
+  /// Registered, not-yet-cancelled subscriptions.
+  size_t num_subscriptions() const;
 
   /// \brief Stops admitting, drains every queued request through the
   /// executors (cancelled/expired ones resolve without executing), then
@@ -457,9 +610,21 @@ class QueryService {
   /// back into its priority lane. Called under queue_mu_.
   void PromoteRetriesLocked(ShardLane& lane,
                             std::chrono::steady_clock::time_point now);
+  /// Marks dirty every live subscription whose answer the freshly
+  /// ingested object `id` can affect (refresh_on_ingest, filter match).
+  void MarkDirtyForIngest(ObjectId id);
+  /// Computes one subscription's delta against its last delivered answer
+  /// and advances the delivered state. Called only from the serialized
+  /// refresh round.
+  SubscriptionDelta BuildDelta(internal::SubscriptionState& sub,
+                               const core::QueryResult& result);
 
   const core::Database* db_ = nullptr;            // legacy mode
   const core::ShardedDatabase* sharded_ = nullptr;  // sharded mode
+  /// Ingest-capable aliases of db_/sharded_; null when constructed over a
+  /// const database (ingest then fails with kFailedPrecondition).
+  core::Database* mutable_db_ = nullptr;
+  core::ShardedDatabase* mutable_sharded_ = nullptr;
   ServiceOptions options_;
 
   mutable std::mutex queue_mu_;
@@ -477,6 +642,15 @@ class QueryService {
 
   std::unique_ptr<ObsHandles> obs_;  // null when options_.obs.enabled=false
   std::atomic<uint64_t> submit_seq_{0};  // trace sampling counter
+
+  /// Subscription registry. subs_mu_ guards the vector and each entry's
+  /// dirty flag + request window (ingest marks dirty, ticks slide
+  /// windows); refresh_mu_ serializes refresh rounds and alone guards the
+  /// delivered state (last_answer, sequence advancement).
+  mutable std::mutex subs_mu_;
+  std::mutex refresh_mu_;
+  std::vector<std::shared_ptr<internal::SubscriptionState>> subscriptions_;
+  uint64_t next_subscription_id_ = 1;  // subs_mu_
 };
 
 }  // namespace service

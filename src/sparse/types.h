@@ -24,6 +24,13 @@ using ObjectId = uint32_t;
 /// query-based computations).
 using ChainId = uint32_t;
 
+/// Monotonically increasing epoch of a mutable Database. 0 is the frozen
+/// build state; every AppendObservation allocates the next version and
+/// stamps it on the mutated object and its chain, so caches can detect
+/// staleness per chain without a flush and query results can name the
+/// exact data state they answered against.
+using DataVersion = uint64_t;
+
 namespace sparse {
 
 /// Offset into the non-zero arrays of a CSR matrix.

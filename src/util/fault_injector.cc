@@ -29,6 +29,8 @@ std::string_view FaultPointName(FaultPoint point) {
       return "cache_admission";
     case FaultPoint::kMerge:
       return "merge";
+    case FaultPoint::kIngest:
+      return "ingest";
   }
   return "unknown";
 }

@@ -2,9 +2,10 @@
 //
 // Deterministic fault injection for resilience testing. A FaultInjector is
 // parsed from a spec string (env `USTDB_FAULT_SPEC`, seeded by
-// `USTDB_FAULT_SEED`) and consulted at six fixed points of the query
+// `USTDB_FAULT_SEED`) and consulted at seven fixed points of the query
 // pipeline: queue admission, dispatch, engine build, kernel dispatch,
-// cache admission, and scatter/gather merge. Each consultation either does
+// cache admission, scatter/gather merge, and ingest. Each consultation
+// either does
 // nothing, sleeps (`stall`), returns kUnavailable (`fail`), or throws a
 // FaultInjectedError (`throw`) — the decision is a pure function of
 // (seed, point, rule, per-point draw counter), so a fixed spec + seed
@@ -21,6 +22,7 @@
 //   entry    := site ':' action (':' arg)*
 //   site     := 'queue_admission' | 'dispatch' | 'engine_build'
 //             | 'kernel_dispatch' | 'cache_admission' | 'merge'
+//             | 'ingest'
 //             | 'shard' N                (= dispatch, shard N only)
 //   action   := 'fail' | 'throw' | 'stall'
 //   arg      := probability in (0, 1]    (default 1.0)
@@ -57,8 +59,9 @@ enum class FaultPoint : int {
   kKernelDispatch = 3,  ///< evaluation loop, per object chunk
   kCacheAdmission = 4,  ///< EngineCache::Put*, before admitting an entry
   kMerge = 5,           ///< scatter/gather merge of sub-results
+  kIngest = 6,          ///< QueryService::AppendObservation, before applying
 };
-inline constexpr int kNumFaultPoints = 6;
+inline constexpr int kNumFaultPoints = 7;
 
 /// Spec name of a point ("queue_admission", ...).
 std::string_view FaultPointName(FaultPoint point);
